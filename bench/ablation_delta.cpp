@@ -1,0 +1,52 @@
+// Ablation A2: the Single-Link scalability heuristic (paper Section
+// 4.4.2). Sweeps delta and reports the initial cluster count, the peak
+// sizes of the pair heap P and node heap Q, the runtime, and whether the
+// dendrogram above delta stays identical to the exact (delta = 0) run.
+//
+// Expected shape: initial clusters and heap sizes drop sharply with
+// delta (the paper reports one order of magnitude at delta = 0.7 eps)
+// while every cut above delta stays identical.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/single_link.h"
+#include "eval/metrics.h"
+
+using namespace netclus;
+using namespace netclus::bench;
+
+int main() {
+  double scale = BenchScale();
+  std::printf("=== Ablation: Single-Link delta heuristic (scale %.2f) ===\n\n",
+              scale);
+  Dataset d = MakeDataset("OL", 1.0, 20000.0 / 6105.0, 10, 10);  // OL is small: always full size
+  InMemoryNetworkView view(d.gen.net, d.workload.points);
+  double eps = d.workload.max_intra_gap;
+  std::printf("N = %u points, eps = %.4f\n\n", d.workload.points.size(), eps);
+
+  SingleLinkResult exact =
+      std::move(SingleLinkCluster(view, SingleLinkOptions{}).value());
+  Clustering exact_cut = exact.dendrogram.CutAtDistance(eps, 2);
+
+  PrintRow({"delta/eps", "init-clusters", "max|P|", "max|Q|", "time(s)",
+            "cut@eps-same"});
+  for (double frac : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9}) {
+    SingleLinkOptions opts;
+    opts.delta = frac * eps;
+    WallTimer t;
+    SingleLinkResult r = std::move(SingleLinkCluster(view, opts).value());
+    double secs = t.ElapsedSeconds();
+    Clustering cut = r.dendrogram.CutAtDistance(eps, 2);
+    PrintRow({Fmt(frac, 1), std::to_string(r.stats.initial_clusters),
+              std::to_string(r.stats.max_pair_heap),
+              std::to_string(r.stats.max_node_heap), Fmt(secs, 3),
+              SamePartition(cut.assignment, exact_cut.assignment) ? "yes"
+                                                                  : "NO"});
+  }
+  std::printf(
+      "\npaper shape: delta = 0.7 eps shrinks the starting cluster count\n"
+      "and heaps by about an order of magnitude at identical results\n"
+      "above delta.\n");
+  return 0;
+}

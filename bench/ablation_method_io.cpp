@@ -1,0 +1,88 @@
+// Ablation A5: per-file I/O behaviour of the four methods over the disk
+// store — the mechanism behind the paper's Section 5.2 cost discussion:
+//
+//   * k-medoids traverses the whole network repeatedly but scans the
+//     points file sequentially once per iteration;
+//   * DBSCAN issues a range query per point: many redundant accesses of
+//     both files;
+//   * ε-Link touches only the populated part of the network, but its
+//     point accesses are random;
+//   * Single-Link scans the points file once and then traverses the
+//     network via the heaps.
+//
+// Logical accesses show the access-pattern volume; physical reads show
+// how well each pattern survives a small (128 KiB) buffer.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/dbscan.h"
+#include "core/eps_link.h"
+#include "core/kmedoids.h"
+#include "core/single_link.h"
+#include "graph/network_store.h"
+
+using namespace netclus;
+using namespace netclus::bench;
+
+int main() {
+  double scale = BenchScale();
+  std::printf("=== Ablation: per-method disk I/O (scale %.2f) ===\n\n",
+              scale);
+  Dataset d = MakeDataset("TG", 1.0, 3.0, 10, 7);  // TG full: real pressure
+  (void)scale;
+  double eps = d.workload.max_intra_gap;
+  std::printf("network: %u nodes, %u points; 128 KiB buffer, 4 KiB pages\n\n",
+              d.gen.net.num_nodes(), d.workload.points.size());
+
+  PrintRow({"method", "logical", "phys-adj", "phys-adj-idx", "phys-pts",
+            "phys-pts-idx"});
+  auto run = [&](const char* name, auto&& algorithm) {
+    auto bundle = std::move(DiskNetworkBundle::Create(d.gen.net,
+                                                      d.workload.points,
+                                                      128 * 1024, 4096,
+                                                      NodePlacement::kConnectivity,
+                                                      3)
+                                .value());
+    bundle->ResetIoStats();
+    algorithm(bundle->view());
+    DiskNetworkBundle::IoBreakdown io = bundle->GetIoBreakdown();
+    PrintRow({name,
+              std::to_string(bundle->buffer_manager().stats()
+                                 .logical_accesses()),
+              std::to_string(io.adj_flat.page_reads),
+              std::to_string(io.adj_index.page_reads),
+              std::to_string(io.pts_flat.page_reads),
+              std::to_string(io.pts_index.page_reads)});
+  };
+
+  run("k-medoids", [&](const NetworkView& view) {
+    KMedoidsOptions opts;
+    opts.k = 10;
+    opts.seed = 42;
+    opts.max_unsuccessful_swaps = 5;
+    (void)KMedoidsCluster(view, opts).value();
+  });
+  run("dbscan", [&](const NetworkView& view) {
+    DbscanOptions opts;
+    opts.eps = eps;
+    opts.min_pts = 2;
+    (void)DbscanCluster(view, opts).value();
+  });
+  run("eps-link", [&](const NetworkView& view) {
+    EpsLinkOptions opts;
+    opts.eps = eps;
+    (void)EpsLinkCluster(view, opts).value();
+  });
+  run("single-link", [&](const NetworkView& view) {
+    SingleLinkOptions opts;
+    opts.delta = 0.7 * eps;
+    (void)SingleLinkCluster(view, opts).value();
+  });
+
+  std::printf(
+      "\nexpected shape: k-medoids dominates the adjacency I/O (whole-graph\n"
+      "traversal per swap); DBSCAN issues the most point-file reads (one\n"
+      "range query per point); eps-link touches both files least;\n"
+      "single-link sits between, scanning the points file once.\n");
+  return 0;
+}

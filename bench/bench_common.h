@@ -1,0 +1,53 @@
+// Shared setup for the experiment harnesses: dataset construction at a
+// configurable scale and small table-printing helpers.
+//
+// Every harness honors NETCLUS_BENCH_SCALE (default 0.1): it scales the
+// network sizes and point counts of the paper's experiments so the whole
+// suite runs in minutes on one core. All reported effects are ratios or
+// asymptotic shapes, which are preserved at any scale; set
+// NETCLUS_BENCH_SCALE=1 to run the published sizes.
+#ifndef NETCLUS_BENCH_BENCH_COMMON_H_
+#define NETCLUS_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "gen/network_gen.h"
+#include "gen/workload_gen.h"
+#include "graph/network.h"
+
+namespace netclus {
+namespace bench {
+
+/// Scale factor from NETCLUS_BENCH_SCALE (clamped to (0, 1]).
+double BenchScale();
+
+/// One of the paper's four datasets, scaled.
+struct Dataset {
+  std::string name;
+  GeneratedNetwork gen;
+  GeneratedWorkload workload;
+  ClusterWorkloadSpec spec;
+};
+
+/// Builds dataset `name` in {"NA","SF","TG","OL"} with N ~= points_per_node
+/// * |V| points in k clusters (paper: N ~= 3 |V|, k = 10, 1% outliers).
+Dataset MakeDataset(const std::string& name, double scale,
+                    double points_per_node = 3.0, uint32_t k = 10,
+                    uint64_t seed = 7);
+
+/// An s_init under which the k clusters occupy ~6% of the total edge
+/// length, keeping them compact and well separated (the generator's mean
+/// point spacing over a cluster's growth is 3 * s_init for F = 5).
+double DefaultSInit(const Network& net, PointId clustered_points);
+
+/// Prints a row of fixed-width columns to stdout.
+void PrintRow(const std::vector<std::string>& cells, int width = 14);
+
+/// Formats a double with `digits` decimals.
+std::string Fmt(double x, int digits = 3);
+
+}  // namespace bench
+}  // namespace netclus
+
+#endif  // NETCLUS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,79 @@
+// Figure 13 (paper Section 5.2): scalability with the number of points N.
+// SF network; N = 100K, 200K, 500K, 1000K (scaled); k = 10 clusters + 1%
+// outliers.
+//
+// Expected shape (paper): DBSCAN and eps-Link cost grows proportionally
+// to N (they touch every populated edge, with random point accesses);
+// k-medoids and Single-Link grow slowly — their cost is dominated by the
+// full network traversals, and points are only scanned sequentially.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/dbscan.h"
+#include "core/eps_link.h"
+#include "core/kmedoids.h"
+#include "core/single_link.h"
+#include "gen/workload_gen.h"
+
+using namespace netclus;
+using namespace netclus::bench;
+
+int main() {
+  double scale = BenchScale();
+  std::printf("=== Figure 13: scalability with N on SF (scale %.2f) ===\n\n",
+              scale);
+  GeneratedNetwork g = GenerateRoadNetwork(SpecSF(scale));
+  std::printf("network: %u nodes, %zu edges\n\n", g.net.num_nodes(),
+              g.net.num_edges());
+  PrintRow({"N", "k-medoids", "DBSCAN", "eps-link", "single-link"});
+  // Paper point counts relative to SF's 174,956 nodes.
+  for (double per_node : {100000.0 / 174956, 200000.0 / 174956,
+                          500000.0 / 174956, 1000000.0 / 174956}) {
+    ClusterWorkloadSpec spec;
+    spec.total_points =
+        static_cast<PointId>(per_node * g.net.num_nodes());
+    spec.num_clusters = 10;
+    spec.outlier_fraction = 0.01;
+    spec.s_init =
+        DefaultSInit(g.net, static_cast<PointId>(0.99 * spec.total_points));
+    spec.seed = 7;
+    GeneratedWorkload w =
+        std::move(GenerateClusteredPoints(g.net, spec).value());
+    InMemoryNetworkView view(g.net, w.points);
+    double eps = w.max_intra_gap;
+
+    WallTimer t;
+    KMedoidsOptions ko;
+    ko.k = 10;
+    ko.seed = 42;
+    (void)KMedoidsCluster(view, ko).value();
+    double t_kmed = t.ElapsedSeconds();
+
+    t.Restart();
+    DbscanOptions dbo;
+    dbo.eps = eps;
+    dbo.min_pts = 2;
+    (void)DbscanCluster(view, dbo).value();
+    double t_dbscan = t.ElapsedSeconds();
+
+    t.Restart();
+    EpsLinkOptions eo;
+    eo.eps = eps;
+    (void)EpsLinkCluster(view, eo).value();
+    double t_epslink = t.ElapsedSeconds();
+
+    t.Restart();
+    SingleLinkOptions so;
+    so.delta = 0.7 * eps;
+    (void)SingleLinkCluster(view, so).value();
+    double t_single = t.ElapsedSeconds();
+
+    PrintRow({std::to_string(w.points.size()), Fmt(t_kmed, 3),
+              Fmt(t_dbscan, 3), Fmt(t_epslink, 3), Fmt(t_single, 3)});
+  }
+  std::printf(
+      "\npaper shape: density methods scale ~linearly in N; k-medoids and\n"
+      "single-link costs are nearly flat (network-bound).\n");
+  return 0;
+}

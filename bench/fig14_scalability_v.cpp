@@ -1,0 +1,79 @@
+// Figure 14 (paper Section 5.2): scalability with the network size |V|.
+// Connected subnetworks of SF with 10%, 20%, 50%, 100% of the nodes;
+// 200K (scaled) points in k = 10 clusters + 1% outliers on each.
+//
+// Expected shape (paper): k-medoids and Single-Link cost grows
+// proportionally to |V| (they traverse the whole network); the density
+// methods grow slowly because the number of populated edges barely
+// changes with |V|.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/dbscan.h"
+#include "core/eps_link.h"
+#include "core/kmedoids.h"
+#include "core/single_link.h"
+#include "gen/workload_gen.h"
+
+using namespace netclus;
+using namespace netclus::bench;
+
+int main() {
+  double scale = BenchScale();
+  std::printf("=== Figure 14: scalability with |V| on SF (scale %.2f) ===\n\n",
+              scale);
+  GeneratedNetwork g = GenerateRoadNetwork(SpecSF(scale));
+  PointId n_points = static_cast<PointId>(200000.0 / 174956.0 *
+                                          g.net.num_nodes());
+  PrintRow({"pct", "|V|", "k-medoids", "DBSCAN", "eps-link", "single-link"});
+  for (double pct : {0.1, 0.2, 0.5, 1.0}) {
+    NodeId count = static_cast<NodeId>(pct * g.net.num_nodes());
+    std::vector<NodeId> mapping;
+    Network sub = BfsSubnetwork(g.net, 0, count, &mapping);
+
+    ClusterWorkloadSpec spec;
+    spec.total_points = n_points;  // constant N across network sizes
+    spec.num_clusters = 10;
+    spec.outlier_fraction = 0.01;
+    spec.s_init = DefaultSInit(sub, static_cast<PointId>(0.99 * n_points));
+    spec.seed = 7;
+    GeneratedWorkload w = std::move(GenerateClusteredPoints(sub, spec).value());
+    InMemoryNetworkView view(sub, w.points);
+    double eps = w.max_intra_gap;
+
+    WallTimer t;
+    KMedoidsOptions ko;
+    ko.k = 10;
+    ko.seed = 42;
+    (void)KMedoidsCluster(view, ko).value();
+    double t_kmed = t.ElapsedSeconds();
+
+    t.Restart();
+    DbscanOptions dbo;
+    dbo.eps = eps;
+    dbo.min_pts = 2;
+    (void)DbscanCluster(view, dbo).value();
+    double t_dbscan = t.ElapsedSeconds();
+
+    t.Restart();
+    EpsLinkOptions eo;
+    eo.eps = eps;
+    (void)EpsLinkCluster(view, eo).value();
+    double t_epslink = t.ElapsedSeconds();
+
+    t.Restart();
+    SingleLinkOptions so;
+    so.delta = 0.7 * eps;
+    (void)SingleLinkCluster(view, so).value();
+    double t_single = t.ElapsedSeconds();
+
+    PrintRow({Fmt(100 * pct, 0), std::to_string(sub.num_nodes()),
+              Fmt(t_kmed, 3), Fmt(t_dbscan, 3), Fmt(t_epslink, 3),
+              Fmt(t_single, 3)});
+  }
+  std::printf(
+      "\npaper shape: k-medoids / single-link grow ~linearly with |V|;\n"
+      "density methods grow slowly (populated-edge bound).\n");
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Ablation A4: google-benchmark micro-benchmarks of the substrates the
+// clustering algorithms are built on — Dijkstra traversals, point
+// distance evaluation, range queries, B+-tree operations, and the buffer
+// manager hit path.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "gen/network_gen.h"
+#include "gen/workload_gen.h"
+#include "graph/dijkstra.h"
+#include "graph/network_distance.h"
+#include "graph/network_store.h"
+#include "storage/bptree.h"
+
+namespace netclus {
+namespace {
+
+struct Fixture {
+  GeneratedNetwork gen;
+  PointSet points;
+  std::unique_ptr<InMemoryNetworkView> view;
+
+  explicit Fixture(NodeId nodes, PointId n_points) {
+    gen = GenerateRoadNetwork({nodes, 1.3, 0.3, 99});
+    points = std::move(GenerateUniformPoints(gen.net, n_points, 100)).value();
+    view = std::make_unique<InMemoryNetworkView>(gen.net, points);
+  }
+};
+
+Fixture& SharedFixture() {
+  static Fixture f(20000, 60000);
+  return f;
+}
+
+void BM_DijkstraFullSSSP(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  NodeId src = 0;
+  for (auto _ : state) {
+    std::vector<double> d = DijkstraDistances(*f.view, {{src, 0.0}});
+    benchmark::DoNotOptimize(d.data());
+    src = (src + 7919) % f.gen.net.num_nodes();
+  }
+  state.SetItemsProcessed(state.iterations() * f.gen.net.num_nodes());
+}
+BENCHMARK(BM_DijkstraFullSSSP)->Unit(benchmark::kMillisecond);
+
+void BM_PointNetworkDistance(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  NodeScratch scratch(f.gen.net.num_nodes());
+  Rng rng(5);
+  for (auto _ : state) {
+    PointId p = static_cast<PointId>(rng.NextBounded(f.points.size()));
+    PointId q = static_cast<PointId>(rng.NextBounded(f.points.size()));
+    benchmark::DoNotOptimize(PointNetworkDistance(*f.view, p, q, &scratch));
+  }
+}
+BENCHMARK(BM_PointNetworkDistance)->Unit(benchmark::kMicrosecond);
+
+void BM_RangeQuery(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  NodeScratch scratch(f.gen.net.num_nodes());
+  std::vector<RangeResult> out;
+  Rng rng(6);
+  double eps = static_cast<double>(state.range(0)) / 10.0;
+  for (auto _ : state) {
+    PointId p = static_cast<PointId>(rng.NextBounded(f.points.size()));
+    RangeQuery(*f.view, p, eps, &scratch, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RangeQuery)->Arg(5)->Arg(20)->Arg(50)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto file = PagedFile::CreateInMemory(4096);
+    BufferManager bm(1 << 20, 4096);
+    FileId fid = bm.RegisterFile(file.get());
+    auto tree = std::move(BPlusTree::Create(&bm, fid).value());
+    Rng rng(7);
+    state.ResumeTiming();
+    for (int i = 0; i < 20000; ++i) {
+      benchmark::DoNotOptimize(tree->Insert(rng.Next(), i).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_BPlusTreeInsert)->Unit(benchmark::kMillisecond);
+
+void BM_BPlusTreeLookup(benchmark::State& state) {
+  static auto file = PagedFile::CreateInMemory(4096);
+  static BufferManager bm(1 << 22, 4096);
+  static std::unique_ptr<BPlusTree> tree = [] {
+    FileId fid = bm.RegisterFile(file.get());
+    auto t = std::move(BPlusTree::Create(&bm, fid).value());
+    std::vector<std::pair<uint64_t, uint64_t>> data;
+    for (uint64_t i = 0; i < 100000; ++i) data.emplace_back(i * 3, i);
+    (void)t->BulkLoad(data);
+    return t;
+  }();
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->Get(rng.NextBounded(300000)));
+  }
+}
+BENCHMARK(BM_BPlusTreeLookup);
+
+void BM_BufferManagerHit(benchmark::State& state) {
+  static auto file = PagedFile::CreateInMemory(4096);
+  static BufferManager bm(1 << 20, 4096);
+  static FileId fid = [] {
+    FileId f = bm.RegisterFile(file.get());
+    for (int i = 0; i < 64; ++i) (void)bm.NewPage(f);
+    return f;
+  }();
+  Rng rng(9);
+  for (auto _ : state) {
+    Result<PageHandle> h = bm.FetchPage(fid, rng.NextBounded(64));
+    benchmark::DoNotOptimize(h.value().data());
+  }
+}
+BENCHMARK(BM_BufferManagerHit);
+
+void BM_DiskAdjacencyRead(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  static auto bundle = std::move(
+      DiskNetworkBundle::Create(SharedFixture().gen.net,
+                                SharedFixture().points, 1 << 20, 4096,
+                                NodePlacement::kConnectivity, 1)
+          .value());
+  Rng rng(10);
+  for (auto _ : state) {
+    NodeId n = static_cast<NodeId>(rng.NextBounded(f.gen.net.num_nodes()));
+    double sum = 0.0;
+    bundle->view().ForEachNeighbor(n, [&](NodeId, double w) { sum += w; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_DiskAdjacencyRead);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    ClusterWorkloadSpec spec;
+    spec.total_points = 20000;
+    spec.num_clusters = 10;
+    spec.s_init = 0.02;
+    spec.seed = seed++;
+    benchmark::DoNotOptimize(
+        GenerateClusteredPoints(f.gen.net, spec).value().points.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace netclus
+
+BENCHMARK_MAIN();

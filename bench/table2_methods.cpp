@@ -1,0 +1,69 @@
+// Table 2 (paper Section 5.2): execution cost of the four methods on the
+// four road networks (same workloads as Table 1).
+//
+// k-medoids: cost of reaching one local optimum. DBSCAN: MinPts = 2 and
+// the same eps as ε-Link (the minimum that recovers the generated
+// clusters). Single-Link: full dendrogram with the delta heuristic
+// (delta = 0.7 eps).
+//
+// Expected shape (paper): k-medoids >> DBSCAN > Single-Link > eps-Link.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/dbscan.h"
+#include "core/eps_link.h"
+#include "core/kmedoids.h"
+#include "core/single_link.h"
+
+using namespace netclus;
+using namespace netclus::bench;
+
+int main() {
+  double scale = BenchScale();
+  std::printf("=== Table 2: method cost in seconds (scale %.2f) ===\n\n",
+              scale);
+  PrintRow({"dataset", "|V|", "N", "k-medoids", "DBSCAN", "eps-link",
+            "single-link"});
+  for (const char* name : {"NA", "SF", "TG", "OL"}) {
+    Dataset d = MakeDataset(name, scale, 3.0, 10, 7);
+    InMemoryNetworkView view(d.gen.net, d.workload.points);
+    double eps = d.workload.max_intra_gap;
+
+    WallTimer t;
+    KMedoidsOptions ko;
+    ko.k = 10;
+    ko.seed = 42;
+    KMedoidsResult km = std::move(KMedoidsCluster(view, ko).value());
+    (void)km;
+    double t_kmed = t.ElapsedSeconds();
+
+    t.Restart();
+    DbscanOptions dbo;
+    dbo.eps = eps;
+    dbo.min_pts = 2;
+    Clustering db = std::move(DbscanCluster(view, dbo).value());
+    (void)db;
+    double t_dbscan = t.ElapsedSeconds();
+
+    t.Restart();
+    EpsLinkOptions eo;
+    eo.eps = eps;
+    Clustering el = std::move(EpsLinkCluster(view, eo).value());
+    (void)el;
+    double t_epslink = t.ElapsedSeconds();
+
+    t.Restart();
+    SingleLinkOptions so;
+    so.delta = 0.7 * eps;
+    SingleLinkResult sl = std::move(SingleLinkCluster(view, so).value());
+    (void)sl;
+    double t_single = t.ElapsedSeconds();
+
+    PrintRow({name, std::to_string(d.gen.net.num_nodes()),
+              std::to_string(d.workload.points.size()), Fmt(t_kmed, 3),
+              Fmt(t_dbscan, 3), Fmt(t_epslink, 3), Fmt(t_single, 3)});
+  }
+  std::printf("\npaper shape: k-medoids >> DBSCAN > single-link > eps-link\n");
+  return 0;
+}

@@ -1,0 +1,203 @@
+// netclus_cli: drive the library from the command line on text network
+// files (see graph/text_io.h for the format).
+//
+//   netclus_cli generate --nodes 2000 --points 6000 --clusters 8
+//       --seed 7 --out town.net
+//   netclus_cli suggest --in town.net
+//   netclus_cli cluster --in town.net --algo epslink --eps auto
+//   netclus_cli cluster --in town.net --algo kmedoids --k 8
+//   netclus_cli cluster --in town.net --algo singlelink --cut 0.5
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/dbscan.h"
+#include "core/eps_link.h"
+#include "core/kmedoids.h"
+#include "core/parameter_selection.h"
+#include "core/single_link.h"
+#include "eval/evaluation.h"
+#include "eval/metrics.h"
+#include "gen/network_gen.h"
+#include "gen/workload_gen.h"
+#include "graph/text_io.h"
+
+using namespace netclus;
+
+namespace {
+
+const char* FlagValue(int argc, char** argv, const char* name,
+                      const char* fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: netclus_cli generate|suggest|cluster [flags]\n"
+               "  generate --nodes N --points P --clusters K [--seed S] "
+               "--out FILE\n"
+               "  suggest  --in FILE\n"
+               "  cluster  --in FILE --algo "
+               "kmedoids|epslink|dbscan|singlelink\n"
+               "           [--eps E|auto] [--k K] [--minpts M] [--minsup M]\n"
+               "           [--delta D] [--cut D] [--seed S]\n");
+  return 2;
+}
+
+void PrintSummary(const Clustering& c, const std::vector<int>& labels) {
+  ClusterSummary s = Summarize(c);
+  std::printf("clusters: %d  noise: %u  largest: %u  smallest: %u\n",
+              s.num_clusters, s.noise_points, s.largest_cluster,
+              s.smallest_cluster);
+  bool have_truth = false;
+  for (int l : labels) {
+    if (l != kNoise) {
+      have_truth = true;
+      break;
+    }
+  }
+  if (have_truth) {
+    std::printf("vs. point labels: ARI %.3f, NMI %.3f, purity %.3f\n",
+                AdjustedRandIndex(labels, c.assignment),
+                NormalizedMutualInformation(labels, c.assignment),
+                Purity(labels, c.assignment));
+  }
+}
+
+int RunGenerate(int argc, char** argv) {
+  NodeId nodes = static_cast<NodeId>(
+      std::atol(FlagValue(argc, argv, "--nodes", "2000")));
+  PointId points = static_cast<PointId>(
+      std::atol(FlagValue(argc, argv, "--points", "6000")));
+  uint32_t clusters = static_cast<uint32_t>(
+      std::atol(FlagValue(argc, argv, "--clusters", "8")));
+  uint64_t seed =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "--seed", "7")));
+  const char* out = FlagValue(argc, argv, "--out", nullptr);
+  if (out == nullptr) return Usage();
+
+  GeneratedNetwork g = GenerateRoadNetwork({nodes, 1.3, 0.3, seed});
+  double total = 0.0;
+  for (const Edge& e : g.net.Edges()) total += e.weight;
+  ClusterWorkloadSpec spec;
+  spec.total_points = points;
+  spec.num_clusters = clusters;
+  spec.outlier_fraction = 0.01;
+  spec.s_init = 0.06 * total / (3.0 * 0.99 * points);
+  spec.seed = seed + 1;
+  Result<GeneratedWorkload> w = GenerateClusteredPoints(g.net, spec);
+  if (!w.ok()) return Fail(w.status());
+  Status s = SaveNetworkFile(out, g.net, &w.value().points);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s: %u nodes, %zu edges, %u points "
+              "(suggested eps from generator: %.6f)\n",
+              out, g.net.num_nodes(), g.net.num_edges(), points,
+              w.value().max_intra_gap);
+  return 0;
+}
+
+int RunSuggest(const InMemoryNetworkView& view) {
+  Result<double> eps = SuggestEps(view, EpsSuggestionOptions{});
+  if (eps.ok()) {
+    std::printf("suggested eps:   %.6f\n", eps.value());
+  } else {
+    std::printf("suggested eps:   n/a (%s)\n", eps.status().ToString().c_str());
+  }
+  Result<double> delta = SuggestDelta(view, 0.7);
+  if (delta.ok()) {
+    std::printf("suggested delta: %.6f\n", delta.value());
+  } else {
+    std::printf("suggested delta: n/a (%s)\n",
+                delta.status().ToString().c_str());
+  }
+  return 0;
+}
+
+int RunCluster(int argc, char** argv, const InMemoryNetworkView& view,
+               const PointSet& points) {
+  std::string algo = FlagValue(argc, argv, "--algo", "epslink");
+  double eps = 0.0;
+  std::string eps_flag = FlagValue(argc, argv, "--eps", "auto");
+  if (eps_flag == "auto") {
+    Result<double> suggested = SuggestEps(view, EpsSuggestionOptions{});
+    if (!suggested.ok()) return Fail(suggested.status());
+    eps = suggested.value();
+    std::printf("eps = %.6f (auto)\n", eps);
+  } else {
+    eps = std::atof(eps_flag.c_str());
+  }
+
+  if (algo == "epslink") {
+    EpsLinkOptions opts;
+    opts.eps = eps;
+    opts.min_sup = static_cast<uint32_t>(
+        std::atol(FlagValue(argc, argv, "--minsup", "2")));
+    Result<Clustering> c = EpsLinkCluster(view, opts);
+    if (!c.ok()) return Fail(c.status());
+    PrintSummary(c.value(), points.labels());
+  } else if (algo == "dbscan") {
+    DbscanOptions opts;
+    opts.eps = eps;
+    opts.min_pts = static_cast<uint32_t>(
+        std::atol(FlagValue(argc, argv, "--minpts", "2")));
+    Result<Clustering> c = DbscanCluster(view, opts);
+    if (!c.ok()) return Fail(c.status());
+    PrintSummary(c.value(), points.labels());
+  } else if (algo == "kmedoids") {
+    KMedoidsOptions opts;
+    opts.k = static_cast<uint32_t>(std::atol(FlagValue(argc, argv, "--k",
+                                                       "8")));
+    opts.seed = static_cast<uint64_t>(
+        std::atoll(FlagValue(argc, argv, "--seed", "42")));
+    Result<KMedoidsResult> r = KMedoidsCluster(view, opts);
+    if (!r.ok()) return Fail(r.status());
+    std::printf("R = %.3f after %u swaps (%u committed)\n", r.value().cost,
+                r.value().stats.attempted_swaps,
+                r.value().stats.committed_swaps);
+    PrintSummary(r.value().clustering, points.labels());
+  } else if (algo == "singlelink") {
+    SingleLinkOptions opts;
+    opts.delta = std::atof(FlagValue(argc, argv, "--delta", "0"));
+    Result<SingleLinkResult> r = SingleLinkCluster(view, opts);
+    if (!r.ok()) return Fail(r.status());
+    double cut = std::atof(FlagValue(argc, argv, "--cut", "0"));
+    if (cut <= 0.0) cut = eps;
+    std::printf("dendrogram: %zu merges; cutting at %.6f\n",
+                r.value().dendrogram.merges().size(), cut);
+    PrintSummary(r.value().dendrogram.CutAtDistance(cut, 2),
+                 points.labels());
+  } else {
+    return Usage();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "generate") return RunGenerate(argc, argv);
+
+  const char* in = FlagValue(argc, argv, "--in", nullptr);
+  if (in == nullptr) return Usage();
+  Result<std::pair<Network, PointSet>> loaded = LoadNetworkFile(in);
+  if (!loaded.ok()) return Fail(loaded.status());
+  const auto& [net, points] = loaded.value();
+  InMemoryNetworkView view(net, points);
+  std::printf("loaded %s: %u nodes, %zu edges, %u points\n", in,
+              net.num_nodes(), net.num_edges(), points.size());
+
+  if (cmd == "suggest") return RunSuggest(view);
+  if (cmd == "cluster") return RunCluster(argc, argv, view, points);
+  return Usage();
+}

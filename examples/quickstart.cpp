@@ -1,0 +1,91 @@
+// Quickstart: build a tiny spatial network, place points on its edges,
+// and run all three clustering paradigms.
+//
+// The network is the one from the paper's Figure 1 (six nodes, seven
+// edges, six points).
+#include <cstdio>
+
+#include "core/dbscan.h"
+#include "core/eps_link.h"
+#include "core/kmedoids.h"
+#include "core/single_link.h"
+#include "graph/network.h"
+
+using namespace netclus;
+
+namespace {
+void PrintClustering(const char* name, const Clustering& c) {
+  std::printf("%-12s clusters=%d assignment=[", name, c.num_clusters);
+  for (size_t i = 0; i < c.assignment.size(); ++i) {
+    std::printf("%s%d", i > 0 ? " " : "", c.assignment[i]);
+  }
+  std::printf("]\n");
+}
+}  // namespace
+
+int main() {
+  // --- 1. Build the network of the paper's Figure 1.
+  Network net(6);
+  (void)net.AddEdge(0, 1, 2.7);   // n1-n2
+  (void)net.AddEdge(0, 2, 4.5);   // n1-n3
+  (void)net.AddEdge(1, 2, 2.5);   // n2-n3
+  (void)net.AddEdge(1, 3, 3.0);   // n2-n4
+  (void)net.AddEdge(2, 4, 4.0);   // n3-n5
+  (void)net.AddEdge(3, 5, 3.2);   // n4-n6
+  (void)net.AddEdge(4, 5, 6.0);   // n5-n6
+
+  // --- 2. Place points on edges: <smaller node, larger node, offset>.
+  PointSetBuilder builder;
+  builder.Add(0, 1, 1.2, /*label=*/-1);  // p1 on n1-n2
+  builder.Add(0, 2, 1.0, -1);            // p2 on n1-n3
+  builder.Add(0, 2, 3.3, -1);            // p3 (1.0 + 2.3 along the edge)
+  builder.Add(2, 4, 2.8, -1);            // p5 on n3-n5
+  builder.Add(1, 3, 2.5, -1);            // p6 on n2-n4
+  builder.Add(4, 5, 5.1, -1);            // p4 on n5-n6
+  Result<PointSet> points = std::move(builder).Build(net);
+  if (!points.ok()) {
+    std::fprintf(stderr, "points: %s\n", points.status().ToString().c_str());
+    return 1;
+  }
+  InMemoryNetworkView view(net, points.value());
+  std::printf("network: %u nodes, %zu edges, %u points\n\n", net.num_nodes(),
+              net.num_edges(), view.num_points());
+
+  // --- 3. Partitioning: k-medoids with k = 2.
+  KMedoidsOptions kopts;
+  kopts.k = 2;
+  kopts.seed = 3;
+  Result<KMedoidsResult> km = KMedoidsCluster(view, kopts);
+  if (!km.ok()) {
+    std::fprintf(stderr, "kmedoids: %s\n", km.status().ToString().c_str());
+    return 1;
+  }
+  PrintClustering("k-medoids", km.value().clustering);
+  std::printf("             medoids: p%u p%u, cost R=%.2f\n",
+              km.value().medoids[0], km.value().medoids[1], km.value().cost);
+
+  // --- 4. Density-based: ε-Link and DBSCAN with the same eps.
+  EpsLinkOptions eopts;
+  eopts.eps = 3.0;
+  Result<Clustering> el = EpsLinkCluster(view, eopts);
+  if (!el.ok()) return 1;
+  PrintClustering("eps-link", el.value());
+
+  DbscanOptions dopts;
+  dopts.eps = 3.0;
+  dopts.min_pts = 2;
+  Result<Clustering> db = DbscanCluster(view, dopts);
+  if (!db.ok()) return 1;
+  PrintClustering("dbscan", db.value());
+
+  // --- 5. Hierarchical: the full Single-Link dendrogram.
+  Result<SingleLinkResult> sl = SingleLinkCluster(view, SingleLinkOptions{});
+  if (!sl.ok()) return 1;
+  std::printf("\nsingle-link dendrogram (%zu merges):\n",
+              sl.value().dendrogram.merges().size());
+  for (const Merge& m : sl.value().dendrogram.merges()) {
+    std::printf("  merge p%u + p%u at distance %.2f\n", m.a, m.b, m.distance);
+  }
+  PrintClustering("\ncut@3.0", sl.value().dendrogram.CutAtDistance(3.0));
+  return 0;
+}

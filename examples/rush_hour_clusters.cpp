@@ -1,0 +1,60 @@
+// Section 6 scenario: time-dependent clusters. Edge weights model travel
+// time that swells during rush hour; snapshotting the network across the
+// day and clustering each snapshot yields time-parameterized clusters —
+// groups that are "close" at 3am fall apart at 8:30am when congestion
+// stretches the distances between them.
+#include <cstdio>
+
+#include "core/eps_link.h"
+#include "eval/evaluation.h"
+#include "ext/time_dependent.h"
+#include "gen/network_gen.h"
+#include "gen/workload_gen.h"
+
+using namespace netclus;
+
+int main() {
+  GeneratedNetwork city = GenerateRoadNetwork({2500, 1.3, 0.3, 88});
+  double total_length = 0.0;
+  for (const Edge& e : city.net.Edges()) total_length += e.weight;
+
+  // Delivery vans parked around 8 depots (free-flow travel times).
+  ClusterWorkloadSpec spec;
+  spec.total_points = 1600;
+  spec.num_clusters = 8;
+  spec.outlier_fraction = 0.02;
+  spec.s_init = 0.06 * total_length / (3.0 * 1568);
+  spec.seed = 9;
+  GeneratedWorkload fleet =
+      std::move(GenerateClusteredPoints(city.net, spec).value());
+  std::printf("city: %u nodes; fleet: %u vans around %u depots\n\n",
+              city.net.num_nodes(), fleet.points.size(), spec.num_clusters);
+
+  // Cluster by 15-minute reachability at various times of day. eps is
+  // calibrated at free flow; congestion (up to 3x) stretches distances.
+  TimeProfile traffic = RushHourProfile(3.0);
+  const double eps = 1.4 * fleet.max_intra_gap;
+  std::printf("eps = %.4f travel-time units (fixed across the day)\n\n", eps);
+  std::printf("%-8s%-14s%-12s%-10s\n", "time", "congestion", "clusters",
+              "unreached");
+  for (double t : {3.0, 6.5, 8.5, 12.0, 17.5, 21.0}) {
+    Network snapshot = std::move(SnapshotAt(city.net, traffic, t).value());
+    PointSet moved =
+        std::move(RescalePoints(city.net, snapshot, fleet.points).value());
+    InMemoryNetworkView view(snapshot, moved);
+    EpsLinkOptions opts;
+    opts.eps = eps;
+    opts.min_sup = 5;
+    Clustering c = std::move(EpsLinkCluster(view, opts).value());
+    ClusterSummary s = Summarize(c);
+    std::printf("%02d:%02d   x%-13.2f%-12d%-10u\n", static_cast<int>(t),
+                static_cast<int>(t * 60) % 60, traffic(t, 0, 0),
+                s.num_clusters, s.noise_points);
+  }
+  std::printf(
+      "\nAt night the whole fleet chains into a few large groups; at rush\n"
+      "hour congestion multiplies travel times and the clusters shatter\n"
+      "into the depot neighbourhoods (time-parameterized clusters, paper\n"
+      "Section 6).\n");
+  return 0;
+}

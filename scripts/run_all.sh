@@ -1,0 +1,16 @@
+#!/bin/sh
+# Builds everything, runs the test suite, and regenerates every paper
+# table/figure. Outputs land in test_output.txt and bench_output.txt at
+# the repository root.
+#
+# NETCLUS_BENCH_SCALE (default 0.1) selects the fraction of the paper's
+# published dataset sizes the harnesses run at.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

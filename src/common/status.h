@@ -1,0 +1,128 @@
+// Status and Result<T>: exception-free error handling for the netclus
+// library, in the style of RocksDB / Abseil.
+#ifndef NETCLUS_COMMON_STATUS_H_
+#define NETCLUS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace netclus {
+
+/// \brief Outcome of a fallible library operation.
+///
+/// Library code never throws; every operation that can fail returns a
+/// Status (or a Result<T> when it also produces a value). A Status is
+/// either OK or carries an error code plus a human-readable message.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfRange,
+    kIOError,
+    kCorruption,
+    kInternal,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  /// Renders e.g. "InvalidArgument: k must be positive".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(Code code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// \brief A Status or a value of type T.
+///
+/// Accessing value() on a non-OK result is a programming error (asserted in
+/// debug builds); callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success path).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status (error path).
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  /// Returns the value, or `fallback` when this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define NETCLUS_RETURN_IF_ERROR(expr)          \
+  do {                                         \
+    ::netclus::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace netclus
+
+#endif  // NETCLUS_COMMON_STATUS_H_

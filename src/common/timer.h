@@ -1,0 +1,32 @@
+// Wall-clock timing for benchmarks and experiment harnesses.
+#ifndef NETCLUS_COMMON_TIMER_H_
+#define NETCLUS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace netclus {
+
+/// \brief Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace netclus
+
+#endif  // NETCLUS_COMMON_TIMER_H_

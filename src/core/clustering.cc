@@ -1,0 +1,27 @@
+#include "core/clustering.h"
+
+#include <unordered_map>
+
+namespace netclus {
+
+void NormalizeClustering(Clustering* c, uint32_t min_size) {
+  std::unordered_map<int, uint32_t> counts;
+  for (int id : c->assignment) {
+    if (id != kNoise) ++counts[id];
+  }
+  std::unordered_map<int, int> remap;
+  int next = 0;
+  for (int& id : c->assignment) {
+    if (id == kNoise) continue;
+    if (counts[id] < min_size) {
+      id = kNoise;
+      continue;
+    }
+    auto [it, inserted] = remap.emplace(id, next);
+    if (inserted) ++next;
+    id = it->second;
+  }
+  c->num_clusters = next;
+}
+
+}  // namespace netclus

@@ -1,0 +1,28 @@
+// Common result types shared by all clustering algorithms.
+#ifndef NETCLUS_CORE_CLUSTERING_H_
+#define NETCLUS_CORE_CLUSTERING_H_
+
+#include <vector>
+
+#include "graph/types.h"
+
+namespace netclus {
+
+/// Cluster id of noise/outlier points.
+inline constexpr int kNoise = -1;
+
+/// \brief A flat clustering: one cluster id (or kNoise) per point.
+struct Clustering {
+  /// assignment[p] = cluster id in [0, num_clusters) or kNoise.
+  std::vector<int> assignment;
+  int num_clusters = 0;
+};
+
+/// Renumbers cluster ids to 0..m-1 in order of first appearance, drops
+/// clusters with fewer than `min_size` points to kNoise, and sets
+/// num_clusters. Useful after algorithms that produce sparse ids.
+void NormalizeClustering(Clustering* c, uint32_t min_size = 1);
+
+}  // namespace netclus
+
+#endif  // NETCLUS_CORE_CLUSTERING_H_

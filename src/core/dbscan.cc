@@ -1,0 +1,64 @@
+#include "core/dbscan.h"
+
+#include <deque>
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/network_distance.h"
+
+namespace netclus {
+
+Result<Clustering> DbscanCluster(const NetworkView& view,
+                                 const DbscanOptions& options) {
+  if (!(options.eps > 0.0)) {
+    return Status::InvalidArgument("eps must be positive");
+  }
+  if (options.min_pts == 0) {
+    return Status::InvalidArgument("min_pts must be positive");
+  }
+  const PointId n = view.num_points();
+  Clustering out;
+  out.assignment.assign(n, kNoise);
+  std::vector<bool> visited(n, false);  // a range query was issued for p
+  NodeScratch scratch(view.num_nodes());
+  std::vector<RangeResult> neighborhood;
+  int next_cluster = 0;
+
+  for (PointId p = 0; p < n; ++p) {
+    if (visited[p]) continue;
+    visited[p] = true;
+    RangeQuery(view, p, options.eps, &scratch, &neighborhood);
+    if (neighborhood.size() < options.min_pts) continue;  // noise (for now)
+
+    int cluster_id = next_cluster++;
+    out.assignment[p] = cluster_id;
+    std::deque<PointId> seeds;
+    for (const RangeResult& r : neighborhood) {
+      if (r.id != p) seeds.push_back(r.id);
+    }
+    while (!seeds.empty()) {
+      PointId q = seeds.front();
+      seeds.pop_front();
+      if (out.assignment[q] == kNoise) {
+        out.assignment[q] = cluster_id;  // border or not-yet-expanded point
+      } else if (out.assignment[q] != cluster_id) {
+        continue;  // already claimed by an earlier cluster (border point)
+      }
+      if (visited[q]) continue;
+      visited[q] = true;
+      RangeQuery(view, q, options.eps, &scratch, &neighborhood);
+      if (neighborhood.size() >= options.min_pts) {
+        // q is core: its whole neighborhood is density-reachable.
+        for (const RangeResult& r : neighborhood) {
+          if (out.assignment[r.id] == kNoise || !visited[r.id]) {
+            seeds.push_back(r.id);
+          }
+        }
+      }
+    }
+  }
+  NormalizeClustering(&out);
+  return out;
+}
+
+}  // namespace netclus

@@ -1,0 +1,33 @@
+// Network adaptation of DBSCAN (paper Section 4.3).
+//
+// The straightforward density-based baseline: an eps-range query (network
+// expansion) is issued for every point, and clusters are grown from core
+// points exactly as in the original DBSCAN. With MinPts = 2 it discovers
+// the same clusters as ε-Link, at a higher cost — the comparison the
+// paper's Table 2 reports.
+#ifndef NETCLUS_CORE_DBSCAN_H_
+#define NETCLUS_CORE_DBSCAN_H_
+
+#include "common/status.h"
+#include "core/clustering.h"
+#include "graph/network_view.h"
+
+namespace netclus {
+
+/// Options for DbscanCluster.
+struct DbscanOptions {
+  double eps = 1.0;
+  /// Minimum neighborhood size (the point itself counts, as in the
+  /// original DBSCAN) for a point to be a core point.
+  uint32_t min_pts = 2;
+};
+
+/// Runs network DBSCAN over all points. Border points join the first core
+/// point that reaches them (scan order: ascending point id); unreached
+/// points are noise.
+Result<Clustering> DbscanCluster(const NetworkView& view,
+                                 const DbscanOptions& options);
+
+}  // namespace netclus
+
+#endif  // NETCLUS_CORE_DBSCAN_H_

@@ -1,0 +1,88 @@
+#include "core/dendrogram.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "core/union_find.h"
+
+namespace netclus {
+
+namespace {
+Clustering LabelComponents(UnionFind* uf, PointId n, uint32_t min_size) {
+  Clustering out;
+  out.assignment.resize(n);
+  for (PointId p = 0; p < n; ++p) {
+    out.assignment[p] = static_cast<int>(uf->Find(p));
+  }
+  NormalizeClustering(&out, min_size);
+  return out;
+}
+}  // namespace
+
+Clustering Dendrogram::CutAtDistance(double threshold,
+                                     uint32_t min_size) const {
+  UnionFind uf(num_points_);
+  for (const Merge& m : merges_) {
+    if (m.distance <= threshold) uf.Union(m.a, m.b);
+  }
+  return LabelComponents(&uf, num_points_, min_size);
+}
+
+Clustering Dendrogram::CutAtCount(uint32_t k, uint32_t min_size) const {
+  std::vector<Merge> sorted = merges_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Merge& a, const Merge& b) {
+                     return a.distance < b.distance;
+                   });
+  UnionFind uf(num_points_);
+  for (const Merge& m : sorted) {
+    if (uf.num_sets() <= k) break;
+    uf.Union(m.a, m.b);
+  }
+  return LabelComponents(&uf, num_points_, min_size);
+}
+
+Clustering Dendrogram::CutAtLargeClusterCount(uint32_t k,
+                                              uint32_t min_size) const {
+  std::vector<Merge> sorted = merges_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Merge& a, const Merge& b) {
+                     return a.distance < b.distance;
+                   });
+  auto is_large = [&](uint32_t size) { return size >= min_size; };
+  // The large-cluster count grows while small clusters assemble and
+  // shrinks when large ones merge, so it is not monotone. Pass 1 records
+  // the count after each prefix of merges ("state" s_j = first j merges
+  // applied); the cut is the LATEST state whose count equals
+  // min(k, maximum count ever reached) — i.e. the most-assembled level
+  // with (at most) k large clusters.
+  std::vector<uint32_t> count_at;  // count_at[j] = large clusters in s_j
+  {
+    UnionFind uf(num_points_);
+    uint32_t large = min_size <= 1 ? num_points_ : 0;
+    count_at.push_back(large);
+    for (const Merge& m : sorted) {
+      uint32_t ra = uf.Find(m.a), rb = uf.Find(m.b);
+      if (ra != rb) {
+        uint32_t sa = uf.SizeOf(ra), sb = uf.SizeOf(rb);
+        uf.Union(ra, rb);
+        large += (is_large(sa + sb) ? 1 : 0) - (is_large(sa) ? 1 : 0) -
+                 (is_large(sb) ? 1 : 0);
+      }
+      count_at.push_back(large);
+    }
+  }
+  uint32_t target = std::min<uint32_t>(
+      k, *std::max_element(count_at.begin(), count_at.end()));
+  size_t apply = 0;
+  for (size_t j = 0; j < count_at.size(); ++j) {
+    if (count_at[j] == target) apply = j;
+  }
+  UnionFind uf(num_points_);
+  for (size_t i = 0; i < apply; ++i) {
+    uf.Union(sorted[i].a, sorted[i].b);
+  }
+  return LabelComponents(&uf, num_points_, min_size);
+}
+
+}  // namespace netclus

@@ -1,0 +1,58 @@
+// Dendrogram: the merge history produced by hierarchical clustering.
+#ifndef NETCLUS_CORE_DENDROGRAM_H_
+#define NETCLUS_CORE_DENDROGRAM_H_
+
+#include <vector>
+
+#include "core/clustering.h"
+#include "graph/types.h"
+
+namespace netclus {
+
+/// One agglomerative merge: the clusters containing points `a` and `b`
+/// were joined at the given (single-link) distance.
+struct Merge {
+  PointId a = kInvalidPointId;
+  PointId b = kInvalidPointId;
+  double distance = 0.0;
+};
+
+/// \brief Merge history over `num_points` initial singleton clusters.
+///
+/// Merges recorded by Single-Link are nondecreasing in distance, except
+/// that δ-heuristic pre-merges (all with distance <= δ) come first in
+/// arbitrary order; flat cuts account for this by scanning all merges.
+class Dendrogram {
+ public:
+  explicit Dendrogram(PointId num_points) : num_points_(num_points) {}
+
+  void AddMerge(PointId a, PointId b, double distance) {
+    merges_.push_back(Merge{a, b, distance});
+  }
+
+  PointId num_points() const { return num_points_; }
+  const std::vector<Merge>& merges() const { return merges_; }
+
+  /// Flat clustering obtained by applying every merge with distance <=
+  /// `threshold`; components smaller than `min_size` become noise.
+  /// Exactly the paper's remark: cutting at eps reproduces ε-Link.
+  Clustering CutAtDistance(double threshold, uint32_t min_size = 1) const;
+
+  /// Flat clustering with (at least) `k` clusters: merges are applied in
+  /// ascending distance order until k components remain.
+  Clustering CutAtCount(uint32_t k, uint32_t min_size = 1) const;
+
+  /// Flat clustering at the shallowest level where at most `k` clusters
+  /// of size >= `min_size` remain. Unlike CutAtCount, outlier singletons
+  /// do not inflate the count — this is the "6 large clusters" reading of
+  /// the paper's Fig. 11f.
+  Clustering CutAtLargeClusterCount(uint32_t k, uint32_t min_size) const;
+
+ private:
+  PointId num_points_;
+  std::vector<Merge> merges_;
+};
+
+}  // namespace netclus
+
+#endif  // NETCLUS_CORE_DENDROGRAM_H_

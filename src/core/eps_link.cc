@@ -1,0 +1,147 @@
+#include "core/eps_link.h"
+
+#include <queue>
+#include <vector>
+
+#include "graph/dijkstra.h"
+
+namespace netclus {
+
+namespace {
+
+struct QEntry {
+  double dist;
+  NodeId node;
+  bool operator>(const QEntry& other) const { return dist > other.dist; }
+};
+using MinHeap = std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>>;
+
+// Grows one cluster at a time with the Fig. 6 expansion. The per-node
+// cluster distances (NNdist) live in an epoch-reset NodeScratch so a run
+// over many clusters never pays O(|V|) re-initialization.
+class EpsLinkRunner {
+ public:
+  EpsLinkRunner(const NetworkView& view, double eps, Clustering* out)
+      : view_(view), eps_(eps), out_(out), nndist_(view.num_nodes()) {}
+
+  void GrowCluster(PointId seed, int cluster_id) {
+    nndist_.NewEpoch();
+    MinHeap q;
+    Assign(seed, cluster_id);
+
+    // Initialization: chain along the seed's edge in both directions and
+    // enqueue the endpoints that end up within eps of the cluster.
+    PointPos pos = view_.PointPosition(seed);
+    double w = view_.EdgeWeight(pos.u, pos.v);
+    view_.GetEdgePoints(pos.u, pos.v, &pts_);
+    size_t idx = 0;
+    while (idx < pts_.size() && pts_[idx].id != seed) ++idx;
+    // Toward u (descending offsets).
+    double last_off = pos.offset;
+    for (size_t j = idx; j-- > 0;) {
+      if (Clustered(pts_[j].id) || last_off - pts_[j].offset > eps_) break;
+      Assign(pts_[j].id, cluster_id);
+      last_off = pts_[j].offset;
+    }
+    MaybeEnqueue(&q, pos.u, last_off);
+    // Toward v (ascending offsets).
+    last_off = pos.offset;
+    for (size_t j = idx + 1; j < pts_.size(); ++j) {
+      if (Clustered(pts_[j].id) || pts_[j].offset - last_off > eps_) break;
+      Assign(pts_[j].id, cluster_id);
+      last_off = pts_[j].offset;
+    }
+    MaybeEnqueue(&q, pos.v, w - last_off);
+
+    // Expansion: node distances shrink as points join the cluster; a node
+    // is re-expanded whenever it is popped with an improved distance.
+    while (!q.empty()) {
+      QEntry b = q.top();
+      q.pop();
+      if (b.dist >= nndist_.Get(b.node)) continue;
+      nndist_.Set(b.node, b.dist);
+      view_.ForEachNeighbor(b.node, [&](NodeId nz, double we) {
+        TraverseEdge(&q, b, nz, we, cluster_id);
+      });
+    }
+  }
+
+  bool Clustered(PointId p) const { return out_->assignment[p] != kNoise; }
+
+ private:
+  void Assign(PointId p, int cluster_id) {
+    out_->assignment[p] = cluster_id;
+  }
+
+  void MaybeEnqueue(MinHeap* q, NodeId n, double dist) {
+    if (dist <= eps_ && dist < nndist_.Get(n)) {
+      q->push(QEntry{dist, n});
+    }
+  }
+
+  // Visits edge (b.node, nz): clusters reachable points on it and
+  // re-enqueues whichever endpoints got closer to the cluster.
+  void TraverseEdge(MinHeap* q, const QEntry& b, NodeId nz, double we,
+                    int cluster_id) {
+    view_.GetEdgePoints(b.node, nz, &pts_);
+    double newd_b = kInfDist;   // new distance from b.node to the cluster
+    double newd_nz = kInfDist;  // new distance from nz to the cluster
+    if (pts_.empty()) {
+      newd_nz = b.dist + we;
+    } else {
+      // Offsets are stored from the canonical (smaller-id) endpoint;
+      // traverse from the b.node side.
+      bool forward = b.node < nz;
+      auto off_from_b = [&](size_t j) {
+        const EdgePoint& ep = forward ? pts_[j] : pts_[pts_.size() - 1 - j];
+        return forward ? ep.offset : we - ep.offset;
+      };
+      auto point_at = [&](size_t j) {
+        return (forward ? pts_[j] : pts_[pts_.size() - 1 - j]).id;
+      };
+      size_t n = pts_.size();
+      if (!Clustered(point_at(0)) && off_from_b(0) + b.dist <= eps_) {
+        newd_b = off_from_b(0);
+        Assign(point_at(0), cluster_id);
+        double last = off_from_b(0);
+        newd_nz = we - last;
+        for (size_t j = 1; j < n; ++j) {
+          if (Clustered(point_at(j)) || off_from_b(j) - last > eps_) break;
+          Assign(point_at(j), cluster_id);
+          last = off_from_b(j);
+          newd_nz = we - last;
+        }
+      }
+      MaybeEnqueue(q, b.node, newd_b);
+    }
+    MaybeEnqueue(q, nz, newd_nz);
+  }
+
+  const NetworkView& view_;
+  double eps_;
+  Clustering* out_;
+  NodeScratch nndist_;
+  std::vector<EdgePoint> pts_;
+};
+
+}  // namespace
+
+Result<Clustering> EpsLinkCluster(const NetworkView& view,
+                                  const EpsLinkOptions& options) {
+  if (!(options.eps > 0.0)) {
+    return Status::InvalidArgument("eps must be positive");
+  }
+  Clustering out;
+  out.assignment.assign(view.num_points(), kNoise);
+  EpsLinkRunner runner(view, options.eps, &out);
+  int next_cluster = 0;
+  for (PointId m = 0; m < view.num_points(); ++m) {
+    if (!runner.Clustered(m)) {
+      runner.GrowCluster(m, next_cluster++);
+    }
+  }
+  NormalizeClustering(&out, options.min_sup);
+  return out;
+}
+
+}  // namespace netclus

@@ -1,0 +1,92 @@
+#include "core/hierarchy_variants.h"
+
+#include <algorithm>
+
+#include "graph/dijkstra.h"
+
+namespace netclus {
+
+Result<Dendrogram> MatrixHierarchical(
+    const std::vector<std::vector<double>>& pd, Linkage linkage) {
+  const size_t n = pd.size();
+  for (const auto& row : pd) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("distance matrix must be square");
+    }
+  }
+  Dendrogram dendro(static_cast<PointId>(n));
+  if (n < 2) return dendro;
+
+  std::vector<std::vector<double>> d = pd;  // working matrix
+  std::vector<bool> active(n, true);
+  std::vector<uint32_t> size(n, 1);
+  // Nearest active neighbor cache per cluster.
+  std::vector<double> nn_dist(n, kInfDist);
+  std::vector<size_t> nn_idx(n, SIZE_MAX);
+  auto recompute_nn = [&](size_t i) {
+    nn_dist[i] = kInfDist;
+    nn_idx[i] = SIZE_MAX;
+    for (size_t k = 0; k < n; ++k) {
+      if (k != i && active[k] && d[i][k] < nn_dist[i]) {
+        nn_dist[i] = d[i][k];
+        nn_idx[i] = k;
+      }
+    }
+  };
+  for (size_t i = 0; i < n; ++i) recompute_nn(i);
+
+  for (size_t step = 0; step + 1 < n; ++step) {
+    // Global closest pair.
+    size_t best = SIZE_MAX;
+    double best_dist = kInfDist;
+    for (size_t i = 0; i < n; ++i) {
+      if (active[i] && nn_dist[i] < best_dist) {
+        best_dist = nn_dist[i];
+        best = i;
+      }
+    }
+    if (best == SIZE_MAX) break;  // only unreachable pairs remain
+    size_t i = best, j = nn_idx[best];
+    dendro.AddMerge(static_cast<PointId>(i), static_cast<PointId>(j),
+                    best_dist);
+    // Lance–Williams update into slot i; j dies.
+    for (size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == i || k == j) continue;
+      double dik = d[i][k], djk = d[j][k];
+      double merged = kInfDist;
+      switch (linkage) {
+        case Linkage::kSingle:
+          merged = std::min(dik, djk);
+          break;
+        case Linkage::kComplete:
+          merged = std::max(dik, djk);
+          break;
+        case Linkage::kAverage:
+          if (dik == kInfDist || djk == kInfDist) {
+            merged = kInfDist;
+          } else {
+            merged = (size[i] * dik + size[j] * djk) / (size[i] + size[j]);
+          }
+          break;
+      }
+      d[i][k] = d[k][i] = merged;
+    }
+    active[j] = false;
+    size[i] += size[j];
+    recompute_nn(i);
+    // Any cluster whose nearest neighbor involved i or j, or got closer
+    // to the merged cluster, needs a refresh.
+    for (size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == i) continue;
+      if (nn_idx[k] == i || nn_idx[k] == j) {
+        recompute_nn(k);
+      } else if (d[k][i] < nn_dist[k]) {
+        nn_dist[k] = d[k][i];
+        nn_idx[k] = i;
+      }
+    }
+  }
+  return dendro;
+}
+
+}  // namespace netclus

@@ -1,0 +1,37 @@
+// Hierarchical clustering variants beyond single-link (paper Sections 2
+// and 7).
+//
+// The paper's Single-Link exploits that the single-link cluster distance
+// is realized along network paths; complete-link and average-link (the
+// "distances between multiple points from the merged clusters" direction
+// of Section 7) have no such locality and need the full distance matrix.
+// These Lance–Williams implementations provide them as exact references:
+// usable on moderate N, and the baseline a future network-aware variant
+// would be validated against.
+#ifndef NETCLUS_CORE_HIERARCHY_VARIANTS_H_
+#define NETCLUS_CORE_HIERARCHY_VARIANTS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/dendrogram.h"
+
+namespace netclus {
+
+/// Cluster-distance update rule for agglomerative merging.
+enum class Linkage {
+  kSingle,    // min pairwise distance
+  kComplete,  // max pairwise distance
+  kAverage,   // unweighted average pairwise distance (UPGMA)
+};
+
+/// Exact agglomerative clustering over a full point-distance matrix
+/// (O(N^2) memory, O(N^2 log N) time via Lance–Williams updates).
+/// `pd` must be square and symmetric; infinite entries mean unreachable
+/// (such pairs never merge).
+Result<Dendrogram> MatrixHierarchical(
+    const std::vector<std::vector<double>>& pd, Linkage linkage);
+
+}  // namespace netclus
+
+#endif  // NETCLUS_CORE_HIERARCHY_VARIANTS_H_

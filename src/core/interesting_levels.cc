@@ -1,0 +1,42 @@
+#include "core/interesting_levels.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace netclus {
+
+std::vector<InterestingLevel> DetectInterestingLevels(
+    const Dendrogram& dendrogram, const InterestingLevelOptions& options) {
+  std::vector<double> dists;
+  dists.reserve(dendrogram.merges().size());
+  for (const Merge& m : dendrogram.merges()) dists.push_back(m.distance);
+  std::sort(dists.begin(), dists.end());
+
+  std::vector<InterestingLevel> levels;
+  SlidingWindowMean window(std::max<size_t>(1, options.window));
+  for (size_t i = 1; i < dists.size(); ++i) {
+    double diff = dists[i] - dists[i - 1];
+    if (window.full()) {
+      double avg = window.mean();
+      if (diff > options.min_difference &&
+          diff > options.min_relative * dists[i - 1] &&
+          diff > options.factor * avg) {
+        InterestingLevel level;
+        level.merge_index = i;
+        level.distance_before = dists[i - 1];
+        level.distance_after = dists[i];
+        // Each recorded merge reduces the cluster count by one; after the
+        // first i merges, num_points - i clusters remain.
+        level.clusters_remaining =
+            static_cast<uint32_t>(dendrogram.num_points() - i);
+        level.jump_ratio = avg > 0.0 ? diff / avg : 0.0;
+        levels.push_back(level);
+      }
+    }
+    window.Add(diff);
+  }
+  return levels;
+}
+
+}  // namespace netclus

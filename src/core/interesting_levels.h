@@ -1,0 +1,51 @@
+// Automatic discovery of interesting clustering levels (paper Section 5.3).
+//
+// While Single-Link merges, sharp jumps in the merge-distance sequence
+// mark natural clusterings (e.g. the moment the generated clusters have
+// all been found). The detector keeps the average of the last K merge
+// distance differences and flags a merge whose difference exceeds that
+// average by a factor.
+#ifndef NETCLUS_CORE_INTERESTING_LEVELS_H_
+#define NETCLUS_CORE_INTERESTING_LEVELS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dendrogram.h"
+
+namespace netclus {
+
+/// One detected level: cutting just below `distance_after` (i.e. at
+/// `distance_before`) yields `clusters_remaining` clusters.
+struct InterestingLevel {
+  size_t merge_index = 0;        ///< index (in ascending-distance order)
+  double distance_before = 0.0;  ///< distance of the last "normal" merge
+  double distance_after = 0.0;   ///< distance of the jumping merge
+  uint32_t clusters_remaining = 0;
+  double jump_ratio = 0.0;       ///< difference / windowed average
+};
+
+/// Detector parameters.
+struct InterestingLevelOptions {
+  size_t window = 10;   ///< K: differences averaged
+  double factor = 5.0;  ///< flag when difference > factor * average
+  /// Ignore jumps below this absolute difference (filters float noise in
+  /// flat regions of the merge curve).
+  double min_difference = 1e-12;
+  /// Ignore jumps smaller than this fraction of the current merge
+  /// distance: in a dense region of thousands of near-equal merges the
+  /// windowed average of differences is tiny, and a microscopic
+  /// difference would otherwise register as a "jump". A real clustering
+  /// level raises the merge distance by a visible fraction.
+  double min_relative = 0.05;
+};
+
+/// Scans the dendrogram's merges in ascending distance order and returns
+/// every flagged level, shallowest first. Multiple resolutions (e.g.
+/// dense sub-clusters inside sparse ones) yield multiple levels.
+std::vector<InterestingLevel> DetectInterestingLevels(
+    const Dendrogram& dendrogram, const InterestingLevelOptions& options);
+
+}  // namespace netclus
+
+#endif  // NETCLUS_CORE_INTERESTING_LEVELS_H_

@@ -1,0 +1,320 @@
+#include "core/kmedoids.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "graph/dijkstra.h"
+
+namespace netclus {
+
+namespace {
+
+struct QEntry {
+  double dist;
+  NodeId node;
+  int med;
+  bool operator>(const QEntry& other) const { return dist > other.dist; }
+};
+using MedHeap = std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>>;
+
+// Shared machinery of Medoid_Dist_Find / Inc_Medoid_Update and the
+// point-assignment scan, with O(|V|) rollback snapshots for rejected swaps.
+class KMedoidsEngine {
+ public:
+  explicit KMedoidsEngine(const NetworkView& view)
+      : view_(view),
+        node_med_(view.num_nodes(), -1),
+        node_dist_(view.num_nodes(), kInfDist) {}
+
+  void SetMedoids(std::vector<PointId> medoids) {
+    medoids_ = std::move(medoids);
+    RefreshMedoidGeometry();
+  }
+  const std::vector<PointId>& medoids() const { return medoids_; }
+  bool IsMedoid(PointId p) const { return medoid_set_.count(p) > 0; }
+
+  /// Paper Fig. 4: concurrent Dijkstra from all medoids; every node ends
+  /// up tagged with its nearest medoid and distance.
+  void MedoidDistFind() {
+    std::fill(node_med_.begin(), node_med_.end(), -1);
+    std::fill(node_dist_.begin(), node_dist_.end(), kInfDist);
+    MedHeap q;
+    EnqueueMedoidSeeds(&q);
+    ConcurrentExpansion(&q, /*allow_improve=*/false);
+  }
+
+  /// Paper Fig. 5: repair node tags after medoid slot `med_idx` changed
+  /// its point (medoids_[med_idx] must already hold the new point).
+  void IncMedoidUpdate(int med_idx) {
+    // Unassign the replaced medoid's nodes first, then seed the frontier
+    // from their neighbors that belong to surviving medoids.
+    std::vector<NodeId> orphans;
+    for (NodeId n = 0; n < view_.num_nodes(); ++n) {
+      if (node_med_[n] == med_idx) {
+        node_med_[n] = -1;
+        node_dist_[n] = kInfDist;
+        orphans.push_back(n);
+      }
+    }
+    MedHeap q;
+    for (NodeId n : orphans) {
+      view_.ForEachNeighbor(n, [&](NodeId z, double w) {
+        if (node_med_[z] >= 0) {
+          q.push(QEntry{node_dist_[z] + w, n, node_med_[z]});
+        }
+      });
+    }
+    // Seed the new medoid's edge endpoints.
+    const PointPos& pos = medoid_pos_[med_idx];
+    double w = medoid_edge_w_[med_idx];
+    q.push(QEntry{pos.offset, pos.u, med_idx});
+    q.push(QEntry{w - pos.offset, pos.v, med_idx});
+    ConcurrentExpansion(&q, /*allow_improve=*/true);
+  }
+
+  /// Equation (1): assigns every point to its nearest medoid via either
+  /// endpoint of its edge or directly along the edge; returns the
+  /// evaluation function R.
+  double AssignPoints(std::vector<int>* assignment) {
+    assignment->assign(view_.num_points(), kNoise);
+    double cost = 0.0;
+    std::vector<EdgePoint> pts;
+    view_.ForEachPointGroup([&](NodeId u, NodeId v, PointId first,
+                                uint32_t count) {
+      (void)first;
+      (void)count;
+      double w = view_.EdgeWeight(u, v);
+      double du = node_dist_[u], dv = node_dist_[v];
+      int mu = node_med_[u], mv = node_med_[v];
+      auto it = edge_medoids_.find(EdgeKeyOf(u, v));
+      view_.GetEdgePoints(u, v, &pts);
+      for (const EdgePoint& ep : pts) {
+        double best = kInfDist;
+        int best_med = kNoise;
+        if (mu >= 0 && du + ep.offset < best) {
+          best = du + ep.offset;
+          best_med = mu;
+        }
+        if (mv >= 0 && dv + (w - ep.offset) < best) {
+          best = dv + (w - ep.offset);
+          best_med = mv;
+        }
+        if (it != edge_medoids_.end()) {
+          for (const auto& [mi, moff] : it->second) {
+            double d = ep.offset > moff ? ep.offset - moff : moff - ep.offset;
+            if (d < best) {
+              best = d;
+              best_med = mi;
+            }
+          }
+        }
+        (*assignment)[ep.id] = best_med;
+        if (best_med != kNoise) cost += best;
+      }
+    });
+    return cost;
+  }
+
+  // Swap bookkeeping: snapshot before a tentative swap, restore on reject.
+  void Snapshot() {
+    snap_med_ = node_med_;
+    snap_dist_ = node_dist_;
+    snap_medoids_ = medoids_;
+  }
+  void Rollback() {
+    node_med_ = snap_med_;
+    node_dist_ = snap_dist_;
+    medoids_ = snap_medoids_;
+    RefreshMedoidGeometry();
+  }
+
+  void ReplaceMedoid(int med_idx, PointId p) {
+    medoids_[med_idx] = p;
+    RefreshMedoidGeometry();
+  }
+
+ private:
+  void RefreshMedoidGeometry() {
+    size_t k = medoids_.size();
+    medoid_pos_.resize(k);
+    medoid_edge_w_.resize(k);
+    edge_medoids_.clear();
+    medoid_set_.clear();
+    for (size_t i = 0; i < k; ++i) {
+      medoid_pos_[i] = view_.PointPosition(medoids_[i]);
+      medoid_edge_w_[i] = view_.EdgeWeight(medoid_pos_[i].u, medoid_pos_[i].v);
+      edge_medoids_[EdgeKeyOf(medoid_pos_[i].u, medoid_pos_[i].v)]
+          .emplace_back(static_cast<int>(i), medoid_pos_[i].offset);
+      medoid_set_.insert(medoids_[i]);
+    }
+  }
+
+  void EnqueueMedoidSeeds(MedHeap* q) {
+    for (size_t i = 0; i < medoids_.size(); ++i) {
+      const PointPos& pos = medoid_pos_[i];
+      double w = medoid_edge_w_[i];
+      q->push(QEntry{pos.offset, pos.u, static_cast<int>(i)});
+      q->push(QEntry{w - pos.offset, pos.v, static_cast<int>(i)});
+    }
+  }
+
+  // Fig. 4's Concurrent_Expansion; with `allow_improve` it also accepts
+  // strictly closer re-assignments (the Fig. 5 variant).
+  void ConcurrentExpansion(MedHeap* q, bool allow_improve) {
+    while (!q->empty()) {
+      QEntry b = q->top();
+      q->pop();
+      bool take = node_med_[b.node] < 0 ||
+                  (allow_improve && b.dist < node_dist_[b.node]);
+      if (!take) continue;
+      node_med_[b.node] = b.med;
+      node_dist_[b.node] = b.dist;
+      view_.ForEachNeighbor(b.node, [&](NodeId z, double w) {
+        double nd = b.dist + w;
+        if (node_med_[z] < 0 || (allow_improve && nd < node_dist_[z])) {
+          q->push(QEntry{nd, z, b.med});
+        }
+      });
+    }
+  }
+
+  const NetworkView& view_;
+  std::vector<PointId> medoids_;
+  std::vector<int> node_med_;        // nearest medoid index per node
+  std::vector<double> node_dist_;    // distance to it
+  std::vector<PointPos> medoid_pos_;
+  std::vector<double> medoid_edge_w_;
+  std::unordered_map<uint64_t, std::vector<std::pair<int, double>>>
+      edge_medoids_;
+  std::unordered_set<PointId> medoid_set_;
+  std::vector<int> snap_med_;
+  std::vector<double> snap_dist_;
+  std::vector<PointId> snap_medoids_;
+};
+
+Result<KMedoidsResult> RunOnce(const NetworkView& view,
+                               const KMedoidsOptions& options,
+                               std::vector<PointId> initial, Rng* rng) {
+  uint32_t k = static_cast<uint32_t>(initial.size());
+  WallTimer total_timer;
+  KMedoidsEngine engine(view);
+  engine.SetMedoids(std::move(initial));
+
+  KMedoidsResult result;
+  WallTimer timer;
+  engine.MedoidDistFind();
+  std::vector<int> assignment;
+  double cost = engine.AssignPoints(&assignment);
+  result.stats.first_iteration_seconds = timer.ElapsedSeconds();
+
+  uint32_t unsuccessful = 0;
+  double swap_seconds_sum = 0.0;
+  std::vector<int> tentative;
+  // With k == N every point is a medoid and no swap candidate exists.
+  while (k < view.num_points() &&
+         unsuccessful < options.max_unsuccessful_swaps &&
+         result.stats.attempted_swaps < options.max_swaps) {
+    ++result.stats.attempted_swaps;
+    int med_idx = static_cast<int>(rng->NextBounded(k));
+    PointId candidate;
+    do {
+      candidate = static_cast<PointId>(rng->NextBounded(view.num_points()));
+    } while (engine.IsMedoid(candidate));
+
+    timer.Restart();
+    engine.Snapshot();
+    engine.ReplaceMedoid(med_idx, candidate);
+    if (options.incremental_updates) {
+      engine.IncMedoidUpdate(med_idx);
+    } else {
+      engine.MedoidDistFind();
+    }
+    double new_cost = engine.AssignPoints(&tentative);
+    swap_seconds_sum += timer.ElapsedSeconds();
+
+    if (new_cost < cost) {
+      cost = new_cost;
+      assignment.swap(tentative);
+      unsuccessful = 0;
+      ++result.stats.committed_swaps;
+    } else {
+      engine.Rollback();
+      ++unsuccessful;
+    }
+  }
+  if (result.stats.attempted_swaps > 0) {
+    result.stats.avg_swap_seconds =
+        swap_seconds_sum / result.stats.attempted_swaps;
+  }
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  result.cost = cost;
+  result.medoids = engine.medoids();
+  result.clustering.assignment = std::move(assignment);
+  result.clustering.num_clusters = static_cast<int>(k);
+  return result;
+}
+
+}  // namespace
+
+Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
+                                       const KMedoidsOptions& options) {
+  if (options.k == 0 || options.k > view.num_points()) {
+    return Status::InvalidArgument("k must be in [1, N]");
+  }
+  Rng rng(options.seed);
+  Result<KMedoidsResult> best = Status::Internal("no restart ran");
+  uint32_t restarts = std::max<uint32_t>(1, options.num_restarts);
+  for (uint32_t r = 0; r < restarts; ++r) {
+    std::vector<uint64_t> sample =
+        rng.SampleWithoutReplacement(view.num_points(), options.k);
+    std::vector<PointId> initial(sample.begin(), sample.end());
+    Result<KMedoidsResult> run = RunOnce(view, options, initial, &rng);
+    if (!run.ok()) return run;
+    if (!best.ok() || run.value().cost < best.value().cost) {
+      // Accumulate stats across restarts on the winning run.
+      if (best.ok()) {
+        run.value().stats.total_seconds += best.value().stats.total_seconds;
+      }
+      best = std::move(run);
+    } else {
+      best.value().stats.total_seconds += run.value().stats.total_seconds;
+    }
+  }
+  return best;
+}
+
+Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
+                                       const KMedoidsOptions& options,
+                                       const std::vector<PointId>& initial) {
+  if (initial.empty() || initial.size() > view.num_points()) {
+    return Status::InvalidArgument("initial medoid set size must be in [1, N]");
+  }
+  for (PointId p : initial) {
+    if (p >= view.num_points()) {
+      return Status::InvalidArgument("initial medoid id out of range");
+    }
+  }
+  Rng rng(options.seed);
+  return RunOnce(view, options, initial, &rng);
+}
+
+Result<KMedoidsResult> AssignToMedoids(const NetworkView& view,
+                                       const std::vector<PointId>& medoids) {
+  if (medoids.empty()) {
+    return Status::InvalidArgument("medoid set must be non-empty");
+  }
+  KMedoidsEngine engine(view);
+  engine.SetMedoids(medoids);
+  engine.MedoidDistFind();
+  KMedoidsResult result;
+  result.cost = engine.AssignPoints(&result.clustering.assignment);
+  result.medoids = medoids;
+  result.clustering.num_clusters = static_cast<int>(medoids.size());
+  return result;
+}
+
+}  // namespace netclus

@@ -1,0 +1,82 @@
+// Partitioning-based clustering on a spatial network (paper Section 4.2).
+//
+// A k-medoids search: k random points serve as medoids, every point is
+// assigned to its nearest medoid by network distance, and random
+// medoid/point swaps are committed whenever they reduce the evaluation
+// function R = sum over points of d(p, medoid(p)).
+//
+// The two traversal routines of the paper are both implemented:
+//  * Medoid_Dist_Find (Fig. 4): one concurrent multi-source Dijkstra tags
+//    every network node with its nearest medoid and distance.
+//  * Inc_Medoid_Update (Fig. 5): after one medoid is swapped, only the
+//    affected region is repaired (the replaced medoid's nodes are
+//    unassigned and re-conquered from the boundary and the new medoid).
+// Point assignment then follows Equation (1): a point's nearest medoid is
+// reachable via either endpoint of its edge, or lies on the same edge.
+#ifndef NETCLUS_CORE_KMEDOIDS_H_
+#define NETCLUS_CORE_KMEDOIDS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/clustering.h"
+#include "graph/network_view.h"
+
+namespace netclus {
+
+/// Options for KMedoidsCluster.
+struct KMedoidsOptions {
+  uint32_t k = 10;
+  /// Consecutive rejected swaps before declaring a local optimum (the
+  /// paper allows 15).
+  uint32_t max_unsuccessful_swaps = 15;
+  /// Safety cap on total attempted swaps.
+  uint32_t max_swaps = 10000;
+  /// Use Inc_Medoid_Update (true) or rerun Medoid_Dist_Find from scratch
+  /// after every swap (false) — the ablation of Fig. 12 / Table 1.
+  bool incremental_updates = true;
+  /// Random restarts; the best local optimum wins.
+  uint32_t num_restarts = 1;
+  uint64_t seed = 1;
+};
+
+/// Timing/convergence statistics of one run (Table 1's columns).
+struct KMedoidsStats {
+  /// Committed improving swaps (excluding the initial assignment).
+  uint32_t committed_swaps = 0;
+  uint32_t attempted_swaps = 0;
+  /// Wall time of the initial full assignment ("first iteration").
+  double first_iteration_seconds = 0.0;
+  /// Mean wall time of one subsequent swap evaluation ("next ones").
+  double avg_swap_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// Result of KMedoidsCluster.
+struct KMedoidsResult {
+  Clustering clustering;            ///< assignment[p] = medoid index
+  std::vector<PointId> medoids;     ///< point id of each medoid
+  double cost = 0.0;                ///< final evaluation function R
+  KMedoidsStats stats;
+};
+
+/// Runs k-medoids with random initial medoids.
+Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
+                                       const KMedoidsOptions& options);
+
+/// Runs k-medoids from the given initial medoids (e.g. the generated
+/// cluster seeds — the "ideal" seeding of Fig. 11b). `options.k` is
+/// ignored; `options.num_restarts` is treated as 1.
+Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
+                                       const KMedoidsOptions& options,
+                                       const std::vector<PointId>& initial);
+
+/// Evaluates R for an arbitrary medoid set (no search), assigning every
+/// point to its nearest medoid. Exposed for tests and for the evaluation
+/// module.
+Result<KMedoidsResult> AssignToMedoids(const NetworkView& view,
+                                       const std::vector<PointId>& medoids);
+
+}  // namespace netclus
+
+#endif  // NETCLUS_CORE_KMEDOIDS_H_

@@ -1,0 +1,43 @@
+// Data-driven parameter suggestions (paper Sections 4.3.2 and 4.4.2).
+//
+// "An appropriate value for ε may be hard to determine a priori. A
+// possible way ... is to use a value determined by the user's experience,
+// or by sampling on the network edges." Likewise δ for Single-Link's
+// pre-merge phase "can be chosen by sampling on the dense edges of the
+// network". These helpers implement both samplings.
+#ifndef NETCLUS_CORE_PARAMETER_SELECTION_H_
+#define NETCLUS_CORE_PARAMETER_SELECTION_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "graph/network_view.h"
+
+namespace netclus {
+
+/// Options for SuggestEps.
+struct EpsSuggestionOptions {
+  /// Points sampled for nearest-neighbor distance measurement.
+  uint32_t sample_size = 200;
+  /// Quantile of the sampled NN distances taken as the base (robust
+  /// against outliers, which have huge NN distances).
+  double quantile = 0.9;
+  /// Multiplier on the quantile; > 1 keeps chains connected across the
+  /// sampled spread.
+  double slack = 1.5;
+  uint64_t seed = 1;
+};
+
+/// Suggests an eps for the density methods by sampling nearest-neighbor
+/// network distances. Fails when the point set has fewer than 2 points.
+Result<double> SuggestEps(const NetworkView& view,
+                          const EpsSuggestionOptions& options);
+
+/// Suggests a delta for Single-Link's scalability heuristic: the given
+/// quantile of the consecutive same-edge point gaps (the "dense edge"
+/// spacing). Fails when no edge holds two points.
+Result<double> SuggestDelta(const NetworkView& view, double quantile);
+
+}  // namespace netclus
+
+#endif  // NETCLUS_CORE_PARAMETER_SELECTION_H_

@@ -1,0 +1,92 @@
+#include "eval/evaluation.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace netclus {
+
+ClusterSummary Summarize(const Clustering& clustering) {
+  ClusterSummary s;
+  s.num_points = static_cast<PointId>(clustering.assignment.size());
+  std::unordered_map<int, PointId> sizes;
+  for (int id : clustering.assignment) {
+    if (id == kNoise) {
+      ++s.noise_points;
+    } else {
+      ++sizes[id];
+    }
+  }
+  s.num_clusters = static_cast<int>(sizes.size());
+  s.smallest_cluster = std::numeric_limits<PointId>::max();
+  for (const auto& [id, size] : sizes) {
+    s.largest_cluster = std::max(s.largest_cluster, size);
+    s.smallest_cluster = std::min(s.smallest_cluster, size);
+  }
+  if (sizes.empty()) s.smallest_cluster = 0;
+  return s;
+}
+
+std::pair<double, double> PointCoordinates(
+    const Network& net, const PointSet& points,
+    const std::vector<std::pair<double, double>>& node_coords, PointId p) {
+  PointPos pos = points.position(p);
+  double w = net.EdgeWeight(pos.u, pos.v);
+  double t = w > 0.0 ? pos.offset / w : 0.0;
+  const auto& [ux, uy] = node_coords[pos.u];
+  const auto& [vx, vy] = node_coords[pos.v];
+  return {ux + t * (vx - ux), uy + t * (vy - uy)};
+}
+
+std::string AsciiClusterMap(
+    const Network& net, const PointSet& points,
+    const std::vector<std::pair<double, double>>& node_coords,
+    const Clustering& clustering, int rows, int cols) {
+  double min_x = std::numeric_limits<double>::infinity(), min_y = min_x;
+  double max_x = -min_x, max_y = -min_y;
+  for (const auto& [x, y] : node_coords) {
+    min_x = std::min(min_x, x);
+    max_x = std::max(max_x, x);
+    min_y = std::min(min_y, y);
+    max_y = std::max(max_y, y);
+  }
+  if (!(max_x > min_x)) max_x = min_x + 1.0;
+  if (!(max_y > min_y)) max_y = min_y + 1.0;
+
+  // Per cell, count points by cluster; render the dominant one.
+  std::vector<std::unordered_map<int, uint32_t>> cells(
+      static_cast<size_t>(rows) * cols);
+  for (PointId p = 0; p < points.size(); ++p) {
+    auto [x, y] = PointCoordinates(net, points, node_coords, p);
+    int c = std::min(cols - 1, static_cast<int>((x - min_x) / (max_x - min_x) *
+                                                cols));
+    int r = std::min(rows - 1, static_cast<int>((y - min_y) / (max_y - min_y) *
+                                                rows));
+    ++cells[static_cast<size_t>(r) * cols + c][clustering.assignment[p]];
+  }
+  std::string out;
+  out.reserve(static_cast<size_t>(rows) * (cols + 1));
+  for (int r = rows - 1; r >= 0; --r) {  // y grows upward
+    for (int c = 0; c < cols; ++c) {
+      const auto& counts = cells[static_cast<size_t>(r) * cols + c];
+      if (counts.empty()) {
+        out.push_back(' ');
+        continue;
+      }
+      int best_id = kNoise;
+      uint32_t best_count = 0;
+      for (const auto& [id, count] : counts) {
+        if (count > best_count) {
+          best_count = count;
+          best_id = id;
+        }
+      }
+      out.push_back(best_id == kNoise ? '.'
+                                      : static_cast<char>('a' + best_id % 26));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace netclus

@@ -1,0 +1,42 @@
+// Experiment-facing reporting helpers: cluster summaries and the ASCII
+// density maps that stand in for the paper's Fig. 11 visualizations.
+#ifndef NETCLUS_EVAL_EVALUATION_H_
+#define NETCLUS_EVAL_EVALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/clustering.h"
+#include "graph/network.h"
+
+namespace netclus {
+
+/// Aggregate shape of a clustering.
+struct ClusterSummary {
+  int num_clusters = 0;
+  PointId num_points = 0;
+  PointId noise_points = 0;
+  PointId largest_cluster = 0;
+  PointId smallest_cluster = 0;  ///< over non-empty clusters
+};
+
+ClusterSummary Summarize(const Clustering& clustering);
+
+/// Interpolated planar position of point `p` (its edge endpoints'
+/// coordinates blended by the offset fraction).
+std::pair<double, double> PointCoordinates(
+    const Network& net, const PointSet& points,
+    const std::vector<std::pair<double, double>>& node_coords, PointId p);
+
+/// Renders a rows x cols character map of the clustering: each cell shows
+/// the dominant cluster among the points falling in it ('a'..'z' cycling,
+/// '.' for noise-dominated, ' ' for empty). The textual counterpart of the
+/// paper's Fig. 11 scatter plots.
+std::string AsciiClusterMap(
+    const Network& net, const PointSet& points,
+    const std::vector<std::pair<double, double>>& node_coords,
+    const Clustering& clustering, int rows, int cols);
+
+}  // namespace netclus
+
+#endif  // NETCLUS_EVAL_EVALUATION_H_

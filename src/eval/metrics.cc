@@ -1,0 +1,144 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace netclus {
+
+namespace {
+
+// Applies noise handling: returns the index set to compare and rewrites
+// noise labels to unique singleton ids when requested.
+struct Prepared {
+  std::vector<int> a, b;
+};
+
+Prepared Prepare(const std::vector<int>& a, const std::vector<int>& b,
+                 NoiseHandling noise) {
+  Prepared out;
+  int next_singleton = -2;  // unique ids below kNoise
+  for (size_t i = 0; i < a.size(); ++i) {
+    int la = a[i], lb = b[i];
+    if (la == kNoise || lb == kNoise) {
+      if (noise == NoiseHandling::kIgnore) continue;
+      if (la == kNoise) la = next_singleton--;
+      if (lb == kNoise) lb = next_singleton--;
+    }
+    out.a.push_back(la);
+    out.b.push_back(lb);
+  }
+  return out;
+}
+
+// Contingency table between two label vectors of equal length.
+struct Contingency {
+  std::map<std::pair<int, int>, uint64_t> cells;
+  std::unordered_map<int, uint64_t> row_sums, col_sums;
+  uint64_t total = 0;
+};
+
+Contingency BuildContingency(const std::vector<int>& a,
+                             const std::vector<int>& b) {
+  Contingency c;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ++c.cells[{a[i], b[i]}];
+    ++c.row_sums[a[i]];
+    ++c.col_sums[b[i]];
+    ++c.total;
+  }
+  return c;
+}
+
+double Choose2(uint64_t n) {
+  return 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+}
+
+}  // namespace
+
+double AdjustedRandIndex(const std::vector<int>& a, const std::vector<int>& b,
+                         NoiseHandling noise) {
+  Prepared p = Prepare(a, b, noise);
+  if (p.a.size() < 2) return 1.0;
+  Contingency c = BuildContingency(p.a, p.b);
+  double sum_cells = 0.0, sum_rows = 0.0, sum_cols = 0.0;
+  for (const auto& [key, n] : c.cells) sum_cells += Choose2(n);
+  for (const auto& [key, n] : c.row_sums) sum_rows += Choose2(n);
+  for (const auto& [key, n] : c.col_sums) sum_cols += Choose2(n);
+  double total_pairs = Choose2(c.total);
+  double expected = sum_rows * sum_cols / total_pairs;
+  double max_index = 0.5 * (sum_rows + sum_cols);
+  if (max_index == expected) return 1.0;  // both partitions trivial
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+double NormalizedMutualInformation(const std::vector<int>& a,
+                                   const std::vector<int>& b,
+                                   NoiseHandling noise) {
+  Prepared p = Prepare(a, b, noise);
+  if (p.a.empty()) return 1.0;
+  Contingency c = BuildContingency(p.a, p.b);
+  double n = static_cast<double>(c.total);
+  double mi = 0.0;
+  for (const auto& [key, nij] : c.cells) {
+    double pij = nij / n;
+    double pi = c.row_sums.at(key.first) / n;
+    double pj = c.col_sums.at(key.second) / n;
+    mi += pij * std::log(pij / (pi * pj));
+  }
+  auto entropy = [&](const std::unordered_map<int, uint64_t>& sums) {
+    double h = 0.0;
+    for (const auto& [key, cnt] : sums) {
+      double q = cnt / n;
+      h -= q * std::log(q);
+    }
+    return h;
+  };
+  double ha = entropy(c.row_sums), hb = entropy(c.col_sums);
+  if (ha == 0.0 && hb == 0.0) return 1.0;
+  double denom = 0.5 * (ha + hb);
+  return denom > 0.0 ? mi / denom : 0.0;
+}
+
+double Purity(const std::vector<int>& truth,
+              const std::vector<int>& predicted, NoiseHandling noise) {
+  // Count, per predicted cluster, the dominant ground-truth label.
+  std::unordered_map<int, std::unordered_map<int, uint64_t>> per_cluster;
+  uint64_t total = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (predicted[i] == kNoise || truth[i] == kNoise) {
+      if (noise == NoiseHandling::kIgnore) continue;
+      // A noise prediction can never be "pure": count it in a unique
+      // cluster holding only itself vs. its truth label.
+      ++total;
+      continue;
+    }
+    ++per_cluster[predicted[i]][truth[i]];
+    ++total;
+  }
+  if (total == 0) return 1.0;
+  uint64_t correct = 0;
+  for (const auto& [cluster, labels] : per_cluster) {
+    uint64_t best = 0;
+    for (const auto& [label, count] : labels) best = std::max(best, count);
+    correct += best;
+  }
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+bool SamePartition(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.size() != b.size()) return false;
+  std::unordered_map<int, int> a_to_b, b_to_a;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] == kNoise) != (b[i] == kNoise)) return false;
+    if (a[i] == kNoise) continue;
+    auto [it_ab, ins_ab] = a_to_b.emplace(a[i], b[i]);
+    if (!ins_ab && it_ab->second != b[i]) return false;
+    auto [it_ba, ins_ba] = b_to_a.emplace(b[i], a[i]);
+    if (!ins_ba && it_ba->second != a[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace netclus

@@ -1,0 +1,44 @@
+// External clustering quality metrics, used to quantify the paper's
+// visual effectiveness comparison (Fig. 11) against generated ground
+// truth.
+#ifndef NETCLUS_EVAL_METRICS_H_
+#define NETCLUS_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "core/clustering.h"
+
+namespace netclus {
+
+/// How noise labels (kNoise) are treated when comparing clusterings.
+enum class NoiseHandling {
+  /// Every noise point counts as its own singleton cluster.
+  kSingletons,
+  /// Points marked noise in either clustering are dropped from the
+  /// comparison.
+  kIgnore,
+};
+
+/// Adjusted Rand Index in [-1, 1]; 1 = identical partitions, ~0 = random
+/// agreement.
+double AdjustedRandIndex(const std::vector<int>& a, const std::vector<int>& b,
+                         NoiseHandling noise = NoiseHandling::kSingletons);
+
+/// Normalized Mutual Information in [0, 1] (arithmetic-mean
+/// normalization).
+double NormalizedMutualInformation(
+    const std::vector<int>& a, const std::vector<int>& b,
+    NoiseHandling noise = NoiseHandling::kSingletons);
+
+/// Fraction of points whose cluster's majority ground-truth label matches
+/// their own. Noise points in `predicted` count as errors unless ignored.
+double Purity(const std::vector<int>& truth, const std::vector<int>& predicted,
+              NoiseHandling noise = NoiseHandling::kSingletons);
+
+/// True when the two assignments induce exactly the same partition
+/// (cluster ids may differ; noise must coincide).
+bool SamePartition(const std::vector<int>& a, const std::vector<int>& b);
+
+}  // namespace netclus
+
+#endif  // NETCLUS_EVAL_METRICS_H_

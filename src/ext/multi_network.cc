@@ -1,0 +1,41 @@
+#include "ext/multi_network.h"
+
+namespace netclus {
+
+Result<CombinedNetwork> CombineNetworks(
+    const Network& a, const Network& b,
+    const std::vector<TransitionEdge>& transitions) {
+  NodeId offset = a.num_nodes();
+  Network net(a.num_nodes() + b.num_nodes());
+  for (const Edge& e : a.Edges()) {
+    NETCLUS_RETURN_IF_ERROR(net.AddEdge(e.u, e.v, e.weight));
+  }
+  for (const Edge& e : b.Edges()) {
+    NETCLUS_RETURN_IF_ERROR(net.AddEdge(e.u + offset, e.v + offset, e.weight));
+  }
+  for (const TransitionEdge& t : transitions) {
+    if (t.from_a >= a.num_nodes() || t.to_b >= b.num_nodes()) {
+      return Status::InvalidArgument("transition endpoint out of range");
+    }
+    NETCLUS_RETURN_IF_ERROR(net.AddEdge(t.from_a, t.to_b + offset, t.cost));
+  }
+  return CombinedNetwork(std::move(net), offset);
+}
+
+Result<PointSet> CombinePointSets(const CombinedNetwork& combined,
+                                  const PointSet& points_a,
+                                  const PointSet& points_b) {
+  PointSetBuilder builder;
+  for (PointId p = 0; p < points_a.size(); ++p) {
+    PointPos pos = points_a.position(p);
+    builder.Add(pos.u, pos.v, pos.offset, points_a.label(p));
+  }
+  for (PointId p = 0; p < points_b.size(); ++p) {
+    PointPos pos = points_b.position(p);
+    builder.Add(combined.MapNodeB(pos.u), combined.MapNodeB(pos.v),
+                pos.offset, points_b.label(p));
+  }
+  return std::move(builder).Build(combined.net);
+}
+
+}  // namespace netclus

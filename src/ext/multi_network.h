@@ -1,0 +1,54 @@
+// Clustering across different networks (paper Section 6).
+//
+// Two networks (e.g. a road network and a canal network) are combined
+// into one by adding transition edges between pairs of nodes (e.g.
+// piers), each with a transition cost. Shortest paths — and therefore
+// clusters — may then span both networks.
+#ifndef NETCLUS_EXT_MULTI_NETWORK_H_
+#define NETCLUS_EXT_MULTI_NETWORK_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/network.h"
+
+namespace netclus {
+
+/// A connection between node `from_a` of network A and node `to_b` of
+/// network B, with traversal cost `cost` (e.g. the time to board a ferry).
+struct TransitionEdge {
+  NodeId from_a = kInvalidNodeId;
+  NodeId to_b = kInvalidNodeId;
+  double cost = 0.0;
+};
+
+/// \brief A combined network and the id mappings into it.
+///
+/// Nodes of A keep their ids; nodes of B are shifted by A's node count.
+struct CombinedNetwork {
+  Network net;
+  NodeId offset_b = 0;  ///< node id of B's node 0 inside `net`
+
+  CombinedNetwork(Network n, NodeId off) : net(std::move(n)), offset_b(off) {}
+
+  NodeId MapNodeA(NodeId a) const { return a; }
+  NodeId MapNodeB(NodeId b) const { return b + offset_b; }
+};
+
+/// Combines `a` and `b` with the given transition edges. Transition costs
+/// must be positive; endpoints must exist. Duplicate transitions between
+/// the same node pair are rejected.
+Result<CombinedNetwork> CombineNetworks(
+    const Network& a, const Network& b,
+    const std::vector<TransitionEdge>& transitions);
+
+/// Re-anchors point sets of the two source networks onto the combined
+/// network (labels are preserved; A's points keep ids before B's after
+/// the canonical re-sort).
+Result<PointSet> CombinePointSets(const CombinedNetwork& combined,
+                                  const PointSet& points_a,
+                                  const PointSet& points_b);
+
+}  // namespace netclus
+
+#endif  // NETCLUS_EXT_MULTI_NETWORK_H_

@@ -1,0 +1,51 @@
+#include "ext/time_dependent.h"
+
+#include <cmath>
+
+namespace netclus {
+
+TimeProfile RushHourProfile(double peak_factor) {
+  return [peak_factor](double t, NodeId u, NodeId v) {
+    (void)u;
+    (void)v;
+    auto peak = [&](double center) {
+      double d = t - center;
+      return std::exp(-d * d / (2.0 * 1.2 * 1.2));  // ~1.2h wide peaks
+    };
+    double congestion = peak(8.5) + peak(17.5);
+    return 1.0 + (peak_factor - 1.0) * std::min(1.0, congestion);
+  };
+}
+
+Result<Network> SnapshotAt(const Network& base, const TimeProfile& profile,
+                           double t) {
+  Network out(base.num_nodes());
+  for (const Edge& e : base.Edges()) {
+    double factor = profile(t, e.u, e.v);
+    if (!(factor > 0.0)) {
+      return Status::InvalidArgument("time profile returned non-positive");
+    }
+    NETCLUS_RETURN_IF_ERROR(out.AddEdge(e.u, e.v, e.weight * factor));
+  }
+  return out;
+}
+
+Result<PointSet> RescalePoints(const Network& base, const Network& snapshot,
+                               const PointSet& points) {
+  if (base.num_nodes() != snapshot.num_nodes()) {
+    return Status::InvalidArgument("snapshot has a different node set");
+  }
+  PointSetBuilder builder;
+  for (PointId p = 0; p < points.size(); ++p) {
+    PointPos pos = points.position(p);
+    double w_base = base.EdgeWeight(pos.u, pos.v);
+    double w_new = snapshot.EdgeWeight(pos.u, pos.v);
+    if (w_base <= 0.0 || w_new <= 0.0) {
+      return Status::InvalidArgument("point edge missing in snapshot");
+    }
+    builder.Add(pos.u, pos.v, pos.offset / w_base * w_new, points.label(p));
+  }
+  return std::move(builder).Build(snapshot);
+}
+
+}  // namespace netclus

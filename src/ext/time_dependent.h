@@ -1,0 +1,37 @@
+// Time-dependent edge weights (paper Section 6).
+//
+// Edge weights model travel cost that varies with the time of day (e.g.
+// rush-hour traffic). A TimeProfile scales each edge's base weight at a
+// query time; snapshotting the network at different times and clustering
+// each snapshot yields the paper's "time-parameterized clusters".
+#ifndef NETCLUS_EXT_TIME_DEPENDENT_H_
+#define NETCLUS_EXT_TIME_DEPENDENT_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "graph/network.h"
+
+namespace netclus {
+
+/// Multiplier applied to an edge's base weight at time `t` (hours in
+/// [0, 24)); must return a positive value.
+using TimeProfile = std::function<double(double t, NodeId u, NodeId v)>;
+
+/// A smooth two-peak commuter profile: congestion multiplies weights by
+/// up to `peak_factor` around 8:30 and 17:30.
+TimeProfile RushHourProfile(double peak_factor);
+
+/// The network with every weight scaled by `profile` at time `t`.
+Result<Network> SnapshotAt(const Network& base, const TimeProfile& profile,
+                           double t);
+
+/// Re-anchors `points` (placed on `base`) onto `snapshot`, preserving each
+/// point's *fractional* position along its edge — a point halfway down a
+/// road stays halfway down it regardless of congestion.
+Result<PointSet> RescalePoints(const Network& base, const Network& snapshot,
+                               const PointSet& points);
+
+}  // namespace netclus
+
+#endif  // NETCLUS_EXT_TIME_DEPENDENT_H_

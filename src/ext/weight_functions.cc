@@ -1,0 +1,54 @@
+#include "ext/weight_functions.h"
+
+#include <algorithm>
+
+namespace netclus {
+
+Result<Network> AggregateWeights(const std::vector<const Network*>& measures,
+                                 const WeightAggregate& aggregate) {
+  if (measures.empty()) {
+    return Status::InvalidArgument("need at least one weight measure");
+  }
+  const Network& base = *measures.front();
+  for (const Network* m : measures) {
+    if (m->num_nodes() != base.num_nodes() ||
+        m->num_edges() != base.num_edges()) {
+      return Status::InvalidArgument("weight measures differ in topology");
+    }
+  }
+  Network out(base.num_nodes());
+  std::vector<double> weights(measures.size());
+  for (const Edge& e : base.Edges()) {
+    for (size_t i = 0; i < measures.size(); ++i) {
+      double w = measures[i]->EdgeWeight(e.u, e.v);
+      if (w < 0.0) {
+        return Status::InvalidArgument("weight measures differ in topology");
+      }
+      weights[i] = w;
+    }
+    double combined = aggregate(weights);
+    if (!(combined > 0.0)) {
+      return Status::InvalidArgument("aggregate produced non-positive weight");
+    }
+    NETCLUS_RETURN_IF_ERROR(out.AddEdge(e.u, e.v, combined));
+  }
+  return out;
+}
+
+WeightAggregate LinearCombination(std::vector<double> coefficients) {
+  return [coefficients = std::move(coefficients)](
+             const std::vector<double>& weights) {
+    double sum = 0.0;
+    size_t n = std::min(coefficients.size(), weights.size());
+    for (size_t i = 0; i < n; ++i) sum += coefficients[i] * weights[i];
+    return sum;
+  };
+}
+
+WeightAggregate MaxCombination() {
+  return [](const std::vector<double>& weights) {
+    return *std::max_element(weights.begin(), weights.end());
+  };
+}
+
+}  // namespace netclus

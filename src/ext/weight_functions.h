@@ -1,0 +1,39 @@
+// Aggregate edge-weight functions (paper Section 6).
+//
+// "The weight on an edge ... could be their Euclidean distance, the time
+// to travel ..., the cost (price) of traversing the edge, etc. ... it is
+// possible to combine different weight measures with an aggregate
+// function." Each measure is a Network over the same topology; the
+// aggregate produces one Network to cluster on, giving the analyst
+// multiple clustering layers from one dataset.
+#ifndef NETCLUS_EXT_WEIGHT_FUNCTIONS_H_
+#define NETCLUS_EXT_WEIGHT_FUNCTIONS_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/network.h"
+
+namespace netclus {
+
+/// Combines per-edge weight vectors (one entry per input network, in
+/// order) into a single positive weight.
+using WeightAggregate = std::function<double(const std::vector<double>&)>;
+
+/// Builds the aggregated network. All inputs must share the exact edge
+/// topology (node count and edge set); the aggregate must return a
+/// positive weight for every edge.
+Result<Network> AggregateWeights(const std::vector<const Network*>& measures,
+                                 const WeightAggregate& aggregate);
+
+/// Convenience aggregate: weighted linear combination (coefficients must
+/// be as many as the measures; the result must stay positive).
+WeightAggregate LinearCombination(std::vector<double> coefficients);
+
+/// Convenience aggregate: per-edge maximum (worst case across measures).
+WeightAggregate MaxCombination();
+
+}  // namespace netclus
+
+#endif  // NETCLUS_EXT_WEIGHT_FUNCTIONS_H_

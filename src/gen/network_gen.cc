@@ -1,0 +1,211 @@
+#include "gen/network_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/random.h"
+
+namespace netclus {
+
+namespace {
+double Dist(const std::pair<double, double>& a,
+            const std::pair<double, double>& b) {
+  double dx = a.first - b.first, dy = a.second - b.second;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+// Minimal union-find for the spanning-tree construction (the full
+// Union-Find used by clustering lives in core/union_find.h).
+struct Dsu {
+  std::vector<NodeId> parent;
+  explicit Dsu(NodeId n) : parent(n) {
+    for (NodeId i = 0; i < n; ++i) parent[i] = i;
+  }
+  NodeId Find(NodeId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  bool Union(NodeId a, NodeId b) {
+    NodeId ra = Find(a), rb = Find(b);
+    if (ra == rb) return false;
+    parent[ra] = rb;
+    return true;
+  }
+};
+}  // namespace
+
+GeneratedNetwork GenerateRoadNetwork(const RoadNetworkSpec& spec) {
+  Rng rng(spec.seed);
+  NodeId target = std::max<NodeId>(spec.target_nodes, 2);
+  NodeId rows = std::max<NodeId>(1, static_cast<NodeId>(std::sqrt(target)));
+  NodeId cols = (target + rows - 1) / rows;
+  NodeId n = rows * cols;
+  double jitter = std::clamp(spec.jitter, 0.0, 0.45);
+
+  GeneratedNetwork out{Network(n), {}};
+  out.coords.reserve(n);
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      out.coords.emplace_back(c + jitter * rng.NextUniform(-1.0, 1.0),
+                              r + jitter * rng.NextUniform(-1.0, 1.0));
+    }
+  }
+  auto id = [&](NodeId r, NodeId c) { return r * cols + c; };
+
+  // Grid-neighbor candidates (the planar skeleton) and diagonal shortcuts.
+  std::vector<std::pair<NodeId, NodeId>> grid_cand, diag_cand;
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) grid_cand.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) grid_cand.emplace_back(id(r, c), id(r + 1, c));
+      if (r + 1 < rows && c + 1 < cols) {
+        diag_cand.emplace_back(id(r, c), id(r + 1, c + 1));
+        diag_cand.emplace_back(id(r, c + 1), id(r + 1, c));
+      }
+    }
+  }
+  rng.Shuffle(&grid_cand);
+
+  // Random spanning tree over the grid skeleton guarantees connectivity.
+  Dsu dsu(n);
+  std::vector<std::pair<NodeId, NodeId>> leftover;
+  size_t edges_added = 0;
+  for (const auto& [a, b] : grid_cand) {
+    if (dsu.Union(a, b)) {
+      Status s = out.net.AddEdge(a, b, Dist(out.coords[a], out.coords[b]));
+      (void)s;
+      ++edges_added;
+    } else {
+      leftover.push_back({a, b});
+    }
+  }
+
+  // Extra edges up to the target |E|/|V| ratio: leftover grid candidates
+  // first (keeps the network planar-style), then diagonal shortcuts.
+  size_t target_edges = static_cast<size_t>(
+      std::llround(std::max(spec.edge_ratio, 0.0) * n));
+  target_edges = std::max<size_t>(target_edges, edges_added);
+  rng.Shuffle(&leftover);
+  rng.Shuffle(&diag_cand);
+  leftover.insert(leftover.end(), diag_cand.begin(), diag_cand.end());
+  for (const auto& [a, b] : leftover) {
+    if (edges_added >= target_edges) break;
+    if (out.net.HasEdge(a, b)) continue;
+    Status s = out.net.AddEdge(a, b, Dist(out.coords[a], out.coords[b]));
+    (void)s;
+    ++edges_added;
+  }
+  return out;
+}
+
+namespace {
+RoadNetworkSpec MakeSpec(NodeId nodes, double ratio, double scale,
+                         uint64_t seed) {
+  RoadNetworkSpec spec;
+  double s = std::clamp(scale, 1e-6, 1.0);
+  spec.target_nodes =
+      std::max<NodeId>(16, static_cast<NodeId>(std::llround(nodes * s)));
+  spec.edge_ratio = ratio;
+  spec.seed = seed;
+  return spec;
+}
+}  // namespace
+
+// Published sizes: NA 175813/179179, SF 174956/223001, TG 18263/23874,
+// OL 6105/7035.
+RoadNetworkSpec SpecNA(double scale, uint64_t seed) {
+  return MakeSpec(175813, 179179.0 / 175813.0, scale, seed);
+}
+RoadNetworkSpec SpecSF(double scale, uint64_t seed) {
+  return MakeSpec(174956, 223001.0 / 174956.0, scale, seed);
+}
+RoadNetworkSpec SpecTG(double scale, uint64_t seed) {
+  return MakeSpec(18263, 23874.0 / 18263.0, scale, seed);
+}
+RoadNetworkSpec SpecOL(double scale, uint64_t seed) {
+  return MakeSpec(6105, 7035.0 / 6105.0, scale, seed);
+}
+
+Network BfsSubnetwork(const Network& net, NodeId start, NodeId count,
+                      std::vector<NodeId>* old_to_new) {
+  std::vector<NodeId> mapping(net.num_nodes(), kInvalidNodeId);
+  std::queue<NodeId> q;
+  q.push(start);
+  mapping[start] = 0;
+  NodeId taken = 1;
+  std::vector<NodeId> order = {start};
+  while (!q.empty() && taken < count) {
+    NodeId x = q.front();
+    q.pop();
+    for (const auto& [y, w] : net.neighbors(x)) {
+      (void)w;
+      if (mapping[y] == kInvalidNodeId && taken < count) {
+        mapping[y] = taken++;
+        order.push_back(y);
+        q.push(y);
+      }
+    }
+  }
+  Network out(taken);
+  for (NodeId x : order) {
+    for (const auto& [y, w] : net.neighbors(x)) {
+      if (mapping[y] != kInvalidNodeId && mapping[x] < mapping[y]) {
+        Status s = out.AddEdge(mapping[x], mapping[y], w);
+        (void)s;
+      }
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  return out;
+}
+
+Network MakePathNetwork(NodeId n, double w) {
+  Network net(n);
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    Status s = net.AddEdge(i, i + 1, w);
+    (void)s;
+  }
+  return net;
+}
+
+Network MakeRingNetwork(NodeId n, double w) {
+  Network net(n);
+  for (NodeId i = 0; i < n; ++i) {
+    Status s = net.AddEdge(i, (i + 1) % n, w);
+    (void)s;
+  }
+  return net;
+}
+
+Network MakeGridNetwork(NodeId rows, NodeId cols, double w) {
+  Network net(rows * cols);
+  auto id = [&](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        Status s = net.AddEdge(id(r, c), id(r, c + 1), w);
+        (void)s;
+      }
+      if (r + 1 < rows) {
+        Status s = net.AddEdge(id(r, c), id(r + 1, c), w);
+        (void)s;
+      }
+    }
+  }
+  return net;
+}
+
+Network MakeStarNetwork(NodeId n, double w) {
+  Network net(n);
+  for (NodeId i = 1; i < n; ++i) {
+    Status s = net.AddEdge(0, i, w);
+    (void)s;
+  }
+  return net;
+}
+
+}  // namespace netclus

@@ -1,0 +1,74 @@
+// Synthetic road-network generation.
+//
+// The paper evaluates on four real road networks (NA, SF, TG, OL). Those
+// datasets are not redistributable here, so GenerateRoadNetwork produces a
+// connected, sparse, planar-style substitute: nodes on a jittered grid, a
+// random spanning tree of grid-neighbor candidates for connectivity, plus
+// extra candidate edges until a target |E|/|V| ratio is met. Edge weights
+// are the Euclidean distances of the jittered endpoints, exactly as the
+// paper sets them. Presets mirror the four datasets' node counts and edge
+// ratios (optionally scaled down).
+#ifndef NETCLUS_GEN_NETWORK_GEN_H_
+#define NETCLUS_GEN_NETWORK_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/network.h"
+#include "graph/types.h"
+
+namespace netclus {
+
+/// Parameters for GenerateRoadNetwork.
+struct RoadNetworkSpec {
+  /// Approximate number of nodes (grid rounding may change it slightly;
+  /// the result is always connected).
+  NodeId target_nodes = 1000;
+  /// Target |E| / |V| ratio; clamped to [1 - 1/V, ~1.9].
+  double edge_ratio = 1.2;
+  /// Node coordinate jitter as a fraction of grid spacing, in [0, 0.45].
+  double jitter = 0.3;
+  uint64_t seed = 1;
+};
+
+/// A generated network plus node coordinates (used by weight assignment
+/// and by the ASCII visualizations of the effectiveness experiment).
+struct GeneratedNetwork {
+  Network net;
+  std::vector<std::pair<double, double>> coords;  // per node (x, y)
+};
+
+/// Generates a connected road-style network per `spec`.
+GeneratedNetwork GenerateRoadNetwork(const RoadNetworkSpec& spec);
+
+/// The paper's four datasets. `scale` in (0, 1] shrinks the node count
+/// (1.0 = the published size: NA 175813, SF 174956, TG 18263, OL 6105).
+RoadNetworkSpec SpecNA(double scale = 1.0, uint64_t seed = 41);
+RoadNetworkSpec SpecSF(double scale = 1.0, uint64_t seed = 42);
+RoadNetworkSpec SpecTG(double scale = 1.0, uint64_t seed = 43);
+RoadNetworkSpec SpecOL(double scale = 1.0, uint64_t seed = 44);
+
+/// Extracts the connected subnetwork induced by the first `count` nodes of
+/// a BFS from `start` (used by the scalability-with-|V| experiment).
+/// `old_to_new` receives the node mapping (kInvalidNodeId for dropped).
+Network BfsSubnetwork(const Network& net, NodeId start, NodeId count,
+                      std::vector<NodeId>* old_to_new);
+
+// --- Tiny deterministic topologies for tests and examples. ---
+
+/// Path 0-1-...-(n-1) with all edge weights `w`.
+Network MakePathNetwork(NodeId n, double w);
+
+/// Cycle over n nodes with all edge weights `w`.
+Network MakeRingNetwork(NodeId n, double w);
+
+/// rows x cols grid; horizontal/vertical edges of weight `w`.
+Network MakeGridNetwork(NodeId rows, NodeId cols, double w);
+
+/// Star: center 0 connected to 1..n-1 with weight `w`.
+Network MakeStarNetwork(NodeId n, double w);
+
+}  // namespace netclus
+
+#endif  // NETCLUS_GEN_NETWORK_GEN_H_

@@ -1,0 +1,204 @@
+#include "gen/workload_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "graph/dijkstra.h"
+
+namespace netclus {
+
+namespace {
+
+struct HeapEntry {
+  double dist;
+  NodeId node;
+  bool operator>(const HeapEntry& other) const { return dist > other.dist; }
+};
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+// Grows one cluster of `c_final` points, returning the raw builder index
+// of the seed point.
+uint32_t GrowCluster(const Network& net, const std::vector<Edge>& edges,
+                     Rng* rng, PointId c_final, double s_init, double f,
+                     int label, PointSetBuilder* builder,
+                     uint32_t* raw_counter) {
+  PointId placed = 0;
+  auto gap = [&]() {
+    double s_cur =
+        s_init + s_init * (f - 1.0) *
+                     (static_cast<double>(placed) / static_cast<double>(c_final));
+    return rng->NextUniform(0.5 * s_cur, 1.5 * s_cur);
+  };
+
+  const Edge& seed_edge = edges[rng->NextBounded(edges.size())];
+  double seed_off = rng->NextUniform(0.0, seed_edge.weight);
+  builder->Add(seed_edge.u, seed_edge.v, seed_off, label);
+  uint32_t seed_raw = (*raw_counter)++;
+  ++placed;
+
+  std::unordered_set<uint64_t> visited_edges;
+  visited_edges.insert(EdgeKeyOf(seed_edge.u, seed_edge.v));
+
+  // tail[n]: distance from node n to the nearest point already placed on
+  // one of its walked incident edges. Each new point is spaced from the
+  // *previous* point, so the spacing chain carries across nodes and the
+  // largest point-to-point gap stays <= 1.5 * s_cur (the paper's model).
+  std::unordered_map<NodeId, double> tail;
+
+  // Points on the seed edge, walking both directions from the seed point.
+  double pos = seed_off;
+  while (placed < c_final) {
+    double next = pos - gap();
+    if (next < 0.0) break;
+    builder->Add(seed_edge.u, seed_edge.v, next, label);
+    ++(*raw_counter);
+    ++placed;
+    pos = next;
+  }
+  tail[seed_edge.u] = pos;
+  pos = seed_off;
+  while (placed < c_final) {
+    double next = pos + gap();
+    if (next > seed_edge.weight) break;
+    builder->Add(seed_edge.u, seed_edge.v, next, label);
+    ++(*raw_counter);
+    ++placed;
+    pos = next;
+  }
+  tail[seed_edge.v] = seed_edge.weight - pos;
+
+  // Dijkstra traversal from the seed point; points are generated on every
+  // edge met for the first time, continuing the spacing chain from the
+  // settled endpoint's tail debt.
+  std::vector<double> dist(net.num_nodes(), kInfDist);
+  MinHeap heap;
+  dist[seed_edge.u] = seed_off;
+  dist[seed_edge.v] = seed_edge.weight - seed_off;
+  heap.push(HeapEntry{dist[seed_edge.u], seed_edge.u});
+  heap.push(HeapEntry{dist[seed_edge.v], seed_edge.v});
+  while (!heap.empty() && placed < c_final) {
+    auto [d, n] = heap.top();
+    heap.pop();
+    if (d > dist[n]) continue;
+    for (const auto& [m, w] : net.neighbors(n)) {
+      if (placed >= c_final) break;
+      if (visited_edges.insert(EdgeKeyOf(n, m)).second) {
+        // Walk from the n side; convert to canonical-u offsets.
+        bool forward = n < m;
+        auto it = tail.find(n);
+        double debt = it != tail.end() ? it->second : 0.0;
+        double walk = -debt;  // distance of the last point, measured from n
+        bool any = false;
+        while (placed < c_final) {
+          double next = walk + gap();
+          // A sampled position behind the node would land on the previous
+          // (already walked) edge; clamp it to the node so the chain gap
+          // never exceeds one sample.
+          if (next < 0.0) next = 0.0;
+          if (next > w) break;
+          builder->Add(n, m, forward ? next : w - next, label);
+          ++(*raw_counter);
+          ++placed;
+          any = true;
+          walk = next;
+        }
+        double m_tail = any ? w - walk : debt + w;
+        auto [mt, inserted] = tail.emplace(m, m_tail);
+        if (!inserted && m_tail < mt->second) mt->second = m_tail;
+      }
+      double nd = d + w;
+      if (nd < dist[m]) {
+        dist[m] = nd;
+        heap.push(HeapEntry{nd, m});
+      }
+    }
+  }
+  // If the traversal exhausted the (sub)network early, fill the remainder
+  // uniformly on visited edges so the requested count is exact.
+  std::vector<uint64_t> visited(visited_edges.begin(), visited_edges.end());
+  while (placed < c_final && !visited.empty()) {
+    uint64_t key = visited[rng->NextBounded(visited.size())];
+    NodeId u = EdgeKeyU(key), v = EdgeKeyV(key);
+    builder->Add(u, v, rng->NextUniform(0.0, net.EdgeWeight(u, v)), label);
+    ++(*raw_counter);
+    ++placed;
+  }
+  return seed_raw;
+}
+
+}  // namespace
+
+Result<GeneratedWorkload> GenerateClusteredPoints(
+    const Network& net, const ClusterWorkloadSpec& spec) {
+  if (spec.num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  if (spec.total_points < spec.num_clusters) {
+    return Status::InvalidArgument("need at least one point per cluster");
+  }
+  if (!(spec.s_init > 0.0) || !(spec.magnification >= 1.0)) {
+    return Status::InvalidArgument("require s_init > 0 and F >= 1");
+  }
+  if (spec.outlier_fraction < 0.0 || spec.outlier_fraction >= 1.0) {
+    return Status::InvalidArgument("outlier_fraction must be in [0, 1)");
+  }
+  if (net.num_edges() == 0) {
+    return Status::InvalidArgument("network has no edges");
+  }
+  std::vector<Edge> edges = net.Edges();
+  Rng rng(spec.seed);
+
+  PointId num_outliers =
+      static_cast<PointId>(std::llround(spec.outlier_fraction *
+                                        spec.total_points));
+  PointId clustered = spec.total_points - num_outliers;
+  PointId per_cluster = clustered / spec.num_clusters;
+  PointId remainder = clustered % spec.num_clusters;
+
+  PointSetBuilder builder;
+  uint32_t raw_counter = 0;
+  std::vector<uint32_t> seed_raw;
+  for (uint32_t c = 0; c < spec.num_clusters; ++c) {
+    PointId size = per_cluster + (c < remainder ? 1 : 0);
+    if (size == 0) continue;
+    seed_raw.push_back(GrowCluster(net, edges, &rng, size, spec.s_init,
+                                   spec.magnification, static_cast<int>(c),
+                                   &builder, &raw_counter));
+  }
+  for (PointId i = 0; i < num_outliers; ++i) {
+    const Edge& e = edges[rng.NextBounded(edges.size())];
+    builder.Add(e.u, e.v, rng.NextUniform(0.0, e.weight), -1);
+    ++raw_counter;
+  }
+
+  std::vector<PointId> raw_to_final;
+  Result<PointSet> points = std::move(builder).Build(net, &raw_to_final);
+  if (!points.ok()) return points.status();
+
+  GeneratedWorkload out;
+  out.points = std::move(points.value());
+  for (uint32_t raw : seed_raw) out.cluster_seeds.push_back(raw_to_final[raw]);
+  out.max_intra_gap = 1.5 * spec.s_init * spec.magnification;
+  return out;
+}
+
+Result<PointSet> GenerateUniformPoints(const Network& net, PointId n,
+                                       uint64_t seed) {
+  if (net.num_edges() == 0) {
+    return Status::InvalidArgument("network has no edges");
+  }
+  std::vector<Edge> edges = net.Edges();
+  Rng rng(seed);
+  PointSetBuilder builder;
+  for (PointId i = 0; i < n; ++i) {
+    const Edge& e = edges[rng.NextBounded(edges.size())];
+    builder.Add(e.u, e.v, rng.NextUniform(0.0, e.weight), -1);
+  }
+  return std::move(builder).Build(net);
+}
+
+}  // namespace netclus

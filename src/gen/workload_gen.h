@@ -1,0 +1,55 @@
+// Clustered point workloads (paper Section 5).
+//
+// Clusters are grown exactly as described in the paper: a seed point on a
+// random edge, then a Dijkstra traversal of the network that, on each
+// newly met edge, drops points with consecutive spacing drawn uniformly
+// from [0.5 s_cur, 1.5 s_cur], where s_cur = s_init + s_init (F - 1) |C| /
+// C_final grows linearly from s_init to s_init * F — a dense core that
+// thins toward the boundary. 99% of the points go to k equal-size
+// clusters, the rest are uniform outliers (label -1).
+#ifndef NETCLUS_GEN_WORKLOAD_GEN_H_
+#define NETCLUS_GEN_WORKLOAD_GEN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/network.h"
+#include "graph/types.h"
+
+namespace netclus {
+
+/// Parameters of the paper's workload generator.
+struct ClusterWorkloadSpec {
+  PointId total_points = 10000;  ///< N (clusters + outliers)
+  uint32_t num_clusters = 10;    ///< k
+  double outlier_fraction = 0.01;
+  double s_init = 0.05;          ///< initial separation distance
+  double magnification = 5.0;    ///< F; final spacing = s_init * F
+  uint64_t seed = 7;
+};
+
+/// A generated workload: points (labels = generating cluster, -1 for
+/// outliers) plus bookkeeping the experiments need.
+struct GeneratedWorkload {
+  PointSet points;
+  /// Final point id of each cluster's seed (first) point; the "ideal"
+  /// initial medoids of the effectiveness experiment (Fig. 11b).
+  std::vector<PointId> cluster_seeds;
+  /// Largest possible gap between consecutive generated points of one
+  /// cluster (= 1.5 * s_init * F). Any eps >= this reconnects every
+  /// cluster, so it is the canonical eps for the density methods.
+  double max_intra_gap = 0.0;
+};
+
+/// Generates the paper's clustered workload on `net`.
+Result<GeneratedWorkload> GenerateClusteredPoints(
+    const Network& net, const ClusterWorkloadSpec& spec);
+
+/// Places `n` points uniformly: a random edge, then a uniform offset.
+/// All labels are -1.
+Result<PointSet> GenerateUniformPoints(const Network& net, PointId n,
+                                       uint64_t seed);
+
+}  // namespace netclus
+
+#endif  // NETCLUS_GEN_WORKLOAD_GEN_H_

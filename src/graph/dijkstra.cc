@@ -1,0 +1,72 @@
+#include "graph/dijkstra.h"
+
+#include <queue>
+
+namespace netclus {
+
+namespace {
+struct HeapEntry {
+  double dist;
+  NodeId node;
+  bool operator>(const HeapEntry& other) const { return dist > other.dist; }
+};
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+}  // namespace
+
+std::vector<double> DijkstraDistances(
+    const NetworkView& view, const std::vector<DijkstraSource>& sources) {
+  std::vector<double> dist(view.num_nodes(), kInfDist);
+  MinHeap heap;
+  for (const DijkstraSource& s : sources) {
+    if (s.dist < dist[s.node]) {
+      dist[s.node] = s.dist;
+      heap.push(HeapEntry{s.dist, s.node});
+    }
+  }
+  while (!heap.empty()) {
+    auto [d, n] = heap.top();
+    heap.pop();
+    if (d > dist[n]) continue;  // stale entry
+    view.ForEachNeighbor(n, [&](NodeId m, double w) {
+      double nd = d + w;
+      if (nd < dist[m]) {
+        dist[m] = nd;
+        heap.push(HeapEntry{nd, m});
+      }
+    });
+  }
+  return dist;
+}
+
+void DijkstraExpandBounded(
+    const NetworkView& view, const std::vector<DijkstraSource>& sources,
+    double bound, NodeScratch* scratch,
+    const std::function<bool(NodeId, double)>& on_settle) {
+  scratch->NewEpoch();
+  MinHeap heap;
+  // `scratch` holds tentative distances during the run; a separate settled
+  // mark is unnecessary because a popped entry matching the scratch value
+  // is settled (standard lazy-deletion Dijkstra).
+  for (const DijkstraSource& s : sources) {
+    if (s.dist <= bound && s.dist < scratch->Get(s.node)) {
+      scratch->Set(s.node, s.dist);
+      heap.push(HeapEntry{s.dist, s.node});
+    }
+  }
+  while (!heap.empty()) {
+    auto [d, n] = heap.top();
+    heap.pop();
+    if (d > scratch->Get(n)) continue;  // stale entry
+    if (!on_settle(n, d)) return;
+    view.ForEachNeighbor(n, [&](NodeId m, double w) {
+      double nd = d + w;
+      if (nd <= bound && nd < scratch->Get(m)) {
+        scratch->Set(m, nd);
+        heap.push(HeapEntry{nd, m});
+      }
+    });
+  }
+}
+
+}  // namespace netclus

@@ -1,0 +1,158 @@
+// In-memory spatial network (Definition 1): an undirected weighted graph
+// plus a set of objects (points) lying on its edges.
+#ifndef NETCLUS_GRAPH_NETWORK_H_
+#define NETCLUS_GRAPH_NETWORK_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/network_view.h"
+#include "graph/types.h"
+
+namespace netclus {
+
+/// \brief Undirected weighted graph G = (V, E, W) with adjacency lists.
+class Network {
+ public:
+  /// An empty network (0 nodes).
+  Network() = default;
+  explicit Network(NodeId num_nodes);
+
+  /// Adds undirected edge {a, b} with weight `w` > 0. Self loops,
+  /// duplicate edges, out-of-range endpoints and non-positive weights are
+  /// rejected.
+  Status AddEdge(NodeId a, NodeId b, double w);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adj_.size()); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Weight of edge {a, b}; negative when absent.
+  double EdgeWeight(NodeId a, NodeId b) const;
+  bool HasEdge(NodeId a, NodeId b) const { return EdgeWeight(a, b) >= 0.0; }
+
+  /// Neighbors of `n` as (node, weight) pairs, in insertion order.
+  const std::vector<std::pair<NodeId, double>>& neighbors(NodeId n) const {
+    return adj_[n];
+  }
+
+  /// All edges in canonical orientation (u < v), ordered by (u, v).
+  std::vector<Edge> Edges() const;
+
+  /// True when every node is reachable from node 0 (or the graph is empty).
+  bool IsConnected() const;
+
+  /// Extracts the largest connected component as a new network plus the
+  /// mapping old node id -> new node id (kInvalidNodeId for dropped nodes).
+  /// Mirrors the paper's cleanup of the SF / TG datasets.
+  static Network LargestComponent(const Network& g,
+                                  std::vector<NodeId>* old_to_new);
+
+ private:
+  std::vector<std::vector<std::pair<NodeId, double>>> adj_;
+  std::unordered_map<uint64_t, double> edge_weights_;
+  size_t num_edges_ = 0;
+};
+
+/// \brief Immutable set of points placed on the edges of a Network.
+///
+/// Point ids are assigned in group order: points on the same edge are
+/// consecutive, sorted by ascending offset from the smaller-id endpoint
+/// (paper Section 4.1). An integer label (e.g. the generating cluster, or
+/// -1) rides along with each point for evaluation against ground truth.
+class PointSet {
+ public:
+  /// One edge holding points: ids [first, first + count).
+  struct Group {
+    NodeId u = kInvalidNodeId;
+    NodeId v = kInvalidNodeId;
+    PointId first = kInvalidPointId;
+    uint32_t count = 0;
+  };
+
+  PointId size() const { return static_cast<PointId>(offsets_.size()); }
+  const PointPos position(PointId p) const {
+    const Group& g = groups_[group_of_[p]];
+    return PointPos{g.u, g.v, offsets_[p]};
+  }
+  double offset(PointId p) const { return offsets_[p]; }
+  int label(PointId p) const { return labels_[p]; }
+
+  size_t num_groups() const { return groups_.size(); }
+  const Group& group(size_t i) const { return groups_[i]; }
+
+  /// Points on edge {a, b} as [first, first + count); count == 0 if none.
+  std::pair<PointId, uint32_t> EdgePointRange(NodeId a, NodeId b) const;
+
+  /// Ground-truth labels for all points (index = point id).
+  const std::vector<int>& labels() const { return labels_; }
+
+ private:
+  friend class PointSetBuilder;
+  std::vector<double> offsets_;       // per point, from canonical u
+  std::vector<int> labels_;           // per point
+  std::vector<uint32_t> group_of_;    // per point -> group index
+  std::vector<Group> groups_;         // ordered by first point id
+  std::unordered_map<uint64_t, uint32_t> edge_to_group_;
+};
+
+/// \brief Accumulates raw point placements and finalizes them into a
+/// PointSet with canonical point-id assignment.
+class PointSetBuilder {
+ public:
+  /// Places a point on edge {a, b} at `offset_from_min` measured from the
+  /// smaller-id endpoint, tagged with `label`.
+  void Add(NodeId a, NodeId b, double offset_from_min, int label);
+
+  /// Validates placements against `net` (edge exists, offset within the
+  /// edge weight) and produces the PointSet. When `raw_to_final` is given
+  /// it receives, for each Add() call in order, the final point id.
+  Result<PointSet> Build(const Network& net,
+                         std::vector<PointId>* raw_to_final = nullptr) &&;
+
+ private:
+  struct Raw {
+    uint64_t edge_key;
+    double offset;
+    int label;
+    uint32_t raw_index;
+  };
+  std::vector<Raw> raw_;
+};
+
+/// \brief NetworkView over an in-memory Network + PointSet.
+class InMemoryNetworkView : public NetworkView {
+ public:
+  /// Both `net` and `points` must outlive the view.
+  InMemoryNetworkView(const Network& net, const PointSet& points)
+      : net_(net), points_(points) {}
+
+  NodeId num_nodes() const override { return net_.num_nodes(); }
+  PointId num_points() const override { return points_.size(); }
+  void ForEachNeighbor(
+      NodeId n,
+      const std::function<void(NodeId, double)>& fn) const override;
+  double EdgeWeight(NodeId a, NodeId b) const override {
+    return net_.EdgeWeight(a, b);
+  }
+  PointPos PointPosition(PointId p) const override {
+    return points_.position(p);
+  }
+  void GetEdgePoints(NodeId a, NodeId b,
+                     std::vector<EdgePoint>* out) const override;
+  void ForEachPointGroup(
+      const std::function<void(NodeId, NodeId, PointId, uint32_t)>& fn)
+      const override;
+
+  const Network& network() const { return net_; }
+  const PointSet& points() const { return points_; }
+
+ private:
+  const Network& net_;
+  const PointSet& points_;
+};
+
+}  // namespace netclus
+
+#endif  // NETCLUS_GRAPH_NETWORK_H_

@@ -1,0 +1,186 @@
+#include "graph/network_distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace netclus {
+
+double DirectDistance(const PointPos& p, const PointPos& q) {
+  if (p.u != q.u || p.v != q.v) return kInfDist;
+  return std::fabs(p.offset - q.offset);
+}
+
+double DirectDistanceToNode(const PointPos& p, double edge_weight, NodeId n) {
+  if (n == p.u) return p.offset;
+  if (n == p.v) return edge_weight - p.offset;
+  return kInfDist;
+}
+
+double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
+                            NodeScratch* scratch) {
+  if (p == q) return 0.0;
+  PointPos pp = view.PointPosition(p);
+  PointPos qq = view.PointPosition(q);
+  double wq = view.EdgeWeight(qq.u, qq.v);
+  bool same_edge = pp.u == qq.u && pp.v == qq.v;
+  double best = same_edge ? std::fabs(pp.offset - qq.offset) : kInfDist;
+
+  double wp = view.EdgeWeight(pp.u, pp.v);
+  std::vector<DijkstraSource> sources = {{pp.u, pp.offset},
+                                         {pp.v, wp - pp.offset}};
+  bool settled_u = false, settled_v = false;
+  DijkstraExpandBounded(view, sources, kInfDist, scratch,
+                        [&](NodeId n, double d) {
+                          // All later settles have distance >= d, so once d
+                          // reaches `best` no candidate can improve it.
+                          if (d >= best) return false;
+                          if (n == qq.u) {
+                            best = std::min(best, d + qq.offset);
+                            settled_u = true;
+                          }
+                          if (n == qq.v) {
+                            best = std::min(best, d + wq - qq.offset);
+                            settled_v = true;
+                          }
+                          return !(settled_u && settled_v);
+                        });
+  return best;
+}
+
+void RangeQuery(const NetworkView& view, PointId center, double eps,
+                NodeScratch* scratch, std::vector<RangeResult>* out) {
+  out->clear();
+  PointPos c = view.PointPosition(center);
+  double wc = view.EdgeWeight(c.u, c.v);
+
+  std::vector<std::pair<NodeId, double>> settled;
+  DijkstraExpandBounded(view, {{c.u, c.offset}, {c.v, wc - c.offset}}, eps,
+                        scratch, [&](NodeId n, double d) {
+                          settled.emplace_back(n, d);
+                          return true;
+                        });
+
+  std::vector<EdgePoint> pts;
+  auto process_edge = [&](NodeId a, NodeId b, double we) {
+    view.GetEdgePoints(a, b, &pts);
+    if (pts.empty()) return;
+    NodeId u = std::min(a, b), v = std::max(a, b);
+    double du = scratch->Get(u);  // kInfDist when not reached within eps
+    double dv = scratch->Get(v);
+    bool is_center_edge = (u == c.u && v == c.v);
+    for (const EdgePoint& ep : pts) {
+      double d = std::min(du + ep.offset, dv + (we - ep.offset));
+      if (is_center_edge) d = std::min(d, std::fabs(ep.offset - c.offset));
+      if (d <= eps) out->push_back(RangeResult{ep.id, d});
+    }
+  };
+
+  std::unordered_set<uint64_t> seen_edges;
+  seen_edges.insert(EdgeKeyOf(c.u, c.v));
+  process_edge(c.u, c.v, wc);
+  for (const auto& [n, d] : settled) {
+    (void)d;
+    view.ForEachNeighbor(n, [&](NodeId m, double we) {
+      if (seen_edges.insert(EdgeKeyOf(n, m)).second) {
+        process_edge(n, m, we);
+      }
+    });
+  }
+}
+
+void KNearestNeighbors(const NetworkView& view, PointId center, uint32_t k,
+                       NodeScratch* scratch, std::vector<RangeResult>* out) {
+  out->clear();
+  if (k == 0) return;
+  PointPos c = view.PointPosition(center);
+  double wc = view.EdgeWeight(c.u, c.v);
+
+  // Candidate bookkeeping: per-point best distance found so far (offers
+  // via a settled endpoint are upper bounds that only improve), plus a
+  // multiset of those distances to read the current k-th best.
+  std::unordered_map<PointId, double> cand;
+  std::multiset<double> dists;
+  auto offer = [&](PointId id, double d) {
+    if (id == center) return;
+    auto [it, inserted] = cand.emplace(id, d);
+    if (inserted) {
+      dists.insert(d);
+    } else if (d < it->second) {
+      dists.erase(dists.find(it->second));
+      it->second = d;
+      dists.insert(d);
+    }
+  };
+  auto bound = [&]() {
+    if (dists.size() < k) return kInfDist;
+    return *std::next(dists.begin(), k - 1);
+  };
+
+  std::vector<EdgePoint> pts;
+  // Offers along an edge from a settled endpoint: every offered value is
+  // a genuine path length, i.e. an upper bound on the point's distance.
+  auto offer_edge = [&](NodeId from, NodeId to, double we, double dist) {
+    view.GetEdgePoints(from, to, &pts);
+    for (const EdgePoint& ep : pts) {
+      double dl = from < to ? ep.offset : we - ep.offset;
+      offer(ep.id, dist + dl);
+    }
+  };
+  // The center's own edge is reachable without any node: offer the
+  // direct distances (via-node paths for these points arrive when the
+  // endpoints settle below).
+  view.GetEdgePoints(c.u, c.v, &pts);
+  for (const EdgePoint& ep : pts) {
+    offer(ep.id, std::fabs(ep.offset - c.offset));
+  }
+
+  // INE-style expansion: a point whose best offer has not arrived yet
+  // lies behind an unsettled node, so once the settle distance reaches
+  // the current k-th candidate no candidate can improve.
+  scratch->NewEpoch();
+  struct Entry {
+    double dist;
+    NodeId node;
+    bool operator>(const Entry& other) const { return dist > other.dist; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  scratch->Set(c.u, c.offset);
+  heap.push(Entry{c.offset, c.u});
+  if (scratch->Get(c.v) > wc - c.offset) {
+    scratch->Set(c.v, wc - c.offset);
+    heap.push(Entry{wc - c.offset, c.v});
+  }
+  while (!heap.empty()) {
+    auto [d, n] = heap.top();
+    heap.pop();
+    if (d > scratch->Get(n)) continue;  // stale
+    if (d >= bound()) break;
+    view.ForEachNeighbor(n, [&](NodeId m, double we) {
+      // Offer via this (settled) side; the other side offers again when
+      // it settles, and per-point minimization keeps the best.
+      offer_edge(n, m, we, d);
+      double nd = d + we;
+      if (nd < scratch->Get(m)) {
+        scratch->Set(m, nd);
+        heap.push(Entry{nd, m});
+      }
+    });
+  }
+
+  std::vector<RangeResult> results;
+  results.reserve(cand.size());
+  for (const auto& [id, d] : cand) results.push_back(RangeResult{id, d});
+  std::sort(results.begin(), results.end(),
+            [](const RangeResult& a, const RangeResult& b) {
+              return a.dist != b.dist ? a.dist < b.dist : a.id < b.id;
+            });
+  if (results.size() > k) results.resize(k);
+  *out = std::move(results);
+}
+
+}  // namespace netclus

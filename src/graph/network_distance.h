@@ -1,0 +1,55 @@
+// Point-level distance functions of the paper's Section 3.1 and the
+// ε-range query over the network ([16]-style expansion) used by DBSCAN.
+#ifndef NETCLUS_GRAPH_NETWORK_DISTANCE_H_
+#define NETCLUS_GRAPH_NETWORK_DISTANCE_H_
+
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/network_view.h"
+#include "graph/types.h"
+
+namespace netclus {
+
+/// Direct distance d_L(p, q) (Definition 2): |offset difference| when the
+/// points share an edge, +infinity otherwise. Not necessarily the shortest
+/// distance even on a shared edge.
+double DirectDistance(const PointPos& p, const PointPos& q);
+
+/// Direct distance d_L(p, n) from a point to an endpoint of its edge
+/// (`edge_weight` = W(p.u, p.v)); +infinity when `n` is neither endpoint.
+double DirectDistanceToNode(const PointPos& p, double edge_weight, NodeId n);
+
+/// Network distance d(p, q) (Definition 4): length of the shortest path
+/// between the two points. Exact; early-terminating bidirectionally
+/// bounded single-source Dijkstra seeded at p's edge endpoints.
+/// `scratch` may be shared across calls (a fresh epoch is started).
+double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
+                            NodeScratch* scratch);
+
+/// A point found by RangeQuery, with its exact network distance from the
+/// query point.
+struct RangeResult {
+  PointId id = kInvalidPointId;
+  double dist = 0.0;
+};
+
+/// Finds every point q with d(center, q) <= eps (including `center`
+/// itself). Expands the network around `center` up to distance eps and
+/// inspects only edges incident to reached nodes, so the cost is
+/// proportional to the region spanned by eps, not to |V| or N.
+/// Results are unordered.
+void RangeQuery(const NetworkView& view, PointId center, double eps,
+                NodeScratch* scratch, std::vector<RangeResult>* out);
+
+/// Finds the `k` points nearest to `center` by network distance
+/// (excluding `center` itself), ordered by ascending distance. Fewer
+/// than k results when the reachable point population is smaller.
+/// Implemented as an expanding range search with a shrinking bound, in
+/// the spirit of the [16] query algorithms the paper builds on.
+void KNearestNeighbors(const NetworkView& view, PointId center, uint32_t k,
+                       NodeScratch* scratch, std::vector<RangeResult>* out);
+
+}  // namespace netclus
+
+#endif  // NETCLUS_GRAPH_NETWORK_DISTANCE_H_

@@ -1,0 +1,93 @@
+#include "graph/text_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace netclus {
+
+Status WriteNetworkText(const Network& net, const PointSet* points,
+                        std::ostream* out) {
+  *out << "# netclus network file\n";
+  *out << "network " << net.num_nodes() << "\n";
+  *out << std::setprecision(17);
+  for (const Edge& e : net.Edges()) {
+    *out << "edge " << e.u << " " << e.v << " " << e.weight << "\n";
+  }
+  if (points != nullptr) {
+    *out << "points\n";
+    for (PointId p = 0; p < points->size(); ++p) {
+      PointPos pos = points->position(p);
+      *out << "point " << pos.u << " " << pos.v << " " << pos.offset << " "
+           << points->label(p) << "\n";
+    }
+  }
+  if (!out->good()) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Result<std::pair<Network, PointSet>> ReadNetworkText(std::istream* in) {
+  Network net(0);
+  PointSetBuilder builder;
+  bool have_header = false;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank line
+    auto parse_error = [&](const std::string& what) {
+      return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                what);
+    };
+    if (kind == "network") {
+      if (have_header) return parse_error("duplicate network header");
+      NodeId n;
+      if (!(ls >> n)) return parse_error("expected node count");
+      net = Network(n);
+      have_header = true;
+    } else if (kind == "edge") {
+      if (!have_header) return parse_error("edge before network header");
+      NodeId a, b;
+      double w;
+      if (!(ls >> a >> b >> w)) return parse_error("malformed edge");
+      Status s = net.AddEdge(a, b, w);
+      if (!s.ok()) return parse_error(s.ToString());
+    } else if (kind == "points") {
+      if (!have_header) return parse_error("points before network header");
+    } else if (kind == "point") {
+      if (!have_header) return parse_error("point before network header");
+      NodeId a, b;
+      double off;
+      int label;
+      if (!(ls >> a >> b >> off >> label)) {
+        return parse_error("malformed point");
+      }
+      builder.Add(a, b, off, label);
+    } else {
+      return parse_error("unknown record '" + kind + "'");
+    }
+  }
+  if (!have_header) return Status::Corruption("missing network header");
+  Result<PointSet> points = std::move(builder).Build(net);
+  if (!points.ok()) return points.status();
+  return std::make_pair(std::move(net), std::move(points.value()));
+}
+
+Status SaveNetworkFile(const std::string& path, const Network& net,
+                       const PointSet* points) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  return WriteNetworkText(net, points, &out);
+}
+
+Result<std::pair<Network, PointSet>> LoadNetworkFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadNetworkText(&in);
+}
+
+}  // namespace netclus

@@ -1,0 +1,38 @@
+// Plain-text serialization of networks and point sets.
+//
+// Format (whitespace-separated, '#' comments):
+//   network <num_nodes>
+//   edge <a> <b> <weight>      (one line per undirected edge)
+//   points
+//   point <a> <b> <offset_from_min(a,b)> <label>
+//
+// The format lets users bring their own road networks (e.g. converted
+// from the datasets the paper used) and is what the netclus_cli example
+// consumes.
+#ifndef NETCLUS_GRAPH_TEXT_IO_H_
+#define NETCLUS_GRAPH_TEXT_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "graph/network.h"
+
+namespace netclus {
+
+/// Writes `net` (and `points`, if non-null) to `out`.
+Status WriteNetworkText(const Network& net, const PointSet* points,
+                        std::ostream* out);
+
+/// Parses a network and (possibly empty) point set from `in`.
+Result<std::pair<Network, PointSet>> ReadNetworkText(std::istream* in);
+
+/// File-path convenience wrappers.
+Status SaveNetworkFile(const std::string& path, const Network& net,
+                       const PointSet* points);
+Result<std::pair<Network, PointSet>> LoadNetworkFile(const std::string& path);
+
+}  // namespace netclus
+
+#endif  // NETCLUS_GRAPH_TEXT_IO_H_

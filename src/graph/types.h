@@ -1,0 +1,56 @@
+// Fundamental identifiers and value types for spatial networks.
+#ifndef NETCLUS_GRAPH_TYPES_H_
+#define NETCLUS_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <utility>
+
+namespace netclus {
+
+/// Identifier of a network node (vertex).
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNodeId = UINT32_MAX;
+
+/// Identifier of an object (point) lying on a network edge. Point ids are
+/// assigned so that points on the same edge are consecutive and ordered by
+/// ascending offset (paper Section 4.1).
+using PointId = uint32_t;
+inline constexpr PointId kInvalidPointId = UINT32_MAX;
+
+/// Canonical 64-bit key of the undirected edge {a, b} (smaller id first).
+inline uint64_t EdgeKeyOf(NodeId a, NodeId b) {
+  NodeId u = a < b ? a : b;
+  NodeId v = a < b ? b : a;
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+inline NodeId EdgeKeyU(uint64_t key) { return static_cast<NodeId>(key >> 32); }
+inline NodeId EdgeKeyV(uint64_t key) {
+  return static_cast<NodeId>(key & 0xFFFFFFFFULL);
+}
+
+/// Position of a point on the network: the triplet <u, v, offset> of
+/// Definition 1, with u < v and offset measured from u along edge (u, v).
+struct PointPos {
+  NodeId u = kInvalidNodeId;
+  NodeId v = kInvalidNodeId;
+  double offset = 0.0;
+};
+
+/// A point on a specific edge, as returned by edge-local queries: its id
+/// and its offset from the canonical (smaller-id) endpoint.
+struct EdgePoint {
+  PointId id = kInvalidPointId;
+  double offset = 0.0;
+};
+
+/// An undirected weighted edge (canonical orientation u < v).
+struct Edge {
+  NodeId u = kInvalidNodeId;
+  NodeId v = kInvalidNodeId;
+  double weight = 0.0;
+};
+
+}  // namespace netclus
+
+#endif  // NETCLUS_GRAPH_TYPES_H_

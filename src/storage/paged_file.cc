@@ -1,0 +1,98 @@
+#include "storage/paged_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace netclus {
+
+PagedFile::PagedFile(uint32_t page_size, int fd)
+    : page_size_(page_size), fd_(fd) {}
+
+PagedFile::~PagedFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<PagedFile> PagedFile::CreateInMemory(uint32_t page_size) {
+  return std::unique_ptr<PagedFile>(new PagedFile(page_size, -1));
+}
+
+Result<std::unique_ptr<PagedFile>> PagedFile::Open(const std::string& path,
+                                                   uint32_t page_size,
+                                                   bool truncate) {
+  int flags = O_RDWR | O_CREAT;
+  if (truncate) flags |= O_TRUNC;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IOError("lseek " + path + ": " + std::strerror(errno));
+  }
+  if (size % page_size != 0) {
+    ::close(fd);
+    return Status::Corruption(path + ": size is not a multiple of page size");
+  }
+  auto file = std::unique_ptr<PagedFile>(new PagedFile(page_size, fd));
+  file->num_pages_ = static_cast<PageId>(size / page_size);
+  return file;
+}
+
+Result<PageId> PagedFile::AllocatePage() {
+  PageId id = num_pages_;
+  if (fd_ >= 0) {
+    std::vector<char> zeros(page_size_, 0);
+    ssize_t n = ::pwrite(fd_, zeros.data(), page_size_,
+                         static_cast<off_t>(id) * page_size_);
+    if (n != static_cast<ssize_t>(page_size_)) {
+      return Status::IOError("pwrite: " + std::string(std::strerror(errno)));
+    }
+  } else {
+    auto page = std::make_unique<char[]>(page_size_);
+    std::memset(page.get(), 0, page_size_);
+    mem_pages_.push_back(std::move(page));
+  }
+  ++num_pages_;
+  ++stats_.pages_allocated;
+  return id;
+}
+
+Status PagedFile::ReadPage(PageId id, char* out) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("ReadPage: page id out of range");
+  }
+  if (fd_ >= 0) {
+    ssize_t n = ::pread(fd_, out, page_size_,
+                        static_cast<off_t>(id) * page_size_);
+    if (n != static_cast<ssize_t>(page_size_)) {
+      return Status::IOError("pread: " + std::string(std::strerror(errno)));
+    }
+  } else {
+    std::memcpy(out, mem_pages_[id].get(), page_size_);
+  }
+  ++stats_.page_reads;
+  return Status::OK();
+}
+
+Status PagedFile::WritePage(PageId id, const char* data) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("WritePage: page id out of range");
+  }
+  if (fd_ >= 0) {
+    ssize_t n = ::pwrite(fd_, data, page_size_,
+                         static_cast<off_t>(id) * page_size_);
+    if (n != static_cast<ssize_t>(page_size_)) {
+      return Status::IOError("pwrite: " + std::string(std::strerror(errno)));
+    }
+  } else {
+    std::memcpy(mem_pages_[id].get(), data, page_size_);
+  }
+  ++stats_.page_writes;
+  return Status::OK();
+}
+
+}  // namespace netclus

@@ -1,0 +1,80 @@
+// Page-granular file abstraction with I/O accounting.
+//
+// The paper (Section 4.1, 5) stores the network adjacency lists and the
+// point groups in flat files of 4 KiB pages accessed through a 1 MiB
+// memory buffer. PagedFile is the bottom layer: it reads and writes whole
+// pages and counts every physical access, so experiments can report
+// hardware-independent I/O counts.
+#ifndef NETCLUS_STORAGE_PAGED_FILE_H_
+#define NETCLUS_STORAGE_PAGED_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace netclus {
+
+/// Identifier of a page within a PagedFile.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = UINT32_MAX;
+
+/// Physical I/O counters for one PagedFile.
+struct FileIoStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t pages_allocated = 0;
+};
+
+/// \brief A growable sequence of fixed-size pages.
+///
+/// Two backends: a POSIX file on disk, or an anonymous in-memory store
+/// (used by tests and by benches that only care about I/O counts). Both
+/// count physical page reads/writes identically.
+class PagedFile {
+ public:
+  /// Creates an anonymous in-memory paged file.
+  static std::unique_ptr<PagedFile> CreateInMemory(uint32_t page_size);
+
+  /// Opens (or creates) a paged file backed by `path`. When `truncate` is
+  /// true any existing content is discarded. The existing file size must be
+  /// a multiple of `page_size`.
+  static Result<std::unique_ptr<PagedFile>> Open(const std::string& path,
+                                                 uint32_t page_size,
+                                                 bool truncate);
+
+  ~PagedFile();
+
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
+
+  uint32_t page_size() const { return page_size_; }
+  PageId num_pages() const { return num_pages_; }
+
+  /// Appends a zeroed page and returns its id.
+  Result<PageId> AllocatePage();
+
+  /// Reads page `id` into `out` (page_size() bytes).
+  Status ReadPage(PageId id, char* out);
+
+  /// Overwrites page `id` with `data` (page_size() bytes).
+  Status WritePage(PageId id, const char* data);
+
+  const FileIoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = FileIoStats{}; }
+
+ private:
+  PagedFile(uint32_t page_size, int fd);
+
+  uint32_t page_size_;
+  PageId num_pages_ = 0;
+  int fd_;  // -1 for the in-memory backend
+  std::vector<std::unique_ptr<char[]>> mem_pages_;
+  FileIoStats stats_;
+};
+
+}  // namespace netclus
+
+#endif  // NETCLUS_STORAGE_PAGED_FILE_H_

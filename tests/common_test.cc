@@ -1,0 +1,190 @@
+// Tests for src/common: Status/Result, Rng, RunningStats, timers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace netclus {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("k must be positive");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.ToString(), "InvalidArgument: k must be positive");
+}
+
+TEST(StatusTest, EachFactoryProducesItsCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("abc"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "abc");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversAllResidues) {
+  Rng rng(10);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextUniform(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBernoulli(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(14);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(15);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  std::set<uint64_t> s(sample.begin(), sample.end());
+  EXPECT_EQ(s.size(), 30u);
+  for (uint64_t x : s) EXPECT_LT(x, 100u);
+}
+
+TEST(RngTest, SampleFullPopulation) {
+  Rng rng(16);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<uint64_t> s(sample.begin(), sample.end());
+  EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SingleSampleVarianceIsZero) {
+  RunningStats s;
+  s.Add(3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(SlidingWindowMeanTest, RollsOver) {
+  SlidingWindowMean w(3);
+  w.Add(1.0);
+  EXPECT_FALSE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 1.0);
+  w.Add(2.0);
+  w.Add(3.0);
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.Add(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(SlidingWindowMeanTest, EmptyMeanIsZero) {
+  SlidingWindowMean w(4);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+TEST(WallTimerTest, MeasuresNonNegativeTime) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace netclus

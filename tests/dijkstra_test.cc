@@ -1,0 +1,314 @@
+// Tests for Dijkstra primitives, the point network distance (Definition
+// 4) and the eps-range query — all validated against brute force on
+// randomized networks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "core/brute_force.h"
+#include "gen/network_gen.h"
+#include "gen/workload_gen.h"
+#include "graph/dijkstra.h"
+#include "graph/network_distance.h"
+
+namespace netclus {
+namespace {
+
+TEST(NodeScratchTest, EpochInvalidatesWithoutClearing) {
+  NodeScratch s(5);
+  s.NewEpoch();
+  EXPECT_FALSE(s.Has(3));
+  EXPECT_EQ(s.Get(3), kInfDist);
+  s.Set(3, 1.5);
+  EXPECT_TRUE(s.Has(3));
+  EXPECT_DOUBLE_EQ(s.Get(3), 1.5);
+  s.NewEpoch();
+  EXPECT_FALSE(s.Has(3));
+}
+
+TEST(DijkstraTest, PathNetworkDistances) {
+  Network net = MakePathNetwork(5, 2.0);
+  PointSet empty;
+  InMemoryNetworkView view(net, empty);
+  std::vector<double> d = DijkstraDistances(view, {{0, 0.0}});
+  for (NodeId i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(d[i], 2.0 * i);
+}
+
+TEST(DijkstraTest, MultiSourceTakesMinimum) {
+  Network net = MakePathNetwork(5, 1.0);
+  PointSet empty;
+  InMemoryNetworkView view(net, empty);
+  std::vector<double> d = DijkstraDistances(view, {{0, 0.0}, {4, 0.5}});
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[4], 0.5);
+  EXPECT_DOUBLE_EQ(d[3], 1.5);
+  EXPECT_DOUBLE_EQ(d[2], 2.0);
+}
+
+TEST(DijkstraTest, UnreachableIsInfinite) {
+  Network net(3);
+  ASSERT_TRUE(net.AddEdge(0, 1, 1.0).ok());
+  PointSet empty;
+  InMemoryNetworkView view(net, empty);
+  std::vector<double> d = DijkstraDistances(view, {{0, 0.0}});
+  EXPECT_EQ(d[2], kInfDist);
+}
+
+TEST(DijkstraTest, MatchesFloydWarshallOnRandomNetworks) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    RoadNetworkSpec spec;
+    spec.target_nodes = 40;
+    spec.edge_ratio = 1.4;
+    spec.seed = seed;
+    GeneratedNetwork g = GenerateRoadNetwork(spec);
+    PointSet empty;
+    InMemoryNetworkView view(g.net, empty);
+    auto brute = BruteNodeDistances(g.net);
+    for (NodeId s = 0; s < g.net.num_nodes(); s += 7) {
+      std::vector<double> d = DijkstraDistances(view, {{s, 0.0}});
+      for (NodeId t = 0; t < g.net.num_nodes(); ++t) {
+        ASSERT_NEAR(d[t], brute[s][t], 1e-9)
+            << "seed " << seed << " s=" << s << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(DijkstraTest, BoundedExpansionRespectsBound) {
+  Network net = MakePathNetwork(10, 1.0);
+  PointSet empty;
+  InMemoryNetworkView view(net, empty);
+  NodeScratch scratch(10);
+  std::vector<NodeId> settled;
+  DijkstraExpandBounded(view, {{0, 0.0}}, 3.5, &scratch,
+                        [&](NodeId n, double d) {
+                          EXPECT_LE(d, 3.5);
+                          settled.push_back(n);
+                          return true;
+                        });
+  EXPECT_EQ(settled.size(), 4u);  // nodes 0..3
+}
+
+TEST(DijkstraTest, BoundedExpansionSettlesInOrder) {
+  GeneratedNetwork g = GenerateRoadNetwork({100, 1.3, 0.3, 9});
+  PointSet empty;
+  InMemoryNetworkView view(g.net, empty);
+  NodeScratch scratch(g.net.num_nodes());
+  double last = 0.0;
+  DijkstraExpandBounded(view, {{0, 0.0}}, kInfDist, &scratch,
+                        [&](NodeId, double d) {
+                          EXPECT_GE(d, last);
+                          last = d;
+                          return true;
+                        });
+}
+
+TEST(DijkstraTest, EarlyStopViaCallback) {
+  Network net = MakePathNetwork(100, 1.0);
+  PointSet empty;
+  InMemoryNetworkView view(net, empty);
+  NodeScratch scratch(100);
+  int settles = 0;
+  DijkstraExpandBounded(view, {{0, 0.0}}, kInfDist, &scratch,
+                        [&](NodeId, double) { return ++settles < 5; });
+  EXPECT_EQ(settles, 5);
+}
+
+// ------------------------------------------------ point-level distances.
+
+TEST(DirectDistanceTest, Definition2) {
+  PointPos p{0, 1, 1.0}, q{0, 1, 3.5}, r{1, 2, 0.5};
+  EXPECT_DOUBLE_EQ(DirectDistance(p, q), 2.5);
+  EXPECT_DOUBLE_EQ(DirectDistance(q, p), 2.5);
+  EXPECT_EQ(DirectDistance(p, r), kInfDist);
+  EXPECT_DOUBLE_EQ(DirectDistanceToNode(p, 4.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(DirectDistanceToNode(p, 4.0, 1), 3.0);
+  EXPECT_EQ(DirectDistanceToNode(p, 4.0, 2), kInfDist);
+}
+
+TEST(PointDistanceTest, SameEdgeCanShortcutThroughNetwork) {
+  // Triangle where going around is shorter than along the edge.
+  Network net(3);
+  ASSERT_TRUE(net.AddEdge(0, 1, 10.0).ok());
+  ASSERT_TRUE(net.AddEdge(1, 2, 1.0).ok());
+  ASSERT_TRUE(net.AddEdge(0, 2, 1.0).ok());
+  PointSetBuilder b;
+  b.Add(0, 1, 0.5, 0);  // near node 0
+  b.Add(0, 1, 9.5, 1);  // near node 1
+  PointSet ps = std::move(std::move(b).Build(net)).value();
+  InMemoryNetworkView view(net, ps);
+  NodeScratch scratch(3);
+  // Direct along the edge: 9.0. Via nodes 0-2-1: 0.5 + 2.0 + 0.5 = 3.0.
+  EXPECT_NEAR(PointNetworkDistance(view, 0, 1, &scratch), 3.0, 1e-12);
+}
+
+TEST(PointDistanceTest, SelfDistanceIsZero) {
+  Network net = MakePathNetwork(2, 5.0);
+  PointSetBuilder b;
+  b.Add(0, 1, 2.0, 0);
+  PointSet ps = std::move(std::move(b).Build(net)).value();
+  InMemoryNetworkView view(net, ps);
+  NodeScratch scratch(2);
+  EXPECT_DOUBLE_EQ(PointNetworkDistance(view, 0, 0, &scratch), 0.0);
+}
+
+class PointDistancePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PointDistancePropertyTest, MatchesBruteDefinition4) {
+  uint64_t seed = GetParam();
+  RoadNetworkSpec spec{60, 1.35, 0.3, seed};
+  GeneratedNetwork g = GenerateRoadNetwork(spec);
+  Result<PointSet> ps = GenerateUniformPoints(g.net, 50, seed + 100);
+  ASSERT_TRUE(ps.ok());
+  InMemoryNetworkView view(g.net, ps.value());
+  NodeScratch scratch(g.net.num_nodes());
+  auto pd = BrutePointDistanceMatrix(g.net, ps.value());
+  for (PointId i = 0; i < 50; i += 3) {
+    for (PointId j = i; j < 50; j += 5) {
+      ASSERT_NEAR(PointNetworkDistance(view, i, j, &scratch), pd[i][j], 1e-9)
+          << "seed " << seed << " i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST_P(PointDistancePropertyTest, IsAMetric) {
+  uint64_t seed = GetParam();
+  GeneratedNetwork g = GenerateRoadNetwork({40, 1.3, 0.3, seed});
+  Result<PointSet> ps = GenerateUniformPoints(g.net, 20, seed + 5);
+  ASSERT_TRUE(ps.ok());
+  auto pd = BrutePointDistanceMatrix(g.net, ps.value());
+  InMemoryNetworkView view(g.net, ps.value());
+  NodeScratch scratch(g.net.num_nodes());
+  for (PointId i = 0; i < 20; ++i) {
+    for (PointId j = 0; j < 20; ++j) {
+      // Symmetry (computed independently in both directions).
+      ASSERT_NEAR(PointNetworkDistance(view, i, j, &scratch),
+                  PointNetworkDistance(view, j, i, &scratch), 1e-9);
+      for (PointId k = 0; k < 20; ++k) {
+        ASSERT_LE(pd[i][k], pd[i][j] + pd[j][k] + 1e-9);  // triangle
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PointDistancePropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// ------------------------------------------------------- range queries.
+
+TEST(RangeQueryTest, FindsExactlyPointsWithinEps) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    GeneratedNetwork g = GenerateRoadNetwork({50, 1.35, 0.3, seed});
+    Result<PointSet> ps = GenerateUniformPoints(g.net, 60, seed);
+    ASSERT_TRUE(ps.ok());
+    InMemoryNetworkView view(g.net, ps.value());
+    NodeScratch scratch(g.net.num_nodes());
+    auto pd = BrutePointDistanceMatrix(g.net, ps.value());
+    for (PointId center = 0; center < 60; center += 7) {
+      for (double eps : {0.5, 1.5, 4.0}) {
+        std::vector<RangeResult> got;
+        RangeQuery(view, center, eps, &scratch, &got);
+        std::vector<PointId> got_ids;
+        for (const RangeResult& r : got) {
+          got_ids.push_back(r.id);
+          ASSERT_NEAR(r.dist, pd[center][r.id], 1e-9);
+        }
+        std::sort(got_ids.begin(), got_ids.end());
+        std::vector<PointId> want;
+        for (PointId q = 0; q < 60; ++q) {
+          if (pd[center][q] <= eps) want.push_back(q);
+        }
+        ASSERT_EQ(got_ids, want) << "seed " << seed << " center " << center
+                                 << " eps " << eps;
+      }
+    }
+  }
+}
+
+class KnnPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(KnnPropertyTest, MatchesBruteForceTopK) {
+  const uint32_t k = GetParam();
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    GeneratedNetwork g = GenerateRoadNetwork({50, 1.35, 0.3, seed});
+    PointSet ps =
+        std::move(GenerateUniformPoints(g.net, 60, seed + 8)).value();
+    InMemoryNetworkView view(g.net, ps);
+    NodeScratch scratch(g.net.num_nodes());
+    auto pd = BrutePointDistanceMatrix(g.net, ps);
+    for (PointId center = 0; center < 60; center += 11) {
+      std::vector<RangeResult> got;
+      KNearestNeighbors(view, center, k, &scratch, &got);
+      // Brute top-k by (distance, id).
+      std::vector<RangeResult> want;
+      for (PointId q = 0; q < 60; ++q) {
+        if (q != center) want.push_back({q, pd[center][q]});
+      }
+      std::sort(want.begin(), want.end(),
+                [](const RangeResult& a, const RangeResult& b) {
+                  return a.dist != b.dist ? a.dist < b.dist : a.id < b.id;
+                });
+      want.resize(std::min<size_t>(k, want.size()));
+      ASSERT_EQ(got.size(), want.size()) << "seed " << seed;
+      for (size_t i = 0; i < got.size(); ++i) {
+        // Distances must match exactly; ids may differ only under ties.
+        ASSERT_NEAR(got[i].dist, want[i].dist, 1e-9)
+            << "seed " << seed << " center " << center << " rank " << i;
+        ASSERT_NEAR(pd[center][got[i].id], got[i].dist, 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KnnPropertyTest,
+                         ::testing::Values(1u, 3u, 10u, 59u));
+
+TEST(KnnTest, FewerReachableThanK) {
+  Network net(4);
+  ASSERT_TRUE(net.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(net.AddEdge(2, 3, 1.0).ok());  // other component
+  PointSetBuilder b;
+  b.Add(0, 1, 0.2, 0);
+  b.Add(0, 1, 0.8, 0);
+  b.Add(2, 3, 0.5, 0);
+  PointSet ps = std::move(std::move(b).Build(net)).value();
+  InMemoryNetworkView view(net, ps);
+  NodeScratch scratch(4);
+  std::vector<RangeResult> got;
+  KNearestNeighbors(view, 0, 5, &scratch, &got);
+  ASSERT_EQ(got.size(), 1u);  // only point 1 reachable
+  EXPECT_EQ(got[0].id, 1u);
+  EXPECT_DOUBLE_EQ(got[0].dist, 0.6);
+}
+
+TEST(KnnTest, ZeroKIsEmpty) {
+  Network net = MakePathNetwork(2, 1.0);
+  PointSetBuilder b;
+  b.Add(0, 1, 0.5, 0);
+  b.Add(0, 1, 0.7, 0);
+  PointSet ps = std::move(std::move(b).Build(net)).value();
+  InMemoryNetworkView view(net, ps);
+  NodeScratch scratch(2);
+  std::vector<RangeResult> got;
+  KNearestNeighbors(view, 0, 0, &scratch, &got);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(RangeQueryTest, CenterAlwaysIncluded) {
+  Network net = MakePathNetwork(3, 100.0);
+  PointSetBuilder b;
+  b.Add(0, 1, 50.0, 0);
+  PointSet ps = std::move(std::move(b).Build(net)).value();
+  InMemoryNetworkView view(net, ps);
+  NodeScratch scratch(3);
+  std::vector<RangeResult> got;
+  RangeQuery(view, 0, 0.001, &scratch, &got);  // eps smaller than any gap
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 0u);
+  EXPECT_DOUBLE_EQ(got[0].dist, 0.0);
+}
+
+}  // namespace
+}  // namespace netclus

@@ -1,0 +1,243 @@
+// Integration tests: full pipelines over generated workloads, and the
+// guarantee that the disk-backed storage architecture yields results
+// identical to in-memory execution for every algorithm.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dbscan.h"
+#include "core/eps_link.h"
+#include "core/interesting_levels.h"
+#include "core/kmedoids.h"
+#include "core/optics.h"
+#include "core/single_link.h"
+#include "eval/evaluation.h"
+#include "eval/metrics.h"
+#include "gen/network_gen.h"
+#include "gen/workload_gen.h"
+#include "graph/network_distance.h"
+#include "graph/network_store.h"
+
+namespace netclus {
+namespace {
+
+struct Pipeline {
+  GeneratedNetwork gen;
+  GeneratedWorkload workload;
+  std::unique_ptr<InMemoryNetworkView> mem_view;
+  std::unique_ptr<DiskNetworkBundle> disk;
+};
+
+Pipeline MakePipeline(NodeId nodes, PointId points, uint32_t k,
+                      uint64_t seed, double s_init = 0.02) {
+  Pipeline p;
+  p.gen = GenerateRoadNetwork({nodes, 1.3, 0.3, seed});
+  ClusterWorkloadSpec spec;
+  spec.total_points = points;
+  spec.num_clusters = k;
+  spec.outlier_fraction = 0.01;
+  spec.s_init = s_init;
+  spec.seed = seed + 1;
+  p.workload = std::move(GenerateClusteredPoints(p.gen.net, spec).value());
+  p.mem_view =
+      std::make_unique<InMemoryNetworkView>(p.gen.net, p.workload.points);
+  p.disk = std::move(DiskNetworkBundle::Create(p.gen.net, p.workload.points,
+                                               1 << 20, 4096,
+                                               NodePlacement::kConnectivity,
+                                               seed)
+                         .value());
+  return p;
+}
+
+TEST(IntegrationTest, DiskAndMemoryKMedoidsIdentical) {
+  Pipeline p = MakePipeline(400, 1200, 4, 1001);
+  KMedoidsOptions opts;
+  opts.k = 4;
+  opts.seed = 5;
+  opts.max_unsuccessful_swaps = 5;
+  Result<KMedoidsResult> mem = KMedoidsCluster(*p.mem_view, opts);
+  Result<KMedoidsResult> disk = KMedoidsCluster(p.disk->view(), opts);
+  ASSERT_TRUE(mem.ok());
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ(mem.value().medoids, disk.value().medoids);
+  EXPECT_NEAR(mem.value().cost, disk.value().cost, 1e-9);
+  EXPECT_EQ(mem.value().clustering.assignment,
+            disk.value().clustering.assignment);
+}
+
+TEST(IntegrationTest, DiskAndMemoryEpsLinkIdentical) {
+  Pipeline p = MakePipeline(400, 1500, 5, 1002);
+  EpsLinkOptions opts;
+  opts.eps = p.workload.max_intra_gap;
+  opts.min_sup = 3;
+  Result<Clustering> mem = EpsLinkCluster(*p.mem_view, opts);
+  Result<Clustering> disk = EpsLinkCluster(p.disk->view(), opts);
+  ASSERT_TRUE(mem.ok());
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ(mem.value().assignment, disk.value().assignment);
+}
+
+TEST(IntegrationTest, DiskAndMemoryDbscanIdentical) {
+  Pipeline p = MakePipeline(300, 900, 4, 1003);
+  DbscanOptions opts;
+  opts.eps = p.workload.max_intra_gap;
+  opts.min_pts = 3;
+  Result<Clustering> mem = DbscanCluster(*p.mem_view, opts);
+  Result<Clustering> disk = DbscanCluster(p.disk->view(), opts);
+  ASSERT_TRUE(mem.ok());
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ(mem.value().assignment, disk.value().assignment);
+}
+
+TEST(IntegrationTest, DiskAndMemorySingleLinkIdentical) {
+  Pipeline p = MakePipeline(300, 800, 4, 1004);
+  SingleLinkOptions opts;
+  opts.delta = 0.1 * p.workload.max_intra_gap;
+  Result<SingleLinkResult> mem = SingleLinkCluster(*p.mem_view, opts);
+  Result<SingleLinkResult> disk = SingleLinkCluster(p.disk->view(), opts);
+  ASSERT_TRUE(mem.ok());
+  ASSERT_TRUE(disk.ok());
+  const auto& mm = mem.value().dendrogram.merges();
+  const auto& dm = disk.value().dendrogram.merges();
+  ASSERT_EQ(mm.size(), dm.size());
+  for (size_t i = 0; i < mm.size(); ++i) {
+    EXPECT_EQ(mm[i].a, dm[i].a);
+    EXPECT_EQ(mm[i].b, dm[i].b);
+    EXPECT_DOUBLE_EQ(mm[i].distance, dm[i].distance);
+  }
+}
+
+TEST(IntegrationTest, DensityMethodsRecoverWorkload) {
+  Pipeline p = MakePipeline(1200, 3000, 6, 1005);
+  EpsLinkOptions opts;
+  opts.eps = p.workload.max_intra_gap;
+  opts.min_sup = 10;
+  Clustering c = std::move(EpsLinkCluster(*p.mem_view, opts)).value();
+  // Every planted cluster intact (never split, never lost to noise).
+  for (int label = 0; label < 6; ++label) {
+    int first_cluster = -2;
+    for (PointId q = 0; q < p.workload.points.size(); ++q) {
+      if (p.workload.points.label(q) != label) continue;
+      ASSERT_NE(c.assignment[q], kNoise);
+      if (first_cluster == -2) {
+        first_cluster = c.assignment[q];
+      } else {
+        ASSERT_EQ(c.assignment[q], first_cluster);
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, SingleLinkFindsInterestingLevelAtPlantedK) {
+  // The paper's Fig. 15 claim: the sharpest merge-distance jump appears
+  // when the planted clusters have just been assembled.
+  Pipeline p = MakePipeline(2000, 4000, 8, 1009, /*s_init=*/0.008);
+  SingleLinkOptions opts;
+  opts.delta = 0.5 * p.workload.max_intra_gap;
+  Result<SingleLinkResult> r = SingleLinkCluster(*p.mem_view, opts);
+  ASSERT_TRUE(r.ok());
+  InterestingLevelOptions ilo;
+  ilo.window = 10;
+  ilo.factor = 8.0;
+  std::vector<InterestingLevel> levels =
+      DetectInterestingLevels(r.value().dendrogram, ilo);
+  ASSERT_FALSE(levels.empty());
+  // Some detected level must sit near the planted cluster count plus
+  // outliers (outliers remain singletons at that height).
+  bool found_plausible = false;
+  const InterestingLevel* sharpest = &levels.front();
+  for (const InterestingLevel& level : levels) {
+    if (level.clusters_remaining >= 8 &&
+        level.clusters_remaining <= 8 + 80) {
+      found_plausible = true;
+    }
+    if (level.jump_ratio > sharpest->jump_ratio) sharpest = &level;
+  }
+  EXPECT_TRUE(found_plausible);
+  // Cutting just below the sharpest jump recovers the ground truth well
+  // (the paper's "sharpest distance change" is the cluster level).
+  Clustering cut = r.value().dendrogram.CutAtDistance(
+      sharpest->distance_before, /*min_size=*/10);
+  double ari = AdjustedRandIndex(p.workload.points.labels(), cut.assignment,
+                                 NoiseHandling::kIgnore);
+  EXPECT_GT(ari, 0.9);
+}
+
+TEST(IntegrationTest, AllMethodsAgreeOnWellSeparatedClusters) {
+  Pipeline p = MakePipeline(1000, 2500, 5, 1007);
+  double eps = p.workload.max_intra_gap;
+  EpsLinkOptions eo;
+  eo.eps = eps;
+  eo.min_sup = 10;
+  Clustering el = std::move(EpsLinkCluster(*p.mem_view, eo)).value();
+  DbscanOptions dbo;
+  dbo.eps = eps;
+  dbo.min_pts = 2;
+  Clustering db = std::move(DbscanCluster(*p.mem_view, dbo)).value();
+  Result<SingleLinkResult> sl = SingleLinkCluster(*p.mem_view,
+                                                  SingleLinkOptions{});
+  ASSERT_TRUE(sl.ok());
+  Clustering cut = sl.value().dendrogram.CutAtDistance(eps, /*min_size=*/10);
+  // eps-link vs single-link cut: identical partitions by theory.
+  EXPECT_TRUE(SamePartition(el.assignment, cut.assignment));
+  // DBSCAN(MinPts=2) agrees on everything except min_sup handling; the
+  // cluster structures must match on points both consider clustered.
+  double ari = AdjustedRandIndex(el.assignment, db.assignment,
+                                 NoiseHandling::kIgnore);
+  EXPECT_GT(ari, 0.999);
+}
+
+TEST(IntegrationTest, DiskAndMemoryQueriesIdentical) {
+  // The query primitives (k-NN, range, OPTICS) must also be storage-
+  // agnostic.
+  Pipeline p = MakePipeline(300, 800, 4, 1010);
+  NodeScratch mem_scratch(p.gen.net.num_nodes());
+  NodeScratch disk_scratch(p.gen.net.num_nodes());
+  double eps = p.workload.max_intra_gap;
+  for (PointId q = 0; q < 800; q += 97) {
+    std::vector<RangeResult> a, b;
+    RangeQuery(*p.mem_view, q, eps, &mem_scratch, &a);
+    RangeQuery(p.disk->view(), q, eps, &disk_scratch, &b);
+    auto by_id = [](const RangeResult& x, const RangeResult& y) {
+      return x.id < y.id;
+    };
+    std::sort(a.begin(), a.end(), by_id);
+    std::sort(b.begin(), b.end(), by_id);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].id, b[i].id);
+      ASSERT_DOUBLE_EQ(a[i].dist, b[i].dist);
+    }
+    KNearestNeighbors(*p.mem_view, q, 7, &mem_scratch, &a);
+    KNearestNeighbors(p.disk->view(), q, 7, &disk_scratch, &b);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].id, b[i].id);
+      ASSERT_DOUBLE_EQ(a[i].dist, b[i].dist);
+    }
+  }
+  OpticsOptions oo;
+  oo.eps = eps;
+  oo.min_pts = 3;
+  OpticsResult om = std::move(OpticsOrder(*p.mem_view, oo).value());
+  OpticsResult od = std::move(OpticsOrder(p.disk->view(), oo).value());
+  EXPECT_EQ(om.order, od.order);
+  EXPECT_EQ(om.reachability, od.reachability);
+  EXPECT_EQ(om.core_distance, od.core_distance);
+}
+
+TEST(IntegrationTest, AsciiMapShowsPlantedClusters) {
+  Pipeline p = MakePipeline(900, 2000, 4, 1008);
+  Clustering truth;
+  truth.assignment = p.workload.points.labels();
+  truth.num_clusters = 4;
+  std::string map = AsciiClusterMap(p.gen.net, p.workload.points,
+                                    p.gen.coords, truth, 12, 40);
+  // The map must mention every cluster letter at least once.
+  for (char c : {'a', 'b', 'c', 'd'}) {
+    EXPECT_NE(map.find(c), std::string::npos) << "missing cluster " << c;
+  }
+}
+
+}  // namespace
+}  // namespace netclus

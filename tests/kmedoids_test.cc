@@ -1,0 +1,216 @@
+// Tests for network k-medoids: Equation (1) assignment vs. brute force,
+// incremental vs. from-scratch equivalence, convergence behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "core/brute_force.h"
+#include "core/kmedoids.h"
+#include "eval/metrics.h"
+#include "gen/network_gen.h"
+#include "gen/workload_gen.h"
+
+namespace netclus {
+namespace {
+
+TEST(KMedoidsTest, RejectsBadK) {
+  GeneratedNetwork g = GenerateRoadNetwork({30, 1.3, 0.3, 1});
+  PointSet ps = std::move(GenerateUniformPoints(g.net, 10, 2)).value();
+  InMemoryNetworkView view(g.net, ps);
+  KMedoidsOptions opts;
+  opts.k = 0;
+  EXPECT_TRUE(KMedoidsCluster(view, opts).status().IsInvalidArgument());
+  opts.k = 11;  // > N
+  EXPECT_TRUE(KMedoidsCluster(view, opts).status().IsInvalidArgument());
+}
+
+TEST(KMedoidsTest, SingleMedoidAssignsEverything) {
+  GeneratedNetwork g = GenerateRoadNetwork({40, 1.3, 0.3, 3});
+  PointSet ps = std::move(GenerateUniformPoints(g.net, 25, 4)).value();
+  InMemoryNetworkView view(g.net, ps);
+  Result<KMedoidsResult> r = AssignToMedoids(view, {0});
+  ASSERT_TRUE(r.ok());
+  for (int a : r.value().clustering.assignment) EXPECT_EQ(a, 0);
+  auto pd = BrutePointDistanceMatrix(g.net, ps);
+  double want = 0.0;
+  for (PointId p = 0; p < 25; ++p) want += pd[p][0];
+  EXPECT_NEAR(r.value().cost, want, 1e-9);
+}
+
+// The concurrent expansion + Equation (1) must reproduce exact nearest-
+// medoid assignment on randomized instances.
+class KMedoidsAssignPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(KMedoidsAssignPropertyTest, MatchesBruteForceAssignment) {
+  uint64_t seed = GetParam();
+  GeneratedNetwork g = GenerateRoadNetwork({70, 1.35, 0.3, seed});
+  PointSet ps = std::move(GenerateUniformPoints(g.net, 60, seed + 9)).value();
+  InMemoryNetworkView view(g.net, ps);
+  auto pd = BrutePointDistanceMatrix(g.net, ps);
+  Rng rng(seed);
+  for (int trial = 0; trial < 5; ++trial) {
+    uint32_t k = 1 + static_cast<uint32_t>(rng.NextBounded(6));
+    std::vector<uint64_t> sample = rng.SampleWithoutReplacement(60, k);
+    std::vector<PointId> medoids(sample.begin(), sample.end());
+    Result<KMedoidsResult> r = AssignToMedoids(view, medoids);
+    ASSERT_TRUE(r.ok());
+    std::vector<int> brute_assign;
+    double brute_cost = BruteMedoidAssign(pd, medoids, &brute_assign);
+    ASSERT_NEAR(r.value().cost, brute_cost, 1e-6)
+        << "seed " << seed << " trial " << trial;
+    // Assignments may differ only where distances tie; verify each
+    // point's assigned medoid achieves the minimal distance.
+    for (PointId p = 0; p < 60; ++p) {
+      int got = r.value().clustering.assignment[p];
+      ASSERT_GE(got, 0);
+      ASSERT_NEAR(pd[p][medoids[got]], pd[p][medoids[brute_assign[p]]], 1e-9)
+          << "point " << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KMedoidsAssignPropertyTest,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u));
+
+// Incremental Inc_Medoid_Update must be exactly equivalent to rerunning
+// Medoid_Dist_Find from scratch: same costs, same clusterings.
+class KMedoidsIncrementalTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KMedoidsIncrementalTest, IncrementalEqualsScratch) {
+  uint64_t seed = GetParam();
+  GeneratedNetwork g = GenerateRoadNetwork({120, 1.3, 0.3, seed});
+  PointSet ps =
+      std::move(GenerateUniformPoints(g.net, 200, seed + 50)).value();
+  InMemoryNetworkView view(g.net, ps);
+  KMedoidsOptions opts;
+  opts.k = 5;
+  opts.seed = seed;
+  opts.max_unsuccessful_swaps = 10;
+  opts.incremental_updates = true;
+  Result<KMedoidsResult> inc = KMedoidsCluster(view, opts);
+  ASSERT_TRUE(inc.ok());
+  opts.incremental_updates = false;
+  Result<KMedoidsResult> scratch = KMedoidsCluster(view, opts);
+  ASSERT_TRUE(scratch.ok());
+  // Identical RNG seeds + identical accept/reject decisions => identical
+  // trajectories and results.
+  EXPECT_NEAR(inc.value().cost, scratch.value().cost, 1e-9);
+  EXPECT_EQ(inc.value().medoids, scratch.value().medoids);
+  EXPECT_EQ(inc.value().clustering.assignment,
+            scratch.value().clustering.assignment);
+  EXPECT_EQ(inc.value().stats.committed_swaps,
+            scratch.value().stats.committed_swaps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KMedoidsIncrementalTest,
+                         ::testing::Values(21u, 22u, 23u, 24u));
+
+TEST(KMedoidsTest, SwapsNeverIncreaseCost) {
+  GeneratedNetwork g = GenerateRoadNetwork({100, 1.3, 0.3, 31});
+  PointSet ps = std::move(GenerateUniformPoints(g.net, 150, 32)).value();
+  InMemoryNetworkView view(g.net, ps);
+  // Initial cost from the same seed's initial medoids must be >= final.
+  Rng rng(33);
+  std::vector<uint64_t> sample = rng.SampleWithoutReplacement(150, 4);
+  std::vector<PointId> initial(sample.begin(), sample.end());
+  Result<KMedoidsResult> start = AssignToMedoids(view, initial);
+  KMedoidsOptions opts;
+  opts.seed = 33;
+  Result<KMedoidsResult> done = KMedoidsCluster(view, opts, initial);
+  ASSERT_TRUE(start.ok());
+  ASSERT_TRUE(done.ok());
+  EXPECT_LE(done.value().cost, start.value().cost + 1e-9);
+}
+
+TEST(KMedoidsTest, FinalCostIsSelfConsistent) {
+  GeneratedNetwork g = GenerateRoadNetwork({80, 1.3, 0.3, 41});
+  PointSet ps = std::move(GenerateUniformPoints(g.net, 100, 42)).value();
+  InMemoryNetworkView view(g.net, ps);
+  KMedoidsOptions opts;
+  opts.k = 3;
+  opts.seed = 43;
+  Result<KMedoidsResult> r = KMedoidsCluster(view, opts);
+  ASSERT_TRUE(r.ok());
+  Result<KMedoidsResult> re = AssignToMedoids(view, r.value().medoids);
+  ASSERT_TRUE(re.ok());
+  EXPECT_NEAR(r.value().cost, re.value().cost, 1e-9);
+}
+
+TEST(KMedoidsTest, IdealSeedingRecoversPlantedClustersBetterThanRandom) {
+  GeneratedNetwork g = GenerateRoadNetwork({600, 1.3, 0.3, 51});
+  ClusterWorkloadSpec spec;
+  spec.total_points = 1200;
+  spec.num_clusters = 6;
+  spec.outlier_fraction = 0.0;
+  spec.s_init = 0.02;
+  spec.seed = 52;
+  GeneratedWorkload w = std::move(GenerateClusteredPoints(g.net, spec).value());
+  InMemoryNetworkView view(g.net, w.points);
+  KMedoidsOptions opts;
+  opts.seed = 53;
+  opts.max_unsuccessful_swaps = 5;
+  Result<KMedoidsResult> ideal = KMedoidsCluster(view, opts, w.cluster_seeds);
+  ASSERT_TRUE(ideal.ok());
+  double ari =
+      AdjustedRandIndex(w.points.labels(), ideal.value().clustering.assignment);
+  // Seeded from the true cluster cores the partitioning should be decent
+  // (the paper's Fig. 11b: good but not perfect).
+  EXPECT_GT(ari, 0.5);
+}
+
+TEST(KMedoidsTest, RestartsKeepBestCost) {
+  GeneratedNetwork g = GenerateRoadNetwork({80, 1.3, 0.3, 61});
+  PointSet ps = std::move(GenerateUniformPoints(g.net, 120, 62)).value();
+  InMemoryNetworkView view(g.net, ps);
+  KMedoidsOptions one;
+  one.k = 4;
+  one.seed = 63;
+  one.num_restarts = 1;
+  KMedoidsOptions many = one;
+  many.num_restarts = 4;
+  Result<KMedoidsResult> r1 = KMedoidsCluster(view, one);
+  Result<KMedoidsResult> r4 = KMedoidsCluster(view, many);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r4.ok());
+  // More restarts can only improve (first restart shares the RNG stream).
+  EXPECT_LE(r4.value().cost, r1.value().cost + 1e-9);
+}
+
+TEST(KMedoidsTest, KEqualsNTerminates) {
+  // Every point is a medoid: no swap candidate exists; the run must
+  // terminate with zero cost (each point is its own medoid).
+  GeneratedNetwork g = GenerateRoadNetwork({30, 1.3, 0.3, 81});
+  PointSet ps = std::move(GenerateUniformPoints(g.net, 12, 82)).value();
+  InMemoryNetworkView view(g.net, ps);
+  KMedoidsOptions opts;
+  opts.k = 12;
+  opts.seed = 83;
+  Result<KMedoidsResult> r = KMedoidsCluster(view, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().stats.attempted_swaps, 0u);
+  EXPECT_NEAR(r.value().cost, 0.0, 1e-12);
+}
+
+TEST(KMedoidsTest, StatsArePopulated) {
+  GeneratedNetwork g = GenerateRoadNetwork({60, 1.3, 0.3, 71});
+  PointSet ps = std::move(GenerateUniformPoints(g.net, 80, 72)).value();
+  InMemoryNetworkView view(g.net, ps);
+  KMedoidsOptions opts;
+  opts.k = 3;
+  opts.seed = 73;
+  Result<KMedoidsResult> r = KMedoidsCluster(view, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.value().stats.attempted_swaps, opts.max_unsuccessful_swaps);
+  EXPECT_GT(r.value().stats.total_seconds, 0.0);
+  EXPECT_GE(r.value().stats.first_iteration_seconds, 0.0);
+  EXPECT_EQ(r.value().clustering.num_clusters, 3);
+  std::set<PointId> distinct(r.value().medoids.begin(),
+                             r.value().medoids.end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+}  // namespace
+}  // namespace netclus

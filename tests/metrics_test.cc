@@ -1,0 +1,116 @@
+// Tests for clustering quality metrics and reporting helpers.
+#include <gtest/gtest.h>
+
+#include "eval/evaluation.h"
+#include "eval/metrics.h"
+#include "gen/network_gen.h"
+
+namespace netclus {
+namespace {
+
+TEST(AriTest, IdenticalPartitionsScoreOne) {
+  std::vector<int> a{0, 0, 1, 1, 2};
+  std::vector<int> b{5, 5, 9, 9, 7};  // same partition, different ids
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(a, b), 1.0);
+  EXPECT_TRUE(SamePartition(a, b));
+}
+
+TEST(AriTest, KnownContingencyValue) {
+  // Classic example: ARI of these two partitions is 0.24242...
+  std::vector<int> a{0, 0, 0, 1, 1, 1};
+  std::vector<int> b{0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(AdjustedRandIndex(a, b), 0.242424242424, 1e-9);
+}
+
+TEST(AriTest, OppositeExtremes) {
+  std::vector<int> same{0, 0, 0, 0};
+  std::vector<int> split{0, 1, 2, 3};
+  double ari = AdjustedRandIndex(same, split);
+  EXPECT_LE(ari, 0.0 + 1e-12);  // no agreement beyond chance
+}
+
+TEST(AriTest, NoiseAsSingletons) {
+  std::vector<int> truth{0, 0, 1, 1};
+  std::vector<int> pred{0, 0, 1, kNoise};
+  double with_noise = AdjustedRandIndex(truth, pred,
+                                        NoiseHandling::kSingletons);
+  double ignoring = AdjustedRandIndex(truth, pred, NoiseHandling::kIgnore);
+  EXPECT_LT(with_noise, 1.0);
+  EXPECT_DOUBLE_EQ(ignoring, 1.0);
+}
+
+TEST(NmiTest, IndependentPartitionsNearZero) {
+  // Perfectly crossed partitions share no information.
+  std::vector<int> a{0, 0, 1, 1};
+  std::vector<int> b{0, 1, 0, 1};
+  EXPECT_NEAR(NormalizedMutualInformation(a, b), 0.0, 1e-9);
+}
+
+TEST(PurityTest, MajorityLabelWins) {
+  std::vector<int> truth{0, 0, 0, 1, 1, 1};
+  std::vector<int> pred{7, 7, 7, 7, 8, 8};
+  // Cluster 7: majority label 0 (3 of 4). Cluster 8: label 1 (2 of 2).
+  EXPECT_NEAR(Purity(truth, pred), 5.0 / 6.0, 1e-12);
+}
+
+TEST(PurityTest, NoisePredictionsCountAsMisses) {
+  std::vector<int> truth{0, 0};
+  std::vector<int> pred{0, kNoise};
+  EXPECT_NEAR(Purity(truth, pred), 0.5, 1e-12);
+  EXPECT_NEAR(Purity(truth, pred, NoiseHandling::kIgnore), 1.0, 1e-12);
+}
+
+TEST(SamePartitionTest, DetectsDifferences) {
+  EXPECT_TRUE(SamePartition({0, 1, 0}, {4, 2, 4}));
+  EXPECT_FALSE(SamePartition({0, 1, 0}, {4, 2, 2}));
+  EXPECT_FALSE(SamePartition({0, 0}, {1, kNoise}));      // noise mismatch
+  EXPECT_TRUE(SamePartition({kNoise, 3}, {kNoise, 0}));
+  EXPECT_FALSE(SamePartition({0, 0, 1}, {2, 2, 2}));     // merged
+  EXPECT_FALSE(SamePartition({2, 2, 2}, {0, 0, 1}));     // split (other way)
+  EXPECT_FALSE(SamePartition({0}, {0, 1}));              // length mismatch
+}
+
+TEST(SummarizeTest, CountsClustersAndNoise) {
+  Clustering c;
+  c.assignment = {0, 0, 0, 1, kNoise, kNoise, 1, 2};
+  ClusterSummary s = Summarize(c);
+  EXPECT_EQ(s.num_clusters, 3);
+  EXPECT_EQ(s.num_points, 8u);
+  EXPECT_EQ(s.noise_points, 2u);
+  EXPECT_EQ(s.largest_cluster, 3u);
+  EXPECT_EQ(s.smallest_cluster, 1u);
+}
+
+TEST(AsciiMapTest, RendersDominantClusters) {
+  Network net = MakePathNetwork(2, 1.0);
+  PointSetBuilder b;
+  b.Add(0, 1, 0.1, 0);
+  b.Add(0, 1, 0.9, 0);
+  PointSet ps = std::move(std::move(b).Build(net)).value();
+  std::vector<std::pair<double, double>> coords{{0.0, 0.0}, {1.0, 0.0}};
+  Clustering c;
+  c.assignment = {0, 1};
+  c.num_clusters = 2;
+  std::string map = AsciiClusterMap(net, ps, coords, c, 1, 10);
+  // One row of 10 cells plus newline; points at x = 0.1 / 0.9 land in
+  // cells 1 and 9 of the [0, 1] range.
+  ASSERT_EQ(map.size(), 11u);
+  EXPECT_EQ(map[1], 'a');
+  EXPECT_EQ(map[9], 'b');
+  EXPECT_EQ(map[10], '\n');
+}
+
+TEST(PointCoordinatesTest, InterpolatesAlongEdge) {
+  Network net = MakePathNetwork(2, 4.0);
+  PointSetBuilder b;
+  b.Add(0, 1, 1.0, 0);  // quarter of the way
+  PointSet ps = std::move(std::move(b).Build(net)).value();
+  std::vector<std::pair<double, double>> coords{{0.0, 0.0}, {8.0, 4.0}};
+  auto [x, y] = PointCoordinates(net, ps, coords, 0);
+  EXPECT_DOUBLE_EQ(x, 2.0);
+  EXPECT_DOUBLE_EQ(y, 1.0);
+}
+
+}  // namespace
+}  // namespace netclus
