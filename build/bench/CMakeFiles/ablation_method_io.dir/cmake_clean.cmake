@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_method_io.dir/ablation_method_io.cpp.o"
+  "CMakeFiles/ablation_method_io.dir/ablation_method_io.cpp.o.d"
+  "ablation_method_io"
+  "ablation_method_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_method_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_effectiveness.dir/fig11_effectiveness.cpp.o"
+  "CMakeFiles/fig11_effectiveness.dir/fig11_effectiveness.cpp.o.d"
+  "fig11_effectiveness"
+  "fig11_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_scalability_n.dir/fig13_scalability_n.cpp.o"
+  "CMakeFiles/fig13_scalability_n.dir/fig13_scalability_n.cpp.o.d"
+  "fig13_scalability_n"
+  "fig13_scalability_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_scalability_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

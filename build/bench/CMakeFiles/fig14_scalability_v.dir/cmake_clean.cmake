@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_scalability_v.dir/fig14_scalability_v.cpp.o"
+  "CMakeFiles/fig14_scalability_v.dir/fig14_scalability_v.cpp.o.d"
+  "fig14_scalability_v"
+  "fig14_scalability_v.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_scalability_v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

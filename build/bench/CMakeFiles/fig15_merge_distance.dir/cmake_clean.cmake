@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_merge_distance.dir/fig15_merge_distance.cpp.o"
+  "CMakeFiles/fig15_merge_distance.dir/fig15_merge_distance.cpp.o.d"
+  "fig15_merge_distance"
+  "fig15_merge_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_merge_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

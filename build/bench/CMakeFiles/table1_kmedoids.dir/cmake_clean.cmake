@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_kmedoids.dir/table1_kmedoids.cpp.o"
+  "CMakeFiles/table1_kmedoids.dir/table1_kmedoids.cpp.o.d"
+  "table1_kmedoids"
+  "table1_kmedoids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_kmedoids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_methods.dir/table2_methods.cpp.o"
+  "CMakeFiles/table2_methods.dir/table2_methods.cpp.o.d"
+  "table2_methods"
+  "table2_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dendrogram_explorer.dir/dendrogram_explorer.cpp.o"
+  "CMakeFiles/dendrogram_explorer.dir/dendrogram_explorer.cpp.o.d"
+  "dendrogram_explorer"
+  "dendrogram_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dendrogram_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

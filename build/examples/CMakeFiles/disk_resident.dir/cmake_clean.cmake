@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_resident.dir/disk_resident.cpp.o"
+  "CMakeFiles/disk_resident.dir/disk_resident.cpp.o.d"
+  "disk_resident"
+  "disk_resident.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_resident.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

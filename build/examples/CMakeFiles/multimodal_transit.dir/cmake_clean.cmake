@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimodal_transit.dir/multimodal_transit.cpp.o"
+  "CMakeFiles/multimodal_transit.dir/multimodal_transit.cpp.o.d"
+  "multimodal_transit"
+  "multimodal_transit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimodal_transit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

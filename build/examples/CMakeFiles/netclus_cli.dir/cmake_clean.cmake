@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclus_cli.dir/netclus_cli.cpp.o"
+  "CMakeFiles/netclus_cli.dir/netclus_cli.cpp.o.d"
+  "netclus_cli"
+  "netclus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restaurant_hotspots.dir/restaurant_hotspots.cpp.o"
+  "CMakeFiles/restaurant_hotspots.dir/restaurant_hotspots.cpp.o.d"
+  "restaurant_hotspots"
+  "restaurant_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restaurant_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_hour_clusters.dir/rush_hour_clusters.cpp.o"
+  "CMakeFiles/rush_hour_clusters.dir/rush_hour_clusters.cpp.o.d"
+  "rush_hour_clusters"
+  "rush_hour_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_hour_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

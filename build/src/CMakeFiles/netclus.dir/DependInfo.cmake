@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/netclus.dir/common/random.cc.o" "gcc" "src/CMakeFiles/netclus.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/netclus.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/netclus.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/netclus.dir/common/status.cc.o" "gcc" "src/CMakeFiles/netclus.dir/common/status.cc.o.d"
+  "/root/repo/src/core/brute_force.cc" "src/CMakeFiles/netclus.dir/core/brute_force.cc.o" "gcc" "src/CMakeFiles/netclus.dir/core/brute_force.cc.o.d"
+  "/root/repo/src/core/clustering.cc" "src/CMakeFiles/netclus.dir/core/clustering.cc.o" "gcc" "src/CMakeFiles/netclus.dir/core/clustering.cc.o.d"
+  "/root/repo/src/core/dbscan.cc" "src/CMakeFiles/netclus.dir/core/dbscan.cc.o" "gcc" "src/CMakeFiles/netclus.dir/core/dbscan.cc.o.d"
+  "/root/repo/src/core/dendrogram.cc" "src/CMakeFiles/netclus.dir/core/dendrogram.cc.o" "gcc" "src/CMakeFiles/netclus.dir/core/dendrogram.cc.o.d"
+  "/root/repo/src/core/eps_link.cc" "src/CMakeFiles/netclus.dir/core/eps_link.cc.o" "gcc" "src/CMakeFiles/netclus.dir/core/eps_link.cc.o.d"
+  "/root/repo/src/core/hierarchy_variants.cc" "src/CMakeFiles/netclus.dir/core/hierarchy_variants.cc.o" "gcc" "src/CMakeFiles/netclus.dir/core/hierarchy_variants.cc.o.d"
+  "/root/repo/src/core/interesting_levels.cc" "src/CMakeFiles/netclus.dir/core/interesting_levels.cc.o" "gcc" "src/CMakeFiles/netclus.dir/core/interesting_levels.cc.o.d"
+  "/root/repo/src/core/kmedoids.cc" "src/CMakeFiles/netclus.dir/core/kmedoids.cc.o" "gcc" "src/CMakeFiles/netclus.dir/core/kmedoids.cc.o.d"
+  "/root/repo/src/core/optics.cc" "src/CMakeFiles/netclus.dir/core/optics.cc.o" "gcc" "src/CMakeFiles/netclus.dir/core/optics.cc.o.d"
+  "/root/repo/src/core/parameter_selection.cc" "src/CMakeFiles/netclus.dir/core/parameter_selection.cc.o" "gcc" "src/CMakeFiles/netclus.dir/core/parameter_selection.cc.o.d"
+  "/root/repo/src/core/point_graph.cc" "src/CMakeFiles/netclus.dir/core/point_graph.cc.o" "gcc" "src/CMakeFiles/netclus.dir/core/point_graph.cc.o.d"
+  "/root/repo/src/core/single_link.cc" "src/CMakeFiles/netclus.dir/core/single_link.cc.o" "gcc" "src/CMakeFiles/netclus.dir/core/single_link.cc.o.d"
+  "/root/repo/src/core/union_find.cc" "src/CMakeFiles/netclus.dir/core/union_find.cc.o" "gcc" "src/CMakeFiles/netclus.dir/core/union_find.cc.o.d"
+  "/root/repo/src/eval/evaluation.cc" "src/CMakeFiles/netclus.dir/eval/evaluation.cc.o" "gcc" "src/CMakeFiles/netclus.dir/eval/evaluation.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/netclus.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/netclus.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/ext/multi_network.cc" "src/CMakeFiles/netclus.dir/ext/multi_network.cc.o" "gcc" "src/CMakeFiles/netclus.dir/ext/multi_network.cc.o.d"
+  "/root/repo/src/ext/time_dependent.cc" "src/CMakeFiles/netclus.dir/ext/time_dependent.cc.o" "gcc" "src/CMakeFiles/netclus.dir/ext/time_dependent.cc.o.d"
+  "/root/repo/src/ext/weight_functions.cc" "src/CMakeFiles/netclus.dir/ext/weight_functions.cc.o" "gcc" "src/CMakeFiles/netclus.dir/ext/weight_functions.cc.o.d"
+  "/root/repo/src/gen/network_gen.cc" "src/CMakeFiles/netclus.dir/gen/network_gen.cc.o" "gcc" "src/CMakeFiles/netclus.dir/gen/network_gen.cc.o.d"
+  "/root/repo/src/gen/workload_gen.cc" "src/CMakeFiles/netclus.dir/gen/workload_gen.cc.o" "gcc" "src/CMakeFiles/netclus.dir/gen/workload_gen.cc.o.d"
+  "/root/repo/src/graph/dijkstra.cc" "src/CMakeFiles/netclus.dir/graph/dijkstra.cc.o" "gcc" "src/CMakeFiles/netclus.dir/graph/dijkstra.cc.o.d"
+  "/root/repo/src/graph/network.cc" "src/CMakeFiles/netclus.dir/graph/network.cc.o" "gcc" "src/CMakeFiles/netclus.dir/graph/network.cc.o.d"
+  "/root/repo/src/graph/network_distance.cc" "src/CMakeFiles/netclus.dir/graph/network_distance.cc.o" "gcc" "src/CMakeFiles/netclus.dir/graph/network_distance.cc.o.d"
+  "/root/repo/src/graph/network_store.cc" "src/CMakeFiles/netclus.dir/graph/network_store.cc.o" "gcc" "src/CMakeFiles/netclus.dir/graph/network_store.cc.o.d"
+  "/root/repo/src/graph/text_io.cc" "src/CMakeFiles/netclus.dir/graph/text_io.cc.o" "gcc" "src/CMakeFiles/netclus.dir/graph/text_io.cc.o.d"
+  "/root/repo/src/storage/bptree.cc" "src/CMakeFiles/netclus.dir/storage/bptree.cc.o" "gcc" "src/CMakeFiles/netclus.dir/storage/bptree.cc.o.d"
+  "/root/repo/src/storage/buffer_manager.cc" "src/CMakeFiles/netclus.dir/storage/buffer_manager.cc.o" "gcc" "src/CMakeFiles/netclus.dir/storage/buffer_manager.cc.o.d"
+  "/root/repo/src/storage/paged_file.cc" "src/CMakeFiles/netclus.dir/storage/paged_file.cc.o" "gcc" "src/CMakeFiles/netclus.dir/storage/paged_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

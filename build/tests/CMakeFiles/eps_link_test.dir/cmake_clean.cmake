@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eps_link_test.dir/eps_link_test.cc.o"
+  "CMakeFiles/eps_link_test.dir/eps_link_test.cc.o.d"
+  "eps_link_test"
+  "eps_link_test.pdb"
+  "eps_link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eps_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_store_test.dir/network_store_test.cc.o"
+  "CMakeFiles/network_store_test.dir/network_store_test.cc.o.d"
+  "network_store_test"
+  "network_store_test.pdb"
+  "network_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

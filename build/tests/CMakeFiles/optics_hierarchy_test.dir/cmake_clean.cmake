@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optics_hierarchy_test.dir/optics_hierarchy_test.cc.o"
+  "CMakeFiles/optics_hierarchy_test.dir/optics_hierarchy_test.cc.o.d"
+  "optics_hierarchy_test"
+  "optics_hierarchy_test.pdb"
+  "optics_hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optics_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

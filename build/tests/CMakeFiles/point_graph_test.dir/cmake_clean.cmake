@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/point_graph_test.dir/point_graph_test.cc.o"
+  "CMakeFiles/point_graph_test.dir/point_graph_test.cc.o.d"
+  "point_graph_test"
+  "point_graph_test.pdb"
+  "point_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/point_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

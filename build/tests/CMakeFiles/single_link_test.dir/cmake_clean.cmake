@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_link_test.dir/single_link_test.cc.o"
+  "CMakeFiles/single_link_test.dir/single_link_test.cc.o.d"
+  "single_link_test"
+  "single_link_test.pdb"
+  "single_link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/bptree_test[1]_include.cmake")
+include("/root/repo/build/tests/network_test[1]_include.cmake")
+include("/root/repo/build/tests/dijkstra_test[1]_include.cmake")
+include("/root/repo/build/tests/network_store_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/kmedoids_test[1]_include.cmake")
+include("/root/repo/build/tests/eps_link_test[1]_include.cmake")
+include("/root/repo/build/tests/dbscan_test[1]_include.cmake")
+include("/root/repo/build/tests/single_link_test[1]_include.cmake")
+include("/root/repo/build/tests/core_util_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/ext_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/point_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/text_io_test[1]_include.cmake")
+include("/root/repo/build/tests/optics_hierarchy_test[1]_include.cmake")
