@@ -15,6 +15,14 @@ double BenchScale() {
   return v > 1.0 ? 1.0 : v;
 }
 
+uint32_t BenchThreads() {
+  const char* env = std::getenv("NETCLUS_BENCH_THREADS");
+  if (env == nullptr) return 1;
+  long v = std::atol(env);
+  if (v < 1) return 1;
+  return v > 64 ? 64u : static_cast<uint32_t>(v);
+}
+
 double DefaultSInit(const Network& net, PointId clustered_points) {
   double total = 0.0;
   for (const Edge& e : net.Edges()) total += e.weight;

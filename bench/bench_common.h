@@ -22,6 +22,12 @@ namespace bench {
 /// Scale factor from NETCLUS_BENCH_SCALE (clamped to (0, 1]).
 double BenchScale();
 
+/// Worker-thread count from NETCLUS_BENCH_THREADS (default 1 so timing
+/// columns stay comparable to the paper's single-core setup; clamped to
+/// [1, 64]). Harnesses pass it to the algorithms' num_threads knobs and
+/// to their own sweep-setup ParallelFor loops.
+uint32_t BenchThreads();
+
 /// One of the paper's four datasets, scaled.
 struct Dataset {
   std::string name;

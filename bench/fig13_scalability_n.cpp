@@ -7,8 +7,10 @@
 // k-medoids and Single-Link grow slowly — their cost is dominated by the
 // full network traversals, and points are only scanned sequentially.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/dbscan.h"
 #include "core/eps_link.h"
@@ -21,25 +23,39 @@ using namespace netclus::bench;
 
 int main() {
   double scale = BenchScale();
-  std::printf("=== Figure 13: scalability with N on SF (scale %.2f) ===\n\n",
-              scale);
+  uint32_t threads = BenchThreads();
+  std::printf(
+      "=== Figure 13: scalability with N on SF (scale %.2f, %u threads) "
+      "===\n\n",
+      scale, threads);
   GeneratedNetwork g = GenerateRoadNetwork(SpecSF(scale));
   std::printf("network: %u nodes, %zu edges\n\n", g.net.num_nodes(),
               g.net.num_edges());
-  PrintRow({"N", "k-medoids", "DBSCAN", "eps-link", "single-link"});
+
+  // Sweep setup: the four point workloads are independent; generate them
+  // in parallel before the (sequentially timed) algorithm runs.
   // Paper point counts relative to SF's 174,956 nodes.
-  for (double per_node : {100000.0 / 174956, 200000.0 / 174956,
-                          500000.0 / 174956, 1000000.0 / 174956}) {
-    ClusterWorkloadSpec spec;
-    spec.total_points =
-        static_cast<PointId>(per_node * g.net.num_nodes());
-    spec.num_clusters = 10;
-    spec.outlier_fraction = 0.01;
-    spec.s_init =
-        DefaultSInit(g.net, static_cast<PointId>(0.99 * spec.total_points));
-    spec.seed = 7;
-    GeneratedWorkload w =
-        std::move(GenerateClusteredPoints(g.net, spec).value());
+  const std::vector<double> per_node = {
+      100000.0 / 174956, 200000.0 / 174956, 500000.0 / 174956,
+      1000000.0 / 174956};
+  std::vector<GeneratedWorkload> workloads(per_node.size());
+  {
+    ThreadPool pool(threads);
+    ParallelFor(&pool, per_node.size(), [&](size_t i, uint32_t) {
+      ClusterWorkloadSpec spec;
+      spec.total_points =
+          static_cast<PointId>(per_node[i] * g.net.num_nodes());
+      spec.num_clusters = 10;
+      spec.outlier_fraction = 0.01;
+      spec.s_init =
+          DefaultSInit(g.net, static_cast<PointId>(0.99 * spec.total_points));
+      spec.seed = 7;
+      workloads[i] = std::move(GenerateClusteredPoints(g.net, spec).value());
+    });
+  }
+
+  PrintRow({"N", "k-medoids", "DBSCAN", "eps-link", "single-link"});
+  for (const GeneratedWorkload& w : workloads) {
     InMemoryNetworkView view(g.net, w.points);
     double eps = w.max_intra_gap;
 
@@ -47,6 +63,7 @@ int main() {
     KMedoidsOptions ko;
     ko.k = 10;
     ko.seed = 42;
+    ko.num_threads = threads;
     (void)KMedoidsCluster(view, ko).value();
     double t_kmed = t.ElapsedSeconds();
 
@@ -54,6 +71,7 @@ int main() {
     DbscanOptions dbo;
     dbo.eps = eps;
     dbo.min_pts = 2;
+    dbo.num_threads = threads;
     (void)DbscanCluster(view, dbo).value();
     double t_dbscan = t.ElapsedSeconds();
 

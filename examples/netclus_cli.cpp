@@ -12,16 +12,12 @@
 #include <cstring>
 #include <string>
 
-#include "core/dbscan.h"
-#include "core/eps_link.h"
-#include "core/kmedoids.h"
 #include "core/parameter_selection.h"
-#include "core/single_link.h"
 #include "eval/evaluation.h"
-#include "eval/metrics.h"
 #include "gen/network_gen.h"
 #include "gen/workload_gen.h"
 #include "graph/text_io.h"
+#include "netclus.h"
 
 using namespace netclus;
 
@@ -49,28 +45,9 @@ int Usage() {
                "  cluster  --in FILE --algo "
                "kmedoids|epslink|dbscan|singlelink\n"
                "           [--eps E|auto] [--k K] [--minpts M] [--minsup M]\n"
-               "           [--delta D] [--cut D] [--seed S]\n");
+               "           [--delta D] [--cut D] [--seed S]\n"
+               "           [--threads T] [--restarts R]\n");
   return 2;
-}
-
-void PrintSummary(const Clustering& c, const std::vector<int>& labels) {
-  ClusterSummary s = Summarize(c);
-  std::printf("clusters: %d  noise: %u  largest: %u  smallest: %u\n",
-              s.num_clusters, s.noise_points, s.largest_cluster,
-              s.smallest_cluster);
-  bool have_truth = false;
-  for (int l : labels) {
-    if (l != kNoise) {
-      have_truth = true;
-      break;
-    }
-  }
-  if (have_truth) {
-    std::printf("vs. point labels: ARI %.3f, NMI %.3f, purity %.3f\n",
-                AdjustedRandIndex(labels, c.assignment),
-                NormalizedMutualInformation(labels, c.assignment),
-                Purity(labels, c.assignment));
-  }
 }
 
 int RunGenerate(int argc, char** argv) {
@@ -122,9 +99,17 @@ int RunSuggest(const InMemoryNetworkView& view) {
   return 0;
 }
 
+// Builds a ClusterSpec from the command-line flags and runs it through
+// the library's single entry point (RunClustering, via the evaluation
+// module's scoring wrapper).
 int RunCluster(int argc, char** argv, const InMemoryNetworkView& view,
                const PointSet& points) {
-  std::string algo = FlagValue(argc, argv, "--algo", "epslink");
+  Result<Algorithm> algo =
+      ParseAlgorithm(FlagValue(argc, argv, "--algo", "epslink"));
+  if (!algo.ok()) {
+    std::fprintf(stderr, "%s\n", algo.status().ToString().c_str());
+    return Usage();
+  }
   double eps = 0.0;
   std::string eps_flag = FlagValue(argc, argv, "--eps", "auto");
   if (eps_flag == "auto") {
@@ -135,49 +120,34 @@ int RunCluster(int argc, char** argv, const InMemoryNetworkView& view,
   } else {
     eps = std::atof(eps_flag.c_str());
   }
+  uint32_t threads = static_cast<uint32_t>(
+      std::atol(FlagValue(argc, argv, "--threads", "1")));
 
-  if (algo == "epslink") {
-    EpsLinkOptions opts;
-    opts.eps = eps;
-    opts.min_sup = static_cast<uint32_t>(
-        std::atol(FlagValue(argc, argv, "--minsup", "2")));
-    Result<Clustering> c = EpsLinkCluster(view, opts);
-    if (!c.ok()) return Fail(c.status());
-    PrintSummary(c.value(), points.labels());
-  } else if (algo == "dbscan") {
-    DbscanOptions opts;
-    opts.eps = eps;
-    opts.min_pts = static_cast<uint32_t>(
-        std::atol(FlagValue(argc, argv, "--minpts", "2")));
-    Result<Clustering> c = DbscanCluster(view, opts);
-    if (!c.ok()) return Fail(c.status());
-    PrintSummary(c.value(), points.labels());
-  } else if (algo == "kmedoids") {
-    KMedoidsOptions opts;
-    opts.k = static_cast<uint32_t>(std::atol(FlagValue(argc, argv, "--k",
-                                                       "8")));
-    opts.seed = static_cast<uint64_t>(
-        std::atoll(FlagValue(argc, argv, "--seed", "42")));
-    Result<KMedoidsResult> r = KMedoidsCluster(view, opts);
-    if (!r.ok()) return Fail(r.status());
-    std::printf("R = %.3f after %u swaps (%u committed)\n", r.value().cost,
-                r.value().stats.attempted_swaps,
-                r.value().stats.committed_swaps);
-    PrintSummary(r.value().clustering, points.labels());
-  } else if (algo == "singlelink") {
-    SingleLinkOptions opts;
-    opts.delta = std::atof(FlagValue(argc, argv, "--delta", "0"));
-    Result<SingleLinkResult> r = SingleLinkCluster(view, opts);
-    if (!r.ok()) return Fail(r.status());
-    double cut = std::atof(FlagValue(argc, argv, "--cut", "0"));
-    if (cut <= 0.0) cut = eps;
-    std::printf("dendrogram: %zu merges; cutting at %.6f\n",
-                r.value().dendrogram.merges().size(), cut);
-    PrintSummary(r.value().dendrogram.CutAtDistance(cut, 2),
-                 points.labels());
-  } else {
-    return Usage();
-  }
+  ClusterSpec spec;
+  spec.algorithm = algo.value();
+  spec.eps_link.eps = eps;
+  spec.eps_link.min_sup = static_cast<uint32_t>(
+      std::atol(FlagValue(argc, argv, "--minsup", "2")));
+  spec.dbscan.eps = eps;
+  spec.dbscan.min_pts = static_cast<uint32_t>(
+      std::atol(FlagValue(argc, argv, "--minpts", "2")));
+  spec.dbscan.num_threads = threads;
+  spec.kmedoids.k =
+      static_cast<uint32_t>(std::atol(FlagValue(argc, argv, "--k", "8")));
+  spec.kmedoids.seed = static_cast<uint64_t>(
+      std::atoll(FlagValue(argc, argv, "--seed", "42")));
+  spec.kmedoids.num_restarts = static_cast<uint32_t>(
+      std::atol(FlagValue(argc, argv, "--restarts", "1")));
+  spec.kmedoids.num_threads = threads;
+  spec.single_link.delta = std::atof(FlagValue(argc, argv, "--delta", "0"));
+  double cut = std::atof(FlagValue(argc, argv, "--cut", "0"));
+  spec.cut_distance = cut > 0.0 ? cut : eps;
+  spec.cut_min_size = 2;
+
+  Result<EvaluationReport> report =
+      EvaluateClustering(view, spec, points.labels());
+  if (!report.ok()) return Fail(report.status());
+  std::fputs(FormatReport(report.value()).c_str(), stdout);
   return 0;
 }
 

@@ -4,9 +4,24 @@
 # the repository root.
 #
 # NETCLUS_BENCH_SCALE (default 0.1) selects the fraction of the paper's
-# published dataset sizes the harnesses run at.
+# published dataset sizes the harnesses run at. NETCLUS_BENCH_THREADS
+# (default 1) sets the worker count the harnesses hand to the execution
+# engine.
+#
+# `scripts/run_all.sh tsan` instead builds a ThreadSanitizer
+# configuration in build-tsan and runs the concurrency-sensitive tests
+# (thread pool, parallel restarts/range queries, determinism) under it.
 set -e
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "tsan" ]; then
+  cmake -B build-tsan -G Ninja -DNETCLUS_SANITIZE=thread
+  cmake --build build-tsan
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'ThreadPool|WorkspacePool|Parallel|Determin|Restart' \
+    2>&1 | tee tsan_output.txt
+  exit 0
+fi
 
 cmake -B build -G Ninja
 cmake --build build

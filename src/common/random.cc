@@ -22,6 +22,14 @@ Rng::Rng(uint64_t seed) {
   for (auto& lane : s_) lane = SplitMix64(&sm);
 }
 
+uint64_t Rng::DeriveSeed(uint64_t base, uint64_t stream) {
+  if (stream == 0) return base;
+  uint64_t sm = base + stream;
+  uint64_t derived = SplitMix64(&sm);
+  // Guard the (astronomically unlikely) collision with stream 0.
+  return derived == base ? derived + 1 : derived;
+}
+
 uint64_t Rng::Next() {
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

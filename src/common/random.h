@@ -21,6 +21,15 @@ class Rng {
   /// Seeds the four 64-bit lanes from `seed` using splitmix64.
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
+  /// Derives the seed of parallel stream `stream` from a base seed.
+  /// Stream 0 is the base seed itself, so a single-stream run is
+  /// bit-identical to pre-stream behaviour; streams >= 1 get splitmix64-
+  /// decorrelated seeds. Work items that each construct
+  /// `Rng(DeriveSeed(seed, item))` draw independent sequences that do not
+  /// depend on execution order — the determinism-under-parallelism
+  /// contract of the execution layer.
+  static uint64_t DeriveSeed(uint64_t base, uint64_t stream);
+
   /// Returns the next raw 64-bit output.
   uint64_t Next();
 

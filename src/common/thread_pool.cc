@@ -1,0 +1,120 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace netclus {
+
+uint32_t ResolveNumThreads(uint32_t requested) {
+  if (requested != 0) return requested;
+  uint32_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  uint32_t n = std::max<uint32_t>(1, num_threads);
+  workers_.reserve(n);
+  for (uint32_t w = 0; w < n; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop(uint32_t worker) {
+  for (;;) {
+    std::function<void(uint32_t)> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task(worker);
+  }
+}
+
+namespace {
+
+// Shared state of one ParallelFor call: a work-stealing index counter plus
+// completion/error bookkeeping. Lives on the caller's stack; drain tasks
+// hold a reference only while the caller is blocked in Wait().
+struct ForLoopState {
+  explicit ForLoopState(size_t total) : n(total) {}
+
+  void Drain(uint32_t worker,
+             const std::function<void(size_t, uint32_t)>& body) {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        body(i, worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+        // Stop handing out further items; in-flight ones finish.
+        next.store(n, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+
+  void TaskDone() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--pending_tasks == 0) done.notify_one();
+  }
+
+  const size_t n;
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done;
+  size_t pending_tasks = 0;
+  std::exception_ptr error;
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t, uint32_t)>& body) {
+  if (n == 0) return;
+  ForLoopState state(n);
+  // One drain task per worker; each pulls indices until the counter runs
+  // out, so load-imbalanced items (e.g. k-medoids restarts of different
+  // swap counts) still pack tightly.
+  size_t tasks = std::min<size_t>(size(), n);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state.pending_tasks = tasks;
+    for (size_t t = 0; t < tasks; ++t) {
+      queue_.emplace_back([&state, &body](uint32_t worker) {
+        state.Drain(worker, body);
+        state.TaskDone();
+      });
+    }
+  }
+  work_available_.notify_all();
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done.wait(lock, [&state] { return state.pending_tasks == 0; });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t, uint32_t)>& body) {
+  if (pool != nullptr && pool->size() > 1) {
+    pool->ParallelFor(n, body);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) body(i, 0);
+}
+
+}  // namespace netclus

@@ -1,0 +1,76 @@
+// Shared execution layer: a fixed-size thread pool and a blocking
+// ParallelFor over an index range.
+//
+// Determinism contract: ParallelFor runs `body(i, worker)` exactly once
+// for every i in [0, n), in an unspecified order and thread assignment.
+// Bodies that (a) derive all randomness from the item index i, not from
+// the worker or arrival order, and (b) write only to per-index output
+// slots, produce results bit-identical to a serial loop — this is the
+// invariant every parallel algorithm in netclus is built on and tested
+// for (see kmedoids restarts and DBSCAN range queries).
+//
+// Exceptions thrown by a body are captured and rethrown from ParallelFor
+// on the calling thread (first one wins; remaining items may be skipped).
+// The pool itself never throws past ParallelFor and stays usable.
+#ifndef NETCLUS_COMMON_THREAD_POOL_H_
+#define NETCLUS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netclus {
+
+/// Resolves a user-facing `num_threads` knob: 0 = one thread per hardware
+/// core, otherwise the requested count (at least 1).
+uint32_t ResolveNumThreads(uint32_t requested);
+
+/// \brief Fixed-size worker pool executing queued tasks.
+///
+/// Workers are started in the constructor and joined in the destructor;
+/// each task receives the stable index of the worker running it (in
+/// [0, size())), which callers use to address per-thread workspaces.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(uint32_t num_threads);
+
+  /// Drains queued tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
+
+  /// Runs `body(i, worker)` for every i in [0, n); blocks until all items
+  /// completed (or an exception aborted the loop). Rethrows the first
+  /// exception thrown by a body.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, uint32_t)>& body);
+
+ private:
+  void WorkerLoop(uint32_t worker);
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void(uint32_t)>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Convenience dispatcher: with a null pool (or a single-worker pool) the
+/// loop runs inline on the calling thread as worker 0 — the serial
+/// reference execution the determinism tests compare against.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t, uint32_t)>& body);
+
+}  // namespace netclus
+
+#endif  // NETCLUS_COMMON_THREAD_POOL_H_

@@ -1,10 +1,14 @@
 #include "core/dbscan.h"
 
+#include <algorithm>
 #include <deque>
+#include <optional>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "graph/dijkstra.h"
 #include "graph/network_distance.h"
+#include "graph/workspace_pool.h"
 
 namespace netclus {
 
@@ -20,20 +24,53 @@ Result<Clustering> DbscanCluster(const NetworkView& view,
   Clustering out;
   out.assignment.assign(n, kNoise);
   std::vector<bool> visited(n, false);  // a range query was issued for p
-  NodeScratch scratch(view.num_nodes());
-  std::vector<RangeResult> neighborhood;
   int next_cluster = 0;
+
+  // The serial algorithm issues exactly one eps-range query per point,
+  // and each query is an independent bounded expansion — the
+  // embarrassingly-parallel hot path. With > 1 worker all N
+  // neighborhoods are computed up front (each worker leasing one
+  // TraversalWorkspace), and the growth phase below consumes the cache;
+  // since a neighborhood is a pure function of (view, p, eps), the
+  // result is bit-identical to the serial on-the-fly run.
+  const uint32_t threads =
+      std::min<uint32_t>(ResolveNumThreads(options.num_threads), n > 0 ? n : 1);
+  const bool precomputed = threads > 1;
+  std::vector<std::vector<RangeResult>> cache;
+  if (precomputed) {
+    cache.resize(n);
+    ThreadPool pool(threads);
+    WorkspacePool workspaces(view.num_nodes());
+    std::vector<WorkspacePool::Lease> leases;
+    leases.reserve(pool.size());
+    for (uint32_t w = 0; w < pool.size(); ++w) {
+      leases.push_back(workspaces.Acquire());
+    }
+    pool.ParallelFor(n, [&](size_t p, uint32_t worker) {
+      RangeQuery(view, static_cast<PointId>(p), options.eps,
+                 leases[worker].get(), &cache[p]);
+    });
+  }
+
+  std::optional<TraversalWorkspace> serial_ws;
+  if (!precomputed) serial_ws.emplace(view.num_nodes());
+  std::vector<RangeResult> buffer;
+  auto neighborhood = [&](PointId p) -> const std::vector<RangeResult>& {
+    if (precomputed) return cache[p];
+    RangeQuery(view, p, options.eps, &*serial_ws, &buffer);
+    return buffer;
+  };
 
   for (PointId p = 0; p < n; ++p) {
     if (visited[p]) continue;
     visited[p] = true;
-    RangeQuery(view, p, options.eps, &scratch, &neighborhood);
-    if (neighborhood.size() < options.min_pts) continue;  // noise (for now)
+    const std::vector<RangeResult>& seed_hood = neighborhood(p);
+    if (seed_hood.size() < options.min_pts) continue;  // noise (for now)
 
     int cluster_id = next_cluster++;
     out.assignment[p] = cluster_id;
     std::deque<PointId> seeds;
-    for (const RangeResult& r : neighborhood) {
+    for (const RangeResult& r : seed_hood) {
       if (r.id != p) seeds.push_back(r.id);
     }
     while (!seeds.empty()) {
@@ -46,10 +83,10 @@ Result<Clustering> DbscanCluster(const NetworkView& view,
       }
       if (visited[q]) continue;
       visited[q] = true;
-      RangeQuery(view, q, options.eps, &scratch, &neighborhood);
-      if (neighborhood.size() >= options.min_pts) {
+      const std::vector<RangeResult>& hood = neighborhood(q);
+      if (hood.size() >= options.min_pts) {
         // q is core: its whole neighborhood is density-reachable.
-        for (const RangeResult& r : neighborhood) {
+        for (const RangeResult& r : hood) {
           if (out.assignment[r.id] == kNoise || !visited[r.id]) {
             seeds.push_back(r.id);
           }

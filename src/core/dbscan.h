@@ -20,6 +20,14 @@ struct DbscanOptions {
   /// Minimum neighborhood size (the point itself counts, as in the
   /// original DBSCAN) for a point to be a core point.
   uint32_t min_pts = 2;
+  /// Worker threads for the eps-range queries (one query per point, each
+  /// an independent bounded network expansion). 0 = one per hardware
+  /// core, 1 = the serial on-the-fly path. The clustering is identical
+  /// at any thread count: with > 1 thread all N neighborhoods are
+  /// precomputed in parallel (per-worker TraversalWorkspace leases, no
+  /// shared mutable state), then the cluster-growth phase replays the
+  /// exact serial scan order over the cached neighborhoods.
+  uint32_t num_threads = 1;
 };
 
 /// Runs network DBSCAN over all points. Border points join the first core

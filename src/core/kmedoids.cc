@@ -1,11 +1,13 @@
 #include "core/kmedoids.h"
 
 #include <algorithm>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "graph/dijkstra.h"
 
@@ -262,44 +264,69 @@ Result<KMedoidsResult> RunOnce(const NetworkView& view,
 
 Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
                                        const KMedoidsOptions& options) {
-  if (options.k == 0 || options.k > view.num_points()) {
+  const bool fixed_initial = !options.initial_medoids.empty();
+  if (fixed_initial) {
+    if (options.initial_medoids.size() > view.num_points()) {
+      return Status::InvalidArgument(
+          "initial medoid set size must be in [1, N]");
+    }
+    for (PointId p : options.initial_medoids) {
+      if (p >= view.num_points()) {
+        return Status::InvalidArgument("initial medoid id out of range");
+      }
+    }
+  } else if (options.k == 0 || options.k > view.num_points()) {
     return Status::InvalidArgument("k must be in [1, N]");
   }
-  Rng rng(options.seed);
-  Result<KMedoidsResult> best = Status::Internal("no restart ran");
-  uint32_t restarts = std::max<uint32_t>(1, options.num_restarts);
-  for (uint32_t r = 0; r < restarts; ++r) {
-    std::vector<uint64_t> sample =
-        rng.SampleWithoutReplacement(view.num_points(), options.k);
-    std::vector<PointId> initial(sample.begin(), sample.end());
-    Result<KMedoidsResult> run = RunOnce(view, options, initial, &rng);
-    if (!run.ok()) return run;
-    if (!best.ok() || run.value().cost < best.value().cost) {
-      // Accumulate stats across restarts on the winning run.
-      if (best.ok()) {
-        run.value().stats.total_seconds += best.value().stats.total_seconds;
-      }
-      best = std::move(run);
+  const uint32_t restarts =
+      fixed_initial ? 1 : std::max<uint32_t>(1, options.num_restarts);
+
+  // One restart per task. Restart r draws from Rng(DeriveSeed(seed, r)),
+  // so its whole trajectory (initial sample + swap sequence) is a pure
+  // function of (view, options, r) — independent of scheduling.
+  std::vector<Result<KMedoidsResult>> runs(
+      restarts, Status::Internal("restart did not run"));
+  uint32_t threads =
+      std::min<uint32_t>(ResolveNumThreads(options.num_threads), restarts);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  ParallelFor(pool ? &*pool : nullptr, restarts, [&](size_t r, uint32_t) {
+    Rng rng(Rng::DeriveSeed(options.seed, r));
+    std::vector<PointId> initial;
+    if (fixed_initial) {
+      initial = options.initial_medoids;
     } else {
-      best.value().stats.total_seconds += run.value().stats.total_seconds;
+      std::vector<uint64_t> sample =
+          rng.SampleWithoutReplacement(view.num_points(), options.k);
+      initial.assign(sample.begin(), sample.end());
+    }
+    runs[r] = RunOnce(view, options, std::move(initial), &rng);
+  });
+
+  // Deterministic reduction: lowest cost wins, ties broken by lowest
+  // restart index; total_seconds aggregates every restart's work.
+  Result<KMedoidsResult> best = Status::Internal("no restart ran");
+  double total_seconds = 0.0;
+  for (uint32_t r = 0; r < restarts; ++r) {
+    if (!runs[r].ok()) return runs[r];
+    total_seconds += runs[r].value().stats.total_seconds;
+    if (!best.ok() || runs[r].value().cost < best.value().cost) {
+      best = std::move(runs[r]);
     }
   }
+  best.value().stats.total_seconds = total_seconds;
   return best;
 }
 
 Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
                                        const KMedoidsOptions& options,
                                        const std::vector<PointId>& initial) {
-  if (initial.empty() || initial.size() > view.num_points()) {
+  if (initial.empty()) {
     return Status::InvalidArgument("initial medoid set size must be in [1, N]");
   }
-  for (PointId p : initial) {
-    if (p >= view.num_points()) {
-      return Status::InvalidArgument("initial medoid id out of range");
-    }
-  }
-  Rng rng(options.seed);
-  return RunOnce(view, options, initial, &rng);
+  KMedoidsOptions patched = options;
+  patched.initial_medoids = initial;
+  return KMedoidsCluster(view, patched);
 }
 
 Result<KMedoidsResult> AssignToMedoids(const NetworkView& view,

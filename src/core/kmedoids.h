@@ -35,9 +35,20 @@ struct KMedoidsOptions {
   /// Use Inc_Medoid_Update (true) or rerun Medoid_Dist_Find from scratch
   /// after every swap (false) — the ablation of Fig. 12 / Table 1.
   bool incremental_updates = true;
-  /// Random restarts; the best local optimum wins.
+  /// Random restarts; the best local optimum wins. Restart r draws its
+  /// randomness from Rng(Rng::DeriveSeed(seed, r)), so the set of
+  /// restarts — and therefore the result — is identical at any
+  /// `num_threads`.
   uint32_t num_restarts = 1;
   uint64_t seed = 1;
+  /// Fixed initial medoids (e.g. the generated cluster seeds — the
+  /// "ideal" seeding of Fig. 11b). Empty = random initialization. When
+  /// non-empty, `k` is ignored and `num_restarts` is treated as 1.
+  std::vector<PointId> initial_medoids;
+  /// Worker threads for the restart loop: restarts run one per task.
+  /// 0 = one per hardware core, 1 = serial. Results are bit-identical
+  /// across thread counts for a fixed seed.
+  uint32_t num_threads = 1;
 };
 
 /// Timing/convergence statistics of one run (Table 1's columns).
@@ -60,13 +71,18 @@ struct KMedoidsResult {
   KMedoidsStats stats;
 };
 
-/// Runs k-medoids with random initial medoids.
+/// Runs k-medoids: random initial medoids unless
+/// `options.initial_medoids` is set. Restarts execute in parallel on
+/// `options.num_threads` workers with per-restart derived seeds; the
+/// winning run (lowest cost, ties broken by lowest restart index) is
+/// bit-identical to a serial execution.
 Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
                                        const KMedoidsOptions& options);
 
-/// Runs k-medoids from the given initial medoids (e.g. the generated
-/// cluster seeds — the "ideal" seeding of Fig. 11b). `options.k` is
-/// ignored; `options.num_restarts` is treated as 1.
+/// \deprecated Use `KMedoidsOptions::initial_medoids` instead; this
+/// overload is a thin wrapper that copies `initial` into the options and
+/// delegates to the two-argument form. It will be removed once in-tree
+/// callers have migrated.
 Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
                                        const KMedoidsOptions& options,
                                        const std::vector<PointId>& initial);

@@ -1,8 +1,11 @@
 #include "eval/evaluation.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <unordered_map>
+
+#include "eval/metrics.h"
 
 namespace netclus {
 
@@ -25,6 +28,60 @@ ClusterSummary Summarize(const Clustering& clustering) {
   }
   if (sizes.empty()) s.smallest_cluster = 0;
   return s;
+}
+
+Result<EvaluationReport> EvaluateClustering(
+    const NetworkView& view, const ClusterSpec& spec,
+    const std::vector<int>& truth_labels) {
+  Result<ClusterOutput> run = RunClustering(view, spec);
+  if (!run.ok()) return run.status();
+  EvaluationReport report;
+  report.output = std::move(run.value());
+  report.summary = Summarize(report.output.clustering);
+  report.has_ground_truth =
+      std::any_of(truth_labels.begin(), truth_labels.end(),
+                  [](int l) { return l != kNoise; });
+  if (report.has_ground_truth) {
+    report.ari =
+        AdjustedRandIndex(truth_labels, report.output.clustering.assignment);
+    report.nmi = NormalizedMutualInformation(
+        truth_labels, report.output.clustering.assignment);
+    report.purity = Purity(truth_labels, report.output.clustering.assignment);
+  }
+  return report;
+}
+
+std::string FormatReport(const EvaluationReport& report) {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "algorithm: %s  wall: %.3fs\n"
+                "clusters: %d  noise: %u  largest: %u  smallest: %u\n",
+                AlgorithmName(report.output.algorithm),
+                report.output.wall_seconds, report.summary.num_clusters,
+                report.summary.noise_points, report.summary.largest_cluster,
+                report.summary.smallest_cluster);
+  out += line;
+  if (report.output.algorithm == Algorithm::kKMedoids) {
+    std::snprintf(line, sizeof(line),
+                  "R = %.3f after %u swaps (%u committed)\n",
+                  report.output.cost,
+                  report.output.kmedoids_stats.attempted_swaps,
+                  report.output.kmedoids_stats.committed_swaps);
+    out += line;
+  }
+  if (report.output.dendrogram.has_value()) {
+    std::snprintf(line, sizeof(line), "dendrogram: %zu merges\n",
+                  report.output.dendrogram->merges().size());
+    out += line;
+  }
+  if (report.has_ground_truth) {
+    std::snprintf(line, sizeof(line),
+                  "vs. point labels: ARI %.3f, NMI %.3f, purity %.3f\n",
+                  report.ari, report.nmi, report.purity);
+    out += line;
+  }
+  return out;
 }
 
 std::pair<double, double> PointCoordinates(

@@ -8,6 +8,7 @@
 
 #include "core/clustering.h"
 #include "graph/network.h"
+#include "netclus.h"
 
 namespace netclus {
 
@@ -21,6 +22,29 @@ struct ClusterSummary {
 };
 
 ClusterSummary Summarize(const Clustering& clustering);
+
+/// \brief One evaluated clustering run: the unified output plus its
+/// summary and, when ground-truth labels are supplied, external quality
+/// metrics.
+struct EvaluationReport {
+  ClusterOutput output;
+  ClusterSummary summary;
+  bool has_ground_truth = false;  ///< some label != kNoise was supplied
+  double ari = 0.0;               ///< Adjusted Rand Index vs. labels
+  double nmi = 0.0;               ///< Normalized Mutual Information
+  double purity = 0.0;
+};
+
+/// Runs `spec` over `view` through RunClustering — the library's single
+/// entry point — and scores the result. `truth_labels` may be empty (or
+/// all kNoise) when no ground truth exists; metrics are then skipped.
+Result<EvaluationReport> EvaluateClustering(
+    const NetworkView& view, const ClusterSpec& spec,
+    const std::vector<int>& truth_labels = {});
+
+/// Renders a report as the CLI's human-readable block (summary line,
+/// algorithm-specific statistics, metrics when available).
+std::string FormatReport(const EvaluationReport& report);
 
 /// Interpolated planar position of point `p` (its edge endpoints'
 /// coordinates blended by the offset fraction).

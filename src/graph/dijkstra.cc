@@ -1,72 +1,103 @@
 #include "graph/dijkstra.h"
 
-#include <queue>
+#include <algorithm>
 
 namespace netclus {
 
 namespace {
-struct HeapEntry {
-  double dist;
-  NodeId node;
-  bool operator>(const HeapEntry& other) const { return dist > other.dist; }
-};
-using MinHeap =
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
-}  // namespace
 
-std::vector<double> DijkstraDistances(
-    const NetworkView& view, const std::vector<DijkstraSource>& sources) {
-  std::vector<double> dist(view.num_nodes(), kInfDist);
-  MinHeap heap;
-  for (const DijkstraSource& s : sources) {
-    if (s.dist < dist[s.node]) {
-      dist[s.node] = s.dist;
-      heap.push(HeapEntry{s.dist, s.node});
-    }
-  }
-  while (!heap.empty()) {
-    auto [d, n] = heap.top();
-    heap.pop();
-    if (d > dist[n]) continue;  // stale entry
-    view.ForEachNeighbor(n, [&](NodeId m, double w) {
-      double nd = d + w;
-      if (nd < dist[m]) {
-        dist[m] = nd;
-        heap.push(HeapEntry{nd, m});
-      }
-    });
-  }
-  return dist;
+// Min-heap primitives over the reusable vector storage (std::greater
+// turns the max-heap of push_heap/pop_heap into a min-heap on dist).
+inline void HeapPush(std::vector<DijkstraHeapEntry>* heap, double dist,
+                     NodeId node) {
+  heap->push_back(DijkstraHeapEntry{dist, node});
+  std::push_heap(heap->begin(), heap->end(), std::greater<>());
 }
 
-void DijkstraExpandBounded(
-    const NetworkView& view, const std::vector<DijkstraSource>& sources,
-    double bound, NodeScratch* scratch,
-    const std::function<bool(NodeId, double)>& on_settle) {
+inline DijkstraHeapEntry HeapPop(std::vector<DijkstraHeapEntry>* heap) {
+  std::pop_heap(heap->begin(), heap->end(), std::greater<>());
+  DijkstraHeapEntry top = heap->back();
+  heap->pop_back();
+  return top;
+}
+
+// Core bounded expansion over (scratch, heap); both public overloads
+// forward here. `heap` is cleared first but keeps its capacity.
+void ExpandBounded(const NetworkView& view,
+                   const std::vector<DijkstraSource>& sources, double bound,
+                   NodeScratch* scratch, std::vector<DijkstraHeapEntry>* heap,
+                   const std::function<bool(NodeId, double)>& on_settle) {
   scratch->NewEpoch();
-  MinHeap heap;
+  heap->clear();
   // `scratch` holds tentative distances during the run; a separate settled
   // mark is unnecessary because a popped entry matching the scratch value
   // is settled (standard lazy-deletion Dijkstra).
   for (const DijkstraSource& s : sources) {
     if (s.dist <= bound && s.dist < scratch->Get(s.node)) {
       scratch->Set(s.node, s.dist);
-      heap.push(HeapEntry{s.dist, s.node});
+      HeapPush(heap, s.dist, s.node);
     }
   }
-  while (!heap.empty()) {
-    auto [d, n] = heap.top();
-    heap.pop();
+  while (!heap->empty()) {
+    auto [d, n] = HeapPop(heap);
     if (d > scratch->Get(n)) continue;  // stale entry
     if (!on_settle(n, d)) return;
     view.ForEachNeighbor(n, [&](NodeId m, double w) {
       double nd = d + w;
       if (nd <= bound && nd < scratch->Get(m)) {
         scratch->Set(m, nd);
-        heap.push(HeapEntry{nd, m});
+        HeapPush(heap, nd, m);
       }
     });
   }
+}
+
+}  // namespace
+
+std::vector<double> DijkstraDistances(
+    const NetworkView& view, const std::vector<DijkstraSource>& sources) {
+  std::vector<double> dist(view.num_nodes(), kInfDist);
+  std::vector<DijkstraHeapEntry> heap;
+  for (const DijkstraSource& s : sources) {
+    if (s.dist < dist[s.node]) {
+      dist[s.node] = s.dist;
+      HeapPush(&heap, s.dist, s.node);
+    }
+  }
+  while (!heap.empty()) {
+    auto [d, n] = HeapPop(&heap);
+    if (d > dist[n]) continue;  // stale entry
+    view.ForEachNeighbor(n, [&](NodeId m, double w) {
+      double nd = d + w;
+      if (nd < dist[m]) {
+        dist[m] = nd;
+        HeapPush(&heap, nd, m);
+      }
+    });
+  }
+  return dist;
+}
+
+void DijkstraDistances(const NetworkView& view,
+                       const std::vector<DijkstraSource>& sources,
+                       TraversalWorkspace* ws) {
+  ExpandBounded(view, sources, kInfDist, &ws->scratch, &ws->heap,
+                [](NodeId, double) { return true; });
+}
+
+void DijkstraExpandBounded(
+    const NetworkView& view, const std::vector<DijkstraSource>& sources,
+    double bound, NodeScratch* scratch,
+    const std::function<bool(NodeId, double)>& on_settle) {
+  std::vector<DijkstraHeapEntry> heap;
+  ExpandBounded(view, sources, bound, scratch, &heap, on_settle);
+}
+
+void DijkstraExpandBounded(
+    const NetworkView& view, const std::vector<DijkstraSource>& sources,
+    double bound, TraversalWorkspace* ws,
+    const std::function<bool(NodeId, double)>& on_settle) {
+  ExpandBounded(view, sources, bound, &ws->scratch, &ws->heap, on_settle);
 }
 
 }  // namespace netclus

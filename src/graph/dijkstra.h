@@ -52,10 +52,44 @@ class NodeScratch {
   uint64_t current_;
 };
 
+/// A (distance, node) min-heap element of a Dijkstra traversal; exposed so
+/// TraversalWorkspace can own the reusable heap storage.
+struct DijkstraHeapEntry {
+  double dist;
+  NodeId node;
+  bool operator>(const DijkstraHeapEntry& other) const {
+    return dist > other.dist;
+  }
+};
+
+/// \brief Reusable per-traversal state: node distances plus heap storage.
+///
+/// Constructing one is O(|V|); reusing it makes every subsequent
+/// traversal proportional to the region visited, with zero allocation in
+/// the steady state. One workspace serves one traversal at a time —
+/// concurrent algorithms lease one per worker thread (see
+/// graph/workspace_pool.h).
+struct TraversalWorkspace {
+  explicit TraversalWorkspace(NodeId num_nodes) : scratch(num_nodes) {}
+
+  NodeScratch scratch;
+  std::vector<DijkstraHeapEntry> heap;  ///< binary-heap storage, reused
+  std::vector<std::pair<NodeId, double>> settled;  ///< settle-order log
+};
+
 /// Computes exact shortest-path distances from `sources` to every node
-/// (kInfDist where unreachable). O(|E| log |V|).
+/// (kInfDist where unreachable). O(|E| log |V|). Allocates a fresh
+/// distance array per call; prefer the TraversalWorkspace overload in
+/// loops.
 std::vector<double> DijkstraDistances(const NetworkView& view,
                                       const std::vector<DijkstraSource>& sources);
+
+/// As above, but distances land in `ws->scratch` (a fresh epoch is
+/// started; unreached nodes read kInfDist) and the heap storage of `ws`
+/// is reused instead of reallocated.
+void DijkstraDistances(const NetworkView& view,
+                       const std::vector<DijkstraSource>& sources,
+                       TraversalWorkspace* ws);
 
 /// Expands the network from `sources` in distance order, invoking
 /// `on_settle(node, dist)` once per settled node with dist <= `bound`.
@@ -64,6 +98,13 @@ std::vector<double> DijkstraDistances(const NetworkView& view,
 void DijkstraExpandBounded(
     const NetworkView& view, const std::vector<DijkstraSource>& sources,
     double bound, NodeScratch* scratch,
+    const std::function<bool(NodeId, double)>& on_settle);
+
+/// As above with the workspace's scratch, reusing its heap storage.
+/// (`ws->settled` is untouched — it belongs to higher-level callers.)
+void DijkstraExpandBounded(
+    const NetworkView& view, const std::vector<DijkstraSource>& sources,
+    double bound, TraversalWorkspace* ws,
     const std::function<bool(NodeId, double)>& on_settle);
 
 }  // namespace netclus

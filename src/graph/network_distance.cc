@@ -52,26 +52,21 @@ double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
   return best;
 }
 
-void RangeQuery(const NetworkView& view, PointId center, double eps,
-                NodeScratch* scratch, std::vector<RangeResult>* out) {
-  out->clear();
-  PointPos c = view.PointPosition(center);
-  double wc = view.EdgeWeight(c.u, c.v);
+namespace {
 
-  std::vector<std::pair<NodeId, double>> settled;
-  DijkstraExpandBounded(view, {{c.u, c.offset}, {c.v, wc - c.offset}}, eps,
-                        scratch, [&](NodeId n, double d) {
-                          settled.emplace_back(n, d);
-                          return true;
-                        });
-
+// Second phase of RangeQuery, common to both overloads: inspect every
+// edge incident to a settled node and emit the points within eps.
+void CollectRangePoints(const NetworkView& view, const PointPos& c, double wc,
+                        double eps, const NodeScratch& scratch,
+                        const std::vector<std::pair<NodeId, double>>& settled,
+                        std::vector<RangeResult>* out) {
   std::vector<EdgePoint> pts;
   auto process_edge = [&](NodeId a, NodeId b, double we) {
     view.GetEdgePoints(a, b, &pts);
     if (pts.empty()) return;
     NodeId u = std::min(a, b), v = std::max(a, b);
-    double du = scratch->Get(u);  // kInfDist when not reached within eps
-    double dv = scratch->Get(v);
+    double du = scratch.Get(u);  // kInfDist when not reached within eps
+    double dv = scratch.Get(v);
     bool is_center_edge = (u == c.u && v == c.v);
     for (const EdgePoint& ep : pts) {
       double d = std::min(du + ep.offset, dv + (we - ep.offset));
@@ -91,6 +86,38 @@ void RangeQuery(const NetworkView& view, PointId center, double eps,
       }
     });
   }
+}
+
+}  // namespace
+
+void RangeQuery(const NetworkView& view, PointId center, double eps,
+                NodeScratch* scratch, std::vector<RangeResult>* out) {
+  out->clear();
+  PointPos c = view.PointPosition(center);
+  double wc = view.EdgeWeight(c.u, c.v);
+
+  std::vector<std::pair<NodeId, double>> settled;
+  DijkstraExpandBounded(view, {{c.u, c.offset}, {c.v, wc - c.offset}}, eps,
+                        scratch, [&](NodeId n, double d) {
+                          settled.emplace_back(n, d);
+                          return true;
+                        });
+  CollectRangePoints(view, c, wc, eps, *scratch, settled, out);
+}
+
+void RangeQuery(const NetworkView& view, PointId center, double eps,
+                TraversalWorkspace* ws, std::vector<RangeResult>* out) {
+  out->clear();
+  PointPos c = view.PointPosition(center);
+  double wc = view.EdgeWeight(c.u, c.v);
+
+  ws->settled.clear();
+  DijkstraExpandBounded(view, {{c.u, c.offset}, {c.v, wc - c.offset}}, eps,
+                        ws, [&](NodeId n, double d) {
+                          ws->settled.emplace_back(n, d);
+                          return true;
+                        });
+  CollectRangePoints(view, c, wc, eps, ws->scratch, ws->settled, out);
 }
 
 void KNearestNeighbors(const NetworkView& view, PointId center, uint32_t k,

@@ -42,6 +42,13 @@ struct RangeResult {
 void RangeQuery(const NetworkView& view, PointId center, double eps,
                 NodeScratch* scratch, std::vector<RangeResult>* out);
 
+/// As above, reusing the workspace's heap and settle-log storage as well
+/// as its scratch — the zero-allocation steady state for algorithms that
+/// issue one range query per point (DBSCAN). One workspace per concurrent
+/// caller; lease them from a WorkspacePool under parallelism.
+void RangeQuery(const NetworkView& view, PointId center, double eps,
+                TraversalWorkspace* ws, std::vector<RangeResult>* out);
+
 /// Finds the `k` points nearest to `center` by network distance
 /// (excluding `center` itself), ordered by ascending distance. Fewer
 /// than k results when the reachable point population is smaller.

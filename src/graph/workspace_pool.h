@@ -1,0 +1,87 @@
+// WorkspacePool: recycled TraversalWorkspace instances for concurrent
+// Dijkstra traversals.
+//
+// A TraversalWorkspace (see graph/dijkstra.h) is O(|V|) to construct;
+// algorithms that issue thousands of bounded expansions — DBSCAN's
+// per-point range queries above all — amortize that cost by leasing one
+// workspace per worker thread from this pool instead of allocating per
+// call. Leases return their workspace automatically, so a pool outlives
+// any number of ParallelFor rounds without growing past the peak
+// concurrency actually used.
+#ifndef NETCLUS_GRAPH_WORKSPACE_POOL_H_
+#define NETCLUS_GRAPH_WORKSPACE_POOL_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/types.h"
+
+namespace netclus {
+
+/// \brief Thread-safe pool of TraversalWorkspace instances for one
+/// network size.
+class WorkspacePool {
+ public:
+  /// All leased workspaces are sized for `num_nodes` nodes.
+  explicit WorkspacePool(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  /// \brief RAII handle to a leased workspace; returns it on destruction.
+  class Lease {
+   public:
+    Lease(WorkspacePool* pool, std::unique_ptr<TraversalWorkspace> ws)
+        : pool_(pool), ws_(std::move(ws)) {}
+    ~Lease() {
+      if (pool_ != nullptr) pool_->Release(std::move(ws_));
+    }
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), ws_(std::move(other.ws_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    TraversalWorkspace* get() const { return ws_.get(); }
+    TraversalWorkspace* operator->() const { return ws_.get(); }
+
+   private:
+    WorkspacePool* pool_;
+    std::unique_ptr<TraversalWorkspace> ws_;
+  };
+
+  /// Leases a workspace, reusing a returned one when available.
+  Lease Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<TraversalWorkspace> ws = std::move(free_.back());
+        free_.pop_back();
+        return Lease(this, std::move(ws));
+      }
+    }
+    return Lease(this, std::make_unique<TraversalWorkspace>(num_nodes_));
+  }
+
+  /// Number of idle workspaces currently held (for tests).
+  size_t idle_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  void Release(std::unique_ptr<TraversalWorkspace> ws) {
+    if (ws == nullptr) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(ws));
+  }
+
+  const NodeId num_nodes_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<TraversalWorkspace>> free_;
+};
+
+}  // namespace netclus
+
+#endif  // NETCLUS_GRAPH_WORKSPACE_POOL_H_

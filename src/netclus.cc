@@ -1,0 +1,91 @@
+#include "netclus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.h"
+
+namespace netclus {
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kKMedoids:
+      return "kmedoids";
+    case Algorithm::kEpsLink:
+      return "epslink";
+    case Algorithm::kSingleLink:
+      return "singlelink";
+    case Algorithm::kDbscan:
+      return "dbscan";
+  }
+  return "unknown";
+}
+
+Result<Algorithm> ParseAlgorithm(const std::string& name) {
+  for (Algorithm a : {Algorithm::kKMedoids, Algorithm::kEpsLink,
+                      Algorithm::kSingleLink, Algorithm::kDbscan}) {
+    if (name == AlgorithmName(a)) return a;
+  }
+  return Status::InvalidArgument("unknown algorithm: " + name);
+}
+
+namespace {
+
+// The Single-Link flat-cut cascade documented on ClusterSpec.
+Clustering CutDendrogram(const Dendrogram& dendrogram,
+                         const ClusterSpec& spec) {
+  if (spec.cut_distance > 0.0) {
+    return dendrogram.CutAtDistance(spec.cut_distance, spec.cut_min_size);
+  }
+  if (std::isfinite(spec.single_link.stop_distance)) {
+    return dendrogram.CutAtDistance(spec.single_link.stop_distance,
+                                    spec.cut_min_size);
+  }
+  return dendrogram.CutAtCount(
+      std::max<uint32_t>(1, spec.single_link.stop_cluster_count),
+      spec.cut_min_size);
+}
+
+}  // namespace
+
+Result<ClusterOutput> RunClustering(const NetworkView& view,
+                                    const ClusterSpec& spec) {
+  WallTimer timer;
+  ClusterOutput out;
+  out.algorithm = spec.algorithm;
+  switch (spec.algorithm) {
+    case Algorithm::kKMedoids: {
+      Result<KMedoidsResult> r = KMedoidsCluster(view, spec.kmedoids);
+      if (!r.ok()) return r.status();
+      out.clustering = std::move(r.value().clustering);
+      out.medoids = std::move(r.value().medoids);
+      out.cost = r.value().cost;
+      out.kmedoids_stats = r.value().stats;
+      break;
+    }
+    case Algorithm::kEpsLink: {
+      Result<Clustering> r = EpsLinkCluster(view, spec.eps_link);
+      if (!r.ok()) return r.status();
+      out.clustering = std::move(r.value());
+      break;
+    }
+    case Algorithm::kSingleLink: {
+      Result<SingleLinkResult> r = SingleLinkCluster(view, spec.single_link);
+      if (!r.ok()) return r.status();
+      out.clustering = CutDendrogram(r.value().dendrogram, spec);
+      out.dendrogram = std::move(r.value().dendrogram);
+      out.single_link_stats = r.value().stats;
+      break;
+    }
+    case Algorithm::kDbscan: {
+      Result<Clustering> r = DbscanCluster(view, spec.dbscan);
+      if (!r.ok()) return r.status();
+      out.clustering = std::move(r.value());
+      break;
+    }
+  }
+  out.wall_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace netclus

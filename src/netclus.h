@@ -1,0 +1,93 @@
+// netclus.h — the single entry point into the clustering library.
+//
+// Callers describe the run declaratively with a ClusterSpec (an algorithm
+// tag plus that algorithm's options) and invoke RunClustering, which
+// dispatches to the per-algorithm engine and returns one unified
+// ClusterOutput: a flat Clustering, the dendrogram when the algorithm is
+// hierarchical, per-run statistics, and the wall time.
+//
+// Migration note (old per-algorithm calls): KMedoidsCluster,
+// EpsLinkCluster, DbscanCluster and SingleLinkCluster remain available
+// for code that needs algorithm-specific result types, but new callers —
+// and all in-tree tools (netclus_cli, the evaluation module) — go through
+// RunClustering.
+#ifndef NETCLUS_NETCLUS_H_
+#define NETCLUS_NETCLUS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/clustering.h"
+#include "core/dbscan.h"
+#include "core/dendrogram.h"
+#include "core/eps_link.h"
+#include "core/kmedoids.h"
+#include "core/single_link.h"
+#include "graph/network_view.h"
+
+namespace netclus {
+
+/// The clustering algorithms RunClustering dispatches over.
+enum class Algorithm {
+  kKMedoids,    ///< partitioning (paper §4.2)
+  kEpsLink,     ///< density-based, single traversal per cluster (§4.3.1)
+  kSingleLink,  ///< hierarchical, exact dendrogram (§4.4)
+  kDbscan,      ///< density-based baseline, range query per point (§4.3)
+};
+
+/// Stable lower-case name of `a` ("kmedoids", "epslink", "singlelink",
+/// "dbscan") — the vocabulary of netclus_cli's --algo flag.
+const char* AlgorithmName(Algorithm a);
+
+/// Inverse of AlgorithmName; InvalidArgument on unknown names.
+Result<Algorithm> ParseAlgorithm(const std::string& name);
+
+/// \brief One clustering run, declaratively: which algorithm plus its
+/// options. Only the options of the selected algorithm are read.
+struct ClusterSpec {
+  Algorithm algorithm = Algorithm::kEpsLink;
+
+  KMedoidsOptions kmedoids;
+  EpsLinkOptions eps_link;
+  SingleLinkOptions single_link;
+  DbscanOptions dbscan;
+
+  /// Single-Link only: distance at which the dendrogram is cut into the
+  /// flat `ClusterOutput::clustering`. <= 0 falls back to
+  /// `single_link.stop_distance` when that is finite, else to a cut at
+  /// `single_link.stop_cluster_count` clusters.
+  double cut_distance = 0.0;
+  /// Single-Link only: flat-cut components smaller than this become
+  /// noise (ε-Link's min_sup analogue).
+  uint32_t cut_min_size = 1;
+};
+
+/// \brief The unified result of RunClustering.
+struct ClusterOutput {
+  Algorithm algorithm = Algorithm::kEpsLink;
+  /// Flat clustering — every algorithm produces one (Single-Link via the
+  /// spec's cut rule).
+  Clustering clustering;
+  /// Merge history; present for hierarchical algorithms (Single-Link).
+  std::optional<Dendrogram> dendrogram;
+
+  // Per-run statistics; populated by the producing algorithm.
+  std::vector<PointId> medoids;   ///< k-medoids: final medoid point ids
+  double cost = 0.0;              ///< k-medoids: evaluation function R
+  KMedoidsStats kmedoids_stats;   ///< k-medoids only
+  SingleLinkStats single_link_stats;  ///< Single-Link only
+
+  /// Wall time of the whole run (including the flat cut).
+  double wall_seconds = 0.0;
+};
+
+/// Runs the algorithm selected by `spec` over `view`. Fallible options
+/// surface as the same Status the per-algorithm entry point returns.
+Result<ClusterOutput> RunClustering(const NetworkView& view,
+                                    const ClusterSpec& spec);
+
+}  // namespace netclus
+
+#endif  // NETCLUS_NETCLUS_H_

@@ -123,6 +123,35 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(201u, 202u, 203u),
                        ::testing::Values(2u, 3u, 5u)));
 
+// The determinism-under-parallelism contract: with num_threads > 1 the
+// eps-neighborhoods are precomputed in parallel and the serial growth
+// scan replayed over the cache, so the labeling must be identical to the
+// serial run — same cluster ids, not just the same partition.
+class DbscanParallelTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(DbscanParallelTest, ParallelMatchesSerialExactly) {
+  auto [seed, min_pts] = GetParam();
+  GeneratedNetwork g = GenerateRoadNetwork({55, 1.35, 0.3, seed});
+  PointSet ps =
+      std::move(GenerateUniformPoints(g.net, 120, seed + 5)).value();
+  InMemoryNetworkView view(g.net, ps);
+  DbscanOptions opts;
+  opts.eps = 0.8;
+  opts.min_pts = min_pts;
+  opts.num_threads = 1;
+  Clustering serial = std::move(DbscanCluster(view, opts)).value();
+  opts.num_threads = 4;
+  Clustering parallel = std::move(DbscanCluster(view, opts)).value();
+  EXPECT_EQ(serial.num_clusters, parallel.num_clusters);
+  EXPECT_EQ(serial.assignment, parallel.assignment);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndMinPts, DbscanParallelTest,
+    ::testing::Combine(::testing::Values(301u, 302u, 303u),
+                       ::testing::Values(2u, 4u)));
+
 TEST(DbscanTest, DeterministicAcrossRuns) {
   GeneratedNetwork g = GenerateRoadNetwork({60, 1.3, 0.3, 61});
   PointSet ps = std::move(GenerateUniformPoints(g.net, 80, 62)).value();

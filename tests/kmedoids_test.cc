@@ -175,8 +175,77 @@ TEST(KMedoidsTest, RestartsKeepBestCost) {
   Result<KMedoidsResult> r4 = KMedoidsCluster(view, many);
   ASSERT_TRUE(r1.ok());
   ASSERT_TRUE(r4.ok());
-  // More restarts can only improve (first restart shares the RNG stream).
+  // More restarts can only improve: restart r runs on the derived stream
+  // Rng::DeriveSeed(seed, r), and stream 0 is `seed` itself, so the
+  // multi-restart run contains the single-restart run as its restart 0.
   EXPECT_LE(r4.value().cost, r1.value().cost + 1e-9);
+}
+
+// The determinism-under-parallelism contract: the same multi-restart run
+// must be bit-identical at any thread count, because each restart derives
+// its RNG from the restart index and the reduction is order-free.
+class KMedoidsParallelRestartTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(KMedoidsParallelRestartTest, ParallelRestartsMatchSerialBitExactly) {
+  uint64_t seed = GetParam();
+  GeneratedNetwork g = GenerateRoadNetwork({90, 1.3, 0.3, seed});
+  PointSet ps =
+      std::move(GenerateUniformPoints(g.net, 130, seed + 7)).value();
+  InMemoryNetworkView view(g.net, ps);
+  KMedoidsOptions serial;
+  serial.k = 4;
+  serial.seed = seed + 13;
+  serial.num_restarts = 8;
+  serial.num_threads = 1;
+  KMedoidsOptions parallel = serial;
+  parallel.num_threads = 4;
+  Result<KMedoidsResult> s = KMedoidsCluster(view, serial);
+  Result<KMedoidsResult> p = KMedoidsCluster(view, parallel);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(p.ok());
+  // Bit-identical, not merely close: same winning restart, same medoids,
+  // same assignment, exactly equal cost.
+  EXPECT_EQ(s.value().cost, p.value().cost);
+  EXPECT_EQ(s.value().medoids, p.value().medoids);
+  EXPECT_EQ(s.value().clustering.assignment, p.value().clustering.assignment);
+  EXPECT_EQ(s.value().stats.committed_swaps, p.value().stats.committed_swaps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KMedoidsParallelRestartTest,
+                         ::testing::Values(101u, 102u, 103u));
+
+TEST(KMedoidsTest, InitialMedoidsOptionMatchesDeprecatedOverload) {
+  GeneratedNetwork g = GenerateRoadNetwork({70, 1.3, 0.3, 111});
+  PointSet ps = std::move(GenerateUniformPoints(g.net, 90, 112)).value();
+  InMemoryNetworkView view(g.net, ps);
+  std::vector<PointId> initial = {3, 17, 42};
+  KMedoidsOptions opts;
+  opts.seed = 113;
+  Result<KMedoidsResult> via_overload = KMedoidsCluster(view, opts, initial);
+  KMedoidsOptions with_field = opts;
+  with_field.initial_medoids = initial;
+  Result<KMedoidsResult> via_field = KMedoidsCluster(view, with_field);
+  ASSERT_TRUE(via_overload.ok());
+  ASSERT_TRUE(via_field.ok());
+  EXPECT_EQ(via_overload.value().cost, via_field.value().cost);
+  EXPECT_EQ(via_overload.value().medoids, via_field.value().medoids);
+  EXPECT_EQ(via_overload.value().clustering.assignment,
+            via_field.value().clustering.assignment);
+}
+
+TEST(KMedoidsTest, RejectsBadInitialMedoids) {
+  GeneratedNetwork g = GenerateRoadNetwork({30, 1.3, 0.3, 121});
+  PointSet ps = std::move(GenerateUniformPoints(g.net, 10, 122)).value();
+  InMemoryNetworkView view(g.net, ps);
+  KMedoidsOptions opts;
+  opts.initial_medoids = {0, 99};  // out of range
+  EXPECT_TRUE(KMedoidsCluster(view, opts).status().IsInvalidArgument());
+  // The deprecated overload still rejects an empty explicit set (an empty
+  // initial_medoids field means random init instead).
+  EXPECT_TRUE(KMedoidsCluster(view, KMedoidsOptions{}, {})
+                  .status()
+                  .IsInvalidArgument());
 }
 
 TEST(KMedoidsTest, KEqualsNTerminates) {

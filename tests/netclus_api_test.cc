@@ -1,0 +1,177 @@
+// Tests for the unified RunClustering entry point: name parsing, parity
+// with the per-algorithm calls it dispatches to, the Single-Link cut
+// cascade, and the evaluation wrapper built on top of it.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/single_link.h"
+#include "eval/evaluation.h"
+#include "gen/network_gen.h"
+#include "gen/workload_gen.h"
+#include "netclus.h"
+
+namespace netclus {
+namespace {
+
+TEST(NetclusApiTest, AlgorithmNamesRoundTrip) {
+  for (Algorithm a : {Algorithm::kKMedoids, Algorithm::kEpsLink,
+                      Algorithm::kSingleLink, Algorithm::kDbscan}) {
+    Result<Algorithm> parsed = ParseAlgorithm(AlgorithmName(a));
+    ASSERT_TRUE(parsed.ok()) << AlgorithmName(a);
+    EXPECT_EQ(parsed.value(), a);
+  }
+  EXPECT_TRUE(ParseAlgorithm("kmeans").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseAlgorithm("").status().IsInvalidArgument());
+}
+
+class NetclusApiFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = GenerateRoadNetwork({70, 1.3, 0.3, 131});
+    ps_ = std::move(GenerateUniformPoints(g_.net, 100, 132)).value();
+    view_.emplace(g_.net, ps_);
+  }
+  GeneratedNetwork g_;
+  PointSet ps_;
+  std::optional<InMemoryNetworkView> view_;
+};
+
+TEST_F(NetclusApiFixture, KMedoidsMatchesDirectCall) {
+  ClusterSpec spec;
+  spec.algorithm = Algorithm::kKMedoids;
+  spec.kmedoids.k = 4;
+  spec.kmedoids.seed = 133;
+  Result<ClusterOutput> out = RunClustering(*view_, spec);
+  ASSERT_TRUE(out.ok());
+  Result<KMedoidsResult> direct = KMedoidsCluster(*view_, spec.kmedoids);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(out.value().algorithm, Algorithm::kKMedoids);
+  EXPECT_EQ(out.value().cost, direct.value().cost);
+  EXPECT_EQ(out.value().medoids, direct.value().medoids);
+  EXPECT_EQ(out.value().clustering.assignment,
+            direct.value().clustering.assignment);
+  EXPECT_FALSE(out.value().dendrogram.has_value());
+  EXPECT_GE(out.value().wall_seconds, 0.0);
+}
+
+TEST_F(NetclusApiFixture, DbscanMatchesDirectCallIncludingParallelPath) {
+  ClusterSpec spec;
+  spec.algorithm = Algorithm::kDbscan;
+  spec.dbscan.eps = 0.8;
+  spec.dbscan.min_pts = 3;
+  spec.dbscan.num_threads = 4;
+  Result<ClusterOutput> out = RunClustering(*view_, spec);
+  ASSERT_TRUE(out.ok());
+  Result<Clustering> direct = DbscanCluster(*view_, spec.dbscan);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(out.value().clustering.assignment, direct.value().assignment);
+  EXPECT_EQ(out.value().clustering.num_clusters, direct.value().num_clusters);
+}
+
+TEST_F(NetclusApiFixture, EpsLinkMatchesDirectCall) {
+  ClusterSpec spec;
+  spec.algorithm = Algorithm::kEpsLink;
+  spec.eps_link.eps = 0.8;
+  spec.eps_link.min_sup = 2;
+  Result<ClusterOutput> out = RunClustering(*view_, spec);
+  ASSERT_TRUE(out.ok());
+  Result<Clustering> direct = EpsLinkCluster(*view_, spec.eps_link);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(out.value().clustering.assignment, direct.value().assignment);
+}
+
+TEST_F(NetclusApiFixture, SingleLinkCutAtExplicitDistance) {
+  ClusterSpec spec;
+  spec.algorithm = Algorithm::kSingleLink;
+  spec.cut_distance = 0.8;
+  spec.cut_min_size = 2;
+  Result<ClusterOutput> out = RunClustering(*view_, spec);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(out.value().dendrogram.has_value());
+  Result<SingleLinkResult> direct =
+      SingleLinkCluster(*view_, spec.single_link);
+  ASSERT_TRUE(direct.ok());
+  Clustering want = direct.value().dendrogram.CutAtDistance(0.8, 2);
+  EXPECT_EQ(out.value().clustering.assignment, want.assignment);
+  EXPECT_EQ(out.value().clustering.num_clusters, want.num_clusters);
+}
+
+TEST_F(NetclusApiFixture, SingleLinkCutFallsBackToStopDistanceThenCount) {
+  // cut_distance unset + finite stop_distance => cut there.
+  ClusterSpec spec;
+  spec.algorithm = Algorithm::kSingleLink;
+  spec.single_link.stop_distance = 0.9;
+  Result<ClusterOutput> at_stop = RunClustering(*view_, spec);
+  ASSERT_TRUE(at_stop.ok());
+  Result<SingleLinkResult> direct =
+      SingleLinkCluster(*view_, spec.single_link);
+  ASSERT_TRUE(direct.ok());
+  Clustering want = direct.value().dendrogram.CutAtDistance(0.9, 1);
+  EXPECT_EQ(at_stop.value().clustering.assignment, want.assignment);
+
+  // Neither set => cut at stop_cluster_count clusters.
+  ClusterSpec by_count;
+  by_count.algorithm = Algorithm::kSingleLink;
+  by_count.single_link.stop_cluster_count = 5;
+  Result<ClusterOutput> at_count = RunClustering(*view_, by_count);
+  ASSERT_TRUE(at_count.ok());
+  Result<SingleLinkResult> direct2 =
+      SingleLinkCluster(*view_, by_count.single_link);
+  ASSERT_TRUE(direct2.ok());
+  Clustering want2 = direct2.value().dendrogram.CutAtCount(5, 1);
+  EXPECT_EQ(at_count.value().clustering.assignment, want2.assignment);
+}
+
+TEST_F(NetclusApiFixture, InvalidOptionsSurfaceAsStatus) {
+  ClusterSpec spec;
+  spec.algorithm = Algorithm::kKMedoids;
+  spec.kmedoids.k = 0;
+  EXPECT_TRUE(RunClustering(*view_, spec).status().IsInvalidArgument());
+  spec.algorithm = Algorithm::kDbscan;
+  spec.dbscan.eps = -1.0;
+  EXPECT_TRUE(RunClustering(*view_, spec).status().IsInvalidArgument());
+}
+
+TEST(NetclusApiTest, EvaluateClusteringReportsMetricsAgainstTruth) {
+  GeneratedNetwork g = GenerateRoadNetwork({300, 1.3, 0.3, 141});
+  ClusterWorkloadSpec wspec;
+  wspec.total_points = 600;
+  wspec.num_clusters = 4;
+  wspec.outlier_fraction = 0.0;
+  wspec.s_init = 0.02;
+  wspec.seed = 142;
+  GeneratedWorkload w =
+      std::move(GenerateClusteredPoints(g.net, wspec).value());
+  InMemoryNetworkView view(g.net, w.points);
+  ClusterSpec spec;
+  spec.algorithm = Algorithm::kEpsLink;
+  spec.eps_link.eps = w.max_intra_gap;
+  spec.eps_link.min_sup = 2;
+  Result<EvaluationReport> report =
+      EvaluateClustering(view, spec, w.points.labels());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().has_ground_truth);
+  EXPECT_GT(report.value().ari, 0.5);  // planted clusters, matched eps
+  EXPECT_GT(report.value().nmi, 0.5);
+  std::string text = FormatReport(report.value());
+  EXPECT_NE(text.find("epslink"), std::string::npos);
+  EXPECT_NE(text.find("ARI"), std::string::npos);
+}
+
+TEST(NetclusApiTest, EvaluateClusteringWithoutTruthSkipsMetrics) {
+  GeneratedNetwork g = GenerateRoadNetwork({50, 1.3, 0.3, 151});
+  PointSet ps = std::move(GenerateUniformPoints(g.net, 40, 152)).value();
+  InMemoryNetworkView view(g.net, ps);
+  ClusterSpec spec;
+  spec.algorithm = Algorithm::kEpsLink;
+  spec.eps_link.eps = 0.8;
+  Result<EvaluationReport> report = EvaluateClustering(view, spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().has_ground_truth);
+  std::string text = FormatReport(report.value());
+  EXPECT_EQ(text.find("ARI"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netclus
