@@ -11,8 +11,21 @@
 # `scripts/run_all.sh tsan` instead builds a ThreadSanitizer
 # configuration in build-tsan and runs the concurrency-sensitive tests
 # (thread pool, parallel restarts/range queries, determinism) under it.
+#
+# `scripts/run_all.sh asan` builds an AddressSanitizer configuration in
+# build-asan and runs the storage + fault-injection + corruption suites —
+# the paths that chew on deliberately damaged bytes — under it.
 set -e
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "asan" ]; then
+  cmake -B build-asan -G Ninja -DNETCLUS_SANITIZE=address
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure \
+    -R 'Storage|Buffer|Checksum|Crc32c|FaultInjection|FaultSoak|Corruption|Bptree|NetworkStore|TextIo' \
+    2>&1 | tee asan_output.txt
+  exit 0
+fi
 
 if [ "${1:-}" = "tsan" ]; then
   cmake -B build-tsan -G Ninja -DNETCLUS_SANITIZE=thread

@@ -19,6 +19,8 @@ const char* CodeName(Status::Code code) {
       return "Corruption";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ class Status {
     kIOError,
     kCorruption,
     kInternal,
+    kUnavailable,
   };
 
   /// Constructs an OK status.
@@ -49,6 +50,11 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  /// A transient failure (e.g. an interrupted or short read) that may
+  /// succeed if retried; the BufferManager's retry policy keys off this.
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -60,6 +66,7 @@ class Status {
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   /// Renders e.g. "InvalidArgument: k must be positive".
   std::string ToString() const;
@@ -122,6 +129,20 @@ class Result {
     ::netclus::Status _st = (expr);            \
     if (!_st.ok()) return _st;                 \
   } while (0)
+
+#define NETCLUS_STATUS_CONCAT_(a, b) a##b
+#define NETCLUS_STATUS_CONCAT(a, b) NETCLUS_STATUS_CONCAT_(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error propagates the Status to the
+/// caller, otherwise assigns the value to `lhs`:
+///   NETCLUS_ASSIGN_OR_RETURN(PageHandle h, bm->FetchPage(file, page));
+#define NETCLUS_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  NETCLUS_ASSIGN_OR_RETURN_IMPL(                                          \
+      NETCLUS_STATUS_CONCAT(_netclus_result_, __LINE__), lhs, rexpr)
+#define NETCLUS_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                                  \
+  if (!result.ok()) return result.status();               \
+  lhs = std::move(result).value()
 
 }  // namespace netclus
 

@@ -27,12 +27,41 @@ constexpr uint64_t kAdjMagic = 0x4E43414A464C4154ULL;  // "NCAJFLAT"
 constexpr uint64_t kPtsMagic = 0x4E435054464C4154ULL;  // "NCPTFLAT"
 constexpr size_t kPageHeader = 2;                       // used bytes u16
 
+// On-disk format version written by Build(). Files written before the
+// version field existed read 0 there and are treated as version 1
+// (no page checksums); version 2 adds the CRC32C page footer.
+constexpr uint32_t kFormatVersion = 2;
+constexpr uint32_t kChecksummedSinceVersion = 2;
+// Version field offsets within the two header pages.
+constexpr size_t kAdjVersionOffset = 16;
+constexpr size_t kPtsVersionOffset = 12;
+
 uint64_t MakeAddr(PageId page, uint32_t offset) {
   return (static_cast<uint64_t>(page) << 32) | offset;
 }
 PageId AddrPage(uint64_t addr) { return static_cast<PageId>(addr >> 32); }
 uint32_t AddrOffset(uint64_t addr) {
   return static_cast<uint32_t>(addr & 0xFFFFFFFFULL);
+}
+
+// Validates that flat-file record bytes [offset, offset + len) lie within
+// the used region of the fetched page. Catches garbage addresses/lengths
+// decoded from corrupted (v1, un-checksummed) pages before they cause
+// out-of-bounds reads; the Status names the page and file offset.
+Status ValidateRecordBounds(const PageHandle& h, uint32_t usable,
+                            uint32_t page_size, uint32_t offset, uint64_t len,
+                            const char* what) {
+  uint64_t used = Load<uint16_t>(h.data());
+  if (used >= kPageHeader && used <= usable && offset >= kPageHeader &&
+      offset + len <= used) {
+    return Status::OK();
+  }
+  return Status::Corruption(
+      std::string(what) + ": record out of page bounds: page " +
+      std::to_string(h.page_id()) + ", offset " + std::to_string(offset) +
+      " (file offset " +
+      std::to_string(static_cast<uint64_t>(h.page_id()) * page_size + offset) +
+      ")");
 }
 
 // Sequentially appends variable-length records to a flat file, packing
@@ -159,14 +188,17 @@ Result<std::unique_ptr<NetworkStore>> NetworkStore::Build(
       return Status::InvalidArgument("page size mismatch");
     }
   }
-  FileId adj_flat = bm->RegisterFile(files.adj_flat);
-  FileId adj_index = bm->RegisterFile(files.adj_index);
-  FileId pts_flat = bm->RegisterFile(files.pts_flat);
-  FileId pts_index = bm->RegisterFile(files.pts_index);
+  // New stores are written in the checksummed format (v2): every page of
+  // all four files carries the CRC32C footer.
+  FileId adj_flat = bm->RegisterFile(files.adj_flat, /*checksummed=*/true);
+  FileId adj_index = bm->RegisterFile(files.adj_index, /*checksummed=*/true);
+  FileId pts_flat = bm->RegisterFile(files.pts_flat, /*checksummed=*/true);
+  FileId pts_index = bm->RegisterFile(files.pts_index, /*checksummed=*/true);
   auto store =
       std::unique_ptr<NetworkStore>(new NetworkStore(bm, adj_flat, pts_flat));
   store->num_nodes_ = net.num_nodes();
   store->num_points_ = points.size();
+  store->format_version_ = kFormatVersion;
 
   // --- Adjacency flat file: header page, then records in placement order.
   {
@@ -175,12 +207,13 @@ Result<std::unique_ptr<NetworkStore>> NetworkStore::Build(
     Store_<uint64_t>(h.value().data(), kAdjMagic);
     Store_<uint32_t>(h.value().data() + 8, net.num_nodes());
     Store_<uint32_t>(h.value().data() + 12, points.size());
+    Store_<uint32_t>(h.value().data() + kAdjVersionOffset, kFormatVersion);
     h.value().MarkDirty();
   }
   std::vector<std::pair<uint64_t, uint64_t>> adj_entries;  // node -> addr
   adj_entries.reserve(net.num_nodes());
   {
-    FlatWriter writer(bm, adj_flat, bm->page_size());
+    FlatWriter writer(bm, adj_flat, bm->usable_page_size(adj_flat));
     for (NodeId n : PlacementOrder(net, placement, seed)) {
       std::vector<char> rec =
           EncodeAdjRecord(net.neighbors(n), [&](NodeId m) -> PointId {
@@ -207,13 +240,14 @@ Result<std::unique_ptr<NetworkStore>> NetworkStore::Build(
     if (!h.ok()) return h.status();
     Store_<uint64_t>(h.value().data(), kPtsMagic);
     Store_<uint32_t>(h.value().data() + 8, points.size());
+    Store_<uint32_t>(h.value().data() + kPtsVersionOffset, kFormatVersion);
     h.value().MarkDirty();
   }
-  const uint32_t max_chunk =
-      static_cast<uint32_t>((bm->page_size() - kPageHeader - 12) / 8);
+  const uint32_t max_chunk = static_cast<uint32_t>(
+      (bm->usable_page_size(pts_flat) - kPageHeader - 12) / 8);
   std::vector<std::pair<uint64_t, uint64_t>> pts_entries;  // first pt -> addr
   {
-    FlatWriter writer(bm, pts_flat, bm->page_size());
+    FlatWriter writer(bm, pts_flat, bm->usable_page_size(pts_flat));
     std::vector<double> offsets;
     for (size_t gi = 0; gi < points.num_groups(); ++gi) {
       const PointSet::Group& g = points.group(gi);
@@ -244,13 +278,37 @@ Result<std::unique_ptr<NetworkStore>> NetworkStore::Build(
 
 Result<std::unique_ptr<NetworkStore>> NetworkStore::Open(
     BufferManager* bm, const NetworkStoreFiles& files) {
-  FileId adj_flat = bm->RegisterFile(files.adj_flat);
-  FileId adj_index = bm->RegisterFile(files.adj_index);
-  FileId pts_flat = bm->RegisterFile(files.pts_flat);
-  FileId pts_index = bm->RegisterFile(files.pts_index);
+  // Sniff the adjacency header straight from the file (bypassing the
+  // pool) to learn the format version before deciding whether the four
+  // files must be registered with checksum verification.
+  uint32_t version;
+  {
+    if (files.adj_flat->num_pages() == 0) {
+      return Status::Corruption("adjacency file: missing header page");
+    }
+    std::vector<char> header(files.adj_flat->page_size());
+    NETCLUS_RETURN_IF_ERROR(files.adj_flat->ReadPage(0, header.data()));
+    if (Load<uint64_t>(header.data()) != kAdjMagic) {
+      return Status::Corruption("adjacency file: bad magic");
+    }
+    version = Load<uint32_t>(header.data() + kAdjVersionOffset);
+    if (version == 0) version = 1;  // files predating the version field
+    if (version > kFormatVersion) {
+      return Status::Corruption("adjacency file: format version " +
+                                std::to_string(version) +
+                                " is newer than this build supports");
+    }
+  }
+  const bool checksummed = version >= kChecksummedSinceVersion;
+  FileId adj_flat = bm->RegisterFile(files.adj_flat, checksummed);
+  FileId adj_index = bm->RegisterFile(files.adj_index, checksummed);
+  FileId pts_flat = bm->RegisterFile(files.pts_flat, checksummed);
+  FileId pts_index = bm->RegisterFile(files.pts_index, checksummed);
   auto store =
       std::unique_ptr<NetworkStore>(new NetworkStore(bm, adj_flat, pts_flat));
+  store->format_version_ = version;
   {
+    // Re-read through the pool so a checksummed header page is verified.
     Result<PageHandle> h = bm->FetchPage(adj_flat, 0);
     if (!h.ok()) return h.status();
     if (Load<uint64_t>(h.value().data()) != kAdjMagic) {
@@ -265,6 +323,15 @@ Result<std::unique_ptr<NetworkStore>> NetworkStore::Open(
     if (Load<uint64_t>(h.value().data()) != kPtsMagic) {
       return Status::Corruption("points file: bad magic");
     }
+    uint32_t pts_version =
+        Load<uint32_t>(h.value().data() + kPtsVersionOffset);
+    if (pts_version == 0) pts_version = 1;
+    if (pts_version != version) {
+      return Status::Corruption("points file: format version " +
+                                std::to_string(pts_version) +
+                                " does not match adjacency file version " +
+                                std::to_string(version));
+    }
   }
   Result<std::unique_ptr<BPlusTree>> ai = BPlusTree::Open(bm, adj_index);
   if (!ai.ok()) return ai.status();
@@ -277,12 +344,19 @@ Result<std::unique_ptr<NetworkStore>> NetworkStore::Open(
 
 Status NetworkStore::ReadAdjacency(
     NodeId n, const std::function<void(NodeId, double, PointId)>& fn) const {
-  Result<uint64_t> addr = adj_index_->Get(n);
-  if (!addr.ok()) return addr.status();
-  Result<PageHandle> h = bm_->FetchPage(adj_flat_, AddrPage(addr.value()));
-  if (!h.ok()) return h.status();
-  const char* p = h.value().data() + AddrOffset(addr.value());
+  uint64_t addr;
+  NETCLUS_ASSIGN_OR_RETURN(addr, adj_index_->Get(n));
+  PageHandle h;
+  NETCLUS_ASSIGN_OR_RETURN(h, bm_->FetchPage(adj_flat_, AddrPage(addr)));
+  const uint32_t usable = bm_->usable_page_size(adj_flat_);
+  const uint32_t offset = AddrOffset(addr);
+  NETCLUS_RETURN_IF_ERROR(ValidateRecordBounds(
+      h, usable, bm_->page_size(), offset, 4, "adjacency record"));
+  const char* p = h.data() + offset;
   uint32_t degree = Load<uint32_t>(p);
+  NETCLUS_RETURN_IF_ERROR(ValidateRecordBounds(
+      h, usable, bm_->page_size(), offset,
+      4 + static_cast<uint64_t>(degree) * kAdjEntryBytes, "adjacency record"));
   p += 4;
   for (uint32_t i = 0; i < degree; ++i) {
     fn(Load<NodeId>(p), Load<double>(p + 8), Load<PointId>(p + 4));
@@ -298,17 +372,31 @@ Status NetworkStore::ReadGroup(PointId first, NodeId* u, NodeId* v,
   *v = kInvalidNodeId;
   PointId next = first;
   while (true) {
-    Result<uint64_t> addr = pts_index_->Get(next);
-    if (!addr.ok()) {
-      if (addr.status().IsNotFound() && next != first) return Status::OK();
-      return addr.status();
+    Result<uint64_t> addr_or = pts_index_->Get(next);
+    if (!addr_or.ok()) {
+      if (addr_or.status().IsNotFound() && next != first) return Status::OK();
+      return addr_or.status();
     }
-    Result<PageHandle> h = bm_->FetchPage(pts_flat_, AddrPage(addr.value()));
-    if (!h.ok()) return h.status();
-    const char* p = h.value().data() + AddrOffset(addr.value());
+    uint64_t addr = addr_or.value();
+    PageHandle h;
+    NETCLUS_ASSIGN_OR_RETURN(h, bm_->FetchPage(pts_flat_, AddrPage(addr)));
+    const uint32_t usable = bm_->usable_page_size(pts_flat_);
+    const uint32_t offset = AddrOffset(addr);
+    NETCLUS_RETURN_IF_ERROR(ValidateRecordBounds(
+        h, usable, bm_->page_size(), offset, 12, "point chunk"));
+    const char* p = h.data() + offset;
     NodeId cu = Load<NodeId>(p);
     NodeId cv = Load<NodeId>(p + 4);
     uint32_t count = Load<uint32_t>(p + 8);
+    NETCLUS_RETURN_IF_ERROR(ValidateRecordBounds(
+        h, usable, bm_->page_size(), offset,
+        12 + static_cast<uint64_t>(count) * 8, "point chunk"));
+    if (count == 0) {
+      // A zero-count chunk is never written and would loop forever below.
+      return Status::Corruption(
+          "point chunk: zero point count: page " +
+          std::to_string(h.page_id()) + ", offset " + std::to_string(offset));
+    }
     if (next == first) {
       *u = cu;
       *v = cv;
@@ -326,10 +414,17 @@ Result<PointPos> NetworkStore::ReadPointPosition(PointId p) const {
   Result<std::pair<uint64_t, uint64_t>> entry = pts_index_->FloorEntry(p);
   if (!entry.ok()) return entry.status();
   auto [chunk_first, addr] = entry.value();
-  Result<PageHandle> h = bm_->FetchPage(pts_flat_, AddrPage(addr));
-  if (!h.ok()) return h.status();
-  const char* rec = h.value().data() + AddrOffset(addr);
+  PageHandle h;
+  NETCLUS_ASSIGN_OR_RETURN(h, bm_->FetchPage(pts_flat_, AddrPage(addr)));
+  const uint32_t usable = bm_->usable_page_size(pts_flat_);
+  const uint32_t offset = AddrOffset(addr);
+  NETCLUS_RETURN_IF_ERROR(ValidateRecordBounds(
+      h, usable, bm_->page_size(), offset, 12, "point chunk"));
+  const char* rec = h.data() + offset;
   uint32_t count = Load<uint32_t>(rec + 8);
+  NETCLUS_RETURN_IF_ERROR(ValidateRecordBounds(
+      h, usable, bm_->page_size(), offset,
+      12 + static_cast<uint64_t>(count) * 8, "point chunk"));
   uint64_t idx = p - chunk_first;
   if (idx >= count) {
     return Status::NotFound("point id beyond its floor chunk");
@@ -355,9 +450,13 @@ Status NetworkStore::ScanGroups(
   PointId cur_first = kInvalidPointId;
   uint32_t cur_count = 0;
   for (const auto& [key, addr] : chunks) {
-    Result<PageHandle> h = bm_->FetchPage(pts_flat_, AddrPage(addr));
-    if (!h.ok()) return h.status();
-    const char* p = h.value().data() + AddrOffset(addr);
+    PageHandle h;
+    NETCLUS_ASSIGN_OR_RETURN(h, bm_->FetchPage(pts_flat_, AddrPage(addr)));
+    const uint32_t offset = AddrOffset(addr);
+    NETCLUS_RETURN_IF_ERROR(ValidateRecordBounds(
+        h, bm_->usable_page_size(pts_flat_), bm_->page_size(), offset, 12,
+        "point chunk"));
+    const char* p = h.data() + offset;
     NodeId u = Load<NodeId>(p);
     NodeId v = Load<NodeId>(p + 4);
     uint32_t count = Load<uint32_t>(p + 8);
@@ -375,6 +474,21 @@ Status NetworkStore::ScanGroups(
   return Status::OK();
 }
 
+void DiskNetworkView::Record(const Status& s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first_error_.ok()) first_error_ = s;
+}
+
+Status DiskNetworkView::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+void DiskNetworkView::ClearStatus() {
+  std::lock_guard<std::mutex> lock(mu_);
+  first_error_ = Status::OK();
+}
+
 void DiskNetworkView::ForEachNeighbor(
     NodeId n, const std::function<void(NodeId, double)>& fn) const {
   Status s = store_->ReadAdjacency(
@@ -382,8 +496,7 @@ void DiskNetworkView::ForEachNeighbor(
         (void)group;
         fn(m, w);
       });
-  assert(s.ok());
-  (void)s;
+  if (!s.ok()) Record(s);
 }
 
 double DiskNetworkView::EdgeWeight(NodeId a, NodeId b) const {
@@ -392,15 +505,20 @@ double DiskNetworkView::EdgeWeight(NodeId a, NodeId b) const {
     (void)group;
     if (m == b) weight = w;
   });
-  assert(s.ok());
-  (void)s;
+  if (!s.ok()) Record(s);
   return weight;
 }
 
 PointPos DiskNetworkView::PointPosition(PointId p) const {
   Result<PointPos> pos = store_->ReadPointPosition(p);
-  assert(pos.ok());
-  return pos.ok() ? pos.value() : PointPos{};
+  if (!pos.ok()) {
+    Record(pos.status());
+    // The fallback must stay inside the node-id range: callers index
+    // per-node arrays with it, and PointPos{} holds kInvalidNodeId.
+    // Node 0 exists whenever the store holds any point at all.
+    return PointPos{0, 0, 0.0};
+  }
+  return pos.value();
 }
 
 void DiskNetworkView::GetEdgePoints(NodeId a, NodeId b,
@@ -411,13 +529,18 @@ void DiskNetworkView::GetEdgePoints(NodeId a, NodeId b,
     (void)w;
     if (m == b) group = g;
   });
-  assert(s.ok());
+  if (!s.ok()) {
+    Record(s);
+    return;
+  }
   if (group == kInvalidPointId) return;
   NodeId u, v;
   std::vector<double> offsets;
   s = store_->ReadGroup(group, &u, &v, &offsets);
-  assert(s.ok());
-  (void)s;
+  if (!s.ok()) {
+    Record(s);
+    return;
+  }
   for (size_t i = 0; i < offsets.size(); ++i) {
     out->push_back(EdgePoint{group + static_cast<PointId>(i), offsets[i]});
   }
@@ -426,8 +549,7 @@ void DiskNetworkView::GetEdgePoints(NodeId a, NodeId b,
 void DiskNetworkView::ForEachPointGroup(
     const std::function<void(NodeId, NodeId, PointId, uint32_t)>& fn) const {
   Status s = store_->ScanGroups(fn);
-  assert(s.ok());
-  (void)s;
+  if (!s.ok()) Record(s);
 }
 
 Result<std::unique_ptr<DiskNetworkBundle>> DiskNetworkBundle::Create(

@@ -15,10 +15,19 @@
 // Node records are placed into pages either in connectivity (BFS) order —
 // the CCAM idea of co-locating neighbor nodes — or in random order, the
 // ablation baseline.
+//
+// On-disk format versions (u32 in each flat file's header page; 0 in
+// files written before the field existed):
+//   v1 (or 0): no page checksums; records may use the full page.
+//   v2: every page of all four files carries the BufferManager's CRC32C
+//       footer; records are packed into usable_page_size() bytes.
+// Build() writes v2; Open() sniffs the version and reads either, with
+// checksum verification off for v1 files.
 #ifndef NETCLUS_GRAPH_NETWORK_STORE_H_
 #define NETCLUS_GRAPH_NETWORK_STORE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -80,6 +89,9 @@ class NetworkStore {
   Status ScanGroups(
       const std::function<void(NodeId, NodeId, PointId, uint32_t)>& fn) const;
 
+  /// On-disk format version this store was built/opened with.
+  uint32_t format_version() const { return format_version_; }
+
  private:
   NetworkStore(BufferManager* bm, FileId adj_flat, FileId pts_flat)
       : bm_(bm), adj_flat_(adj_flat), pts_flat_(pts_flat) {}
@@ -91,9 +103,16 @@ class NetworkStore {
   std::unique_ptr<BPlusTree> pts_index_;
   NodeId num_nodes_ = 0;
   PointId num_points_ = 0;
+  uint32_t format_version_ = 0;
 };
 
 /// \brief NetworkView over a NetworkStore: the algorithms' disk path.
+///
+/// The NetworkView accessors cannot report I/O failures inline, so the
+/// view records the first non-OK Status from the store (returning neutral
+/// values for the failed call) and exposes it through status(), which
+/// RunClustering checks at its boundary. Recording is thread-safe; the
+/// first error wins.
 class DiskNetworkView : public NetworkView {
  public:
   explicit DiskNetworkView(const NetworkStore* store) : store_(store) {}
@@ -111,8 +130,19 @@ class DiskNetworkView : public NetworkView {
       const std::function<void(NodeId, NodeId, PointId, uint32_t)>& fn)
       const override;
 
+  /// First storage error any accessor swallowed, or OK.
+  Status status() const override;
+
+  /// Forgets a recorded error (fault-injection tests reuse one view
+  /// across injected and clean phases).
+  void ClearStatus();
+
  private:
+  void Record(const Status& s) const;
+
   const NetworkStore* store_;
+  mutable std::mutex mu_;
+  mutable Status first_error_;
 };
 
 /// \brief Convenience bundle owning the files, pool, store and view.

@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/status.h"
 #include "graph/types.h"
 
 namespace netclus {
@@ -48,6 +49,14 @@ class NetworkView {
   virtual void ForEachPointGroup(
       const std::function<void(NodeId, NodeId, PointId, uint32_t)>& fn)
       const = 0;
+
+  /// First I/O error the view has swallowed, or OK. The accessor methods
+  /// above cannot report failures inline (algorithms consume them as pure
+  /// data); fallible backends (DiskNetworkView) record the first error
+  /// here instead and return neutral values. RunClustering checks this
+  /// before and after every run, so storage failures surface as a non-OK
+  /// Status at the API boundary rather than as silently wrong clusters.
+  virtual Status status() const { return Status::OK(); }
 };
 
 }  // namespace netclus

@@ -1,10 +1,28 @@
 #include "graph/text_io.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 
 namespace netclus {
+namespace {
+
+// Reads one whitespace-delimited token as a double. Unlike operator>>,
+// strtod accepts "nan"/"inf" spellings, so those reach the semantic
+// validation below instead of being misreported as malformed syntax.
+bool ParseDouble(std::istream& ls, double* out) {
+  std::string tok;
+  if (!(ls >> tok)) return false;
+  char* end = nullptr;
+  double v = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size() || tok.empty()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
 
 Status WriteNetworkText(const Network& net, const PointSet* points,
                         std::ostream* out) {
@@ -39,9 +57,16 @@ Result<std::pair<Network, PointSet>> ReadNetworkText(std::istream* in) {
     std::istringstream ls(line);
     std::string kind;
     if (!(ls >> kind)) continue;  // blank line
+    // Corruption = the file is not in the format at all (malformed
+    // syntax); InvalidArgument = well-formed but semantically invalid
+    // data (bad weights, offsets, duplicate edges). Both carry the line.
     auto parse_error = [&](const std::string& what) {
       return Status::Corruption("line " + std::to_string(line_no) + ": " +
                                 what);
+    };
+    auto invalid = [&](const std::string& what) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + what);
     };
     if (kind == "network") {
       if (have_header) return parse_error("duplicate network header");
@@ -53,9 +78,16 @@ Result<std::pair<Network, PointSet>> ReadNetworkText(std::istream* in) {
       if (!have_header) return parse_error("edge before network header");
       NodeId a, b;
       double w;
-      if (!(ls >> a >> b >> w)) return parse_error("malformed edge");
+      if (!(ls >> a >> b) || !ParseDouble(ls, &w)) {
+        return parse_error("malformed edge");
+      }
+      if (std::isnan(w)) return invalid("edge weight is NaN");
+      if (std::isinf(w)) return invalid("edge weight is infinite");
+      if (w <= 0.0) return invalid("edge weight must be positive");
+      // AddEdge re-validates and also rejects self loops, duplicate
+      // edges and out-of-range endpoints.
       Status s = net.AddEdge(a, b, w);
-      if (!s.ok()) return parse_error(s.ToString());
+      if (!s.ok()) return invalid(s.message());
     } else if (kind == "points") {
       if (!have_header) return parse_error("points before network header");
     } else if (kind == "point") {
@@ -63,9 +95,18 @@ Result<std::pair<Network, PointSet>> ReadNetworkText(std::istream* in) {
       NodeId a, b;
       double off;
       int label;
-      if (!(ls >> a >> b >> off >> label)) {
+      if (!(ls >> a >> b) || !ParseDouble(ls, &off) || !(ls >> label)) {
         return parse_error("malformed point");
       }
+      if (!std::isfinite(off)) return invalid("point offset is not finite");
+      if (off < 0.0) return invalid("point offset must be non-negative");
+      if (a == b) return invalid("point on a self loop");
+      if (a >= net.num_nodes() || b >= net.num_nodes()) {
+        return invalid("point endpoint out of range");
+      }
+      double w = net.EdgeWeight(a, b);
+      if (w < 0.0) return invalid("point on a nonexistent edge");
+      if (off > w) return invalid("point offset exceeds the edge weight");
       builder.Add(a, b, off, label);
     } else {
       return parse_error("unknown record '" + kind + "'");

@@ -50,6 +50,9 @@ Clustering CutDendrogram(const Dendrogram& dendrogram,
 
 Result<ClusterOutput> RunClustering(const NetworkView& view,
                                     const ClusterSpec& spec) {
+  // A view carrying a prior storage error would feed the algorithms
+  // partial data; refuse up front.
+  NETCLUS_RETURN_IF_ERROR(view.status());
   WallTimer timer;
   ClusterOutput out;
   out.algorithm = spec.algorithm;
@@ -84,6 +87,10 @@ Result<ClusterOutput> RunClustering(const NetworkView& view,
       break;
     }
   }
+  // Storage failures during the run (recorded by DiskNetworkView while
+  // the algorithms consumed neutral fallback values) invalidate the
+  // result: report the I/O error, never a silently wrong clustering.
+  NETCLUS_RETURN_IF_ERROR(view.status());
   out.wall_seconds = timer.ElapsedSeconds();
   return out;
 }

@@ -85,6 +85,10 @@ struct ClusterOutput {
 
 /// Runs the algorithm selected by `spec` over `view`. Fallible options
 /// surface as the same Status the per-algorithm entry point returns.
+/// RunClustering is also the storage-failure boundary: `view.status()` is
+/// checked before and after the run, so any I/O error, checksum mismatch
+/// or corrupt record a DiskNetworkView swallowed mid-run comes back as
+/// that non-OK Status instead of a wrong clustering.
 Result<ClusterOutput> RunClustering(const NetworkView& view,
                                     const ClusterSpec& spec);
 

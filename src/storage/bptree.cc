@@ -147,11 +147,13 @@ void WriteInternal(char* p, const InternalContent& c, size_t key_lo,
 
 BPlusTree::BPlusTree(BufferManager* bm, FileId file) : bm_(bm), file_(file) {}
 
+// Node capacities derive from the usable page area, so trees in
+// checksummed files transparently leave room for the page footer.
 uint32_t BPlusTree::leaf_capacity() const {
-  return (bm_->page_size() - kLeafHeader) / kLeafEntry;
+  return (bm_->usable_page_size(file_) - kLeafHeader) / kLeafEntry;
 }
 uint32_t BPlusTree::internal_capacity() const {
-  return (bm_->page_size() - kInternalHeader) / kInternalEntry;
+  return (bm_->usable_page_size(file_) - kInternalHeader) / kInternalEntry;
 }
 
 Status BPlusTree::WriteMeta() {
@@ -182,7 +184,7 @@ Status BPlusTree::ReadMeta() {
 Result<std::unique_ptr<BPlusTree>> BPlusTree::Create(BufferManager* bm,
                                                      FileId file) {
   auto tree = std::unique_ptr<BPlusTree>(new BPlusTree(bm, file));
-  if (bm->page_size() < 64) {
+  if (bm->usable_page_size(file) < 64) {
     return Status::InvalidArgument("BPlusTree: page size too small");
   }
   {

@@ -1,9 +1,26 @@
 #include "storage/buffer_manager.h"
 
 #include <cassert>
+#include <chrono>
 #include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/crc32c.h"
 
 namespace netclus {
+
+namespace {
+
+// Footer of a checksummed page: [crc32c u32][page id u32], where the crc
+// covers the payload plus the page id, so a structurally valid page read
+// from the wrong offset (misdirected I/O) also fails verification.
+uint32_t PageCrc(const char* data, uint32_t payload_bytes, PageId page) {
+  uint32_t crc = Crc32c(data, payload_bytes);
+  return Crc32cExtend(crc, &page, sizeof(page));
+}
+
+}  // namespace
 
 PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
   if (this != &other) {
@@ -48,10 +65,54 @@ BufferManager::~BufferManager() {
   (void)s;  // destructor cannot propagate errors; tests call FlushAll().
 }
 
-FileId BufferManager::RegisterFile(PagedFile* file) {
+FileId BufferManager::RegisterFile(PagedFile* file, bool checksummed) {
   assert(file->page_size() == page_size_);
   files_.push_back(file);
+  checksummed_.push_back(checksummed);
   return static_cast<FileId>(files_.size() - 1);
+}
+
+Status BufferManager::ReadPageChecked(FileId file, PageId page, char* out) {
+  uint64_t backoff = retry_policy_.backoff_micros;
+  for (uint32_t attempt = 0;; ++attempt) {
+    Status s = files_[file]->ReadPage(page, out);
+    if (s.ok()) break;
+    if (!s.IsUnavailable() || attempt >= retry_policy_.max_retries) {
+      if (s.IsUnavailable()) ++stats_.retries_exhausted;
+      return s;
+    }
+    ++stats_.read_retries;
+    if (sleep_micros_) {
+      sleep_micros_(backoff);
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+    }
+    backoff = static_cast<uint64_t>(
+        static_cast<double>(backoff) * retry_policy_.backoff_multiplier);
+  }
+  if (!checksummed_[file]) return Status::OK();
+  const uint32_t payload = page_size_ - kPageFooterBytes;
+  uint32_t stored_crc, stored_page;
+  std::memcpy(&stored_crc, out + payload, sizeof(stored_crc));
+  std::memcpy(&stored_page, out + payload + 4, sizeof(stored_page));
+  if (stored_page != page || stored_crc != PageCrc(out, payload, page)) {
+    ++stats_.checksum_failures;
+    return Status::Corruption(
+        "page checksum mismatch: file " + std::to_string(file) + ", page " +
+        std::to_string(page) + " (file offset " +
+        std::to_string(static_cast<uint64_t>(page) * page_size_) + ")");
+  }
+  return Status::OK();
+}
+
+Status BufferManager::WritePageChecked(FileId file, PageId page, char* data) {
+  if (checksummed_[file]) {
+    const uint32_t payload = page_size_ - kPageFooterBytes;
+    uint32_t crc = PageCrc(data, payload, page);
+    std::memcpy(data + payload, &crc, sizeof(crc));
+    std::memcpy(data + payload + 4, &page, sizeof(page));
+  }
+  return files_[file]->WritePage(page, data);
 }
 
 void BufferManager::Unpin(size_t frame, bool dirty) {
@@ -79,7 +140,7 @@ Result<size_t> BufferManager::GrabFrame() {
   Frame& f = frames_[victim];
   f.in_lru = false;
   if (f.dirty) {
-    NETCLUS_RETURN_IF_ERROR(files_[f.file]->WritePage(f.page, f.data.get()));
+    NETCLUS_RETURN_IF_ERROR(WritePageChecked(f.file, f.page, f.data.get()));
     f.dirty = false;
     ++stats_.dirty_writebacks;
   }
@@ -96,7 +157,7 @@ Result<PageHandle> BufferManager::InstallPage(FileId file, PageId page,
   size_t frame = grabbed.value();
   Frame& f = frames_[frame];
   if (read_from_disk) {
-    Status s = files_[file]->ReadPage(page, f.data.get());
+    Status s = ReadPageChecked(file, page, f.data.get());
     if (!s.ok()) {
       free_frames_.push_back(frame);
       return s;
@@ -154,7 +215,7 @@ Result<PageHandle> BufferManager::NewPage(FileId file) {
 Status BufferManager::FlushAll() {
   for (Frame& f : frames_) {
     if (f.in_use && f.dirty) {
-      NETCLUS_RETURN_IF_ERROR(files_[f.file]->WritePage(f.page, f.data.get()));
+      NETCLUS_RETURN_IF_ERROR(WritePageChecked(f.file, f.page, f.data.get()));
       f.dirty = false;
       ++stats_.dirty_writebacks;
     }

@@ -4,10 +4,22 @@
 // buffer (1 MiB by default) of 4 KiB pages in front of the adjacency-list
 // and points files. Hit/miss/eviction counters expose the logical vs.
 // physical I/O split that the paper's cost discussion relies on.
+//
+// The pool is also the integrity boundary of the storage stack:
+//  - Files registered with `checksummed = true` carry a per-page CRC32C
+//    footer (kPageFooterBytes at the end of every page, covering the
+//    payload and the page id). The footer is written on write-back and
+//    verified on every physical read; a mismatch surfaces as
+//    Status::Corruption naming the page and file offset. Callers must pack
+//    records into usable_page_size(file) bytes, not page_size().
+//  - Transient read errors (Status::Unavailable, e.g. short reads or
+//    injected faults) are retried with bounded exponential backoff per
+//    RetryPolicy; the sleep hook is injectable so tests run instantly.
 #ifndef NETCLUS_STORAGE_BUFFER_MANAGER_H_
 #define NETCLUS_STORAGE_BUFFER_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <unordered_map>
@@ -29,8 +41,19 @@ struct BufferStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
+  // Robustness counters.
+  uint64_t read_retries = 0;       ///< re-reads after a transient error
+  uint64_t retries_exhausted = 0;  ///< reads that failed every attempt
+  uint64_t checksum_failures = 0;  ///< physical reads rejected by the CRC
 
   uint64_t logical_accesses() const { return hits + misses; }
+};
+
+/// How physical reads that return Status::Unavailable are retried.
+struct RetryPolicy {
+  uint32_t max_retries = 3;         ///< retries after the first attempt
+  uint64_t backoff_micros = 100;    ///< sleep before the first retry
+  double backoff_multiplier = 2.0;  ///< growth factor per retry
 };
 
 /// \brief RAII pin on a buffered page.
@@ -78,6 +101,10 @@ class PageHandle {
 /// (the clustering algorithms are single-threaded, as in the paper).
 class BufferManager {
  public:
+  /// Bytes of every page reserved for the integrity footer of checksummed
+  /// files: [crc32c u32][page id u32].
+  static constexpr uint32_t kPageFooterBytes = 8;
+
   /// A pool of `pool_bytes / page_size` frames.
   BufferManager(uint64_t pool_bytes, uint32_t page_size);
   ~BufferManager();
@@ -86,8 +113,16 @@ class BufferManager {
   BufferManager& operator=(const BufferManager&) = delete;
 
   /// Registers `file` (not owned; must outlive the manager) and returns its
-  /// FileId for use with FetchPage/NewPage.
-  FileId RegisterFile(PagedFile* file);
+  /// FileId for use with FetchPage/NewPage. When `checksummed` is true the
+  /// pool maintains and verifies the per-page CRC32C footer; callers then
+  /// own only the first usable_page_size(id) bytes of each page.
+  FileId RegisterFile(PagedFile* file, bool checksummed = false);
+
+  /// Bytes of a page of `file` available to callers: the page size, minus
+  /// the footer when the file is checksummed.
+  uint32_t usable_page_size(FileId file) const {
+    return page_size_ - (checksummed_[file] ? kPageFooterBytes : 0);
+  }
 
   /// Pins page (`file`, `page`), reading it from disk on a miss.
   Result<PageHandle> FetchPage(FileId file, PageId page);
@@ -97,6 +132,17 @@ class BufferManager {
 
   /// Writes back all dirty frames (pages stay cached).
   Status FlushAll();
+
+  /// Replaces the transient-read retry policy (defaults: 3 retries,
+  /// 100 us first backoff, doubling).
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// Replaces the backoff sleep hook (micros -> void). Tests inject a
+  /// recording no-op clock; the default really sleeps.
+  void set_sleep_function(std::function<void(uint64_t)> sleep_micros) {
+    sleep_micros_ = std::move(sleep_micros);
+  }
 
   size_t frame_count() const { return frames_.size(); }
   uint32_t page_size() const { return page_size_; }
@@ -125,6 +171,10 @@ class BufferManager {
   }
 
   void Unpin(size_t frame, bool dirty);
+  // Physical read with transient-error retries and checksum verification.
+  Status ReadPageChecked(FileId file, PageId page, char* out);
+  // Physical write; stamps the checksum footer first when applicable.
+  Status WritePageChecked(FileId file, PageId page, char* data);
   // Finds a frame for a new page: free list first, then LRU eviction.
   Result<size_t> GrabFrame();
   Result<PageHandle> InstallPage(FileId file, PageId page, bool read_from_disk);
@@ -135,6 +185,9 @@ class BufferManager {
   std::list<size_t> lru_;  // front = least recently used unpinned frame
   std::unordered_map<uint64_t, size_t> page_table_;
   std::vector<PagedFile*> files_;
+  std::vector<bool> checksummed_;  // parallel to files_
+  RetryPolicy retry_policy_;
+  std::function<void(uint64_t)> sleep_micros_;  // empty = real sleep
   BufferStats stats_;
 };
 

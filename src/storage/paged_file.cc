@@ -8,15 +8,76 @@
 
 namespace netclus {
 
-PagedFile::PagedFile(uint32_t page_size, int fd)
-    : page_size_(page_size), fd_(fd) {}
+namespace {
 
-PagedFile::~PagedFile() {
-  if (fd_ >= 0) ::close(fd_);
-}
+class InMemoryPagedFile final : public PagedFile {
+ public:
+  explicit InMemoryPagedFile(uint32_t page_size) : PagedFile(page_size) {}
+
+ protected:
+  Status DoAllocate(PageId id) override {
+    (void)id;
+    auto page = std::make_unique<char[]>(page_size_);
+    std::memset(page.get(), 0, page_size_);
+    pages_.push_back(std::move(page));
+    return Status::OK();
+  }
+  Status DoRead(PageId id, char* out) override {
+    std::memcpy(out, pages_[id].get(), page_size_);
+    return Status::OK();
+  }
+  Status DoWrite(PageId id, const char* data) override {
+    std::memcpy(pages_[id].get(), data, page_size_);
+    return Status::OK();
+  }
+
+ private:
+  std::vector<std::unique_ptr<char[]>> pages_;
+};
+
+class PosixPagedFile final : public PagedFile {
+ public:
+  PosixPagedFile(uint32_t page_size, int fd) : PagedFile(page_size), fd_(fd) {}
+  ~PosixPagedFile() override { ::close(fd_); }
+
+  void set_num_pages(PageId n) { num_pages_ = n; }
+
+ protected:
+  Status DoAllocate(PageId id) override {
+    std::vector<char> zeros(page_size_, 0);
+    return DoWrite(id, zeros.data());
+  }
+  Status DoRead(PageId id, char* out) override {
+    ssize_t n = ::pread(fd_, out, page_size_,
+                        static_cast<off_t>(id) * page_size_);
+    if (n < 0) {
+      return Status::IOError("pread: " + std::string(std::strerror(errno)));
+    }
+    if (n != static_cast<ssize_t>(page_size_)) {
+      // A short read of a page we know exists is transient (signal,
+      // concurrent truncation being repaired, ...); let callers retry.
+      return Status::Unavailable("pread: short read of page " +
+                                 std::to_string(id));
+    }
+    return Status::OK();
+  }
+  Status DoWrite(PageId id, const char* data) override {
+    ssize_t n = ::pwrite(fd_, data, page_size_,
+                         static_cast<off_t>(id) * page_size_);
+    if (n != static_cast<ssize_t>(page_size_)) {
+      return Status::IOError("pwrite: " + std::string(std::strerror(errno)));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
 
 std::unique_ptr<PagedFile> PagedFile::CreateInMemory(uint32_t page_size) {
-  return std::unique_ptr<PagedFile>(new PagedFile(page_size, -1));
+  return std::make_unique<InMemoryPagedFile>(page_size);
 }
 
 Result<std::unique_ptr<PagedFile>> PagedFile::Open(const std::string& path,
@@ -37,24 +98,17 @@ Result<std::unique_ptr<PagedFile>> PagedFile::Open(const std::string& path,
     ::close(fd);
     return Status::Corruption(path + ": size is not a multiple of page size");
   }
-  auto file = std::unique_ptr<PagedFile>(new PagedFile(page_size, fd));
-  file->num_pages_ = static_cast<PageId>(size / page_size);
-  return file;
+  auto file = std::make_unique<PosixPagedFile>(page_size, fd);
+  file->set_num_pages(static_cast<PageId>(size / page_size));
+  return std::unique_ptr<PagedFile>(std::move(file));
 }
 
 Result<PageId> PagedFile::AllocatePage() {
   PageId id = num_pages_;
-  if (fd_ >= 0) {
-    std::vector<char> zeros(page_size_, 0);
-    ssize_t n = ::pwrite(fd_, zeros.data(), page_size_,
-                         static_cast<off_t>(id) * page_size_);
-    if (n != static_cast<ssize_t>(page_size_)) {
-      return Status::IOError("pwrite: " + std::string(std::strerror(errno)));
-    }
-  } else {
-    auto page = std::make_unique<char[]>(page_size_);
-    std::memset(page.get(), 0, page_size_);
-    mem_pages_.push_back(std::move(page));
+  Status s = DoAllocate(id);
+  if (!s.ok()) {
+    ++stats_.failed_writes;
+    return s;
   }
   ++num_pages_;
   ++stats_.pages_allocated;
@@ -65,34 +119,20 @@ Status PagedFile::ReadPage(PageId id, char* out) {
   if (id >= num_pages_) {
     return Status::OutOfRange("ReadPage: page id out of range");
   }
-  if (fd_ >= 0) {
-    ssize_t n = ::pread(fd_, out, page_size_,
-                        static_cast<off_t>(id) * page_size_);
-    if (n != static_cast<ssize_t>(page_size_)) {
-      return Status::IOError("pread: " + std::string(std::strerror(errno)));
-    }
-  } else {
-    std::memcpy(out, mem_pages_[id].get(), page_size_);
-  }
   ++stats_.page_reads;
-  return Status::OK();
+  Status s = DoRead(id, out);
+  if (!s.ok()) ++stats_.failed_reads;
+  return s;
 }
 
 Status PagedFile::WritePage(PageId id, const char* data) {
   if (id >= num_pages_) {
     return Status::OutOfRange("WritePage: page id out of range");
   }
-  if (fd_ >= 0) {
-    ssize_t n = ::pwrite(fd_, data, page_size_,
-                         static_cast<off_t>(id) * page_size_);
-    if (n != static_cast<ssize_t>(page_size_)) {
-      return Status::IOError("pwrite: " + std::string(std::strerror(errno)));
-    }
-  } else {
-    std::memcpy(mem_pages_[id].get(), data, page_size_);
-  }
   ++stats_.page_writes;
-  return Status::OK();
+  Status s = DoWrite(id, data);
+  if (!s.ok()) ++stats_.failed_writes;
+  return s;
 }
 
 }  // namespace netclus

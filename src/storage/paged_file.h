@@ -5,6 +5,12 @@
 // memory buffer. PagedFile is the bottom layer: it reads and writes whole
 // pages and counts every physical access, so experiments can report
 // hardware-independent I/O counts.
+//
+// PagedFile is an abstract interface. Three implementations exist: a POSIX
+// file on disk, an anonymous in-memory store (tests and benches that only
+// care about I/O counts), and FaultInjectionFile (storage/fault_injection.h),
+// a decorator that injects deterministic faults for robustness testing. All
+// share the bounds checks and counters of the non-virtual public methods.
 #ifndef NETCLUS_STORAGE_PAGED_FILE_H_
 #define NETCLUS_STORAGE_PAGED_FILE_H_
 
@@ -26,13 +32,14 @@ struct FileIoStats {
   uint64_t page_reads = 0;
   uint64_t page_writes = 0;
   uint64_t pages_allocated = 0;
+  // Operations that returned a non-OK status (still counted above when the
+  // backend partially executed them). Transient faults the BufferManager
+  // later retries successfully also show up here.
+  uint64_t failed_reads = 0;
+  uint64_t failed_writes = 0;
 };
 
 /// \brief A growable sequence of fixed-size pages.
-///
-/// Two backends: a POSIX file on disk, or an anonymous in-memory store
-/// (used by tests and by benches that only care about I/O counts). Both
-/// count physical page reads/writes identically.
 class PagedFile {
  public:
   /// Creates an anonymous in-memory paged file.
@@ -45,7 +52,7 @@ class PagedFile {
                                                  uint32_t page_size,
                                                  bool truncate);
 
-  ~PagedFile();
+  virtual ~PagedFile() = default;
 
   PagedFile(const PagedFile&) = delete;
   PagedFile& operator=(const PagedFile&) = delete;
@@ -65,13 +72,17 @@ class PagedFile {
   const FileIoStats& stats() const { return stats_; }
   void ResetStats() { stats_ = FileIoStats{}; }
 
- private:
-  PagedFile(uint32_t page_size, int fd);
+ protected:
+  explicit PagedFile(uint32_t page_size) : page_size_(page_size) {}
+
+  // Backend hooks; `id` is already bounds-checked by the public wrappers
+  // and counters are maintained there.
+  virtual Status DoAllocate(PageId id) = 0;
+  virtual Status DoRead(PageId id, char* out) = 0;
+  virtual Status DoWrite(PageId id, const char* data) = 0;
 
   uint32_t page_size_;
   PageId num_pages_ = 0;
-  int fd_;  // -1 for the in-memory backend
-  std::vector<std::unique_ptr<char[]>> mem_pages_;
   FileIoStats stats_;
 };
 

@@ -3,13 +3,16 @@
 // cascade, and the evaluation wrapper built on top of it.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
 #include "core/single_link.h"
 #include "eval/evaluation.h"
 #include "gen/network_gen.h"
 #include "gen/workload_gen.h"
+#include "graph/network_store.h"
 #include "netclus.h"
+#include "storage/fault_injection.h"
 
 namespace netclus {
 namespace {
@@ -131,6 +134,100 @@ TEST_F(NetclusApiFixture, InvalidOptionsSurfaceAsStatus) {
   spec.algorithm = Algorithm::kDbscan;
   spec.dbscan.eps = -1.0;
   EXPECT_TRUE(RunClustering(*view_, spec).status().IsInvalidArgument());
+}
+
+// RunClustering is the storage-failure boundary: errors a DiskNetworkView
+// swallowed — before or during the run — must come back as its Status.
+class NetclusStorageBoundaryFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Big enough that the store's working set exceeds the 4-frame pool
+    // below — the run must keep doing physical (faultable) reads.
+    g_ = GenerateRoadNetwork({500, 1.3, 0.3, 131});
+    ps_ = std::move(GenerateUniformPoints(g_.net, 900, 132)).value();
+    for (auto* f : {&adj_flat_, &adj_index_, &pts_flat_, &pts_index_}) {
+      *f = PagedFile::CreateInMemory(4096);
+    }
+    NetworkStoreFiles files{adj_flat_.get(), adj_index_.get(),
+                            pts_flat_.get(), pts_index_.get()};
+    {
+      BufferManager bm(1 << 20, 4096);
+      auto store = NetworkStore::Build(g_.net, ps_, &bm, files,
+                                       NodePlacement::kConnectivity, 1);
+      ASSERT_TRUE(store.ok()) << store.status().ToString();
+      ASSERT_TRUE(bm.FlushAll().ok());
+    }
+    for (auto& [wrapper, base] :
+         {std::pair{&faulty_adj_flat_, adj_flat_.get()},
+          std::pair{&faulty_adj_index_, adj_index_.get()},
+          std::pair{&faulty_pts_flat_, pts_flat_.get()},
+          std::pair{&faulty_pts_index_, pts_index_.get()}}) {
+      wrapper->emplace(base);
+    }
+    // A tiny pool (4 frames) so every access goes to the faulty files.
+    bm_ = std::make_unique<BufferManager>(4 * 4096, 4096);
+    bm_->set_sleep_function([](uint64_t) {});
+    NetworkStoreFiles faulty{&*faulty_adj_flat_, &*faulty_adj_index_,
+                             &*faulty_pts_flat_, &*faulty_pts_index_};
+    auto store = NetworkStore::Open(bm_.get(), faulty);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    store_ = std::move(store.value());
+    view_.emplace(store_.get());
+  }
+
+  ClusterSpec Spec() {
+    ClusterSpec spec;
+    spec.algorithm = Algorithm::kEpsLink;
+    spec.eps_link.eps = 0.8;
+    spec.eps_link.min_sup = 2;
+    return spec;
+  }
+
+  GeneratedNetwork g_;
+  PointSet ps_;
+  std::unique_ptr<PagedFile> adj_flat_, adj_index_, pts_flat_, pts_index_;
+  std::optional<FaultInjectionFile> faulty_adj_flat_, faulty_adj_index_,
+      faulty_pts_flat_, faulty_pts_index_;
+  std::unique_ptr<BufferManager> bm_;
+  std::unique_ptr<NetworkStore> store_;
+  std::optional<DiskNetworkView> view_;
+};
+
+TEST_F(NetclusStorageBoundaryFixture, PreexistingViewErrorFailsFast) {
+  FaultEvent e;
+  e.op = FaultOp::kRead;
+  e.kind = FaultKind::kPermanentError;
+  e.op_index = 0;
+  e.count = UINT64_MAX;
+  faulty_adj_flat_->AddFault(e);
+  view_->ForEachNeighbor(0, [](NodeId, double) {});  // swallows the error
+  ASSERT_FALSE(view_->status().ok());
+  Result<ClusterOutput> out = RunClustering(*view_, Spec());
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsIOError()) << out.status().ToString();
+
+  // ClearStatus + clean files => the same view works again.
+  faulty_adj_flat_->ClearFaults();
+  view_->ClearStatus();
+  EXPECT_TRUE(view_->status().ok());
+  EXPECT_TRUE(RunClustering(*view_, Spec()).ok());
+}
+
+TEST_F(NetclusStorageBoundaryFixture, MidRunErrorSurfacesAfterTheRun) {
+  // Let the first reads succeed (Open already did; the run starts fine),
+  // then fail everything: the error strikes mid-traversal and must come
+  // back from RunClustering rather than yielding a truncated clustering.
+  FaultEvent e;
+  e.op = FaultOp::kRead;
+  e.kind = FaultKind::kPermanentError;
+  e.op_index = 5;
+  e.count = UINT64_MAX;
+  faulty_adj_flat_->AddFault(e);
+  faulty_pts_flat_->AddFault(e);
+  ASSERT_TRUE(view_->status().ok());  // nothing recorded yet
+  Result<ClusterOutput> out = RunClustering(*view_, Spec());
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsIOError()) << out.status().ToString();
 }
 
 TEST(NetclusApiTest, EvaluateClusteringReportsMetricsAgainstTruth) {

@@ -106,6 +106,46 @@ TEST(PagedFileTest, RejectsMisalignedExistingFile) {
   std::filesystem::remove(path);
 }
 
+TEST(PagedFileTest, OutOfRangeOpsCountNothing) {
+  // Bounds violations are caller bugs, rejected before the I/O counters;
+  // failed_reads/failed_writes track backend failures only (exercised in
+  // fault_injection_test with an injecting backend).
+  auto f = PagedFile::CreateInMemory(kPage);
+  std::vector<char> buf(kPage);
+  EXPECT_TRUE(f->ReadPage(5, buf.data()).IsOutOfRange());
+  EXPECT_TRUE(f->WritePage(5, buf.data()).IsOutOfRange());
+  EXPECT_EQ(f->stats().page_reads, 0u);
+  EXPECT_EQ(f->stats().page_writes, 0u);
+  EXPECT_EQ(f->stats().failed_reads, 0u);
+  EXPECT_EQ(f->stats().failed_writes, 0u);
+}
+
+TEST(PagedFileTest, V1CompatUnchecksummedRegistrationUsesFullPage) {
+  // Files registered without checksums (the v1 on-disk format path) keep
+  // the full page for payload and never report Corruption for raw bytes.
+  auto f = PagedFile::CreateInMemory(kPage);
+  BufferManager bm(2 * kPage, kPage);
+  FileId fid = bm.RegisterFile(f.get());  // checksummed defaults to false
+  EXPECT_EQ(bm.usable_page_size(fid), kPage);
+  {
+    Result<PageHandle> h = bm.NewPage(fid);
+    ASSERT_TRUE(h.ok());
+    std::memset(h.value().data(), 'v', kPage);  // full page is writable
+    h.value().MarkDirty();
+  }
+  ASSERT_TRUE(bm.FlushAll().ok());
+  std::vector<char> raw(kPage);
+  ASSERT_TRUE(f->ReadPage(0, raw.data()).ok());
+  EXPECT_EQ(raw[kPage - 1], 'v');  // no footer was stamped
+  raw[10] ^= 0x40;
+  ASSERT_TRUE(f->WritePage(0, raw.data()).ok());
+  (void)bm.NewPage(fid);  // evict page 0 from the 2-frame pool
+  (void)bm.NewPage(fid);
+  Result<PageHandle> h = bm.FetchPage(fid, 0);
+  ASSERT_TRUE(h.ok());  // unverified: v1 reads never fail the CRC
+  EXPECT_EQ(bm.stats().checksum_failures, 0u);
+}
+
 // ---------------------------------------------------------------- Buffer.
 
 class BufferManagerTest : public ::testing::Test {

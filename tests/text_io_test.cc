@@ -67,7 +67,7 @@ TEST(TextIoTest, RejectsMalformedInput) {
   }
   {
     std::istringstream in("network 2\nedge 0 5 1.0\n");  // bad endpoint
-    EXPECT_TRUE(ReadNetworkText(&in).status().IsCorruption());
+    EXPECT_TRUE(ReadNetworkText(&in).status().IsInvalidArgument());
   }
   {
     std::istringstream in("network 2\nedge 0 1\n");  // missing weight
@@ -89,6 +89,30 @@ TEST(TextIoTest, RejectsMalformedInput) {
     std::istringstream in("network 2\nnetwork 3\n");  // duplicate header
     EXPECT_TRUE(ReadNetworkText(&in).status().IsCorruption());
   }
+}
+
+TEST(TextIoTest, RejectsInvalidEdgeAndPointData) {
+  // Semantically invalid (but well-formed) records: InvalidArgument with
+  // the offending line number in the message.
+  auto check = [](const std::string& text, const std::string& line_tag) {
+    std::istringstream in(text);
+    Status s = ReadNetworkText(&in).status();
+    EXPECT_TRUE(s.IsInvalidArgument()) << text << " -> " << s.ToString();
+    EXPECT_NE(s.message().find(line_tag), std::string::npos)
+        << s.ToString();
+  };
+  check("network 2\nedge 0 1 nan\n", "line 2");
+  check("network 2\nedge 0 1 inf\n", "line 2");
+  check("network 2\nedge 0 1 -3.5\n", "line 2");
+  check("network 2\nedge 0 1 0\n", "line 2");
+  check("network 2\nedge 0 0 1.0\n", "line 2");  // self loop
+  check("network 2\nedge 0 1 1.0\nedge 1 0 2.0\n", "line 3");  // duplicate
+  check("network 2\nedge 0 1 1.0\npoint 0 1 -0.5 0\n", "line 3");
+  check("network 2\nedge 0 1 1.0\npoint 0 1 nan 0\n", "line 3");
+  check("network 2\nedge 0 1 1.0\npoint 0 0 0.5 0\n", "line 3");
+  check("network 3\nedge 0 1 1.0\npoint 1 2 0.5 0\n", "line 3");  // no edge
+  check("network 3\nedge 0 1 1.0\npoint 0 2 0.5 0\n", "line 3");
+  check("network 2\nedge 0 1 1.0\npoint 0 1 1.5 0\n", "line 3");  // > weight
 }
 
 TEST(TextIoTest, FileRoundTrip) {
