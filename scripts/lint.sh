@@ -1,0 +1,100 @@
+#!/bin/sh
+# netclus-lint: static policy checks for the netclus tree.
+#
+# Two layers:
+#   1. clang-tidy with the repo's .clang-tidy config, when clang-tidy is
+#      installed (it consumes build/compile_commands.json, configuring
+#      the build tree if needed). Skipped with a notice otherwise.
+#   2. grep-based netclus-lint rules that encode house policy no
+#      general-purpose tool checks:
+#        - no raw assert() / <cassert> in src/ — failures must go
+#          through NETCLUS_CHECK (fatal invariants) or Status (fallible
+#          paths, e.g. I/O) so release builds keep their guarantees;
+#        - no naked new / delete — ownership lives in containers and
+#          smart pointers. The one sanctioned form is
+#          std::unique_ptr<T>(new T(...)) where T's constructor is
+#          private and std::make_unique cannot reach it;
+#        - Status and Result<T> must stay [[nodiscard]] so ignored
+#          fallible calls are compile errors under -Werror;
+#        - header guards must spell NETCLUS_<PATH>_H_ so a moved header
+#          cannot silently shadow another.
+#
+# Exits non-zero if any layer reports a finding.
+set -u
+cd "$(dirname "$0")/.."
+
+failures=0
+fail() {
+  printf 'lint: %s\n' "$*" >&2
+  failures=$((failures + 1))
+}
+
+# --- clang-tidy (optional layer) --------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f build/compile_commands.json ]; then
+    cmake -B build -G Ninja >/dev/null
+  fi
+  echo "lint: clang-tidy over src/ (WarningsAsErrors, see .clang-tidy)"
+  # shellcheck disable=SC2046 — source paths contain no whitespace.
+  if ! clang-tidy --quiet -p build $(find src -name '*.cc' | sort); then
+    fail "clang-tidy reported findings"
+  fi
+else
+  echo "lint: clang-tidy not installed; skipping (netclus-lint rules still run)"
+fi
+
+# --- netclus-lint (always-on layer) -----------------------------------
+for f in $(find src -name '*.h' -o -name '*.cc' | sort); do
+  # Strip // comments first so prose mentioning "new" or "assert" does
+  # not trip the code-pattern rules.
+  stripped=$(sed 's@//.*@@' "$f")
+
+  hits=$(printf '%s\n' "$stripped" |
+    grep -nE '(^|[^[:alnum:]_])assert[[:space:]]*\(|<cassert>' |
+    grep -v 'static_assert' || true)
+  if [ -n "$hits" ]; then
+    fail "$f: raw assert()/<cassert>; use NETCLUS_CHECK/NETCLUS_DCHECK or return a Status
+$hits"
+  fi
+
+  hits=$(printf '%s\n' "$stripped" |
+    grep -nE '(^|[^[:alnum:]_])new($|[^[:alnum:]_])' |
+    grep -vE 'unique_ptr<[A-Za-z_:[:space:]]+>\(new ' || true)
+  if [ -n "$hits" ]; then
+    fail "$f: naked new; own memory via containers/smart pointers (unique_ptr<T>(new T) is allowed only for private constructors)
+$hits"
+  fi
+
+  hits=$(printf '%s\n' "$stripped" |
+    grep -nE '(^|[^[:alnum:]_])delete($|[^[:alnum:]_])' |
+    grep -vE '=[[:space:]]*delete' || true)
+  if [ -n "$hits" ]; then
+    fail "$f: naked delete; ownership must be automatic
+$hits"
+  fi
+done
+
+# Header guards: src/foo/bar.h must guard with NETCLUS_FOO_BAR_H_.
+for f in $(find src -name '*.h' | sort); do
+  rel=${f#src/}
+  guard="NETCLUS_$(printf '%s' "${rel%.h}" | tr 'a-z/.' 'A-Z__')_H_"
+  if ! grep -q "^#ifndef ${guard}\$" "$f" ||
+     ! grep -q "^#define ${guard}\$" "$f"; then
+    fail "$f: header guard must be ${guard}"
+  fi
+done
+
+# The whole ignored-Status story hangs on these two annotations; make
+# sure a refactor cannot drop them silently.
+if ! grep -q 'class \[\[nodiscard\]\] Status' src/common/status.h; then
+  fail "src/common/status.h: Status lost its [[nodiscard]]"
+fi
+if ! grep -q 'class \[\[nodiscard\]\] Result' src/common/status.h; then
+  fail "src/common/status.h: Result<T> lost its [[nodiscard]]"
+fi
+
+if [ "$failures" -gt 0 ]; then
+  echo "lint: FAILED ($failures finding(s))" >&2
+  exit 1
+fi
+echo "lint: OK"

@@ -15,8 +15,44 @@
 # `scripts/run_all.sh asan` builds an AddressSanitizer configuration in
 # build-asan and runs the storage + fault-injection + corruption suites —
 # the paths that chew on deliberately damaged bytes — under it.
+#
+# `scripts/run_all.sh ubsan` builds an UndefinedBehaviorSanitizer
+# configuration (-fno-sanitize-recover=all, so any UB is a hard test
+# failure) in build-ubsan and runs the core algorithm suites under it.
+#
+# `scripts/run_all.sh validate` builds with -DNETCLUS_VALIDATE=ON in
+# build-validate — every RunClustering re-verifies its result with the
+# core/validate.h invariant validators — and runs the full test suite.
+#
+# `scripts/run_all.sh lint` runs scripts/lint.sh (clang-tidy when
+# installed, plus the grep-based netclus-lint policy rules) and fails on
+# any finding.
+#
+# The default mode is the full verify flow: lint, then build + tests +
+# benches, then the ubsan configuration over the core algorithm suites.
 set -e
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "lint" ]; then
+  exec sh scripts/lint.sh
+fi
+
+if [ "${1:-}" = "ubsan" ]; then
+  cmake -B build-ubsan -G Ninja -DNETCLUS_SANITIZE=undefined
+  cmake --build build-ubsan
+  ctest --test-dir build-ubsan --output-on-failure \
+    -R 'KMedoids|EpsLink|Dbscan|SingleLink|Dendrogram|Dijkstra|RangeQuery|Knn|DirectDistance|PointDistance|InterestingLevels|Optics|Hierarchy|Validate|NetclusApi|Integration' \
+    2>&1 | tee ubsan_output.txt
+  exit 0
+fi
+
+if [ "${1:-}" = "validate" ]; then
+  cmake -B build-validate -G Ninja -DNETCLUS_VALIDATE=ON
+  cmake --build build-validate
+  ctest --test-dir build-validate --output-on-failure \
+    2>&1 | tee validate_output.txt
+  exit 0
+fi
 
 if [ "${1:-}" = "asan" ]; then
   cmake -B build-asan -G Ninja -DNETCLUS_SANITIZE=address
@@ -36,9 +72,13 @@ if [ "${1:-}" = "tsan" ]; then
   exit 0
 fi
 
+sh scripts/lint.sh
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt
+
+# UB-freedom of the core algorithms is part of the default verify bar.
+sh scripts/run_all.sh ubsan

@@ -1,0 +1,37 @@
+#include "common/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace netclus {
+
+namespace {
+
+void DefaultCheckFailureHandler(const CheckFailure& failure) {
+  std::fprintf(stderr, "netclus: %s:%d: %s\n", failure.file, failure.line,
+               failure.message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<CheckFailureHandler> g_handler{&DefaultCheckFailureHandler};
+
+}  // namespace
+
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
+  return g_handler.exchange(handler != nullptr ? handler
+                                               : &DefaultCheckFailureHandler);
+}
+
+namespace check_internal {
+
+void FailCheck(const CheckFailure& failure) {
+  g_handler.load()(failure);
+  // A handler that neither throws nor exits cannot resume the failed
+  // computation; a check failure is never survivable in place.
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace netclus

@@ -1,0 +1,177 @@
+// Runtime assertion framework: NETCLUS_CHECK and friends.
+//
+// The library's invariants fall into two classes. Programming errors —
+// "this can only fire if netclus itself is buggy" — are enforced with the
+// macros here, which stay active in release builds (unlike assert()),
+// render the failed condition plus streamed context, and route through a
+// pluggable failure handler so tests can observe failures without dying.
+// Fallible conditions (I/O, user input) are NOT checks; they return
+// Status (see common/status.h).
+//
+//   NETCLUS_CHECK(page < num_pages) << "file " << file_id;
+//   NETCLUS_CHECK_LE(count, population);
+//   NETCLUS_CHECK_OK(bm->FlushAll());
+//   NETCLUS_DCHECK(IsHeap(q));   // debug / NETCLUS_VALIDATE builds only
+//
+// The default failure handler prints "check failed at file:line: message"
+// to stderr and aborts. SetCheckFailureHandler installs a replacement; a
+// handler may throw to unwind out of the failed check (how the tests
+// assert on failures), but if it returns normally the process aborts —
+// execution never continues past a failed check.
+#ifndef NETCLUS_COMMON_CHECK_H_
+#define NETCLUS_COMMON_CHECK_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+namespace netclus {
+
+/// One failed check, as delivered to the failure handler.
+struct CheckFailure {
+  const char* file = nullptr;
+  int line = 0;
+  /// Fully rendered message: the failed condition (with operand values
+  /// for the comparison checks) followed by any streamed context.
+  std::string message;
+};
+
+/// Handler invoked on every failed check. Must either throw or not
+/// return meaningfully: a handler that returns normally is followed by
+/// std::abort().
+using CheckFailureHandler = void (*)(const CheckFailure&);
+
+/// Installs `handler` (nullptr restores the default stderr+abort handler)
+/// and returns the previously installed one. Thread-safe.
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler);
+
+namespace check_internal {
+
+/// Invokes the installed failure handler; aborts if it returns.
+[[noreturn]] void FailCheck(const CheckFailure& failure);
+
+/// Accumulates the streamed context of one failing check and fires the
+/// failure handler when destroyed at the end of the full expression. The
+/// destructor propagates exceptions a test-installed handler throws,
+/// hence noexcept(false).
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, const char* prefix)
+      : file_(file), line_(line) {
+    stream_ << prefix;
+  }
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+  ~CheckFailureStream() noexcept(false) {
+    CheckFailure failure;
+    failure.file = file_;
+    failure.line = line_;
+    failure.message = stream_.str();
+    FailCheck(failure);
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the ostream& so the failure arm of NETCLUS_CHECK's ternary
+/// has type void. operator& binds looser than operator<<, so the user's
+/// streamed context attaches to the stream first.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+/// Renders "<expr> (<a> vs. <b>)" for a failed comparison check.
+template <typename A, typename B>
+std::unique_ptr<std::string> MakeOpFailure(const A& a, const B& b,
+                                           const char* expr) {
+  std::ostringstream os;
+  os << expr << " (" << a << " vs. " << b << ") ";
+  return std::make_unique<std::string>(os.str());
+}
+
+// One CheckXxImpl per comparison; returns null on success, the rendered
+// failure prefix otherwise. Operands are evaluated exactly once.
+#define NETCLUS_CHECK_DEFINE_OP_IMPL_(name, op)                       \
+  template <typename A, typename B>                                   \
+  std::unique_ptr<std::string> Check##name##Impl(const A& a, const B& b, \
+                                                 const char* expr) {  \
+    if (a op b) return nullptr;                                       \
+    return MakeOpFailure(a, b, expr);                                 \
+  }
+NETCLUS_CHECK_DEFINE_OP_IMPL_(EQ, ==)
+NETCLUS_CHECK_DEFINE_OP_IMPL_(NE, !=)
+NETCLUS_CHECK_DEFINE_OP_IMPL_(LT, <)
+NETCLUS_CHECK_DEFINE_OP_IMPL_(LE, <=)
+NETCLUS_CHECK_DEFINE_OP_IMPL_(GT, >)
+NETCLUS_CHECK_DEFINE_OP_IMPL_(GE, >=)
+#undef NETCLUS_CHECK_DEFINE_OP_IMPL_
+
+/// Success test for NETCLUS_CHECK_OK: anything with ok() and ToString()
+/// (Status; for a Result pass result.status()).
+template <typename StatusLike>
+std::unique_ptr<std::string> CheckOkImpl(const StatusLike& s,
+                                         const char* expr) {
+  if (s.ok()) return nullptr;
+  return std::make_unique<std::string>(std::string(expr) + " = " +
+                                       s.ToString() + " ");
+}
+
+}  // namespace check_internal
+}  // namespace netclus
+
+/// Always-on assertion. On failure, renders the condition plus any
+/// streamed context and fires the failure handler (default: abort).
+#define NETCLUS_CHECK(condition)                                     \
+  (condition) ? (void)0                                              \
+              : ::netclus::check_internal::Voidify() &               \
+                    ::netclus::check_internal::CheckFailureStream(   \
+                        __FILE__, __LINE__,                          \
+                        "check failed: " #condition " ")             \
+                        .stream()
+
+// Comparison checks render both operand values on failure. The while
+// loop runs its body at most once: FailCheck never returns normally.
+#define NETCLUS_CHECK_OP_(name, a, b)                                  \
+  while (std::unique_ptr<std::string> _netclus_check_failure =         \
+             ::netclus::check_internal::Check##name##Impl(             \
+                 (a), (b), "check failed: " #a " " #name " " #b))      \
+  ::netclus::check_internal::Voidify() &                               \
+      ::netclus::check_internal::CheckFailureStream(                   \
+          __FILE__, __LINE__, _netclus_check_failure->c_str())         \
+          .stream()
+
+#define NETCLUS_CHECK_EQ(a, b) NETCLUS_CHECK_OP_(EQ, a, b)
+#define NETCLUS_CHECK_NE(a, b) NETCLUS_CHECK_OP_(NE, a, b)
+#define NETCLUS_CHECK_LT(a, b) NETCLUS_CHECK_OP_(LT, a, b)
+#define NETCLUS_CHECK_LE(a, b) NETCLUS_CHECK_OP_(LE, a, b)
+#define NETCLUS_CHECK_GT(a, b) NETCLUS_CHECK_OP_(GT, a, b)
+#define NETCLUS_CHECK_GE(a, b) NETCLUS_CHECK_OP_(GE, a, b)
+
+/// Checks that a Status(-like) expression is OK; on failure the rendered
+/// message includes Status::ToString().
+#define NETCLUS_CHECK_OK(expr)                                         \
+  while (std::unique_ptr<std::string> _netclus_check_failure =         \
+             ::netclus::check_internal::CheckOkImpl(                   \
+                 (expr), "check failed: " #expr))                      \
+  ::netclus::check_internal::Voidify() &                               \
+      ::netclus::check_internal::CheckFailureStream(                   \
+          __FILE__, __LINE__, _netclus_check_failure->c_str())         \
+          .stream()
+
+/// Debug assertion: active in !NDEBUG builds and in NETCLUS_VALIDATE
+/// builds, compiled to nothing (operands type-checked, never evaluated)
+/// otherwise.
+#if !defined(NDEBUG) || defined(NETCLUS_VALIDATE)
+#define NETCLUS_DCHECK_IS_ON() 1
+#define NETCLUS_DCHECK(condition) NETCLUS_CHECK(condition)
+#else
+#define NETCLUS_DCHECK_IS_ON() 0
+#define NETCLUS_DCHECK(condition) NETCLUS_CHECK(true || (condition))
+#endif
+
+#endif  // NETCLUS_COMMON_CHECK_H_

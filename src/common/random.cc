@@ -1,8 +1,9 @@
 #include "common/random.h"
 
 #include <algorithm>
-#include <cassert>
 #include <unordered_set>
+
+#include "common/check.h"
 
 namespace netclus {
 
@@ -43,7 +44,7 @@ uint64_t Rng::Next() {
 }
 
 uint64_t Rng::NextBounded(uint64_t bound) {
-  assert(bound > 0);
+  NETCLUS_CHECK_GT(bound, 0u) << "NextBounded requires a positive bound";
   // Lemire's nearly-divisionless method.
   uint64_t x = Next();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -76,7 +77,8 @@ bool Rng::NextBernoulli(double p) {
 
 std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t population,
                                                     uint64_t count) {
-  assert(count <= population);
+  NETCLUS_CHECK_LE(count, population)
+      << "cannot sample more indices than the population holds";
   std::unordered_set<uint64_t> chosen;
   std::vector<uint64_t> out;
   out.reserve(count);

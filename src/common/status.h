@@ -3,10 +3,11 @@
 #ifndef NETCLUS_COMMON_STATUS_H_
 #define NETCLUS_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/check.h"
 
 namespace netclus {
 
@@ -15,7 +16,11 @@ namespace netclus {
 /// Library code never throws; every operation that can fail returns a
 /// Status (or a Result<T> when it also produces a value). A Status is
 /// either OK or carries an error code plus a human-readable message.
-class Status {
+///
+/// Status is [[nodiscard]]: silently dropping a fallible operation's
+/// outcome is a compile error. Cast to void only where ignoring the
+/// error is a documented decision (e.g. destructors).
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -85,31 +90,31 @@ class Status {
 
 /// \brief A Status or a value of type T.
 ///
-/// Accessing value() on a non-OK result is a programming error (asserted in
-/// debug builds); callers must check ok() first.
+/// Accessing value() on a non-OK result is a programming error (checked
+/// in debug and NETCLUS_VALIDATE builds); callers must check ok() first.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success path).
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
   /// Implicit construction from a non-OK status (error path).
   Result(Status status) : status_(std::move(status)) {
-    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    NETCLUS_DCHECK(!status_.ok()) << "Result(Status) requires a non-OK status";
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    NETCLUS_DCHECK(ok()) << status_.ToString();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    NETCLUS_DCHECK(ok()) << status_.ToString();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    NETCLUS_DCHECK(ok()) << status_.ToString();
     return *std::move(value_);
   }
 

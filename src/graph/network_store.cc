@@ -2,7 +2,6 @@
 
 #include <array>
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 #include <queue>
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/timer.h"
+#include "core/validate.h"
 
 namespace netclus {
 
@@ -44,6 +45,25 @@ Clustering CutDendrogram(const Dendrogram& dendrogram,
   return dendrogram.CutAtCount(
       std::max<uint32_t>(1, spec.single_link.stop_cluster_count),
       spec.cut_min_size);
+}
+
+// The per-algorithm invariant validators of core/validate.h, dispatched
+// over the finished output. Runs when the spec asks for it, and on every
+// run in -DNETCLUS_VALIDATE=ON builds.
+Status ValidateOutput(const NetworkView& view, const ClusterSpec& spec,
+                      const ClusterOutput& out) {
+  switch (spec.algorithm) {
+    case Algorithm::kKMedoids:
+      return ValidateKMedoids(view, out.clustering, out.medoids, out.cost);
+    case Algorithm::kEpsLink:
+      return ValidateEpsLink(view, out.clustering, spec.eps_link);
+    case Algorithm::kSingleLink:
+      NETCLUS_RETURN_IF_ERROR(ValidateClusteringShape(view, out.clustering));
+      return ValidateDendrogram(*out.dendrogram, spec.single_link);
+    case Algorithm::kDbscan:
+      return ValidateDbscan(view, out.clustering, spec.dbscan);
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -91,6 +111,17 @@ Result<ClusterOutput> RunClustering(const NetworkView& view,
   // the algorithms consumed neutral fallback values) invalidate the
   // result: report the I/O error, never a silently wrong clustering.
   NETCLUS_RETURN_IF_ERROR(view.status());
+#if defined(NETCLUS_VALIDATE)
+  constexpr bool kAlwaysValidate = true;
+#else
+  constexpr bool kAlwaysValidate = false;
+#endif
+  if (spec.validate || kAlwaysValidate) {
+    NETCLUS_RETURN_IF_ERROR(ValidateOutput(view, spec, out));
+    // The validators' own traversals may also have tripped a storage
+    // error the algorithm's region never touched.
+    NETCLUS_RETURN_IF_ERROR(view.status());
+  }
   out.wall_seconds = timer.ElapsedSeconds();
   return out;
 }

@@ -62,6 +62,15 @@ struct ClusterSpec {
   /// Single-Link only: flat-cut components smaller than this become
   /// noise (ε-Link's min_sup analogue).
   uint32_t cut_min_size = 1;
+
+  /// Re-verify the run's invariants (core/validate.h) before returning:
+  /// k-medoids nearest-medoid tags against independent Dijkstra, ε-Link
+  /// ε-connectivity/ε-separation, Single-Link merge monotonicity +
+  /// union-find replay, DBSCAN partition axioms. A violation surfaces as
+  /// Status::Internal instead of a wrong clustering. Builds configured
+  /// with -DNETCLUS_VALIDATE=ON validate every run regardless of this
+  /// flag.
+  bool validate = false;
 };
 
 /// \brief The unified result of RunClustering.

@@ -1,7 +1,6 @@
 #include "storage/bptree.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 
 namespace netclus {

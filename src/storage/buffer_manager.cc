@@ -1,11 +1,11 @@
 #include "storage/buffer_manager.h"
 
-#include <cassert>
 #include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
 
+#include "common/check.h"
 #include "common/crc32c.h"
 
 namespace netclus {
@@ -66,7 +66,10 @@ BufferManager::~BufferManager() {
 }
 
 FileId BufferManager::RegisterFile(PagedFile* file, bool checksummed) {
-  assert(file->page_size() == page_size_);
+  // A mismatched page size would corrupt every frame swap; this is a
+  // caller bug, kept fatal in release builds.
+  NETCLUS_CHECK_EQ(file->page_size(), page_size_)
+      << "RegisterFile: file page size does not match the buffer pool";
   files_.push_back(file);
   checksummed_.push_back(checksummed);
   return static_cast<FileId>(files_.size() - 1);
@@ -117,7 +120,8 @@ Status BufferManager::WritePageChecked(FileId file, PageId page, char* data) {
 
 void BufferManager::Unpin(size_t frame, bool dirty) {
   Frame& f = frames_[frame];
-  assert(f.pins > 0);
+  NETCLUS_CHECK_GT(f.pins, 0u)
+      << "Unpin of frame " << frame << " without a matching pin";
   if (dirty) f.dirty = true;
   if (--f.pins == 0) {
     lru_.push_back(frame);

@@ -1,0 +1,170 @@
+// Tests for the NETCLUS_CHECK assertion framework: message rendering,
+// streamed context, single evaluation of operands, the pluggable failure
+// handler, NETCLUS_DCHECK build-mode behavior, and the default
+// abort-on-failure handler (as a death test).
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace netclus {
+namespace {
+
+void ExpectContains(const std::string& haystack, const std::string& needle) {
+  EXPECT_NE(haystack.find(needle), std::string::npos)
+      << "expected \"" << haystack << "\" to contain \"" << needle << "\"";
+}
+
+/// Thrown by the test handler so a failed check unwinds back into the
+/// test body instead of aborting.
+struct CheckAbort {
+  CheckFailure failure;
+};
+
+void ThrowingHandler(const CheckFailure& failure) {
+  throw CheckAbort{failure};
+}
+
+/// Runs `fn`, which must trip exactly one check, and returns the
+/// captured failure.
+template <typename Fn>
+CheckFailure FailureOf(Fn&& fn) {
+  try {
+    std::forward<Fn>(fn)();
+  } catch (const CheckAbort& abort) {
+    return abort.failure;
+  }
+  ADD_FAILURE() << "expected the check to fire";
+  return CheckFailure{};
+}
+
+class CheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override { prev_ = SetCheckFailureHandler(&ThrowingHandler); }
+  void TearDown() override { SetCheckFailureHandler(prev_); }
+  CheckFailureHandler prev_ = nullptr;
+};
+
+TEST_F(CheckTest, PassingChecksDoNotFire) {
+  NETCLUS_CHECK(1 + 1 == 2);
+  NETCLUS_CHECK_EQ(3, 3);
+  NETCLUS_CHECK_NE(3, 4);
+  NETCLUS_CHECK_LT(3, 4);
+  NETCLUS_CHECK_LE(4, 4);
+  NETCLUS_CHECK_GT(5, 4);
+  NETCLUS_CHECK_GE(5, 5);
+  NETCLUS_CHECK_OK(Status::OK());
+}
+
+TEST_F(CheckTest, StreamedContextIsLazyOnSuccess) {
+  int rendered = 0;
+  auto Describe = [&rendered]() {
+    ++rendered;
+    return std::string("expensive context");
+  };
+  NETCLUS_CHECK(true) << Describe();
+  NETCLUS_CHECK_EQ(1, 1) << Describe();
+  EXPECT_EQ(rendered, 0);
+}
+
+TEST_F(CheckTest, FailureRendersConditionAndStreamedContext) {
+  CheckFailure f = FailureOf(
+      [] { NETCLUS_CHECK(2 + 2 == 5) << "context " << 42; });
+  ExpectContains(f.message, "check failed: 2 + 2 == 5");
+  ExpectContains(f.message, "context 42");
+  ExpectContains(std::string(f.file), "check_test.cc");
+  EXPECT_GT(f.line, 0);
+}
+
+TEST_F(CheckTest, ComparisonFailureRendersBothOperands) {
+  CheckFailure f = FailureOf([] { NETCLUS_CHECK_EQ(5, 3); });
+  ExpectContains(f.message, "check failed: 5 EQ 3");
+  ExpectContains(f.message, "(5 vs. 3)");
+
+  f = FailureOf([] {
+    NETCLUS_CHECK_LE(10, 3) << "budget exceeded";
+  });
+  ExpectContains(f.message, "10 LE 3");
+  ExpectContains(f.message, "(10 vs. 3)");
+  ExpectContains(f.message, "budget exceeded");
+}
+
+TEST_F(CheckTest, OperandsEvaluateExactlyOnce) {
+  int calls = 0;
+  auto Next = [&calls]() {
+    ++calls;
+    return 7;
+  };
+  NETCLUS_CHECK_EQ(Next(), 7);
+  EXPECT_EQ(calls, 1);
+
+  calls = 0;
+  EXPECT_THROW(NETCLUS_CHECK_EQ(Next(), 8), CheckAbort);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(CheckTest, CheckOkRendersStatusToString) {
+  CheckFailure f = FailureOf(
+      [] { NETCLUS_CHECK_OK(Status::Internal("boom")); });
+  ExpectContains(f.message, "check failed:");
+  ExpectContains(f.message, "Internal: boom");
+
+  // Result<T> participates via .status().
+  Result<int> res = Status::NotFound("no such page");
+  f = FailureOf([&res] { NETCLUS_CHECK_OK(res.status()); });
+  ExpectContains(f.message, "NotFound: no such page");
+}
+
+TEST_F(CheckTest, SetHandlerReturnsPreviousAndNullRestoresDefault) {
+  // SetUp installed ThrowingHandler over the default (prev_).
+  EXPECT_EQ(SetCheckFailureHandler(nullptr), &ThrowingHandler);
+  // nullptr re-installed the default, so installing the throwing handler
+  // again hands the default back.
+  EXPECT_EQ(SetCheckFailureHandler(&ThrowingHandler), prev_);
+}
+
+TEST_F(CheckTest, DcheckMatchesBuildMode) {
+  int evaluated = 0;
+  auto FalseWithSideEffect = [&evaluated]() {
+    ++evaluated;
+    return false;
+  };
+  if (NETCLUS_DCHECK_IS_ON()) {
+    EXPECT_THROW(NETCLUS_DCHECK(FalseWithSideEffect()), CheckAbort);
+    EXPECT_EQ(evaluated, 1);
+  } else {
+    NETCLUS_DCHECK(FalseWithSideEffect()) << "never rendered";
+    EXPECT_EQ(evaluated, 0);  // release builds never evaluate the operand
+  }
+}
+
+using CheckDeathTest = CheckTest;
+
+TEST_F(CheckDeathTest, DefaultHandlerPrintsAndAborts) {
+  // The child process re-installs the default handler; the parent keeps
+  // the fixture's throwing handler.
+  EXPECT_DEATH(
+      {
+        SetCheckFailureHandler(nullptr);
+        NETCLUS_CHECK(1 + 1 == 3) << "arithmetic drifted";
+      },
+      "check failed: 1 \\+ 1 == 3 .*arithmetic drifted");
+}
+
+TEST_F(CheckDeathTest, HandlerThatReturnsStillAborts) {
+  // A handler that neither throws nor exits must not let execution
+  // continue past the failed check.
+  EXPECT_DEATH(
+      {
+        SetCheckFailureHandler([](const CheckFailure&) {});
+        NETCLUS_CHECK(false);
+      },
+      "");
+}
+
+}  // namespace
+}  // namespace netclus

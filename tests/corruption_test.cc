@@ -67,7 +67,12 @@ class CorruptionRoundTripTest : public ::testing::Test {
  protected:
   void SetUp() override {
     namespace fs = std::filesystem;
-    dir_ = fs::temp_directory_path() / "netclus_corruption_test";
+    // One directory per test: gtest_discover_tests runs each TEST_F as
+    // its own ctest entry, so a shared directory would be clobbered by
+    // sibling processes under `ctest -j`.
+    dir_ = fs::temp_directory_path() /
+           (std::string("netclus_corruption_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
     fs::remove_all(dir_);
     fs::create_directories(dir_);
     data_ = MakeData(120, 300, 61);

@@ -1,0 +1,286 @@
+// Tests for the core/validate.h invariant validators: clean clusterings
+// from all four algorithms must pass, and each validator must reject a
+// deliberately corrupted clustering naming the violated invariant.
+#include "core/validate.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/dbscan.h"
+#include "core/eps_link.h"
+#include "core/kmedoids.h"
+#include "core/single_link.h"
+#include "gen/network_gen.h"
+#include "gen/workload_gen.h"
+#include "graph/network.h"
+#include "netclus.h"
+
+namespace netclus {
+namespace {
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = GenerateRoadNetwork({70, 1.3, 0.3, 211});
+    ps_ = std::move(GenerateUniformPoints(g_.net, 100, 212)).value();
+    view_.emplace(g_.net, ps_);
+  }
+  GeneratedNetwork g_;
+  PointSet ps_;
+  std::optional<InMemoryNetworkView> view_;
+};
+
+// --- the RunClustering wiring (ClusterSpec::validate) -----------------
+
+TEST_F(ValidateTest, CleanRunsPassValidationForEveryAlgorithm) {
+  for (Algorithm a : {Algorithm::kKMedoids, Algorithm::kEpsLink,
+                      Algorithm::kSingleLink, Algorithm::kDbscan}) {
+    ClusterSpec spec;
+    spec.algorithm = a;
+    spec.validate = true;
+    spec.kmedoids.k = 4;
+    spec.kmedoids.seed = 213;
+    spec.eps_link.eps = 0.8;
+    spec.eps_link.min_sup = 2;
+    spec.dbscan.eps = 0.8;
+    spec.dbscan.min_pts = 3;
+    spec.cut_distance = 0.8;
+    Result<ClusterOutput> out = RunClustering(*view_, spec);
+    EXPECT_TRUE(out.ok()) << AlgorithmName(a) << ": "
+                          << out.status().ToString();
+  }
+}
+
+// --- shape -------------------------------------------------------------
+
+TEST_F(ValidateTest, ShapeRejectsSizeMismatchAndBadIds) {
+  Clustering c;
+  c.assignment.assign(view_->num_points(), 0);
+  c.num_clusters = 1;
+  EXPECT_TRUE(ValidateClusteringShape(*view_, c).ok());
+
+  Clustering short_c = c;
+  short_c.assignment.pop_back();
+  EXPECT_TRUE(ValidateClusteringShape(*view_, short_c).IsInternal());
+
+  Clustering bad_id = c;
+  bad_id.assignment[7] = 5;  // >= num_clusters
+  EXPECT_TRUE(ValidateClusteringShape(*view_, bad_id).IsInternal());
+
+  Clustering bad_noise = c;
+  bad_noise.assignment[7] = -3;  // negative but not kNoise
+  EXPECT_TRUE(ValidateClusteringShape(*view_, bad_noise).IsInternal());
+}
+
+// --- k-medoids ---------------------------------------------------------
+
+TEST_F(ValidateTest, KMedoidsCleanResultPassesExactAndSampledModes) {
+  KMedoidsOptions opt;
+  opt.k = 4;
+  opt.seed = 214;
+  Result<KMedoidsResult> res = KMedoidsCluster(*view_, opt);
+  ASSERT_TRUE(res.ok());
+  const KMedoidsResult& r = res.value();
+  EXPECT_TRUE(
+      ValidateKMedoids(*view_, r.clustering, r.medoids, r.cost).ok());
+  // Sampled mode: force the structural + spot-check path.
+  ValidateLimits sampled;
+  sampled.exact_max_points = 4;
+  sampled.sample_points = 16;
+  EXPECT_TRUE(
+      ValidateKMedoids(*view_, r.clustering, r.medoids, r.cost, sampled)
+          .ok());
+}
+
+TEST_F(ValidateTest, KMedoidsRejectsWrongAssignmentAndWrongCost) {
+  KMedoidsOptions opt;
+  opt.k = 4;
+  opt.seed = 214;
+  Result<KMedoidsResult> res = KMedoidsCluster(*view_, opt);
+  ASSERT_TRUE(res.ok());
+  const KMedoidsResult& r = res.value();
+
+  // A medoid tagged with a different medoid's cluster cannot be
+  // distance-optimal (its own medoid is at distance 0).
+  Clustering corrupted = r.clustering;
+  PointId medoid0 = r.medoids[0];
+  corrupted.assignment[medoid0] = (corrupted.assignment[medoid0] + 1) %
+                                  static_cast<int>(r.medoids.size());
+  EXPECT_TRUE(
+      ValidateKMedoids(*view_, corrupted, r.medoids, r.cost).IsInternal());
+
+  // The evaluation function R is re-derived in exact mode.
+  EXPECT_TRUE(
+      ValidateKMedoids(*view_, r.clustering, r.medoids, r.cost + 10.0)
+          .IsInternal());
+
+  // Duplicate medoids are structurally invalid at any scale.
+  std::vector<PointId> dup_medoids = r.medoids;
+  dup_medoids[1] = dup_medoids[0];
+  EXPECT_TRUE(ValidateKMedoids(*view_, r.clustering, dup_medoids, r.cost)
+                  .IsInternal());
+}
+
+// --- ε-Link ------------------------------------------------------------
+
+TEST_F(ValidateTest, EpsLinkRejectsPointMovedAcrossClusters) {
+  EpsLinkOptions opt;
+  opt.eps = 0.8;
+  opt.min_sup = 2;
+  Result<Clustering> res = EpsLinkCluster(*view_, opt);
+  ASSERT_TRUE(res.ok());
+  const Clustering& clean = res.value();
+  ASSERT_GE(clean.num_clusters, 2)
+      << "test parameters must produce at least two clusters";
+  EXPECT_TRUE(ValidateEpsLink(*view_, clean, opt).ok());
+
+  // Move one clustered point into a different cluster: its ε-component
+  // now maps to two cluster ids, breaking the component<->cluster
+  // bijection (ε-connectivity/ε-separation).
+  Clustering moved = clean;
+  for (PointId p = 0; p < moved.assignment.size(); ++p) {
+    if (moved.assignment[p] != kNoise) {
+      moved.assignment[p] = (moved.assignment[p] + 1) % moved.num_clusters;
+      break;
+    }
+  }
+  EXPECT_TRUE(ValidateEpsLink(*view_, moved, opt).IsInternal());
+
+  // Demoting a clustered point to noise breaks the min_sup rule: it sits
+  // in an ε-component of size >= min_sup.
+  Clustering demoted = clean;
+  for (PointId p = 0; p < demoted.assignment.size(); ++p) {
+    if (demoted.assignment[p] != kNoise) {
+      demoted.assignment[p] = kNoise;
+      break;
+    }
+  }
+  EXPECT_TRUE(ValidateEpsLink(*view_, demoted, opt).IsInternal());
+}
+
+// --- DBSCAN ------------------------------------------------------------
+
+TEST_F(ValidateTest, DbscanRejectsClusteredPointDemotedToNoise) {
+  DbscanOptions opt;
+  opt.eps = 0.8;
+  opt.min_pts = 3;
+  Result<Clustering> res = DbscanCluster(*view_, opt);
+  ASSERT_TRUE(res.ok());
+  const Clustering& clean = res.value();
+  ASSERT_GE(clean.num_clusters, 1);
+  EXPECT_TRUE(ValidateDbscan(*view_, clean, opt).ok());
+
+  // Any clustered point demoted to noise trips a density axiom: a core
+  // point must never be noise, and a border point's core neighbor
+  // forbids the noise tag.
+  Clustering corrupted = clean;
+  for (PointId p = 0; p < corrupted.assignment.size(); ++p) {
+    if (corrupted.assignment[p] != kNoise) {
+      corrupted.assignment[p] = kNoise;
+      break;
+    }
+  }
+  EXPECT_TRUE(ValidateDbscan(*view_, corrupted, opt).IsInternal());
+}
+
+// --- Single-Link dendrogram --------------------------------------------
+
+TEST_F(ValidateTest, DendrogramRejectsNonMonotoneAndDuplicateMerges) {
+  SingleLinkOptions opt;  // delta = 0: the full sequence must be sorted
+
+  Dendrogram ok_d(4);
+  ok_d.AddMerge(0, 1, 0.5);
+  ok_d.AddMerge(2, 3, 0.7);
+  ok_d.AddMerge(0, 2, 1.0);
+  EXPECT_TRUE(ValidateDendrogram(ok_d, opt).ok());
+
+  Dendrogram decreasing(4);
+  decreasing.AddMerge(0, 1, 1.0);
+  decreasing.AddMerge(2, 3, 0.5);  // merge distance went down
+  EXPECT_TRUE(ValidateDendrogram(decreasing, opt).IsInternal());
+
+  Dendrogram duplicate(4);
+  duplicate.AddMerge(0, 1, 0.2);
+  duplicate.AddMerge(1, 0, 0.3);  // joins two already-merged clusters
+  EXPECT_TRUE(ValidateDendrogram(duplicate, opt).IsInternal());
+
+  Dendrogram out_of_range(4);
+  out_of_range.AddMerge(0, 9, 0.2);  // endpoint is not a point id
+  EXPECT_TRUE(ValidateDendrogram(out_of_range, opt).IsInternal());
+
+  // Sub-δ pre-merges may appear out of order; above δ order is enforced.
+  SingleLinkOptions with_delta;
+  with_delta.delta = 0.6;
+  Dendrogram premerged(4);
+  premerged.AddMerge(0, 1, 0.5);
+  premerged.AddMerge(2, 3, 0.3);  // fine: both <= delta
+  premerged.AddMerge(0, 2, 1.0);
+  EXPECT_TRUE(ValidateDendrogram(premerged, with_delta).ok());
+
+  SingleLinkOptions capped;
+  capped.stop_distance = 0.4;
+  Dendrogram overshoot(4);
+  overshoot.AddMerge(0, 1, 0.9);  // beyond stop_distance
+  EXPECT_TRUE(ValidateDendrogram(overshoot, capped).IsInternal());
+}
+
+TEST_F(ValidateTest, DendrogramFromSingleLinkPasses) {
+  SingleLinkOptions opt;
+  Result<SingleLinkResult> res = SingleLinkCluster(*view_, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(ValidateDendrogram(res.value().dendrogram, opt).ok());
+}
+
+// --- traversal workspace audits ----------------------------------------
+
+TEST_F(ValidateTest, HeapAuditAcceptsMinHeapRejectsCorruption) {
+  std::vector<DijkstraHeapEntry> heap;
+  heap.push_back(DijkstraHeapEntry{0.5, 0});
+  heap.push_back(DijkstraHeapEntry{1.0, 1});
+  heap.push_back(DijkstraHeapEntry{0.7, 2});
+  EXPECT_TRUE(ValidateHeap(heap).ok());
+
+  std::vector<DijkstraHeapEntry> broken;
+  broken.push_back(DijkstraHeapEntry{1.0, 0});
+  broken.push_back(DijkstraHeapEntry{0.5, 1});  // child below its parent
+  EXPECT_TRUE(ValidateHeap(broken).IsInternal());
+
+  std::vector<DijkstraHeapEntry> poisoned;
+  poisoned.push_back(
+      DijkstraHeapEntry{std::numeric_limits<double>::quiet_NaN(), 0});
+  EXPECT_TRUE(ValidateHeap(poisoned).IsInternal());
+}
+
+TEST_F(ValidateTest, SettleLogAuditEnforcesDijkstraOrder) {
+  std::vector<std::pair<NodeId, double>> ok_log = {
+      {0, 0.0}, {3, 1.0}, {1, 2.5}};
+  EXPECT_TRUE(ValidateSettleLog(ok_log, 5).ok());
+
+  std::vector<std::pair<NodeId, double>> decreasing = {
+      {0, 0.0}, {3, 2.0}, {1, 1.0}};  // settled out of order
+  EXPECT_TRUE(ValidateSettleLog(decreasing, 5).IsInternal());
+
+  std::vector<std::pair<NodeId, double>> twice = {
+      {0, 0.0}, {3, 1.0}, {3, 2.0}};  // node settled twice
+  EXPECT_TRUE(ValidateSettleLog(twice, 5).IsInternal());
+
+  std::vector<std::pair<NodeId, double>> out_of_range = {{7, 0.0}};
+  EXPECT_TRUE(ValidateSettleLog(out_of_range, 5).IsInternal());
+
+  std::vector<std::pair<NodeId, double>> negative = {{0, -1.0}};
+  EXPECT_TRUE(ValidateSettleLog(negative, 5).IsInternal());
+}
+
+TEST_F(ValidateTest, WorkspaceAuditChecksScratchSizing) {
+  TraversalWorkspace ws(10);
+  EXPECT_TRUE(ValidateWorkspace(ws, 10).ok());
+  EXPECT_TRUE(ValidateWorkspace(ws, 11).IsInternal());
+}
+
+}  // namespace
+}  // namespace netclus
