@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -64,6 +65,52 @@ Dataset MakeDataset(const std::string& name, double scale,
   }
   d.workload = std::move(w.value());
   return d;
+}
+
+void BenchRecorder::Add(
+    const std::string& bench, std::vector<double> wall_seconds,
+    const TraversalCounters& traversal,
+    const std::vector<std::pair<std::string, double>>& extra) {
+  Entry e;
+  e.bench = bench;
+  e.traversal = traversal;
+  e.extra = extra;
+  if (!wall_seconds.empty()) {
+    std::sort(wall_seconds.begin(), wall_seconds.end());
+    size_t n = wall_seconds.size();
+    e.median_seconds = wall_seconds[n / 2];
+    e.p95_seconds = wall_seconds[std::min(n - 1, n * 95 / 100)];
+  }
+  entries_.push_back(std::move(e));
+}
+
+std::string BenchRecorder::Write() const {
+  const char* dir = std::getenv("NETCLUS_BENCH_JSON_DIR");
+  std::string path = std::string(dir != nullptr && *dir != '\0' ? dir : ".") +
+                     "/BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    std::fprintf(f,
+                 "  {\"bench\": \"%s\", \"median_seconds\": %.9g, "
+                 "\"p95_seconds\": %.9g, \"settled_nodes\": %llu, "
+                 "\"heap_pops\": %llu, \"heap_pushes\": %llu, "
+                 "\"pruned_nodes\": %llu",
+                 e.bench.c_str(), e.median_seconds, e.p95_seconds,
+                 static_cast<unsigned long long>(e.traversal.settled_nodes),
+                 static_cast<unsigned long long>(e.traversal.heap_pops),
+                 static_cast<unsigned long long>(e.traversal.heap_pushes),
+                 static_cast<unsigned long long>(e.traversal.pruned_nodes));
+    for (const auto& [key, value] : e.extra) {
+      std::fprintf(f, ", \"%s\": %.9g", key.c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return path;
 }
 
 void PrintRow(const std::vector<std::string>& cells, int width) {

@@ -10,10 +10,12 @@
 #define NETCLUS_BENCH_BENCH_COMMON_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gen/network_gen.h"
 #include "gen/workload_gen.h"
+#include "graph/dijkstra.h"
 #include "graph/network.h"
 
 namespace netclus {
@@ -46,6 +48,42 @@ Dataset MakeDataset(const std::string& name, double scale,
 /// length, keeping them compact and well separated (the generator's mean
 /// point spacing over a cluster's growth is 3 * s_init for F = 5).
 double DefaultSInit(const Network& net, PointId clustered_points);
+
+/// \brief Machine-readable counterpart of the printed tables.
+///
+/// Harnesses Add() one entry per benchmark — the raw wall-clock samples
+/// plus the TraversalCounters delta covering them — and Write() emits
+/// `BENCH_<name>.json`: an array of objects with median/p95 wall seconds
+/// and the settled-node / heap-pop / heap-push / pruned-node totals, so
+/// CI and scripts can diff substrate work across revisions without
+/// scraping stdout.
+class BenchRecorder {
+ public:
+  explicit BenchRecorder(std::string name) : name_(std::move(name)) {}
+
+  /// Records benchmark `bench`: its wall-clock samples (seconds; median
+  /// and p95 are derived here) and the traversal-counter delta summed
+  /// over all samples. Extra scalar facts (hit rates, sizes) go in
+  /// `extra` as (key, value) pairs.
+  void Add(const std::string& bench, std::vector<double> wall_seconds,
+           const TraversalCounters& traversal,
+           const std::vector<std::pair<std::string, double>>& extra = {});
+
+  /// Writes BENCH_<name>.json into $NETCLUS_BENCH_JSON_DIR (default the
+  /// working directory) and returns the path, or "" on I/O failure.
+  std::string Write() const;
+
+ private:
+  struct Entry {
+    std::string bench;
+    double median_seconds = 0.0;
+    double p95_seconds = 0.0;
+    TraversalCounters traversal;
+    std::vector<std::pair<std::string, double>> extra;
+  };
+  std::string name_;
+  std::vector<Entry> entries_;
+};
 
 /// Prints a row of fixed-width columns to stdout.
 void PrintRow(const std::vector<std::string>& cells, int width = 14);

@@ -65,8 +65,10 @@ int main() {
   Report("kmed-rand", truth, km.clustering);
 
   // (b) k-medoids seeded with the true cluster seeds ("best case").
+  KMedoidsOptions ko_ideal = ko;
+  ko_ideal.initial_medoids = d.workload.cluster_seeds;
   KMedoidsResult km_ideal =
-      std::move(KMedoidsCluster(view, ko, d.workload.cluster_seeds).value());
+      std::move(KMedoidsCluster(view, ko_ideal).value());
   Report("kmed-ideal", truth, km_ideal.clustering);
 
   // (c) DBSCAN and ε-Link with eps = max generator gap, MinPts = 2.

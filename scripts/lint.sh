@@ -74,6 +74,23 @@ $hits"
   fi
 done
 
+# Traversal layering tripwire: the clustering algorithms in src/core/
+# must reach the Dijkstra substrate only through the graph-layer entry
+# points (PointNetworkDistance / RangeQuery) or a DistanceAccelerator —
+# a direct expansion call would bypass the accelerator hooks and the
+# traversal counters. The one sanctioned caller is validate.cc, whose
+# oracles must stay independent of the accelerated paths they audit.
+for f in $(find src/core -name '*.h' -o -name '*.cc' | sort); do
+  [ "$f" = "src/core/validate.cc" ] && continue
+  stripped=$(sed 's@//.*@@' "$f")
+  hits=$(printf '%s\n' "$stripped" |
+    grep -nE 'DijkstraExpandBounded[[:space:]]*\(|DijkstraDistances[[:space:]]*\(' || true)
+  if [ -n "$hits" ]; then
+    fail "$f: direct Dijkstra expansion from src/core/; go through PointNetworkDistance/RangeQuery (or a DistanceAccelerator) so index hooks and traversal counters stay wired
+$hits"
+  fi
+done
+
 # Header guards: src/foo/bar.h must guard with NETCLUS_FOO_BAR_H_.
 for f in $(find src -name '*.h' | sort); do
   rel=${f#src/}

@@ -28,6 +28,11 @@
 # installed, plus the grep-based netclus-lint policy rules) and fails on
 # any finding.
 #
+# `scripts/run_all.sh bench-smoke` builds the default configuration and
+# runs the minutes-scale bench_smoke harness (distance-index on/off
+# contrasts on a small generated network), leaving machine-readable
+# BENCH_*.json files at the repository root.
+#
 # The default mode is the full verify flow: lint, then build + tests +
 # benches, then the ubsan configuration over the core algorithm suites.
 set -e
@@ -41,7 +46,7 @@ if [ "${1:-}" = "ubsan" ]; then
   cmake -B build-ubsan -G Ninja -DNETCLUS_SANITIZE=undefined
   cmake --build build-ubsan
   ctest --test-dir build-ubsan --output-on-failure \
-    -R 'KMedoids|EpsLink|Dbscan|SingleLink|Dendrogram|Dijkstra|RangeQuery|Knn|DirectDistance|PointDistance|InterestingLevels|Optics|Hierarchy|Validate|NetclusApi|Integration' \
+    -R 'KMedoids|EpsLink|Dbscan|SingleLink|Dendrogram|Dijkstra|RangeQuery|Knn|DirectDistance|PointDistance|InterestingLevels|Optics|Hierarchy|Validate|NetclusApi|Integration|Index|DistanceCache|LandmarkOracle|Voronoi' \
     2>&1 | tee ubsan_output.txt
   exit 0
 fi
@@ -67,8 +72,16 @@ if [ "${1:-}" = "tsan" ]; then
   cmake -B build-tsan -G Ninja -DNETCLUS_SANITIZE=thread
   cmake --build build-tsan
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'ThreadPool|WorkspacePool|Parallel|Determin|Restart' \
+    -R 'ThreadPool|WorkspacePool|Parallel|Determin|Restart|DistanceCache' \
     2>&1 | tee tsan_output.txt
+  exit 0
+fi
+
+if [ "${1:-}" = "bench-smoke" ]; then
+  cmake -B build -G Ninja
+  cmake --build build
+  ./build/bench/bench_smoke 2>&1 | tee bench_smoke_output.txt
+  ls BENCH_*.json
   exit 0
 fi
 

@@ -1,5 +1,6 @@
 // Streaming summary statistics used by generators, benches, and the
-// interesting-level detector.
+// interesting-level detector, plus the process-wide named-counter
+// registry subsystem counters flow into.
 #ifndef NETCLUS_COMMON_STATS_H_
 #define NETCLUS_COMMON_STATS_H_
 
@@ -7,6 +8,11 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace netclus {
 
@@ -51,6 +57,36 @@ class SlidingWindowMean {
   size_t capacity_;
   std::deque<double> window_;
   double sum_ = 0.0;
+};
+
+/// \brief Thread-safe registry of named monotonic counters.
+///
+/// Subsystems publish operational counters here (the distance index's
+/// cache hits/misses/evictions above all) so tools and tests can read
+/// one aggregate view instead of threading per-component stats structs
+/// around. Counters are created on first Add and never removed (except
+/// by Reset). Publishing is coarse — components accumulate locally and
+/// flush once per run — so the mutex is never on a hot path.
+class StatsCollector {
+ public:
+  /// Adds `delta` to `counter`, creating it at zero first if needed.
+  void Add(const std::string& counter, uint64_t delta);
+
+  /// Current value of `counter`; 0 when it was never added to.
+  uint64_t value(const std::string& counter) const;
+
+  /// All counters as (name, value), sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+
+  /// Drops every counter (tests only).
+  void Reset();
+
+  /// The process-wide collector RunClustering publishes into.
+  static StatsCollector& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, uint64_t> counters_;
 };
 
 }  // namespace netclus

@@ -14,6 +14,12 @@ namespace netclus {
 
 Result<Clustering> DbscanCluster(const NetworkView& view,
                                  const DbscanOptions& options) {
+  return DbscanCluster(view, options, nullptr);
+}
+
+Result<Clustering> DbscanCluster(const NetworkView& view,
+                                 const DbscanOptions& options,
+                                 const DistanceAccelerator* accel) {
   if (!(options.eps > 0.0)) {
     return Status::InvalidArgument("eps must be positive");
   }
@@ -48,7 +54,7 @@ Result<Clustering> DbscanCluster(const NetworkView& view,
     }
     pool.ParallelFor(n, [&](size_t p, uint32_t worker) {
       RangeQuery(view, static_cast<PointId>(p), options.eps,
-                 leases[worker].get(), &cache[p]);
+                 leases[worker].get(), accel, &cache[p]);
     });
   }
 
@@ -57,7 +63,7 @@ Result<Clustering> DbscanCluster(const NetworkView& view,
   std::vector<RangeResult> buffer;
   auto neighborhood = [&](PointId p) -> const std::vector<RangeResult>& {
     if (precomputed) return cache[p];
-    RangeQuery(view, p, options.eps, &*serial_ws, &buffer);
+    RangeQuery(view, p, options.eps, &*serial_ws, accel, &buffer);
     return buffer;
   };
 

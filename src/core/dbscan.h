@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "core/clustering.h"
+#include "graph/accelerator.h"
 #include "graph/network_view.h"
 
 namespace netclus {
@@ -35,6 +36,14 @@ struct DbscanOptions {
 /// points are noise.
 Result<Clustering> DbscanCluster(const NetworkView& view,
                                  const DbscanOptions& options);
+
+/// As above with an optional distance accelerator (null = identical to
+/// the overload above) threaded into every eps-range query. The
+/// accelerated queries return the same neighborhoods, so the clustering
+/// is identical with the index on or off (audited under validate mode).
+Result<Clustering> DbscanCluster(const NetworkView& view,
+                                 const DbscanOptions& options,
+                                 const DistanceAccelerator* accel);
 
 }  // namespace netclus
 

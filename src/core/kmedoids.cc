@@ -121,6 +121,37 @@ class KMedoidsEngine {
     return cost;
   }
 
+  /// A sound lower bound on the evaluation function after replacing
+  /// medoid slot `med_idx` with `candidate`, from the accelerator's
+  /// per-pair bounds: a point provably reachable from some new medoid
+  /// (finite upper bound) contributes at least its smallest lower bound
+  /// over the new medoid set; a point with no finite upper bound may be
+  /// unreachable, in which case AssignPoints charges nothing for it, so
+  /// it must contribute 0 here. Returns early (with a value > `cut`)
+  /// once the accumulated bound proves the swap non-improving.
+  double SwapCostLowerBound(int med_idx, PointId candidate,
+                            const DistanceAccelerator& accel,
+                            double cut) const {
+    double lb_sum = 0.0;
+    const size_t k = medoids_.size();
+    const PointId n = view_.num_points();
+    for (PointId p = 0; p < n; ++p) {
+      double lb = kInfDist;
+      double ub = kInfDist;
+      for (size_t i = 0; i < k; ++i) {
+        PointId m =
+            i == static_cast<size_t>(med_idx) ? candidate : medoids_[i];
+        lb = std::min(lb, accel.LowerBound(p, m));
+        ub = std::min(ub, accel.UpperBound(p, m));
+        if (lb == 0.0 && ub < kInfDist) break;  // contribution bound is 0
+      }
+      if (ub == kInfDist) continue;  // possibly unreachable: contributes 0
+      lb_sum += lb;
+      if (lb_sum > cut) return lb_sum;
+    }
+    return lb_sum;
+  }
+
   // Swap bookkeeping: snapshot before a tentative swap, restore on reject.
   void Snapshot() {
     snap_med_ = node_med_;
@@ -167,18 +198,22 @@ class KMedoidsEngine {
   // Fig. 4's Concurrent_Expansion; with `allow_improve` it also accepts
   // strictly closer re-assignments (the Fig. 5 variant).
   void ConcurrentExpansion(MedHeap* q, bool allow_improve) {
+    TraversalCounters& tc = LocalTraversalCounters();
     while (!q->empty()) {
       QEntry b = q->top();
       q->pop();
+      ++tc.heap_pops;
       bool take = node_med_[b.node] < 0 ||
                   (allow_improve && b.dist < node_dist_[b.node]);
       if (!take) continue;
+      ++tc.settled_nodes;
       node_med_[b.node] = b.med;
       node_dist_[b.node] = b.dist;
       view_.ForEachNeighbor(b.node, [&](NodeId z, double w) {
         double nd = b.dist + w;
         if (node_med_[z] < 0 || (allow_improve && nd < node_dist_[z])) {
           q->push(QEntry{nd, z, b.med});
+          ++tc.heap_pushes;
         }
       });
     }
@@ -200,7 +235,8 @@ class KMedoidsEngine {
 
 Result<KMedoidsResult> RunOnce(const NetworkView& view,
                                const KMedoidsOptions& options,
-                               std::vector<PointId> initial, Rng* rng) {
+                               std::vector<PointId> initial, Rng* rng,
+                               const DistanceAccelerator* accel) {
   uint32_t k = static_cast<uint32_t>(initial.size());
   WallTimer total_timer;
   KMedoidsEngine engine(view);
@@ -228,6 +264,19 @@ Result<KMedoidsResult> RunOnce(const NetworkView& view,
     } while (engine.IsMedoid(candidate));
 
     timer.Restart();
+    if (accel != nullptr) {
+      // Prune decisions must match the evaluated decision bit-for-bit:
+      // the evaluation rejects when new_cost >= cost, so only prune when
+      // the lower bound clears `cost` by more than the fp slack its own
+      // summation could have introduced.
+      double cut = cost + 1e-9 * std::max(1.0, cost);
+      if (engine.SwapCostLowerBound(med_idx, candidate, *accel, cut) > cut) {
+        swap_seconds_sum += timer.ElapsedSeconds();
+        ++result.stats.pruned_swaps;
+        ++unsuccessful;
+        continue;
+      }
+    }
     engine.Snapshot();
     engine.ReplaceMedoid(med_idx, candidate);
     if (options.incremental_updates) {
@@ -264,6 +313,12 @@ Result<KMedoidsResult> RunOnce(const NetworkView& view,
 
 Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
                                        const KMedoidsOptions& options) {
+  return KMedoidsCluster(view, options, nullptr);
+}
+
+Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
+                                       const KMedoidsOptions& options,
+                                       const DistanceAccelerator* accel) {
   const bool fixed_initial = !options.initial_medoids.empty();
   if (fixed_initial) {
     if (options.initial_medoids.size() > view.num_points()) {
@@ -300,7 +355,7 @@ Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
           rng.SampleWithoutReplacement(view.num_points(), options.k);
       initial.assign(sample.begin(), sample.end());
     }
-    runs[r] = RunOnce(view, options, std::move(initial), &rng);
+    runs[r] = RunOnce(view, options, std::move(initial), &rng, accel);
   });
 
   // Deterministic reduction: lowest cost wins, ties broken by lowest
@@ -316,17 +371,6 @@ Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
   }
   best.value().stats.total_seconds = total_seconds;
   return best;
-}
-
-Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
-                                       const KMedoidsOptions& options,
-                                       const std::vector<PointId>& initial) {
-  if (initial.empty()) {
-    return Status::InvalidArgument("initial medoid set size must be in [1, N]");
-  }
-  KMedoidsOptions patched = options;
-  patched.initial_medoids = initial;
-  return KMedoidsCluster(view, patched);
 }
 
 Result<KMedoidsResult> AssignToMedoids(const NetworkView& view,

@@ -20,6 +20,7 @@
 
 #include "common/status.h"
 #include "core/clustering.h"
+#include "graph/accelerator.h"
 #include "graph/network_view.h"
 
 namespace netclus {
@@ -56,6 +57,11 @@ struct KMedoidsStats {
   /// Committed improving swaps (excluding the initial assignment).
   uint32_t committed_swaps = 0;
   uint32_t attempted_swaps = 0;
+  /// Attempted swaps rejected by the accelerator's cost lower bound
+  /// before any traversal ran (always 0 without an accelerator). A
+  /// pruned swap is provably non-improving, so the search trajectory is
+  /// identical to the unaccelerated run.
+  uint32_t pruned_swaps = 0;
   /// Wall time of the initial full assignment ("first iteration").
   double first_iteration_seconds = 0.0;
   /// Mean wall time of one subsequent swap evaluation ("next ones").
@@ -79,13 +85,16 @@ struct KMedoidsResult {
 Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
                                        const KMedoidsOptions& options);
 
-/// \deprecated Use `KMedoidsOptions::initial_medoids` instead; this
-/// overload is a thin wrapper that copies `initial` into the options and
-/// delegates to the two-argument form. It will be removed once in-tree
-/// callers have migrated.
+/// As above with an optional distance accelerator (null = identical to
+/// the overload above). Before a tentative swap is evaluated, a sound
+/// lower bound on the post-swap cost is assembled from the
+/// accelerator's per-pair bounds; swaps whose bound already exceeds the
+/// current cost are rejected without running Inc_Medoid_Update or the
+/// assignment scan. Pruning never changes the result: the rng draws and
+/// the accept/reject sequence are identical with the index on or off.
 Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
                                        const KMedoidsOptions& options,
-                                       const std::vector<PointId>& initial);
+                                       const DistanceAccelerator* accel);
 
 /// Evaluates R for an arbitrary medoid set (no search), assigning every
 /// point to its nearest medoid. Exposed for tests and for the evaluation

@@ -1,0 +1,74 @@
+// Read-side acceleration interface consumed by the graph-layer query
+// primitives and the core algorithms.
+//
+// The graph layer cannot depend on src/index (layering runs the other
+// way), so queries accept this abstract view of "whatever acceleration
+// structures exist". The default implementations are the vacuous bounds
+// — every query degrades gracefully to the exact unaccelerated path —
+// and src/index/distance_index.h provides the real implementation.
+//
+// Correctness contract (audited by core/validate.cc): for any points p,
+// q with exact network distance d(p, q),
+//   LowerBound(p, q)  <=  d(p, q)  <=  UpperBound(p, q)
+// and a LookupDistance hit returns exactly a value previously passed to
+// StoreDistance for that pair. NearestObjectFloor(n, exclude) must
+// never exceed the true distance from node n to the nearest point whose
+// id differs from `exclude`. RangeExpansionBound(center, eps) must be
+// >= the distance from `center` to the farthest point within eps of it
+// (it may be > eps-tight; eps itself is always a valid answer).
+#ifndef NETCLUS_GRAPH_ACCELERATOR_H_
+#define NETCLUS_GRAPH_ACCELERATOR_H_
+
+#include "graph/dijkstra.h"
+#include "graph/types.h"
+
+namespace netclus {
+
+/// \brief Abstract acceleration oracle for point-pair distance queries.
+///
+/// All methods must be safe to call concurrently from many threads.
+class DistanceAccelerator {
+ public:
+  virtual ~DistanceAccelerator() = default;
+
+  /// A value <= the exact network distance d(a, b). kInfDist is a valid
+  /// return and proves a and b are disconnected.
+  virtual double LowerBound(PointId /*a*/, PointId /*b*/) const {
+    return 0.0;
+  }
+
+  /// A value >= the exact network distance d(a, b).
+  virtual double UpperBound(PointId /*a*/, PointId /*b*/) const {
+    return kInfDist;
+  }
+
+  /// If the exact distance d(a, b) is cached, writes it to `*out` and
+  /// returns true.
+  virtual bool LookupDistance(PointId /*a*/, PointId /*b*/,
+                              double* /*out*/) const {
+    return false;
+  }
+
+  /// Offers the exact distance d(a, b) for caching.
+  virtual void StoreDistance(PointId /*a*/, PointId /*b*/,
+                             double /*dist*/) const {}
+
+  /// A value <= the distance from node n to the nearest point whose id
+  /// is not `exclude` (pass kInvalidPointId to exclude nothing). 0 when
+  /// no precompute is available.
+  virtual double NearestObjectFloor(NodeId /*n*/,
+                                    PointId /*exclude*/) const {
+    return 0.0;
+  }
+
+  /// An expansion radius sufficient for RangeQuery(center, eps) to
+  /// reach every point within eps of `center`. Must be in [0, eps];
+  /// returning eps means "no tightening".
+  virtual double RangeExpansionBound(PointId /*center*/, double eps) const {
+    return eps;
+  }
+};
+
+}  // namespace netclus
+
+#endif  // NETCLUS_GRAPH_ACCELERATOR_H_

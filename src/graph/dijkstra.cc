@@ -12,23 +12,26 @@ inline void HeapPush(std::vector<DijkstraHeapEntry>* heap, double dist,
                      NodeId node) {
   heap->push_back(DijkstraHeapEntry{dist, node});
   std::push_heap(heap->begin(), heap->end(), std::greater<>());
+  ++LocalTraversalCounters().heap_pushes;
 }
 
 inline DijkstraHeapEntry HeapPop(std::vector<DijkstraHeapEntry>* heap) {
   std::pop_heap(heap->begin(), heap->end(), std::greater<>());
   DijkstraHeapEntry top = heap->back();
   heap->pop_back();
+  ++LocalTraversalCounters().heap_pops;
   return top;
 }
 
-// Core bounded expansion over (scratch, heap); both public overloads
-// forward here. `heap` is cleared first but keeps its capacity.
+// Core bounded expansion over (scratch, heap); every public overload
+// forwards here. `heap` is cleared first but keeps its capacity.
 void ExpandBounded(const NetworkView& view,
                    const std::vector<DijkstraSource>& sources, double bound,
                    NodeScratch* scratch, std::vector<DijkstraHeapEntry>* heap,
-                   const std::function<bool(NodeId, double)>& on_settle) {
+                   const std::function<SettleAction(NodeId, double)>& on_settle) {
   scratch->NewEpoch();
   heap->clear();
+  TraversalCounters& tc = LocalTraversalCounters();
   // `scratch` holds tentative distances during the run; a separate settled
   // mark is unnecessary because a popped entry matching the scratch value
   // is settled (standard lazy-deletion Dijkstra).
@@ -41,7 +44,13 @@ void ExpandBounded(const NetworkView& view,
   while (!heap->empty()) {
     auto [d, n] = HeapPop(heap);
     if (d > scratch->Get(n)) continue;  // stale entry
-    if (!on_settle(n, d)) return;
+    ++tc.settled_nodes;
+    SettleAction action = on_settle(n, d);
+    if (action == SettleAction::kStop) return;
+    if (action == SettleAction::kSkipNeighbors) {
+      ++tc.pruned_nodes;
+      continue;
+    }
     view.ForEachNeighbor(n, [&](NodeId m, double w) {
       double nd = d + w;
       if (nd <= bound && nd < scratch->Get(m)) {
@@ -52,12 +61,26 @@ void ExpandBounded(const NetworkView& view,
   }
 }
 
+// Adapts the original bool protocol (false = stop) onto SettleAction.
+std::function<SettleAction(NodeId, double)> AdaptBool(
+    const std::function<bool(NodeId, double)>& on_settle) {
+  return [&on_settle](NodeId n, double d) {
+    return on_settle(n, d) ? SettleAction::kContinue : SettleAction::kStop;
+  };
+}
+
 }  // namespace
+
+TraversalCounters& LocalTraversalCounters() {
+  thread_local TraversalCounters counters;
+  return counters;
+}
 
 std::vector<double> DijkstraDistances(
     const NetworkView& view, const std::vector<DijkstraSource>& sources) {
   std::vector<double> dist(view.num_nodes(), kInfDist);
   std::vector<DijkstraHeapEntry> heap;
+  TraversalCounters& tc = LocalTraversalCounters();
   for (const DijkstraSource& s : sources) {
     if (s.dist < dist[s.node]) {
       dist[s.node] = s.dist;
@@ -67,6 +90,7 @@ std::vector<double> DijkstraDistances(
   while (!heap.empty()) {
     auto [d, n] = HeapPop(&heap);
     if (d > dist[n]) continue;  // stale entry
+    ++tc.settled_nodes;
     view.ForEachNeighbor(n, [&](NodeId m, double w) {
       double nd = d + w;
       if (nd < dist[m]) {
@@ -82,7 +106,7 @@ void DijkstraDistances(const NetworkView& view,
                        const std::vector<DijkstraSource>& sources,
                        TraversalWorkspace* ws) {
   ExpandBounded(view, sources, kInfDist, &ws->scratch, &ws->heap,
-                [](NodeId, double) { return true; });
+                [](NodeId, double) { return SettleAction::kContinue; });
 }
 
 void DijkstraExpandBounded(
@@ -90,13 +114,29 @@ void DijkstraExpandBounded(
     double bound, NodeScratch* scratch,
     const std::function<bool(NodeId, double)>& on_settle) {
   std::vector<DijkstraHeapEntry> heap;
-  ExpandBounded(view, sources, bound, scratch, &heap, on_settle);
+  ExpandBounded(view, sources, bound, scratch, &heap, AdaptBool(on_settle));
 }
 
 void DijkstraExpandBounded(
     const NetworkView& view, const std::vector<DijkstraSource>& sources,
     double bound, TraversalWorkspace* ws,
     const std::function<bool(NodeId, double)>& on_settle) {
+  ExpandBounded(view, sources, bound, &ws->scratch, &ws->heap,
+                AdaptBool(on_settle));
+}
+
+void DijkstraExpandBounded(
+    const NetworkView& view, const std::vector<DijkstraSource>& sources,
+    double bound, NodeScratch* scratch,
+    const std::function<SettleAction(NodeId, double)>& on_settle) {
+  std::vector<DijkstraHeapEntry> heap;
+  ExpandBounded(view, sources, bound, scratch, &heap, on_settle);
+}
+
+void DijkstraExpandBounded(
+    const NetworkView& view, const std::vector<DijkstraSource>& sources,
+    double bound, TraversalWorkspace* ws,
+    const std::function<SettleAction(NodeId, double)>& on_settle) {
   ExpandBounded(view, sources, bound, &ws->scratch, &ws->heap, on_settle);
 }
 

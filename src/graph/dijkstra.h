@@ -25,6 +25,47 @@ struct DijkstraSource {
   double dist = 0.0;
 };
 
+/// \brief Per-thread monotonic traversal counters.
+///
+/// Every expansion in the library (the primitives below, the range
+/// queries built on them, the k-medoids concurrent expansion, the index
+/// precomputes) bumps these, so benches can report settled-node and
+/// heap-op counts as first-class metrics next to wall time. Counters are
+/// thread-local: a caller snapshots LocalTraversalCounters() before and
+/// after a measured section and diffs; multi-threaded sections must sum
+/// per-worker snapshots themselves.
+struct TraversalCounters {
+  uint64_t heap_pushes = 0;
+  uint64_t heap_pops = 0;
+  uint64_t settled_nodes = 0;
+  /// Nodes whose outgoing relaxation was skipped by an accelerator
+  /// (nearest-object floor pruning in the indexed range query).
+  uint64_t pruned_nodes = 0;
+
+  TraversalCounters operator-(const TraversalCounters& other) const {
+    return TraversalCounters{heap_pushes - other.heap_pushes,
+                             heap_pops - other.heap_pops,
+                             settled_nodes - other.settled_nodes,
+                             pruned_nodes - other.pruned_nodes};
+  }
+  TraversalCounters operator+(const TraversalCounters& other) const {
+    return TraversalCounters{heap_pushes + other.heap_pushes,
+                             heap_pops + other.heap_pops,
+                             settled_nodes + other.settled_nodes,
+                             pruned_nodes + other.pruned_nodes};
+  }
+};
+
+/// The calling thread's counters (never reset; diff snapshots instead).
+TraversalCounters& LocalTraversalCounters();
+
+/// What an extended settle callback wants done after visiting a node.
+enum class SettleAction {
+  kContinue,       ///< relax neighbors and keep expanding
+  kSkipNeighbors,  ///< keep the node settled but do not relax through it
+  kStop,           ///< abandon the whole expansion
+};
+
 /// \brief Reusable per-node distance array with O(1) logical reset.
 ///
 /// Each NewEpoch() invalidates all stored distances without touching
@@ -106,6 +147,20 @@ void DijkstraExpandBounded(
     const NetworkView& view, const std::vector<DijkstraSource>& sources,
     double bound, TraversalWorkspace* ws,
     const std::function<bool(NodeId, double)>& on_settle);
+
+/// Extended protocol: the callback chooses per node between continuing,
+/// keeping the node settled without relaxing its neighbors (accelerator
+/// pruning — counted in TraversalCounters::pruned_nodes), or stopping.
+void DijkstraExpandBounded(
+    const NetworkView& view, const std::vector<DijkstraSource>& sources,
+    double bound, NodeScratch* scratch,
+    const std::function<SettleAction(NodeId, double)>& on_settle);
+
+/// As above with the workspace's scratch, reusing its heap storage.
+void DijkstraExpandBounded(
+    const NetworkView& view, const std::vector<DijkstraSource>& sources,
+    double bound, TraversalWorkspace* ws,
+    const std::function<SettleAction(NodeId, double)>& on_settle);
 
 }  // namespace netclus
 

@@ -120,6 +120,63 @@ void RangeQuery(const NetworkView& view, PointId center, double eps,
   CollectRangePoints(view, c, wc, eps, ws->scratch, ws->settled, out);
 }
 
+double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
+                            NodeScratch* scratch,
+                            const DistanceAccelerator* accel,
+                            double threshold) {
+  if (accel == nullptr) return PointNetworkDistance(view, p, q, scratch);
+  if (p == q) return 0.0;
+  double cached;
+  if (accel->LookupDistance(p, q, &cached)) return cached;
+  double lb = accel->LowerBound(p, q);
+  if (lb == kInfDist) return kInfDist;  // proven disconnected — exact
+  if (lb > threshold) return lb;        // caller only branches on the cut
+  double exact = PointNetworkDistance(view, p, q, scratch);
+  accel->StoreDistance(p, q, exact);
+  return exact;
+}
+
+void RangeQuery(const NetworkView& view, PointId center, double eps,
+                TraversalWorkspace* ws, const DistanceAccelerator* accel,
+                std::vector<RangeResult>* out) {
+  if (accel == nullptr) {
+    RangeQuery(view, center, eps, ws, out);
+    return;
+  }
+  out->clear();
+  PointPos c = view.PointPosition(center);
+  double wc = view.EdgeWeight(c.u, c.v);
+
+  // Landmark prefilter: an expansion radius covering the farthest
+  // in-range candidate is as good as eps (the proof needs every node on
+  // an in-range point's shortest path to stay under the bound, and
+  // those prefixes are <= the point's own distance).
+  double bound = accel->RangeExpansionBound(center, eps);
+  // Slack mirrors Tolerance(): a floor equal to the remaining budget up
+  // to fp rounding must not prune.
+  const double prune_cut = eps * (1.0 + 1e-9);
+  ws->settled.clear();
+  DijkstraExpandBounded(
+      view, {{c.u, c.offset}, {c.v, wc - c.offset}}, bound, ws,
+      [&](NodeId n, double d) {
+        ws->settled.emplace_back(n, d);
+        // Every point != center whose shortest path runs through n is at
+        // least d + floor away; past eps, n's edges still get inspected
+        // (it stays settled) but nothing needs to be reached through it.
+        if (d + accel->NearestObjectFloor(n, center) > prune_cut) {
+          return SettleAction::kSkipNeighbors;
+        }
+        return SettleAction::kContinue;
+      });
+  CollectRangePoints(view, c, wc, eps, ws->scratch, ws->settled, out);
+  // Pruning changes the settle order, so canonicalize: emitted sets are
+  // provably identical to the unaccelerated query, order is not.
+  std::sort(out->begin(), out->end(),
+            [](const RangeResult& a, const RangeResult& b) {
+              return a.id < b.id;
+            });
+}
+
 void KNearestNeighbors(const NetworkView& view, PointId center, uint32_t k,
                        NodeScratch* scratch, std::vector<RangeResult>* out) {
   out->clear();

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "graph/accelerator.h"
 #include "graph/dijkstra.h"
 #include "graph/network_view.h"
 #include "graph/types.h"
@@ -27,6 +28,18 @@ double DirectDistanceToNode(const PointPos& p, double edge_weight, NodeId n);
 double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
                             NodeScratch* scratch);
 
+/// Accelerated variant (`accel` may be null = exact path above). Early
+/// exits on a cache hit and on a kInfDist lower bound (proven
+/// disconnection); exact results are offered back to the cache.
+/// Callers that only branch on "d(p, q) <= threshold" may pass
+/// `threshold`: when the accelerator's lower bound already exceeds it,
+/// the expansion is skipped and that lower bound — some value >
+/// threshold, not the exact distance — is returned.
+double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
+                            NodeScratch* scratch,
+                            const DistanceAccelerator* accel,
+                            double threshold = kInfDist);
+
 /// A point found by RangeQuery, with its exact network distance from the
 /// query point.
 struct RangeResult {
@@ -48,6 +61,18 @@ void RangeQuery(const NetworkView& view, PointId center, double eps,
 /// caller; lease them from a WorkspacePool under parallelism.
 void RangeQuery(const NetworkView& view, PointId center, double eps,
                 TraversalWorkspace* ws, std::vector<RangeResult>* out);
+
+/// Accelerated variant (`accel` may be null = plain overload above).
+/// Two levers, both result-preserving: the expansion radius is tightened
+/// to accel->RangeExpansionBound(center, eps) (landmark prefilter), and
+/// a settled node n with d(n) + NearestObjectFloor(n, center) > eps has
+/// its relaxation skipped — no point other than `center` reachable
+/// through n can lie within eps. The emitted (id, dist) multiset is
+/// identical to the unaccelerated query; only the internal visit order
+/// differs, so results are sorted by id before returning.
+void RangeQuery(const NetworkView& view, PointId center, double eps,
+                TraversalWorkspace* ws, const DistanceAccelerator* accel,
+                std::vector<RangeResult>* out);
 
 /// Finds the `k` points nearest to `center` by network distance
 /// (excluding `center` itself), ordered by ascending distance. Fewer

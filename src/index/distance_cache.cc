@@ -1,0 +1,118 @@
+#include "index/distance_cache.h"
+
+#include <algorithm>
+
+namespace netclus {
+
+namespace {
+
+uint32_t RoundUpPow2(uint32_t x) {
+  if (x <= 1) return 1;
+  uint32_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+// Finalizer of splitmix64: full-avalanche mix so consecutive point ids
+// (the common access pattern) spread across shards.
+uint64_t MixKey(uint64_t key) {
+  key ^= key >> 30;
+  key *= 0xbf58476d1ce4e5b9ULL;
+  key ^= key >> 27;
+  key *= 0x94d049bb133111ebULL;
+  key ^= key >> 31;
+  return key;
+}
+
+}  // namespace
+
+DistanceCache::DistanceCache(size_t capacity, uint32_t num_shards)
+    : capacity_(capacity),
+      shard_mask_(RoundUpPow2(num_shards) - 1),
+      shards_(RoundUpPow2(num_shards)) {
+  per_shard_capacity_ = capacity_ / shards_.size();
+  if (capacity_ > 0 && per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+}
+
+DistanceCache::Shard& DistanceCache::ShardFor(uint64_t key) const {
+  return shards_[MixKey(key) & shard_mask_];
+}
+
+void DistanceCache::RefreshEpochLocked(Shard* shard) const {
+  uint64_t current = epoch_.load(std::memory_order_acquire);
+  if (shard->epoch != current) {
+    shard->lru.clear();
+    shard->map.clear();
+    shard->epoch = current;
+  }
+}
+
+bool DistanceCache::Lookup(PointId a, PointId b, double* out) const {
+  if (capacity_ == 0) return false;
+  uint64_t key = KeyOf(a, b);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  RefreshEpochLocked(&shard);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.counters.misses;
+    return false;
+  }
+  // Refresh recency: splice the entry to the front of the LRU list.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.counters.hits;
+  *out = it->second->dist;
+  return true;
+}
+
+void DistanceCache::Store(PointId a, PointId b, double dist) const {
+  if (capacity_ == 0) return;
+  uint64_t key = KeyOf(a, b);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  RefreshEpochLocked(&shard);
+  ++shard.counters.stores;
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->dist = dist;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, dist});
+  shard.map.emplace(key, shard.lru.begin());
+  if (shard.map.size() > per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.counters.evictions;
+  }
+}
+
+void DistanceCache::Invalidate() const {
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+DistanceCache::Counters DistanceCache::counters() const {
+  Counters total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.counters.hits;
+    total.misses += shard.counters.misses;
+    total.stores += shard.counters.stores;
+    total.evictions += shard.counters.evictions;
+  }
+  return total;
+}
+
+size_t DistanceCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Entries from a stale epoch are logically absent.
+    if (shard.epoch == epoch_.load(std::memory_order_acquire)) {
+      total += shard.map.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace netclus

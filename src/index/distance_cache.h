@@ -1,0 +1,108 @@
+// Sharded LRU cache of exact point-pair network distances.
+//
+// The key is the unordered pair {a, b} packed into 64 bits (distance is
+// symmetric). Entries are spread over a power-of-two number of shards by
+// a mixed hash of the key; each shard is an independent LRU list under
+// its own mutex, so concurrent readers on different shards never
+// contend (striped locking).
+//
+// Invalidation is epoch-based and lazy: mutating the network bumps a
+// global atomic epoch; a shard discovers the stale epoch on its next
+// access under its own lock and drops its entries then. No mutation
+// ever has to visit all shards synchronously.
+//
+// Hit / miss / store / eviction counters are kept per shard (under the
+// shard mutex, so they cost nothing extra) and aggregated on demand;
+// DistanceIndex flushes them into the global StatsCollector once per
+// clustering run.
+#ifndef NETCLUS_INDEX_DISTANCE_CACHE_H_
+#define NETCLUS_INDEX_DISTANCE_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace netclus {
+
+/// \brief Thread-safe sharded LRU map from point pairs to exact distances.
+class DistanceCache {
+ public:
+  /// Aggregated operation counters (monotonic until the cache dies).
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t stores = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// `capacity` is the total entry budget across all shards (0 disables
+  /// the cache: every Lookup misses, every Store is dropped).
+  /// `num_shards` is rounded up to a power of two.
+  explicit DistanceCache(size_t capacity, uint32_t num_shards = 16);
+
+  DistanceCache(const DistanceCache&) = delete;
+  DistanceCache& operator=(const DistanceCache&) = delete;
+
+  /// If d(a, b) is cached, writes it to `*out`, refreshes the entry's
+  /// LRU position, and returns true.
+  bool Lookup(PointId a, PointId b, double* out) const;
+
+  /// Inserts (or refreshes) the exact distance d(a, b), evicting the
+  /// shard's least-recently-used entry when over budget.
+  void Store(PointId a, PointId b, double dist) const;
+
+  /// Invalidates every entry (network mutation). O(1): bumps the global
+  /// epoch; shards drop their entries lazily on next access.
+  void Invalidate() const;
+
+  /// Sum of all shard counters.
+  Counters counters() const;
+
+  /// Entries currently resident across all shards (test visibility).
+  size_t size() const;
+
+  size_t capacity() const { return capacity_; }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    double dist = 0.0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    /// Epoch the resident entries belong to; on mismatch with the
+    /// cache-wide epoch the shard clears itself before serving.
+    uint64_t epoch = 0;
+    std::list<Entry> lru;  ///< front = most recent
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
+    Counters counters;
+  };
+
+  static uint64_t KeyOf(PointId a, PointId b) {
+    PointId lo = a < b ? a : b;
+    PointId hi = a < b ? b : a;
+    return (static_cast<uint64_t>(lo) << 32) | hi;
+  }
+
+  Shard& ShardFor(uint64_t key) const;
+  /// Clears the shard if its resident epoch is stale. Caller holds mu.
+  void RefreshEpochLocked(Shard* shard) const;
+
+  size_t capacity_;
+  size_t per_shard_capacity_ = 0;
+  uint32_t shard_mask_;
+  mutable std::atomic<uint64_t> epoch_{0};
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace netclus
+
+#endif  // NETCLUS_INDEX_DISTANCE_CACHE_H_

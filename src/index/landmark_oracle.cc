@@ -1,0 +1,114 @@
+#include "index/landmark_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "graph/dijkstra.h"
+
+namespace netclus {
+
+namespace {
+
+// Farthest-point sampling pick: the node with the largest distance to
+// the already-chosen landmark set (unreached nodes compare as kInfDist,
+// so every component receives a landmark before any component gets a
+// second one). Ties break toward the smallest node id for determinism.
+NodeId FarthestNode(const std::vector<double>& min_dist) {
+  NodeId best = 0;
+  for (NodeId n = 1; n < static_cast<NodeId>(min_dist.size()); ++n) {
+    if (min_dist[n] > min_dist[best]) best = n;
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<LandmarkOracle> LandmarkOracle::Build(const NetworkView& view,
+                                             uint32_t num_landmarks,
+                                             ThreadPool* pool) {
+  LandmarkOracle oracle;
+  oracle.num_points_ = view.num_points();
+  const NodeId num_nodes = view.num_nodes();
+  const uint32_t k = std::min<uint32_t>(num_landmarks, num_nodes);
+  if (k == 0) return oracle;  // vacuous bounds
+
+  // Phase 1 (sequential): farthest-point sampling. Each landmark's full
+  // SSSP is both the FPS distance update and the raw material for its
+  // point table, so the node-distance rows are kept for phase 2.
+  std::vector<std::vector<double>> node_dist(k);
+  std::vector<double> min_dist(num_nodes, kInfDist);
+  for (uint32_t l = 0; l < k; ++l) {
+    NodeId pick = l == 0 ? NodeId{0} : FarthestNode(min_dist);
+    oracle.landmarks_.push_back(pick);
+    node_dist[l] =
+        DijkstraDistances(view, {DijkstraSource{pick, 0.0}});
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      min_dist[n] = std::min(min_dist[n], node_dist[l][n]);
+    }
+  }
+
+  // Phase 2 (parallel over landmarks): convert node distances into exact
+  // point distances. Each row is an independent per-index output slot,
+  // so the result is bit-identical to a serial fill.
+  oracle.point_dist_.assign(static_cast<size_t>(k) * oracle.num_points_,
+                            kInfDist);
+  const PointId num_points = oracle.num_points_;
+  double* base = oracle.point_dist_.data();
+  ParallelFor(pool, k, [&](size_t l, uint32_t /*worker*/) {
+    const std::vector<double>& nd = node_dist[l];
+    double* out = base + l * num_points;
+    for (PointId p = 0; p < num_points; ++p) {
+      PointPos pos = view.PointPosition(p);
+      double w = view.EdgeWeight(pos.u, pos.v);
+      NETCLUS_CHECK_GE(w, 0.0) << "point " << p << " on missing edge";
+      out[p] = std::min(nd[pos.u] + pos.offset,
+                        nd[pos.v] + (w - pos.offset));
+    }
+  });
+
+  NETCLUS_RETURN_IF_ERROR(view.status());
+  return oracle;
+}
+
+double LandmarkOracle::LowerBound(PointId a, PointId b) const {
+  double lb = 0.0;
+  for (uint32_t l = 0; l < num_landmarks(); ++l) {
+    double da = point_dist_[static_cast<size_t>(l) * num_points_ + a];
+    double db = point_dist_[static_cast<size_t>(l) * num_points_ + b];
+    // Both infinite: the landmark sees neither side; |da - db| would be
+    // NaN and the landmark proves nothing — skip it.
+    if (da == kInfDist && db == kInfDist) continue;
+    double diff = std::fabs(da - db);  // kInfDist when exactly one is inf
+    if (diff > lb) lb = diff;
+    if (lb == kInfDist) break;  // disconnection proven
+  }
+  return lb;
+}
+
+double LandmarkOracle::UpperBound(PointId a, PointId b) const {
+  double ub = kInfDist;
+  for (uint32_t l = 0; l < num_landmarks(); ++l) {
+    double da = point_dist_[static_cast<size_t>(l) * num_points_ + a];
+    double db = point_dist_[static_cast<size_t>(l) * num_points_ + b];
+    double sum = da + db;  // inf-safe: inf + x = inf
+    if (sum < ub) ub = sum;
+  }
+  return ub;
+}
+
+double LandmarkOracle::LandmarkPointDistance(uint32_t l, PointId p) const {
+  NETCLUS_CHECK_LT(l, num_landmarks());
+  NETCLUS_CHECK_LT(p, num_points_);
+  return point_dist_[static_cast<size_t>(l) * num_points_ + p];
+}
+
+void LandmarkOracle::CorruptEntryForTesting(uint32_t l, PointId p,
+                                            double value) {
+  NETCLUS_CHECK_LT(l, num_landmarks());
+  NETCLUS_CHECK_LT(p, num_points_);
+  point_dist_[static_cast<size_t>(l) * num_points_ + p] = value;
+}
+
+}  // namespace netclus

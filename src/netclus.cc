@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <optional>
 
+#include "common/stats.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/validate.h"
 
@@ -74,11 +78,25 @@ Result<ClusterOutput> RunClustering(const NetworkView& view,
   // partial data; refuse up front.
   NETCLUS_RETURN_IF_ERROR(view.status());
   WallTimer timer;
+  // The optional distance index (landmarks + cache + Voronoi floors) is
+  // built up front and handed to the algorithms that accept an
+  // accelerator; the others simply ignore it. With `index.enable` unset
+  // `index` stays null and every call below takes the unindexed path.
+  std::unique_ptr<DistanceIndex> index;
+  if (spec.index.enable) {
+    uint32_t workers = ResolveNumThreads(spec.index.num_threads);
+    std::optional<ThreadPool> pool;
+    if (workers > 1 && spec.index.num_landmarks > 1) pool.emplace(workers);
+    NETCLUS_ASSIGN_OR_RETURN(
+        index,
+        DistanceIndex::Build(view, spec.index, pool ? &*pool : nullptr));
+  }
+  const DistanceAccelerator* accel = index.get();
   ClusterOutput out;
   out.algorithm = spec.algorithm;
   switch (spec.algorithm) {
     case Algorithm::kKMedoids: {
-      Result<KMedoidsResult> r = KMedoidsCluster(view, spec.kmedoids);
+      Result<KMedoidsResult> r = KMedoidsCluster(view, spec.kmedoids, accel);
       if (!r.ok()) return r.status();
       out.clustering = std::move(r.value().clustering);
       out.medoids = std::move(r.value().medoids);
@@ -101,7 +119,7 @@ Result<ClusterOutput> RunClustering(const NetworkView& view,
       break;
     }
     case Algorithm::kDbscan: {
-      Result<Clustering> r = DbscanCluster(view, spec.dbscan);
+      Result<Clustering> r = DbscanCluster(view, spec.dbscan, accel);
       if (!r.ok()) return r.status();
       out.clustering = std::move(r.value());
       break;
@@ -118,9 +136,18 @@ Result<ClusterOutput> RunClustering(const NetworkView& view,
 #endif
   if (spec.validate || kAlwaysValidate) {
     NETCLUS_RETURN_IF_ERROR(ValidateOutput(view, spec, out));
+    // Re-prove every class of bound the index served during the run
+    // against independent exact traversals.
+    if (index != nullptr) {
+      NETCLUS_RETURN_IF_ERROR(ValidateDistanceAccelerator(view, *index));
+    }
     // The validators' own traversals may also have tripped a storage
     // error the algorithm's region never touched.
     NETCLUS_RETURN_IF_ERROR(view.status());
+  }
+  if (index != nullptr) {
+    out.index_stats = index->Stats();
+    index->PublishStats(&StatsCollector::Global());
   }
   out.wall_seconds = timer.ElapsedSeconds();
   return out;

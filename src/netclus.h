@@ -26,6 +26,7 @@
 #include "core/kmedoids.h"
 #include "core/single_link.h"
 #include "graph/network_view.h"
+#include "index/distance_index.h"
 
 namespace netclus {
 
@@ -71,6 +72,16 @@ struct ClusterSpec {
   /// with -DNETCLUS_VALIDATE=ON validate every run regardless of this
   /// flag.
   bool validate = false;
+
+  /// Network distance index (src/index/): landmark bounds, sharded
+  /// distance cache and nearest-object Voronoi tags. Off by default;
+  /// when `index.enable` is set the index is built before the run and
+  /// passed to the algorithms that accept an accelerator (k-medoids
+  /// swap pruning, DBSCAN range-query pruning). Clustering results are
+  /// identical with the index on or off — it only skips provably
+  /// irrelevant work — and validate mode re-proves the served bounds
+  /// against exact traversals.
+  IndexOptions index;
 };
 
 /// \brief The unified result of RunClustering.
@@ -87,6 +98,7 @@ struct ClusterOutput {
   double cost = 0.0;              ///< k-medoids: evaluation function R
   KMedoidsStats kmedoids_stats;   ///< k-medoids only
   SingleLinkStats single_link_stats;  ///< Single-Link only
+  IndexStats index_stats;         ///< distance index, when spec.index.enable
 
   /// Wall time of the whole run (including the flat cut).
   double wall_seconds = 0.0;

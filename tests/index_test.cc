@@ -1,0 +1,436 @@
+// Tests for the distance index subsystem (src/index/): ALT landmark
+// bound sandwiching on randomized and adversarial networks, the sharded
+// LRU cache (semantics + concurrent hammer), Voronoi nearest-object
+// floors against brute force, result-equivalence of the indexed query
+// and clustering paths, and the validator's rejection of seeded bad
+// bounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/validate.h"
+#include "gen/network_gen.h"
+#include "gen/workload_gen.h"
+#include "graph/network_distance.h"
+#include "index/distance_cache.h"
+#include "index/distance_index.h"
+#include "index/landmark_oracle.h"
+#include "index/voronoi.h"
+#include "netclus.h"
+
+namespace netclus {
+namespace {
+
+double Tol(double scale) { return 1e-9 * std::max(1.0, std::abs(scale)); }
+
+// A generated network + uniform points + index, the common setup.
+struct Scenario {
+  GeneratedNetwork gen;
+  PointSet points;
+  std::optional<InMemoryNetworkView> view;
+  std::unique_ptr<DistanceIndex> index;
+
+  Scenario(NodeId nodes, PointId n_points, uint64_t seed,
+           const IndexOptions& io = DefaultOptions()) {
+    gen = GenerateRoadNetwork({nodes, 1.3, 0.3, seed});
+    points =
+        std::move(GenerateUniformPoints(gen.net, n_points, seed + 1)).value();
+    view.emplace(gen.net, points);
+    index = std::move(DistanceIndex::Build(*view, io, nullptr).value());
+  }
+
+  static IndexOptions DefaultOptions() {
+    IndexOptions io;
+    io.enable = true;
+    io.num_landmarks = 4;
+    return io;
+  }
+};
+
+// Exhaustive (or strided) sandwich check of the ALT bounds against the
+// exact point-to-point Dijkstra.
+void CheckSandwich(const NetworkView& view, const DistanceIndex& index) {
+  NodeScratch scratch(view.num_nodes());
+  PointId n = view.num_points();
+  PointId stride = n > 64 ? n / 64 : 1;
+  for (PointId p = 0; p < n; p += stride) {
+    for (PointId q = 0; q < n; q += stride) {
+      double exact = PointNetworkDistance(view, p, q, &scratch);
+      double lb = index.LowerBound(p, q);
+      double ub = index.UpperBound(p, q);
+      if (exact == kInfDist) {
+        EXPECT_EQ(ub, kInfDist) << "pair (" << p << ", " << q << ")";
+      } else {
+        EXPECT_LE(lb, exact + Tol(exact)) << "pair (" << p << ", " << q << ")";
+        EXPECT_GE(ub, exact - Tol(exact)) << "pair (" << p << ", " << q << ")";
+      }
+    }
+  }
+}
+
+TEST(LandmarkOracleTest, BoundsSandwichExactDistancesOnRandomGraphs) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    Scenario s(120, 150, seed);
+    ASSERT_GT(s.index->landmarks().num_landmarks(), 0u);
+    CheckSandwich(*s.view, *s.index);
+  }
+}
+
+TEST(LandmarkOracleTest, BoundsSandwichOnDisconnectedNetworkWithZeroOffsets) {
+  // Two generated components glued into one node space, with handcrafted
+  // points including zero-offset placements (points sitting exactly on a
+  // node). Cross-component pairs must come back as proven-disconnected.
+  GeneratedNetwork a = GenerateRoadNetwork({40, 1.3, 0.3, 21});
+  GeneratedNetwork b = GenerateRoadNetwork({40, 1.3, 0.3, 22});
+  NodeId na = a.net.num_nodes();
+  Network net(na + b.net.num_nodes());
+  for (const Edge& e : a.net.Edges()) {
+    ASSERT_TRUE(net.AddEdge(e.u, e.v, e.weight).ok());
+  }
+  for (const Edge& e : b.net.Edges()) {
+    ASSERT_TRUE(net.AddEdge(na + e.u, na + e.v, e.weight).ok());
+  }
+  ASSERT_FALSE(net.IsConnected());
+
+  PointSetBuilder builder;
+  uint32_t added = 0;
+  for (const Edge& e : net.Edges()) {
+    // Zero-offset point on every 3rd edge, interior point on the rest.
+    if (added % 3 == 0) {
+      builder.Add(e.u, e.v, 0.0, -1);
+    } else {
+      builder.Add(e.u, e.v, 0.5 * e.weight, -1);
+    }
+    if (++added == 60) break;
+  }
+  PointSet points = std::move(std::move(builder).Build(net).value());
+  InMemoryNetworkView view(net, points);
+
+  IndexOptions io = Scenario::DefaultOptions();
+  std::unique_ptr<DistanceIndex> index =
+      std::move(DistanceIndex::Build(view, io, nullptr).value());
+  CheckSandwich(view, *index);
+
+  // FPS places landmarks in both components, so every cross-component
+  // pair gets an infinite lower bound (a disconnection proof).
+  NodeScratch scratch(view.num_nodes());
+  bool saw_disconnected = false;
+  for (PointId p = 0; p < points.size() && !saw_disconnected; ++p) {
+    for (PointId q = p + 1; q < points.size(); ++q) {
+      if (PointNetworkDistance(view, p, q, &scratch) == kInfDist) {
+        EXPECT_EQ(index->LowerBound(p, q), kInfDist);
+        saw_disconnected = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_disconnected);
+}
+
+TEST(VoronoiTest, FloorsMatchBruteForceWithAndWithoutExclusion) {
+  Scenario s(60, 25, 31);
+  const VoronoiPrecompute* voronoi = s.index->voronoi();
+  ASSERT_NE(voronoi, nullptr);
+
+  // Brute force: per point, one SSSP from its edge endpoints gives the
+  // exact distance from every node to that point.
+  PointId n = s.points.size();
+  std::vector<std::vector<double>> to_point(n);
+  for (PointId p = 0; p < n; ++p) {
+    PointPos pos = s.view->PointPosition(p);
+    double w = s.view->EdgeWeight(pos.u, pos.v);
+    to_point[p] = DijkstraDistances(
+        *s.view, {{pos.u, pos.offset}, {pos.v, w - pos.offset}});
+  }
+  for (NodeId node = 0; node < s.view->num_nodes(); ++node) {
+    double best_all = kInfDist;
+    for (PointId p = 0; p < n; ++p) {
+      best_all = std::min(best_all, to_point[p][node]);
+    }
+    EXPECT_NEAR(voronoi->FloorExcluding(node, kInvalidPointId), best_all,
+                Tol(best_all))
+        << "node " << node;
+    for (PointId exclude : {PointId{0}, PointId{7}, PointId{n - 1}}) {
+      double best = kInfDist;
+      for (PointId p = 0; p < n; ++p) {
+        if (p != exclude) best = std::min(best, to_point[p][node]);
+      }
+      double floor = voronoi->FloorExcluding(node, exclude);
+      EXPECT_NEAR(floor, best, Tol(best))
+          << "node " << node << " excluding " << exclude;
+    }
+  }
+}
+
+TEST(DistanceCacheTest, LruSemanticsAndEviction) {
+  DistanceCache cache(4, 1);  // one shard: deterministic LRU order
+  double d = 0.0;
+  EXPECT_FALSE(cache.Lookup(1, 2, &d));
+  cache.Store(1, 2, 1.5);
+  cache.Store(2, 1, 2.5);  // same unordered pair: refresh, not insert
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.Lookup(2, 1, &d));
+  EXPECT_EQ(d, 2.5);
+
+  cache.Store(3, 4, 3.0);
+  cache.Store(5, 6, 4.0);
+  cache.Store(7, 8, 5.0);
+  EXPECT_EQ(cache.size(), 4u);
+  ASSERT_TRUE(cache.Lookup(1, 2, &d));  // refresh {1,2}: now {3,4} is LRU
+  cache.Store(9, 10, 6.0);              // evicts {3,4}
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_FALSE(cache.Lookup(3, 4, &d));
+  EXPECT_TRUE(cache.Lookup(1, 2, &d));
+
+  DistanceCache::Counters c = cache.counters();
+  EXPECT_EQ(c.stores, 6u);
+  EXPECT_EQ(c.evictions, 1u);
+  EXPECT_GE(c.hits, 3u);
+  EXPECT_GE(c.misses, 2u);
+}
+
+TEST(DistanceCacheTest, ZeroCapacityDropsEverything) {
+  DistanceCache cache(0);
+  cache.Store(1, 2, 1.0);
+  double d = 0.0;
+  EXPECT_FALSE(cache.Lookup(1, 2, &d));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DistanceCacheTest, EpochInvalidationDropsEntriesLazily) {
+  DistanceCache cache(64, 4);
+  for (PointId p = 0; p < 10; ++p) cache.Store(p, p + 100, 1.0 * p);
+  EXPECT_EQ(cache.size(), 10u);
+  uint64_t epoch_before = cache.epoch();
+  cache.Invalidate();
+  EXPECT_EQ(cache.epoch(), epoch_before + 1);
+  EXPECT_EQ(cache.size(), 0u);
+  double d = 0.0;
+  EXPECT_FALSE(cache.Lookup(3, 103, &d));
+  cache.Store(3, 103, 9.0);
+  ASSERT_TRUE(cache.Lookup(3, 103, &d));
+  EXPECT_EQ(d, 9.0);
+}
+
+// Matched by the tsan suite filter (run_all.sh tsan): concurrent writers,
+// readers, and invalidators on a small cache force constant shard
+// contention, eviction, and epoch-refresh races.
+TEST(DistanceCacheTest, ConcurrentHammerKeepsValuesConsistent) {
+  DistanceCache cache(128, 4);
+  std::atomic<bool> bad_value{false};
+  auto value_for = [](PointId a, PointId b) {
+    return static_cast<double>(a < b ? a : b) * 1000.0 +
+           static_cast<double>(a < b ? b : a);
+  };
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t + 1);
+      for (int i = 0; i < 20000; ++i) {
+        PointId a = static_cast<PointId>(rng.NextBounded(300));
+        PointId b = static_cast<PointId>(rng.NextBounded(300));
+        switch (i % 4) {
+          case 0:
+          case 1:
+            cache.Store(a, b, value_for(a, b));
+            break;
+          case 2: {
+            double d = 0.0;
+            if (cache.Lookup(a, b, &d) && d != value_for(a, b)) {
+              bad_value.store(true);
+            }
+            break;
+          }
+          default:
+            if (i % 4096 == 3) cache.Invalidate();
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_FALSE(bad_value.load());
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+TEST(DistanceIndexTest, IndexedPointDistanceMatchesExact) {
+  Scenario s(100, 120, 41);
+  NodeScratch scratch(s.view->num_nodes());
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    PointId p = static_cast<PointId>(rng.NextBounded(s.points.size()));
+    PointId q = static_cast<PointId>(rng.NextBounded(s.points.size()));
+    double exact = PointNetworkDistance(*s.view, p, q, &scratch);
+    double indexed =
+        PointNetworkDistance(*s.view, p, q, &scratch, s.index.get());
+    EXPECT_NEAR(indexed, exact, Tol(exact)) << "pair (" << p << ", " << q
+                                            << ")";
+  }
+  IndexStats stats = s.index->Stats();
+  EXPECT_GT(stats.cache_hits + stats.cache_stores, 0u);
+}
+
+TEST(DistanceIndexTest, ThresholdedDistanceOnlyDivergesAboveTheCut) {
+  Scenario s(100, 120, 51);
+  NodeScratch scratch(s.view->num_nodes());
+  Rng rng(52);
+  const double threshold = 4.0;
+  for (int i = 0; i < 500; ++i) {
+    PointId p = static_cast<PointId>(rng.NextBounded(s.points.size()));
+    PointId q = static_cast<PointId>(rng.NextBounded(s.points.size()));
+    double exact = PointNetworkDistance(*s.view, p, q, &scratch);
+    double cut = PointNetworkDistance(*s.view, p, q, &scratch, s.index.get(),
+                                      threshold);
+    // Below the cut the value is exact; above it any returned value must
+    // still be on the same side of the cut as the exact distance.
+    if (exact <= threshold) {
+      EXPECT_NEAR(cut, exact, Tol(exact));
+    } else {
+      EXPECT_GT(cut, threshold);
+    }
+  }
+}
+
+TEST(DistanceIndexTest, IndexedRangeQueryMatchesPlain) {
+  Scenario s(100, 120, 61);
+  TraversalWorkspace ws(s.view->num_nodes());
+  std::vector<RangeResult> plain, indexed;
+  Rng rng(62);
+  for (double eps : {0.5, 2.0, 8.0}) {
+    for (int i = 0; i < 40; ++i) {
+      PointId p = static_cast<PointId>(rng.NextBounded(s.points.size()));
+      RangeQuery(*s.view, p, eps, &ws, &plain);
+      RangeQuery(*s.view, p, eps, &ws, s.index.get(), &indexed);
+      std::sort(plain.begin(), plain.end(),
+                [](const RangeResult& a, const RangeResult& b) {
+                  return a.id < b.id;
+                });
+      ASSERT_EQ(indexed.size(), plain.size())
+          << "center " << p << " eps " << eps;
+      for (size_t j = 0; j < plain.size(); ++j) {
+        EXPECT_EQ(indexed[j].id, plain[j].id);
+        EXPECT_NEAR(indexed[j].dist, plain[j].dist, Tol(plain[j].dist));
+      }
+    }
+  }
+}
+
+TEST(DistanceIndexTest, ValidatorAcceptsHealthyIndex) {
+  Scenario s(80, 90, 71);
+  // Warm the cache so the cache-hit audit has entries to check.
+  NodeScratch scratch(s.view->num_nodes());
+  for (PointId p = 0; p + 1 < s.points.size(); p += 7) {
+    (void)PointNetworkDistance(*s.view, p, p + 1, &scratch, s.index.get());
+  }
+  EXPECT_TRUE(ValidateDistanceAccelerator(*s.view, *s.index).ok());
+}
+
+TEST(DistanceIndexTest, ValidatorRejectsSeededBadBound) {
+  Scenario s(80, 90, 81);
+  ASSERT_TRUE(ValidateDistanceAccelerator(*s.view, *s.index).ok());
+  // Corrupt landmark 0's distance to every point: all lower bounds
+  // involving a sampled pair explode past the exact distance.
+  LandmarkOracle* oracle = s.index->mutable_landmarks_for_testing();
+  ASSERT_GT(oracle->num_landmarks(), 0u);
+  for (PointId p = 0; p < s.points.size(); ++p) {
+    oracle->CorruptEntryForTesting(0, p, p % 2 == 0 ? 1e9 : 0.0);
+  }
+  Status st = ValidateDistanceAccelerator(*s.view, *s.index);
+  EXPECT_TRUE(st.IsInternal()) << st.ToString();
+}
+
+TEST(DistanceIndexTest, StatsPublishDeltasIntoCollector) {
+  Scenario s(60, 60, 91);
+  NodeScratch scratch(s.view->num_nodes());
+  for (int rep = 0; rep < 2; ++rep) {
+    (void)PointNetworkDistance(*s.view, 1, 2, &scratch, s.index.get());
+  }
+  IndexStats stats = s.index->Stats();
+  EXPECT_GE(stats.cache_stores, 1u);
+  EXPECT_GE(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.num_landmarks, s.index->landmarks().num_landmarks());
+  EXPECT_TRUE(stats.voronoi_built);
+
+  StatsCollector collector;
+  s.index->PublishStats(&collector);
+  EXPECT_EQ(collector.value("index.cache.hits"), stats.cache_hits);
+  EXPECT_EQ(collector.value("index.cache.stores"), stats.cache_stores);
+  // A second publish with no traffic in between adds nothing (deltas).
+  s.index->PublishStats(&collector);
+  EXPECT_EQ(collector.value("index.cache.hits"), stats.cache_hits);
+}
+
+// The headline equivalence: with validation on, every algorithm produces
+// the identical clustering with the index enabled and disabled.
+class IndexedRunFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gen_ = GenerateRoadNetwork({90, 1.3, 0.3, 101});
+    points_ = std::move(GenerateUniformPoints(gen_.net, 140, 102)).value();
+    view_.emplace(gen_.net, points_);
+  }
+
+  void ExpectIndexedMatchesUnindexed(ClusterSpec spec) {
+    spec.validate = true;
+    spec.index.enable = false;
+    Result<ClusterOutput> off = RunClustering(*view_, spec);
+    ASSERT_TRUE(off.ok()) << off.status().ToString();
+    spec.index.enable = true;
+    spec.index.num_landmarks = 4;
+    Result<ClusterOutput> on = RunClustering(*view_, spec);
+    ASSERT_TRUE(on.ok()) << on.status().ToString();
+    EXPECT_EQ(on.value().clustering.assignment,
+              off.value().clustering.assignment);
+    EXPECT_EQ(on.value().clustering.num_clusters,
+              off.value().clustering.num_clusters);
+    EXPECT_EQ(on.value().medoids, off.value().medoids);
+    EXPECT_EQ(on.value().cost, off.value().cost);
+    EXPECT_EQ(on.value().index_stats.num_landmarks, 4u);
+    EXPECT_EQ(off.value().index_stats.num_landmarks, 0u);
+  }
+
+  GeneratedNetwork gen_;
+  PointSet points_;
+  std::optional<InMemoryNetworkView> view_;
+};
+
+TEST_F(IndexedRunFixture, KMedoidsIdenticalWithIndexOnAndOff) {
+  ClusterSpec spec;
+  spec.algorithm = Algorithm::kKMedoids;
+  spec.kmedoids.k = 5;
+  spec.kmedoids.seed = 103;
+  ExpectIndexedMatchesUnindexed(spec);
+}
+
+TEST_F(IndexedRunFixture, DbscanIdenticalWithIndexOnAndOff) {
+  ClusterSpec spec;
+  spec.algorithm = Algorithm::kDbscan;
+  spec.dbscan.eps = 3.0;
+  spec.dbscan.min_pts = 3;
+  ExpectIndexedMatchesUnindexed(spec);
+}
+
+TEST_F(IndexedRunFixture, EpsLinkIdenticalWithIndexOnAndOff) {
+  ClusterSpec spec;
+  spec.algorithm = Algorithm::kEpsLink;
+  spec.eps_link.eps = 3.0;
+  spec.eps_link.min_sup = 3;
+  ExpectIndexedMatchesUnindexed(spec);
+}
+
+TEST_F(IndexedRunFixture, SingleLinkIdenticalWithIndexOnAndOff) {
+  ClusterSpec spec;
+  spec.algorithm = Algorithm::kSingleLink;
+  spec.single_link.delta = 1.0;
+  spec.cut_distance = 3.0;
+  ExpectIndexedMatchesUnindexed(spec);
+}
+
+}  // namespace
+}  // namespace netclus

@@ -119,7 +119,8 @@ TEST(KMedoidsTest, SwapsNeverIncreaseCost) {
   Result<KMedoidsResult> start = AssignToMedoids(view, initial);
   KMedoidsOptions opts;
   opts.seed = 33;
-  Result<KMedoidsResult> done = KMedoidsCluster(view, opts, initial);
+  opts.initial_medoids = initial;
+  Result<KMedoidsResult> done = KMedoidsCluster(view, opts);
   ASSERT_TRUE(start.ok());
   ASSERT_TRUE(done.ok());
   EXPECT_LE(done.value().cost, start.value().cost + 1e-9);
@@ -152,7 +153,8 @@ TEST(KMedoidsTest, IdealSeedingRecoversPlantedClustersBetterThanRandom) {
   KMedoidsOptions opts;
   opts.seed = 53;
   opts.max_unsuccessful_swaps = 5;
-  Result<KMedoidsResult> ideal = KMedoidsCluster(view, opts, w.cluster_seeds);
+  opts.initial_medoids = w.cluster_seeds;
+  Result<KMedoidsResult> ideal = KMedoidsCluster(view, opts);
   ASSERT_TRUE(ideal.ok());
   double ari =
       AdjustedRandIndex(w.points.labels(), ideal.value().clustering.assignment);
@@ -215,23 +217,22 @@ TEST_P(KMedoidsParallelRestartTest, ParallelRestartsMatchSerialBitExactly) {
 INSTANTIATE_TEST_SUITE_P(Seeds, KMedoidsParallelRestartTest,
                          ::testing::Values(101u, 102u, 103u));
 
-TEST(KMedoidsTest, InitialMedoidsOptionMatchesDeprecatedOverload) {
+TEST(KMedoidsTest, NullAcceleratorOverloadMatchesPlainOverload) {
   GeneratedNetwork g = GenerateRoadNetwork({70, 1.3, 0.3, 111});
   PointSet ps = std::move(GenerateUniformPoints(g.net, 90, 112)).value();
   InMemoryNetworkView view(g.net, ps);
-  std::vector<PointId> initial = {3, 17, 42};
   KMedoidsOptions opts;
   opts.seed = 113;
-  Result<KMedoidsResult> via_overload = KMedoidsCluster(view, opts, initial);
-  KMedoidsOptions with_field = opts;
-  with_field.initial_medoids = initial;
-  Result<KMedoidsResult> via_field = KMedoidsCluster(view, with_field);
-  ASSERT_TRUE(via_overload.ok());
-  ASSERT_TRUE(via_field.ok());
-  EXPECT_EQ(via_overload.value().cost, via_field.value().cost);
-  EXPECT_EQ(via_overload.value().medoids, via_field.value().medoids);
-  EXPECT_EQ(via_overload.value().clustering.assignment,
-            via_field.value().clustering.assignment);
+  opts.initial_medoids = {3, 17, 42};
+  Result<KMedoidsResult> plain = KMedoidsCluster(view, opts);
+  Result<KMedoidsResult> with_null = KMedoidsCluster(view, opts, nullptr);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(with_null.ok());
+  EXPECT_EQ(plain.value().cost, with_null.value().cost);
+  EXPECT_EQ(plain.value().medoids, with_null.value().medoids);
+  EXPECT_EQ(plain.value().clustering.assignment,
+            with_null.value().clustering.assignment);
+  EXPECT_EQ(with_null.value().stats.pruned_swaps, 0u);
 }
 
 TEST(KMedoidsTest, RejectsBadInitialMedoids) {
@@ -241,11 +242,6 @@ TEST(KMedoidsTest, RejectsBadInitialMedoids) {
   KMedoidsOptions opts;
   opts.initial_medoids = {0, 99};  // out of range
   EXPECT_TRUE(KMedoidsCluster(view, opts).status().IsInvalidArgument());
-  // The deprecated overload still rejects an empty explicit set (an empty
-  // initial_medoids field means random init instead).
-  EXPECT_TRUE(KMedoidsCluster(view, KMedoidsOptions{}, {})
-                  .status()
-                  .IsInvalidArgument());
 }
 
 TEST(KMedoidsTest, KEqualsNTerminates) {
