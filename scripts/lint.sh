@@ -91,6 +91,29 @@ $hits"
   fi
 done
 
+# De-virtualization tripwire: traversal inner loops in src/core/ and
+# src/index/ must iterate neighbors through the template adapter
+# VisitNeighbors(graph, n, fn) — which inlines the FrozenGraph CSR walk
+# — never through the virtual NetworkView::ForEachNeighbor, and must
+# never take a settle callback as std::function (type erasure defeats
+# the inlining the snapshot exists for). The std::function compat
+# wrappers live in src/graph/ only.
+for f in $(find src/core src/index -name '*.h' -o -name '*.cc' | sort); do
+  stripped=$(sed 's@//.*@@' "$f")
+  hits=$(printf '%s\n' "$stripped" |
+    grep -nE 'ForEachNeighbor[[:space:]]*\(' || true)
+  if [ -n "$hits" ]; then
+    fail "$f: ForEachNeighbor call outside src/graph/; traverse via VisitNeighbors(graph, n, fn) so the FrozenGraph CSR path stays inlined
+$hits"
+  fi
+  hits=$(printf '%s\n' "$stripped" |
+    grep -nE 'std::function<(SettleAction|bool)[[:space:]]*\(' || true)
+  if [ -n "$hits" ]; then
+    fail "$f: std::function settle callback outside src/graph/; pass the functor as a template parameter (see DijkstraExpandKernel)
+$hits"
+  fi
+done
+
 # Header guards: src/foo/bar.h must guard with NETCLUS_FOO_BAR_H_.
 for f in $(find src -name '*.h' | sort); do
   rel=${f#src/}

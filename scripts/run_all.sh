@@ -30,8 +30,10 @@
 #
 # `scripts/run_all.sh bench-smoke` builds the default configuration and
 # runs the minutes-scale bench_smoke harness (distance-index on/off
-# contrasts on a small generated network), leaving machine-readable
-# BENCH_*.json files at the repository root.
+# contrasts on a small generated network) plus the frozen_traversal
+# contrast (FrozenGraph snapshot vs live view: identical counters,
+# >= 1.3x speedup), leaving machine-readable BENCH_*.json files at the
+# repository root.
 #
 # The default mode is the full verify flow: lint, then build + tests +
 # benches, then the ubsan configuration over the core algorithm suites.
@@ -46,7 +48,7 @@ if [ "${1:-}" = "ubsan" ]; then
   cmake -B build-ubsan -G Ninja -DNETCLUS_SANITIZE=undefined
   cmake --build build-ubsan
   ctest --test-dir build-ubsan --output-on-failure \
-    -R 'KMedoids|EpsLink|Dbscan|SingleLink|Dendrogram|Dijkstra|RangeQuery|Knn|DirectDistance|PointDistance|InterestingLevels|Optics|Hierarchy|Validate|NetclusApi|Integration|Index|DistanceCache|LandmarkOracle|Voronoi' \
+    -R 'KMedoids|EpsLink|Dbscan|SingleLink|Dendrogram|Dijkstra|RangeQuery|Knn|DirectDistance|PointDistance|InterestingLevels|Optics|Hierarchy|Validate|NetclusApi|Integration|Index|DistanceCache|LandmarkOracle|Voronoi|Frozen' \
     2>&1 | tee ubsan_output.txt
   exit 0
 fi
@@ -81,6 +83,9 @@ if [ "${1:-}" = "bench-smoke" ]; then
   cmake -B build -G Ninja
   cmake --build build
   ./build/bench/bench_smoke 2>&1 | tee bench_smoke_output.txt
+  # Frozen-vs-view traversal contrast: exits non-zero unless the
+  # counters match exactly and the snapshot path is >= 1.3x faster.
+  ./build/bench/frozen_traversal 2>&1 | tee -a bench_smoke_output.txt
   ls BENCH_*.json
   exit 0
 fi

@@ -14,12 +14,19 @@ namespace netclus {
 
 Result<Clustering> DbscanCluster(const NetworkView& view,
                                  const DbscanOptions& options) {
-  return DbscanCluster(view, options, nullptr);
+  return DbscanCluster(view, options, nullptr, nullptr);
 }
 
 Result<Clustering> DbscanCluster(const NetworkView& view,
                                  const DbscanOptions& options,
                                  const DistanceAccelerator* accel) {
+  return DbscanCluster(view, options, accel, nullptr);
+}
+
+Result<Clustering> DbscanCluster(const NetworkView& view,
+                                 const DbscanOptions& options,
+                                 const DistanceAccelerator* accel,
+                                 const FrozenGraph* frozen) {
   if (!(options.eps > 0.0)) {
     return Status::InvalidArgument("eps must be positive");
   }
@@ -52,9 +59,15 @@ Result<Clustering> DbscanCluster(const NetworkView& view,
     for (uint32_t w = 0; w < pool.size(); ++w) {
       leases.push_back(workspaces.Acquire());
     }
+    // The snapshot is immutable, so all workers share it read-only.
     pool.ParallelFor(n, [&](size_t p, uint32_t worker) {
-      RangeQuery(view, static_cast<PointId>(p), options.eps,
-                 leases[worker].get(), accel, &cache[p]);
+      if (frozen != nullptr) {
+        RangeQuery(view, *frozen, static_cast<PointId>(p), options.eps,
+                   leases[worker].get(), accel, &cache[p]);
+      } else {
+        RangeQuery(view, static_cast<PointId>(p), options.eps,
+                   leases[worker].get(), accel, &cache[p]);
+      }
     });
   }
 
@@ -63,7 +76,11 @@ Result<Clustering> DbscanCluster(const NetworkView& view,
   std::vector<RangeResult> buffer;
   auto neighborhood = [&](PointId p) -> const std::vector<RangeResult>& {
     if (precomputed) return cache[p];
-    RangeQuery(view, p, options.eps, &*serial_ws, accel, &buffer);
+    if (frozen != nullptr) {
+      RangeQuery(view, *frozen, p, options.eps, &*serial_ws, accel, &buffer);
+    } else {
+      RangeQuery(view, p, options.eps, &*serial_ws, accel, &buffer);
+    }
     return buffer;
   };
 

@@ -45,6 +45,15 @@ Result<Clustering> DbscanCluster(const NetworkView& view,
                                  const DbscanOptions& options,
                                  const DistanceAccelerator* accel);
 
+/// As above with an optional FrozenGraph snapshot of `view` (see
+/// NetworkView::Freeze()): when non-null, every eps-range query expands
+/// over the snapshot's CSR arrays (shared read-only across the query
+/// workers) instead of the virtual view. Bit-identical clustering.
+Result<Clustering> DbscanCluster(const NetworkView& view,
+                                 const DbscanOptions& options,
+                                 const DistanceAccelerator* accel,
+                                 const FrozenGraph* frozen);
+
 }  // namespace netclus
 
 #endif  // NETCLUS_CORE_DBSCAN_H_

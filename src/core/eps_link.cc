@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/dijkstra.h"
+#include "graph/frozen_graph.h"
 
 namespace netclus {
 
@@ -18,11 +19,20 @@ using MinHeap = std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>>
 
 // Grows one cluster at a time with the Fig. 6 expansion. The per-node
 // cluster distances (NNdist) live in an epoch-reset NodeScratch so a run
-// over many clusters never pays O(|V|) re-initialization.
+// over many clusters never pays O(|V|) re-initialization. Templated on
+// the traversal graph (the view itself, or a FrozenGraph snapshot for
+// the de-virtualized path); both instantiations visit edges in the same
+// order, so clusterings are bit-identical.
+template <typename Graph>
 class EpsLinkRunner {
  public:
-  EpsLinkRunner(const NetworkView& view, double eps, Clustering* out)
-      : view_(view), eps_(eps), out_(out), nndist_(view.num_nodes()) {}
+  EpsLinkRunner(const NetworkView& view, const Graph& graph, double eps,
+                Clustering* out)
+      : view_(view),
+        graph_(graph),
+        eps_(eps),
+        out_(out),
+        nndist_(view.num_nodes()) {}
 
   void GrowCluster(PointId seed, int cluster_id) {
     nndist_.NewEpoch();
@@ -32,7 +42,7 @@ class EpsLinkRunner {
     // Initialization: chain along the seed's edge in both directions and
     // enqueue the endpoints that end up within eps of the cluster.
     PointPos pos = view_.PointPosition(seed);
-    double w = view_.EdgeWeight(pos.u, pos.v);
+    double w = graph_.EdgeWeight(pos.u, pos.v);
     view_.GetEdgePoints(pos.u, pos.v, &pts_);
     size_t idx = 0;
     while (idx < pts_.size() && pts_[idx].id != seed) ++idx;
@@ -60,7 +70,7 @@ class EpsLinkRunner {
       q.pop();
       if (b.dist >= nndist_.Get(b.node)) continue;
       nndist_.Set(b.node, b.dist);
-      view_.ForEachNeighbor(b.node, [&](NodeId nz, double we) {
+      VisitNeighbors(graph_, b.node, [&](NodeId nz, double we) {
         TraverseEdge(&q, b, nz, we, cluster_id);
       });
     }
@@ -118,22 +128,22 @@ class EpsLinkRunner {
   }
 
   const NetworkView& view_;
+  const Graph& graph_;
   double eps_;
   Clustering* out_;
   NodeScratch nndist_;
   std::vector<EdgePoint> pts_;
 };
 
-}  // namespace
-
-Result<Clustering> EpsLinkCluster(const NetworkView& view,
-                                  const EpsLinkOptions& options) {
+template <typename Graph>
+Result<Clustering> EpsLinkImpl(const NetworkView& view, const Graph& graph,
+                               const EpsLinkOptions& options) {
   if (!(options.eps > 0.0)) {
     return Status::InvalidArgument("eps must be positive");
   }
   Clustering out;
   out.assignment.assign(view.num_points(), kNoise);
-  EpsLinkRunner runner(view, options.eps, &out);
+  EpsLinkRunner<Graph> runner(view, graph, options.eps, &out);
   int next_cluster = 0;
   for (PointId m = 0; m < view.num_points(); ++m) {
     if (!runner.Clustered(m)) {
@@ -142,6 +152,20 @@ Result<Clustering> EpsLinkCluster(const NetworkView& view,
   }
   NormalizeClustering(&out, options.min_sup);
   return out;
+}
+
+}  // namespace
+
+Result<Clustering> EpsLinkCluster(const NetworkView& view,
+                                  const EpsLinkOptions& options) {
+  return EpsLinkImpl(view, view, options);
+}
+
+Result<Clustering> EpsLinkCluster(const NetworkView& view,
+                                  const EpsLinkOptions& options,
+                                  const FrozenGraph* frozen) {
+  return frozen != nullptr ? EpsLinkImpl(view, *frozen, options)
+                           : EpsLinkImpl(view, view, options);
 }
 
 }  // namespace netclus

@@ -30,6 +30,13 @@ struct EpsLinkOptions {
 Result<Clustering> EpsLinkCluster(const NetworkView& view,
                                   const EpsLinkOptions& options);
 
+/// As above with an optional FrozenGraph snapshot of `view` (see
+/// NetworkView::Freeze()): when non-null, the expansion traverses the
+/// snapshot's CSR arrays with no virtual dispatch. Bit-identical result.
+Result<Clustering> EpsLinkCluster(const NetworkView& view,
+                                  const EpsLinkOptions& options,
+                                  const FrozenGraph* frozen);
+
 }  // namespace netclus
 
 #endif  // NETCLUS_CORE_EPS_LINK_H_

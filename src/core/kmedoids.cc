@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "graph/dijkstra.h"
+#include "graph/frozen_graph.h"
 
 namespace netclus {
 
@@ -25,10 +26,19 @@ using MedHeap = std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>>
 
 // Shared machinery of Medoid_Dist_Find / Inc_Medoid_Update and the
 // point-assignment scan, with O(|V|) rollback snapshots for rejected swaps.
+//
+// Templated on the traversal graph: `graph` is either the view itself
+// (compatibility path) or a FrozenGraph snapshot of it (de-virtualized
+// CSR walk). Point positions and edge-point scans stay on the view;
+// neighbor iteration and edge weights go through the graph. Both
+// instantiations expand in the same order, so trajectories (rng draws,
+// accept/reject sequence, final medoids) are bit-identical.
+template <typename Graph>
 class KMedoidsEngine {
  public:
-  explicit KMedoidsEngine(const NetworkView& view)
+  KMedoidsEngine(const NetworkView& view, const Graph& graph)
       : view_(view),
+        graph_(graph),
         node_med_(view.num_nodes(), -1),
         node_dist_(view.num_nodes(), kInfDist) {}
 
@@ -64,7 +74,7 @@ class KMedoidsEngine {
     }
     MedHeap q;
     for (NodeId n : orphans) {
-      view_.ForEachNeighbor(n, [&](NodeId z, double w) {
+      VisitNeighbors(graph_, n, [&](NodeId z, double w) {
         if (node_med_[z] >= 0) {
           q.push(QEntry{node_dist_[z] + w, n, node_med_[z]});
         }
@@ -89,7 +99,7 @@ class KMedoidsEngine {
                                 uint32_t count) {
       (void)first;
       (void)count;
-      double w = view_.EdgeWeight(u, v);
+      double w = graph_.EdgeWeight(u, v);
       double du = node_dist_[u], dv = node_dist_[v];
       int mu = node_med_[u], mv = node_med_[v];
       auto it = edge_medoids_.find(EdgeKeyOf(u, v));
@@ -179,7 +189,7 @@ class KMedoidsEngine {
     medoid_set_.clear();
     for (size_t i = 0; i < k; ++i) {
       medoid_pos_[i] = view_.PointPosition(medoids_[i]);
-      medoid_edge_w_[i] = view_.EdgeWeight(medoid_pos_[i].u, medoid_pos_[i].v);
+      medoid_edge_w_[i] = graph_.EdgeWeight(medoid_pos_[i].u, medoid_pos_[i].v);
       edge_medoids_[EdgeKeyOf(medoid_pos_[i].u, medoid_pos_[i].v)]
           .emplace_back(static_cast<int>(i), medoid_pos_[i].offset);
       medoid_set_.insert(medoids_[i]);
@@ -209,7 +219,7 @@ class KMedoidsEngine {
       ++tc.settled_nodes;
       node_med_[b.node] = b.med;
       node_dist_[b.node] = b.dist;
-      view_.ForEachNeighbor(b.node, [&](NodeId z, double w) {
+      VisitNeighbors(graph_, b.node, [&](NodeId z, double w) {
         double nd = b.dist + w;
         if (node_med_[z] < 0 || (allow_improve && nd < node_dist_[z])) {
           q->push(QEntry{nd, z, b.med});
@@ -220,6 +230,7 @@ class KMedoidsEngine {
   }
 
   const NetworkView& view_;
+  const Graph& graph_;
   std::vector<PointId> medoids_;
   std::vector<int> node_med_;        // nearest medoid index per node
   std::vector<double> node_dist_;    // distance to it
@@ -233,13 +244,14 @@ class KMedoidsEngine {
   std::vector<PointId> snap_medoids_;
 };
 
-Result<KMedoidsResult> RunOnce(const NetworkView& view,
+template <typename Graph>
+Result<KMedoidsResult> RunOnce(const NetworkView& view, const Graph& graph,
                                const KMedoidsOptions& options,
                                std::vector<PointId> initial, Rng* rng,
                                const DistanceAccelerator* accel) {
   uint32_t k = static_cast<uint32_t>(initial.size());
   WallTimer total_timer;
-  KMedoidsEngine engine(view);
+  KMedoidsEngine<Graph> engine(view, graph);
   engine.SetMedoids(std::move(initial));
 
   KMedoidsResult result;
@@ -313,12 +325,19 @@ Result<KMedoidsResult> RunOnce(const NetworkView& view,
 
 Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
                                        const KMedoidsOptions& options) {
-  return KMedoidsCluster(view, options, nullptr);
+  return KMedoidsCluster(view, options, nullptr, nullptr);
 }
 
 Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
                                        const KMedoidsOptions& options,
                                        const DistanceAccelerator* accel) {
+  return KMedoidsCluster(view, options, accel, nullptr);
+}
+
+Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
+                                       const KMedoidsOptions& options,
+                                       const DistanceAccelerator* accel,
+                                       const FrozenGraph* frozen) {
   const bool fixed_initial = !options.initial_medoids.empty();
   if (fixed_initial) {
     if (options.initial_medoids.size() > view.num_points()) {
@@ -355,7 +374,11 @@ Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
           rng.SampleWithoutReplacement(view.num_points(), options.k);
       initial.assign(sample.begin(), sample.end());
     }
-    runs[r] = RunOnce(view, options, std::move(initial), &rng, accel);
+    runs[r] = frozen != nullptr
+                  ? RunOnce(view, *frozen, options, std::move(initial), &rng,
+                            accel)
+                  : RunOnce(view, view, options, std::move(initial), &rng,
+                            accel);
   });
 
   // Deterministic reduction: lowest cost wins, ties broken by lowest
@@ -373,12 +396,16 @@ Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
   return best;
 }
 
-Result<KMedoidsResult> AssignToMedoids(const NetworkView& view,
-                                       const std::vector<PointId>& medoids) {
+namespace {
+
+template <typename Graph>
+Result<KMedoidsResult> AssignToMedoidsImpl(
+    const NetworkView& view, const Graph& graph,
+    const std::vector<PointId>& medoids) {
   if (medoids.empty()) {
     return Status::InvalidArgument("medoid set must be non-empty");
   }
-  KMedoidsEngine engine(view);
+  KMedoidsEngine<Graph> engine(view, graph);
   engine.SetMedoids(medoids);
   engine.MedoidDistFind();
   KMedoidsResult result;
@@ -386,6 +413,15 @@ Result<KMedoidsResult> AssignToMedoids(const NetworkView& view,
   result.medoids = medoids;
   result.clustering.num_clusters = static_cast<int>(medoids.size());
   return result;
+}
+
+}  // namespace
+
+Result<KMedoidsResult> AssignToMedoids(const NetworkView& view,
+                                       const std::vector<PointId>& medoids,
+                                       const FrozenGraph* frozen) {
+  return frozen != nullptr ? AssignToMedoidsImpl(view, *frozen, medoids)
+                           : AssignToMedoidsImpl(view, view, medoids);
 }
 
 }  // namespace netclus

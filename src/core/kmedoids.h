@@ -96,11 +96,23 @@ Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
                                        const KMedoidsOptions& options,
                                        const DistanceAccelerator* accel);
 
+/// As above with an optional FrozenGraph snapshot of `view` (see
+/// NetworkView::Freeze()): when non-null, every traversal
+/// (Medoid_Dist_Find, Inc_Medoid_Update, the assignment scan's edge
+/// weights) runs over the snapshot's CSR arrays with no virtual
+/// dispatch, shared read-only across the restart workers. Results are
+/// bit-identical to the unfrozen run.
+Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
+                                       const KMedoidsOptions& options,
+                                       const DistanceAccelerator* accel,
+                                       const FrozenGraph* frozen);
+
 /// Evaluates R for an arbitrary medoid set (no search), assigning every
 /// point to its nearest medoid. Exposed for tests and for the evaluation
-/// module.
+/// module. `frozen`, when non-null, must be a snapshot of `view`.
 Result<KMedoidsResult> AssignToMedoids(const NetworkView& view,
-                                       const std::vector<PointId>& medoids);
+                                       const std::vector<PointId>& medoids,
+                                       const FrozenGraph* frozen = nullptr);
 
 }  // namespace netclus
 

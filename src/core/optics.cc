@@ -31,8 +31,11 @@ double CoreDistance(std::vector<RangeResult>* neighborhood,
 }
 }  // namespace
 
-Result<OpticsResult> OpticsOrder(const NetworkView& view,
-                                 const OpticsOptions& options) {
+namespace {
+
+Result<OpticsResult> OpticsOrderImpl(const NetworkView& view,
+                                     const FrozenGraph* frozen,
+                                     const OpticsOptions& options) {
   if (!(options.eps > 0.0)) {
     return Status::InvalidArgument("eps must be positive");
   }
@@ -47,7 +50,7 @@ Result<OpticsResult> OpticsOrder(const NetworkView& view,
 
   std::vector<bool> processed(n, false);
   std::vector<double> reach_best(n, kInfDist);
-  NodeScratch scratch(view.num_nodes());
+  TraversalWorkspace ws(view.num_nodes());
   std::vector<RangeResult> neighborhood;
 
   // Emits `p`, computes its core distance, and relaxes its unprocessed
@@ -56,7 +59,11 @@ Result<OpticsResult> OpticsOrder(const NetworkView& view,
     processed[p] = true;
     res.order.push_back(p);
     res.reachability.push_back(reachability);
-    RangeQuery(view, p, options.eps, &scratch, &neighborhood);
+    if (frozen != nullptr) {
+      RangeQuery(view, *frozen, p, options.eps, &ws, &neighborhood);
+    } else {
+      RangeQuery(view, p, options.eps, &ws, &neighborhood);
+    }
     double cd = CoreDistance(&neighborhood, options.min_pts);
     res.core_distance[p] = cd;
     if (cd == kInfDist) return;
@@ -82,6 +89,19 @@ Result<OpticsResult> OpticsOrder(const NetworkView& view,
     }
   }
   return res;
+}
+
+}  // namespace
+
+Result<OpticsResult> OpticsOrder(const NetworkView& view,
+                                 const OpticsOptions& options) {
+  return OpticsOrderImpl(view, nullptr, options);
+}
+
+Result<OpticsResult> OpticsOrder(const NetworkView& view,
+                                 const OpticsOptions& options,
+                                 const FrozenGraph* frozen) {
+  return OpticsOrderImpl(view, frozen, options);
 }
 
 Clustering ExtractDbscanClustering(const OpticsResult& optics,

@@ -38,6 +38,13 @@ struct OpticsResult {
 Result<OpticsResult> OpticsOrder(const NetworkView& view,
                                  const OpticsOptions& options);
 
+/// As above with an optional FrozenGraph snapshot of `view` (see
+/// NetworkView::Freeze()): when non-null, every range expansion runs
+/// over the snapshot's CSR arrays. Bit-identical ordering.
+Result<OpticsResult> OpticsOrder(const NetworkView& view,
+                                 const OpticsOptions& options,
+                                 const FrozenGraph* frozen);
+
 /// Extracts the DBSCAN-equivalent clustering at `eps_prime` (must be <=
 /// the generating eps) from an ordering computed with `min_pts`.
 Clustering ExtractDbscanClustering(const OpticsResult& optics,

@@ -63,7 +63,7 @@ Result<PointGraph> BuildPointGraph(const NetworkView& view) {
       auto [d, node] = heap.top();
       heap.pop();
       if (d > dist.Get(node)) continue;
-      view.ForEachNeighbor(node, [&](NodeId m, double we) {
+      VisitNeighbors(view, node, [&](NodeId m, double we) {
         view.GetEdgePoints(node, m, &pts);
         if (!pts.empty()) {
           const EdgePoint& nearest =

@@ -7,6 +7,7 @@
 
 #include "core/union_find.h"
 #include "graph/dijkstra.h"
+#include "graph/frozen_graph.h"
 
 namespace netclus {
 
@@ -27,10 +28,14 @@ struct NodeEntry {
 template <typename T>
 using MinHeap = std::priority_queue<T, std::vector<T>, std::greater<>>;
 
-}  // namespace
-
-Result<SingleLinkResult> SingleLinkCluster(const NetworkView& view,
-                                           const SingleLinkOptions& options) {
+// The whole run, templated on the traversal graph (the view itself on
+// the compatibility path, a FrozenGraph snapshot on the de-virtualized
+// one). Point scans stay on the view; the expansion and edge weights go
+// through the graph. Same visit order either way → identical dendrogram.
+template <typename Graph>
+Result<SingleLinkResult> SingleLinkImpl(const NetworkView& view,
+                                        const Graph& graph,
+                                        const SingleLinkOptions& options) {
   if (options.delta < 0.0) {
     return Status::InvalidArgument("delta must be non-negative");
   }
@@ -79,7 +84,7 @@ Result<SingleLinkResult> SingleLinkCluster(const NetworkView& view,
                                uint32_t count) {
       (void)first;
       (void)count;
-      double w = view.EdgeWeight(u, v);
+      double w = graph.EdgeWeight(u, v);
       view.GetEdgePoints(u, v, &pts);
       for (size_t i = 0; i + 1 < pts.size(); ++i) {
         push_pair(pts[i].id, pts[i + 1].id,
@@ -128,7 +133,7 @@ Result<SingleLinkResult> SingleLinkCluster(const NetworkView& view,
     expanded[b.node] = true;
     ++result.stats.nodes_expanded;
 
-    view.ForEachNeighbor(b.node, [&](NodeId nz, double w) {
+    VisitNeighbors(graph, b.node, [&](NodeId nz, double w) {
       double via = nndist[b.node] + w;
       if (nnclus[nz] == kInvalidPointId) {
         // First visit of nz.
@@ -158,6 +163,20 @@ Result<SingleLinkResult> SingleLinkCluster(const NetworkView& view,
   // dendrogram (bounded by stop_distance / stop_cluster_count).
   gate_merges(kInfDist);
   return result;
+}
+
+}  // namespace
+
+Result<SingleLinkResult> SingleLinkCluster(const NetworkView& view,
+                                           const SingleLinkOptions& options) {
+  return SingleLinkImpl(view, view, options);
+}
+
+Result<SingleLinkResult> SingleLinkCluster(const NetworkView& view,
+                                           const SingleLinkOptions& options,
+                                           const FrozenGraph* frozen) {
+  return frozen != nullptr ? SingleLinkImpl(view, *frozen, options)
+                           : SingleLinkImpl(view, view, options);
 }
 
 }  // namespace netclus

@@ -57,6 +57,14 @@ struct SingleLinkResult {
 Result<SingleLinkResult> SingleLinkCluster(const NetworkView& view,
                                            const SingleLinkOptions& options);
 
+/// As above with an optional FrozenGraph snapshot of `view` (see
+/// NetworkView::Freeze()): when non-null, the Voronoi expansion runs
+/// over the snapshot's CSR arrays with no virtual dispatch. The
+/// dendrogram and stats are bit-identical to the unfrozen run.
+Result<SingleLinkResult> SingleLinkCluster(const NetworkView& view,
+                                           const SingleLinkOptions& options,
+                                           const FrozenGraph* frozen);
+
 }  // namespace netclus
 
 #endif  // NETCLUS_CORE_SINGLE_LINK_H_

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "core/union_find.h"
+#include "graph/frozen_graph.h"
 #include "graph/network_distance.h"
 
 namespace netclus {
@@ -446,6 +447,84 @@ Status ValidateWorkspace(const TraversalWorkspace& ws, NodeId num_nodes) {
   return ValidateSettleLog(ws.settled, num_nodes);
 }
 
+Status ValidateFrozenGraph(const NetworkView& view,
+                           const FrozenGraph& frozen) {
+  const NodeId num_nodes = view.num_nodes();
+  if (frozen.num_nodes() != num_nodes) {
+    return Violation("frozen",
+                     "snapshot has " + std::to_string(frozen.num_nodes()) +
+                         " nodes for a view of " + std::to_string(num_nodes));
+  }
+
+  // Neighbor sequences: same ids and weights in the same order — the
+  // exact property bit-identical traversal trajectories depend on.
+  std::vector<std::pair<NodeId, double>> expect;
+  size_t half_edges = 0;
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    expect.clear();
+    VisitNeighbors(view, n,
+                   [&](NodeId m, double w) { expect.emplace_back(m, w); });
+    if (frozen.degree(n) != expect.size()) {
+      return Violation("frozen",
+                       "node " + std::to_string(n) + " has CSR degree " +
+                           std::to_string(frozen.degree(n)) +
+                           " but view degree " +
+                           std::to_string(expect.size()));
+    }
+    half_edges += expect.size();
+    size_t i = 0;
+    std::string mismatch;
+    VisitNeighbors(frozen, n, [&](NodeId m, double w) {
+      if (!mismatch.empty() || i >= expect.size()) {
+        ++i;
+        return;
+      }
+      // Exact equality, not tolerance: the slots are copies of the very
+      // doubles the view hands out, so any difference is corruption.
+      if (expect[i].first != m || expect[i].second != w) {
+        mismatch = "node " + std::to_string(n) + " neighbor slot " +
+                   std::to_string(i) + ": CSR has (" + std::to_string(m) +
+                   ", " + std::to_string(w) + "), view has (" +
+                   std::to_string(expect[i].first) + ", " +
+                   std::to_string(expect[i].second) + ")";
+      }
+      ++i;
+    });
+    if (!mismatch.empty()) return Violation("frozen", std::move(mismatch));
+  }
+  if (frozen.num_half_edges() != half_edges) {
+    return Violation("frozen",
+                     "snapshot stores " +
+                         std::to_string(frozen.num_half_edges()) +
+                         " half-edges but the view iterates " +
+                         std::to_string(half_edges));
+  }
+
+  // Point-range handles: every point-bearing edge of the view must map
+  // to the identical (first, count) range in the snapshot.
+  if (!frozen.has_point_ranges()) {
+    return Violation("frozen",
+                     "snapshot built without point ranges cannot serve "
+                     "traversal clients of a point-bearing view");
+  }
+  std::string pt_mismatch;
+  view.ForEachPointGroup(
+      [&](NodeId u, NodeId v, PointId first, uint32_t count) {
+        if (!pt_mismatch.empty()) return;
+        auto [got_first, got_count] = frozen.EdgePointRange(u, v);
+        if (got_first != first || got_count != count) {
+          pt_mismatch = "edge {" + std::to_string(u) + ", " +
+                        std::to_string(v) + "}: CSR point range (" +
+                        std::to_string(got_first) + ", " +
+                        std::to_string(got_count) + ") != view range (" +
+                        std::to_string(first) + ", " + std::to_string(count) +
+                        ")";
+        }
+      });
+  if (!pt_mismatch.empty()) return Violation("frozen", std::move(pt_mismatch));
+  return view.status();
+}
+
 namespace {
 
 // Exact node-to-nearest-object distances by one multi-source Dijkstra
@@ -453,7 +532,8 @@ namespace {
 // independent oracle the accelerator's Voronoi floors are audited
 // against.
 std::vector<double> NearestObjectOracle(const NetworkView& view,
-                                        PointId exclude) {
+                                        PointId exclude,
+                                        TraversalWorkspace* ws) {
   std::vector<DijkstraSource> sources;
   std::vector<EdgePoint> pts;
   view.ForEachPointGroup([&](NodeId u, NodeId v, PointId /*first*/,
@@ -466,10 +546,13 @@ std::vector<double> NearestObjectOracle(const NetworkView& view,
       sources.push_back(DijkstraSource{v, w - ep.offset});
     }
   });
-  if (sources.empty()) {
-    return std::vector<double>(view.num_nodes(), kInfDist);
+  std::vector<double> out(view.num_nodes(), kInfDist);
+  if (sources.empty()) return out;
+  DijkstraDistances(view, sources, ws);
+  for (NodeId n = 0; n < view.num_nodes(); ++n) {
+    out[n] = ws->scratch.Get(n);
   }
-  return DijkstraDistances(view, sources);
+  return out;
 }
 
 }  // namespace
@@ -543,8 +626,10 @@ Status ValidateDistanceAccelerator(const NetworkView& view,
   }
   std::vector<PointId> excludes = {kInvalidPointId};
   excludes.insert(excludes.end(), probes.begin(), probes.end());
+  TraversalWorkspace oracle_ws(num_nodes);
   for (PointId exclude : excludes) {
-    std::vector<double> oracle = NearestObjectOracle(view, exclude);
+    std::vector<double> oracle =
+        NearestObjectOracle(view, exclude, &oracle_ws);
     for (NodeId node = 0; node < num_nodes; ++node) {
       double floor = accel.NearestObjectFloor(node, exclude);
       if (floor > oracle[node] + Tolerance(oracle[node])) {

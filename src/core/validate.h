@@ -94,6 +94,15 @@ Status ValidateSettleLog(
 /// and settle log pass the audits above.
 Status ValidateWorkspace(const TraversalWorkspace& ws, NodeId num_nodes);
 
+/// FrozenGraph snapshot audit against its source view: node count, every
+/// node's neighbor sequence (ids AND weights, in the view's iteration
+/// order — the order bit-identical trajectories rest on), and every
+/// point-bearing edge's point-range handles must match the live view
+/// exactly. O(V + E + point groups). Wired into RunClustering's
+/// validate block so -DNETCLUS_VALIDATE=ON builds re-prove the snapshot
+/// on every run.
+Status ValidateFrozenGraph(const NetworkView& view, const FrozenGraph& frozen);
+
 /// Distance-accelerator (index) consistency audit, against independent
 /// exact traversals:
 ///  - On a deterministic sample of point pairs, LowerBound and

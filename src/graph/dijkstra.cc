@@ -1,112 +1,34 @@
 #include "graph/dijkstra.h"
 
-#include <algorithm>
-
 namespace netclus {
-
-namespace {
-
-// Min-heap primitives over the reusable vector storage (std::greater
-// turns the max-heap of push_heap/pop_heap into a min-heap on dist).
-inline void HeapPush(std::vector<DijkstraHeapEntry>* heap, double dist,
-                     NodeId node) {
-  heap->push_back(DijkstraHeapEntry{dist, node});
-  std::push_heap(heap->begin(), heap->end(), std::greater<>());
-  ++LocalTraversalCounters().heap_pushes;
-}
-
-inline DijkstraHeapEntry HeapPop(std::vector<DijkstraHeapEntry>* heap) {
-  std::pop_heap(heap->begin(), heap->end(), std::greater<>());
-  DijkstraHeapEntry top = heap->back();
-  heap->pop_back();
-  ++LocalTraversalCounters().heap_pops;
-  return top;
-}
-
-// Core bounded expansion over (scratch, heap); every public overload
-// forwards here. `heap` is cleared first but keeps its capacity.
-void ExpandBounded(const NetworkView& view,
-                   const std::vector<DijkstraSource>& sources, double bound,
-                   NodeScratch* scratch, std::vector<DijkstraHeapEntry>* heap,
-                   const std::function<SettleAction(NodeId, double)>& on_settle) {
-  scratch->NewEpoch();
-  heap->clear();
-  TraversalCounters& tc = LocalTraversalCounters();
-  // `scratch` holds tentative distances during the run; a separate settled
-  // mark is unnecessary because a popped entry matching the scratch value
-  // is settled (standard lazy-deletion Dijkstra).
-  for (const DijkstraSource& s : sources) {
-    if (s.dist <= bound && s.dist < scratch->Get(s.node)) {
-      scratch->Set(s.node, s.dist);
-      HeapPush(heap, s.dist, s.node);
-    }
-  }
-  while (!heap->empty()) {
-    auto [d, n] = HeapPop(heap);
-    if (d > scratch->Get(n)) continue;  // stale entry
-    ++tc.settled_nodes;
-    SettleAction action = on_settle(n, d);
-    if (action == SettleAction::kStop) return;
-    if (action == SettleAction::kSkipNeighbors) {
-      ++tc.pruned_nodes;
-      continue;
-    }
-    view.ForEachNeighbor(n, [&](NodeId m, double w) {
-      double nd = d + w;
-      if (nd <= bound && nd < scratch->Get(m)) {
-        scratch->Set(m, nd);
-        HeapPush(heap, nd, m);
-      }
-    });
-  }
-}
-
-// Adapts the original bool protocol (false = stop) onto SettleAction.
-std::function<SettleAction(NodeId, double)> AdaptBool(
-    const std::function<bool(NodeId, double)>& on_settle) {
-  return [&on_settle](NodeId n, double d) {
-    return on_settle(n, d) ? SettleAction::kContinue : SettleAction::kStop;
-  };
-}
-
-}  // namespace
 
 TraversalCounters& LocalTraversalCounters() {
   thread_local TraversalCounters counters;
   return counters;
 }
 
+// Tests-only overload: allocates a fresh distance vector per call. The
+// unbounded relaxation is re-expressed through the kernel so the two
+// paths cannot drift.
 std::vector<double> DijkstraDistances(
     const NetworkView& view, const std::vector<DijkstraSource>& sources) {
+  TraversalWorkspace ws(view.num_nodes());
+  DijkstraDistances<NetworkView>(view, sources, &ws);
   std::vector<double> dist(view.num_nodes(), kInfDist);
-  std::vector<DijkstraHeapEntry> heap;
-  TraversalCounters& tc = LocalTraversalCounters();
-  for (const DijkstraSource& s : sources) {
-    if (s.dist < dist[s.node]) {
-      dist[s.node] = s.dist;
-      HeapPush(&heap, s.dist, s.node);
-    }
-  }
-  while (!heap.empty()) {
-    auto [d, n] = HeapPop(&heap);
-    if (d > dist[n]) continue;  // stale entry
-    ++tc.settled_nodes;
-    view.ForEachNeighbor(n, [&](NodeId m, double w) {
-      double nd = d + w;
-      if (nd < dist[m]) {
-        dist[m] = nd;
-        HeapPush(&heap, nd, m);
-      }
-    });
-  }
+  for (NodeId n = 0; n < view.num_nodes(); ++n) dist[n] = ws.scratch.Get(n);
   return dist;
 }
+
+// The std::function compatibility wrappers below all delegate to the
+// template kernel; the per-neighbor std::function invocation they imply
+// is paid only by legacy call sites, never by kernel instantiations
+// over lambdas.
 
 void DijkstraDistances(const NetworkView& view,
                        const std::vector<DijkstraSource>& sources,
                        TraversalWorkspace* ws) {
-  ExpandBounded(view, sources, kInfDist, &ws->scratch, &ws->heap,
-                [](NodeId, double) { return SettleAction::kContinue; });
+  DijkstraExpandKernel(view, sources, kInfDist, &ws->scratch, &ws->heap,
+                       [](NodeId, double) { return SettleAction::kContinue; });
 }
 
 void DijkstraExpandBounded(
@@ -114,15 +36,15 @@ void DijkstraExpandBounded(
     double bound, NodeScratch* scratch,
     const std::function<bool(NodeId, double)>& on_settle) {
   std::vector<DijkstraHeapEntry> heap;
-  ExpandBounded(view, sources, bound, scratch, &heap, AdaptBool(on_settle));
+  DijkstraExpandKernel(view, sources, bound, scratch, &heap, on_settle);
 }
 
 void DijkstraExpandBounded(
     const NetworkView& view, const std::vector<DijkstraSource>& sources,
     double bound, TraversalWorkspace* ws,
     const std::function<bool(NodeId, double)>& on_settle) {
-  ExpandBounded(view, sources, bound, &ws->scratch, &ws->heap,
-                AdaptBool(on_settle));
+  DijkstraExpandKernel(view, sources, bound, &ws->scratch, &ws->heap,
+                       on_settle);
 }
 
 void DijkstraExpandBounded(
@@ -130,14 +52,15 @@ void DijkstraExpandBounded(
     double bound, NodeScratch* scratch,
     const std::function<SettleAction(NodeId, double)>& on_settle) {
   std::vector<DijkstraHeapEntry> heap;
-  ExpandBounded(view, sources, bound, scratch, &heap, on_settle);
+  DijkstraExpandKernel(view, sources, bound, scratch, &heap, on_settle);
 }
 
 void DijkstraExpandBounded(
     const NetworkView& view, const std::vector<DijkstraSource>& sources,
     double bound, TraversalWorkspace* ws,
     const std::function<SettleAction(NodeId, double)>& on_settle) {
-  ExpandBounded(view, sources, bound, &ws->scratch, &ws->heap, on_settle);
+  DijkstraExpandKernel(view, sources, bound, &ws->scratch, &ws->heap,
+                       on_settle);
 }
 
 }  // namespace netclus

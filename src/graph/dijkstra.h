@@ -1,14 +1,27 @@
-// Dijkstra shortest-path primitives over a NetworkView.
+// Dijkstra shortest-path primitives: a header-template traversal kernel
+// plus NetworkView compatibility wrappers.
 //
 // Every clustering algorithm in the paper is built on (multi-source,
 // possibly bounded) Dijkstra traversals; these helpers centralize the
 // priority-queue mechanics and the epoch-trick scratch space that lets
 // thousands of bounded expansions run without O(|V|) reinitialization.
+//
+// The kernel (DijkstraExpandKernel) is parameterized on the graph type
+// and the settle functor, so over a FrozenGraph with a lambda the inner
+// loop compiles to a plain CSR pointer walk — no virtual dispatch, no
+// std::function. Neighbor iteration is reached through the
+// VisitNeighbors(graph, node, fn) adapter, overloaded per graph type;
+// the NetworkView adapter below is the sanctioned bridge to the virtual
+// interface, kept so code that has not (or cannot — e.g. streaming
+// disk-backed scans) migrate to a snapshot still works unchanged.
 #ifndef NETCLUS_GRAPH_DIJKSTRA_H_
 #define NETCLUS_GRAPH_DIJKSTRA_H_
 
+#include <algorithm>
 #include <functional>
 #include <limits>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "graph/network_view.h"
@@ -118,45 +131,170 @@ struct TraversalWorkspace {
   std::vector<std::pair<NodeId, double>> settled;  ///< settle-order log
 };
 
-/// Computes exact shortest-path distances from `sources` to every node
-/// (kInfDist where unreachable). O(|E| log |V|). Allocates a fresh
-/// distance array per call; prefer the TraversalWorkspace overload in
-/// loops.
+/// Neighbor-iteration adapter for the template kernel: the NetworkView
+/// side funnels through the virtual call (one std::function built per
+/// visited node). This is the compatibility bridge — algorithm code
+/// passes a FrozenGraph to get the inlined CSR walk instead (see
+/// graph/frozen_graph.h for that overload).
+template <typename Fn>
+inline void VisitNeighbors(const NetworkView& view, NodeId n, Fn&& fn) {
+  view.ForEachNeighbor(n, fn);
+}
+
+namespace internal {
+
+// Min-heap primitives over the reusable vector storage (std::greater
+// turns the max-heap of push_heap/pop_heap into a min-heap on dist).
+inline void HeapPushEntry(std::vector<DijkstraHeapEntry>* heap, double dist,
+                          NodeId node) {
+  heap->push_back(DijkstraHeapEntry{dist, node});
+  std::push_heap(heap->begin(), heap->end(), std::greater<>());
+  ++LocalTraversalCounters().heap_pushes;
+}
+
+inline DijkstraHeapEntry HeapPopEntry(std::vector<DijkstraHeapEntry>* heap) {
+  std::pop_heap(heap->begin(), heap->end(), std::greater<>());
+  DijkstraHeapEntry top = heap->back();
+  heap->pop_back();
+  ++LocalTraversalCounters().heap_pops;
+  return top;
+}
+
+// Adapts both settle protocols onto SettleAction at compile time: a
+// bool-returning functor means false = stop (the original protocol).
+template <typename SettleFn>
+inline SettleAction InvokeSettle(SettleFn& on_settle, NodeId n, double d) {
+  if constexpr (std::is_same_v<std::invoke_result_t<SettleFn&, NodeId, double>,
+                               bool>) {
+    return on_settle(n, d) ? SettleAction::kContinue : SettleAction::kStop;
+  } else {
+    return on_settle(n, d);
+  }
+}
+
+}  // namespace internal
+
+/// \brief The traversal kernel: bounded multi-source Dijkstra over any
+/// graph type reachable through VisitNeighbors.
+///
+/// Settled distances land in `scratch` (a fresh epoch is started);
+/// `heap` is cleared but keeps its capacity. `on_settle(node, dist)` is
+/// invoked once per settled node with dist <= `bound` and may return
+/// either bool (false = stop) or SettleAction. Instantiated with a
+/// FrozenGraph and a lambda, the inner loop carries no virtual dispatch
+/// and no std::function — this is the de-virtualized hot path every
+/// algorithm runs on.
+template <typename Graph, typename SettleFn>
+void DijkstraExpandKernel(const Graph& graph,
+                          const std::vector<DijkstraSource>& sources,
+                          double bound, NodeScratch* scratch,
+                          std::vector<DijkstraHeapEntry>* heap,
+                          SettleFn&& on_settle) {
+  scratch->NewEpoch();
+  heap->clear();
+  TraversalCounters& tc = LocalTraversalCounters();
+  // `scratch` holds tentative distances during the run; a separate settled
+  // mark is unnecessary because a popped entry matching the scratch value
+  // is settled (standard lazy-deletion Dijkstra).
+  for (const DijkstraSource& s : sources) {
+    if (s.dist <= bound && s.dist < scratch->Get(s.node)) {
+      scratch->Set(s.node, s.dist);
+      internal::HeapPushEntry(heap, s.dist, s.node);
+    }
+  }
+  while (!heap->empty()) {
+    auto [d, n] = internal::HeapPopEntry(heap);
+    if (d > scratch->Get(n)) continue;  // stale entry
+    ++tc.settled_nodes;
+    SettleAction action = internal::InvokeSettle(on_settle, n, d);
+    if (action == SettleAction::kStop) return;
+    if (action == SettleAction::kSkipNeighbors) {
+      ++tc.pruned_nodes;
+      continue;
+    }
+    VisitNeighbors(graph, n, [&](NodeId m, double w) {
+      double nd = d + w;
+      if (nd <= bound && nd < scratch->Get(m)) {
+        scratch->Set(m, nd);
+        internal::HeapPushEntry(heap, nd, m);
+      }
+    });
+  }
+}
+
+/// Expands the graph from `sources` in distance order, invoking
+/// `on_settle(node, dist)` once per settled node with dist <= `bound`;
+/// the functor returns bool (false = stop) or SettleAction
+/// (kSkipNeighbors keeps the node settled without relaxing through it —
+/// accelerator pruning, counted in TraversalCounters::pruned_nodes).
+/// Settled distances are recorded in `scratch` (a fresh epoch is
+/// started).
+template <typename Graph, typename SettleFn>
+void DijkstraExpandBounded(const Graph& graph,
+                           const std::vector<DijkstraSource>& sources,
+                           double bound, NodeScratch* scratch,
+                           SettleFn&& on_settle) {
+  std::vector<DijkstraHeapEntry> heap;
+  DijkstraExpandKernel(graph, sources, bound, scratch, &heap,
+                       std::forward<SettleFn>(on_settle));
+}
+
+/// As above with the workspace's scratch, reusing its heap storage.
+/// (`ws->settled` is untouched — it belongs to higher-level callers.)
+template <typename Graph, typename SettleFn>
+void DijkstraExpandBounded(const Graph& graph,
+                           const std::vector<DijkstraSource>& sources,
+                           double bound, TraversalWorkspace* ws,
+                           SettleFn&& on_settle) {
+  DijkstraExpandKernel(graph, sources, bound, &ws->scratch, &ws->heap,
+                       std::forward<SettleFn>(on_settle));
+}
+
+/// Computes exact shortest-path distances from `sources` to every
+/// reachable node; distances land in `ws->scratch` (a fresh epoch is
+/// started; unreached nodes read kInfDist) and the heap storage of `ws`
+/// is reused instead of reallocated.
+template <typename Graph>
+void DijkstraDistances(const Graph& graph,
+                       const std::vector<DijkstraSource>& sources,
+                       TraversalWorkspace* ws) {
+  DijkstraExpandKernel(graph, sources, kInfDist, &ws->scratch, &ws->heap,
+                       [](NodeId, double) { return SettleAction::kContinue; });
+}
+
+/// As above but allocates and returns a fresh |V|-sized distance vector
+/// (kInfDist where unreachable). The allocation makes it unfit for hot
+/// loops — kept for tests and one-shot diagnostics only; production code
+/// uses the TraversalWorkspace overload.
 std::vector<double> DijkstraDistances(const NetworkView& view,
                                       const std::vector<DijkstraSource>& sources);
 
-/// As above, but distances land in `ws->scratch` (a fresh epoch is
-/// started; unreached nodes read kInfDist) and the heap storage of `ws`
-/// is reused instead of reallocated.
+// --- NetworkView + std::function compatibility wrappers ------------------
+// Thin non-template overloads delegating to the kernel. They exist so
+// pre-snapshot call sites (and call sites that store their callback in a
+// std::function) keep compiling and linking unchanged; overload
+// resolution prefers them for std::function lvalues and the templates
+// above for everything else.
+
 void DijkstraDistances(const NetworkView& view,
                        const std::vector<DijkstraSource>& sources,
                        TraversalWorkspace* ws);
 
-/// Expands the network from `sources` in distance order, invoking
-/// `on_settle(node, dist)` once per settled node with dist <= `bound`.
-/// Returning false from `on_settle` stops the expansion. Settled distances
-/// are recorded in `scratch` (a fresh epoch is started).
 void DijkstraExpandBounded(
     const NetworkView& view, const std::vector<DijkstraSource>& sources,
     double bound, NodeScratch* scratch,
     const std::function<bool(NodeId, double)>& on_settle);
 
-/// As above with the workspace's scratch, reusing its heap storage.
-/// (`ws->settled` is untouched — it belongs to higher-level callers.)
 void DijkstraExpandBounded(
     const NetworkView& view, const std::vector<DijkstraSource>& sources,
     double bound, TraversalWorkspace* ws,
     const std::function<bool(NodeId, double)>& on_settle);
 
-/// Extended protocol: the callback chooses per node between continuing,
-/// keeping the node settled without relaxing its neighbors (accelerator
-/// pruning — counted in TraversalCounters::pruned_nodes), or stopping.
 void DijkstraExpandBounded(
     const NetworkView& view, const std::vector<DijkstraSource>& sources,
     double bound, NodeScratch* scratch,
     const std::function<SettleAction(NodeId, double)>& on_settle);
 
-/// As above with the workspace's scratch, reusing its heap storage.
 void DijkstraExpandBounded(
     const NetworkView& view, const std::vector<DijkstraSource>& sources,
     double bound, TraversalWorkspace* ws,

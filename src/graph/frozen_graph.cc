@@ -1,0 +1,129 @@
+#include "graph/frozen_graph.h"
+
+#include "common/check.h"
+#include "graph/network_view.h"
+
+namespace netclus {
+
+size_t FrozenGraph::SlotOf(NodeId a, NodeId b) const {
+  const uint32_t first = offsets_[a];
+  const uint32_t last = offsets_[a + 1];
+  for (uint32_t i = first; i < last; ++i) {
+    if (neighbors_[i] == b) return i;
+  }
+  return SIZE_MAX;
+}
+
+double FrozenGraph::EdgeWeight(NodeId a, NodeId b) const {
+  if (a >= num_nodes() || b >= num_nodes()) return -1.0;
+  // Scan the smaller row: undirected edges appear in both rows with the
+  // same weight.
+  if (degree(b) < degree(a)) std::swap(a, b);
+  size_t slot = SlotOf(a, b);
+  return slot == SIZE_MAX ? -1.0 : weights_[slot];
+}
+
+std::pair<PointId, uint32_t> FrozenGraph::EdgePointRange(NodeId a,
+                                                         NodeId b) const {
+  if (!has_point_ranges_ || a >= num_nodes() || b >= num_nodes()) {
+    return {kInvalidPointId, 0};
+  }
+  size_t slot = SlotOf(a, b);
+  if (slot == SIZE_MAX || pt_first_[slot] == kInvalidPointId) {
+    return {kInvalidPointId, 0};
+  }
+  return {pt_first_[slot], pt_count_[slot]};
+}
+
+FrozenGraph FrozenGraph::Materialize(const NetworkView& view) {
+  FrozenGraph g;
+  const NodeId n = view.num_nodes();
+  g.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+
+  // Pass 1: degrees into offsets_[i + 1], then prefix-sum.
+  for (NodeId i = 0; i < n; ++i) {
+    uint32_t deg = 0;
+    view.ForEachNeighbor(i, [&deg](NodeId, double) { ++deg; });
+    g.offsets_[i + 1] = deg;
+  }
+  for (NodeId i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
+
+  const size_t half_edges = g.offsets_[n];
+  g.neighbors_.resize(half_edges);
+  g.weights_.resize(half_edges);
+
+  // Pass 2: fill each row in the view's own iteration order — this is
+  // what keeps frozen traversals bit-identical to live ones. A view
+  // whose reads start failing between the passes can report different
+  // neighbors here (it records a sticky error and hands out neutral
+  // fallbacks); the bounds guard keeps the fill in-row and Freeze()
+  // rejects the snapshot via view.status() afterwards.
+  for (NodeId i = 0; i < n; ++i) {
+    uint32_t slot = g.offsets_[i];
+    const uint32_t row_end = g.offsets_[i + 1];
+    view.ForEachNeighbor(i, [&](NodeId m, double w) {
+      if (slot < row_end) {
+        g.neighbors_[slot] = m;
+        g.weights_[slot] = w;
+      }
+      ++slot;
+    });
+    NETCLUS_DCHECK(slot == row_end || !view.status().ok())
+        << "adjacency changed between Materialize passes at node " << i;
+  }
+
+  // Point ranges: one slot-scan per populated edge, both directions.
+  g.pt_first_.assign(half_edges, kInvalidPointId);
+  g.pt_count_.assign(half_edges, 0);
+  g.has_point_ranges_ = true;
+  view.ForEachPointGroup([&g](NodeId u, NodeId v, PointId first,
+                              uint32_t count) {
+    size_t su = g.SlotOf(u, v);
+    size_t sv = g.SlotOf(v, u);
+    if (su != SIZE_MAX) {
+      g.pt_first_[su] = first;
+      g.pt_count_[su] = count;
+    }
+    if (sv != SIZE_MAX) {
+      g.pt_first_[sv] = first;
+      g.pt_count_[sv] = count;
+    }
+  });
+  return g;
+}
+
+FrozenGraph FrozenGraph::FromAdjacency(
+    const std::vector<std::vector<std::pair<NodeId, double>>>& adj) {
+  FrozenGraph g;
+  const size_t n = adj.size();
+  g.offsets_.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    g.offsets_[i + 1] =
+        g.offsets_[i] + static_cast<uint32_t>(adj[i].size());
+  }
+  const size_t half_edges = g.offsets_[n];
+  g.neighbors_.resize(half_edges);
+  g.weights_.resize(half_edges);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t slot = g.offsets_[i];
+    for (const auto& [m, w] : adj[i]) {
+      g.neighbors_[slot] = m;
+      g.weights_[slot] = w;
+      ++slot;
+    }
+  }
+  // No point information in a bare adjacency; has_point_ranges_ stays
+  // false and EdgePointRange reports empty.
+  return g;
+}
+
+Result<FrozenGraph> NetworkView::Freeze() const {
+  NETCLUS_RETURN_IF_ERROR(status());
+  FrozenGraph g = FrozenGraph::Materialize(*this);
+  // A disk-backed view records I/O failures out of band; re-check so a
+  // snapshot built over damaged reads is rejected instead of returned.
+  NETCLUS_RETURN_IF_ERROR(status());
+  return g;
+}
+
+}  // namespace netclus

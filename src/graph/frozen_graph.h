@@ -1,0 +1,117 @@
+// FrozenGraph: an immutable struct-of-arrays CSR snapshot of a
+// NetworkView's adjacency structure.
+//
+// Every algorithm in the paper is a Dijkstra traversal, and the
+// traversal inner loop is exactly "for each neighbor of the popped
+// node". Behind NetworkView that loop pays a virtual call plus a
+// std::function invocation per neighbor over vector-of-vectors
+// adjacency; FrozenGraph replaces it with a contiguous pointer walk
+// the compiler can inline. The snapshot stores, per half-edge slot:
+//
+//   offsets_[n] .. offsets_[n+1]   slots of node n's neighbors
+//   neighbors_[i]                  the neighbor id
+//   weights_[i]                    the edge weight
+//   pt_first_[i], pt_count_[i]     points on that edge (id range), or
+//                                  (kInvalidPointId, 0) when none
+//
+// The neighbor order of each node matches the source view's iteration
+// order exactly, so a traversal over the snapshot settles nodes, pushes
+// heap entries, and breaks distance ties in the same sequence as one
+// over the live view — clustering trajectories stay bit-identical.
+// See DESIGN.md section 11.
+#ifndef NETCLUS_GRAPH_FROZEN_GRAPH_H_
+#define NETCLUS_GRAPH_FROZEN_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace netclus {
+
+class NetworkView;
+
+/// \brief Immutable CSR adjacency snapshot; cheap to share read-only
+/// across threads (all state is set once at materialization).
+class FrozenGraph {
+ public:
+  /// An empty snapshot (0 nodes). Assign a materialized one over it.
+  FrozenGraph() = default;
+
+  NodeId num_nodes() const {
+    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  }
+
+  /// Number of half-edges (2x the undirected edge count).
+  size_t num_half_edges() const { return neighbors_.size(); }
+
+  uint32_t degree(NodeId n) const { return offsets_[n + 1] - offsets_[n]; }
+
+  /// Invokes `fn(neighbor, weight)` for every edge incident to `n`, in
+  /// the source view's iteration order. This is the de-virtualized hot
+  /// loop: a plain pointer walk over two parallel arrays.
+  template <typename Fn>
+  void ForEachNeighbor(NodeId n, Fn&& fn) const {
+    const uint32_t first = offsets_[n];
+    const uint32_t last = offsets_[n + 1];
+    const NodeId* nb = neighbors_.data();
+    const double* w = weights_.data();
+    for (uint32_t i = first; i < last; ++i) fn(nb[i], w[i]);
+  }
+
+  /// Weight of edge {a, b}; negative when absent. O(min(deg a, deg b))
+  /// contiguous scan — no hash table, and for road-like networks the
+  /// degree is a small constant.
+  double EdgeWeight(NodeId a, NodeId b) const;
+  bool HasEdge(NodeId a, NodeId b) const { return EdgeWeight(a, b) >= 0.0; }
+
+  /// Points on edge {a, b} as [first, first + count); count == 0 when
+  /// the edge holds none (or the edge is absent). Only meaningful when
+  /// has_point_ranges() — snapshots built from a bare adjacency carry
+  /// no point information.
+  std::pair<PointId, uint32_t> EdgePointRange(NodeId a, NodeId b) const;
+  bool has_point_ranges() const { return has_point_ranges_; }
+
+  /// Builds a snapshot from any NetworkView by iterating its adjacency
+  /// (two passes: degree count, then fill) and its point groups. The
+  /// caller is responsible for checking view.status() around the call
+  /// (NetworkView::Freeze() does); Materialize itself cannot fail.
+  static FrozenGraph Materialize(const NetworkView& view);
+
+  /// Builds a snapshot from raw adjacency lists (no point ranges).
+  /// Used by Network to serve EdgeWeight lookups from the CSR arrays.
+  static FrozenGraph FromAdjacency(
+      const std::vector<std::vector<std::pair<NodeId, double>>>& adj);
+
+  /// Test-only: overwrites half-edge slot `i` so validator-rejection
+  /// paths can be exercised. Never call outside tests.
+  void CorruptHalfEdgeForTest(size_t i, NodeId neighbor, double weight) {
+    neighbors_[i] = neighbor;
+    weights_[i] = weight;
+  }
+
+ private:
+  // Slot index of neighbor `b` in `a`'s CSR row; SIZE_MAX when absent.
+  size_t SlotOf(NodeId a, NodeId b) const;
+
+  std::vector<uint32_t> offsets_;   // |V| + 1
+  std::vector<NodeId> neighbors_;   // 2|E|
+  std::vector<double> weights_;     // 2|E|
+  std::vector<PointId> pt_first_;   // 2|E|, kInvalidPointId when no points
+  std::vector<uint32_t> pt_count_;  // 2|E|
+  bool has_point_ranges_ = false;
+};
+
+/// Neighbor-iteration adapter the template traversal kernel dispatches
+/// through (see graph/dijkstra.h): the FrozenGraph side inlines the CSR
+/// pointer walk with no virtual dispatch and no std::function.
+template <typename Fn>
+inline void VisitNeighbors(const FrozenGraph& g, NodeId n, Fn&& fn) {
+  g.ForEachNeighbor(n, std::forward<Fn>(fn));
+}
+
+}  // namespace netclus
+
+#endif  // NETCLUS_GRAPH_FROZEN_GRAPH_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "graph/frozen_graph.h"
+
 namespace netclus {
 
 Network::Network(NodeId num_nodes) : adj_(num_nodes) {}
@@ -17,26 +19,53 @@ Status Network::AddEdge(NodeId a, NodeId b, double w) {
   if (!(w > 0.0)) {
     return Status::InvalidArgument("AddEdge: weight must be positive");
   }
-  uint64_t key = EdgeKeyOf(a, b);
-  if (!edge_weights_.emplace(key, w).second) {
-    return Status::InvalidArgument("AddEdge: duplicate edge");
+  // Duplicate detection scans the sparser endpoint's adjacency row —
+  // O(min degree), matching the lookup path now that the edge-weight
+  // hash table is gone.
+  const std::vector<std::pair<NodeId, double>>& row =
+      adj_[a].size() <= adj_[b].size() ? adj_[a] : adj_[b];
+  const NodeId other = adj_[a].size() <= adj_[b].size() ? b : a;
+  for (const auto& [m, mw] : row) {
+    (void)mw;
+    if (m == other) {
+      return Status::InvalidArgument("AddEdge: duplicate edge");
+    }
   }
   adj_[a].emplace_back(b, w);
   adj_[b].emplace_back(a, w);
   ++num_edges_;
+  frozen_.reset();  // snapshot no longer reflects the adjacency
   return Status::OK();
 }
 
 double Network::EdgeWeight(NodeId a, NodeId b) const {
-  auto it = edge_weights_.find(EdgeKeyOf(a, b));
-  return it == edge_weights_.end() ? -1.0 : it->second;
+  if (a >= num_nodes() || b >= num_nodes() || a == b) return -1.0;
+  if (frozen_ != nullptr) return frozen_->EdgeWeight(a, b);
+  // Unfrozen fallback: O(min(deg a, deg b)) adjacency scan.
+  const std::vector<std::pair<NodeId, double>>& row =
+      adj_[a].size() <= adj_[b].size() ? adj_[a] : adj_[b];
+  const NodeId other = adj_[a].size() <= adj_[b].size() ? b : a;
+  for (const auto& [m, w] : row) {
+    if (m == other) return w;
+  }
+  return -1.0;
+}
+
+const FrozenGraph& Network::Freeze() {
+  if (frozen_ == nullptr) {
+    frozen_ = std::make_shared<const FrozenGraph>(
+        FrozenGraph::FromAdjacency(adj_));
+  }
+  return *frozen_;
 }
 
 std::vector<Edge> Network::Edges() const {
   std::vector<Edge> out;
   out.reserve(num_edges_);
-  for (const auto& [key, w] : edge_weights_) {
-    out.push_back(Edge{EdgeKeyU(key), EdgeKeyV(key), w});
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const auto& [v, w] : adj_[u]) {
+      if (u < v) out.push_back(Edge{u, v, w});
+    }
   }
   std::sort(out.begin(), out.end(), [](const Edge& a, const Edge& b) {
     return a.u != b.u ? a.u < b.u : a.v < b.v;
@@ -102,12 +131,15 @@ Network Network::LargestComponent(const Network& g,
     if (comp[x] == best) mapping[x] = next++;
   }
   Network out(next);
-  for (const auto& [key, w] : g.edge_weights_) {
-    NodeId u = mapping[EdgeKeyU(key)];
-    NodeId v = mapping[EdgeKeyV(key)];
-    if (u != kInvalidNodeId && v != kInvalidNodeId) {
-      Status s = out.AddEdge(u, v, w);
-      (void)s;  // cannot fail: source edges were valid and unique
+  for (NodeId x = 0; x < n; ++x) {
+    for (const auto& [y, w] : g.adj_[x]) {
+      if (x >= y) continue;  // canonical orientation: each edge once
+      NodeId u = mapping[x];
+      NodeId v = mapping[y];
+      if (u != kInvalidNodeId && v != kInvalidNodeId) {
+        Status s = out.AddEdge(u, v, w);
+        (void)s;  // cannot fail: source edges were valid and unique
+      }
     }
   }
   if (old_to_new != nullptr) *old_to_new = std::move(mapping);

@@ -13,6 +13,8 @@
 
 namespace netclus {
 
+class FrozenGraph;
+
 /// \brief Undirected weighted graph G = (V, E, W) with adjacency lists.
 class Network {
  public:
@@ -22,15 +24,25 @@ class Network {
 
   /// Adds undirected edge {a, b} with weight `w` > 0. Self loops,
   /// duplicate edges, out-of-range endpoints and non-positive weights are
-  /// rejected.
+  /// rejected. Invalidates any snapshot cached by Freeze().
   Status AddEdge(NodeId a, NodeId b, double w);
 
   NodeId num_nodes() const { return static_cast<NodeId>(adj_.size()); }
   size_t num_edges() const { return num_edges_; }
 
-  /// Weight of edge {a, b}; negative when absent.
+  /// Weight of edge {a, b}; negative when absent. Served from the CSR
+  /// snapshot when one has been cached by Freeze(); otherwise an
+  /// O(min(deg a, deg b)) scan of the adjacency list — for road-like
+  /// networks the degree is a small constant, so the fallback only
+  /// matters on star-shaped graphs, and freezing removes even that.
   double EdgeWeight(NodeId a, NodeId b) const;
   bool HasEdge(NodeId a, NodeId b) const { return EdgeWeight(a, b) >= 0.0; }
+
+  /// Builds (or returns the cached) CSR snapshot of this network's
+  /// adjacency and routes subsequent EdgeWeight/HasEdge lookups through
+  /// it. The reference stays valid until the next AddEdge(). Not
+  /// thread-safe against concurrent mutation; freeze before sharing.
+  const FrozenGraph& Freeze();
 
   /// Neighbors of `n` as (node, weight) pairs, in insertion order.
   const std::vector<std::pair<NodeId, double>>& neighbors(NodeId n) const {
@@ -51,7 +63,7 @@ class Network {
 
  private:
   std::vector<std::vector<std::pair<NodeId, double>>> adj_;
-  std::unordered_map<uint64_t, double> edge_weights_;
+  std::shared_ptr<const FrozenGraph> frozen_;  // EdgeWeight fast path
   size_t num_edges_ = 0;
 };
 
@@ -72,7 +84,7 @@ class PointSet {
   };
 
   PointId size() const { return static_cast<PointId>(offsets_.size()); }
-  const PointPos position(PointId p) const {
+  PointPos position(PointId p) const {
     const Group& g = groups_[group_of_[p]];
     return PointPos{g.u, g.v, offsets_[p]};
   }

@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "graph/frozen_graph.h"
+
 namespace netclus {
 
 double DirectDistance(const PointPos& p, const PointPos& q) {
@@ -21,8 +23,18 @@ double DirectDistanceToNode(const PointPos& p, double edge_weight, NodeId n) {
   return kInfDist;
 }
 
-double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
-                            NodeScratch* scratch) {
+namespace {
+
+// The implementations below are templated on the traversal graph: the
+// live NetworkView (compatibility path, virtual dispatch per node) or a
+// FrozenGraph CSR snapshot (inlined pointer walk). Point data (positions,
+// edge points) always comes from the view — the snapshot carries
+// adjacency and point-id ranges only. Both instantiations relax edges in
+// the same order, so results are bit-identical.
+
+template <typename Graph>
+double PointNetworkDistanceImpl(const NetworkView& view, const Graph& graph,
+                                PointId p, PointId q, NodeScratch* scratch) {
   if (p == q) return 0.0;
   PointPos pp = view.PointPosition(p);
   PointPos qq = view.PointPosition(q);
@@ -34,7 +46,7 @@ double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
   std::vector<DijkstraSource> sources = {{pp.u, pp.offset},
                                          {pp.v, wp - pp.offset}};
   bool settled_u = false, settled_v = false;
-  DijkstraExpandBounded(view, sources, kInfDist, scratch,
+  DijkstraExpandBounded(graph, sources, kInfDist, scratch,
                         [&](NodeId n, double d) {
                           // All later settles have distance >= d, so once d
                           // reaches `best` no candidate can improve it.
@@ -52,12 +64,12 @@ double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
   return best;
 }
 
-namespace {
-
-// Second phase of RangeQuery, common to both overloads: inspect every
+// Second phase of RangeQuery, common to all overloads: inspect every
 // edge incident to a settled node and emit the points within eps.
-void CollectRangePoints(const NetworkView& view, const PointPos& c, double wc,
-                        double eps, const NodeScratch& scratch,
+template <typename Graph>
+void CollectRangePoints(const NetworkView& view, const Graph& graph,
+                        const PointPos& c, double wc, double eps,
+                        const NodeScratch& scratch,
                         const std::vector<std::pair<NodeId, double>>& settled,
                         std::vector<RangeResult>* out) {
   std::vector<EdgePoint> pts;
@@ -80,7 +92,7 @@ void CollectRangePoints(const NetworkView& view, const PointPos& c, double wc,
   process_edge(c.u, c.v, wc);
   for (const auto& [n, d] : settled) {
     (void)d;
-    view.ForEachNeighbor(n, [&](NodeId m, double we) {
+    VisitNeighbors(graph, n, [&](NodeId m, double we) {
       if (seen_edges.insert(EdgeKeyOf(n, m)).second) {
         process_edge(n, m, we);
       }
@@ -88,7 +100,73 @@ void CollectRangePoints(const NetworkView& view, const PointPos& c, double wc,
   }
 }
 
+template <typename Graph>
+void RangeQueryImpl(const NetworkView& view, const Graph& graph,
+                    PointId center, double eps, TraversalWorkspace* ws,
+                    std::vector<RangeResult>* out) {
+  out->clear();
+  PointPos c = view.PointPosition(center);
+  double wc = view.EdgeWeight(c.u, c.v);
+
+  ws->settled.clear();
+  DijkstraExpandBounded(graph, {{c.u, c.offset}, {c.v, wc - c.offset}}, eps,
+                        ws, [&](NodeId n, double d) {
+                          ws->settled.emplace_back(n, d);
+                          return true;
+                        });
+  CollectRangePoints(view, graph, c, wc, eps, ws->scratch, ws->settled, out);
+}
+
+template <typename Graph>
+void RangeQueryAccelImpl(const NetworkView& view, const Graph& graph,
+                         PointId center, double eps, TraversalWorkspace* ws,
+                         const DistanceAccelerator* accel,
+                         std::vector<RangeResult>* out) {
+  out->clear();
+  PointPos c = view.PointPosition(center);
+  double wc = view.EdgeWeight(c.u, c.v);
+
+  // Landmark prefilter: an expansion radius covering the farthest
+  // in-range candidate is as good as eps (the proof needs every node on
+  // an in-range point's shortest path to stay under the bound, and
+  // those prefixes are <= the point's own distance).
+  double bound = accel->RangeExpansionBound(center, eps);
+  // Slack mirrors Tolerance(): a floor equal to the remaining budget up
+  // to fp rounding must not prune.
+  const double prune_cut = eps * (1.0 + 1e-9);
+  ws->settled.clear();
+  DijkstraExpandBounded(
+      graph, {{c.u, c.offset}, {c.v, wc - c.offset}}, bound, ws,
+      [&](NodeId n, double d) {
+        ws->settled.emplace_back(n, d);
+        // Every point != center whose shortest path runs through n is at
+        // least d + floor away; past eps, n's edges still get inspected
+        // (it stays settled) but nothing needs to be reached through it.
+        if (d + accel->NearestObjectFloor(n, center) > prune_cut) {
+          return SettleAction::kSkipNeighbors;
+        }
+        return SettleAction::kContinue;
+      });
+  CollectRangePoints(view, graph, c, wc, eps, ws->scratch, ws->settled, out);
+  // Pruning changes the settle order, so canonicalize: emitted sets are
+  // provably identical to the unaccelerated query, order is not.
+  std::sort(out->begin(), out->end(),
+            [](const RangeResult& a, const RangeResult& b) {
+              return a.id < b.id;
+            });
+}
+
 }  // namespace
+
+double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
+                            NodeScratch* scratch) {
+  return PointNetworkDistanceImpl(view, view, p, q, scratch);
+}
+
+double PointNetworkDistance(const NetworkView& view, const FrozenGraph& frozen,
+                            PointId p, PointId q, NodeScratch* scratch) {
+  return PointNetworkDistanceImpl(view, frozen, p, q, scratch);
+}
 
 void RangeQuery(const NetworkView& view, PointId center, double eps,
                 NodeScratch* scratch, std::vector<RangeResult>* out) {
@@ -102,22 +180,18 @@ void RangeQuery(const NetworkView& view, PointId center, double eps,
                           settled.emplace_back(n, d);
                           return true;
                         });
-  CollectRangePoints(view, c, wc, eps, *scratch, settled, out);
+  CollectRangePoints(view, view, c, wc, eps, *scratch, settled, out);
 }
 
 void RangeQuery(const NetworkView& view, PointId center, double eps,
                 TraversalWorkspace* ws, std::vector<RangeResult>* out) {
-  out->clear();
-  PointPos c = view.PointPosition(center);
-  double wc = view.EdgeWeight(c.u, c.v);
+  RangeQueryImpl(view, view, center, eps, ws, out);
+}
 
-  ws->settled.clear();
-  DijkstraExpandBounded(view, {{c.u, c.offset}, {c.v, wc - c.offset}}, eps,
-                        ws, [&](NodeId n, double d) {
-                          ws->settled.emplace_back(n, d);
-                          return true;
-                        });
-  CollectRangePoints(view, c, wc, eps, ws->scratch, ws->settled, out);
+void RangeQuery(const NetworkView& view, const FrozenGraph& frozen,
+                PointId center, double eps, TraversalWorkspace* ws,
+                std::vector<RangeResult>* out) {
+  RangeQueryImpl(view, frozen, center, eps, ws, out);
 }
 
 double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
@@ -136,6 +210,24 @@ double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
   return exact;
 }
 
+double PointNetworkDistance(const NetworkView& view, const FrozenGraph& frozen,
+                            PointId p, PointId q, NodeScratch* scratch,
+                            const DistanceAccelerator* accel,
+                            double threshold) {
+  if (accel == nullptr) {
+    return PointNetworkDistance(view, frozen, p, q, scratch);
+  }
+  if (p == q) return 0.0;
+  double cached;
+  if (accel->LookupDistance(p, q, &cached)) return cached;
+  double lb = accel->LowerBound(p, q);
+  if (lb == kInfDist) return kInfDist;  // proven disconnected — exact
+  if (lb > threshold) return lb;        // caller only branches on the cut
+  double exact = PointNetworkDistance(view, frozen, p, q, scratch);
+  accel->StoreDistance(p, q, exact);
+  return exact;
+}
+
 void RangeQuery(const NetworkView& view, PointId center, double eps,
                 TraversalWorkspace* ws, const DistanceAccelerator* accel,
                 std::vector<RangeResult>* out) {
@@ -143,38 +235,18 @@ void RangeQuery(const NetworkView& view, PointId center, double eps,
     RangeQuery(view, center, eps, ws, out);
     return;
   }
-  out->clear();
-  PointPos c = view.PointPosition(center);
-  double wc = view.EdgeWeight(c.u, c.v);
+  RangeQueryAccelImpl(view, view, center, eps, ws, accel, out);
+}
 
-  // Landmark prefilter: an expansion radius covering the farthest
-  // in-range candidate is as good as eps (the proof needs every node on
-  // an in-range point's shortest path to stay under the bound, and
-  // those prefixes are <= the point's own distance).
-  double bound = accel->RangeExpansionBound(center, eps);
-  // Slack mirrors Tolerance(): a floor equal to the remaining budget up
-  // to fp rounding must not prune.
-  const double prune_cut = eps * (1.0 + 1e-9);
-  ws->settled.clear();
-  DijkstraExpandBounded(
-      view, {{c.u, c.offset}, {c.v, wc - c.offset}}, bound, ws,
-      [&](NodeId n, double d) {
-        ws->settled.emplace_back(n, d);
-        // Every point != center whose shortest path runs through n is at
-        // least d + floor away; past eps, n's edges still get inspected
-        // (it stays settled) but nothing needs to be reached through it.
-        if (d + accel->NearestObjectFloor(n, center) > prune_cut) {
-          return SettleAction::kSkipNeighbors;
-        }
-        return SettleAction::kContinue;
-      });
-  CollectRangePoints(view, c, wc, eps, ws->scratch, ws->settled, out);
-  // Pruning changes the settle order, so canonicalize: emitted sets are
-  // provably identical to the unaccelerated query, order is not.
-  std::sort(out->begin(), out->end(),
-            [](const RangeResult& a, const RangeResult& b) {
-              return a.id < b.id;
-            });
+void RangeQuery(const NetworkView& view, const FrozenGraph& frozen,
+                PointId center, double eps, TraversalWorkspace* ws,
+                const DistanceAccelerator* accel,
+                std::vector<RangeResult>* out) {
+  if (accel == nullptr) {
+    RangeQuery(view, frozen, center, eps, ws, out);
+    return;
+  }
+  RangeQueryAccelImpl(view, frozen, center, eps, ws, accel, out);
 }
 
 void KNearestNeighbors(const NetworkView& view, PointId center, uint32_t k,
@@ -244,7 +316,7 @@ void KNearestNeighbors(const NetworkView& view, PointId center, uint32_t k,
     heap.pop();
     if (d > scratch->Get(n)) continue;  // stale
     if (d >= bound()) break;
-    view.ForEachNeighbor(n, [&](NodeId m, double we) {
+    VisitNeighbors(view, n, [&](NodeId m, double we) {
       // Offer via this (settled) side; the other side offers again when
       // it settles, and per-point minimization keeps the best.
       offer_edge(n, m, we, d);

@@ -7,6 +7,7 @@
 
 #include "graph/accelerator.h"
 #include "graph/dijkstra.h"
+#include "graph/frozen_graph.h"
 #include "graph/network_view.h"
 #include "graph/types.h"
 
@@ -28,6 +29,13 @@ double DirectDistanceToNode(const PointPos& p, double edge_weight, NodeId n);
 double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
                             NodeScratch* scratch);
 
+/// Frozen-path variant: the traversal runs over `frozen` (a snapshot of
+/// `view`, see NetworkView::Freeze()) with no virtual dispatch in the
+/// inner loop; point positions still come from `view`. Bit-identical to
+/// the overload above.
+double PointNetworkDistance(const NetworkView& view, const FrozenGraph& frozen,
+                            PointId p, PointId q, NodeScratch* scratch);
+
 /// Accelerated variant (`accel` may be null = exact path above). Early
 /// exits on a cache hit and on a kInfDist lower bound (proven
 /// disconnection); exact results are offered back to the cache.
@@ -37,6 +45,13 @@ double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
 /// threshold, not the exact distance — is returned.
 double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
                             NodeScratch* scratch,
+                            const DistanceAccelerator* accel,
+                            double threshold = kInfDist);
+
+/// Frozen-path accelerated variant; same contract, exact expansions run
+/// over the snapshot.
+double PointNetworkDistance(const NetworkView& view, const FrozenGraph& frozen,
+                            PointId p, PointId q, NodeScratch* scratch,
                             const DistanceAccelerator* accel,
                             double threshold = kInfDist);
 
@@ -62,6 +77,12 @@ void RangeQuery(const NetworkView& view, PointId center, double eps,
 void RangeQuery(const NetworkView& view, PointId center, double eps,
                 TraversalWorkspace* ws, std::vector<RangeResult>* out);
 
+/// Frozen-path variant: expansion and edge inspection run over the
+/// snapshot (point data still comes from `view`). Bit-identical results.
+void RangeQuery(const NetworkView& view, const FrozenGraph& frozen,
+                PointId center, double eps, TraversalWorkspace* ws,
+                std::vector<RangeResult>* out);
+
 /// Accelerated variant (`accel` may be null = plain overload above).
 /// Two levers, both result-preserving: the expansion radius is tightened
 /// to accel->RangeExpansionBound(center, eps) (landmark prefilter), and
@@ -72,6 +93,13 @@ void RangeQuery(const NetworkView& view, PointId center, double eps,
 /// differs, so results are sorted by id before returning.
 void RangeQuery(const NetworkView& view, PointId center, double eps,
                 TraversalWorkspace* ws, const DistanceAccelerator* accel,
+                std::vector<RangeResult>* out);
+
+/// Frozen-path accelerated variant; same result-preserving levers, with
+/// the expansion over the snapshot.
+void RangeQuery(const NetworkView& view, const FrozenGraph& frozen,
+                PointId center, double eps, TraversalWorkspace* ws,
+                const DistanceAccelerator* accel,
                 std::vector<RangeResult>* out);
 
 /// Finds the `k` points nearest to `center` by network distance

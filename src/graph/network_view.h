@@ -16,6 +16,8 @@
 
 namespace netclus {
 
+class FrozenGraph;
+
 /// \brief Read-only access to a network and the points lying on it.
 class NetworkView {
  public:
@@ -49,6 +51,15 @@ class NetworkView {
   virtual void ForEachPointGroup(
       const std::function<void(NodeId, NodeId, PointId, uint32_t)>& fn)
       const = 0;
+
+  /// Materializes an immutable CSR snapshot of this view's adjacency
+  /// structure (see graph/frozen_graph.h). Neighbor order matches this
+  /// view's iteration order, so traversals over the snapshot are
+  /// bit-identical to traversals over the view. Works for any backend;
+  /// a disk-backed view pages its whole adjacency file once. Fails if
+  /// the view has recorded (or records during the scan) an I/O error.
+  /// Defined in frozen_graph.cc; callers include graph/frozen_graph.h.
+  Result<FrozenGraph> Freeze() const;
 
   /// First I/O error the view has swallowed, or OK. The accessor methods
   /// above cannot report failures inline (algorithms consume them as pure

@@ -6,14 +6,20 @@ namespace netclus {
 
 Result<std::unique_ptr<DistanceIndex>> DistanceIndex::Build(
     const NetworkView& view, const IndexOptions& options, ThreadPool* pool) {
+  return Build(view, options, pool, nullptr);
+}
+
+Result<std::unique_ptr<DistanceIndex>> DistanceIndex::Build(
+    const NetworkView& view, const IndexOptions& options, ThreadPool* pool,
+    const FrozenGraph* frozen) {
   NETCLUS_RETURN_IF_ERROR(view.status());
   NETCLUS_ASSIGN_OR_RETURN(
       LandmarkOracle landmarks,
-      LandmarkOracle::Build(view, options.num_landmarks, pool));
+      LandmarkOracle::Build(view, options.num_landmarks, pool, frozen));
   std::optional<VoronoiPrecompute> voronoi;
   if (options.enable_voronoi) {
     NETCLUS_ASSIGN_OR_RETURN(VoronoiPrecompute built,
-                             VoronoiPrecompute::Build(view));
+                             VoronoiPrecompute::Build(view, frozen));
     voronoi = std::move(built);
   }
   auto index = std::make_unique<DistanceIndex>(

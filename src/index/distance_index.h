@@ -78,6 +78,14 @@ class DistanceIndex : public DistanceAccelerator {
   static Result<std::unique_ptr<DistanceIndex>> Build(
       const NetworkView& view, const IndexOptions& options, ThreadPool* pool);
 
+  /// As above with an optional FrozenGraph snapshot of `view` (see
+  /// NetworkView::Freeze()): when non-null, the landmark SSSPs and the
+  /// Voronoi expansion run over the snapshot's CSR arrays. Bit-identical
+  /// index contents.
+  static Result<std::unique_ptr<DistanceIndex>> Build(
+      const NetworkView& view, const IndexOptions& options, ThreadPool* pool,
+      const FrozenGraph* frozen);
+
   /// Assembles an index from prebuilt components (Build's back end;
   /// public so tests can inject doctored components).
   DistanceIndex(const IndexOptions& options, PointId num_points,

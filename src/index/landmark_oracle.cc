@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "graph/dijkstra.h"
+#include "graph/frozen_graph.h"
 
 namespace netclus {
 
@@ -23,11 +24,30 @@ NodeId FarthestNode(const std::vector<double>& min_dist) {
   return best;
 }
 
+// One landmark SSSP into a dense |V| distance row, via the reusable
+// workspace overload (the allocating DijkstraDistances is tests-only).
+template <typename Graph>
+void LandmarkSssp(const Graph& graph, NodeId source, NodeId num_nodes,
+                  TraversalWorkspace* ws, std::vector<double>* out) {
+  DijkstraDistances(graph, {DijkstraSource{source, 0.0}}, ws);
+  out->resize(num_nodes);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    (*out)[n] = ws->scratch.Get(n);
+  }
+}
+
 }  // namespace
 
 Result<LandmarkOracle> LandmarkOracle::Build(const NetworkView& view,
                                              uint32_t num_landmarks,
                                              ThreadPool* pool) {
+  return Build(view, num_landmarks, pool, nullptr);
+}
+
+Result<LandmarkOracle> LandmarkOracle::Build(const NetworkView& view,
+                                             uint32_t num_landmarks,
+                                             ThreadPool* pool,
+                                             const FrozenGraph* frozen) {
   LandmarkOracle oracle;
   oracle.num_points_ = view.num_points();
   const NodeId num_nodes = view.num_nodes();
@@ -39,11 +59,15 @@ Result<LandmarkOracle> LandmarkOracle::Build(const NetworkView& view,
   // point table, so the node-distance rows are kept for phase 2.
   std::vector<std::vector<double>> node_dist(k);
   std::vector<double> min_dist(num_nodes, kInfDist);
+  TraversalWorkspace ws(num_nodes);
   for (uint32_t l = 0; l < k; ++l) {
     NodeId pick = l == 0 ? NodeId{0} : FarthestNode(min_dist);
     oracle.landmarks_.push_back(pick);
-    node_dist[l] =
-        DijkstraDistances(view, {DijkstraSource{pick, 0.0}});
+    if (frozen != nullptr) {
+      LandmarkSssp(*frozen, pick, num_nodes, &ws, &node_dist[l]);
+    } else {
+      LandmarkSssp(view, pick, num_nodes, &ws, &node_dist[l]);
+    }
     for (NodeId n = 0; n < num_nodes; ++n) {
       min_dist[n] = std::min(min_dist[n], node_dist[l][n]);
     }

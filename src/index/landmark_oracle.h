@@ -42,6 +42,14 @@ class LandmarkOracle {
                                       uint32_t num_landmarks,
                                       ThreadPool* pool);
 
+  /// As above with an optional FrozenGraph snapshot of `view` (see
+  /// NetworkView::Freeze()): when non-null, every landmark SSSP runs
+  /// over the snapshot's CSR arrays. Bit-identical tables.
+  static Result<LandmarkOracle> Build(const NetworkView& view,
+                                      uint32_t num_landmarks,
+                                      ThreadPool* pool,
+                                      const FrozenGraph* frozen);
+
   uint32_t num_landmarks() const {
     return static_cast<uint32_t>(landmarks_.size());
   }

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "graph/dijkstra.h"
+#include "graph/frozen_graph.h"
 
 namespace netclus {
 
@@ -36,7 +37,12 @@ Label PopLabel(std::vector<Label>* heap) {
 
 }  // namespace
 
-Result<VoronoiPrecompute> VoronoiPrecompute::Build(const NetworkView& view) {
+// Templated over the traversal substrate: Graph is NetworkView (legacy
+// virtual dispatch) or FrozenGraph (inline CSR walk). Point data always
+// comes from the view; only the relax step touches `graph`.
+template <typename Graph>
+Result<VoronoiPrecompute> VoronoiPrecompute::BuildImpl(const NetworkView& view,
+                                                       const Graph& graph) {
   VoronoiPrecompute vp;
   const NodeId num_nodes = view.num_nodes();
   vp.first_id_.assign(num_nodes, kInvalidPointId);
@@ -80,7 +86,7 @@ Result<VoronoiPrecompute> VoronoiPrecompute::Build(const NetworkView& view) {
       continue;  // two distinct sources already settled
     }
     ++tc.settled_nodes;
-    view.ForEachNeighbor(n, [&](NodeId m, double ew) {
+    VisitNeighbors(graph, n, [&](NodeId m, double ew) {
       // A node with both labels settled cannot be improved, and any
       // path through it is dominated by its settled labels — prune.
       if (vp.second_id_[m] != kInvalidPointId) return;
@@ -90,6 +96,16 @@ Result<VoronoiPrecompute> VoronoiPrecompute::Build(const NetworkView& view) {
 
   NETCLUS_RETURN_IF_ERROR(view.status());
   return vp;
+}
+
+Result<VoronoiPrecompute> VoronoiPrecompute::Build(const NetworkView& view) {
+  return BuildImpl(view, view);
+}
+
+Result<VoronoiPrecompute> VoronoiPrecompute::Build(const NetworkView& view,
+                                                   const FrozenGraph* frozen) {
+  if (frozen == nullptr) return BuildImpl(view, view);
+  return BuildImpl(view, *frozen);
 }
 
 }  // namespace netclus

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/validate.h"
+#include "graph/frozen_graph.h"
 
 namespace netclus {
 
@@ -78,6 +79,13 @@ Result<ClusterOutput> RunClustering(const NetworkView& view,
   // partial data; refuse up front.
   NETCLUS_RETURN_IF_ERROR(view.status());
   WallTimer timer;
+  // Freeze the adjacency structure once per run: every traversal below
+  // — index builds and the algorithms themselves — expands over this
+  // immutable CSR snapshot, shared read-only across the thread pool,
+  // instead of paying virtual dispatch per neighbor. Trajectories are
+  // bit-identical to the live-view path (ValidateFrozenGraph re-proves
+  // the snapshot under validate mode).
+  NETCLUS_ASSIGN_OR_RETURN(FrozenGraph frozen, view.Freeze());
   // The optional distance index (landmarks + cache + Voronoi floors) is
   // built up front and handed to the algorithms that accept an
   // accelerator; the others simply ignore it. With `index.enable` unset
@@ -88,15 +96,16 @@ Result<ClusterOutput> RunClustering(const NetworkView& view,
     std::optional<ThreadPool> pool;
     if (workers > 1 && spec.index.num_landmarks > 1) pool.emplace(workers);
     NETCLUS_ASSIGN_OR_RETURN(
-        index,
-        DistanceIndex::Build(view, spec.index, pool ? &*pool : nullptr));
+        index, DistanceIndex::Build(view, spec.index,
+                                    pool ? &*pool : nullptr, &frozen));
   }
   const DistanceAccelerator* accel = index.get();
   ClusterOutput out;
   out.algorithm = spec.algorithm;
   switch (spec.algorithm) {
     case Algorithm::kKMedoids: {
-      Result<KMedoidsResult> r = KMedoidsCluster(view, spec.kmedoids, accel);
+      Result<KMedoidsResult> r =
+          KMedoidsCluster(view, spec.kmedoids, accel, &frozen);
       if (!r.ok()) return r.status();
       out.clustering = std::move(r.value().clustering);
       out.medoids = std::move(r.value().medoids);
@@ -105,13 +114,14 @@ Result<ClusterOutput> RunClustering(const NetworkView& view,
       break;
     }
     case Algorithm::kEpsLink: {
-      Result<Clustering> r = EpsLinkCluster(view, spec.eps_link);
+      Result<Clustering> r = EpsLinkCluster(view, spec.eps_link, &frozen);
       if (!r.ok()) return r.status();
       out.clustering = std::move(r.value());
       break;
     }
     case Algorithm::kSingleLink: {
-      Result<SingleLinkResult> r = SingleLinkCluster(view, spec.single_link);
+      Result<SingleLinkResult> r =
+          SingleLinkCluster(view, spec.single_link, &frozen);
       if (!r.ok()) return r.status();
       out.clustering = CutDendrogram(r.value().dendrogram, spec);
       out.dendrogram = std::move(r.value().dendrogram);
@@ -119,7 +129,7 @@ Result<ClusterOutput> RunClustering(const NetworkView& view,
       break;
     }
     case Algorithm::kDbscan: {
-      Result<Clustering> r = DbscanCluster(view, spec.dbscan, accel);
+      Result<Clustering> r = DbscanCluster(view, spec.dbscan, accel, &frozen);
       if (!r.ok()) return r.status();
       out.clustering = std::move(r.value());
       break;
@@ -135,6 +145,10 @@ Result<ClusterOutput> RunClustering(const NetworkView& view,
   constexpr bool kAlwaysValidate = false;
 #endif
   if (spec.validate || kAlwaysValidate) {
+    // The snapshot every traversal above ran over must be a faithful
+    // copy of the view — checked first, since a corrupt snapshot would
+    // invalidate the algorithm output audits below.
+    NETCLUS_RETURN_IF_ERROR(ValidateFrozenGraph(view, frozen));
     NETCLUS_RETURN_IF_ERROR(ValidateOutput(view, spec, out));
     // Re-prove every class of bound the index served during the run
     // against independent exact traversals.
