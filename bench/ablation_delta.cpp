@@ -26,7 +26,7 @@ int main() {
   std::printf("N = %u points, eps = %.4f\n\n", d.workload.points.size(), eps);
 
   SingleLinkResult exact =
-      std::move(SingleLinkCluster(view, SingleLinkOptions{}).value());
+      std::move(RunSingleLink(view, SingleLinkOptions{}).value());
   Clustering exact_cut = exact.dendrogram.CutAtDistance(eps, 2);
 
   PrintRow({"delta/eps", "init-clusters", "max|P|", "max|Q|", "time(s)",
@@ -35,7 +35,7 @@ int main() {
     SingleLinkOptions opts;
     opts.delta = frac * eps;
     WallTimer t;
-    SingleLinkResult r = std::move(SingleLinkCluster(view, opts).value());
+    SingleLinkResult r = std::move(RunSingleLink(view, opts).value());
     double secs = t.ElapsedSeconds();
     Clustering cut = r.dendrogram.CutAtDistance(eps, 2);
     PrintRow({Fmt(frac, 1), std::to_string(r.stats.initial_clusters),

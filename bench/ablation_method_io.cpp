@@ -60,23 +60,23 @@ int main() {
     opts.k = 10;
     opts.seed = 42;
     opts.max_unsuccessful_swaps = 5;
-    (void)KMedoidsCluster(view, opts).value();
+    (void)RunKMedoids(view, opts).value();
   });
   run("dbscan", [&](const NetworkView& view) {
     DbscanOptions opts;
     opts.eps = eps;
     opts.min_pts = 2;
-    (void)DbscanCluster(view, opts).value();
+    (void)RunDbscan(view, opts).value();
   });
   run("eps-link", [&](const NetworkView& view) {
     EpsLinkOptions opts;
     opts.eps = eps;
-    (void)EpsLinkCluster(view, opts).value();
+    (void)RunEpsLink(view, opts).value();
   });
   run("single-link", [&](const NetworkView& view) {
     SingleLinkOptions opts;
     opts.delta = 0.7 * eps;
-    (void)SingleLinkCluster(view, opts).value();
+    (void)RunSingleLink(view, opts).value();
   });
 
   std::printf(

@@ -35,7 +35,7 @@ IoResult RunEpsLinkOnDisk(const Dataset& d, NodePlacement placement,
   uint64_t logical_before = bstats.logical_accesses();
   EpsLinkOptions opts;
   opts.eps = d.workload.max_intra_gap;
-  (void)EpsLinkCluster(bundle->view(), opts).value();
+  (void)RunEpsLink(bundle->view(), opts).value();
   IoResult r;
   r.physical_reads = bundle->TotalPhysicalReads() - before;
   r.logical = bundle->buffer_manager().stats().logical_accesses() -

@@ -17,9 +17,55 @@
 #include "gen/workload_gen.h"
 #include "graph/dijkstra.h"
 #include "graph/network.h"
+#include "netclus.h"
 
 namespace netclus {
 namespace bench {
+
+// --- unified-entry adapters --------------------------------------------
+// The per-algorithm convenience overloads are deprecated; harnesses time
+// RunClustering(view, MakeSpec(options)) — the path users actually run,
+// including its one-time Freeze() — and unpack the ClusterOutput back
+// into the per-algorithm result shapes the tables read.
+
+inline Result<KMedoidsResult> RunKMedoids(const NetworkView& view,
+                                          const KMedoidsOptions& options) {
+  NETCLUS_ASSIGN_OR_RETURN(ClusterOutput out,
+                           RunClustering(view, MakeSpec(options)));
+  KMedoidsResult r;
+  r.clustering = std::move(out.clustering);
+  r.medoids = std::move(out.medoids);
+  r.cost = out.cost;
+  r.stats = out.kmedoids_stats;
+  return r;
+}
+
+inline Result<Clustering> RunEpsLink(const NetworkView& view,
+                                     const EpsLinkOptions& options) {
+  NETCLUS_ASSIGN_OR_RETURN(ClusterOutput out,
+                           RunClustering(view, MakeSpec(options)));
+  return std::move(out.clustering);
+}
+
+inline Result<Clustering> RunDbscan(const NetworkView& view,
+                                    const DbscanOptions& options) {
+  NETCLUS_ASSIGN_OR_RETURN(ClusterOutput out,
+                           RunClustering(view, MakeSpec(options)));
+  return std::move(out.clustering);
+}
+
+inline Result<SingleLinkResult> RunSingleLink(
+    const NetworkView& view, const SingleLinkOptions& options) {
+  NETCLUS_ASSIGN_OR_RETURN(ClusterOutput out,
+                           RunClustering(view, MakeSpec(options)));
+  if (!out.dendrogram.has_value()) {
+    return Status::Internal("single-link run produced no dendrogram");
+  }
+  SingleLinkResult r(0);
+  r.dendrogram = std::move(*out.dendrogram);
+  r.stats = out.single_link_stats;
+  return r;
+}
 
 /// Scale factor from NETCLUS_BENCH_SCALE (clamped to (0, 1]).
 double BenchScale();

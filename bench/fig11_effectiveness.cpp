@@ -61,27 +61,27 @@ int main() {
   KMedoidsOptions ko;
   ko.k = 10;
   ko.seed = 42;
-  KMedoidsResult km = std::move(KMedoidsCluster(view, ko).value());
+  KMedoidsResult km = std::move(RunKMedoids(view, ko).value());
   Report("kmed-rand", truth, km.clustering);
 
   // (b) k-medoids seeded with the true cluster seeds ("best case").
   KMedoidsOptions ko_ideal = ko;
   ko_ideal.initial_medoids = d.workload.cluster_seeds;
   KMedoidsResult km_ideal =
-      std::move(KMedoidsCluster(view, ko_ideal).value());
+      std::move(RunKMedoids(view, ko_ideal).value());
   Report("kmed-ideal", truth, km_ideal.clustering);
 
   // (c) DBSCAN and ε-Link with eps = max generator gap, MinPts = 2.
   DbscanOptions dbo;
   dbo.eps = eps;
   dbo.min_pts = 2;
-  Clustering db = std::move(DbscanCluster(view, dbo).value());
+  Clustering db = std::move(RunDbscan(view, dbo).value());
   Report("dbscan", truth, db);
 
   EpsLinkOptions eo;
   eo.eps = eps;
   eo.min_sup = 2;
-  Clustering el = std::move(EpsLinkCluster(view, eo).value());
+  Clustering el = std::move(RunEpsLink(view, eo).value());
   Report("eps-link", truth, el);
   std::printf("dbscan == eps-link partitions: %s\n\n",
               SamePartition(db.assignment, el.assignment) ? "yes" : "NO");
@@ -89,7 +89,7 @@ int main() {
   // (d-f) Single-Link with the delta heuristic, read at three stages.
   SingleLinkOptions so;
   so.delta = 0.7 * eps;
-  SingleLinkResult sl = std::move(SingleLinkCluster(view, so).value());
+  SingleLinkResult sl = std::move(RunSingleLink(view, so).value());
   std::printf("single-link: initial clusters after delta phase = %zu "
               "(N = %u)\n",
               sl.stats.initial_clusters, pts.size());

@@ -32,9 +32,9 @@ int main() {
     opts.seed = 42;
     opts.max_unsuccessful_swaps = 8;
     opts.incremental_updates = true;
-    KMedoidsResult inc = std::move(KMedoidsCluster(view, opts).value());
+    KMedoidsResult inc = std::move(RunKMedoids(view, opts).value());
     opts.incremental_updates = false;
-    KMedoidsResult scr = std::move(KMedoidsCluster(view, opts).value());
+    KMedoidsResult scr = std::move(RunKMedoids(view, opts).value());
     // Identical seeds walk identical swap sequences, so the per-swap
     // averages are directly comparable.
     double speedup = inc.stats.avg_swap_seconds > 0.0

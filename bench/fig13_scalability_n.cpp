@@ -64,7 +64,7 @@ int main() {
     ko.k = 10;
     ko.seed = 42;
     ko.num_threads = threads;
-    (void)KMedoidsCluster(view, ko).value();
+    (void)RunKMedoids(view, ko).value();
     double t_kmed = t.ElapsedSeconds();
 
     t.Restart();
@@ -72,19 +72,19 @@ int main() {
     dbo.eps = eps;
     dbo.min_pts = 2;
     dbo.num_threads = threads;
-    (void)DbscanCluster(view, dbo).value();
+    (void)RunDbscan(view, dbo).value();
     double t_dbscan = t.ElapsedSeconds();
 
     t.Restart();
     EpsLinkOptions eo;
     eo.eps = eps;
-    (void)EpsLinkCluster(view, eo).value();
+    (void)RunEpsLink(view, eo).value();
     double t_epslink = t.ElapsedSeconds();
 
     t.Restart();
     SingleLinkOptions so;
     so.delta = 0.7 * eps;
-    (void)SingleLinkCluster(view, so).value();
+    (void)RunSingleLink(view, so).value();
     double t_single = t.ElapsedSeconds();
 
     PrintRow({std::to_string(w.points.size()), Fmt(t_kmed, 3),

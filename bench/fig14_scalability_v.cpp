@@ -46,26 +46,26 @@ int main() {
     KMedoidsOptions ko;
     ko.k = 10;
     ko.seed = 42;
-    (void)KMedoidsCluster(view, ko).value();
+    (void)RunKMedoids(view, ko).value();
     double t_kmed = t.ElapsedSeconds();
 
     t.Restart();
     DbscanOptions dbo;
     dbo.eps = eps;
     dbo.min_pts = 2;
-    (void)DbscanCluster(view, dbo).value();
+    (void)RunDbscan(view, dbo).value();
     double t_dbscan = t.ElapsedSeconds();
 
     t.Restart();
     EpsLinkOptions eo;
     eo.eps = eps;
-    (void)EpsLinkCluster(view, eo).value();
+    (void)RunEpsLink(view, eo).value();
     double t_epslink = t.ElapsedSeconds();
 
     t.Restart();
     SingleLinkOptions so;
     so.delta = 0.7 * eps;
-    (void)SingleLinkCluster(view, so).value();
+    (void)RunSingleLink(view, so).value();
     double t_single = t.ElapsedSeconds();
 
     PrintRow({Fmt(100 * pct, 0), std::to_string(sub.num_nodes()),

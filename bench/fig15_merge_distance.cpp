@@ -27,7 +27,7 @@ int main() {
   double eps = d.workload.max_intra_gap;
   SingleLinkOptions so;
   so.delta = 0.7 * eps;
-  SingleLinkResult r = std::move(SingleLinkCluster(view, so).value());
+  SingleLinkResult r = std::move(RunSingleLink(view, so).value());
 
   std::vector<double> heights;
   for (const Merge& m : r.dendrogram.merges()) heights.push_back(m.distance);

@@ -1,0 +1,173 @@
+// Server throughput: the QueryServer serving a mixed read workload
+// (point distances, range queries, nearest-object) at 1, 4, and 8
+// worker threads. Each configuration submits the whole request set
+// asynchronously — so the dispatcher batches and the pool fans out —
+// and reports queries/sec plus the p99 queue wait from the server's
+// own sample ring. Emitted as BENCH_server.json for CI diffing; wired
+// into `run_all.sh bench-smoke` and `run_all.sh server-smoke`.
+//
+// Gate: throughput must scale from 1 to 4 workers. The bar is
+// hardware-aware — on a multi-core host 4 workers must beat 1 by 5%;
+// on a single core they only have to stay within 2x (the batching
+// overhead bound), since there is no parallelism to win.
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "graph/network_distance.h"
+#include "server/query_server.h"
+
+using namespace netclus;
+using namespace netclus::bench;
+
+namespace {
+
+constexpr int kRequests = 1500;
+constexpr int kReps = 3;
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+std::vector<QueryRequest> MakeWorkload(PointId n_points, double eps) {
+  std::vector<QueryRequest> reqs;
+  reqs.reserve(kRequests);
+  Rng rng(31);
+  for (int i = 0; i < kRequests; ++i) {
+    PointId a = static_cast<PointId>(rng.NextBounded(n_points));
+    PointId b = static_cast<PointId>(rng.NextBounded(n_points));
+    switch (i % 3) {
+      case 0:
+        reqs.push_back(QueryRequest::PointDistance(a, b));
+        break;
+      case 1:
+        reqs.push_back(QueryRequest::Range(a, eps));
+        break;
+      default:
+        reqs.push_back(QueryRequest::NearestObject(a, 2));
+        break;
+    }
+  }
+  return reqs;
+}
+
+// Best-of-reps queries/sec for one worker count, plus the p99 queue
+// wait across all of its reps.
+struct RunResult {
+  double qps = 0.0;
+  double p99_wait_ms = 0.0;
+};
+
+RunResult RunAtWorkers(const Network& net, const PointSet& points,
+                       uint32_t workers,
+                       const std::vector<QueryRequest>& reqs) {
+  QueryServerOptions opts;
+  opts.num_workers = workers;
+  opts.max_queue_depth = static_cast<size_t>(kRequests) + 16;
+  opts.max_batch_size = 64;
+  std::unique_ptr<QueryServer> server =
+      std::move(QueryServer::Start(net, points, opts).value());
+
+  double best_seconds = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::vector<std::future<Result<QueryResponse>>> futures;
+    futures.reserve(reqs.size());
+    WallTimer timer;
+    for (const QueryRequest& req : reqs) {
+      futures.push_back(server->Submit(req));
+    }
+    for (std::future<Result<QueryResponse>>& f : futures) {
+      Result<QueryResponse> r = f.get();
+      if (!r.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     r.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    double s = timer.ElapsedSeconds();
+    if (rep == 0 || s < best_seconds) best_seconds = s;
+  }
+
+  RunResult out;
+  out.qps = static_cast<double>(kRequests) / best_seconds;
+  out.p99_wait_ms = Percentile(server->QueueWaitSamplesMs(), 0.99);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  GeneratedNetwork gen = GenerateRoadNetwork({2500, 1.3, 0.3, 77});
+  PointSet points =
+      std::move(GenerateUniformPoints(gen.net, 1200, 78)).value();
+  InMemoryNetworkView view(gen.net, points);
+  std::printf("server-throughput: %u nodes, %zu edges, %u points\n",
+              gen.net.num_nodes(), gen.net.num_edges(), points.size());
+
+  // eps from the network's own scale, as in bench_smoke.
+  double eps;
+  {
+    NodeScratch scratch(gen.net.num_nodes());
+    std::vector<double> sample;
+    Rng rng(12);
+    for (int i = 0; i < 64; ++i) {
+      PointId p = static_cast<PointId>(rng.NextBounded(points.size()));
+      PointId q = static_cast<PointId>(rng.NextBounded(points.size()));
+      double d = PointNetworkDistance(view, p, q, &scratch);
+      if (d < kInfDist) sample.push_back(d);
+    }
+    std::sort(sample.begin(), sample.end());
+    eps = 0.25 * sample[sample.size() / 2];
+  }
+  std::vector<QueryRequest> reqs = MakeWorkload(points.size(), eps);
+
+  BenchRecorder rec("server");
+  PrintRow({"workers", "qps", "p99_wait_ms"}, 16);
+  std::vector<std::pair<uint32_t, RunResult>> results;
+  for (uint32_t workers : {1u, 4u, 8u}) {
+    RunResult r = RunAtWorkers(gen.net, points, workers, reqs);
+    results.emplace_back(workers, r);
+    PrintRow({std::to_string(workers), Fmt(r.qps, 0), Fmt(r.p99_wait_ms)},
+             16);
+    rec.Add("qps_workers_" + std::to_string(workers),
+            {static_cast<double>(kRequests) / r.qps}, TraversalCounters{},
+            {{"qps", r.qps},
+             {"p99_queue_wait_ms", r.p99_wait_ms},
+             {"workers", static_cast<double>(workers)}});
+  }
+
+  std::string path = rec.Write();
+  std::printf("\nwrote %s\n",
+              path.empty() ? "(json write FAILED)" : path.c_str());
+  if (path.empty()) return 1;
+
+  // Hardware-aware scaling gate: 1 -> 4 workers.
+  const double ratio = results[1].second.qps / results[0].second.qps;
+  const unsigned cores = std::thread::hardware_concurrency();
+  double floor = 0.5;  // single core: batching overhead bounded by 2x
+  if (cores >= 4) {
+    floor = 1.05;
+  } else if (cores >= 2) {
+    floor = 1.0;
+  }
+  std::printf("scaling 1->4 workers: %.2fx (floor %.2fx on %u cores)\n",
+              ratio, floor, cores);
+  if (ratio <= floor) {
+    std::fprintf(stderr,
+                 "FAIL: 4-worker throughput did not clear the scaling "
+                 "floor\n");
+    return 1;
+  }
+  return 0;
+}

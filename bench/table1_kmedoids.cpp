@@ -47,7 +47,7 @@ int main() {
     opts.k = 10;
     opts.seed = 42;
     opts.incremental_updates = true;
-    KMedoidsResult r = std::move(KMedoidsCluster(view, opts).value());
+    KMedoidsResult r = std::move(RunKMedoids(view, opts).value());
     double ratio = r.stats.avg_swap_seconds > 0.0
                        ? r.stats.first_iteration_seconds /
                              r.stats.avg_swap_seconds
@@ -77,7 +77,7 @@ int main() {
     for (uint32_t threads : {1u, 4u}) {
       opts.num_threads = threads;
       WallTimer t;
-      KMedoidsResult r = std::move(KMedoidsCluster(view, opts).value());
+      KMedoidsResult r = std::move(RunKMedoids(view, opts).value());
       double wall = t.ElapsedSeconds();
       PrintRow({std::to_string(threads), Fmt(wall, 3), Fmt(r.cost, 3)});
       if (threads == 1) {

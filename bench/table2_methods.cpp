@@ -34,7 +34,7 @@ int main() {
     KMedoidsOptions ko;
     ko.k = 10;
     ko.seed = 42;
-    KMedoidsResult km = std::move(KMedoidsCluster(view, ko).value());
+    KMedoidsResult km = std::move(RunKMedoids(view, ko).value());
     (void)km;
     double t_kmed = t.ElapsedSeconds();
 
@@ -42,21 +42,21 @@ int main() {
     DbscanOptions dbo;
     dbo.eps = eps;
     dbo.min_pts = 2;
-    Clustering db = std::move(DbscanCluster(view, dbo).value());
+    Clustering db = std::move(RunDbscan(view, dbo).value());
     (void)db;
     double t_dbscan = t.ElapsedSeconds();
 
     t.Restart();
     EpsLinkOptions eo;
     eo.eps = eps;
-    Clustering el = std::move(EpsLinkCluster(view, eo).value());
+    Clustering el = std::move(RunEpsLink(view, eo).value());
     (void)el;
     double t_epslink = t.ElapsedSeconds();
 
     t.Restart();
     SingleLinkOptions so;
     so.delta = 0.7 * eps;
-    SingleLinkResult sl = std::move(SingleLinkCluster(view, so).value());
+    SingleLinkResult sl = std::move(RunSingleLink(view, so).value());
     (void)sl;
     double t_single = t.ElapsedSeconds();
 

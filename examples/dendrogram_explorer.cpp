@@ -7,11 +7,11 @@
 #include <cstdio>
 
 #include "core/interesting_levels.h"
-#include "core/single_link.h"
 #include "eval/evaluation.h"
 #include "eval/metrics.h"
 #include "gen/network_gen.h"
 #include "gen/workload_gen.h"
+#include "netclus.h"
 
 using namespace netclus;
 
@@ -34,16 +34,18 @@ int main() {
 
   SingleLinkOptions opts;
   opts.delta = 0.5 * w.max_intra_gap;  // scalability heuristic
-  SingleLinkResult r = std::move(SingleLinkCluster(view, opts).value());
+  ClusterOutput out = std::move(RunClustering(view, MakeSpec(opts)).value());
+  const Dendrogram& dendrogram = *out.dendrogram;
   std::printf("single-link: %zu merges recorded, %zu initial clusters after "
               "delta pre-merge\n\n",
-              r.dendrogram.merges().size(), r.stats.initial_clusters);
+              dendrogram.merges().size(),
+              out.single_link_stats.initial_clusters);
 
   // 1. Cut by distance.
   std::printf("--- cuts by distance threshold ---\n");
   for (double frac : {0.5, 1.0, 2.0, 8.0}) {
     double threshold = frac * w.max_intra_gap;
-    Clustering c = r.dendrogram.CutAtDistance(threshold, 20);
+    Clustering c = dendrogram.CutAtDistance(threshold, 20);
     std::printf("  cut @ %.3f: %d clusters (ARI vs truth %.3f)\n", threshold,
                 c.num_clusters,
                 AdjustedRandIndex(w.points.labels(), c.assignment,
@@ -53,7 +55,7 @@ int main() {
   // 2. Cut by desired number of large clusters.
   std::printf("\n--- cuts by large-cluster count ---\n");
   for (uint32_t k : {8u, 4u, 2u}) {
-    Clustering c = r.dendrogram.CutAtLargeClusterCount(k, 50);
+    Clustering c = dendrogram.CutAtLargeClusterCount(k, 50);
     std::printf("  k = %u: %d clusters of >= 50 points\n", k, c.num_clusters);
   }
 
@@ -63,8 +65,8 @@ int main() {
   ilo.window = 10;
   ilo.factor = 5.0;
   for (const InterestingLevel& level :
-       DetectInterestingLevels(r.dendrogram, ilo)) {
-    Clustering c = r.dendrogram.CutAtDistance(level.distance_before, 20);
+       DetectInterestingLevels(dendrogram, ilo)) {
+    Clustering c = dendrogram.CutAtDistance(level.distance_before, 20);
     std::printf(
         "  jump x%-7.1f at %.3f -> %.3f: %d clusters, ARI vs truth %.3f\n",
         level.jump_ratio, level.distance_before, level.distance_after,

@@ -5,11 +5,10 @@
 // DiskNetworkView, and the buffer statistics expose the I/O behaviour.
 #include <cstdio>
 
-#include "core/eps_link.h"
-#include "core/kmedoids.h"
 #include "gen/network_gen.h"
 #include "gen/workload_gen.h"
 #include "graph/network_store.h"
+#include "netclus.h"
 
 using namespace netclus;
 
@@ -50,7 +49,8 @@ int main() {
   EpsLinkOptions eo;
   eo.eps = w.max_intra_gap;
   eo.min_sup = 10;
-  Clustering c = std::move(EpsLinkCluster(bundle->view(), eo).value());
+  Clustering c = std::move(
+      RunClustering(bundle->view(), MakeSpec(eo)).value().clustering);
   std::printf("\neps-link on disk store: %d clusters\n", c.num_clusters);
   report("after eps-link:");
 
@@ -58,9 +58,10 @@ int main() {
   ko.k = 10;
   ko.seed = 42;
   ko.max_unsuccessful_swaps = 5;
-  KMedoidsResult km = std::move(KMedoidsCluster(bundle->view(), ko).value());
+  ClusterOutput km =
+      std::move(RunClustering(bundle->view(), MakeSpec(ko)).value());
   std::printf("\nk-medoids on disk store: cost R = %.1f after %u swaps\n",
-              km.cost, km.stats.attempted_swaps);
+              km.cost, km.kmedoids_stats.attempted_swaps);
   report("after k-medoids:");
   return 0;
 }

@@ -9,7 +9,7 @@
 // into one waterfront cluster.
 #include <cstdio>
 
-#include "core/eps_link.h"
+#include "netclus.h"
 #include "eval/evaluation.h"
 #include "ext/multi_network.h"
 #include "gen/network_gen.h"
@@ -21,7 +21,7 @@ namespace {
 int CountClusters(const NetworkView& view, double eps) {
   EpsLinkOptions opts;
   opts.eps = eps;
-  return std::move(EpsLinkCluster(view, opts)).value().num_clusters;
+  return std::move(RunClustering(view, MakeSpec(opts))).value().clustering.num_clusters;
 }
 }  // namespace
 
@@ -56,9 +56,10 @@ int main() {
   PointSet all_pts =
       std::move(CombinePointSets(combined, road_pts, canal_pts).value());
   InMemoryNetworkView combined_view(combined.net, all_pts);
-  Clustering joined = std::move(EpsLinkCluster(combined_view,
-                                               EpsLinkOptions{eps, 1})
-                                    .value());
+  Clustering joined =
+      std::move(RunClustering(combined_view, MakeSpec(EpsLinkOptions{eps, 1}))
+                    .value()
+                    .clustering);
   std::printf("combined via pier (cost 0.3): %d cluster(s)\n",
               joined.num_clusters);
   std::printf("  road cafe #0 and canal cafe #%u share cluster: %s\n",

@@ -7,17 +7,25 @@
 //   netclus_cli cluster --in town.net --algo epslink --eps auto
 //   netclus_cli cluster --in town.net --algo kmedoids --k 8
 //   netclus_cli cluster --in town.net --algo singlelink --cut 0.5
+//   netclus_cli serve --in town.net --workers 4 --clients 4
+//       --queries 2000 --mutations 16
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/random.h"
+#include "common/timer.h"
 #include "core/parameter_selection.h"
 #include "eval/evaluation.h"
 #include "gen/network_gen.h"
 #include "gen/workload_gen.h"
 #include "graph/text_io.h"
 #include "netclus.h"
+#include "server/query_server.h"
 
 using namespace netclus;
 
@@ -48,7 +56,10 @@ int Usage() {
                "           [--delta D] [--cut D] [--seed S]\n"
                "           [--threads T] [--restarts R]\n"
                "           [--index on|off] [--landmarks K] [--cache-cap N]\n"
-               "           [--voronoi on|off]\n");
+               "           [--voronoi on|off]\n"
+               "  serve    --in FILE [--workers W] [--clients C]\n"
+               "           [--queries N] [--mutations M] [--eps E|auto]\n"
+               "           [--validate on|off] [--seed S]\n");
   return 2;
 }
 
@@ -170,6 +181,134 @@ int RunCluster(int argc, char** argv, const InMemoryNetworkView& view,
   return 0;
 }
 
+// An in-process serving demo over the loaded file: starts a QueryServer
+// (which runs the initial ε-Link clustering so membership queries have
+// an answer), drives it with concurrent client threads issuing a mixed
+// query workload while this thread applies point mutations — each batch
+// of which publishes a new RCU epoch — then prints the serving stats.
+int RunServe(int argc, char** argv, const Network& net,
+             const PointSet& points, const InMemoryNetworkView& view) {
+  uint32_t workers = static_cast<uint32_t>(
+      std::atol(FlagValue(argc, argv, "--workers", "4")));
+  uint32_t clients = static_cast<uint32_t>(
+      std::atol(FlagValue(argc, argv, "--clients", "4")));
+  if (clients == 0) clients = 1;
+  uint64_t queries = static_cast<uint64_t>(
+      std::atoll(FlagValue(argc, argv, "--queries", "2000")));
+  uint32_t mutations = static_cast<uint32_t>(
+      std::atol(FlagValue(argc, argv, "--mutations", "16")));
+  uint64_t seed =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "--seed", "42")));
+
+  double eps = 0.0;
+  std::string eps_flag = FlagValue(argc, argv, "--eps", "auto");
+  if (eps_flag == "auto") {
+    Result<double> suggested = SuggestEps(view, EpsSuggestionOptions{});
+    if (!suggested.ok()) return Fail(suggested.status());
+    eps = suggested.value();
+    std::printf("eps = %.6f (auto)\n", eps);
+  } else {
+    eps = std::atof(eps_flag.c_str());
+  }
+
+  QueryServerOptions opts;
+  opts.num_workers = workers;
+  opts.validate_replay =
+      std::strcmp(FlagValue(argc, argv, "--validate", "off"), "on") == 0;
+  ClusterSpec spec;
+  spec.algorithm = Algorithm::kEpsLink;
+  spec.eps_link.eps = eps;
+  spec.eps_link.min_sup = 2;
+  opts.cluster_spec = spec;
+
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(net, points, opts);
+  if (!started.ok()) return Fail(started.status());
+  QueryServer& server = *started.value();
+  std::printf("serving with %u workers%s; epoch %llu published\n",
+              server.num_workers(),
+              opts.validate_replay ? " (replay validation on)" : "",
+              static_cast<unsigned long long>(server.current_epoch()));
+
+  // Point ids are epoch-relative; querying only the initial ids stays
+  // valid across mutations because the point count never shrinks.
+  const PointId n_points = points.size();
+  const uint64_t per_client = queries / clients;
+  std::vector<uint64_t> ok_counts(clients, 0);
+  std::vector<uint64_t> err_counts(clients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  WallTimer timer;
+  for (uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(seed + 100 + c);
+      for (uint64_t i = 0; i < per_client; ++i) {
+        PointId a = static_cast<PointId>(rng.NextBounded(n_points));
+        PointId b = static_cast<PointId>(rng.NextBounded(n_points));
+        QueryRequest req;
+        switch (i % 4) {
+          case 0: req = QueryRequest::PointDistance(a, b); break;
+          case 1: req = QueryRequest::Range(a, eps); break;
+          case 2: req = QueryRequest::NearestObject(a, 2); break;
+          default: req = QueryRequest::ClusterMembership(a); break;
+        }
+        if (server.Execute(req).ok()) {
+          ++ok_counts[c];
+        } else {
+          ++err_counts[c];
+        }
+      }
+    });
+  }
+
+  std::vector<Edge> edges = net.Edges();
+  Rng mrng(seed + 7);
+  uint32_t applied = 0;
+  for (uint32_t m = 0; m < mutations && !edges.empty(); ++m) {
+    const Edge& e = edges[mrng.NextBounded(edges.size())];
+    if (server
+            .ApplyUpdate(NetworkUpdate::AddPoint(e.u, e.v, e.weight * 0.5, -1))
+            .ok()) {
+      ++applied;
+    }
+    std::this_thread::yield();
+  }
+  Status flushed = server.Flush();
+  for (std::thread& t : threads) t.join();
+  double seconds = timer.ElapsedSeconds();
+  if (!flushed.ok()) return Fail(flushed);
+
+  uint64_t ok = 0;
+  uint64_t err = 0;
+  for (uint32_t c = 0; c < clients; ++c) {
+    ok += ok_counts[c];
+    err += err_counts[c];
+  }
+  ServerStats stats = server.stats();
+  std::printf("served %llu queries (%llu failed) in %.3f s = %.0f qps\n",
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(err), seconds,
+              seconds > 0.0 ? static_cast<double>(ok) / seconds : 0.0);
+  std::printf("mutations applied: %u; epochs published %llu, drained %llu; "
+              "final epoch %llu\n",
+              applied,
+              static_cast<unsigned long long>(stats.epochs_published),
+              static_cast<unsigned long long>(stats.epochs_drained),
+              static_cast<unsigned long long>(server.current_epoch()));
+  std::printf("batches %llu (mean size %.1f, mean %.2f ms); queue wait mean "
+              "%.2f ms, max %.2f ms\n",
+              static_cast<unsigned long long>(stats.batches),
+              stats.mean_batch_size, stats.mean_batch_ms,
+              stats.mean_queue_wait_ms, stats.max_queue_wait_ms);
+  if (opts.validate_replay) {
+    std::printf("replay: %llu batches validated, %llu mismatches\n",
+                static_cast<unsigned long long>(stats.replay_batches),
+                static_cast<unsigned long long>(stats.replay_mismatches));
+    if (stats.replay_mismatches > 0) return 1;
+  }
+  return err == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -188,5 +327,6 @@ int main(int argc, char** argv) {
 
   if (cmd == "suggest") return RunSuggest(view);
   if (cmd == "cluster") return RunCluster(argc, argv, view, points);
+  if (cmd == "serve") return RunServe(argc, argv, net, points, view);
   return Usage();
 }

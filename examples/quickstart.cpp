@@ -1,15 +1,13 @@
 // Quickstart: build a tiny spatial network, place points on its edges,
-// and run all three clustering paradigms.
+// and run all three clustering paradigms through the unified entry
+// point — RunClustering(view, MakeSpec(options)).
 //
 // The network is the one from the paper's Figure 1 (six nodes, seven
 // edges, six points).
 #include <cstdio>
 
-#include "core/dbscan.h"
-#include "core/eps_link.h"
-#include "core/kmedoids.h"
-#include "core/single_link.h"
 #include "graph/network.h"
+#include "netclus.h"
 
 using namespace netclus;
 
@@ -55,7 +53,7 @@ int main() {
   KMedoidsOptions kopts;
   kopts.k = 2;
   kopts.seed = 3;
-  Result<KMedoidsResult> km = KMedoidsCluster(view, kopts);
+  Result<ClusterOutput> km = RunClustering(view, MakeSpec(kopts));
   if (!km.ok()) {
     std::fprintf(stderr, "kmedoids: %s\n", km.status().ToString().c_str());
     return 1;
@@ -67,25 +65,26 @@ int main() {
   // --- 4. Density-based: ε-Link and DBSCAN with the same eps.
   EpsLinkOptions eopts;
   eopts.eps = 3.0;
-  Result<Clustering> el = EpsLinkCluster(view, eopts);
+  Result<ClusterOutput> el = RunClustering(view, MakeSpec(eopts));
   if (!el.ok()) return 1;
-  PrintClustering("eps-link", el.value());
+  PrintClustering("eps-link", el.value().clustering);
 
   DbscanOptions dopts;
   dopts.eps = 3.0;
   dopts.min_pts = 2;
-  Result<Clustering> db = DbscanCluster(view, dopts);
+  Result<ClusterOutput> db = RunClustering(view, MakeSpec(dopts));
   if (!db.ok()) return 1;
-  PrintClustering("dbscan", db.value());
+  PrintClustering("dbscan", db.value().clustering);
 
   // --- 5. Hierarchical: the full Single-Link dendrogram.
-  Result<SingleLinkResult> sl = SingleLinkCluster(view, SingleLinkOptions{});
+  Result<ClusterOutput> sl = RunClustering(view, MakeSpec(SingleLinkOptions{}));
   if (!sl.ok()) return 1;
+  const Dendrogram& dendrogram = *sl.value().dendrogram;
   std::printf("\nsingle-link dendrogram (%zu merges):\n",
-              sl.value().dendrogram.merges().size());
-  for (const Merge& m : sl.value().dendrogram.merges()) {
+              dendrogram.merges().size());
+  for (const Merge& m : dendrogram.merges()) {
     std::printf("  merge p%u + p%u at distance %.2f\n", m.a, m.b, m.distance);
   }
-  PrintClustering("\ncut@3.0", sl.value().dendrogram.CutAtDistance(3.0));
+  PrintClustering("\ncut@3.0", dendrogram.CutAtDistance(3.0));
   return 0;
 }

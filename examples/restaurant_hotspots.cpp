@@ -10,13 +10,12 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/eps_link.h"
-#include "core/kmedoids.h"
 #include "eval/evaluation.h"
 #include "gen/network_gen.h"
 #include "gen/workload_gen.h"
 #include "graph/dijkstra.h"
 #include "graph/network_distance.h"
+#include "netclus.h"
 
 using namespace netclus;
 
@@ -44,7 +43,8 @@ int main() {
   EpsLinkOptions opts;
   opts.eps = town.max_intra_gap;
   opts.min_sup = 15;  // a hotspot needs at least 15 restaurants
-  Clustering hotspots = std::move(EpsLinkCluster(view, opts).value());
+  Clustering hotspots =
+      std::move(RunClustering(view, MakeSpec(opts)).value().clustering);
   ClusterSummary summary = Summarize(hotspots);
   std::printf("hotspots found: %d (%u independents outside any hotspot)\n\n",
               summary.num_clusters, summary.noise_points);

@@ -5,7 +5,7 @@
 // stretches the distances between them.
 #include <cstdio>
 
-#include "core/eps_link.h"
+#include "netclus.h"
 #include "eval/evaluation.h"
 #include "ext/time_dependent.h"
 #include "gen/network_gen.h"
@@ -45,7 +45,8 @@ int main() {
     EpsLinkOptions opts;
     opts.eps = eps;
     opts.min_sup = 5;
-    Clustering c = std::move(EpsLinkCluster(view, opts).value());
+    Clustering c =
+        std::move(RunClustering(view, MakeSpec(opts)).value().clustering);
     ClusterSummary s = Summarize(c);
     std::printf("%02d:%02d   x%-13.2f%-12d%-10u\n", static_cast<int>(t),
                 static_cast<int>(t * 60) % 60, traffic(t, 0, 0),

@@ -124,6 +124,25 @@ for f in $(find src -name '*.h' | sort); do
   fi
 done
 
+# Legacy-entry tripwire: the per-algorithm convenience overloads
+# (KMedoidsCluster & friends) are deprecated in favor of
+# RunClustering(view, MakeSpec(options)). tests/compat/ is the one
+# place that still exercises them (equivalence coverage); everything
+# else in tests/, examples/ and bench/ must go through the unified
+# entry. A file may opt out with a `netclus-lint: allow-legacy-entry`
+# comment when it deliberately times a non-deprecated engine overload.
+for f in $(find tests examples bench -name '*.h' -o -name '*.cc' -o -name '*.cpp' | sort); do
+  case "$f" in tests/compat/*) continue ;; esac
+  grep -q 'netclus-lint: allow-legacy-entry' "$f" && continue
+  stripped=$(sed 's@//.*@@' "$f")
+  hits=$(printf '%s\n' "$stripped" |
+    grep -nE '(^|[^[:alnum:]_])(KMedoidsCluster|EpsLinkCluster|DbscanCluster|SingleLinkCluster)[[:space:]]*\(' || true)
+  if [ -n "$hits" ]; then
+    fail "$f: legacy per-algorithm entry point; call RunClustering(view, MakeSpec(options)) (tests/compat/ is the only sanctioned caller; see also 'netclus-lint: allow-legacy-entry')
+$hits"
+  fi
+done
+
 # The whole ignored-Status story hangs on these two annotations; make
 # sure a refactor cannot drop them silently.
 if ! grep -q 'class \[\[nodiscard\]\] Status' src/common/status.h; then

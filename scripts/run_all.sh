@@ -32,13 +32,31 @@
 # runs the minutes-scale bench_smoke harness (distance-index on/off
 # contrasts on a small generated network) plus the frozen_traversal
 # contrast (FrozenGraph snapshot vs live view: identical counters,
-# >= 1.3x speedup), leaving machine-readable BENCH_*.json files at the
+# >= 1.3x speedup) and the server_throughput harness (queries/sec at
+# 1/4/8 workers + p99 queue wait, with a hardware-aware 1->4 worker
+# scaling gate), leaving machine-readable BENCH_*.json files at the
 # repository root.
+#
+# `scripts/run_all.sh server-smoke` builds the default configuration,
+# runs the query-server test suites (vocabulary, epoch manager,
+# QueryServer), an end-to-end netclus_cli serve pass with replay
+# validation on, and the server_throughput bench.
 #
 # The default mode is the full verify flow: lint, then build + tests +
 # benches, then the ubsan configuration over the core algorithm suites.
 set -e
 cd "$(dirname "$0")/.."
+
+# Configures the default build tree. Prefer Ninja on a fresh checkout,
+# but an existing build/ keeps whatever generator created it (the tier-1
+# verify flow configures it with the platform default).
+configure_build() {
+  if [ -f build/CMakeCache.txt ]; then
+    cmake -B build
+  else
+    cmake -B build -G Ninja
+  fi
+}
 
 if [ "${1:-}" = "lint" ]; then
   exec sh scripts/lint.sh
@@ -74,24 +92,47 @@ if [ "${1:-}" = "tsan" ]; then
   cmake -B build-tsan -G Ninja -DNETCLUS_SANITIZE=thread
   cmake --build build-tsan
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'ThreadPool|WorkspacePool|Parallel|Determin|Restart|DistanceCache' \
+    -R 'ThreadPool|WorkspacePool|Parallel|Determin|Restart|DistanceCache|EpochManager|QueryServer' \
     2>&1 | tee tsan_output.txt
   exit 0
 fi
 
+if [ "${1:-}" = "server-smoke" ]; then
+  configure_build
+  cmake --build build
+  ctest --test-dir build --output-on-failure \
+    -R 'QueryVocabulary|EpochManager|QueryServer' \
+    2>&1 | tee server_smoke_output.txt
+  # End-to-end: generate a town, serve it with concurrent clients and
+  # mutating epochs, with every served batch replay-validated against
+  # the inline path.
+  ./build/examples/netclus_cli generate --nodes 1500 --points 3000 \
+    --clusters 6 --seed 7 --out /tmp/netclus_serve_smoke.net \
+    2>&1 | tee -a server_smoke_output.txt
+  ./build/examples/netclus_cli serve --in /tmp/netclus_serve_smoke.net \
+    --workers 4 --clients 4 --queries 2000 --mutations 12 --validate on \
+    2>&1 | tee -a server_smoke_output.txt
+  ./build/bench/server_throughput 2>&1 | tee -a server_smoke_output.txt
+  ls BENCH_server.json
+  exit 0
+fi
+
 if [ "${1:-}" = "bench-smoke" ]; then
-  cmake -B build -G Ninja
+  configure_build
   cmake --build build
   ./build/bench/bench_smoke 2>&1 | tee bench_smoke_output.txt
   # Frozen-vs-view traversal contrast: exits non-zero unless the
   # counters match exactly and the snapshot path is >= 1.3x faster.
   ./build/bench/frozen_traversal 2>&1 | tee -a bench_smoke_output.txt
+  # Query-server throughput at 1/4/8 workers with the hardware-aware
+  # 1->4 scaling gate.
+  ./build/bench/server_throughput 2>&1 | tee -a bench_smoke_output.txt
   ls BENCH_*.json
   exit 0
 fi
 
 sh scripts/lint.sh
-cmake -B build -G Ninja
+configure_build
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/*; do

@@ -34,6 +34,10 @@ struct DbscanOptions {
 /// Runs network DBSCAN over all points. Border points join the first core
 /// point that reaches them (scan order: ascending point id); unreached
 /// points are noise.
+///
+/// Deprecated legacy entry point: call
+/// RunClustering(view, MakeSpec(options)) instead (netclus.h).
+[[deprecated("use RunClustering(view, MakeSpec(options))")]]
 Result<Clustering> DbscanCluster(const NetworkView& view,
                                  const DbscanOptions& options);
 
@@ -41,6 +45,10 @@ Result<Clustering> DbscanCluster(const NetworkView& view,
 /// the overload above) threaded into every eps-range query. The
 /// accelerated queries return the same neighborhoods, so the clustering
 /// is identical with the index on or off (audited under validate mode).
+///
+/// Deprecated legacy entry point: RunClustering builds the accelerator
+/// itself from ClusterSpec::index.
+[[deprecated("use RunClustering with ClusterSpec::index")]]
 Result<Clustering> DbscanCluster(const NetworkView& view,
                                  const DbscanOptions& options,
                                  const DistanceAccelerator* accel);

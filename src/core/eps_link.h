@@ -27,6 +27,10 @@ struct EpsLinkOptions {
 /// Clusters all points; the result's clusters are exactly the connected
 /// components of the "pairs within eps" graph, with components smaller
 /// than min_sup downgraded to noise. Deterministic for fixed input.
+///
+/// Deprecated legacy entry point: call
+/// RunClustering(view, MakeSpec(options)) instead (netclus.h).
+[[deprecated("use RunClustering(view, MakeSpec(options))")]]
 Result<Clustering> EpsLinkCluster(const NetworkView& view,
                                   const EpsLinkOptions& options);
 

@@ -82,6 +82,10 @@ struct KMedoidsResult {
 /// `options.num_threads` workers with per-restart derived seeds; the
 /// winning run (lowest cost, ties broken by lowest restart index) is
 /// bit-identical to a serial execution.
+///
+/// Deprecated legacy entry point: call
+/// RunClustering(view, MakeSpec(options)) instead (netclus.h).
+[[deprecated("use RunClustering(view, MakeSpec(options))")]]
 Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
                                        const KMedoidsOptions& options);
 
@@ -92,6 +96,10 @@ Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
 /// current cost are rejected without running Inc_Medoid_Update or the
 /// assignment scan. Pruning never changes the result: the rng draws and
 /// the accept/reject sequence are identical with the index on or off.
+///
+/// Deprecated legacy entry point: RunClustering builds the accelerator
+/// itself from ClusterSpec::index.
+[[deprecated("use RunClustering with ClusterSpec::index")]]
 Result<KMedoidsResult> KMedoidsCluster(const NetworkView& view,
                                        const KMedoidsOptions& options,
                                        const DistanceAccelerator* accel);

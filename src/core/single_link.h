@@ -54,6 +54,10 @@ struct SingleLinkResult {
 };
 
 /// Runs Single-Link over all points of `view`.
+///
+/// Deprecated legacy entry point: call
+/// RunClustering(view, MakeSpec(options)) instead (netclus.h).
+[[deprecated("use RunClustering(view, MakeSpec(options))")]]
 Result<SingleLinkResult> SingleLinkCluster(const NetworkView& view,
                                            const SingleLinkOptions& options);
 

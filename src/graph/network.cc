@@ -51,12 +51,12 @@ double Network::EdgeWeight(NodeId a, NodeId b) const {
   return -1.0;
 }
 
-const FrozenGraph& Network::Freeze() {
+std::shared_ptr<const FrozenGraph> Network::Freeze() {
   if (frozen_ == nullptr) {
     frozen_ = std::make_shared<const FrozenGraph>(
         FrozenGraph::FromAdjacency(adj_));
   }
-  return *frozen_;
+  return frozen_;
 }
 
 std::vector<Edge> Network::Edges() const {

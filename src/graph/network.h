@@ -40,9 +40,18 @@ class Network {
 
   /// Builds (or returns the cached) CSR snapshot of this network's
   /// adjacency and routes subsequent EdgeWeight/HasEdge lookups through
-  /// it. The reference stays valid until the next AddEdge(). Not
-  /// thread-safe against concurrent mutation; freeze before sharing.
-  const FrozenGraph& Freeze();
+  /// it.
+  ///
+  /// Ownership rule: the returned shared_ptr co-owns the snapshot, so a
+  /// held snapshot stays valid — and keeps describing the adjacency as
+  /// of this call — across any later AddEdge(). Mutation only drops the
+  /// network's own reference (the next Freeze() builds a fresh
+  /// snapshot); it never frees a snapshot a caller still holds. This is
+  /// what lets the query server keep serving a pinned epoch while the
+  /// updater mutates the live network. Freeze() itself is not
+  /// thread-safe against concurrent AddEdge(); publish the returned
+  /// pointer before sharing.
+  std::shared_ptr<const FrozenGraph> Freeze();
 
   /// Neighbors of `n` as (node, weight) pairs, in insertion order.
   const std::vector<std::pair<NodeId, double>>& neighbors(NodeId n) const {

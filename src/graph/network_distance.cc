@@ -156,6 +156,98 @@ void RangeQueryAccelImpl(const NetworkView& view, const Graph& graph,
             });
 }
 
+template <typename Graph>
+void KNearestNeighborsImpl(const NetworkView& view, const Graph& graph,
+                           PointId center, uint32_t k, NodeScratch* scratch,
+                           std::vector<RangeResult>* out) {
+  out->clear();
+  if (k == 0) return;
+  PointPos c = view.PointPosition(center);
+  double wc = view.EdgeWeight(c.u, c.v);
+
+  // Candidate bookkeeping: per-point best distance found so far (offers
+  // via a settled endpoint are upper bounds that only improve), plus a
+  // multiset of those distances to read the current k-th best.
+  std::unordered_map<PointId, double> cand;
+  std::multiset<double> dists;
+  auto offer = [&](PointId id, double d) {
+    if (id == center) return;
+    auto [it, inserted] = cand.emplace(id, d);
+    if (inserted) {
+      dists.insert(d);
+    } else if (d < it->second) {
+      dists.erase(dists.find(it->second));
+      it->second = d;
+      dists.insert(d);
+    }
+  };
+  auto bound = [&]() {
+    if (dists.size() < k) return kInfDist;
+    return *std::next(dists.begin(), k - 1);
+  };
+
+  std::vector<EdgePoint> pts;
+  // Offers along an edge from a settled endpoint: every offered value is
+  // a genuine path length, i.e. an upper bound on the point's distance.
+  auto offer_edge = [&](NodeId from, NodeId to, double we, double dist) {
+    view.GetEdgePoints(from, to, &pts);
+    for (const EdgePoint& ep : pts) {
+      double dl = from < to ? ep.offset : we - ep.offset;
+      offer(ep.id, dist + dl);
+    }
+  };
+  // The center's own edge is reachable without any node: offer the
+  // direct distances (via-node paths for these points arrive when the
+  // endpoints settle below).
+  view.GetEdgePoints(c.u, c.v, &pts);
+  for (const EdgePoint& ep : pts) {
+    offer(ep.id, std::fabs(ep.offset - c.offset));
+  }
+
+  // INE-style expansion: a point whose best offer has not arrived yet
+  // lies behind an unsettled node, so once the settle distance reaches
+  // the current k-th candidate no candidate can improve.
+  scratch->NewEpoch();
+  struct Entry {
+    double dist;
+    NodeId node;
+    bool operator>(const Entry& other) const { return dist > other.dist; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  scratch->Set(c.u, c.offset);
+  heap.push(Entry{c.offset, c.u});
+  if (scratch->Get(c.v) > wc - c.offset) {
+    scratch->Set(c.v, wc - c.offset);
+    heap.push(Entry{wc - c.offset, c.v});
+  }
+  while (!heap.empty()) {
+    auto [d, n] = heap.top();
+    heap.pop();
+    if (d > scratch->Get(n)) continue;  // stale
+    if (d >= bound()) break;
+    VisitNeighbors(graph, n, [&](NodeId m, double we) {
+      // Offer via this (settled) side; the other side offers again when
+      // it settles, and per-point minimization keeps the best.
+      offer_edge(n, m, we, d);
+      double nd = d + we;
+      if (nd < scratch->Get(m)) {
+        scratch->Set(m, nd);
+        heap.push(Entry{nd, m});
+      }
+    });
+  }
+
+  std::vector<RangeResult> results;
+  results.reserve(cand.size());
+  for (const auto& [id, d] : cand) results.push_back(RangeResult{id, d});
+  std::sort(results.begin(), results.end(),
+            [](const RangeResult& a, const RangeResult& b) {
+              return a.dist != b.dist ? a.dist < b.dist : a.id < b.id;
+            });
+  if (results.size() > k) results.resize(k);
+  *out = std::move(results);
+}
+
 }  // namespace
 
 double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
@@ -251,92 +343,13 @@ void RangeQuery(const NetworkView& view, const FrozenGraph& frozen,
 
 void KNearestNeighbors(const NetworkView& view, PointId center, uint32_t k,
                        NodeScratch* scratch, std::vector<RangeResult>* out) {
-  out->clear();
-  if (k == 0) return;
-  PointPos c = view.PointPosition(center);
-  double wc = view.EdgeWeight(c.u, c.v);
+  KNearestNeighborsImpl(view, view, center, k, scratch, out);
+}
 
-  // Candidate bookkeeping: per-point best distance found so far (offers
-  // via a settled endpoint are upper bounds that only improve), plus a
-  // multiset of those distances to read the current k-th best.
-  std::unordered_map<PointId, double> cand;
-  std::multiset<double> dists;
-  auto offer = [&](PointId id, double d) {
-    if (id == center) return;
-    auto [it, inserted] = cand.emplace(id, d);
-    if (inserted) {
-      dists.insert(d);
-    } else if (d < it->second) {
-      dists.erase(dists.find(it->second));
-      it->second = d;
-      dists.insert(d);
-    }
-  };
-  auto bound = [&]() {
-    if (dists.size() < k) return kInfDist;
-    return *std::next(dists.begin(), k - 1);
-  };
-
-  std::vector<EdgePoint> pts;
-  // Offers along an edge from a settled endpoint: every offered value is
-  // a genuine path length, i.e. an upper bound on the point's distance.
-  auto offer_edge = [&](NodeId from, NodeId to, double we, double dist) {
-    view.GetEdgePoints(from, to, &pts);
-    for (const EdgePoint& ep : pts) {
-      double dl = from < to ? ep.offset : we - ep.offset;
-      offer(ep.id, dist + dl);
-    }
-  };
-  // The center's own edge is reachable without any node: offer the
-  // direct distances (via-node paths for these points arrive when the
-  // endpoints settle below).
-  view.GetEdgePoints(c.u, c.v, &pts);
-  for (const EdgePoint& ep : pts) {
-    offer(ep.id, std::fabs(ep.offset - c.offset));
-  }
-
-  // INE-style expansion: a point whose best offer has not arrived yet
-  // lies behind an unsettled node, so once the settle distance reaches
-  // the current k-th candidate no candidate can improve.
-  scratch->NewEpoch();
-  struct Entry {
-    double dist;
-    NodeId node;
-    bool operator>(const Entry& other) const { return dist > other.dist; }
-  };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  scratch->Set(c.u, c.offset);
-  heap.push(Entry{c.offset, c.u});
-  if (scratch->Get(c.v) > wc - c.offset) {
-    scratch->Set(c.v, wc - c.offset);
-    heap.push(Entry{wc - c.offset, c.v});
-  }
-  while (!heap.empty()) {
-    auto [d, n] = heap.top();
-    heap.pop();
-    if (d > scratch->Get(n)) continue;  // stale
-    if (d >= bound()) break;
-    VisitNeighbors(view, n, [&](NodeId m, double we) {
-      // Offer via this (settled) side; the other side offers again when
-      // it settles, and per-point minimization keeps the best.
-      offer_edge(n, m, we, d);
-      double nd = d + we;
-      if (nd < scratch->Get(m)) {
-        scratch->Set(m, nd);
-        heap.push(Entry{nd, m});
-      }
-    });
-  }
-
-  std::vector<RangeResult> results;
-  results.reserve(cand.size());
-  for (const auto& [id, d] : cand) results.push_back(RangeResult{id, d});
-  std::sort(results.begin(), results.end(),
-            [](const RangeResult& a, const RangeResult& b) {
-              return a.dist != b.dist ? a.dist < b.dist : a.id < b.id;
-            });
-  if (results.size() > k) results.resize(k);
-  *out = std::move(results);
+void KNearestNeighbors(const NetworkView& view, const FrozenGraph& frozen,
+                       PointId center, uint32_t k, NodeScratch* scratch,
+                       std::vector<RangeResult>* out) {
+  KNearestNeighborsImpl(view, frozen, center, k, scratch, out);
 }
 
 }  // namespace netclus

@@ -1,5 +1,16 @@
 // Point-level distance functions of the paper's Section 3.1 and the
 // ε-range query over the network ([16]-style expansion) used by DBSCAN.
+//
+// These free functions are the synchronous compatibility surface of the
+// unified query API in server/query.h: a QueryRequest of each kind
+// (kPointDistance, kRange, kNearestObject) executes by dispatching onto
+// the function below matching the execution context — live view or
+// FrozenGraph snapshot, accelerated or exact. Every frozen/view and
+// accel/plain overload pair is bit-identical in its results, which is
+// what lets ValidateServedBatch replay a served batch through any of
+// them and demand exact payload equality. Existing callers keep using
+// these functions directly; new query-shaped code should prefer the
+// QueryRequest vocabulary.
 #ifndef NETCLUS_GRAPH_NETWORK_DISTANCE_H_
 #define NETCLUS_GRAPH_NETWORK_DISTANCE_H_
 
@@ -62,6 +73,15 @@ struct RangeResult {
   double dist = 0.0;
 };
 
+/// Exact equality, distance compared bitwise — the comparison the served
+/// batch replay validator (server/query.h) relies on.
+inline bool operator==(const RangeResult& a, const RangeResult& b) {
+  return a.id == b.id && a.dist == b.dist;
+}
+inline bool operator!=(const RangeResult& a, const RangeResult& b) {
+  return !(a == b);
+}
+
 /// Finds every point q with d(center, q) <= eps (including `center`
 /// itself). Expands the network around `center` up to distance eps and
 /// inspects only edges incident to reached nodes, so the cost is
@@ -109,6 +129,12 @@ void RangeQuery(const NetworkView& view, const FrozenGraph& frozen,
 /// the spirit of the [16] query algorithms the paper builds on.
 void KNearestNeighbors(const NetworkView& view, PointId center, uint32_t k,
                        NodeScratch* scratch, std::vector<RangeResult>* out);
+
+/// Frozen-path variant: the INE expansion runs over the snapshot's CSR
+/// arrays (point data still comes from `view`). Bit-identical results.
+void KNearestNeighbors(const NetworkView& view, const FrozenGraph& frozen,
+                       PointId center, uint32_t k, NodeScratch* scratch,
+                       std::vector<RangeResult>* out);
 
 }  // namespace netclus
 

@@ -73,6 +73,37 @@ Status ValidateOutput(const NetworkView& view, const ClusterSpec& spec,
 
 }  // namespace
 
+ClusterSpec MakeSpec(const KMedoidsOptions& options) {
+  ClusterSpec spec;
+  spec.algorithm = Algorithm::kKMedoids;
+  spec.kmedoids = options;
+  return spec;
+}
+
+ClusterSpec MakeSpec(const EpsLinkOptions& options) {
+  ClusterSpec spec;
+  spec.algorithm = Algorithm::kEpsLink;
+  spec.eps_link = options;
+  return spec;
+}
+
+ClusterSpec MakeSpec(const DbscanOptions& options) {
+  ClusterSpec spec;
+  spec.algorithm = Algorithm::kDbscan;
+  spec.dbscan = options;
+  return spec;
+}
+
+ClusterSpec MakeSpec(const SingleLinkOptions& options, double cut_distance,
+                     uint32_t cut_min_size) {
+  ClusterSpec spec;
+  spec.algorithm = Algorithm::kSingleLink;
+  spec.single_link = options;
+  spec.cut_distance = cut_distance;
+  spec.cut_min_size = cut_min_size;
+  return spec;
+}
+
 Result<ClusterOutput> RunClustering(const NetworkView& view,
                                     const ClusterSpec& spec) {
   // A view carrying a prior storage error would feed the algorithms

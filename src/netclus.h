@@ -6,11 +6,13 @@
 // ClusterOutput: a flat Clustering, the dendrogram when the algorithm is
 // hierarchical, per-run statistics, and the wall time.
 //
-// Migration note (old per-algorithm calls): KMedoidsCluster,
-// EpsLinkCluster, DbscanCluster and SingleLinkCluster remain available
-// for code that needs algorithm-specific result types, but new callers —
-// and all in-tree tools (netclus_cli, the evaluation module) — go through
-// RunClustering.
+// The legacy per-algorithm entry points (KMedoidsCluster,
+// EpsLinkCluster, DbscanCluster, SingleLinkCluster convenience
+// overloads) are [[deprecated]]: every in-tree caller goes through
+// RunClustering — MakeSpec() below turns an algorithm's options struct
+// into a one-algorithm spec — and netclus-lint bans new uses outside
+// tests/compat. The engine overloads taking an explicit FrozenGraph
+// remain as the internal dispatch surface RunClustering itself uses.
 #ifndef NETCLUS_NETCLUS_H_
 #define NETCLUS_NETCLUS_H_
 
@@ -103,6 +105,19 @@ struct ClusterOutput {
   /// Wall time of the whole run (including the flat cut).
   double wall_seconds = 0.0;
 };
+
+/// One-algorithm ClusterSpec from an options struct — the migration
+/// shim that turns a legacy per-algorithm call into the unified entry:
+///   KMedoidsCluster(view, opts)  ->  RunClustering(view, MakeSpec(opts))
+/// Every other spec field keeps its default (no index, no validate).
+ClusterSpec MakeSpec(const KMedoidsOptions& options);
+ClusterSpec MakeSpec(const EpsLinkOptions& options);
+ClusterSpec MakeSpec(const DbscanOptions& options);
+/// Single-Link: `cut_distance` / `cut_min_size` ride along into the
+/// spec's flat-cut rule (defaults mean "cut at stop_distance when
+/// finite, else at stop_cluster_count clusters").
+ClusterSpec MakeSpec(const SingleLinkOptions& options,
+                     double cut_distance = 0.0, uint32_t cut_min_size = 1);
 
 /// Runs the algorithm selected by `spec` over `view`. Fallible options
 /// surface as the same Status the per-algorithm entry point returns.

@@ -1,0 +1,67 @@
+#include "server/epoch_manager.h"
+
+#include <algorithm>
+
+namespace netclus {
+
+EpochManager::EpochManager(uint32_t num_pin_slots)
+    : num_pin_slots_(num_pin_slots > 0 ? num_pin_slots : 1),
+      freed_(std::make_shared<std::atomic<uint64_t>>(0)) {}
+
+EpochManager::~EpochManager() = default;
+
+EpochManager::Pin EpochManager::Acquire(uint32_t slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_ == nullptr) return Pin();
+  current_->AddPin(slot);
+  return Pin(current_, slot);
+}
+
+uint64_t EpochManager::Publish(std::shared_ptr<const FrozenGraph> graph,
+                               std::shared_ptr<const PointSet> points,
+                               std::shared_ptr<const ClusterOutput> clusters) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = published_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  auto snap = std::make_shared<const EpochSnapshot>(
+      id, std::move(graph), std::move(points), std::move(clusters),
+      num_pin_slots_, freed_);
+  if (current_ != nullptr) retired_.push_back(std::move(current_));
+  current_ = std::move(snap);
+  SweepRetiredLocked();
+  return id;
+}
+
+void EpochManager::SweepRetired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SweepRetiredLocked();
+}
+
+void EpochManager::SweepRetiredLocked() {
+  // Dropping the manager's reference is the free: readers pin only the
+  // current snapshot, so a retired snapshot observed at zero pins can
+  // never be re-pinned, and any reader still draining holds its own
+  // shared_ptr via the Pin (destruction then happens at its release).
+  retired_.erase(
+      std::remove_if(retired_.begin(), retired_.end(),
+                     [](const std::shared_ptr<const EpochSnapshot>& s) {
+                       return s->TotalPins() == 0;
+                     }),
+      retired_.end());
+}
+
+std::shared_ptr<const EpochSnapshot> EpochManager::CurrentShared() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t EpochManager::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr ? 0 : current_->epoch();
+}
+
+size_t EpochManager::retired_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_.size();
+}
+
+}  // namespace netclus

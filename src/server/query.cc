@@ -1,0 +1,171 @@
+#include "server/query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace netclus {
+
+const char* QueryKindName(QueryKind k) {
+  switch (k) {
+    case QueryKind::kPointDistance:
+      return "distance";
+    case QueryKind::kRange:
+      return "range";
+    case QueryKind::kNearestObject:
+      return "nearest";
+    case QueryKind::kClusterMembership:
+      return "membership";
+  }
+  return "unknown";
+}
+
+bool ResponsePayloadsEqual(const QueryResponse& a, const QueryResponse& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case QueryKind::kPointDistance:
+      return a.distance == b.distance;
+    case QueryKind::kRange:
+    case QueryKind::kNearestObject:
+      return a.results == b.results;
+    case QueryKind::kClusterMembership:
+      return a.cluster_id == b.cluster_id;
+  }
+  return false;
+}
+
+Status ValidateQueryRequest(const NetworkView& view, const QueryRequest& req,
+                            const ClusterOutput* clusters) {
+  const PointId n = view.num_points();
+  if (req.a >= n) {
+    return Status::InvalidArgument("query point a=" + std::to_string(req.a) +
+                                   " out of range [0, " + std::to_string(n) +
+                                   ")");
+  }
+  switch (req.kind) {
+    case QueryKind::kPointDistance:
+      if (req.b >= n) {
+        return Status::InvalidArgument(
+            "query point b=" + std::to_string(req.b) + " out of range [0, " +
+            std::to_string(n) + ")");
+      }
+      break;
+    case QueryKind::kRange:
+      if (!(req.eps >= 0.0) || !std::isfinite(req.eps)) {
+        return Status::InvalidArgument("range eps must be finite and >= 0");
+      }
+      break;
+    case QueryKind::kNearestObject:
+      if (req.k == 0) {
+        return Status::InvalidArgument("nearest-object k must be >= 1");
+      }
+      break;
+    case QueryKind::kClusterMembership:
+      if (clusters == nullptr) {
+        return Status::NotFound(
+            "no ClusterOutput available for membership queries (serve with a "
+            "cluster_spec, or pass clusters inline)");
+      }
+      if (req.a >= clusters->clustering.assignment.size()) {
+        return Status::OutOfRange(
+            "membership point " + std::to_string(req.a) +
+            " not covered by the cached clustering (" +
+            std::to_string(clusters->clustering.assignment.size()) +
+            " points)");
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+Status ExecuteQueryInto(const NetworkView& view, const FrozenGraph* frozen,
+                        const QueryRequest& req, TraversalWorkspace* ws,
+                        const DistanceAccelerator* accel,
+                        const ClusterOutput* clusters, QueryResponse* out) {
+  NETCLUS_RETURN_IF_ERROR(ValidateQueryRequest(view, req, clusters));
+  out->kind = req.kind;
+  out->distance = 0.0;
+  out->cluster_id = 0;
+  out->epoch = 0;
+  out->results.clear();
+
+  switch (req.kind) {
+    case QueryKind::kPointDistance:
+      // The accelerated overloads fall back to the exact path on a null
+      // accel; with the default threshold (kInfDist) they always return
+      // the exact distance, so accel on/off cannot change the payload.
+      out->distance =
+          frozen ? PointNetworkDistance(view, *frozen, req.a, req.b,
+                                        &ws->scratch, accel)
+                 : PointNetworkDistance(view, req.a, req.b, &ws->scratch,
+                                        accel);
+      break;
+    case QueryKind::kRange: {
+      if (frozen) {
+        RangeQuery(view, *frozen, req.a, req.eps, ws, accel, &out->results);
+      } else {
+        RangeQuery(view, req.a, req.eps, ws, accel, &out->results);
+      }
+      // The plain overloads emit in settle order and the accelerated
+      // ones by id; canonicalize so every execution style agrees.
+      std::sort(out->results.begin(), out->results.end(),
+                [](const RangeResult& a, const RangeResult& b) {
+                  return a.id < b.id;
+                });
+      break;
+    }
+    case QueryKind::kNearestObject:
+      // Already ordered by (distance, id) — that order is the answer.
+      if (frozen) {
+        KNearestNeighbors(view, *frozen, req.a, req.k, &ws->scratch,
+                          &out->results);
+      } else {
+        KNearestNeighbors(view, req.a, req.k, &ws->scratch, &out->results);
+      }
+      break;
+    case QueryKind::kClusterMembership:
+      out->cluster_id = clusters->clustering.assignment[req.a];
+      break;
+  }
+  return Status::OK();
+}
+
+Result<QueryResponse> ExecuteQuery(const NetworkView& view,
+                                   const FrozenGraph* frozen,
+                                   const QueryRequest& req,
+                                   const DistanceAccelerator* accel,
+                                   const ClusterOutput* clusters) {
+  TraversalWorkspace ws(view.num_nodes());
+  QueryResponse out;
+  NETCLUS_RETURN_IF_ERROR(
+      ExecuteQueryInto(view, frozen, req, &ws, accel, clusters, &out));
+  return out;
+}
+
+Status ValidateServedBatch(const NetworkView& view, const FrozenGraph* frozen,
+                           const std::vector<QueryRequest>& requests,
+                           const std::vector<QueryResponse>& responses,
+                           const ClusterOutput* clusters) {
+  if (requests.size() != responses.size()) {
+    return Status::Internal("served batch size mismatch: " +
+                            std::to_string(requests.size()) + " requests vs " +
+                            std::to_string(responses.size()) + " responses");
+  }
+  TraversalWorkspace ws(view.num_nodes());
+  QueryResponse replay;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    NETCLUS_RETURN_IF_ERROR(ExecuteQueryInto(view, frozen, requests[i], &ws,
+                                             /*accel=*/nullptr, clusters,
+                                             &replay));
+    if (!ResponsePayloadsEqual(replay, responses[i])) {
+      return Status::Internal(
+          "served response diverges from the direct path: batch index " +
+          std::to_string(i) + ", kind " +
+          QueryKindName(requests[i].kind) + ", point " +
+          std::to_string(requests[i].a));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace netclus

@@ -1,0 +1,157 @@
+// The unified query vocabulary of the clustering service: one tagged
+// request/response pair that every read path in the system speaks.
+//
+// Callers describe a read declaratively with a QueryRequest (a kind tag
+// plus that kind's parameters) and execute it through ExecuteQuery,
+// which dispatches onto the graph-layer primitives
+// (graph/network_distance.h) and returns one QueryResponse. The same
+// vocabulary serves two execution styles with bit-identical results:
+//
+//   * inline — a caller holding a NetworkView runs the query
+//     synchronously on its own thread (frozen may be null);
+//   * served — the QueryServer (server/query_server.h) batches
+//     concurrent requests against a pinned FrozenGraph epoch and
+//     executes them across a thread pool.
+//
+// The equivalence is not aspirational: both styles funnel into the
+// same ExecuteQueryInto core, and ValidateServedBatch replays a served
+// batch through the inline path and demands payload equality down to
+// the last double bit. The query server runs that validator on every
+// batch when QueryServerOptions::validate_replay is set (and always
+// under -DNETCLUS_VALIDATE=ON builds).
+#ifndef NETCLUS_SERVER_QUERY_H_
+#define NETCLUS_SERVER_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/accelerator.h"
+#include "graph/network_distance.h"
+#include "graph/network_view.h"
+#include "graph/types.h"
+#include "netclus.h"
+
+namespace netclus {
+
+/// The read operations the service answers.
+enum class QueryKind : uint8_t {
+  kPointDistance,      ///< exact network distance d(a, b) (Definition 4)
+  kRange,              ///< all points within eps of `a` (incl. `a` itself)
+  kNearestObject,      ///< the k points nearest to `a` (excluding `a`)
+  kClusterMembership,  ///< cluster id of `a` in the epoch's ClusterOutput
+};
+
+/// Stable lower-case name of `k` ("distance", "range", "nearest",
+/// "membership") — the vocabulary of netclus_cli's serve workload mix.
+const char* QueryKindName(QueryKind k);
+
+/// \brief One read, declaratively: a kind tag plus that kind's
+/// parameters. Only the fields of the selected kind are read.
+struct QueryRequest {
+  QueryKind kind = QueryKind::kPointDistance;
+  /// Primary point: the distance source, range/nearest center, or the
+  /// membership subject.
+  PointId a = kInvalidPointId;
+  /// kPointDistance only: the distance target.
+  PointId b = kInvalidPointId;
+  /// kRange only: the query radius (>= 0, finite).
+  double eps = 0.0;
+  /// kNearestObject only: how many neighbors (>= 1).
+  uint32_t k = 1;
+
+  static QueryRequest PointDistance(PointId a, PointId b) {
+    QueryRequest r;
+    r.kind = QueryKind::kPointDistance;
+    r.a = a;
+    r.b = b;
+    return r;
+  }
+  static QueryRequest Range(PointId center, double eps) {
+    QueryRequest r;
+    r.kind = QueryKind::kRange;
+    r.a = center;
+    r.eps = eps;
+    return r;
+  }
+  static QueryRequest NearestObject(PointId center, uint32_t k = 1) {
+    QueryRequest r;
+    r.kind = QueryKind::kNearestObject;
+    r.a = center;
+    r.k = k;
+    return r;
+  }
+  static QueryRequest ClusterMembership(PointId p) {
+    QueryRequest r;
+    r.kind = QueryKind::kClusterMembership;
+    r.a = p;
+    return r;
+  }
+};
+
+/// \brief The unified result. Only the fields of the request's kind are
+/// populated; `epoch` is stamped by the query server (0 on the inline
+/// path, where there is no epoch to name).
+struct QueryResponse {
+  QueryKind kind = QueryKind::kPointDistance;
+  /// kPointDistance: d(a, b); kInfDist when disconnected.
+  double distance = 0.0;
+  /// kRange (sorted by ascending id) / kNearestObject (sorted by
+  /// ascending distance, ties by id): the matching points.
+  std::vector<RangeResult> results;
+  /// kClusterMembership: cluster id in [0, num_clusters) or kNoise.
+  int cluster_id = 0;
+  /// FrozenGraph epoch that served this response; 0 for inline runs.
+  uint64_t epoch = 0;
+};
+
+/// Payload equality (kind + every kind field, doubles compared exactly);
+/// `epoch` is excluded — it names the serving snapshot, not the answer.
+bool ResponsePayloadsEqual(const QueryResponse& a, const QueryResponse& b);
+
+/// Rejects malformed requests up front: point ids must be < num_points,
+/// eps finite and >= 0, k >= 1, and kClusterMembership requires
+/// `clusters` (the epoch's cached ClusterOutput) to exist.
+Status ValidateQueryRequest(const NetworkView& view, const QueryRequest& req,
+                            const ClusterOutput* clusters);
+
+/// \brief The single execution core both styles funnel into.
+///
+/// Runs `req` against `view`, traversing `frozen` when non-null (a
+/// snapshot of `view`, see NetworkView::Freeze()) and the virtual view
+/// otherwise — results are bit-identical either way. `ws` provides the
+/// reusable traversal state (one per concurrent caller; lease from a
+/// WorkspacePool under parallelism). `accel` may be null (= exact
+/// unaccelerated path); a non-null accelerator never changes the
+/// payload, only the work done. `clusters` is consulted only by
+/// kClusterMembership. `out` is overwritten, reusing its vector
+/// capacity — the zero-allocation steady state for serving loops.
+Status ExecuteQueryInto(const NetworkView& view, const FrozenGraph* frozen,
+                        const QueryRequest& req, TraversalWorkspace* ws,
+                        const DistanceAccelerator* accel,
+                        const ClusterOutput* clusters, QueryResponse* out);
+
+/// Convenience wrapper over ExecuteQueryInto: allocates the workspace
+/// and returns the response by value. The one-shot inline path; serving
+/// loops and algorithms use ExecuteQueryInto with pooled workspaces.
+Result<QueryResponse> ExecuteQuery(const NetworkView& view,
+                                   const FrozenGraph* frozen,
+                                   const QueryRequest& req,
+                                   const DistanceAccelerator* accel = nullptr,
+                                   const ClusterOutput* clusters = nullptr);
+
+/// \brief The served-batch replay validator.
+///
+/// Re-executes every request of a served batch through the inline path
+/// (ExecuteQueryInto, no accelerator) against the same `view`/`frozen`
+/// the batch was pinned to, and returns Internal on the first response
+/// whose payload is not bit-identical. This is the contract that makes
+/// "inline or served, same answer" enforceable rather than assumed.
+Status ValidateServedBatch(const NetworkView& view, const FrozenGraph* frozen,
+                           const std::vector<QueryRequest>& requests,
+                           const std::vector<QueryResponse>& responses,
+                           const ClusterOutput* clusters);
+
+}  // namespace netclus
+
+#endif  // NETCLUS_SERVER_QUERY_H_

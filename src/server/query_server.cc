@@ -1,0 +1,413 @@
+#include "server/query_server.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "graph/accelerator.h"
+
+namespace netclus {
+namespace {
+
+constexpr size_t kWaitRingCapacity = 1 << 16;
+
+// The server-side accelerator: vacuous bounds plus the shared exact
+// point-pair cache. A hit returns a value some earlier exact expansion
+// stored for the same epoch (the cache is invalidated on every
+// publish), so serving with it remains bit-identical to the pure
+// unaccelerated replay — it only skips repeated work.
+class CacheOnlyAccelerator final : public DistanceAccelerator {
+ public:
+  explicit CacheOnlyAccelerator(const DistanceCache* cache) : cache_(cache) {}
+
+  bool LookupDistance(PointId a, PointId b, double* out) const override {
+    return cache_->Lookup(a, b, out);
+  }
+  void StoreDistance(PointId a, PointId b, double dist) const override {
+    cache_->Store(a, b, dist);
+  }
+
+ private:
+  const DistanceCache* cache_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<QueryServer>> QueryServer::Start(
+    Network net, PointSet points, const QueryServerOptions& options) {
+  if (options.max_queue_depth == 0) {
+    return Status::InvalidArgument("max_queue_depth must be >= 1");
+  }
+  if (options.max_batch_size == 0) {
+    return Status::InvalidArgument("max_batch_size must be >= 1");
+  }
+  // The live world keeps point placements in raw (re-buildable) form so
+  // kAddPoint mutations compose with the initial population.
+  std::vector<NetworkUpdate> raws;
+  raws.reserve(points.size());
+  for (size_t g = 0; g < points.num_groups(); ++g) {
+    const PointSet::Group& grp = points.group(g);
+    for (uint32_t i = 0; i < grp.count; ++i) {
+      PointId p = grp.first + i;
+      raws.push_back(
+          NetworkUpdate::AddPoint(grp.u, grp.v, points.offset(p),
+                                  points.label(p)));
+    }
+  }
+  auto server = std::unique_ptr<QueryServer>(new QueryServer(
+      std::move(net), std::move(raws), options));
+  // Epoch 1 publishes before any thread starts; a failing initial
+  // clustering (or freeze) fails Start instead of leaving a server with
+  // nothing to serve.
+  NETCLUS_RETURN_IF_ERROR(server->PublishWorld());
+  server->dispatcher_ = std::thread([s = server.get()] { s->DispatcherLoop(); });
+  server->updater_ = std::thread([s = server.get()] { s->UpdaterLoop(); });
+  return server;
+}
+
+QueryServer::QueryServer(Network net, std::vector<NetworkUpdate> raw_points,
+                         const QueryServerOptions& options)
+    : options_(options),
+      net_(std::move(net)),
+      raw_points_(std::move(raw_points)),
+      epochs_(ResolveNumThreads(options.num_workers)),
+      cache_(options.cache_capacity, options.cache_shards),
+      pool_(std::make_unique<ThreadPool>(
+          ResolveNumThreads(options.num_workers))),
+      workspaces_(net_.num_nodes()) {
+  wait_ring_.reserve(kWaitRingCapacity);
+}
+
+QueryServer::~QueryServer() { Stop(); }
+
+Status QueryServer::PublishWorld() {
+  PointSetBuilder builder;
+  for (const NetworkUpdate& p : raw_points_) {
+    builder.Add(p.u, p.v, p.value, p.label);
+  }
+  NETCLUS_ASSIGN_OR_RETURN(PointSet ps, std::move(builder).Build(net_));
+  auto points = std::make_shared<const PointSet>(std::move(ps));
+  InMemoryNetworkView live_view(net_, *points);
+  NETCLUS_ASSIGN_OR_RETURN(FrozenGraph fg, live_view.Freeze());
+  auto graph = std::make_shared<const FrozenGraph>(std::move(fg));
+  std::shared_ptr<const ClusterOutput> clusters;
+  if (options_.cluster_spec.has_value()) {
+    NETCLUS_ASSIGN_OR_RETURN(ClusterOutput out,
+                             RunClustering(live_view, *options_.cluster_spec));
+    clusters = std::make_shared<const ClusterOutput>(std::move(out));
+  }
+  // Swap + cache bump form one publish: a query can never pair the new
+  // epoch with a distance cached under the old adjacency.
+  epochs_.Publish(std::move(graph), std::move(points), std::move(clusters));
+  cache_.Invalidate();
+  return Status::OK();
+}
+
+Status QueryServer::ApplyToWorld(const NetworkUpdate& update) {
+  switch (update.kind) {
+    case NetworkUpdate::Kind::kAddEdge:
+      return net_.AddEdge(update.u, update.v, update.value);
+    case NetworkUpdate::Kind::kAddPoint: {
+      double w = net_.EdgeWeight(update.u, update.v);
+      if (w < 0.0) {
+        return Status::InvalidArgument("AddPoint: edge does not exist");
+      }
+      if (update.value < 0.0 || update.value > w) {
+        return Status::InvalidArgument("AddPoint: offset outside edge");
+      }
+      raw_points_.push_back(update);
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown update kind");
+}
+
+std::future<Result<QueryResponse>> QueryServer::Submit(
+    const QueryRequest& req) {
+  PendingQuery pq;
+  pq.req = req;
+  pq.enqueue_seconds = clock_.ElapsedSeconds();
+  std::future<Result<QueryResponse>> fut = pq.promise.get_future();
+
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  if (stopping_) {
+    lock.unlock();
+    pq.promise.set_value(Status::Unavailable("query server is stopping"));
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++rejected_;
+    return fut;
+  }
+  if (queue_.size() >= options_.max_queue_depth) {
+    // Backpressure: reject now with a retry-after hint sized to how
+    // long one batch has recently taken to drain.
+    double retry_ms;
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++rejected_;
+      retry_ms = batch_ms_.count() > 0 ? batch_ms_.mean() : 1.0;
+    }
+    lock.unlock();
+    pq.promise.set_value(Status::Unavailable(
+        "query queue full (" + std::to_string(options_.max_queue_depth) +
+        " deep); retry after ~" + std::to_string(retry_ms) + " ms"));
+    return fut;
+  }
+  queue_.push_back(std::move(pq));
+  lock.unlock();
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++accepted_;
+  }
+  queue_cv_.notify_one();
+  return fut;
+}
+
+Result<QueryResponse> QueryServer::Execute(const QueryRequest& req) {
+  return Submit(req).get();
+}
+
+std::future<Status> QueryServer::SubmitUpdate(const NetworkUpdate& update) {
+  PendingUpdate pu;
+  pu.update = update;
+  std::future<Status> fut = pu.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    if (update_stopping_) {
+      pu.promise.set_value(Status::Unavailable("query server is stopping"));
+      return fut;
+    }
+    pu.seq = ++update_seq_;
+    update_queue_.push_back(std::move(pu));
+  }
+  update_cv_.notify_one();
+  return fut;
+}
+
+Status QueryServer::ApplyUpdate(const NetworkUpdate& update) {
+  return SubmitUpdate(update).get();
+}
+
+Status QueryServer::Flush() {
+  std::unique_lock<std::mutex> lock(update_mu_);
+  const uint64_t target = update_seq_;
+  flush_cv_.wait(lock, [&] { return published_seq_ >= target; });
+  return last_publish_error_;
+}
+
+void QueryServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    update_stopping_ = true;
+  }
+  update_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  if (updater_.joinable()) updater_.join();
+}
+
+void QueryServer::DispatcherLoop() {
+  for (;;) {
+    std::vector<PendingQuery> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;  // drained; accepted work always finishes
+        continue;
+      }
+      size_t take = std::min(queue_.size(), options_.max_batch_size);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    ExecuteBatch(&batch);
+  }
+}
+
+void QueryServer::ExecuteBatch(std::vector<PendingQuery>* batch) {
+  const double start_seconds = clock_.ElapsedSeconds();
+  EpochManager::Pin pin =
+      epochs_.Acquire(pin_slot_rr_++ % epochs_.num_pin_slots());
+  if (!pin) {
+    for (PendingQuery& pq : *batch) {
+      pq.promise.set_value(Status::Internal("no epoch published"));
+    }
+    return;
+  }
+  const EpochSnapshot& snap = *pin.snapshot();
+  CacheOnlyAccelerator accel(&cache_);
+
+  const size_t n = batch->size();
+  std::vector<QueryResponse> responses(n);
+  std::vector<Status> statuses(n, Status::OK());
+  ParallelFor(pool_.get(), n, [&](size_t i, uint32_t worker) {
+    (void)worker;
+    WorkspacePool::Lease lease = workspaces_.Acquire();
+    statuses[i] =
+        ExecuteQueryInto(snap.view(), &snap.frozen(), (*batch)[i].req,
+                         lease.get(), &accel, snap.clusters(), &responses[i]);
+    responses[i].epoch = snap.epoch();
+  });
+
+  bool do_replay = options_.validate_replay;
+#if defined(NETCLUS_VALIDATE)
+  do_replay = true;
+#endif
+  if (do_replay) {
+    std::vector<QueryRequest> ok_requests;
+    std::vector<QueryResponse> ok_responses;
+    for (size_t i = 0; i < n; ++i) {
+      if (statuses[i].ok()) {
+        ok_requests.push_back((*batch)[i].req);
+        ok_responses.push_back(responses[i]);
+      }
+    }
+    Status verdict = ValidateServedBatch(snap.view(), &snap.frozen(),
+                                         ok_requests, ok_responses,
+                                         snap.clusters());
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++replay_batches_;
+      if (!verdict.ok()) ++replay_mismatches_;
+    }
+    if (!verdict.ok()) {
+      // A divergence means the served epoch path computed something the
+      // direct path would not — never hand that out as an answer.
+      for (size_t i = 0; i < n; ++i) {
+        if (statuses[i].ok()) statuses[i] = verdict;
+      }
+    }
+  }
+
+  // Count the batch before fulfilling its promises: a client holding a
+  // response must already be visible in stats().completed.
+  const double end_seconds = clock_.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++batches_;
+    completed_ += n;
+    batch_size_.Add(static_cast<double>(n));
+    batch_ms_.Add((end_seconds - start_seconds) * 1e3);
+    for (const PendingQuery& pq : *batch) {
+      double wait_ms = (start_seconds - pq.enqueue_seconds) * 1e3;
+      queue_wait_ms_.Add(wait_ms);
+      if (wait_ring_.size() < kWaitRingCapacity) {
+        wait_ring_.push_back(wait_ms);
+      } else {
+        wait_ring_[wait_ring_next_] = wait_ms;
+        wait_ring_next_ = (wait_ring_next_ + 1) % kWaitRingCapacity;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (statuses[i].ok()) {
+      (*batch)[i].promise.set_value(std::move(responses[i]));
+    } else {
+      (*batch)[i].promise.set_value(statuses[i]);
+    }
+  }
+
+  // Release the pin before sweeping so a batch that outlived its epoch
+  // frees that epoch now rather than at the next publish.
+  pin.Release();
+  epochs_.SweepRetired();
+}
+
+void QueryServer::UpdaterLoop() {
+  for (;;) {
+    std::vector<PendingUpdate> batch;
+    {
+      std::unique_lock<std::mutex> lock(update_mu_);
+      update_cv_.wait(lock,
+                      [&] { return update_stopping_ || !update_queue_.empty(); });
+      if (update_queue_.empty()) {
+        if (update_stopping_) return;
+        continue;
+      }
+      batch.reserve(update_queue_.size());
+      while (!update_queue_.empty()) {
+        batch.push_back(std::move(update_queue_.front()));
+        update_queue_.pop_front();
+      }
+    }
+    // Apply every queued mutation, then publish once: bursts of updates
+    // coalesce into a single epoch swap.
+    uint64_t max_seq = 0;
+    bool mutated = false;
+    for (PendingUpdate& pu : batch) {
+      Status applied = ApplyToWorld(pu.update);
+      max_seq = pu.seq;
+      mutated = mutated || applied.ok();
+      pu.promise.set_value(std::move(applied));
+    }
+    Status publish = mutated ? PublishWorld() : Status::OK();
+    {
+      std::lock_guard<std::mutex> lock(update_mu_);
+      published_seq_ = max_seq;
+      if (!publish.ok()) last_publish_error_ = publish;
+    }
+    flush_cv_.notify_all();
+  }
+}
+
+ServerStats QueryServer::stats() const {
+  ServerStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s.accepted = accepted_;
+    s.rejected = rejected_;
+    s.completed = completed_;
+    s.batches = batches_;
+    s.replay_batches = replay_batches_;
+    s.replay_mismatches = replay_mismatches_;
+    s.mean_queue_wait_ms = queue_wait_ms_.mean();
+    s.max_queue_wait_ms = queue_wait_ms_.max();
+    s.mean_batch_size = batch_size_.mean();
+    s.max_batch_size = batch_size_.max();
+    s.mean_batch_ms = batch_ms_.mean();
+  }
+  s.epochs_published = epochs_.epochs_published();
+  s.epochs_drained = epochs_.epochs_drained();
+  s.retired_epochs = epochs_.retired_count();
+  return s;
+}
+
+void QueryServer::PublishStats(StatsCollector* collector) const {
+  ServerStats now = stats();
+  std::lock_guard<std::mutex> lock(publish_stats_mu_);
+  auto delta = [](uint64_t cur, uint64_t* prev) {
+    uint64_t d = cur - *prev;
+    *prev = cur;
+    return d;
+  };
+  collector->Add("server.accepted",
+                 delta(now.accepted, &published_stats_.accepted));
+  collector->Add("server.rejected",
+                 delta(now.rejected, &published_stats_.rejected));
+  collector->Add("server.completed",
+                 delta(now.completed, &published_stats_.completed));
+  collector->Add("server.batches", delta(now.batches, &published_stats_.batches));
+  collector->Add("server.epochs_published",
+                 delta(now.epochs_published, &published_stats_.epochs_published));
+  collector->Add("server.epochs_drained",
+                 delta(now.epochs_drained, &published_stats_.epochs_drained));
+  collector->Add("server.replay_batches",
+                 delta(now.replay_batches, &published_stats_.replay_batches));
+  collector->Add(
+      "server.replay_mismatches",
+      delta(now.replay_mismatches, &published_stats_.replay_mismatches));
+}
+
+std::vector<double> QueryServer::QueueWaitSamplesMs() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return wait_ring_;
+}
+
+}  // namespace netclus

@@ -1,0 +1,265 @@
+// QueryServer: the long-lived clustering-as-a-service front end.
+//
+// One server owns a live Network + point placements (the mutable world,
+// touched only by its updater thread) and serves the unified query
+// vocabulary (server/query.h) from immutable EpochSnapshots published
+// RCU-style through an EpochManager:
+//
+//   clients ──Submit──> bounded queue ──dispatcher──> batch
+//                                          │ pins current epoch once
+//                                          ▼
+//                              ThreadPool::ParallelFor over the batch
+//                              (FrozenGraph traversals, DistanceCache
+//                               as a pure accelerator)
+//                                          │
+//                                          ▼ optional replay validation
+//                              promises fulfilled, epoch id stamped
+//
+//   ApplyUpdate ──> updater thread: mutate live Network / point list,
+//                   rebuild PointSet + FrozenGraph (+ re-cluster when a
+//                   cluster_spec is configured), publish the new epoch,
+//                   bump the DistanceCache epoch in the same publish.
+//
+// Admission control: when the queue holds max_queue_depth requests, a
+// Submit is rejected immediately with kUnavailable; the message carries
+// a retry-after hint derived from the recent mean batch duration. The
+// contract is documented in DESIGN.md §12.
+//
+// Responses are epoch-relative: point ids name points of the epoch
+// stamped on the response (adding points renumbers ids in later
+// epochs); node count is fixed at Start. Queries never touch the live
+// network, so a served batch is a pure function of its pinned snapshot
+// — which is what lets ValidateServedBatch replay it bit-identically.
+#ifndef NETCLUS_SERVER_QUERY_SERVER_H_
+#define NETCLUS_SERVER_QUERY_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "graph/network.h"
+#include "graph/workspace_pool.h"
+#include "index/distance_cache.h"
+#include "netclus.h"
+#include "server/epoch_manager.h"
+#include "server/query.h"
+
+namespace netclus {
+
+/// \brief One mutation of the served world, applied by the updater
+/// thread and visible to queries from the next published epoch on.
+struct NetworkUpdate {
+  enum class Kind {
+    kAddEdge,   ///< undirected edge {u, v} with weight `value`
+    kAddPoint,  ///< point on edge {u, v} at offset `value` from min(u,v)
+  };
+  Kind kind = Kind::kAddEdge;
+  NodeId u = kInvalidNodeId;
+  NodeId v = kInvalidNodeId;
+  /// Edge weight (kAddEdge) or offset from the smaller endpoint
+  /// (kAddPoint).
+  double value = 0.0;
+  /// kAddPoint: ground-truth label riding along (-1 = none).
+  int label = -1;
+
+  static NetworkUpdate AddEdge(NodeId u, NodeId v, double weight) {
+    return NetworkUpdate{Kind::kAddEdge, u, v, weight, -1};
+  }
+  static NetworkUpdate AddPoint(NodeId u, NodeId v, double offset,
+                                int label = -1) {
+    return NetworkUpdate{Kind::kAddPoint, u, v, offset, label};
+  }
+};
+
+/// \brief Serving knobs.
+struct QueryServerOptions {
+  /// Worker threads executing batches (0 = one per hardware core).
+  uint32_t num_workers = 0;
+  /// Admission bound: Submits beyond this many queued requests are
+  /// rejected with kUnavailable (backpressure).
+  size_t max_queue_depth = 1024;
+  /// Most requests the dispatcher drains into one batch.
+  size_t max_batch_size = 64;
+  /// Point-pair distance cache shared by all epochs (invalidated on
+  /// every publish); 0 disables it.
+  size_t cache_capacity = 1 << 16;
+  uint32_t cache_shards = 16;
+  /// Replay every served batch through the direct inline path and fail
+  /// the batch kInternal on any payload divergence. Forced on by
+  /// -DNETCLUS_VALIDATE=ON builds.
+  bool validate_replay = false;
+  /// When set, every epoch also runs RunClustering and caches the
+  /// ClusterOutput, enabling kClusterMembership queries.
+  std::optional<ClusterSpec> cluster_spec;
+};
+
+/// \brief Aggregate serving counters (monotonic since Start).
+struct ServerStats {
+  uint64_t accepted = 0;   ///< requests admitted to the queue
+  uint64_t rejected = 0;   ///< requests refused with kUnavailable
+  uint64_t completed = 0;  ///< requests whose promise was fulfilled
+  uint64_t batches = 0;    ///< dispatcher batches executed
+  uint64_t epochs_published = 0;
+  uint64_t epochs_drained = 0;   ///< retired snapshots actually freed
+  uint64_t retired_epochs = 0;   ///< retired, awaiting last reader
+  uint64_t replay_batches = 0;   ///< batches replay-validated
+  uint64_t replay_mismatches = 0;
+  double mean_queue_wait_ms = 0.0;
+  double max_queue_wait_ms = 0.0;
+  double mean_batch_size = 0.0;
+  double max_batch_size = 0.0;
+  double mean_batch_ms = 0.0;
+};
+
+/// \brief The serving loop. Create with Start(), query with
+/// Execute()/Submit(), mutate with ApplyUpdate(), stop with Stop() (or
+/// destruction). All public methods are thread-safe.
+class QueryServer {
+ public:
+  /// Takes ownership of the world, publishes epoch 1 (running the
+  /// initial clustering when `options.cluster_spec` is set — a failure
+  /// there fails Start), and starts the dispatcher, updater, and worker
+  /// threads.
+  static Result<std::unique_ptr<QueryServer>> Start(
+      Network net, PointSet points, const QueryServerOptions& options);
+
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Enqueues one request. The future resolves to the response (epoch
+  /// stamped) or to the request's error; under backpressure it resolves
+  /// immediately to kUnavailable with a retry-after hint in the message.
+  std::future<Result<QueryResponse>> Submit(const QueryRequest& req);
+
+  /// Blocking convenience: Submit + wait.
+  Result<QueryResponse> Execute(const QueryRequest& req);
+
+  /// Hands the mutation to the updater thread and blocks until it has
+  /// been applied to the live world (validation errors come back here).
+  /// Publication happens asynchronously — queued mutations coalesce
+  /// into one epoch; use Flush() to wait for visibility.
+  Status ApplyUpdate(const NetworkUpdate& update);
+
+  /// As above without waiting for the apply.
+  std::future<Status> SubmitUpdate(const NetworkUpdate& update);
+
+  /// Blocks until every previously applied mutation is visible in the
+  /// current epoch. Returns the last publish failure, if any (e.g. a
+  /// re-clustering error); queries keep serving the previous epoch then.
+  Status Flush();
+
+  /// Drains in-flight queries and pending updates, publishes the final
+  /// epoch, and joins all threads. Subsequent Submits are rejected with
+  /// kUnavailable. Idempotent.
+  void Stop();
+
+  /// Epoch currently being served.
+  uint64_t current_epoch() const { return epochs_.current_epoch(); }
+
+  ServerStats stats() const;
+
+  /// Adds the monotonic counters to `collector` under "server.*" names.
+  void PublishStats(StatsCollector* collector) const;
+
+  /// Queue-wait samples (ms) of the most recent requests (bounded ring;
+  /// the raw material for client-side percentiles in the bench).
+  std::vector<double> QueueWaitSamplesMs() const;
+
+  uint32_t num_workers() const { return pool_->size(); }
+
+ private:
+  struct PendingQuery {
+    QueryRequest req;
+    std::promise<Result<QueryResponse>> promise;
+    double enqueue_seconds = 0.0;
+  };
+  struct PendingUpdate {
+    NetworkUpdate update;
+    std::promise<Status> promise;
+    uint64_t seq = 0;
+  };
+
+  QueryServer(Network net, std::vector<NetworkUpdate> raw_points,
+              const QueryServerOptions& options);
+
+  /// Rebuilds the immutable world from the live one and publishes it as
+  /// the next epoch (invalidating the shared cache). Updater thread (and
+  /// Start) only.
+  Status PublishWorld();
+  /// Applies one mutation to the live world. Updater thread (and Start)
+  /// only.
+  Status ApplyToWorld(const NetworkUpdate& update);
+
+  void DispatcherLoop();
+  void UpdaterLoop();
+  void ExecuteBatch(std::vector<PendingQuery>* batch);
+
+  const QueryServerOptions options_;
+  WallTimer clock_;  ///< server-lifetime clock for queue-wait stamps
+
+  // The live (mutable) world — updater thread only after Start.
+  Network net_;
+  std::vector<NetworkUpdate> raw_points_;  ///< kAddPoint records, in order
+
+  EpochManager epochs_;
+  DistanceCache cache_;  ///< epoch-bumped on every publish
+  std::unique_ptr<ThreadPool> pool_;
+  WorkspacePool workspaces_;
+
+  // Query admission queue.
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingQuery> queue_;
+  bool stopping_ = false;
+
+  // Update queue + flush bookkeeping.
+  mutable std::mutex update_mu_;
+  std::condition_variable update_cv_;
+  std::condition_variable flush_cv_;
+  std::deque<PendingUpdate> update_queue_;
+  bool update_stopping_ = false;
+  uint64_t update_seq_ = 0;        ///< last sequence handed out
+  uint64_t published_seq_ = 0;     ///< last sequence visible in an epoch
+  Status last_publish_error_ = Status::OK();
+
+  /// Dispatcher-only: rotates batches across the snapshot's pin slots so
+  /// the multi-slot drain accounting is exercised in normal serving.
+  uint32_t pin_slot_rr_ = 0;
+
+  // Serving statistics.
+  mutable std::mutex stats_mu_;
+  uint64_t accepted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t replay_batches_ = 0;
+  uint64_t replay_mismatches_ = 0;
+  RunningStats queue_wait_ms_;
+  RunningStats batch_size_;
+  RunningStats batch_ms_;
+  std::vector<double> wait_ring_;  ///< bounded queue-wait sample ring
+  size_t wait_ring_next_ = 0;
+
+  // PublishStats delta tracking (same pattern as DistanceIndex).
+  mutable std::mutex publish_stats_mu_;
+  mutable ServerStats published_stats_;
+
+  std::thread dispatcher_;
+  std::thread updater_;
+};
+
+}  // namespace netclus
+
+#endif  // NETCLUS_SERVER_QUERY_SERVER_H_

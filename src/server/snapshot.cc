@@ -1,0 +1,39 @@
+#include "server/snapshot.h"
+
+namespace netclus {
+
+void SnapshotView::GetEdgePoints(NodeId a, NodeId b,
+                                 std::vector<EdgePoint>* out) const {
+  out->clear();
+  auto [first, count] = points_->EdgePointRange(a, b);
+  for (uint32_t i = 0; i < count; ++i) {
+    out->push_back(EdgePoint{first + i, points_->offset(first + i)});
+  }
+}
+
+void SnapshotView::ForEachPointGroup(
+    const std::function<void(NodeId, NodeId, PointId, uint32_t)>& fn) const {
+  for (size_t i = 0; i < points_->num_groups(); ++i) {
+    const PointSet::Group& g = points_->group(i);
+    fn(g.u, g.v, g.first, g.count);
+  }
+}
+
+EpochSnapshot::EpochSnapshot(
+    uint64_t epoch, std::shared_ptr<const FrozenGraph> graph,
+    std::shared_ptr<const PointSet> points,
+    std::shared_ptr<const ClusterOutput> clusters, uint32_t num_pin_slots,
+    std::shared_ptr<std::atomic<uint64_t>> freed_counter)
+    : epoch_(epoch),
+      clusters_(std::move(clusters)),
+      view_(std::move(graph), std::move(points)),
+      pin_slots_(num_pin_slots > 0 ? num_pin_slots : 1),
+      freed_counter_(std::move(freed_counter)) {}
+
+EpochSnapshot::~EpochSnapshot() {
+  if (freed_counter_ != nullptr) {
+    freed_counter_->fetch_add(1, std::memory_order_release);
+  }
+}
+
+}  // namespace netclus

@@ -1,0 +1,136 @@
+// EpochSnapshot: one immutable, self-owning epoch of the served world —
+// the CSR graph, the point set, the optional cached clustering, and a
+// NetworkView stitched over them.
+//
+// The query server never lets a query touch the live (mutating) Network.
+// Instead the updater thread materializes these snapshots and publishes
+// them through the EpochManager (server/epoch_manager.h); queries run
+// against the snapshot's SnapshotView + FrozenGraph pair, which is
+// frozen forever — every byte a query can reach is immutable after
+// construction, so snapshots are shared across worker threads with no
+// synchronization beyond the epoch pin.
+#ifndef NETCLUS_SERVER_SNAPSHOT_H_
+#define NETCLUS_SERVER_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/frozen_graph.h"
+#include "graph/network.h"
+#include "graph/network_view.h"
+#include "netclus.h"
+
+namespace netclus {
+
+/// \brief NetworkView over a frozen (graph, point set) pair.
+///
+/// Unlike InMemoryNetworkView, which reads through a live Network that
+/// may be mutating underneath it, every accessor here resolves against
+/// the immutable snapshot: adjacency and edge weights from the
+/// FrozenGraph CSR, positions / edge points / groups from the PointSet.
+/// The view co-owns both, so it remains valid for as long as any copy
+/// of it (or its EpochSnapshot) lives.
+class SnapshotView final : public NetworkView {
+ public:
+  SnapshotView(std::shared_ptr<const FrozenGraph> graph,
+               std::shared_ptr<const PointSet> points)
+      : graph_(std::move(graph)), points_(std::move(points)) {}
+
+  NodeId num_nodes() const override { return graph_->num_nodes(); }
+  PointId num_points() const override { return points_->size(); }
+  void ForEachNeighbor(
+      NodeId n,
+      const std::function<void(NodeId, double)>& fn) const override {
+    graph_->ForEachNeighbor(n, fn);
+  }
+  double EdgeWeight(NodeId a, NodeId b) const override {
+    return graph_->EdgeWeight(a, b);
+  }
+  PointPos PointPosition(PointId p) const override {
+    return points_->position(p);
+  }
+  void GetEdgePoints(NodeId a, NodeId b,
+                     std::vector<EdgePoint>* out) const override;
+  void ForEachPointGroup(
+      const std::function<void(NodeId, NodeId, PointId, uint32_t)>& fn)
+      const override;
+
+  const FrozenGraph& frozen() const { return *graph_; }
+  const PointSet& points() const { return *points_; }
+
+ private:
+  std::shared_ptr<const FrozenGraph> graph_;
+  std::shared_ptr<const PointSet> points_;
+};
+
+/// \brief One published epoch: id + the immutable world it serves.
+///
+/// Owned by shared_ptr from the EpochManager and from every in-flight
+/// reader batch; the per-slot pin counts below additionally gate the
+/// manager's retire-and-free sweep (see epoch_manager.h for the
+/// lifecycle). Not copyable or movable — the pin slots are addresses
+/// workers hold across the snapshot's whole life.
+class EpochSnapshot {
+ public:
+  /// `clusters` may be null (membership queries then fail NotFound).
+  /// `freed_counter` (shared so it may outlive the manager) is bumped by
+  /// the destructor — the observable "drained epoch actually freed"
+  /// signal the epoch-swap tests assert on.
+  EpochSnapshot(uint64_t epoch, std::shared_ptr<const FrozenGraph> graph,
+                std::shared_ptr<const PointSet> points,
+                std::shared_ptr<const ClusterOutput> clusters,
+                uint32_t num_pin_slots,
+                std::shared_ptr<std::atomic<uint64_t>> freed_counter);
+  ~EpochSnapshot();
+
+  EpochSnapshot(const EpochSnapshot&) = delete;
+  EpochSnapshot& operator=(const EpochSnapshot&) = delete;
+
+  uint64_t epoch() const { return epoch_; }
+  const SnapshotView& view() const { return view_; }
+  const FrozenGraph& frozen() const { return view_.frozen(); }
+  const PointSet& points() const { return view_.points(); }
+  /// Null when the server runs without a cluster_spec.
+  const ClusterOutput* clusters() const { return clusters_.get(); }
+
+  uint32_t num_pin_slots() const {
+    return static_cast<uint32_t>(pin_slots_.size());
+  }
+
+  /// Reader-side pin bookkeeping. The relaxed add is safe because pins
+  /// are only ever taken under the EpochManager's publish mutex (the
+  /// snapshot is provably alive there); the release/acquire pair makes
+  /// a reader's memory operations visible to the sweep that frees the
+  /// snapshot after observing its pins at zero.
+  void AddPin(uint32_t slot) const {
+    pin_slots_[slot].pins.fetch_add(1, std::memory_order_relaxed);
+  }
+  void ReleasePin(uint32_t slot) const {
+    pin_slots_[slot].pins.fetch_sub(1, std::memory_order_release);
+  }
+  uint64_t TotalPins() const {
+    uint64_t total = 0;
+    for (const PinSlot& s : pin_slots_) {
+      total += s.pins.load(std::memory_order_acquire);
+    }
+    return total;
+  }
+
+ private:
+  /// One cache line per worker so concurrent pin/unpin never false-share.
+  struct alignas(64) PinSlot {
+    mutable std::atomic<uint64_t> pins{0};
+  };
+
+  uint64_t epoch_;
+  std::shared_ptr<const ClusterOutput> clusters_;
+  SnapshotView view_;  ///< co-owns the graph and the point set
+  std::vector<PinSlot> pin_slots_;
+  std::shared_ptr<std::atomic<uint64_t>> freed_counter_;
+};
+
+}  // namespace netclus
+
+#endif  // NETCLUS_SERVER_SNAPSHOT_H_

@@ -1,0 +1,200 @@
+// Compatibility tests for the deprecated per-algorithm entry points
+// (KMedoidsCluster, EpsLinkCluster, DbscanCluster, SingleLinkCluster).
+//
+// This is the one test translation unit allowed to call them: the lint
+// tripwire bans the names everywhere else outside src/, and -Werror
+// turns any stray use into a build failure. Two families of checks live
+// here:
+//   1. legacy entry == RunClustering(view, MakeSpec(options)) — the
+//      migration contract every caller relied on when moving over;
+//   2. the frozen-vs-live bit-identity of each engine overload — the
+//      FrozenGraph equivalence tests that used to live in
+//      frozen_graph_test.cc, kept on the legacy names because the
+//      deprecated overloads are exactly the live-view entry.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <utility>
+
+#include "gen/network_gen.h"
+#include "gen/workload_gen.h"
+#include "graph/frozen_graph.h"
+#include "netclus.h"
+
+// The whole file exercises deprecated functions on purpose.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace netclus {
+namespace {
+
+// A generated network + uniform points + in-memory view + snapshot.
+struct Scenario {
+  GeneratedNetwork gen;
+  PointSet points;
+  std::optional<InMemoryNetworkView> view;
+  FrozenGraph frozen;
+
+  Scenario(NodeId nodes, PointId n_points, uint64_t seed) {
+    gen = GenerateRoadNetwork({nodes, 1.3, 0.3, seed});
+    points =
+        std::move(GenerateUniformPoints(gen.net, n_points, seed + 1)).value();
+    view.emplace(gen.net, points);
+    frozen = std::move(view->Freeze()).value();
+  }
+};
+
+class LegacyApiFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { s_.emplace(90, 140, 71); }
+  std::optional<Scenario> s_;
+};
+
+// --- legacy entry == RunClustering(MakeSpec(...)) ----------------------
+
+TEST_F(LegacyApiFixture, KMedoidsMatchesRunClustering) {
+  KMedoidsOptions options;
+  options.k = 4;
+  options.seed = 133;
+  Result<KMedoidsResult> legacy = KMedoidsCluster(*s_->view, options);
+  Result<ClusterOutput> unified =
+      RunClustering(*s_->view, MakeSpec(options));
+  ASSERT_TRUE(legacy.ok() && unified.ok());
+  EXPECT_EQ(unified.value().cost, legacy.value().cost);
+  EXPECT_EQ(unified.value().medoids, legacy.value().medoids);
+  EXPECT_EQ(unified.value().clustering.assignment,
+            legacy.value().clustering.assignment);
+}
+
+TEST_F(LegacyApiFixture, EpsLinkMatchesRunClustering) {
+  EpsLinkOptions options;
+  options.eps = 3.0;
+  options.min_sup = 2;
+  Result<Clustering> legacy = EpsLinkCluster(*s_->view, options);
+  Result<ClusterOutput> unified =
+      RunClustering(*s_->view, MakeSpec(options));
+  ASSERT_TRUE(legacy.ok() && unified.ok());
+  EXPECT_EQ(unified.value().clustering.assignment,
+            legacy.value().assignment);
+  EXPECT_EQ(unified.value().clustering.num_clusters,
+            legacy.value().num_clusters);
+}
+
+TEST_F(LegacyApiFixture, DbscanMatchesRunClusteringIncludingParallelPath) {
+  DbscanOptions options;
+  options.eps = 3.0;
+  options.min_pts = 3;
+  for (uint32_t threads : {1u, 4u}) {
+    options.num_threads = threads;
+    Result<Clustering> legacy = DbscanCluster(*s_->view, options);
+    Result<ClusterOutput> unified =
+        RunClustering(*s_->view, MakeSpec(options));
+    ASSERT_TRUE(legacy.ok() && unified.ok());
+    EXPECT_EQ(unified.value().clustering.assignment,
+              legacy.value().assignment) << "threads = " << threads;
+  }
+}
+
+TEST_F(LegacyApiFixture, SingleLinkMatchesRunClustering) {
+  SingleLinkOptions options;
+  options.delta = 1.0;
+  Result<SingleLinkResult> legacy = SingleLinkCluster(*s_->view, options);
+  Result<ClusterOutput> unified =
+      RunClustering(*s_->view, MakeSpec(options, /*cut_distance=*/3.0));
+  ASSERT_TRUE(legacy.ok() && unified.ok());
+  ASSERT_TRUE(unified.value().dendrogram.has_value());
+  const auto& lm = legacy.value().dendrogram.merges();
+  const auto& um = unified.value().dendrogram->merges();
+  ASSERT_EQ(um.size(), lm.size());
+  for (size_t i = 0; i < lm.size(); ++i) {
+    EXPECT_EQ(um[i].a, lm[i].a);
+    EXPECT_EQ(um[i].b, lm[i].b);
+    EXPECT_EQ(um[i].distance, lm[i].distance);
+  }
+  // The spec's cut rides along through MakeSpec.
+  Clustering want = legacy.value().dendrogram.CutAtDistance(3.0, 1);
+  EXPECT_EQ(unified.value().clustering.assignment, want.assignment);
+}
+
+TEST_F(LegacyApiFixture, NullAcceleratorOverloadMatchesPlainOverload) {
+  KMedoidsOptions options;
+  options.seed = 113;
+  options.initial_medoids = {3, 17, 42};
+  Result<KMedoidsResult> plain = KMedoidsCluster(*s_->view, options);
+  Result<KMedoidsResult> with_null =
+      KMedoidsCluster(*s_->view, options, nullptr);
+  ASSERT_TRUE(plain.ok() && with_null.ok());
+  EXPECT_EQ(plain.value().cost, with_null.value().cost);
+  EXPECT_EQ(plain.value().medoids, with_null.value().medoids);
+  EXPECT_EQ(plain.value().clustering.assignment,
+            with_null.value().clustering.assignment);
+  EXPECT_EQ(with_null.value().stats.pruned_swaps, 0u);
+}
+
+// --- frozen-vs-live bit-identity of the engine overloads ---------------
+// (moved from frozen_graph_test.cc: the deprecated overloads are exactly
+// the live-view entry the snapshot path must reproduce bit for bit)
+
+TEST_F(LegacyApiFixture, KMedoidsFrozenIdentical) {
+  KMedoidsOptions options;
+  options.k = 5;
+  options.seed = 72;
+  Result<KMedoidsResult> legacy = KMedoidsCluster(*s_->view, options);
+  Result<KMedoidsResult> frozen =
+      KMedoidsCluster(*s_->view, options, nullptr, &s_->frozen);
+  ASSERT_TRUE(legacy.ok() && frozen.ok());
+  EXPECT_EQ(frozen.value().clustering.assignment,
+            legacy.value().clustering.assignment);
+  EXPECT_EQ(frozen.value().medoids, legacy.value().medoids);
+  EXPECT_EQ(frozen.value().cost, legacy.value().cost);
+}
+
+TEST_F(LegacyApiFixture, EpsLinkFrozenIdentical) {
+  EpsLinkOptions options;
+  options.eps = 3.0;
+  options.min_sup = 3;
+  Result<Clustering> legacy = EpsLinkCluster(*s_->view, options);
+  Result<Clustering> frozen = EpsLinkCluster(*s_->view, options, &s_->frozen);
+  ASSERT_TRUE(legacy.ok() && frozen.ok());
+  EXPECT_EQ(frozen.value().assignment, legacy.value().assignment);
+  EXPECT_EQ(frozen.value().num_clusters, legacy.value().num_clusters);
+}
+
+TEST_F(LegacyApiFixture, SingleLinkFrozenIdentical) {
+  SingleLinkOptions options;
+  options.delta = 1.0;
+  Result<SingleLinkResult> legacy = SingleLinkCluster(*s_->view, options);
+  Result<SingleLinkResult> frozen =
+      SingleLinkCluster(*s_->view, options, &s_->frozen);
+  ASSERT_TRUE(legacy.ok() && frozen.ok());
+  ASSERT_EQ(frozen.value().dendrogram.merges().size(),
+            legacy.value().dendrogram.merges().size());
+  for (size_t i = 0; i < legacy.value().dendrogram.merges().size(); ++i) {
+    EXPECT_EQ(frozen.value().dendrogram.merges()[i].a,
+              legacy.value().dendrogram.merges()[i].a);
+    EXPECT_EQ(frozen.value().dendrogram.merges()[i].b,
+              legacy.value().dendrogram.merges()[i].b);
+    EXPECT_EQ(frozen.value().dendrogram.merges()[i].distance,
+              legacy.value().dendrogram.merges()[i].distance);
+  }
+}
+
+TEST_F(LegacyApiFixture, DbscanFrozenIdenticalSerialAndParallel) {
+  DbscanOptions options;
+  options.eps = 3.0;
+  options.min_pts = 3;
+  for (uint32_t threads : {1u, 4u}) {
+    options.num_threads = threads;
+    Result<Clustering> legacy = DbscanCluster(*s_->view, options);
+    Result<Clustering> frozen =
+        DbscanCluster(*s_->view, options, nullptr, &s_->frozen);
+    ASSERT_TRUE(legacy.ok() && frozen.ok());
+    EXPECT_EQ(frozen.value().assignment, legacy.value().assignment)
+        << "threads = " << threads;
+  }
+}
+
+}  // namespace
+}  // namespace netclus
+
+#pragma GCC diagnostic pop

@@ -8,6 +8,7 @@
 #include "core/dbscan.h"
 #include "gen/network_gen.h"
 #include "gen/workload_gen.h"
+#include "run_helpers.h"
 
 namespace netclus {
 namespace {
@@ -18,10 +19,10 @@ TEST(DbscanTest, RejectsBadOptions) {
   InMemoryNetworkView view(net, empty);
   DbscanOptions opts;
   opts.eps = -1.0;
-  EXPECT_TRUE(DbscanCluster(view, opts).status().IsInvalidArgument());
+  EXPECT_TRUE(RunDbscan(view, opts).status().IsInvalidArgument());
   opts.eps = 1.0;
   opts.min_pts = 0;
-  EXPECT_TRUE(DbscanCluster(view, opts).status().IsInvalidArgument());
+  EXPECT_TRUE(RunDbscan(view, opts).status().IsInvalidArgument());
 }
 
 TEST(DbscanTest, IsolatedPointsAreNoise) {
@@ -35,7 +36,7 @@ TEST(DbscanTest, IsolatedPointsAreNoise) {
   DbscanOptions opts;
   opts.eps = 1.0;
   opts.min_pts = 2;
-  Clustering c = std::move(DbscanCluster(view, opts)).value();
+  Clustering c = std::move(RunDbscan(view, opts)).value();
   EXPECT_EQ(c.num_clusters, 0);
   for (int a : c.assignment) EXPECT_EQ(a, kNoise);
 }
@@ -51,13 +52,13 @@ TEST(DbscanTest, HigherMinPtsRequiresDenserCores) {
   DbscanOptions opts;
   opts.eps = 0.5;
   opts.min_pts = 4;
-  Clustering c = std::move(DbscanCluster(view, opts)).value();
+  Clustering c = std::move(RunDbscan(view, opts)).value();
   // Middle point sees 2 on each side within 0.8 -> eps=0.5 reaches one
   // neighbor each side... with eps 0.5 each point sees +-1 position:
   // neighborhood sizes: 2,3,3,3,2 -> no cores at MinPts=4 -> all noise.
   EXPECT_EQ(c.num_clusters, 0);
   opts.min_pts = 3;
-  c = std::move(DbscanCluster(view, opts)).value();
+  c = std::move(RunDbscan(view, opts)).value();
   // Sizes 2,3,3,3,2: middle three are cores, chain ends are border.
   EXPECT_EQ(c.num_clusters, 1);
   for (int a : c.assignment) EXPECT_EQ(a, 0);
@@ -79,7 +80,7 @@ TEST_P(DbscanPropertyTest, SemanticsMatchBruteForce) {
   DbscanOptions opts;
   opts.eps = eps;
   opts.min_pts = min_pts;
-  Clustering c = std::move(DbscanCluster(view, opts)).value();
+  Clustering c = std::move(RunDbscan(view, opts)).value();
   std::vector<bool> core = BruteCoreFlags(pd, eps, min_pts);
 
   const PointId n = ps.size();
@@ -140,9 +141,9 @@ TEST_P(DbscanParallelTest, ParallelMatchesSerialExactly) {
   opts.eps = 0.8;
   opts.min_pts = min_pts;
   opts.num_threads = 1;
-  Clustering serial = std::move(DbscanCluster(view, opts)).value();
+  Clustering serial = std::move(RunDbscan(view, opts)).value();
   opts.num_threads = 4;
-  Clustering parallel = std::move(DbscanCluster(view, opts)).value();
+  Clustering parallel = std::move(RunDbscan(view, opts)).value();
   EXPECT_EQ(serial.num_clusters, parallel.num_clusters);
   EXPECT_EQ(serial.assignment, parallel.assignment);
 }
@@ -159,8 +160,8 @@ TEST(DbscanTest, DeterministicAcrossRuns) {
   DbscanOptions opts;
   opts.eps = 0.8;
   opts.min_pts = 3;
-  Clustering a = std::move(DbscanCluster(view, opts)).value();
-  Clustering b = std::move(DbscanCluster(view, opts)).value();
+  Clustering a = std::move(RunDbscan(view, opts)).value();
+  Clustering b = std::move(RunDbscan(view, opts)).value();
   EXPECT_EQ(a.assignment, b.assignment);
 }
 

@@ -11,6 +11,7 @@
 #include "eval/metrics.h"
 #include "gen/network_gen.h"
 #include "gen/workload_gen.h"
+#include "run_helpers.h"
 
 namespace netclus {
 namespace {
@@ -21,7 +22,7 @@ TEST(EpsLinkTest, RejectsNonPositiveEps) {
   InMemoryNetworkView view(net, empty);
   EpsLinkOptions opts;
   opts.eps = 0.0;
-  EXPECT_TRUE(EpsLinkCluster(view, opts).status().IsInvalidArgument());
+  EXPECT_TRUE(RunEpsLink(view, opts).status().IsInvalidArgument());
 }
 
 TEST(EpsLinkTest, ChainsAlongASingleEdge) {
@@ -32,7 +33,7 @@ TEST(EpsLinkTest, ChainsAlongASingleEdge) {
   InMemoryNetworkView view(net, ps);
   EpsLinkOptions opts;
   opts.eps = 0.6;
-  Clustering c = std::move(EpsLinkCluster(view, opts)).value();
+  Clustering c = std::move(RunEpsLink(view, opts)).value();
   EXPECT_EQ(c.num_clusters, 2);
   EXPECT_EQ(c.assignment[0], c.assignment[1]);
   EXPECT_EQ(c.assignment[1], c.assignment[2]);
@@ -50,10 +51,10 @@ TEST(EpsLinkTest, ConnectsAcrossNodes) {
   InMemoryNetworkView view(net, ps);
   EpsLinkOptions opts;
   opts.eps = 0.5;
-  Clustering c = std::move(EpsLinkCluster(view, opts)).value();
+  Clustering c = std::move(RunEpsLink(view, opts)).value();
   EXPECT_EQ(c.num_clusters, 1);
   opts.eps = 0.49;
-  c = std::move(EpsLinkCluster(view, opts)).value();
+  c = std::move(RunEpsLink(view, opts)).value();
   EXPECT_EQ(c.num_clusters, 2);
 }
 
@@ -67,7 +68,7 @@ TEST(EpsLinkTest, RingShortcutJoinsSameEdgePoints) {
   InMemoryNetworkView view(net, ps);
   EpsLinkOptions opts;
   opts.eps = 0.9;
-  Clustering c = std::move(EpsLinkCluster(view, opts)).value();
+  Clustering c = std::move(RunEpsLink(view, opts)).value();
   EXPECT_EQ(c.num_clusters, 1);
 }
 
@@ -83,7 +84,7 @@ TEST(EpsLinkTest, MinSupDemotesSmallClustersToNoise) {
   EpsLinkOptions opts;
   opts.eps = 1.0;
   opts.min_sup = 2;
-  Clustering c = std::move(EpsLinkCluster(view, opts)).value();
+  Clustering c = std::move(RunEpsLink(view, opts)).value();
   EXPECT_EQ(c.num_clusters, 1);
   EXPECT_EQ(c.assignment[3], kNoise);
 }
@@ -102,7 +103,7 @@ TEST_P(EpsLinkPropertyTest, EqualsBruteForceComponents) {
   double eps = eps_scale;  // network edge weights are ~1 grid unit
   EpsLinkOptions opts;
   opts.eps = eps;
-  Clustering got = std::move(EpsLinkCluster(view, opts)).value();
+  Clustering got = std::move(RunEpsLink(view, opts)).value();
   Clustering want = BruteEpsComponents(pd, eps, 1);
   EXPECT_TRUE(SamePartition(got.assignment, want.assignment))
       << "seed " << seed << " eps " << eps << "\nARI "
@@ -135,7 +136,7 @@ TEST_P(EpsLinkDenseEdgeTest, ClusteredWorkloadEqualsBruteForce) {
                      3.0 * w.max_intra_gap}) {
     EpsLinkOptions opts;
     opts.eps = eps;
-    Clustering got = std::move(EpsLinkCluster(view, opts)).value();
+    Clustering got = std::move(RunEpsLink(view, opts)).value();
     Clustering want = BruteEpsComponents(pd, eps, 1);
     ASSERT_TRUE(SamePartition(got.assignment, want.assignment))
         << "seed " << seed << " eps " << eps;
@@ -155,11 +156,11 @@ TEST(EpsLinkTest, EqualsDbscanWithMinPtsTwo) {
     EpsLinkOptions eo;
     eo.eps = 0.8;
     eo.min_sup = 2;  // match DBSCAN: singletons are noise
-    Clustering el = std::move(EpsLinkCluster(view, eo)).value();
+    Clustering el = std::move(RunEpsLink(view, eo)).value();
     DbscanOptions dopts;
     dopts.eps = 0.8;
     dopts.min_pts = 2;
-    Clustering db = std::move(DbscanCluster(view, dopts)).value();
+    Clustering db = std::move(RunDbscan(view, dopts)).value();
     EXPECT_TRUE(SamePartition(el.assignment, db.assignment)) << "seed "
                                                              << seed;
   }
@@ -171,8 +172,8 @@ TEST(EpsLinkTest, DeterministicAcrossRuns) {
   InMemoryNetworkView view(g.net, ps);
   EpsLinkOptions opts;
   opts.eps = 0.7;
-  Clustering a = std::move(EpsLinkCluster(view, opts)).value();
-  Clustering b = std::move(EpsLinkCluster(view, opts)).value();
+  Clustering a = std::move(RunEpsLink(view, opts)).value();
+  Clustering b = std::move(RunEpsLink(view, opts)).value();
   EXPECT_EQ(a.assignment, b.assignment);
 }
 
@@ -189,7 +190,7 @@ TEST(EpsLinkTest, RecoversGeneratedClusters) {
   EpsLinkOptions opts;
   opts.eps = w.max_intra_gap;
   opts.min_sup = 10;
-  Clustering c = std::move(EpsLinkCluster(view, opts)).value();
+  Clustering c = std::move(RunEpsLink(view, opts)).value();
   // Structural guarantee at eps = max generator gap: a planted cluster is
   // never SPLIT (it is eps-connected by construction) and none of its
   // points becomes noise. Touching clusters may legitimately merge.

@@ -9,6 +9,7 @@
 #include "gen/network_gen.h"
 #include "graph/dijkstra.h"
 #include "graph/network_distance.h"
+#include "run_helpers.h"
 
 namespace netclus {
 namespace {
@@ -68,7 +69,7 @@ TEST(MultiNetworkTest, ClustersSpanBothNetworks) {
   InMemoryNetworkView view(c.net, merged);
   EpsLinkOptions opts;
   opts.eps = 0.6;  // road 9.9 -> pier 0.1 -> hop 0.2 -> canal 0.1 = 0.4
-  Clustering result = std::move(EpsLinkCluster(view, opts)).value();
+  Clustering result = std::move(RunEpsLink(view, opts)).value();
   EXPECT_EQ(result.num_clusters, 1);
 }
 
@@ -145,7 +146,7 @@ TEST(TimeDependentTest, CongestionChangesClusters) {
     InMemoryNetworkView view(snap, moved);
     EpsLinkOptions opts;
     opts.eps = 1.5;
-    return std::move(EpsLinkCluster(view, opts)).value().num_clusters;
+    return std::move(RunEpsLink(view, opts)).value().num_clusters;
   };
   EXPECT_EQ(cluster_at(3.0), 1);   // night: gap ~1.2 <= 1.5
   EXPECT_EQ(cluster_at(8.5), 2);   // rush hour: gap ~3.6 > 1.5
@@ -216,9 +217,9 @@ TEST(WeightFunctionsTest, DifferentMeasuresYieldDifferentClusterings) {
   opts.eps = 12.0;
   InMemoryNetworkView dist_view(dist, by_dist);
   InMemoryNetworkView time_view(time, by_time);
-  EXPECT_EQ(std::move(EpsLinkCluster(dist_view, opts)).value().num_clusters,
+  EXPECT_EQ(std::move(RunEpsLink(dist_view, opts)).value().num_clusters,
             1);  // 10 apart by distance
-  EXPECT_EQ(std::move(EpsLinkCluster(time_view, opts)).value().num_clusters,
+  EXPECT_EQ(std::move(RunEpsLink(time_view, opts)).value().num_clusters,
             2);  // 25.5 apart by time
 }
 

@@ -2,9 +2,11 @@
 // neighbor-sequence equality with the source view on random networks,
 // Freeze() on both view implementations (in-memory and disk-backed),
 // edge-weight and point-range lookups, the validator's rejection of a
-// corrupted snapshot, and the headline equivalence — every clustering
-// algorithm produces the bit-identical result over the snapshot and
-// over the live view, with identical traversal counters.
+// corrupted snapshot, identical Dijkstra traversal counters over view
+// and snapshot, and snapshot ownership across Network mutation. The
+// per-algorithm frozen-vs-live bit-identity checks live in
+// tests/compat/legacy_api_test.cc (they exercise the deprecated
+// per-algorithm entry points).
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -12,11 +14,7 @@
 #include <utility>
 #include <vector>
 
-#include "core/dbscan.h"
-#include "core/eps_link.h"
-#include "core/kmedoids.h"
 #include "core/optics.h"
-#include "core/single_link.h"
 #include "core/validate.h"
 #include "gen/network_gen.h"
 #include "gen/workload_gen.h"
@@ -161,6 +159,30 @@ TEST(FrozenGraphTest, NetworkEdgeWeightSurvivesMutation) {
   EXPECT_LT(net.EdgeWeight(0, 2), 0.0);
 }
 
+TEST(FrozenGraphTest, HeldSnapshotSurvivesAddEdge) {
+  // The ownership rule behind RCU epochs: AddEdge drops only the
+  // network's own reference to the cached snapshot. A caller-held
+  // shared_ptr keeps the old CSR alive and unchanged, while the next
+  // Freeze() builds a fresh snapshot reflecting the mutation.
+  Network net(4);
+  ASSERT_TRUE(net.AddEdge(0, 1, 1.5).ok());
+  std::shared_ptr<const FrozenGraph> old_snap = net.Freeze();
+  ASSERT_NE(old_snap, nullptr);
+  EXPECT_EQ(old_snap->EdgeWeight(0, 1), 1.5);
+
+  ASSERT_TRUE(net.AddEdge(1, 2, 2.5).ok());
+  // The held snapshot still describes the pre-mutation adjacency.
+  EXPECT_EQ(old_snap->EdgeWeight(0, 1), 1.5);
+  EXPECT_LT(old_snap->EdgeWeight(1, 2), 0.0);
+  EXPECT_EQ(old_snap.use_count(), 1);  // network dropped its reference
+
+  std::shared_ptr<const FrozenGraph> new_snap = net.Freeze();
+  ASSERT_NE(new_snap, nullptr);
+  EXPECT_NE(new_snap, old_snap);
+  EXPECT_EQ(new_snap->EdgeWeight(1, 2), 2.5);
+  EXPECT_EQ(old_snap->EdgeWeight(0, 1), 1.5);
+}
+
 // Multi-source SSSP over the snapshot settles the same nodes in the
 // same order with the same heap traffic as over the live view.
 TEST(FrozenGraphTest, DijkstraCountersIdenticalOverViewAndSnapshot) {
@@ -189,72 +211,14 @@ TEST(FrozenGraphTest, DijkstraCountersIdenticalOverViewAndSnapshot) {
   }
 }
 
-// The headline equivalence: each algorithm's snapshot path reproduces
-// the live-view path bit for bit.
+// The per-algorithm frozen-vs-live equivalence tests moved to
+// tests/compat/legacy_api_test.cc together with the other deprecated
+// entry-point checks; OPTICS (not deprecated) stays here.
 class FrozenRunFixture : public ::testing::Test {
  protected:
   void SetUp() override { s_.emplace(90, 140, 71); }
   std::optional<Scenario> s_;
 };
-
-TEST_F(FrozenRunFixture, KMedoidsIdentical) {
-  KMedoidsOptions options;
-  options.k = 5;
-  options.seed = 72;
-  Result<KMedoidsResult> legacy = KMedoidsCluster(*s_->view, options);
-  Result<KMedoidsResult> frozen =
-      KMedoidsCluster(*s_->view, options, nullptr, &s_->frozen);
-  ASSERT_TRUE(legacy.ok() && frozen.ok());
-  EXPECT_EQ(frozen.value().clustering.assignment,
-            legacy.value().clustering.assignment);
-  EXPECT_EQ(frozen.value().medoids, legacy.value().medoids);
-  EXPECT_EQ(frozen.value().cost, legacy.value().cost);
-}
-
-TEST_F(FrozenRunFixture, EpsLinkIdentical) {
-  EpsLinkOptions options;
-  options.eps = 3.0;
-  options.min_sup = 3;
-  Result<Clustering> legacy = EpsLinkCluster(*s_->view, options);
-  Result<Clustering> frozen = EpsLinkCluster(*s_->view, options, &s_->frozen);
-  ASSERT_TRUE(legacy.ok() && frozen.ok());
-  EXPECT_EQ(frozen.value().assignment, legacy.value().assignment);
-  EXPECT_EQ(frozen.value().num_clusters, legacy.value().num_clusters);
-}
-
-TEST_F(FrozenRunFixture, SingleLinkIdentical) {
-  SingleLinkOptions options;
-  options.delta = 1.0;
-  Result<SingleLinkResult> legacy = SingleLinkCluster(*s_->view, options);
-  Result<SingleLinkResult> frozen =
-      SingleLinkCluster(*s_->view, options, &s_->frozen);
-  ASSERT_TRUE(legacy.ok() && frozen.ok());
-  ASSERT_EQ(frozen.value().dendrogram.merges().size(),
-            legacy.value().dendrogram.merges().size());
-  for (size_t i = 0; i < legacy.value().dendrogram.merges().size(); ++i) {
-    EXPECT_EQ(frozen.value().dendrogram.merges()[i].a,
-              legacy.value().dendrogram.merges()[i].a);
-    EXPECT_EQ(frozen.value().dendrogram.merges()[i].b,
-              legacy.value().dendrogram.merges()[i].b);
-    EXPECT_EQ(frozen.value().dendrogram.merges()[i].distance,
-              legacy.value().dendrogram.merges()[i].distance);
-  }
-}
-
-TEST_F(FrozenRunFixture, DbscanIdenticalSerialAndParallel) {
-  DbscanOptions options;
-  options.eps = 3.0;
-  options.min_pts = 3;
-  for (uint32_t threads : {1u, 4u}) {
-    options.num_threads = threads;
-    Result<Clustering> legacy = DbscanCluster(*s_->view, options);
-    Result<Clustering> frozen =
-        DbscanCluster(*s_->view, options, nullptr, &s_->frozen);
-    ASSERT_TRUE(legacy.ok() && frozen.ok());
-    EXPECT_EQ(frozen.value().assignment, legacy.value().assignment)
-        << "threads = " << threads;
-  }
-}
 
 TEST_F(FrozenRunFixture, OpticsIdentical) {
   OpticsOptions options;

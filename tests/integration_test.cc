@@ -17,6 +17,7 @@
 #include "gen/workload_gen.h"
 #include "graph/network_distance.h"
 #include "graph/network_store.h"
+#include "run_helpers.h"
 
 namespace netclus {
 namespace {
@@ -55,8 +56,8 @@ TEST(IntegrationTest, DiskAndMemoryKMedoidsIdentical) {
   opts.k = 4;
   opts.seed = 5;
   opts.max_unsuccessful_swaps = 5;
-  Result<KMedoidsResult> mem = KMedoidsCluster(*p.mem_view, opts);
-  Result<KMedoidsResult> disk = KMedoidsCluster(p.disk->view(), opts);
+  Result<KMedoidsResult> mem = RunKMedoids(*p.mem_view, opts);
+  Result<KMedoidsResult> disk = RunKMedoids(p.disk->view(), opts);
   ASSERT_TRUE(mem.ok());
   ASSERT_TRUE(disk.ok());
   EXPECT_EQ(mem.value().medoids, disk.value().medoids);
@@ -70,8 +71,8 @@ TEST(IntegrationTest, DiskAndMemoryEpsLinkIdentical) {
   EpsLinkOptions opts;
   opts.eps = p.workload.max_intra_gap;
   opts.min_sup = 3;
-  Result<Clustering> mem = EpsLinkCluster(*p.mem_view, opts);
-  Result<Clustering> disk = EpsLinkCluster(p.disk->view(), opts);
+  Result<Clustering> mem = RunEpsLink(*p.mem_view, opts);
+  Result<Clustering> disk = RunEpsLink(p.disk->view(), opts);
   ASSERT_TRUE(mem.ok());
   ASSERT_TRUE(disk.ok());
   EXPECT_EQ(mem.value().assignment, disk.value().assignment);
@@ -82,8 +83,8 @@ TEST(IntegrationTest, DiskAndMemoryDbscanIdentical) {
   DbscanOptions opts;
   opts.eps = p.workload.max_intra_gap;
   opts.min_pts = 3;
-  Result<Clustering> mem = DbscanCluster(*p.mem_view, opts);
-  Result<Clustering> disk = DbscanCluster(p.disk->view(), opts);
+  Result<Clustering> mem = RunDbscan(*p.mem_view, opts);
+  Result<Clustering> disk = RunDbscan(p.disk->view(), opts);
   ASSERT_TRUE(mem.ok());
   ASSERT_TRUE(disk.ok());
   EXPECT_EQ(mem.value().assignment, disk.value().assignment);
@@ -93,8 +94,8 @@ TEST(IntegrationTest, DiskAndMemorySingleLinkIdentical) {
   Pipeline p = MakePipeline(300, 800, 4, 1004);
   SingleLinkOptions opts;
   opts.delta = 0.1 * p.workload.max_intra_gap;
-  Result<SingleLinkResult> mem = SingleLinkCluster(*p.mem_view, opts);
-  Result<SingleLinkResult> disk = SingleLinkCluster(p.disk->view(), opts);
+  Result<SingleLinkResult> mem = RunSingleLink(*p.mem_view, opts);
+  Result<SingleLinkResult> disk = RunSingleLink(p.disk->view(), opts);
   ASSERT_TRUE(mem.ok());
   ASSERT_TRUE(disk.ok());
   const auto& mm = mem.value().dendrogram.merges();
@@ -112,7 +113,7 @@ TEST(IntegrationTest, DensityMethodsRecoverWorkload) {
   EpsLinkOptions opts;
   opts.eps = p.workload.max_intra_gap;
   opts.min_sup = 10;
-  Clustering c = std::move(EpsLinkCluster(*p.mem_view, opts)).value();
+  Clustering c = std::move(RunEpsLink(*p.mem_view, opts)).value();
   // Every planted cluster intact (never split, never lost to noise).
   for (int label = 0; label < 6; ++label) {
     int first_cluster = -2;
@@ -134,7 +135,7 @@ TEST(IntegrationTest, SingleLinkFindsInterestingLevelAtPlantedK) {
   Pipeline p = MakePipeline(2000, 4000, 8, 1009, /*s_init=*/0.008);
   SingleLinkOptions opts;
   opts.delta = 0.5 * p.workload.max_intra_gap;
-  Result<SingleLinkResult> r = SingleLinkCluster(*p.mem_view, opts);
+  Result<SingleLinkResult> r = RunSingleLink(*p.mem_view, opts);
   ASSERT_TRUE(r.ok());
   InterestingLevelOptions ilo;
   ilo.window = 10;
@@ -169,13 +170,13 @@ TEST(IntegrationTest, AllMethodsAgreeOnWellSeparatedClusters) {
   EpsLinkOptions eo;
   eo.eps = eps;
   eo.min_sup = 10;
-  Clustering el = std::move(EpsLinkCluster(*p.mem_view, eo)).value();
+  Clustering el = std::move(RunEpsLink(*p.mem_view, eo)).value();
   DbscanOptions dbo;
   dbo.eps = eps;
   dbo.min_pts = 2;
-  Clustering db = std::move(DbscanCluster(*p.mem_view, dbo)).value();
-  Result<SingleLinkResult> sl = SingleLinkCluster(*p.mem_view,
-                                                  SingleLinkOptions{});
+  Clustering db = std::move(RunDbscan(*p.mem_view, dbo)).value();
+  Result<SingleLinkResult> sl =
+      RunSingleLink(*p.mem_view, SingleLinkOptions{});
   ASSERT_TRUE(sl.ok());
   Clustering cut = sl.value().dendrogram.CutAtDistance(eps, /*min_size=*/10);
   // eps-link vs single-link cut: identical partitions by theory.

@@ -11,6 +11,7 @@
 #include "eval/metrics.h"
 #include "gen/network_gen.h"
 #include "gen/workload_gen.h"
+#include "run_helpers.h"
 
 namespace netclus {
 namespace {
@@ -21,9 +22,9 @@ TEST(KMedoidsTest, RejectsBadK) {
   InMemoryNetworkView view(g.net, ps);
   KMedoidsOptions opts;
   opts.k = 0;
-  EXPECT_TRUE(KMedoidsCluster(view, opts).status().IsInvalidArgument());
+  EXPECT_TRUE(RunKMedoids(view, opts).status().IsInvalidArgument());
   opts.k = 11;  // > N
-  EXPECT_TRUE(KMedoidsCluster(view, opts).status().IsInvalidArgument());
+  EXPECT_TRUE(RunKMedoids(view, opts).status().IsInvalidArgument());
 }
 
 TEST(KMedoidsTest, SingleMedoidAssignsEverything) {
@@ -90,10 +91,10 @@ TEST_P(KMedoidsIncrementalTest, IncrementalEqualsScratch) {
   opts.seed = seed;
   opts.max_unsuccessful_swaps = 10;
   opts.incremental_updates = true;
-  Result<KMedoidsResult> inc = KMedoidsCluster(view, opts);
+  Result<KMedoidsResult> inc = RunKMedoids(view, opts);
   ASSERT_TRUE(inc.ok());
   opts.incremental_updates = false;
-  Result<KMedoidsResult> scratch = KMedoidsCluster(view, opts);
+  Result<KMedoidsResult> scratch = RunKMedoids(view, opts);
   ASSERT_TRUE(scratch.ok());
   // Identical RNG seeds + identical accept/reject decisions => identical
   // trajectories and results.
@@ -120,7 +121,7 @@ TEST(KMedoidsTest, SwapsNeverIncreaseCost) {
   KMedoidsOptions opts;
   opts.seed = 33;
   opts.initial_medoids = initial;
-  Result<KMedoidsResult> done = KMedoidsCluster(view, opts);
+  Result<KMedoidsResult> done = RunKMedoids(view, opts);
   ASSERT_TRUE(start.ok());
   ASSERT_TRUE(done.ok());
   EXPECT_LE(done.value().cost, start.value().cost + 1e-9);
@@ -133,7 +134,7 @@ TEST(KMedoidsTest, FinalCostIsSelfConsistent) {
   KMedoidsOptions opts;
   opts.k = 3;
   opts.seed = 43;
-  Result<KMedoidsResult> r = KMedoidsCluster(view, opts);
+  Result<KMedoidsResult> r = RunKMedoids(view, opts);
   ASSERT_TRUE(r.ok());
   Result<KMedoidsResult> re = AssignToMedoids(view, r.value().medoids);
   ASSERT_TRUE(re.ok());
@@ -154,7 +155,7 @@ TEST(KMedoidsTest, IdealSeedingRecoversPlantedClustersBetterThanRandom) {
   opts.seed = 53;
   opts.max_unsuccessful_swaps = 5;
   opts.initial_medoids = w.cluster_seeds;
-  Result<KMedoidsResult> ideal = KMedoidsCluster(view, opts);
+  Result<KMedoidsResult> ideal = RunKMedoids(view, opts);
   ASSERT_TRUE(ideal.ok());
   double ari =
       AdjustedRandIndex(w.points.labels(), ideal.value().clustering.assignment);
@@ -173,8 +174,8 @@ TEST(KMedoidsTest, RestartsKeepBestCost) {
   one.num_restarts = 1;
   KMedoidsOptions many = one;
   many.num_restarts = 4;
-  Result<KMedoidsResult> r1 = KMedoidsCluster(view, one);
-  Result<KMedoidsResult> r4 = KMedoidsCluster(view, many);
+  Result<KMedoidsResult> r1 = RunKMedoids(view, one);
+  Result<KMedoidsResult> r4 = RunKMedoids(view, many);
   ASSERT_TRUE(r1.ok());
   ASSERT_TRUE(r4.ok());
   // More restarts can only improve: restart r runs on the derived stream
@@ -202,8 +203,8 @@ TEST_P(KMedoidsParallelRestartTest, ParallelRestartsMatchSerialBitExactly) {
   serial.num_threads = 1;
   KMedoidsOptions parallel = serial;
   parallel.num_threads = 4;
-  Result<KMedoidsResult> s = KMedoidsCluster(view, serial);
-  Result<KMedoidsResult> p = KMedoidsCluster(view, parallel);
+  Result<KMedoidsResult> s = RunKMedoids(view, serial);
+  Result<KMedoidsResult> p = RunKMedoids(view, parallel);
   ASSERT_TRUE(s.ok());
   ASSERT_TRUE(p.ok());
   // Bit-identical, not merely close: same winning restart, same medoids,
@@ -217,23 +218,8 @@ TEST_P(KMedoidsParallelRestartTest, ParallelRestartsMatchSerialBitExactly) {
 INSTANTIATE_TEST_SUITE_P(Seeds, KMedoidsParallelRestartTest,
                          ::testing::Values(101u, 102u, 103u));
 
-TEST(KMedoidsTest, NullAcceleratorOverloadMatchesPlainOverload) {
-  GeneratedNetwork g = GenerateRoadNetwork({70, 1.3, 0.3, 111});
-  PointSet ps = std::move(GenerateUniformPoints(g.net, 90, 112)).value();
-  InMemoryNetworkView view(g.net, ps);
-  KMedoidsOptions opts;
-  opts.seed = 113;
-  opts.initial_medoids = {3, 17, 42};
-  Result<KMedoidsResult> plain = KMedoidsCluster(view, opts);
-  Result<KMedoidsResult> with_null = KMedoidsCluster(view, opts, nullptr);
-  ASSERT_TRUE(plain.ok());
-  ASSERT_TRUE(with_null.ok());
-  EXPECT_EQ(plain.value().cost, with_null.value().cost);
-  EXPECT_EQ(plain.value().medoids, with_null.value().medoids);
-  EXPECT_EQ(plain.value().clustering.assignment,
-            with_null.value().clustering.assignment);
-  EXPECT_EQ(with_null.value().stats.pruned_swaps, 0u);
-}
+// The null-accelerator-overload equivalence test lives in
+// tests/compat/legacy_api_test.cc with the other legacy-entry checks.
 
 TEST(KMedoidsTest, RejectsBadInitialMedoids) {
   GeneratedNetwork g = GenerateRoadNetwork({30, 1.3, 0.3, 121});
@@ -241,7 +227,7 @@ TEST(KMedoidsTest, RejectsBadInitialMedoids) {
   InMemoryNetworkView view(g.net, ps);
   KMedoidsOptions opts;
   opts.initial_medoids = {0, 99};  // out of range
-  EXPECT_TRUE(KMedoidsCluster(view, opts).status().IsInvalidArgument());
+  EXPECT_TRUE(RunKMedoids(view, opts).status().IsInvalidArgument());
 }
 
 TEST(KMedoidsTest, KEqualsNTerminates) {
@@ -253,7 +239,7 @@ TEST(KMedoidsTest, KEqualsNTerminates) {
   KMedoidsOptions opts;
   opts.k = 12;
   opts.seed = 83;
-  Result<KMedoidsResult> r = KMedoidsCluster(view, opts);
+  Result<KMedoidsResult> r = RunKMedoids(view, opts);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().stats.attempted_swaps, 0u);
   EXPECT_NEAR(r.value().cost, 0.0, 1e-12);
@@ -266,7 +252,7 @@ TEST(KMedoidsTest, StatsArePopulated) {
   KMedoidsOptions opts;
   opts.k = 3;
   opts.seed = 73;
-  Result<KMedoidsResult> r = KMedoidsCluster(view, opts);
+  Result<KMedoidsResult> r = RunKMedoids(view, opts);
   ASSERT_TRUE(r.ok());
   EXPECT_GE(r.value().stats.attempted_swaps, opts.max_unsuccessful_swaps);
   EXPECT_GT(r.value().stats.total_seconds, 0.0);

@@ -11,6 +11,7 @@
 #include "eval/metrics.h"
 #include "gen/network_gen.h"
 #include "gen/workload_gen.h"
+#include "run_helpers.h"
 
 namespace netclus {
 namespace {
@@ -94,7 +95,7 @@ TEST_P(OpticsExtractionTest, ExtractionEqualsDbscanAtMinPts2) {
     DbscanOptions dopts;
     dopts.eps = eps_prime;
     dopts.min_pts = 2;
-    Clustering direct = std::move(DbscanCluster(view, dopts)).value();
+    Clustering direct = std::move(RunDbscan(view, dopts)).value();
     EXPECT_TRUE(SamePartition(extracted.assignment, direct.assignment))
         << "seed " << seed << " eps' " << eps_prime;
   }
@@ -116,7 +117,7 @@ TEST(OpticsTest, ExtractionCorePointsMatchDbscanAtHigherMinPts) {
   DbscanOptions dopts;
   dopts.eps = eps;
   dopts.min_pts = min_pts;
-  Clustering direct = std::move(DbscanCluster(view, dopts)).value();
+  Clustering direct = std::move(RunDbscan(view, dopts)).value();
   // Border points may attach differently; core points must agree.
   std::vector<bool> core = BruteCoreFlags(pd, eps, min_pts);
   std::vector<int> a, b;

@@ -1,0 +1,587 @@
+// Tests for the clustering-as-a-service stack (src/server/): the
+// unified query vocabulary and its inline execution path, the RCU
+// EpochManager (pin/publish/retire/free lifecycle, including the
+// concurrent epoch-swap hammer the tsan mode targets), and the
+// QueryServer — served-vs-inline bit-identity, replay validation,
+// cluster-membership serving, update visibility across epochs,
+// backpressure, and serving statistics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "gen/network_gen.h"
+#include "gen/workload_gen.h"
+#include "graph/frozen_graph.h"
+#include "graph/network.h"
+#include "graph/network_distance.h"
+#include "netclus.h"
+#include "server/epoch_manager.h"
+#include "server/query.h"
+#include "server/query_server.h"
+
+namespace netclus {
+namespace {
+
+// A generated world the server can take over, plus copies the tests
+// keep for the inline reference path.
+struct World {
+  GeneratedNetwork gen;
+  PointSet points;
+
+  World(NodeId nodes, PointId n_points, uint64_t seed) {
+    gen = GenerateRoadNetwork({nodes, 1.3, 0.3, seed});
+    points =
+        std::move(GenerateUniformPoints(gen.net, n_points, seed + 1)).value();
+  }
+};
+
+// A path network 0-1-2-3 (each edge weight 4) with one point near each
+// end: p0 on edge {0,1} at offset 0.5, p1 on edge {2,3} at offset 3.5.
+// d(p0, p1) = 3.5 + 4 + 3.5 = 11 until a shortcut edge appears.
+struct PathWorld {
+  Network net;
+  PointSet points;
+
+  PathWorld() : net(4) {
+    EXPECT_TRUE(net.AddEdge(0, 1, 4.0).ok());
+    EXPECT_TRUE(net.AddEdge(1, 2, 4.0).ok());
+    EXPECT_TRUE(net.AddEdge(2, 3, 4.0).ok());
+    PointSetBuilder builder;
+    builder.Add(0, 1, 0.5, -1);
+    builder.Add(2, 3, 3.5, -1);
+    points = std::move(builder).Build(net).value();
+  }
+};
+
+// ---------------------------------------------------------------------
+// The query vocabulary, inline path.
+// ---------------------------------------------------------------------
+
+TEST(QueryVocabularyTest, InlinePointDistanceRangeAndNearest) {
+  PathWorld w;
+  InMemoryNetworkView view(w.net, w.points);
+
+  Result<QueryResponse> d =
+      ExecuteQuery(view, nullptr, QueryRequest::PointDistance(0, 1));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d.value().kind, QueryKind::kPointDistance);
+  EXPECT_DOUBLE_EQ(d.value().distance, 11.0);
+  EXPECT_EQ(d.value().epoch, 0u);  // inline runs carry no epoch
+
+  // Range includes the center itself at distance 0, sorted by id.
+  Result<QueryResponse> r =
+      ExecuteQuery(view, nullptr, QueryRequest::Range(0, 11.5));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().results.size(), 2u);
+  EXPECT_EQ(r.value().results[0].id, 0u);
+  EXPECT_DOUBLE_EQ(r.value().results[0].dist, 0.0);
+  EXPECT_EQ(r.value().results[1].id, 1u);
+  EXPECT_DOUBLE_EQ(r.value().results[1].dist, 11.0);
+
+  // Nearest excludes the center, sorted by ascending distance.
+  Result<QueryResponse> n =
+      ExecuteQuery(view, nullptr, QueryRequest::NearestObject(0, 1));
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(n.value().results.size(), 1u);
+  EXPECT_EQ(n.value().results[0].id, 1u);
+  EXPECT_DOUBLE_EQ(n.value().results[0].dist, 11.0);
+}
+
+TEST(QueryVocabularyTest, ValidationRejectsMalformedRequests) {
+  PathWorld w;
+  InMemoryNetworkView view(w.net, w.points);
+
+  EXPECT_FALSE(
+      ExecuteQuery(view, nullptr, QueryRequest::PointDistance(0, 99)).ok());
+  EXPECT_FALSE(ExecuteQuery(view, nullptr, QueryRequest::Range(0, -1.0)).ok());
+  EXPECT_FALSE(
+      ExecuteQuery(view, nullptr, QueryRequest::NearestObject(0, 0)).ok());
+  // Membership needs a cached clustering; inline with none must fail.
+  EXPECT_FALSE(
+      ExecuteQuery(view, nullptr, QueryRequest::ClusterMembership(0)).ok());
+  EXPECT_FALSE(
+      ValidateQueryRequest(view, QueryRequest::ClusterMembership(0), nullptr)
+          .ok());
+}
+
+TEST(QueryVocabularyTest, PayloadEqualityIgnoresEpochOnly) {
+  QueryResponse a;
+  a.kind = QueryKind::kPointDistance;
+  a.distance = 2.5;
+  QueryResponse b = a;
+  b.epoch = 42;  // serving metadata, not part of the answer
+  EXPECT_TRUE(ResponsePayloadsEqual(a, b));
+  b.distance = 2.5000001;
+  EXPECT_FALSE(ResponsePayloadsEqual(a, b));
+}
+
+TEST(QueryVocabularyTest, KindNamesAreStable) {
+  EXPECT_STREQ(QueryKindName(QueryKind::kPointDistance), "distance");
+  EXPECT_STREQ(QueryKindName(QueryKind::kRange), "range");
+  EXPECT_STREQ(QueryKindName(QueryKind::kNearestObject), "nearest");
+  EXPECT_STREQ(QueryKindName(QueryKind::kClusterMembership), "membership");
+}
+
+// ---------------------------------------------------------------------
+// EpochManager lifecycle.
+// ---------------------------------------------------------------------
+
+std::shared_ptr<const FrozenGraph> TinyGraph() {
+  std::vector<std::vector<std::pair<NodeId, double>>> adj(2);
+  adj[0] = {{1, 1.0}};
+  adj[1] = {{0, 1.0}};
+  return std::make_shared<const FrozenGraph>(FrozenGraph::FromAdjacency(adj));
+}
+
+TEST(EpochManagerTest, PinnedEpochSurvivesPublishAndFreesOnRelease) {
+  EpochManager m(2);
+  EXPECT_FALSE(m.Acquire(0));  // nothing published yet
+  EXPECT_EQ(m.current_epoch(), 0u);
+
+  auto points = std::make_shared<const PointSet>();
+  EXPECT_EQ(m.Publish(TinyGraph(), points, nullptr), 1u);
+  EpochManager::Pin pin = m.Acquire(0);
+  ASSERT_TRUE(pin);
+  EXPECT_EQ(pin.snapshot()->epoch(), 1u);
+
+  // Publishing epoch 2 retires epoch 1 but must not free it while the
+  // pin is held: the reader's world stays byte-stable mid-batch.
+  EXPECT_EQ(m.Publish(TinyGraph(), points, nullptr), 2u);
+  EXPECT_EQ(m.current_epoch(), 2u);
+  EXPECT_EQ(m.retired_count(), 1u);
+  EXPECT_EQ(m.epochs_drained(), 0u);
+  EXPECT_EQ(pin.snapshot()->epoch(), 1u);
+  EXPECT_EQ(pin.snapshot()->frozen().num_nodes(), 2u);
+
+  pin.Release();
+  m.SweepRetired();
+  EXPECT_EQ(m.retired_count(), 0u);
+  EXPECT_EQ(m.epochs_drained(), 1u);
+
+  // An unpinned predecessor is freed by the publish itself.
+  EXPECT_EQ(m.Publish(TinyGraph(), points, nullptr), 3u);
+  EXPECT_EQ(m.retired_count(), 0u);
+  EXPECT_EQ(m.epochs_drained(), 2u);
+}
+
+TEST(EpochManagerTest, MovedPinTransfersTheReference) {
+  EpochManager m(1);
+  auto points = std::make_shared<const PointSet>();
+  m.Publish(TinyGraph(), points, nullptr);
+  EpochManager::Pin a = m.Acquire(0);
+  EpochManager::Pin b = std::move(a);
+  ASSERT_TRUE(b);
+  m.Publish(TinyGraph(), points, nullptr);
+  EXPECT_EQ(m.epochs_drained(), 0u);  // b still pins epoch 1
+  b.Release();
+  m.SweepRetired();
+  EXPECT_EQ(m.epochs_drained(), 1u);
+}
+
+// The concurrent epoch-swap hammer: readers pin/traverse/release in a
+// tight loop while the writer publishes new epochs. Run under tsan
+// (scripts/run_all.sh tsan) this is the proof the pin/publish/sweep
+// protocol is race-free; the assertions below additionally pin down
+// monotone epoch visibility and exact drain accounting.
+TEST(EpochManagerTest, ConcurrentPinPublishHammer) {
+  constexpr uint32_t kReaders = 4;
+  constexpr uint64_t kPublishes = 50;
+  EpochManager m(kReaders);
+  auto points = std::make_shared<const PointSet>();
+  m.Publish(TinyGraph(), points, nullptr);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (uint32_t slot = 0; slot < kReaders; ++slot) {
+    readers.emplace_back([&, slot] {
+      uint64_t last_epoch = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        EpochManager::Pin pin = m.Acquire(slot);
+        ASSERT_TRUE(pin);
+        const EpochSnapshot& snap = *pin.snapshot();
+        // New pins always see the newest published world; per reader
+        // the observed epoch never goes backwards.
+        EXPECT_GE(snap.epoch(), last_epoch);
+        last_epoch = snap.epoch();
+        double sum = 0.0;
+        snap.frozen().ForEachNeighbor(0, [&](NodeId, double w) { sum += w; });
+        EXPECT_GT(sum, 0.0);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (uint64_t i = 1; i < kPublishes; ++i) {
+    m.Publish(TinyGraph(), points, nullptr);
+    std::this_thread::yield();
+  }
+  // Let the readers observe the final epoch before stopping.
+  while (reads.load(std::memory_order_acquire) < kPublishes * kReaders) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  m.SweepRetired();
+  EXPECT_EQ(m.current_epoch(), kPublishes);
+  EXPECT_EQ(m.epochs_published(), kPublishes);
+  // Every retired epoch drained once its last reader left; only the
+  // current epoch is still alive.
+  EXPECT_EQ(m.retired_count(), 0u);
+  EXPECT_EQ(m.epochs_drained(), kPublishes - 1);
+}
+
+// ---------------------------------------------------------------------
+// QueryServer: served answers are the inline answers.
+// ---------------------------------------------------------------------
+
+TEST(QueryServerTest, ServedBatchesMatchInlineBitIdentically) {
+  World w(300, 400, 17);
+  InMemoryNetworkView inline_view(w.gen.net, w.points);
+
+  QueryServerOptions opts;
+  opts.num_workers = 4;
+  opts.validate_replay = true;  // every batch replays through the inline path
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.gen.net, w.points, opts);
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  QueryServer& server = *started.value();
+  EXPECT_EQ(server.current_epoch(), 1u);
+
+  // A deterministic mixed workload, submitted all at once so the
+  // dispatcher actually batches.
+  std::vector<QueryRequest> requests;
+  Rng rng(99);
+  for (int i = 0; i < 120; ++i) {
+    PointId a = static_cast<PointId>(rng.NextBounded(w.points.size()));
+    PointId b = static_cast<PointId>(rng.NextBounded(w.points.size()));
+    switch (i % 3) {
+      case 0:
+        requests.push_back(QueryRequest::PointDistance(a, b));
+        break;
+      case 1:
+        requests.push_back(QueryRequest::Range(a, 2.0));
+        break;
+      default:
+        requests.push_back(QueryRequest::NearestObject(a, 3));
+        break;
+    }
+  }
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  futures.reserve(requests.size());
+  for (const QueryRequest& req : requests) {
+    futures.push_back(server.Submit(req));
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Result<QueryResponse> served = futures[i].get();
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    EXPECT_EQ(served.value().epoch, 1u);
+    Result<QueryResponse> inline_r =
+        ExecuteQuery(inline_view, nullptr, requests[i]);
+    ASSERT_TRUE(inline_r.ok());
+    EXPECT_TRUE(ResponsePayloadsEqual(served.value(), inline_r.value()))
+        << "request " << i << " (" << QueryKindName(requests[i].kind) << ")";
+  }
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, requests.size());
+  EXPECT_EQ(stats.completed, requests.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_GE(stats.replay_batches, 1u);
+  EXPECT_EQ(stats.replay_mismatches, 0u);
+  EXPECT_GE(stats.mean_batch_size, 1.0);
+}
+
+TEST(QueryServerTest, MalformedRequestsFailWithoutPoisoningTheBatch) {
+  World w(80, 100, 41);
+  QueryServerOptions opts;
+  opts.num_workers = 2;
+  opts.validate_replay = true;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.gen.net, w.points, opts);
+  ASSERT_TRUE(started.ok());
+  QueryServer& server = *started.value();
+
+  std::future<Result<QueryResponse>> bad =
+      server.Submit(QueryRequest::PointDistance(0, w.points.size() + 5));
+  std::future<Result<QueryResponse>> good =
+      server.Submit(QueryRequest::PointDistance(0, 1));
+  EXPECT_FALSE(bad.get().ok());
+  Result<QueryResponse> ok = good.get();
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(server.stats().replay_mismatches, 0u);
+}
+
+TEST(QueryServerTest, ClusterMembershipServesTheEpochsClustering) {
+  World w(150, 200, 53);
+  ClusterSpec spec = MakeSpec(EpsLinkOptions{2.0, 2});
+
+  InMemoryNetworkView inline_view(w.gen.net, w.points);
+  Result<ClusterOutput> expect = RunClustering(inline_view, spec);
+  ASSERT_TRUE(expect.ok());
+
+  QueryServerOptions opts;
+  opts.num_workers = 2;
+  opts.validate_replay = true;
+  opts.cluster_spec = spec;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.gen.net, w.points, opts);
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  QueryServer& server = *started.value();
+
+  const Clustering& want = expect.value().clustering;
+  for (PointId p = 0; p < w.points.size(); ++p) {
+    Result<QueryResponse> r =
+        server.Execute(QueryRequest::ClusterMembership(p));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().cluster_id, want.assignment[p]) << "point " << p;
+  }
+}
+
+// ---------------------------------------------------------------------
+// QueryServer: updates, epochs, and visibility.
+// ---------------------------------------------------------------------
+
+TEST(QueryServerTest, ShortcutEdgeBecomesVisibleInTheNextEpoch) {
+  PathWorld w;
+  QueryServerOptions opts;
+  opts.num_workers = 2;
+  opts.validate_replay = true;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.net, w.points, opts);
+  ASSERT_TRUE(started.ok());
+  QueryServer& server = *started.value();
+
+  Result<QueryResponse> before =
+      server.Execute(QueryRequest::PointDistance(0, 1));
+  ASSERT_TRUE(before.ok());
+  EXPECT_DOUBLE_EQ(before.value().distance, 11.0);
+  EXPECT_EQ(before.value().epoch, 1u);
+
+  ASSERT_TRUE(server.ApplyUpdate(NetworkUpdate::AddEdge(0, 3, 1.0)).ok());
+  ASSERT_TRUE(server.Flush().ok());
+  EXPECT_EQ(server.current_epoch(), 2u);
+
+  // p0 -> n0 (0.5) -> shortcut (1.0) -> n3 -> p1 (0.5).
+  Result<QueryResponse> after =
+      server.Execute(QueryRequest::PointDistance(0, 1));
+  ASSERT_TRUE(after.ok());
+  EXPECT_DOUBLE_EQ(after.value().distance, 2.0);
+  EXPECT_EQ(after.value().epoch, 2u);
+}
+
+TEST(QueryServerTest, AddPointRenumbersIdsInTheNewEpoch) {
+  PathWorld w;
+  QueryServerOptions opts;
+  opts.num_workers = 1;
+  opts.validate_replay = true;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.net, w.points, opts);
+  ASSERT_TRUE(started.ok());
+  QueryServer& server = *started.value();
+
+  ASSERT_TRUE(server.ApplyUpdate(NetworkUpdate::AddEdge(0, 3, 1.0)).ok());
+  // A point on the new shortcut edge, 0.5 from node 0 — network distance
+  // 1.0 from p0. Edge {0,3} sorts between {0,1} and {2,3}, so it takes
+  // id 1 and the old p1 becomes p2 in the new epoch.
+  ASSERT_TRUE(
+      server.ApplyUpdate(NetworkUpdate::AddPoint(0, 3, 0.5, -1)).ok());
+  ASSERT_TRUE(server.Flush().ok());
+
+  Result<QueryResponse> n =
+      server.Execute(QueryRequest::NearestObject(0, 2));
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  ASSERT_EQ(n.value().results.size(), 2u);
+  EXPECT_EQ(n.value().results[0].id, 1u);  // the new point, renumbered in
+  EXPECT_DOUBLE_EQ(n.value().results[0].dist, 1.0);
+  EXPECT_EQ(n.value().results[1].id, 2u);  // the old p1, renumbered up
+  EXPECT_DOUBLE_EQ(n.value().results[1].dist, 2.0);
+}
+
+TEST(QueryServerTest, RejectedUpdatesPublishNothing) {
+  PathWorld w;
+  QueryServerOptions opts;
+  opts.num_workers = 1;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.net, w.points, opts);
+  ASSERT_TRUE(started.ok());
+  QueryServer& server = *started.value();
+
+  // Duplicate edge and out-of-edge offset: both refused at apply time,
+  // and with nothing applied no epoch is published.
+  EXPECT_FALSE(server.ApplyUpdate(NetworkUpdate::AddEdge(0, 1, 2.0)).ok());
+  EXPECT_FALSE(
+      server.ApplyUpdate(NetworkUpdate::AddPoint(0, 1, 9.5, -1)).ok());
+  EXPECT_FALSE(
+      server.ApplyUpdate(NetworkUpdate::AddPoint(1, 3, 0.5, -1)).ok());
+  ASSERT_TRUE(server.Flush().ok());
+  EXPECT_EQ(server.current_epoch(), 1u);
+}
+
+// Mixed readers against a mutating server: the served-side counterpart
+// of the EpochManager hammer (and the other tsan target). Readers must
+// only ever see fully published epochs, monotonically.
+TEST(QueryServerTest, ConcurrentQueriesAcrossEpochSwaps) {
+  World w(200, 300, 31);
+  QueryServerOptions opts;
+  opts.num_workers = 2;
+  opts.max_batch_size = 8;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.gen.net, w.points, opts);
+  ASSERT_TRUE(started.ok());
+  QueryServer& server = *started.value();
+
+  constexpr int kClients = 3;
+  constexpr int kQueriesPerClient = 60;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(1000 + c);
+      uint64_t last_epoch = 0;
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        PointId a = static_cast<PointId>(rng.NextBounded(w.points.size()));
+        QueryRequest req = (i % 2 == 0)
+                               ? QueryRequest::PointDistance(
+                                     a, static_cast<PointId>(rng.NextBounded(
+                                            w.points.size())))
+                               : QueryRequest::NearestObject(a, 2);
+        Result<QueryResponse> r = server.Execute(req);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        EXPECT_GE(r.value().epoch, 1u);
+        EXPECT_GE(r.value().epoch, last_epoch);
+        last_epoch = r.value().epoch;
+      }
+    });
+  }
+
+  // Interleave mutations: each lands on an existing edge midpoint.
+  std::vector<Edge> edges = w.gen.net.Edges();
+  for (int u = 0; u < 10; ++u) {
+    const Edge& e = edges[static_cast<size_t>(u) * 7 % edges.size()];
+    ASSERT_TRUE(
+        server.ApplyUpdate(
+                  NetworkUpdate::AddPoint(e.u, e.v, e.weight / 2, -1))
+            .ok());
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(server.Flush().ok());
+  for (std::thread& t : clients) t.join();
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, uint64_t{kClients} * kQueriesPerClient);
+  EXPECT_GE(stats.epochs_published, 2u);
+  EXPECT_GE(server.current_epoch(), 2u);
+  // Quiescent now: every non-current epoch has been retired AND freed.
+  EXPECT_EQ(stats.retired_epochs, 0u);
+  EXPECT_EQ(stats.epochs_drained, stats.epochs_published - 1);
+}
+
+// ---------------------------------------------------------------------
+// QueryServer: admission control and shutdown.
+// ---------------------------------------------------------------------
+
+TEST(QueryServerTest, BackpressureRejectsWithRetryAfterHint) {
+  World w(400, 600, 23);
+  QueryServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_queue_depth = 1;
+  opts.max_batch_size = 1;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.gen.net, w.points, opts);
+  ASSERT_TRUE(started.ok());
+  QueryServer& server = *started.value();
+
+  // Flood a depth-1 queue with expensive range queries; submits outrun
+  // the single worker, so some must bounce with kUnavailable.
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  Rng rng(5);
+  for (int i = 0; i < 5000 && server.stats().rejected == 0; ++i) {
+    PointId a = static_cast<PointId>(rng.NextBounded(w.points.size()));
+    futures.push_back(server.Submit(QueryRequest::Range(a, 50.0)));
+  }
+
+  size_t rejected = 0;
+  for (std::future<Result<QueryResponse>>& f : futures) {
+    Result<QueryResponse> r = f.get();
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsUnavailable()) << r.status().ToString();
+      EXPECT_NE(r.status().message().find("retry after"), std::string::npos);
+      ++rejected;
+    }
+  }
+  ASSERT_GT(rejected, 0u);
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.accepted + stats.rejected, futures.size());
+  EXPECT_EQ(stats.completed, stats.accepted);
+}
+
+TEST(QueryServerTest, StopDrainsAcceptedWorkAndRejectsNewSubmits) {
+  World w(100, 150, 67);
+  QueryServerOptions opts;
+  opts.num_workers = 2;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.gen.net, w.points, opts);
+  ASSERT_TRUE(started.ok());
+  QueryServer& server = *started.value();
+
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (PointId p = 0; p < 20; ++p) {
+    futures.push_back(server.Submit(QueryRequest::NearestObject(p, 1)));
+  }
+  server.Stop();
+  // Accepted work always finishes; the drain is part of Stop's contract.
+  for (std::future<Result<QueryResponse>>& f : futures) {
+    Result<QueryResponse> r = f.get();
+    if (r.ok()) {
+      EXPECT_EQ(r.value().epoch, 1u);
+    }
+  }
+  Result<QueryResponse> late =
+      server.Execute(QueryRequest::PointDistance(0, 1));
+  ASSERT_FALSE(late.ok());
+  EXPECT_TRUE(late.status().IsUnavailable());
+  server.Stop();  // idempotent
+}
+
+TEST(QueryServerTest, PublishStatsEmitsMonotonicDeltas) {
+  World w(80, 100, 29);
+  QueryServerOptions opts;
+  opts.num_workers = 1;
+  opts.validate_replay = true;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.gen.net, w.points, opts);
+  ASSERT_TRUE(started.ok());
+  QueryServer& server = *started.value();
+
+  for (PointId p = 0; p < 10; ++p) {
+    ASSERT_TRUE(server.Execute(QueryRequest::NearestObject(p, 1)).ok());
+  }
+  StatsCollector collector;
+  server.PublishStats(&collector);
+  EXPECT_EQ(collector.value("server.completed"), 10u);
+  EXPECT_EQ(collector.value("server.epochs_published"), 1u);
+  EXPECT_EQ(collector.value("server.replay_mismatches"), 0u);
+  EXPECT_GE(collector.value("server.batches"), 1u);
+
+  // A second flush with no traffic in between publishes zero deltas.
+  server.PublishStats(&collector);
+  EXPECT_EQ(collector.value("server.completed"), 10u);
+
+  EXPECT_FALSE(server.QueueWaitSamplesMs().empty());
+}
+
+}  // namespace
+}  // namespace netclus

@@ -11,6 +11,7 @@
 #include "eval/metrics.h"
 #include "gen/network_gen.h"
 #include "gen/workload_gen.h"
+#include "run_helpers.h"
 
 namespace netclus {
 namespace {
@@ -28,10 +29,10 @@ TEST(SingleLinkTest, RejectsBadOptions) {
   InMemoryNetworkView view(net, empty);
   SingleLinkOptions opts;
   opts.delta = -1.0;
-  EXPECT_TRUE(SingleLinkCluster(view, opts).status().IsInvalidArgument());
+  EXPECT_TRUE(RunSingleLink(view, opts).status().IsInvalidArgument());
   opts.delta = 0.0;
   opts.stop_cluster_count = 0;
-  EXPECT_TRUE(SingleLinkCluster(view, opts).status().IsInvalidArgument());
+  EXPECT_TRUE(RunSingleLink(view, opts).status().IsInvalidArgument());
 }
 
 TEST(SingleLinkTest, EmptyAndSinglePoint) {
@@ -39,7 +40,7 @@ TEST(SingleLinkTest, EmptyAndSinglePoint) {
   {
     PointSet empty;
     InMemoryNetworkView view(net, empty);
-    Result<SingleLinkResult> r = SingleLinkCluster(view, SingleLinkOptions{});
+    Result<SingleLinkResult> r = RunSingleLink(view, SingleLinkOptions{});
     ASSERT_TRUE(r.ok());
     EXPECT_TRUE(r.value().dendrogram.merges().empty());
   }
@@ -48,7 +49,7 @@ TEST(SingleLinkTest, EmptyAndSinglePoint) {
     b.Add(0, 1, 1.0, 0);
     PointSet ps = std::move(std::move(b).Build(net)).value();
     InMemoryNetworkView view(net, ps);
-    Result<SingleLinkResult> r = SingleLinkCluster(view, SingleLinkOptions{});
+    Result<SingleLinkResult> r = RunSingleLink(view, SingleLinkOptions{});
     ASSERT_TRUE(r.ok());
     EXPECT_TRUE(r.value().dendrogram.merges().empty());
   }
@@ -64,7 +65,7 @@ TEST(SingleLinkTest, PaperFigure9StyleChain) {
   b.Add(0, 1, 10.0, 0);  // gap 5.5
   PointSet ps = std::move(std::move(b).Build(net)).value();
   InMemoryNetworkView view(net, ps);
-  Result<SingleLinkResult> r = SingleLinkCluster(view, SingleLinkOptions{});
+  Result<SingleLinkResult> r = RunSingleLink(view, SingleLinkOptions{});
   ASSERT_TRUE(r.ok());
   std::vector<double> heights = SortedHeights(r.value().dendrogram);
   ASSERT_EQ(heights.size(), 3u);
@@ -84,7 +85,7 @@ TEST_P(SingleLinkPropertyTest, MatchesBruteForceDendrogram) {
   PointSet ps = std::move(GenerateUniformPoints(g.net, 70, seed + 7)).value();
   InMemoryNetworkView view(g.net, ps);
   auto pd = BrutePointDistanceMatrix(g.net, ps);
-  Result<SingleLinkResult> r = SingleLinkCluster(view, SingleLinkOptions{});
+  Result<SingleLinkResult> r = RunSingleLink(view, SingleLinkOptions{});
   ASSERT_TRUE(r.ok());
   Dendrogram brute = BruteSingleLink(pd);
 
@@ -126,7 +127,7 @@ TEST_P(SingleLinkClusteredTest, DendrogramMatchesBrute) {
   GeneratedWorkload w = std::move(GenerateClusteredPoints(g.net, spec).value());
   InMemoryNetworkView view(g.net, w.points);
   auto pd = BrutePointDistanceMatrix(g.net, w.points);
-  Result<SingleLinkResult> r = SingleLinkCluster(view, SingleLinkOptions{});
+  Result<SingleLinkResult> r = RunSingleLink(view, SingleLinkOptions{});
   ASSERT_TRUE(r.ok());
   std::vector<double> got = SortedHeights(r.value().dendrogram);
   std::vector<double> want = SortedHeights(BruteSingleLink(pd));
@@ -143,11 +144,11 @@ TEST(SingleLinkTest, DeltaHeuristicExactAboveDelta) {
   GeneratedNetwork g = GenerateRoadNetwork({70, 1.3, 0.3, 321});
   PointSet ps = std::move(GenerateUniformPoints(g.net, 80, 322)).value();
   InMemoryNetworkView view(g.net, ps);
-  Result<SingleLinkResult> exact = SingleLinkCluster(view, SingleLinkOptions{});
+  Result<SingleLinkResult> exact = RunSingleLink(view, SingleLinkOptions{});
   ASSERT_TRUE(exact.ok());
   SingleLinkOptions with_delta;
   with_delta.delta = 0.4;
-  Result<SingleLinkResult> heur = SingleLinkCluster(view, with_delta);
+  Result<SingleLinkResult> heur = RunSingleLink(view, with_delta);
   ASSERT_TRUE(heur.ok());
   // Above delta the merge heights must be identical...
   std::vector<double> he = SortedHeights(exact.value().dendrogram);
@@ -186,14 +187,14 @@ TEST_P(DeltaSweepTest, CutsAboveDeltaIdentical) {
   spec.seed = seed + 1;
   GeneratedWorkload w = std::move(GenerateClusteredPoints(g.net, spec).value());
   InMemoryNetworkView view(g.net, w.points);
-  Result<SingleLinkResult> exact = SingleLinkCluster(view, SingleLinkOptions{});
+  Result<SingleLinkResult> exact = RunSingleLink(view, SingleLinkOptions{});
   ASSERT_TRUE(exact.ok());
   std::vector<double> heights = SortedHeights(exact.value().dendrogram);
   if (heights.empty()) GTEST_SKIP();
   double delta = delta_frac * heights[heights.size() / 2];
   SingleLinkOptions opts;
   opts.delta = delta;
-  Result<SingleLinkResult> heur = SingleLinkCluster(view, opts);
+  Result<SingleLinkResult> heur = RunSingleLink(view, opts);
   ASSERT_TRUE(heur.ok());
   for (double frac : {0.55, 0.7, 0.9, 1.0}) {
     double cut = heights[static_cast<size_t>(frac * (heights.size() - 1))];
@@ -216,7 +217,7 @@ TEST(SingleLinkTest, StopAtClusterCount) {
   InMemoryNetworkView view(g.net, ps);
   SingleLinkOptions opts;
   opts.stop_cluster_count = 5;
-  Result<SingleLinkResult> r = SingleLinkCluster(view, opts);
+  Result<SingleLinkResult> r = RunSingleLink(view, opts);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().dendrogram.merges().size(), 40u - 5u);
 }
@@ -230,12 +231,12 @@ TEST(SingleLinkTest, CutAtEpsEqualsEpsLink) {
         std::move(GenerateUniformPoints(g.net, 100, seed + 1)).value();
     InMemoryNetworkView view(g.net, ps);
     const double eps = 0.8;
-    Result<SingleLinkResult> sl = SingleLinkCluster(view, SingleLinkOptions{});
+    Result<SingleLinkResult> sl = RunSingleLink(view, SingleLinkOptions{});
     ASSERT_TRUE(sl.ok());
     Clustering cut = sl.value().dendrogram.CutAtDistance(eps);
     EpsLinkOptions eo;
     eo.eps = eps;
-    Clustering el = std::move(EpsLinkCluster(view, eo)).value();
+    Clustering el = std::move(RunEpsLink(view, eo)).value();
     EXPECT_TRUE(SamePartition(cut.assignment, el.assignment)) << seed;
   }
 }
@@ -244,11 +245,11 @@ TEST(SingleLinkTest, StopDistanceTruncatesDendrogram) {
   GeneratedNetwork g = GenerateRoadNetwork({60, 1.3, 0.3, 351});
   PointSet ps = std::move(GenerateUniformPoints(g.net, 80, 352)).value();
   InMemoryNetworkView view(g.net, ps);
-  Result<SingleLinkResult> full = SingleLinkCluster(view, SingleLinkOptions{});
+  Result<SingleLinkResult> full = RunSingleLink(view, SingleLinkOptions{});
   ASSERT_TRUE(full.ok());
   SingleLinkOptions opts;
   opts.stop_distance = 0.6;
-  Result<SingleLinkResult> part = SingleLinkCluster(view, opts);
+  Result<SingleLinkResult> part = RunSingleLink(view, opts);
   ASSERT_TRUE(part.ok());
   // All merges <= 0.6 from the full run must appear, none beyond.
   size_t expected = 0;
@@ -269,7 +270,7 @@ TEST(SingleLinkTest, MergeDistancesAreMonotoneAfterInit) {
   GeneratedNetwork g = GenerateRoadNetwork({60, 1.3, 0.3, 361});
   PointSet ps = std::move(GenerateUniformPoints(g.net, 60, 362)).value();
   InMemoryNetworkView view(g.net, ps);
-  Result<SingleLinkResult> r = SingleLinkCluster(view, SingleLinkOptions{});
+  Result<SingleLinkResult> r = RunSingleLink(view, SingleLinkOptions{});
   ASSERT_TRUE(r.ok());
   // Without delta, recorded merges must be globally nondecreasing (the
   // gate guarantees Kruskal order).
@@ -290,7 +291,7 @@ TEST(SingleLinkTest, DisconnectedPointsNeverMerge) {
   b.Add(2, 3, 0.5, 1);
   PointSet ps = std::move(std::move(b).Build(net)).value();
   InMemoryNetworkView view(net, ps);
-  Result<SingleLinkResult> r = SingleLinkCluster(view, SingleLinkOptions{});
+  Result<SingleLinkResult> r = RunSingleLink(view, SingleLinkOptions{});
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().dendrogram.merges().size(), 1u);  // only 0+1
 }

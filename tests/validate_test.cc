@@ -19,6 +19,7 @@
 #include "gen/workload_gen.h"
 #include "graph/network.h"
 #include "netclus.h"
+#include "run_helpers.h"
 
 namespace netclus {
 namespace {
@@ -83,7 +84,7 @@ TEST_F(ValidateTest, KMedoidsCleanResultPassesExactAndSampledModes) {
   KMedoidsOptions opt;
   opt.k = 4;
   opt.seed = 214;
-  Result<KMedoidsResult> res = KMedoidsCluster(*view_, opt);
+  Result<KMedoidsResult> res = RunKMedoids(*view_, opt);
   ASSERT_TRUE(res.ok());
   const KMedoidsResult& r = res.value();
   EXPECT_TRUE(
@@ -101,7 +102,7 @@ TEST_F(ValidateTest, KMedoidsRejectsWrongAssignmentAndWrongCost) {
   KMedoidsOptions opt;
   opt.k = 4;
   opt.seed = 214;
-  Result<KMedoidsResult> res = KMedoidsCluster(*view_, opt);
+  Result<KMedoidsResult> res = RunKMedoids(*view_, opt);
   ASSERT_TRUE(res.ok());
   const KMedoidsResult& r = res.value();
 
@@ -132,7 +133,7 @@ TEST_F(ValidateTest, EpsLinkRejectsPointMovedAcrossClusters) {
   EpsLinkOptions opt;
   opt.eps = 0.8;
   opt.min_sup = 2;
-  Result<Clustering> res = EpsLinkCluster(*view_, opt);
+  Result<Clustering> res = RunEpsLink(*view_, opt);
   ASSERT_TRUE(res.ok());
   const Clustering& clean = res.value();
   ASSERT_GE(clean.num_clusters, 2)
@@ -169,7 +170,7 @@ TEST_F(ValidateTest, DbscanRejectsClusteredPointDemotedToNoise) {
   DbscanOptions opt;
   opt.eps = 0.8;
   opt.min_pts = 3;
-  Result<Clustering> res = DbscanCluster(*view_, opt);
+  Result<Clustering> res = RunDbscan(*view_, opt);
   ASSERT_TRUE(res.ok());
   const Clustering& clean = res.value();
   ASSERT_GE(clean.num_clusters, 1);
@@ -231,7 +232,7 @@ TEST_F(ValidateTest, DendrogramRejectsNonMonotoneAndDuplicateMerges) {
 
 TEST_F(ValidateTest, DendrogramFromSingleLinkPasses) {
   SingleLinkOptions opt;
-  Result<SingleLinkResult> res = SingleLinkCluster(*view_, opt);
+  Result<SingleLinkResult> res = RunSingleLink(*view_, opt);
   ASSERT_TRUE(res.ok());
   EXPECT_TRUE(ValidateDendrogram(res.value().dendrogram, opt).ok());
 }
