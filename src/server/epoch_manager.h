@@ -41,7 +41,8 @@ class EpochManager {
  public:
   /// `num_pin_slots` is the number of independent reader slots every
   /// published snapshot carries (one per worker thread; padded to a
-  /// cache line each). Slot ids passed to Acquire must be < this.
+  /// cache line each). Acquire reduces slot ids modulo this count, so
+  /// any caller-supplied id is safe.
   explicit EpochManager(uint32_t num_pin_slots);
   ~EpochManager();
 
@@ -87,16 +88,20 @@ class EpochManager {
     uint32_t slot_ = 0;
   };
 
-  /// Pins the current epoch into reader slot `slot`. Returns an empty
-  /// pin when nothing has been published yet.
+  /// Pins the current epoch into reader slot `slot % num_pin_slots()`
+  /// (reduced so an arbitrary rotation counter is a valid argument).
+  /// Returns an empty pin when nothing has been published yet.
   Pin Acquire(uint32_t slot);
 
   /// Wraps the next world in a snapshot with the next monotone epoch id,
   /// makes it current, retires the predecessor, and sweeps. Returns the
-  /// new epoch id (first publish returns 1).
+  /// new epoch id (first publish returns 1). `cache` becomes the
+  /// snapshot's private distance cache (null = no memoization) — caches
+  /// are per-epoch by construction, never shared across publishes.
   uint64_t Publish(std::shared_ptr<const FrozenGraph> graph,
                    std::shared_ptr<const PointSet> points,
-                   std::shared_ptr<const ClusterOutput> clusters);
+                   std::shared_ptr<const ClusterOutput> clusters,
+                   std::shared_ptr<const DistanceCache> cache = nullptr);
 
   /// Frees every retired snapshot whose pins read zero. Runs implicitly
   /// on each Publish; exposed so callers can reclaim promptly after the

@@ -5,26 +5,29 @@
 #include <utility>
 
 #include "graph/accelerator.h"
+#include "index/distance_cache.h"
 
 namespace netclus {
 namespace {
 
 constexpr size_t kWaitRingCapacity = 1 << 16;
 
-// The server-side accelerator: vacuous bounds plus the shared exact
-// point-pair cache. A hit returns a value some earlier exact expansion
-// stored for the same epoch (the cache is invalidated on every
-// publish), so serving with it remains bit-identical to the pure
-// unaccelerated replay — it only skips repeated work.
+// The server-side accelerator: vacuous bounds plus the pinned epoch's
+// private exact point-pair cache. A hit returns a value some earlier
+// exact expansion stored for the *same* snapshot (each publish hands
+// its snapshot a fresh cache, so entries can never name another
+// epoch's adjacency or renumbered point ids), which keeps serving
+// bit-identical to the pure unaccelerated replay — it only skips
+// repeated work. `cache` may be null (caching disabled).
 class CacheOnlyAccelerator final : public DistanceAccelerator {
  public:
   explicit CacheOnlyAccelerator(const DistanceCache* cache) : cache_(cache) {}
 
   bool LookupDistance(PointId a, PointId b, double* out) const override {
-    return cache_->Lookup(a, b, out);
+    return cache_ != nullptr && cache_->Lookup(a, b, out);
   }
   void StoreDistance(PointId a, PointId b, double dist) const override {
-    cache_->Store(a, b, dist);
+    if (cache_ != nullptr) cache_->Store(a, b, dist);
   }
 
  private:
@@ -71,7 +74,6 @@ QueryServer::QueryServer(Network net, std::vector<NetworkUpdate> raw_points,
       net_(std::move(net)),
       raw_points_(std::move(raw_points)),
       epochs_(ResolveNumThreads(options.num_workers)),
-      cache_(options.cache_capacity, options.cache_shards),
       pool_(std::make_unique<ThreadPool>(
           ResolveNumThreads(options.num_workers))),
       workspaces_(net_.num_nodes()) {
@@ -96,10 +98,18 @@ Status QueryServer::PublishWorld() {
                              RunClustering(live_view, *options_.cluster_spec));
     clusters = std::make_shared<const ClusterOutput>(std::move(out));
   }
-  // Swap + cache bump form one publish: a query can never pair the new
-  // epoch with a distance cached under the old adjacency.
-  epochs_.Publish(std::move(graph), std::move(points), std::move(clusters));
-  cache_.Invalidate();
+  // Every epoch gets a private, empty distance cache: a batch pinned to
+  // an old epoch keeps memoizing into that epoch's cache while new
+  // batches start cold on the new one, so no publish ordering can pair
+  // an epoch with distances computed under a different adjacency (or
+  // under the pre-renumbering point ids).
+  std::shared_ptr<const DistanceCache> cache;
+  if (options_.cache_capacity > 0) {
+    cache = std::make_shared<const DistanceCache>(options_.cache_capacity,
+                                                  options_.cache_shards);
+  }
+  epochs_.Publish(std::move(graph), std::move(points), std::move(clusters),
+                  std::move(cache));
   return Status::OK();
 }
 
@@ -241,7 +251,7 @@ void QueryServer::ExecuteBatch(std::vector<PendingQuery>* batch) {
     return;
   }
   const EpochSnapshot& snap = *pin.snapshot();
-  CacheOnlyAccelerator accel(&cache_);
+  CacheOnlyAccelerator accel(snap.cache());
 
   const size_t n = batch->size();
   std::vector<QueryResponse> responses(n);
@@ -351,7 +361,10 @@ void QueryServer::UpdaterLoop() {
     {
       std::lock_guard<std::mutex> lock(update_mu_);
       published_seq_ = max_seq;
-      if (!publish.ok()) last_publish_error_ = publish;
+      // Record the outcome of every publish attempt — a success clears a
+      // previous failure so Flush() stops reporting it once the world is
+      // re-published. Rounds that publish nothing leave it untouched.
+      if (mutated) last_publish_error_ = publish;
     }
     flush_cv_.notify_all();
   }

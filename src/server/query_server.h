@@ -9,16 +9,19 @@
 //                                          │ pins current epoch once
 //                                          ▼
 //                              ThreadPool::ParallelFor over the batch
-//                              (FrozenGraph traversals, DistanceCache
-//                               as a pure accelerator)
+//                              (FrozenGraph traversals, the epoch's
+//                               private DistanceCache as a pure
+//                               accelerator)
 //                                          │
 //                                          ▼ optional replay validation
 //                              promises fulfilled, epoch id stamped
 //
 //   ApplyUpdate ──> updater thread: mutate live Network / point list,
 //                   rebuild PointSet + FrozenGraph (+ re-cluster when a
-//                   cluster_spec is configured), publish the new epoch,
-//                   bump the DistanceCache epoch in the same publish.
+//                   cluster_spec is configured), publish the new epoch
+//                   with its own fresh DistanceCache — caches are
+//                   per-epoch, so a batch draining an old epoch can
+//                   neither read nor write another epoch's distances.
 //
 // Admission control: when the queue holds max_queue_depth requests, a
 // Submit is rejected immediately with kUnavailable; the message carries
@@ -49,7 +52,6 @@
 #include "common/timer.h"
 #include "graph/network.h"
 #include "graph/workspace_pool.h"
-#include "index/distance_cache.h"
 #include "netclus.h"
 #include "server/epoch_manager.h"
 #include "server/query.h"
@@ -90,8 +92,9 @@ struct QueryServerOptions {
   size_t max_queue_depth = 1024;
   /// Most requests the dispatcher drains into one batch.
   size_t max_batch_size = 64;
-  /// Point-pair distance cache shared by all epochs (invalidated on
-  /// every publish); 0 disables it.
+  /// Per-epoch point-pair distance cache: every published snapshot owns
+  /// a fresh cache of this capacity, retired with the snapshot; 0
+  /// disables caching.
   size_t cache_capacity = 1 << 16;
   uint32_t cache_shards = 16;
   /// Replay every served batch through the direct inline path and fail
@@ -195,8 +198,8 @@ class QueryServer {
               const QueryServerOptions& options);
 
   /// Rebuilds the immutable world from the live one and publishes it as
-  /// the next epoch (invalidating the shared cache). Updater thread (and
-  /// Start) only.
+  /// the next epoch (carrying its own fresh DistanceCache). Updater
+  /// thread (and Start) only.
   Status PublishWorld();
   /// Applies one mutation to the live world. Updater thread (and Start)
   /// only.
@@ -214,7 +217,6 @@ class QueryServer {
   std::vector<NetworkUpdate> raw_points_;  ///< kAddPoint records, in order
 
   EpochManager epochs_;
-  DistanceCache cache_;  ///< epoch-bumped on every publish
   std::unique_ptr<ThreadPool> pool_;
   WorkspacePool workspaces_;
 

@@ -22,10 +22,12 @@ void SnapshotView::ForEachPointGroup(
 EpochSnapshot::EpochSnapshot(
     uint64_t epoch, std::shared_ptr<const FrozenGraph> graph,
     std::shared_ptr<const PointSet> points,
-    std::shared_ptr<const ClusterOutput> clusters, uint32_t num_pin_slots,
+    std::shared_ptr<const ClusterOutput> clusters,
+    std::shared_ptr<const DistanceCache> cache, uint32_t num_pin_slots,
     std::shared_ptr<std::atomic<uint64_t>> freed_counter)
     : epoch_(epoch),
       clusters_(std::move(clusters)),
+      cache_(std::move(cache)),
       view_(std::move(graph), std::move(points)),
       pin_slots_(num_pin_slots > 0 ? num_pin_slots : 1),
       freed_counter_(std::move(freed_counter)) {}

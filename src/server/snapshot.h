@@ -20,6 +20,7 @@
 #include "graph/frozen_graph.h"
 #include "graph/network.h"
 #include "graph/network_view.h"
+#include "index/distance_cache.h"
 #include "netclus.h"
 
 namespace netclus {
@@ -75,12 +76,17 @@ class SnapshotView final : public NetworkView {
 class EpochSnapshot {
  public:
   /// `clusters` may be null (membership queries then fail NotFound).
+  /// `cache` may be null (no distance memoization for this epoch); it is
+  /// owned by the snapshot so cached distances can never cross an epoch
+  /// boundary — point ids renumber across epochs, and an old adjacency
+  /// must never answer for a new one.
   /// `freed_counter` (shared so it may outlive the manager) is bumped by
   /// the destructor — the observable "drained epoch actually freed"
   /// signal the epoch-swap tests assert on.
   EpochSnapshot(uint64_t epoch, std::shared_ptr<const FrozenGraph> graph,
                 std::shared_ptr<const PointSet> points,
                 std::shared_ptr<const ClusterOutput> clusters,
+                std::shared_ptr<const DistanceCache> cache,
                 uint32_t num_pin_slots,
                 std::shared_ptr<std::atomic<uint64_t>> freed_counter);
   ~EpochSnapshot();
@@ -94,6 +100,10 @@ class EpochSnapshot {
   const PointSet& points() const { return view_.points(); }
   /// Null when the server runs without a cluster_spec.
   const ClusterOutput* clusters() const { return clusters_.get(); }
+  /// This epoch's private distance cache; null when caching is disabled.
+  /// Entries only ever name points of this epoch, so batches still
+  /// draining an old epoch cannot poison (or be poisoned by) a newer one.
+  const DistanceCache* cache() const { return cache_.get(); }
 
   uint32_t num_pin_slots() const {
     return static_cast<uint32_t>(pin_slots_.size());
@@ -126,6 +136,7 @@ class EpochSnapshot {
 
   uint64_t epoch_;
   std::shared_ptr<const ClusterOutput> clusters_;
+  std::shared_ptr<const DistanceCache> cache_;
   SnapshotView view_;  ///< co-owns the graph and the point set
   std::vector<PinSlot> pin_slots_;
   std::shared_ptr<std::atomic<uint64_t>> freed_counter_;

@@ -22,6 +22,7 @@
 #include "graph/frozen_graph.h"
 #include "graph/network.h"
 #include "graph/network_distance.h"
+#include "index/distance_cache.h"
 #include "netclus.h"
 #include "server/epoch_manager.h"
 #include "server/query.h"
@@ -170,6 +171,52 @@ TEST(EpochManagerTest, PinnedEpochSurvivesPublishAndFreesOnRelease) {
   EXPECT_EQ(m.Publish(TinyGraph(), points, nullptr), 3u);
   EXPECT_EQ(m.retired_count(), 0u);
   EXPECT_EQ(m.epochs_drained(), 2u);
+}
+
+TEST(EpochManagerTest, AcquireClampsOutOfRangeSlots) {
+  EpochManager m(2);
+  auto points = std::make_shared<const PointSet>();
+  m.Publish(TinyGraph(), points, nullptr);
+  // Slot 7 reduces to 7 % 2 = 1: an arbitrary rotation counter is a
+  // valid argument and the drain accounting still balances.
+  EpochManager::Pin pin = m.Acquire(7);
+  ASSERT_TRUE(pin);
+  m.Publish(TinyGraph(), points, nullptr);
+  EXPECT_EQ(m.epochs_drained(), 0u);  // epoch 1 still pinned via slot 1
+  pin.Release();
+  m.SweepRetired();
+  EXPECT_EQ(m.epochs_drained(), 1u);
+}
+
+// The regression behind the per-epoch cache design: distances memoized
+// while a batch drains an old epoch must be invisible to newer epochs
+// (point ids renumber across epochs, so a shared cache could answer a
+// new-epoch pair with an old-world distance) — and vice versa.
+TEST(EpochManagerTest, EachEpochOwnsItsDistanceCache) {
+  EpochManager m(1);
+  auto points = std::make_shared<const PointSet>();
+  m.Publish(TinyGraph(), points, nullptr,
+            std::make_shared<const DistanceCache>(64, 1));
+  EpochManager::Pin old_pin = m.Acquire(0);
+  ASSERT_TRUE(old_pin);
+  ASSERT_NE(old_pin.snapshot()->cache(), nullptr);
+
+  m.Publish(TinyGraph(), points, nullptr,
+            std::make_shared<const DistanceCache>(64, 1));
+  EpochManager::Pin new_pin = m.Acquire(0);
+  ASSERT_TRUE(new_pin);
+
+  // A store from the still-draining old batch lands in the old epoch's
+  // cache only; the new epoch starts cold.
+  old_pin.snapshot()->cache()->Store(0, 1, 5.0);
+  double d = 0.0;
+  EXPECT_FALSE(new_pin.snapshot()->cache()->Lookup(0, 1, &d));
+  EXPECT_TRUE(old_pin.snapshot()->cache()->Lookup(0, 1, &d));
+  EXPECT_DOUBLE_EQ(d, 5.0);
+
+  // And a publish without a cache serves uncached (null), not shared.
+  m.Publish(TinyGraph(), points, nullptr);
+  EXPECT_EQ(m.Acquire(0).snapshot()->cache(), nullptr);
 }
 
 TEST(EpochManagerTest, MovedPinTransfersTheReference) {
