@@ -3,13 +3,25 @@
 // worker threads. Each configuration submits the whole request set
 // asynchronously — so the dispatcher batches and the pool fans out —
 // and reports queries/sec plus the p99 queue wait from the server's
-// own sample ring. Emitted as BENCH_server.json for CI diffing; wired
-// into `run_all.sh bench-smoke` and `run_all.sh server-smoke`.
+// own sample ring. A slice of the workload carries a soft deadline and
+// a separate shallow-queue pressure probe floods admission control, so
+// the emitted BENCH_server.json also carries the resilience rates:
+// deadline_miss_rate (shed + cancelled over completed) and
+// rejection_rate (kUnavailable over submissions) per worker count.
+// Wired into `run_all.sh bench-smoke` and `run_all.sh server-smoke`.
 //
 // Gate: throughput must scale from 1 to 4 workers. The bar is
 // hardware-aware — on a multi-core host 4 workers must beat 1 by 5%;
 // on a single core they only have to stay within 2x (the batching
 // overhead bound), since there is no parallelism to win.
+//
+// On 4 -> 8 workers a qps *dip* is expected rather than a win, and it
+// is annotated, not gated: past the physical core count the extra
+// workers only oversubscribe (on this repo's 1-core CI container, 8
+// workers time-slice one core), ParallelFor slices each <=64-request
+// batch into smaller per-worker chunks whose wakeup/handoff cost is
+// paid per slice, and the single dispatcher thread — which also runs
+// replay validation — competes with its own workers for cycles.
 #include <algorithm>
 #include <cstdio>
 #include <future>
@@ -58,15 +70,24 @@ std::vector<QueryRequest> MakeWorkload(PointId n_points, double eps) {
         reqs.push_back(QueryRequest::NearestObject(a, 2));
         break;
     }
+    // Every fifth request carries a soft deadline generous enough that
+    // a healthy server almost never misses it — the measured miss rate
+    // is the signal, and a miss resolves cleanly rather than failing
+    // the bench.
+    if (i % 5 == 0) reqs.back().deadline_ms = 250.0;
   }
   return reqs;
 }
 
-// Best-of-reps queries/sec for one worker count, plus the p99 queue
-// wait across all of its reps.
+// Best-of-reps queries/sec for one worker count, the p99 queue wait
+// across all of its reps, and the resilience rates.
 struct RunResult {
   double qps = 0.0;
   double p99_wait_ms = 0.0;
+  /// (shed + cancelled) / completed over the throughput reps.
+  double deadline_miss_rate = 0.0;
+  /// kUnavailable rejections / submissions in the pressure probe.
+  double rejection_rate = 0.0;
 };
 
 RunResult RunAtWorkers(const Network& net, const PointSet& points,
@@ -89,7 +110,7 @@ RunResult RunAtWorkers(const Network& net, const PointSet& points,
     }
     for (std::future<Result<QueryResponse>>& f : futures) {
       Result<QueryResponse> r = f.get();
-      if (!r.ok()) {
+      if (!r.ok() && !r.status().IsDeadlineExceeded()) {
         std::fprintf(stderr, "query failed: %s\n",
                      r.status().ToString().c_str());
         std::exit(1);
@@ -102,6 +123,42 @@ RunResult RunAtWorkers(const Network& net, const PointSet& points,
   RunResult out;
   out.qps = static_cast<double>(kRequests) / best_seconds;
   out.p99_wait_ms = Percentile(server->QueueWaitSamplesMs(), 0.99);
+  ServerStats stats = server->stats();
+  if (stats.completed > 0) {
+    out.deadline_miss_rate =
+        static_cast<double>(stats.deadline_expired +
+                            stats.cancelled_traversals) /
+        static_cast<double>(stats.completed);
+  }
+
+  // Pressure probe: a shallow-queue server flooded with the same
+  // workload measures how admission control sheds load at this worker
+  // count. Rejections resolve immediately with a structured retry-after
+  // hint; everything admitted must still complete.
+  QueryServerOptions pressure_opts = opts;
+  pressure_opts.max_queue_depth = 128;
+  std::unique_ptr<QueryServer> pressure =
+      std::move(QueryServer::Start(net, points, pressure_opts).value());
+  std::vector<std::future<Result<QueryResponse>>> flood;
+  flood.reserve(reqs.size());
+  for (const QueryRequest& req : reqs) {
+    flood.push_back(pressure->Submit(req));
+  }
+  for (std::future<Result<QueryResponse>>& f : flood) {
+    Result<QueryResponse> r = f.get();
+    if (!r.ok() && !r.status().IsUnavailable() &&
+        !r.status().IsDeadlineExceeded()) {
+      std::fprintf(stderr, "pressure query failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  ServerStats pstats = pressure->stats();
+  if (pstats.accepted + pstats.rejected > 0) {
+    out.rejection_rate =
+        static_cast<double>(pstats.rejected) /
+        static_cast<double>(pstats.accepted + pstats.rejected);
+  }
   return out;
 }
 
@@ -133,17 +190,21 @@ int main() {
   std::vector<QueryRequest> reqs = MakeWorkload(points.size(), eps);
 
   BenchRecorder rec("server");
-  PrintRow({"workers", "qps", "p99_wait_ms"}, 16);
+  PrintRow({"workers", "qps", "p99_wait_ms", "miss_rate", "reject_rate"},
+           16);
   std::vector<std::pair<uint32_t, RunResult>> results;
   for (uint32_t workers : {1u, 4u, 8u}) {
     RunResult r = RunAtWorkers(gen.net, points, workers, reqs);
     results.emplace_back(workers, r);
-    PrintRow({std::to_string(workers), Fmt(r.qps, 0), Fmt(r.p99_wait_ms)},
+    PrintRow({std::to_string(workers), Fmt(r.qps, 0), Fmt(r.p99_wait_ms),
+              Fmt(r.deadline_miss_rate, 4), Fmt(r.rejection_rate, 4)},
              16);
     rec.Add("qps_workers_" + std::to_string(workers),
             {static_cast<double>(kRequests) / r.qps}, TraversalCounters{},
             {{"qps", r.qps},
              {"p99_queue_wait_ms", r.p99_wait_ms},
+             {"deadline_miss_rate", r.deadline_miss_rate},
+             {"rejection_rate", r.rejection_rate},
              {"workers", static_cast<double>(workers)}});
   }
 
@@ -169,5 +230,17 @@ int main() {
                  "floor\n");
     return 1;
   }
+
+  // 4 -> 8 workers: annotated, not gated. Past the physical core count
+  // the extra workers oversubscribe, ParallelFor pays per-slice wakeup
+  // cost on smaller chunks, and the dispatcher competes with its own
+  // workers for cycles — a dip here is expected (see header comment).
+  const double ratio48 = results[2].second.qps / results[1].second.qps;
+  std::printf("scaling 4->8 workers: %.2fx (annotation only: %s on %u "
+              "cores)\n",
+              ratio48,
+              ratio48 < 1.0 ? "dip expected past physical core count"
+                            : "no dip observed",
+              cores);
   return 0;
 }

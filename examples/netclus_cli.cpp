@@ -59,7 +59,8 @@ int Usage() {
                "           [--voronoi on|off]\n"
                "  serve    --in FILE [--workers W] [--clients C]\n"
                "           [--queries N] [--mutations M] [--eps E|auto]\n"
-               "           [--validate on|off] [--seed S]\n");
+               "           [--validate on|off] [--seed S]\n"
+               "           [--wal FILE] [--deadline-ms D]\n");
   return 2;
 }
 
@@ -221,6 +222,17 @@ int RunServe(int argc, char** argv, const Network& net,
   spec.eps_link.min_sup = 2;
   opts.cluster_spec = spec;
 
+  // --wal FILE makes mutations durable: accepted updates are logged
+  // before they are applied, and a restart on the same file replays
+  // them before publishing epoch 1 (a torn tail is truncated; a corrupt
+  // middle refuses to boot).
+  opts.wal_path = FlagValue(argc, argv, "--wal", "");
+  // --deadline-ms D stamps a soft deadline on every client query;
+  // expired requests are shed or cancelled mid-traversal and resolve
+  // with kDeadlineExceeded instead of blocking the queue.
+  const double deadline_ms =
+      std::atof(FlagValue(argc, argv, "--deadline-ms", "0"));
+
   Result<std::unique_ptr<QueryServer>> started =
       QueryServer::Start(net, points, opts);
   if (!started.ok()) return Fail(started.status());
@@ -229,6 +241,15 @@ int RunServe(int argc, char** argv, const Network& net,
               server.num_workers(),
               opts.validate_replay ? " (replay validation on)" : "",
               static_cast<unsigned long long>(server.current_epoch()));
+  if (!opts.wal_path.empty()) {
+    ServerStats boot = server.stats();
+    std::printf("wal: %s (%llu records replayed at boot)\n",
+                opts.wal_path.c_str(),
+                static_cast<unsigned long long>(boot.wal_recoveries));
+  }
+  if (deadline_ms > 0.0) {
+    std::printf("deadline: %.1f ms per query\n", deadline_ms);
+  }
 
   // Point ids are epoch-relative; querying only the initial ids stays
   // valid across mutations because the point count never shrinks.
@@ -236,6 +257,7 @@ int RunServe(int argc, char** argv, const Network& net,
   const uint64_t per_client = queries / clients;
   std::vector<uint64_t> ok_counts(clients, 0);
   std::vector<uint64_t> err_counts(clients, 0);
+  std::vector<uint64_t> miss_counts(clients, 0);
   std::vector<std::thread> threads;
   threads.reserve(clients);
   WallTimer timer;
@@ -252,8 +274,12 @@ int RunServe(int argc, char** argv, const Network& net,
           case 2: req = QueryRequest::NearestObject(a, 2); break;
           default: req = QueryRequest::ClusterMembership(a); break;
         }
-        if (server.Execute(req).ok()) {
+        if (deadline_ms > 0.0) req.deadline_ms = deadline_ms;
+        Result<QueryResponse> r = server.Execute(req);
+        if (r.ok()) {
           ++ok_counts[c];
+        } else if (r.status().IsDeadlineExceeded()) {
+          ++miss_counts[c];
         } else {
           ++err_counts[c];
         }
@@ -280,14 +306,18 @@ int RunServe(int argc, char** argv, const Network& net,
 
   uint64_t ok = 0;
   uint64_t err = 0;
+  uint64_t missed = 0;
   for (uint32_t c = 0; c < clients; ++c) {
     ok += ok_counts[c];
     err += err_counts[c];
+    missed += miss_counts[c];
   }
   ServerStats stats = server.stats();
-  std::printf("served %llu queries (%llu failed) in %.3f s = %.0f qps\n",
+  std::printf("served %llu queries (%llu failed, %llu past deadline) in "
+              "%.3f s = %.0f qps\n",
               static_cast<unsigned long long>(ok),
-              static_cast<unsigned long long>(err), seconds,
+              static_cast<unsigned long long>(err),
+              static_cast<unsigned long long>(missed), seconds,
               seconds > 0.0 ? static_cast<double>(ok) / seconds : 0.0);
   std::printf("mutations applied: %u; epochs published %llu, drained %llu; "
               "final epoch %llu\n",
@@ -306,6 +336,14 @@ int RunServe(int argc, char** argv, const Network& net,
                 static_cast<unsigned long long>(stats.replay_mismatches));
     if (stats.replay_mismatches > 0) return 1;
   }
+  HealthReport health = server.Healthz();
+  std::printf("health: %s (miss rate %.3f, publish failures %llu, wal "
+              "records %llu%s)\n",
+              ServerHealthName(health.health), health.deadline_miss_rate,
+              static_cast<unsigned long long>(stats.publish_failures),
+              static_cast<unsigned long long>(stats.wal_records),
+              health.wal_broken ? ", WAL BROKEN" : "");
+  if (health.wal_broken) return 1;
   return err == 0 ? 0 : 1;
 }
 

@@ -42,6 +42,12 @@
 # QueryServer), an end-to-end netclus_cli serve pass with replay
 # validation on, and the server_throughput bench.
 #
+# `scripts/run_all.sh chaos-smoke` builds the default configuration and
+# runs the resilience suites (mutation WAL, chaos soak, deadline &
+# cancellation) plus a netclus_cli serve pass with a durable WAL and a
+# per-query deadline, restarted once on the same log to prove crash
+# recovery end to end.
+#
 # The default mode is the full verify flow: lint, then build + tests +
 # benches, then the ubsan configuration over the core algorithm suites.
 set -e
@@ -66,7 +72,7 @@ if [ "${1:-}" = "ubsan" ]; then
   cmake -B build-ubsan -G Ninja -DNETCLUS_SANITIZE=undefined
   cmake --build build-ubsan
   ctest --test-dir build-ubsan --output-on-failure \
-    -R 'KMedoids|EpsLink|Dbscan|SingleLink|Dendrogram|Dijkstra|RangeQuery|Knn|DirectDistance|PointDistance|InterestingLevels|Optics|Hierarchy|Validate|NetclusApi|Integration|Index|DistanceCache|LandmarkOracle|Voronoi|Frozen' \
+    -R 'KMedoids|EpsLink|Dbscan|SingleLink|Dendrogram|Dijkstra|RangeQuery|Knn|DirectDistance|PointDistance|InterestingLevels|Optics|Hierarchy|Validate|NetclusApi|Integration|Index|DistanceCache|LandmarkOracle|Voronoi|Frozen|Wal|Cancel|Deadline' \
     2>&1 | tee ubsan_output.txt
   exit 0
 fi
@@ -92,7 +98,7 @@ if [ "${1:-}" = "tsan" ]; then
   cmake -B build-tsan -G Ninja -DNETCLUS_SANITIZE=thread
   cmake --build build-tsan
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'ThreadPool|WorkspacePool|Parallel|Determin|Restart|DistanceCache|EpochManager|QueryServer' \
+    -R 'ThreadPool|WorkspacePool|Parallel|Determin|Restart|DistanceCache|EpochManager|QueryServer|Wal|Chaos|Deadline|Cancel' \
     2>&1 | tee tsan_output.txt
   exit 0
 fi
@@ -114,6 +120,31 @@ if [ "${1:-}" = "server-smoke" ]; then
     2>&1 | tee -a server_smoke_output.txt
   ./build/bench/server_throughput 2>&1 | tee -a server_smoke_output.txt
   ls BENCH_server.json
+  exit 0
+fi
+
+if [ "${1:-}" = "chaos-smoke" ]; then
+  configure_build
+  cmake --build build
+  ctest --test-dir build --output-on-failure \
+    -R 'Wal|Chaos|Deadline|Cancel' \
+    2>&1 | tee chaos_smoke_output.txt
+  # End-to-end crash recovery: serve with a durable WAL and per-query
+  # deadlines, then restart on the same log — the second run must
+  # replay every mutation the first one accepted.
+  rm -f /tmp/netclus_chaos_smoke.wal
+  ./build/examples/netclus_cli generate --nodes 1500 --points 3000 \
+    --clusters 6 --seed 7 --out /tmp/netclus_chaos_smoke.net \
+    2>&1 | tee -a chaos_smoke_output.txt
+  ./build/examples/netclus_cli serve --in /tmp/netclus_chaos_smoke.net \
+    --workers 4 --clients 4 --queries 2000 --mutations 12 --validate on \
+    --wal /tmp/netclus_chaos_smoke.wal --deadline-ms 250 \
+    2>&1 | tee -a chaos_smoke_output.txt
+  ./build/examples/netclus_cli serve --in /tmp/netclus_chaos_smoke.net \
+    --workers 4 --clients 4 --queries 1000 --mutations 0 \
+    --wal /tmp/netclus_chaos_smoke.wal --deadline-ms 250 \
+    2>&1 | tee -a chaos_smoke_output.txt
+  grep -q '12 records replayed at boot' chaos_smoke_output.txt
   exit 0
 fi
 

@@ -41,6 +41,11 @@ void StatsCollector::Add(const std::string& counter, uint64_t delta) {
   counters_[counter] += delta;
 }
 
+void StatsCollector::Set(const std::string& counter, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[counter] = value;
+}
+
 uint64_t StatsCollector::value(const std::string& counter) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(counter);

@@ -72,6 +72,11 @@ class StatsCollector {
   /// Adds `delta` to `counter`, creating it at zero first if needed.
   void Add(const std::string& counter, uint64_t delta);
 
+  /// Overwrites `counter` with `value` — gauge semantics for
+  /// point-in-time readings (queue depth) that must not accumulate
+  /// across flushes the way the monotonic counters above do.
+  void Set(const std::string& counter, uint64_t value);
+
   /// Current value of `counter`; 0 when it was never added to.
   uint64_t value(const std::string& counter) const;
 

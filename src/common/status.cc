@@ -21,6 +21,8 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kUnavailable:
       return "Unavailable";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

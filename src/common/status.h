@@ -31,6 +31,7 @@ class [[nodiscard]] Status {
     kCorruption,
     kInternal,
     kUnavailable,
+    kDeadlineExceeded,
   };
 
   /// Constructs an OK status.
@@ -60,6 +61,19 @@ class [[nodiscard]] Status {
   static Status Unavailable(std::string msg) {
     return Status(Code::kUnavailable, std::move(msg));
   }
+  /// As Unavailable, with a machine-readable backpressure hint: the
+  /// caller should wait ~`retry_after_ms` before retrying. Clients read
+  /// it via retry_after_ms() instead of parsing the message.
+  static Status UnavailableWithRetry(std::string msg, double retry_after_ms) {
+    Status s(Code::kUnavailable, std::move(msg));
+    s.retry_after_ms_ = retry_after_ms;
+    return s;
+  }
+  /// The operation's deadline passed before it completed: a request shed
+  /// at dequeue or a traversal cooperatively cancelled mid-expansion.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -72,6 +86,11 @@ class [[nodiscard]] Status {
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
+
+  /// Structured retry-after hint in milliseconds; only set on statuses
+  /// built with UnavailableWithRetry (admission-control rejections).
+  std::optional<double> retry_after_ms() const { return retry_after_ms_; }
 
   /// Renders e.g. "InvalidArgument: k must be positive".
   std::string ToString() const;
@@ -86,6 +105,7 @@ class [[nodiscard]] Status {
 
   Code code_;
   std::string message_;
+  std::optional<double> retry_after_ms_;
 };
 
 /// \brief A Status or a value of type T.

@@ -44,7 +44,7 @@ void DijkstraExpandBounded(
     double bound, TraversalWorkspace* ws,
     const std::function<bool(NodeId, double)>& on_settle) {
   DijkstraExpandKernel(view, sources, bound, &ws->scratch, &ws->heap,
-                       on_settle);
+                       on_settle, &ws->cancel);
 }
 
 void DijkstraExpandBounded(
@@ -60,7 +60,7 @@ void DijkstraExpandBounded(
     double bound, TraversalWorkspace* ws,
     const std::function<SettleAction(NodeId, double)>& on_settle) {
   DijkstraExpandKernel(view, sources, bound, &ws->scratch, &ws->heap,
-                       on_settle);
+                       on_settle, &ws->cancel);
 }
 
 }  // namespace netclus

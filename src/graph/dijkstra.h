@@ -18,6 +18,7 @@
 #define NETCLUS_GRAPH_DIJKSTRA_H_
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <limits>
 #include <type_traits>
@@ -116,6 +117,32 @@ struct DijkstraHeapEntry {
   }
 };
 
+/// Default settle count between cancellation polls — cheap enough that
+/// an uncancelled traversal is indistinguishable from one run without a
+/// token, frequent enough that an expansion abandons work within
+/// microseconds of the flag flipping.
+inline constexpr uint32_t kDefaultCancelCheckInterval = 1024;
+
+/// \brief Cooperative cancellation for one traversal.
+///
+/// `flag` (owned elsewhere — e.g. a deadline watchdog) is polled by the
+/// kernel every `check_interval` settled nodes; when it reads true the
+/// expansion abandons the rest of its work and sets `triggered`. A null
+/// flag (the default) makes the token inert: the kernel's results,
+/// settle order, and TraversalCounters are bit-identical to a run with
+/// no token at all — polling never perturbs the traversal.
+struct TraversalCancel {
+  const std::atomic<bool>* flag = nullptr;
+  uint32_t check_interval = kDefaultCancelCheckInterval;
+  /// Set by the kernel when it abandoned the expansion; callers must
+  /// treat any distances/results produced by that run as garbage.
+  bool triggered = false;
+
+  bool ShouldCancel() const {
+    return flag != nullptr && flag->load(std::memory_order_relaxed);
+  }
+};
+
 /// \brief Reusable per-traversal state: node distances plus heap storage.
 ///
 /// Constructing one is O(|V|); reusing it makes every subsequent
@@ -129,6 +156,10 @@ struct TraversalWorkspace {
   NodeScratch scratch;
   std::vector<DijkstraHeapEntry> heap;  ///< binary-heap storage, reused
   std::vector<std::pair<NodeId, double>> settled;  ///< settle-order log
+  /// Cancellation token threaded into the kernel by the workspace-based
+  /// entry points. Inert (null flag) by default; the query server arms
+  /// it per request with the deadline watchdog's flag.
+  TraversalCancel cancel;
 };
 
 /// Neighbor-iteration adapter for the template kernel: the NetworkView
@@ -184,15 +215,27 @@ inline SettleAction InvokeSettle(SettleFn& on_settle, NodeId n, double d) {
 /// FrozenGraph and a lambda, the inner loop carries no virtual dispatch
 /// and no std::function — this is the de-virtualized hot path every
 /// algorithm runs on.
+///
+/// `cancel` (optional) is polled every `cancel->check_interval` settled
+/// nodes; when its flag reads true the expansion abandons its remaining
+/// work, sets `cancel->triggered`, and returns — partial distances in
+/// `scratch` must then be discarded by the caller. When no cancellation
+/// fires (or `cancel` is null / its flag unset) the traversal, its
+/// settle order, and its counters are bit-identical to an uncancellable
+/// run.
 template <typename Graph, typename SettleFn>
 void DijkstraExpandKernel(const Graph& graph,
                           const std::vector<DijkstraSource>& sources,
                           double bound, NodeScratch* scratch,
                           std::vector<DijkstraHeapEntry>* heap,
-                          SettleFn&& on_settle) {
+                          SettleFn&& on_settle,
+                          TraversalCancel* cancel = nullptr) {
   scratch->NewEpoch();
   heap->clear();
   TraversalCounters& tc = LocalTraversalCounters();
+  const uint32_t poll_interval =
+      cancel != nullptr ? std::max<uint32_t>(1, cancel->check_interval) : 0;
+  uint32_t settles_until_poll = poll_interval;
   // `scratch` holds tentative distances during the run; a separate settled
   // mark is unnecessary because a popped entry matching the scratch value
   // is settled (standard lazy-deletion Dijkstra).
@@ -206,6 +249,13 @@ void DijkstraExpandKernel(const Graph& graph,
     auto [d, n] = internal::HeapPopEntry(heap);
     if (d > scratch->Get(n)) continue;  // stale entry
     ++tc.settled_nodes;
+    if (cancel != nullptr && --settles_until_poll == 0) {
+      settles_until_poll = poll_interval;
+      if (cancel->ShouldCancel()) {
+        cancel->triggered = true;
+        return;
+      }
+    }
     SettleAction action = internal::InvokeSettle(on_settle, n, d);
     if (action == SettleAction::kStop) return;
     if (action == SettleAction::kSkipNeighbors) {
@@ -239,7 +289,8 @@ void DijkstraExpandBounded(const Graph& graph,
                        std::forward<SettleFn>(on_settle));
 }
 
-/// As above with the workspace's scratch, reusing its heap storage.
+/// As above with the workspace's scratch, reusing its heap storage and
+/// honoring its cancellation token (`ws->cancel`, inert by default).
 /// (`ws->settled` is untouched — it belongs to higher-level callers.)
 template <typename Graph, typename SettleFn>
 void DijkstraExpandBounded(const Graph& graph,
@@ -247,7 +298,7 @@ void DijkstraExpandBounded(const Graph& graph,
                            double bound, TraversalWorkspace* ws,
                            SettleFn&& on_settle) {
   DijkstraExpandKernel(graph, sources, bound, &ws->scratch, &ws->heap,
-                       std::forward<SettleFn>(on_settle));
+                       std::forward<SettleFn>(on_settle), &ws->cancel);
 }
 
 /// Computes exact shortest-path distances from `sources` to every
@@ -259,7 +310,8 @@ void DijkstraDistances(const Graph& graph,
                        const std::vector<DijkstraSource>& sources,
                        TraversalWorkspace* ws) {
   DijkstraExpandKernel(graph, sources, kInfDist, &ws->scratch, &ws->heap,
-                       [](NodeId, double) { return SettleAction::kContinue; });
+                       [](NodeId, double) { return SettleAction::kContinue; },
+                       &ws->cancel);
 }
 
 /// As above but allocates and returns a fresh |V|-sized distance vector

@@ -34,7 +34,9 @@ namespace {
 
 template <typename Graph>
 double PointNetworkDistanceImpl(const NetworkView& view, const Graph& graph,
-                                PointId p, PointId q, NodeScratch* scratch) {
+                                PointId p, PointId q, NodeScratch* scratch,
+                                std::vector<DijkstraHeapEntry>* heap,
+                                TraversalCancel* cancel) {
   if (p == q) return 0.0;
   PointPos pp = view.PointPosition(p);
   PointPos qq = view.PointPosition(q);
@@ -46,21 +48,22 @@ double PointNetworkDistanceImpl(const NetworkView& view, const Graph& graph,
   std::vector<DijkstraSource> sources = {{pp.u, pp.offset},
                                          {pp.v, wp - pp.offset}};
   bool settled_u = false, settled_v = false;
-  DijkstraExpandBounded(graph, sources, kInfDist, scratch,
-                        [&](NodeId n, double d) {
-                          // All later settles have distance >= d, so once d
-                          // reaches `best` no candidate can improve it.
-                          if (d >= best) return false;
-                          if (n == qq.u) {
-                            best = std::min(best, d + qq.offset);
-                            settled_u = true;
-                          }
-                          if (n == qq.v) {
-                            best = std::min(best, d + wq - qq.offset);
-                            settled_v = true;
-                          }
-                          return !(settled_u && settled_v);
-                        });
+  DijkstraExpandKernel(graph, sources, kInfDist, scratch, heap,
+                       [&](NodeId n, double d) {
+                         // All later settles have distance >= d, so once d
+                         // reaches `best` no candidate can improve it.
+                         if (d >= best) return false;
+                         if (n == qq.u) {
+                           best = std::min(best, d + qq.offset);
+                           settled_u = true;
+                         }
+                         if (n == qq.v) {
+                           best = std::min(best, d + wq - qq.offset);
+                           settled_v = true;
+                         }
+                         return !(settled_u && settled_v);
+                       },
+                       cancel);
   return best;
 }
 
@@ -109,11 +112,15 @@ void RangeQueryImpl(const NetworkView& view, const Graph& graph,
   double wc = view.EdgeWeight(c.u, c.v);
 
   ws->settled.clear();
+  ws->cancel.triggered = false;
   DijkstraExpandBounded(graph, {{c.u, c.offset}, {c.v, wc - c.offset}}, eps,
                         ws, [&](NodeId n, double d) {
                           ws->settled.emplace_back(n, d);
                           return true;
                         });
+  // A cancelled expansion settled only part of the region: the collection
+  // phase would emit a silently incomplete (and wrong-distance) set.
+  if (ws->cancel.triggered) return;
   CollectRangePoints(view, graph, c, wc, eps, ws->scratch, ws->settled, out);
 }
 
@@ -135,6 +142,7 @@ void RangeQueryAccelImpl(const NetworkView& view, const Graph& graph,
   // to fp rounding must not prune.
   const double prune_cut = eps * (1.0 + 1e-9);
   ws->settled.clear();
+  ws->cancel.triggered = false;
   DijkstraExpandBounded(
       graph, {{c.u, c.offset}, {c.v, wc - c.offset}}, bound, ws,
       [&](NodeId n, double d) {
@@ -147,6 +155,7 @@ void RangeQueryAccelImpl(const NetworkView& view, const Graph& graph,
         }
         return SettleAction::kContinue;
       });
+  if (ws->cancel.triggered) return;
   CollectRangePoints(view, graph, c, wc, eps, ws->scratch, ws->settled, out);
   // Pruning changes the settle order, so canonicalize: emitted sets are
   // provably identical to the unaccelerated query, order is not.
@@ -159,8 +168,10 @@ void RangeQueryAccelImpl(const NetworkView& view, const Graph& graph,
 template <typename Graph>
 void KNearestNeighborsImpl(const NetworkView& view, const Graph& graph,
                            PointId center, uint32_t k, NodeScratch* scratch,
+                           TraversalCancel* cancel,
                            std::vector<RangeResult>* out) {
   out->clear();
+  if (cancel != nullptr) cancel->triggered = false;
   if (k == 0) return;
   PointPos c = view.PointPosition(center);
   double wc = view.EdgeWeight(c.u, c.v);
@@ -220,11 +231,23 @@ void KNearestNeighborsImpl(const NetworkView& view, const Graph& graph,
     scratch->Set(c.v, wc - c.offset);
     heap.push(Entry{wc - c.offset, c.v});
   }
+  // The INE loop is not the shared kernel, so it polls the cancellation
+  // token itself, at the same cadence (every check_interval settles).
+  const uint32_t poll_interval =
+      cancel != nullptr ? std::max<uint32_t>(1, cancel->check_interval) : 0;
+  uint32_t settles_until_poll = poll_interval;
   while (!heap.empty()) {
     auto [d, n] = heap.top();
     heap.pop();
     if (d > scratch->Get(n)) continue;  // stale
     if (d >= bound()) break;
+    if (cancel != nullptr && --settles_until_poll == 0) {
+      settles_until_poll = poll_interval;
+      if (cancel->ShouldCancel()) {
+        cancel->triggered = true;
+        return;  // `out` stays empty — partial candidates are garbage
+      }
+    }
     VisitNeighbors(graph, n, [&](NodeId m, double we) {
       // Offer via this (settled) side; the other side offers again when
       // it settles, and per-point minimization keeps the best.
@@ -252,12 +275,14 @@ void KNearestNeighborsImpl(const NetworkView& view, const Graph& graph,
 
 double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
                             NodeScratch* scratch) {
-  return PointNetworkDistanceImpl(view, view, p, q, scratch);
+  std::vector<DijkstraHeapEntry> heap;
+  return PointNetworkDistanceImpl(view, view, p, q, scratch, &heap, nullptr);
 }
 
 double PointNetworkDistance(const NetworkView& view, const FrozenGraph& frozen,
                             PointId p, PointId q, NodeScratch* scratch) {
-  return PointNetworkDistanceImpl(view, frozen, p, q, scratch);
+  std::vector<DijkstraHeapEntry> heap;
+  return PointNetworkDistanceImpl(view, frozen, p, q, scratch, &heap, nullptr);
 }
 
 void RangeQuery(const NetworkView& view, PointId center, double eps,
@@ -341,15 +366,71 @@ void RangeQuery(const NetworkView& view, const FrozenGraph& frozen,
   RangeQueryAccelImpl(view, frozen, center, eps, ws, accel, out);
 }
 
+double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
+                            TraversalWorkspace* ws,
+                            const DistanceAccelerator* accel,
+                            double threshold) {
+  ws->cancel.triggered = false;
+  if (accel == nullptr) {
+    return PointNetworkDistanceImpl(view, view, p, q, &ws->scratch, &ws->heap,
+                                    &ws->cancel);
+  }
+  if (p == q) return 0.0;
+  double cached;
+  if (accel->LookupDistance(p, q, &cached)) return cached;
+  double lb = accel->LowerBound(p, q);
+  if (lb == kInfDist) return kInfDist;  // proven disconnected — exact
+  if (lb > threshold) return lb;        // caller only branches on the cut
+  double exact = PointNetworkDistanceImpl(view, view, p, q, &ws->scratch,
+                                          &ws->heap, &ws->cancel);
+  // A cancelled expansion yields a garbage partial value — never let it
+  // poison the cache.
+  if (!ws->cancel.triggered) accel->StoreDistance(p, q, exact);
+  return exact;
+}
+
+double PointNetworkDistance(const NetworkView& view, const FrozenGraph& frozen,
+                            PointId p, PointId q, TraversalWorkspace* ws,
+                            const DistanceAccelerator* accel,
+                            double threshold) {
+  ws->cancel.triggered = false;
+  if (accel == nullptr) {
+    return PointNetworkDistanceImpl(view, frozen, p, q, &ws->scratch,
+                                    &ws->heap, &ws->cancel);
+  }
+  if (p == q) return 0.0;
+  double cached;
+  if (accel->LookupDistance(p, q, &cached)) return cached;
+  double lb = accel->LowerBound(p, q);
+  if (lb == kInfDist) return kInfDist;  // proven disconnected — exact
+  if (lb > threshold) return lb;        // caller only branches on the cut
+  double exact = PointNetworkDistanceImpl(view, frozen, p, q, &ws->scratch,
+                                          &ws->heap, &ws->cancel);
+  if (!ws->cancel.triggered) accel->StoreDistance(p, q, exact);
+  return exact;
+}
+
 void KNearestNeighbors(const NetworkView& view, PointId center, uint32_t k,
                        NodeScratch* scratch, std::vector<RangeResult>* out) {
-  KNearestNeighborsImpl(view, view, center, k, scratch, out);
+  KNearestNeighborsImpl(view, view, center, k, scratch, nullptr, out);
 }
 
 void KNearestNeighbors(const NetworkView& view, const FrozenGraph& frozen,
                        PointId center, uint32_t k, NodeScratch* scratch,
                        std::vector<RangeResult>* out) {
-  KNearestNeighborsImpl(view, frozen, center, k, scratch, out);
+  KNearestNeighborsImpl(view, frozen, center, k, scratch, nullptr, out);
+}
+
+void KNearestNeighbors(const NetworkView& view, PointId center, uint32_t k,
+                       TraversalWorkspace* ws, std::vector<RangeResult>* out) {
+  KNearestNeighborsImpl(view, view, center, k, &ws->scratch, &ws->cancel, out);
+}
+
+void KNearestNeighbors(const NetworkView& view, const FrozenGraph& frozen,
+                       PointId center, uint32_t k, TraversalWorkspace* ws,
+                       std::vector<RangeResult>* out) {
+  KNearestNeighborsImpl(view, frozen, center, k, &ws->scratch, &ws->cancel,
+                        out);
 }
 
 }  // namespace netclus

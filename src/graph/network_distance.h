@@ -66,6 +66,21 @@ double PointNetworkDistance(const NetworkView& view, const FrozenGraph& frozen,
                             const DistanceAccelerator* accel,
                             double threshold = kInfDist);
 
+/// Workspace-based variants: the expansion reuses `ws`'s heap storage
+/// and honors its cancellation token (`ws->cancel`, inert by default —
+/// results are bit-identical to the NodeScratch overloads above). When
+/// the token fires mid-expansion the returned value is garbage: callers
+/// must check `ws->cancel.triggered`, and a cancelled expansion is
+/// never offered back to the accelerator's cache.
+double PointNetworkDistance(const NetworkView& view, PointId p, PointId q,
+                            TraversalWorkspace* ws,
+                            const DistanceAccelerator* accel = nullptr,
+                            double threshold = kInfDist);
+double PointNetworkDistance(const NetworkView& view, const FrozenGraph& frozen,
+                            PointId p, PointId q, TraversalWorkspace* ws,
+                            const DistanceAccelerator* accel = nullptr,
+                            double threshold = kInfDist);
+
 /// A point found by RangeQuery, with its exact network distance from the
 /// query point.
 struct RangeResult {
@@ -134,6 +149,16 @@ void KNearestNeighbors(const NetworkView& view, PointId center, uint32_t k,
 /// arrays (point data still comes from `view`). Bit-identical results.
 void KNearestNeighbors(const NetworkView& view, const FrozenGraph& frozen,
                        PointId center, uint32_t k, NodeScratch* scratch,
+                       std::vector<RangeResult>* out);
+
+/// Workspace-based variants honoring `ws->cancel` (the INE expansion
+/// polls the token like the Dijkstra kernel does). On cancellation
+/// `out` is cleared and `ws->cancel.triggered` is set; otherwise
+/// results are bit-identical to the NodeScratch overloads above.
+void KNearestNeighbors(const NetworkView& view, PointId center, uint32_t k,
+                       TraversalWorkspace* ws, std::vector<RangeResult>* out);
+void KNearestNeighbors(const NetworkView& view, const FrozenGraph& frozen,
+                       PointId center, uint32_t k, TraversalWorkspace* ws,
                        std::vector<RangeResult>* out);
 
 }  // namespace netclus

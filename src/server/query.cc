@@ -16,6 +16,20 @@ const char* QueryKindName(QueryKind k) {
       return "nearest";
     case QueryKind::kClusterMembership:
       return "membership";
+    case QueryKind::kHealthz:
+      return "healthz";
+  }
+  return "unknown";
+}
+
+const char* ServerHealthName(ServerHealth h) {
+  switch (h) {
+    case ServerHealth::kServing:
+      return "serving";
+    case ServerHealth::kDegraded:
+      return "degraded";
+    case ServerHealth::kStopping:
+      return "stopping";
   }
   return "unknown";
 }
@@ -30,12 +44,22 @@ bool ResponsePayloadsEqual(const QueryResponse& a, const QueryResponse& b) {
       return a.results == b.results;
     case QueryKind::kClusterMembership:
       return a.cluster_id == b.cluster_id;
+    case QueryKind::kHealthz:
+      return a.health == b.health;
   }
   return false;
 }
 
 Status ValidateQueryRequest(const NetworkView& view, const QueryRequest& req,
                             const ClusterOutput* clusters) {
+  if (req.kind == QueryKind::kHealthz) {
+    return Status::InvalidArgument(
+        "healthz is answered by the query server's admission path, not the "
+        "query executor");
+  }
+  if (!(req.deadline_ms >= 0.0) || !std::isfinite(req.deadline_ms)) {
+    return Status::InvalidArgument("deadline_ms must be finite and >= 0");
+  }
   const PointId n = view.num_points();
   if (req.a >= n) {
     return Status::InvalidArgument("query point a=" + std::to_string(req.a) +
@@ -74,6 +98,8 @@ Status ValidateQueryRequest(const NetworkView& view, const QueryRequest& req,
             " points)");
       }
       break;
+    case QueryKind::kHealthz:
+      break;  // unreachable — rejected above
   }
   return Status::OK();
 }
@@ -86,19 +112,20 @@ Status ExecuteQueryInto(const NetworkView& view, const FrozenGraph* frozen,
   out->kind = req.kind;
   out->distance = 0.0;
   out->cluster_id = 0;
+  out->health = ServerHealth::kServing;
   out->epoch = 0;
   out->results.clear();
+  ws->cancel.triggered = false;
 
   switch (req.kind) {
     case QueryKind::kPointDistance:
       // The accelerated overloads fall back to the exact path on a null
       // accel; with the default threshold (kInfDist) they always return
       // the exact distance, so accel on/off cannot change the payload.
-      out->distance =
-          frozen ? PointNetworkDistance(view, *frozen, req.a, req.b,
-                                        &ws->scratch, accel)
-                 : PointNetworkDistance(view, req.a, req.b, &ws->scratch,
-                                        accel);
+      out->distance = frozen ? PointNetworkDistance(view, *frozen, req.a,
+                                                    req.b, ws, accel)
+                             : PointNetworkDistance(view, req.a, req.b, ws,
+                                                    accel);
       break;
     case QueryKind::kRange: {
       if (frozen) {
@@ -117,15 +144,25 @@ Status ExecuteQueryInto(const NetworkView& view, const FrozenGraph* frozen,
     case QueryKind::kNearestObject:
       // Already ordered by (distance, id) — that order is the answer.
       if (frozen) {
-        KNearestNeighbors(view, *frozen, req.a, req.k, &ws->scratch,
-                          &out->results);
+        KNearestNeighbors(view, *frozen, req.a, req.k, ws, &out->results);
       } else {
-        KNearestNeighbors(view, req.a, req.k, &ws->scratch, &out->results);
+        KNearestNeighbors(view, req.a, req.k, ws, &out->results);
       }
       break;
     case QueryKind::kClusterMembership:
       out->cluster_id = clusters->clustering.assignment[req.a];
       break;
+    case QueryKind::kHealthz:
+      break;  // unreachable — rejected by validation
+  }
+  if (ws->cancel.triggered) {
+    // The traversal abandoned work mid-expansion; whatever landed in
+    // `out` is a partial non-answer. Scrub it so no caller can serve it.
+    out->distance = 0.0;
+    out->results.clear();
+    return Status::DeadlineExceeded("query cancelled mid-traversal: " +
+                                    std::string(QueryKindName(req.kind)) +
+                                    " query on point " + std::to_string(req.a));
   }
   return Status::OK();
 }

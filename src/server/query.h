@@ -40,11 +40,29 @@ enum class QueryKind : uint8_t {
   kRange,              ///< all points within eps of `a` (incl. `a` itself)
   kNearestObject,      ///< the k points nearest to `a` (excluding `a`)
   kClusterMembership,  ///< cluster id of `a` in the epoch's ClusterOutput
+  kHealthz,            ///< server health probe (served path only)
 };
 
 /// Stable lower-case name of `k` ("distance", "range", "nearest",
-/// "membership") — the vocabulary of netclus_cli's serve workload mix.
+/// "membership", "healthz") — the vocabulary of netclus_cli's serve
+/// workload mix.
 const char* QueryKindName(QueryKind k);
+
+/// \brief The query server's serving condition (DESIGN.md §13).
+///
+/// Healthy serving is kServing. kDegraded means the server still
+/// answers queries from the last good epoch but something durable is
+/// wrong — repeated publish failures, a broken WAL, or a sustained
+/// deadline-miss rate — so clients should shed load or alert.
+/// kStopping is the drain window after Stop() begins.
+enum class ServerHealth : uint8_t {
+  kServing,
+  kDegraded,
+  kStopping,
+};
+
+/// Stable lower-case name ("serving", "degraded", "stopping").
+const char* ServerHealthName(ServerHealth h);
 
 /// \brief One read, declaratively: a kind tag plus that kind's
 /// parameters. Only the fields of the selected kind are read.
@@ -59,6 +77,20 @@ struct QueryRequest {
   double eps = 0.0;
   /// kNearestObject only: how many neighbors (>= 1).
   uint32_t k = 1;
+  /// Soft deadline relative to submission, in milliseconds; 0 (the
+  /// default) means no deadline. A served request whose deadline passes
+  /// before execution starts is shed with kDeadlineExceeded; one whose
+  /// deadline passes mid-traversal is cooperatively cancelled and
+  /// resolves the same way. The inline path ignores it (there is no
+  /// watchdog to arm).
+  double deadline_ms = 0.0;
+
+  /// Returns a copy with `deadline_ms` set — submission-site sugar.
+  QueryRequest WithDeadline(double ms) const {
+    QueryRequest r = *this;
+    r.deadline_ms = ms;
+    return r;
+  }
 
   static QueryRequest PointDistance(PointId a, PointId b) {
     QueryRequest r;
@@ -87,6 +119,12 @@ struct QueryRequest {
     r.a = p;
     return r;
   }
+  static QueryRequest Healthz() {
+    QueryRequest r;
+    r.kind = QueryKind::kHealthz;
+    r.a = 0;
+    return r;
+  }
 };
 
 /// \brief The unified result. Only the fields of the request's kind are
@@ -101,6 +139,10 @@ struct QueryResponse {
   std::vector<RangeResult> results;
   /// kClusterMembership: cluster id in [0, num_clusters) or kNoise.
   int cluster_id = 0;
+  /// kHealthz: the server's condition at answer time. Also stamped on
+  /// every served response (a free health signal riding along); the
+  /// inline path leaves the default.
+  ServerHealth health = ServerHealth::kServing;
   /// FrozenGraph epoch that served this response; 0 for inline runs.
   uint64_t epoch = 0;
 };
@@ -110,8 +152,10 @@ struct QueryResponse {
 bool ResponsePayloadsEqual(const QueryResponse& a, const QueryResponse& b);
 
 /// Rejects malformed requests up front: point ids must be < num_points,
-/// eps finite and >= 0, k >= 1, and kClusterMembership requires
-/// `clusters` (the epoch's cached ClusterOutput) to exist.
+/// eps finite and >= 0, k >= 1, deadline_ms finite and >= 0, and
+/// kClusterMembership requires `clusters` (the epoch's cached
+/// ClusterOutput) to exist. kHealthz is rejected here — it is answered
+/// by the query server's admission path, never by the executor.
 Status ValidateQueryRequest(const NetworkView& view, const QueryRequest& req,
                             const ClusterOutput* clusters);
 
@@ -126,6 +170,13 @@ Status ValidateQueryRequest(const NetworkView& view, const QueryRequest& req,
 /// payload, only the work done. `clusters` is consulted only by
 /// kClusterMembership. `out` is overwritten, reusing its vector
 /// capacity — the zero-allocation steady state for serving loops.
+///
+/// Cancellation: the run honors `ws->cancel` (resetting its `triggered`
+/// latch first). When the armed flag fires mid-traversal the function
+/// returns kDeadlineExceeded and `out` holds no partial payload a
+/// caller could mistake for an answer. With an unarmed token (the
+/// default) behavior and payloads are bit-identical to a run with no
+/// token at all.
 Status ExecuteQueryInto(const NetworkView& view, const FrozenGraph* frozen,
                         const QueryRequest& req, TraversalWorkspace* ws,
                         const DistanceAccelerator* accel,

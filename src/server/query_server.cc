@@ -1,6 +1,8 @@
 #include "server/query_server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -11,6 +13,20 @@ namespace netclus {
 namespace {
 
 constexpr size_t kWaitRingCapacity = 1 << 16;
+
+// WAL page size: the storage stack's standard 4 KiB frame (128 records).
+constexpr uint32_t kWalPageSize = 4096;
+
+// Deadline-miss-rate degradation needs at least this many samples in
+// the window before it can flip health — a couple of early misses on a
+// cold server must not read as degradation.
+constexpr size_t kMinHealthSamples = 16;
+
+// Cold-start backpressure model: with no measured batch rate yet,
+// assume roughly this much work per queued request, spread across the
+// workers. Deliberately rough; replaced by the measured mean after the
+// first batch drains.
+constexpr double kColdStartPerRequestMs = 0.05;
 
 // The server-side accelerator: vacuous bounds plus the pinned epoch's
 // private exact point-pair cache. A hit returns a value some earlier
@@ -59,12 +75,20 @@ Result<std::unique_ptr<QueryServer>> QueryServer::Start(
   }
   auto server = std::unique_ptr<QueryServer>(new QueryServer(
       std::move(net), std::move(raws), options));
+  // Crash recovery happens before the first publish: the recovered
+  // mutations are part of the boot world, so epoch 1 already serves
+  // them. A corrupt log fails Start — no epoch is ever built from a
+  // partially trusted record sequence.
+  if (options.wal_file != nullptr || !options.wal_path.empty()) {
+    NETCLUS_RETURN_IF_ERROR(server->RecoverFromWal());
+  }
   // Epoch 1 publishes before any thread starts; a failing initial
   // clustering (or freeze) fails Start instead of leaving a server with
   // nothing to serve.
   NETCLUS_RETURN_IF_ERROR(server->PublishWorld());
   server->dispatcher_ = std::thread([s = server.get()] { s->DispatcherLoop(); });
   server->updater_ = std::thread([s = server.get()] { s->UpdaterLoop(); });
+  server->watchdog_ = std::thread([s = server.get()] { s->WatchdogLoop(); });
   return server;
 }
 
@@ -76,11 +100,35 @@ QueryServer::QueryServer(Network net, std::vector<NetworkUpdate> raw_points,
       epochs_(ResolveNumThreads(options.num_workers)),
       pool_(std::make_unique<ThreadPool>(
           ResolveNumThreads(options.num_workers))),
-      workspaces_(net_.num_nodes()) {
+      workspaces_(net_.num_nodes()),
+      chaos_publish_rng_(Rng::DeriveSeed(options.chaos.seed, 1)),
+      chaos_stall_rng_(Rng::DeriveSeed(options.chaos.seed, 2)) {
   wait_ring_.reserve(kWaitRingCapacity);
+  outcome_ring_.assign(options_.health_window, 0);
 }
 
 QueryServer::~QueryServer() { Stop(); }
+
+Status QueryServer::RecoverFromWal() {
+  PagedFile* file = options_.wal_file;
+  if (file == nullptr) {
+    NETCLUS_ASSIGN_OR_RETURN(
+        owned_wal_file_,
+        PagedFile::Open(options_.wal_path, kWalPageSize, /*truncate=*/false));
+    file = owned_wal_file_.get();
+  }
+  NETCLUS_ASSIGN_OR_RETURN(wal_, MutationWal::Open(file));
+  for (const NetworkUpdate& rec : wal_->recovery().records) {
+    Status applied = ApplyToWorld(rec);
+    // Records are logged before they are applied, so a mutation the
+    // live server rejected (kInvalidArgument) is in the log too — and
+    // replaying it fails identically, reproducing the same world. Any
+    // other failure is a real recovery error.
+    if (!applied.ok() && !applied.IsInvalidArgument()) return applied;
+  }
+  wal_recovered_ = wal_->recovery().records.size();
+  return Status::OK();
+}
 
 Status QueryServer::PublishWorld() {
   PointSetBuilder builder;
@@ -139,6 +187,27 @@ std::future<Result<QueryResponse>> QueryServer::Submit(
   pq.enqueue_seconds = clock_.ElapsedSeconds();
   std::future<Result<QueryResponse>> fut = pq.promise.get_future();
 
+  // Health probes bypass admission control entirely: they must stay
+  // answerable exactly when the queue is full or the server is
+  // degraded, and they never cost a worker.
+  if (req.kind == QueryKind::kHealthz) {
+    QueryResponse resp;
+    resp.kind = QueryKind::kHealthz;
+    resp.health = CurrentHealth();
+    resp.epoch = epochs_.current_epoch();
+    pq.promise.set_value(std::move(resp));
+    return fut;
+  }
+
+  std::shared_ptr<std::atomic<bool>> arm_flag;
+  double arm_expiry = 0.0;
+  if (req.deadline_ms > 0.0 && std::isfinite(req.deadline_ms)) {
+    pq.deadline_seconds = pq.enqueue_seconds + req.deadline_ms * 1e-3;
+    pq.cancel_flag = std::make_shared<std::atomic<bool>>(false);
+    arm_flag = pq.cancel_flag;
+    arm_expiry = pq.deadline_seconds;
+  }
+
   std::unique_lock<std::mutex> lock(queue_mu_);
   if (stopping_) {
     lock.unlock();
@@ -148,18 +217,33 @@ std::future<Result<QueryResponse>> QueryServer::Submit(
     return fut;
   }
   if (queue_.size() >= options_.max_queue_depth) {
-    // Backpressure: reject now with a retry-after hint sized to how
-    // long one batch has recently taken to drain.
+    // Backpressure: reject now with a retry-after hint. Warm, the hint
+    // is the measured mean batch duration scaled by how many batches
+    // the current backlog represents; cold (nothing drained yet, so no
+    // measured rate) it is a depth- and worker-aware model instead of a
+    // blind constant. Clients read the structured field; the text echo
+    // is for humans and logs.
+    const double depth = static_cast<double>(queue_.size());
     double retry_ms;
     {
       std::lock_guard<std::mutex> slock(stats_mu_);
       ++rejected_;
-      retry_ms = batch_ms_.count() > 0 ? batch_ms_.mean() : 1.0;
+      if (batch_ms_.count() > 0) {
+        const double batches_queued = std::max(
+            1.0, std::ceil(depth /
+                           static_cast<double>(options_.max_batch_size)));
+        retry_ms = batch_ms_.mean() * batches_queued;
+      } else {
+        retry_ms = std::max(
+            0.1, kColdStartPerRequestMs * depth /
+                     static_cast<double>(pool_->size()));
+      }
     }
     lock.unlock();
-    pq.promise.set_value(Status::Unavailable(
+    pq.promise.set_value(Status::UnavailableWithRetry(
         "query queue full (" + std::to_string(options_.max_queue_depth) +
-        " deep); retry after ~" + std::to_string(retry_ms) + " ms"));
+            " deep); retry after ~" + std::to_string(retry_ms) + " ms",
+        retry_ms));
     return fut;
   }
   queue_.push_back(std::move(pq));
@@ -168,6 +252,7 @@ std::future<Result<QueryResponse>> QueryServer::Submit(
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++accepted_;
   }
+  if (arm_flag != nullptr) ArmDeadline(arm_expiry, std::move(arm_flag));
   queue_cv_.notify_one();
   return fut;
 }
@@ -205,6 +290,7 @@ Status QueryServer::Flush() {
 }
 
 void QueryServer::Stop() {
+  stopping_flag_.store(true, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     stopping_ = true;
@@ -215,13 +301,79 @@ void QueryServer::Stop() {
     update_stopping_ = true;
   }
   update_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(deadline_mu_);
+    deadline_stopping_ = true;
+  }
+  deadline_cv_.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
   if (updater_.joinable()) updater_.join();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+ServerHealth QueryServer::CurrentHealth() const {
+  if (stopping_flag_.load(std::memory_order_relaxed)) {
+    return ServerHealth::kStopping;
+  }
+  if (wal_broken_.load(std::memory_order_relaxed)) {
+    return ServerHealth::kDegraded;
+  }
+  if (options_.degraded_publish_failures > 0 &&
+      consecutive_publish_failures_.load(std::memory_order_relaxed) >=
+          options_.degraded_publish_failures) {
+    return ServerHealth::kDegraded;
+  }
+  if (options_.health_window > 0 && options_.degraded_miss_rate > 0.0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    const size_t samples =
+        outcome_full_ ? outcome_ring_.size() : outcome_next_;
+    if (samples >= kMinHealthSamples &&
+        DeadlineMissRateLocked() >= options_.degraded_miss_rate) {
+      return ServerHealth::kDegraded;
+    }
+  }
+  return ServerHealth::kServing;
+}
+
+HealthReport QueryServer::Healthz() const {
+  HealthReport report;
+  report.health = CurrentHealth();
+  report.epoch = epochs_.current_epoch();
+  report.consecutive_publish_failures =
+      consecutive_publish_failures_.load(std::memory_order_relaxed);
+  report.wal_broken = wal_broken_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    report.deadline_miss_rate = DeadlineMissRateLocked();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    report.queue_depth = queue_.size();
+  }
+  return report;
+}
+
+void QueryServer::RecordOutcomeLocked(bool deadline_missed) {
+  if (outcome_ring_.empty()) return;
+  if (outcome_full_ && outcome_ring_[outcome_next_] != 0) --outcome_misses_;
+  outcome_ring_[outcome_next_] = deadline_missed ? 1 : 0;
+  if (deadline_missed) ++outcome_misses_;
+  if (++outcome_next_ == outcome_ring_.size()) {
+    outcome_next_ = 0;
+    outcome_full_ = true;
+  }
+}
+
+double QueryServer::DeadlineMissRateLocked() const {
+  const size_t samples = outcome_full_ ? outcome_ring_.size() : outcome_next_;
+  if (samples == 0) return 0.0;
+  return static_cast<double>(outcome_misses_) / static_cast<double>(samples);
 }
 
 void QueryServer::DispatcherLoop() {
   for (;;) {
     std::vector<PendingQuery> batch;
+    std::vector<PendingQuery> shed;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
@@ -229,14 +381,77 @@ void QueryServer::DispatcherLoop() {
         if (stopping_) return;  // drained; accepted work always finishes
         continue;
       }
-      size_t take = std::min(queue_.size(), options_.max_batch_size);
-      batch.reserve(take);
-      for (size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
+      // Shed requests whose deadline already passed while they waited:
+      // they resolve with kDeadlineExceeded right here, costing no
+      // worker, and never count against the batch.
+      const double now = clock_.ElapsedSeconds();
+      while (batch.size() < options_.max_batch_size && !queue_.empty()) {
+        PendingQuery pq = std::move(queue_.front());
         queue_.pop_front();
+        if (pq.deadline_seconds > 0.0 && now >= pq.deadline_seconds) {
+          shed.push_back(std::move(pq));
+        } else {
+          batch.push_back(std::move(pq));
+        }
       }
     }
-    ExecuteBatch(&batch);
+    if (!shed.empty()) {
+      {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        // Shed requests complete (with an error) — every accepted
+        // request still resolves exactly once.
+        completed_ += shed.size();
+        deadline_expired_ += shed.size();
+        for (size_t i = 0; i < shed.size(); ++i) RecordOutcomeLocked(true);
+      }
+      for (PendingQuery& pq : shed) {
+        const double late_ms =
+            (clock_.ElapsedSeconds() - pq.deadline_seconds) * 1e3;
+        pq.promise.set_value(Status::DeadlineExceeded(
+            "deadline passed " + std::to_string(late_ms) +
+            " ms ago while queued; request shed before execution"));
+      }
+    }
+    if (!batch.empty()) ExecuteBatch(&batch);
+  }
+}
+
+void QueryServer::ArmDeadline(double expiry_seconds,
+                              std::shared_ptr<std::atomic<bool>> flag) {
+  auto later = [](const DeadlineEntry& a, const DeadlineEntry& b) {
+    return a.expiry_seconds > b.expiry_seconds;
+  };
+  {
+    std::lock_guard<std::mutex> lock(deadline_mu_);
+    deadline_heap_.push_back(DeadlineEntry{expiry_seconds, std::move(flag)});
+    std::push_heap(deadline_heap_.begin(), deadline_heap_.end(), later);
+  }
+  deadline_cv_.notify_one();
+}
+
+void QueryServer::WatchdogLoop() {
+  auto later = [](const DeadlineEntry& a, const DeadlineEntry& b) {
+    return a.expiry_seconds > b.expiry_seconds;
+  };
+  std::unique_lock<std::mutex> lock(deadline_mu_);
+  for (;;) {
+    if (deadline_stopping_) return;
+    if (deadline_heap_.empty()) {
+      deadline_cv_.wait(lock);
+      continue;
+    }
+    const double now = clock_.ElapsedSeconds();
+    if (deadline_heap_.front().expiry_seconds <= now) {
+      // Fire and forget: the flag outlives the request via shared
+      // ownership, so firing after completion is harmless.
+      deadline_heap_.front().flag->store(true, std::memory_order_relaxed);
+      std::pop_heap(deadline_heap_.begin(), deadline_heap_.end(), later);
+      deadline_heap_.pop_back();
+      continue;
+    }
+    deadline_cv_.wait_for(
+        lock, std::chrono::duration<double>(
+                  deadline_heap_.front().expiry_seconds - now));
   }
 }
 
@@ -253,16 +468,40 @@ void QueryServer::ExecuteBatch(std::vector<PendingQuery>* batch) {
   const EpochSnapshot& snap = *pin.snapshot();
   CacheOnlyAccelerator accel(snap.cache());
 
+  // Chaos: the dispatcher (the only caller) decides per batch whether
+  // one worker stalls, from its own seeded stream — deterministic in
+  // the batch sequence.
+  double stall_ms = 0.0;
+  if (options_.chaos.worker_stall_prob > 0.0 &&
+      chaos_stall_rng_.NextBernoulli(options_.chaos.worker_stall_prob)) {
+    stall_ms = options_.chaos.worker_stall_ms;
+  }
+  const ServerHealth health = CurrentHealth();
+
   const size_t n = batch->size();
   std::vector<QueryResponse> responses(n);
   std::vector<Status> statuses(n, Status::OK());
   ParallelFor(pool_.get(), n, [&](size_t i, uint32_t worker) {
     (void)worker;
+    if (i == 0 && stall_ms > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          stall_ms));
+    }
     WorkspacePool::Lease lease = workspaces_.Acquire();
-    statuses[i] =
-        ExecuteQueryInto(snap.view(), &snap.frozen(), (*batch)[i].req,
-                         lease.get(), &accel, snap.clusters(), &responses[i]);
+    TraversalWorkspace* ws = lease.get();
+    PendingQuery& pq = (*batch)[i];
+    if (pq.cancel_flag != nullptr) {
+      ws->cancel.flag = pq.cancel_flag.get();
+      ws->cancel.check_interval = options_.cancel_check_interval;
+    }
+    statuses[i] = ExecuteQueryInto(snap.view(), &snap.frozen(), pq.req, ws,
+                                   &accel, snap.clusters(), &responses[i]);
+    // Disarm before the workspace returns to the pool: leases outlive
+    // requests, and a stale flag pointer must never cancel a stranger.
+    ws->cancel.flag = nullptr;
+    ws->cancel.triggered = false;
     responses[i].epoch = snap.epoch();
+    responses[i].health = health;
   });
 
   bool do_replay = options_.validate_replay;
@@ -304,6 +543,11 @@ void QueryServer::ExecuteBatch(std::vector<PendingQuery>* batch) {
     completed_ += n;
     batch_size_.Add(static_cast<double>(n));
     batch_ms_.Add((end_seconds - start_seconds) * 1e3);
+    for (size_t i = 0; i < n; ++i) {
+      const bool missed = statuses[i].IsDeadlineExceeded();
+      if (missed) ++cancelled_traversals_;
+      RecordOutcomeLocked(missed);
+    }
     for (const PendingQuery& pq : *batch) {
       double wait_ms = (start_seconds - pq.enqueue_seconds) * 1e3;
       queue_wait_ms_.Add(wait_ms);
@@ -348,16 +592,54 @@ void QueryServer::UpdaterLoop() {
       }
     }
     // Apply every queued mutation, then publish once: bursts of updates
-    // coalesce into a single epoch swap.
+    // coalesce into a single epoch swap. With a WAL configured each
+    // mutation is logged durably *before* it touches the live world —
+    // the recovery invariant is "everything applied is in the log".
     uint64_t max_seq = 0;
     bool mutated = false;
+    uint64_t logged = 0;
     for (PendingUpdate& pu : batch) {
-      Status applied = ApplyToWorld(pu.update);
       max_seq = pu.seq;
+      if (wal_ != nullptr) {
+        Status durable = wal_->Append(pu.update);
+        if (wal_->broken()) wal_broken_.store(true, std::memory_order_relaxed);
+        if (!durable.ok()) {
+          // Not durable → not applied. The caller sees the storage
+          // error; the server keeps serving (degraded when the log is
+          // broken) but refuses to advance the world past the log.
+          pu.promise.set_value(std::move(durable));
+          continue;
+        }
+        ++logged;
+      }
+      Status applied = ApplyToWorld(pu.update);
       mutated = mutated || applied.ok();
       pu.promise.set_value(std::move(applied));
     }
-    Status publish = mutated ? PublishWorld() : Status::OK();
+    if (logged > 0) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      wal_records_ += logged;
+    }
+    Status publish = Status::OK();
+    if (mutated) {
+      if (options_.chaos.publish_failure_prob > 0.0 &&
+          chaos_publish_rng_.NextBernoulli(
+              options_.chaos.publish_failure_prob)) {
+        publish = Status::Internal("chaos: injected publish failure");
+      } else {
+        publish = PublishWorld();
+      }
+      if (publish.ok()) {
+        consecutive_publish_failures_.store(0, std::memory_order_relaxed);
+      } else {
+        // The epoch manager was not touched: queries keep serving the
+        // last good epoch, and the applied mutations ride along with
+        // the next successful publish.
+        consecutive_publish_failures_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++publish_failures_;
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(update_mu_);
       published_seq_ = max_seq;
@@ -380,6 +662,11 @@ ServerStats QueryServer::stats() const {
     s.batches = batches_;
     s.replay_batches = replay_batches_;
     s.replay_mismatches = replay_mismatches_;
+    s.deadline_expired = deadline_expired_;
+    s.cancelled_traversals = cancelled_traversals_;
+    s.wal_records = wal_records_;
+    s.wal_recoveries = wal_recovered_;
+    s.publish_failures = publish_failures_;
     s.mean_queue_wait_ms = queue_wait_ms_.mean();
     s.max_queue_wait_ms = queue_wait_ms_.max();
     s.mean_batch_size = batch_size_.mean();
@@ -389,6 +676,10 @@ ServerStats QueryServer::stats() const {
   s.epochs_published = epochs_.epochs_published();
   s.epochs_drained = epochs_.epochs_drained();
   s.retired_epochs = epochs_.retired_count();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    s.queue_depth = queue_.size();
+  }
   return s;
 }
 
@@ -416,6 +707,20 @@ void QueryServer::PublishStats(StatsCollector* collector) const {
   collector->Add(
       "server.replay_mismatches",
       delta(now.replay_mismatches, &published_stats_.replay_mismatches));
+  collector->Add("server.deadline_expired",
+                 delta(now.deadline_expired, &published_stats_.deadline_expired));
+  collector->Add(
+      "server.cancelled_traversals",
+      delta(now.cancelled_traversals, &published_stats_.cancelled_traversals));
+  collector->Add("server.wal_records",
+                 delta(now.wal_records, &published_stats_.wal_records));
+  collector->Add("server.wal_recoveries",
+                 delta(now.wal_recoveries, &published_stats_.wal_recoveries));
+  collector->Add(
+      "server.publish_failures",
+      delta(now.publish_failures, &published_stats_.publish_failures));
+  // Gauge, not a counter: overwritten with the point-in-time depth.
+  collector->Set("server.queue_depth", now.queue_depth);
 }
 
 std::vector<double> QueryServer::QueueWaitSamplesMs() const {

@@ -24,9 +24,19 @@
 //                   neither read nor write another epoch's distances.
 //
 // Admission control: when the queue holds max_queue_depth requests, a
-// Submit is rejected immediately with kUnavailable; the message carries
-// a retry-after hint derived from the recent mean batch duration. The
-// contract is documented in DESIGN.md §12.
+// Submit is rejected immediately with kUnavailable carrying a
+// structured retry-after hint (measured batch rate when warm, a
+// depth/worker model when cold). The contract is documented in
+// DESIGN.md §12.
+//
+// Resilience (DESIGN.md §13): requests may carry deadlines — expired
+// ones are shed at dequeue and in-flight traversals are cooperatively
+// cancelled via TraversalCancel; mutations are logged to a durable WAL
+// (server/wal.h) before they apply, and Start replays the log after a
+// crash; a ServerHealth state machine (kHealthz probes bypass
+// admission) reports degradation from publish failures, a broken WAL,
+// or a sustained deadline-miss rate, while serving continues from the
+// last good epoch.
 //
 // Responses are epoch-relative: point ids name points of the epoch
 // stamped on the response (adding points renumbers ids in later
@@ -36,6 +46,7 @@
 #ifndef NETCLUS_SERVER_QUERY_SERVER_H_
 #define NETCLUS_SERVER_QUERY_SERVER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -43,43 +54,43 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/random.h"
 #include "common/status.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "graph/dijkstra.h"
 #include "graph/network.h"
 #include "graph/workspace_pool.h"
 #include "netclus.h"
 #include "server/epoch_manager.h"
 #include "server/query.h"
+#include "server/update.h"
+#include "server/wal.h"
+#include "storage/paged_file.h"
 
 namespace netclus {
 
-/// \brief One mutation of the served world, applied by the updater
-/// thread and visible to queries from the next published epoch on.
-struct NetworkUpdate {
-  enum class Kind {
-    kAddEdge,   ///< undirected edge {u, v} with weight `value`
-    kAddPoint,  ///< point on edge {u, v} at offset `value` from min(u,v)
-  };
-  Kind kind = Kind::kAddEdge;
-  NodeId u = kInvalidNodeId;
-  NodeId v = kInvalidNodeId;
-  /// Edge weight (kAddEdge) or offset from the smaller endpoint
-  /// (kAddPoint).
-  double value = 0.0;
-  /// kAddPoint: ground-truth label riding along (-1 = none).
-  int label = -1;
+/// \brief Deterministic failure injection for the serving loop itself
+/// (the chaos harness of DESIGN.md §13). All probabilities are per
+/// decision and drawn from seeded per-thread streams, so a chaotic run
+/// replays bit-identically from the same seed and request sequence.
+struct ChaosOptions {
+  uint64_t seed = 0;
+  /// Probability that an updater publish round fails (kInternal) without
+  /// touching the epoch manager — exercising serve-last-good-epoch.
+  double publish_failure_prob = 0.0;
+  /// Probability that a batch stalls one worker for `worker_stall_ms`
+  /// before executing — exercising deadline expiry under load.
+  double worker_stall_prob = 0.0;
+  double worker_stall_ms = 0.0;
 
-  static NetworkUpdate AddEdge(NodeId u, NodeId v, double weight) {
-    return NetworkUpdate{Kind::kAddEdge, u, v, weight, -1};
-  }
-  static NetworkUpdate AddPoint(NodeId u, NodeId v, double offset,
-                                int label = -1) {
-    return NetworkUpdate{Kind::kAddPoint, u, v, offset, label};
+  bool enabled() const {
+    return publish_failure_prob > 0.0 || worker_stall_prob > 0.0;
   }
 };
 
@@ -104,6 +115,28 @@ struct QueryServerOptions {
   /// When set, every epoch also runs RunClustering and caches the
   /// ClusterOutput, enabling kClusterMembership queries.
   std::optional<ClusterSpec> cluster_spec;
+
+  /// Durable mutation log (server/wal.h). When `wal_path` is non-empty
+  /// the server opens (or creates) the log there, replays any existing
+  /// records into the boot world before publishing epoch 1, and appends
+  /// every accepted mutation before applying it. `wal_file` is the test
+  /// hook: a borrowed PagedFile (e.g. a FaultInjectionFile) used instead
+  /// of opening `wal_path`; it must outlive the server.
+  std::string wal_path;
+  PagedFile* wal_file = nullptr;
+
+  /// Settles between cancellation polls for served traversals.
+  uint32_t cancel_check_interval = kDefaultCancelCheckInterval;
+  /// Health state machine: the deadline-outcome window size (0 disables
+  /// miss-rate-driven degradation) and the miss fraction over a full
+  /// window that flips the server to kDegraded.
+  size_t health_window = 256;
+  double degraded_miss_rate = 0.5;
+  /// Consecutive publish failures that flip the server to kDegraded
+  /// (0 disables); one success resets the count.
+  uint32_t degraded_publish_failures = 3;
+
+  ChaosOptions chaos;
 };
 
 /// \brief Aggregate serving counters (monotonic since Start).
@@ -117,6 +150,12 @@ struct ServerStats {
   uint64_t retired_epochs = 0;   ///< retired, awaiting last reader
   uint64_t replay_batches = 0;   ///< batches replay-validated
   uint64_t replay_mismatches = 0;
+  uint64_t deadline_expired = 0;  ///< requests shed at dequeue, past deadline
+  uint64_t cancelled_traversals = 0;  ///< cancelled mid-execution
+  uint64_t wal_records = 0;     ///< mutation records appended since Start
+  uint64_t wal_recoveries = 0;  ///< records replayed from the WAL at Start
+  uint64_t publish_failures = 0;  ///< failed publish rounds since Start
+  size_t queue_depth = 0;  ///< requests waiting right now (gauge)
   double mean_queue_wait_ms = 0.0;
   double max_queue_wait_ms = 0.0;
   double mean_batch_size = 0.0;
@@ -124,15 +163,30 @@ struct ServerStats {
   double mean_batch_ms = 0.0;
 };
 
+/// \brief What a kHealthz probe (or Healthz()) reports: the health
+/// verdict plus the raw signals it was derived from.
+struct HealthReport {
+  ServerHealth health = ServerHealth::kServing;
+  uint64_t epoch = 0;
+  uint32_t consecutive_publish_failures = 0;
+  /// Fraction of the recent outcome window that missed its deadline
+  /// (0 when no deadlines are in use).
+  double deadline_miss_rate = 0.0;
+  bool wal_broken = false;
+  size_t queue_depth = 0;
+};
+
 /// \brief The serving loop. Create with Start(), query with
 /// Execute()/Submit(), mutate with ApplyUpdate(), stop with Stop() (or
 /// destruction). All public methods are thread-safe.
 class QueryServer {
  public:
-  /// Takes ownership of the world, publishes epoch 1 (running the
-  /// initial clustering when `options.cluster_spec` is set — a failure
-  /// there fails Start), and starts the dispatcher, updater, and worker
-  /// threads.
+  /// Takes ownership of the world, replays the mutation WAL into it
+  /// when one is configured (a torn tail is truncated; a corrupt log
+  /// middle fails Start with kCorruption — the server never boots a
+  /// guessed world), publishes epoch 1 (running the initial clustering
+  /// when `options.cluster_spec` is set — a failure there fails Start),
+  /// and starts the dispatcher, updater, watchdog, and worker threads.
   static Result<std::unique_ptr<QueryServer>> Start(
       Network net, PointSet points, const QueryServerOptions& options);
 
@@ -142,8 +196,14 @@ class QueryServer {
   QueryServer& operator=(const QueryServer&) = delete;
 
   /// Enqueues one request. The future resolves to the response (epoch
-  /// stamped) or to the request's error; under backpressure it resolves
-  /// immediately to kUnavailable with a retry-after hint in the message.
+  /// and health stamped) or to the request's error; under backpressure
+  /// it resolves immediately to kUnavailable carrying a structured
+  /// retry-after hint (Status::retry_after_ms(), also echoed in the
+  /// message). A request with deadline_ms set resolves to
+  /// kDeadlineExceeded when its deadline passes before (shed at
+  /// dequeue, costing no worker) or during (cooperatively cancelled)
+  /// execution. kHealthz requests bypass admission control entirely and
+  /// resolve immediately — they stay answerable under backpressure.
   std::future<Result<QueryResponse>> Submit(const QueryRequest& req);
 
   /// Blocking convenience: Submit + wait.
@@ -171,6 +231,16 @@ class QueryServer {
   /// Epoch currently being served.
   uint64_t current_epoch() const { return epochs_.current_epoch(); }
 
+  /// The server's condition right now (DESIGN.md §13): kDegraded when
+  /// the WAL is broken, publishes keep failing, or the recent
+  /// deadline-miss rate crossed the configured bar — the server still
+  /// answers queries from the last good epoch in that state.
+  ServerHealth CurrentHealth() const;
+
+  /// CurrentHealth plus the raw signals (the kHealthz payload's richer
+  /// in-process sibling).
+  HealthReport Healthz() const;
+
   ServerStats stats() const;
 
   /// Adds the monotonic counters to `collector` under "server.*" names.
@@ -187,15 +257,27 @@ class QueryServer {
     QueryRequest req;
     std::promise<Result<QueryResponse>> promise;
     double enqueue_seconds = 0.0;
+    /// Absolute expiry on the server clock; 0 = no deadline.
+    double deadline_seconds = 0.0;
+    /// Set by the watchdog at expiry; polled by the executing traversal.
+    std::shared_ptr<std::atomic<bool>> cancel_flag;
   };
   struct PendingUpdate {
     NetworkUpdate update;
     std::promise<Status> promise;
     uint64_t seq = 0;
   };
+  struct DeadlineEntry {
+    double expiry_seconds = 0.0;
+    std::shared_ptr<std::atomic<bool>> flag;
+  };
 
   QueryServer(Network net, std::vector<NetworkUpdate> raw_points,
               const QueryServerOptions& options);
+
+  /// Opens the configured WAL and replays its recovered prefix into the
+  /// live world. Start only, before the first publish.
+  Status RecoverFromWal();
 
   /// Rebuilds the immutable world from the live one and publishes it as
   /// the next epoch (carrying its own fresh DistanceCache). Updater
@@ -207,7 +289,18 @@ class QueryServer {
 
   void DispatcherLoop();
   void UpdaterLoop();
+  void WatchdogLoop();
   void ExecuteBatch(std::vector<PendingQuery>* batch);
+
+  /// Registers `flag` to be set when the server clock passes
+  /// `expiry_seconds`.
+  void ArmDeadline(double expiry_seconds,
+                   std::shared_ptr<std::atomic<bool>> flag);
+
+  /// Records one request outcome in the health window. stats_mu_ held.
+  void RecordOutcomeLocked(bool deadline_missed);
+  /// Miss fraction over the current window. stats_mu_ held.
+  double DeadlineMissRateLocked() const;
 
   const QueryServerOptions options_;
   WallTimer clock_;  ///< server-lifetime clock for queue-wait stamps
@@ -215,6 +308,11 @@ class QueryServer {
   // The live (mutable) world — updater thread only after Start.
   Network net_;
   std::vector<NetworkUpdate> raw_points_;  ///< kAddPoint records, in order
+
+  // Durability: the mutation log (updater thread only after Start; the
+  // owned file backs it unless options_.wal_file was injected).
+  std::unique_ptr<PagedFile> owned_wal_file_;
+  std::unique_ptr<MutationWal> wal_;
 
   EpochManager epochs_;
   std::unique_ptr<ThreadPool> pool_;
@@ -240,6 +338,24 @@ class QueryServer {
   /// the multi-slot drain accounting is exercised in normal serving.
   uint32_t pin_slot_rr_ = 0;
 
+  // Deadline watchdog: a min-heap of pending expiries on the server
+  // clock, drained by its own thread.
+  mutable std::mutex deadline_mu_;
+  std::condition_variable deadline_cv_;
+  std::vector<DeadlineEntry> deadline_heap_;
+  bool deadline_stopping_ = false;
+
+  // Health signals readable from any thread without the stats lock.
+  std::atomic<bool> stopping_flag_{false};
+  std::atomic<bool> wal_broken_{false};
+  std::atomic<uint32_t> consecutive_publish_failures_{0};
+
+  // Chaos: independent seeded streams per deciding thread (updater
+  // decides publish failures, dispatcher decides worker stalls), so
+  // neither perturbs the other's sequence.
+  Rng chaos_publish_rng_{0};
+  Rng chaos_stall_rng_{0};
+
   // Serving statistics.
   mutable std::mutex stats_mu_;
   uint64_t accepted_ = 0;
@@ -248,11 +364,22 @@ class QueryServer {
   uint64_t batches_ = 0;
   uint64_t replay_batches_ = 0;
   uint64_t replay_mismatches_ = 0;
+  uint64_t deadline_expired_ = 0;
+  uint64_t cancelled_traversals_ = 0;
+  uint64_t wal_records_ = 0;
+  uint64_t wal_recovered_ = 0;  ///< fixed after Start
+  uint64_t publish_failures_ = 0;
   RunningStats queue_wait_ms_;
   RunningStats batch_size_;
   RunningStats batch_ms_;
   std::vector<double> wait_ring_;  ///< bounded queue-wait sample ring
   size_t wait_ring_next_ = 0;
+  /// Sliding deadline-outcome window (1 = missed); capacity
+  /// options_.health_window.
+  std::vector<char> outcome_ring_;
+  size_t outcome_next_ = 0;
+  bool outcome_full_ = false;
+  size_t outcome_misses_ = 0;
 
   // PublishStats delta tracking (same pattern as DistanceIndex).
   mutable std::mutex publish_stats_mu_;
@@ -260,6 +387,7 @@ class QueryServer {
 
   std::thread dispatcher_;
   std::thread updater_;
+  std::thread watchdog_;
 };
 
 }  // namespace netclus

@@ -1,0 +1,49 @@
+// NetworkUpdate: one mutation of a served world. Lives in its own
+// header (below both the WAL and the query server) so the durability
+// layer can frame mutation records without depending on the serving
+// loop.
+#ifndef NETCLUS_SERVER_UPDATE_H_
+#define NETCLUS_SERVER_UPDATE_H_
+
+#include "graph/types.h"
+
+namespace netclus {
+
+/// \brief One mutation of the served world, applied by the updater
+/// thread and visible to queries from the next published epoch on.
+struct NetworkUpdate {
+  enum class Kind {
+    kAddEdge,   ///< undirected edge {u, v} with weight `value`
+    kAddPoint,  ///< point on edge {u, v} at offset `value` from min(u,v)
+  };
+  Kind kind = Kind::kAddEdge;
+  NodeId u = kInvalidNodeId;
+  NodeId v = kInvalidNodeId;
+  /// Edge weight (kAddEdge) or offset from the smaller endpoint
+  /// (kAddPoint).
+  double value = 0.0;
+  /// kAddPoint: ground-truth label riding along (-1 = none).
+  int label = -1;
+
+  static NetworkUpdate AddEdge(NodeId u, NodeId v, double weight) {
+    return NetworkUpdate{Kind::kAddEdge, u, v, weight, -1};
+  }
+  static NetworkUpdate AddPoint(NodeId u, NodeId v, double offset,
+                                int label = -1) {
+    return NetworkUpdate{Kind::kAddPoint, u, v, offset, label};
+  }
+};
+
+/// Field-wise equality (value/label compared bitwise-exactly via ==) —
+/// what the WAL recovery tests use to check replayed records.
+inline bool operator==(const NetworkUpdate& a, const NetworkUpdate& b) {
+  return a.kind == b.kind && a.u == b.u && a.v == b.v && a.value == b.value &&
+         a.label == b.label;
+}
+inline bool operator!=(const NetworkUpdate& a, const NetworkUpdate& b) {
+  return !(a == b);
+}
+
+}  // namespace netclus
+
+#endif  // NETCLUS_SERVER_UPDATE_H_

@@ -1,0 +1,187 @@
+#include "server/wal.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/crc32c.h"
+
+namespace netclus {
+
+namespace {
+
+constexpr char kWalMagic[4] = {'N', 'W', 'A', 'L'};
+
+}  // namespace
+
+void EncodeWalRecord(const NetworkUpdate& update, char* out) {
+  std::memset(out, 0, MutationWal::kRecordSize);
+  std::memcpy(out + 4, kWalMagic, 4);
+  out[8] = update.kind == NetworkUpdate::Kind::kAddEdge ? 0 : 1;
+  std::memcpy(out + 12, &update.u, 4);
+  std::memcpy(out + 16, &update.v, 4);
+  std::memcpy(out + 20, &update.value, 8);
+  std::memcpy(out + 28, &update.label, 4);
+  uint32_t crc = Crc32c(out + 4, MutationWal::kRecordSize - 4);
+  std::memcpy(out, &crc, 4);
+}
+
+bool DecodeWalRecord(const char* rec, NetworkUpdate* out) {
+  if (std::memcmp(rec + 4, kWalMagic, 4) != 0) return false;
+  if (rec[8] != 0 && rec[8] != 1) return false;
+  if (rec[9] != 0 || rec[10] != 0 || rec[11] != 0) return false;
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, rec, 4);
+  if (stored_crc != Crc32c(rec + 4, MutationWal::kRecordSize - 4)) {
+    return false;
+  }
+  out->kind = rec[8] == 0 ? NetworkUpdate::Kind::kAddEdge
+                          : NetworkUpdate::Kind::kAddPoint;
+  std::memcpy(&out->u, rec + 12, 4);
+  std::memcpy(&out->v, rec + 16, 4);
+  std::memcpy(&out->value, rec + 20, 8);
+  std::memcpy(&out->label, rec + 28, 4);
+  return true;
+}
+
+bool WalSlotIsEmpty(const char* rec) {
+  for (uint32_t i = 0; i < MutationWal::kRecordSize; ++i) {
+    if (rec[i] != 0) return false;
+  }
+  return true;
+}
+
+Status MutationWal::ReadPageRetry(PageId id, char* out) {
+  Status s = Status::OK();
+  for (int attempt = 0; attempt < kMaxIoRetries; ++attempt) {
+    s = file_->ReadPage(id, out);
+    if (!s.IsUnavailable()) return s;
+  }
+  return s;
+}
+
+Status MutationWal::WritePageRetry(PageId id, const char* data) {
+  Status s = Status::OK();
+  for (int attempt = 0; attempt < kMaxIoRetries; ++attempt) {
+    s = file_->WritePage(id, data);
+    if (!s.IsUnavailable()) return s;
+  }
+  return s;
+}
+
+Result<std::unique_ptr<MutationWal>> MutationWal::Open(PagedFile* file) {
+  if (file == nullptr) {
+    return Status::InvalidArgument("wal: null file");
+  }
+  if (file->page_size() < kRecordSize ||
+      file->page_size() % kRecordSize != 0) {
+    return Status::InvalidArgument(
+        "wal: page size " + std::to_string(file->page_size()) +
+        " cannot frame " + std::to_string(kRecordSize) + "-byte records");
+  }
+  const uint32_t rpp = file->page_size() / kRecordSize;
+  auto wal = std::unique_ptr<MutationWal>(new MutationWal(file, rpp));
+
+  // Scan every slot in order. The first non-valid slot ends the log; a
+  // valid record after it means the middle of the log is damaged (bit
+  // rot, misdirected write) — that is not recoverable by truncation.
+  // Scrub writes are deferred until the scan has proven the damage is a
+  // tail, so a Corruption verdict leaves the file untouched.
+  constexpr uint64_t kNoInvalid = UINT64_MAX;
+  uint64_t first_invalid = kNoInvalid;
+  uint64_t dropped = 0;
+  std::unordered_map<PageId, std::vector<char>> dirty;  // page -> scrubbed
+  std::vector<char> buf(file->page_size());
+  for (PageId pid = 0; pid < file->num_pages(); ++pid) {
+    NETCLUS_RETURN_IF_ERROR(wal->ReadPageRetry(pid, buf.data()));
+    bool page_dirty = false;
+    for (uint32_t s = 0; s < rpp; ++s) {
+      char* rec = buf.data() + static_cast<size_t>(s) * kRecordSize;
+      const uint64_t global = static_cast<uint64_t>(pid) * rpp + s;
+      NetworkUpdate u;
+      if (DecodeWalRecord(rec, &u)) {
+        if (first_invalid != kNoInvalid) {
+          return Status::Corruption(
+              "wal: valid record at slot " + std::to_string(global) +
+              " after invalid slot " + std::to_string(first_invalid) +
+              " — damaged log middle, not a torn tail");
+        }
+        wal->recovery_.records.push_back(u);
+        continue;
+      }
+      if (first_invalid == kNoInvalid) first_invalid = global;
+      if (!WalSlotIsEmpty(rec)) {
+        ++dropped;
+        std::memset(rec, 0, kRecordSize);
+        page_dirty = true;
+      }
+    }
+    if (page_dirty) dirty.emplace(pid, buf);
+    // The page holding the first invalid slot is the append tail; keep
+    // its (scrubbed) image as the shadow so the next append is a pure
+    // read-modify-write of memory.
+    if (first_invalid != kNoInvalid && first_invalid / rpp == pid) {
+      wal->shadow_ = buf;
+      wal->shadow_page_ = pid;
+    }
+  }
+  for (const auto& [pid, page] : dirty) {
+    NETCLUS_RETURN_IF_ERROR(wal->WritePageRetry(pid, page.data()));
+  }
+  wal->recovery_.records_dropped = dropped;
+  wal->next_slot_ = first_invalid == kNoInvalid
+                        ? static_cast<uint64_t>(file->num_pages()) * rpp
+                        : first_invalid;
+  return wal;
+}
+
+Status MutationWal::Append(const NetworkUpdate& update) {
+  if (broken_) {
+    return Status::Unavailable(
+        "wal: log is broken (a failed append could not be scrubbed); "
+        "refusing further writes");
+  }
+  const PageId page = static_cast<PageId>(next_slot_ / records_per_page_);
+  const uint32_t slot = static_cast<uint32_t>(next_slot_ % records_per_page_);
+  if (page >= file_->num_pages()) {
+    // Fresh tail page. AllocatePage appends a zeroed page; transient
+    // allocation failures are retried like any other page op.
+    Result<PageId> alloc = file_->AllocatePage();
+    for (int attempt = 1;
+         !alloc.ok() && alloc.status().IsUnavailable() &&
+         attempt < kMaxIoRetries;
+         ++attempt) {
+      alloc = file_->AllocatePage();
+    }
+    if (!alloc.ok()) return alloc.status();
+  }
+  if (shadow_page_ != page) {
+    std::fill(shadow_.begin(), shadow_.end(), 0);
+    if (slot != 0) {
+      // Only reachable when Open() did not leave a tail shadow, which
+      // it always does for a mid-page tail; read defensively anyway.
+      NETCLUS_RETURN_IF_ERROR(ReadPageRetry(page, shadow_.data()));
+    }
+    shadow_page_ = page;
+  }
+  char* rec = shadow_.data() + static_cast<size_t>(slot) * kRecordSize;
+  EncodeWalRecord(update, rec);
+  Status s = WritePageRetry(page, shadow_.data());
+  if (s.ok()) {
+    ++next_slot_;
+    return s;
+  }
+  // The write failed and may have torn: the backend could hold any
+  // prefix of the page. Scrub the slot so a later recovery sees a clean
+  // empty tail instead of a half-written record. (Records before this
+  // one in the page are rewritten with their existing bytes, so they
+  // survive either way.)
+  std::memset(rec, 0, kRecordSize);
+  Status scrub = WritePageRetry(page, shadow_.data());
+  if (!scrub.ok()) broken_ = true;
+  return s;
+}
+
+}  // namespace netclus

@@ -1,0 +1,128 @@
+// MutationWal: an append-only, CRC32C-framed log of NetworkUpdate
+// records layered on PagedFile.
+//
+// Durability contract (DESIGN.md §13): the query server's updater
+// thread appends every mutation to the log *before* applying it to the
+// live world, so after a crash the world is reconstructed by replaying
+// the log over the boot-time network. Building on PagedFile (rather
+// than a raw fd) means FaultInjectionFile decorates the log for free:
+// the torn-write / bit-flip / short-read recovery behavior is exercised
+// by the same deterministic harness as the storage stack.
+//
+// Record framing: fixed 32-byte records, page_size/32 per page, never
+// straddling a page boundary. Byte layout (all little-endian,
+// in-memory representation):
+//
+//   [0, 4)   CRC32C of bytes [4, 32)
+//   [4, 8)   magic "NWAL"
+//   [8, 9)   kind (0 = kAddEdge, 1 = kAddPoint)
+//   [9, 12)  zero padding (checked on decode)
+//   [12,16)  u
+//   [16,20)  v
+//   [20,28)  value (IEEE double, bit pattern preserved exactly)
+//   [28,32)  label (int32)
+//
+// An all-zero slot is "unwritten" (freshly allocated pages are zeroed).
+// Recovery scans slots in order: the valid prefix is the log's content;
+// a trailing run of invalid slots (torn final write, power cut
+// mid-page) is scrubbed back to zero and reported as dropped; an
+// invalid slot *followed by* a valid record is not a torn tail — that
+// is Status::Corruption, and recovery refuses to guess.
+#ifndef NETCLUS_SERVER_WAL_H_
+#define NETCLUS_SERVER_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "server/update.h"
+#include "storage/paged_file.h"
+
+namespace netclus {
+
+/// Serializes `update` into a 32-byte WAL record at `out`.
+void EncodeWalRecord(const NetworkUpdate& update, char* out);
+
+/// Validates the 32-byte record at `rec` (magic, padding, kind, CRC);
+/// on success fills `*out` and returns true.
+bool DecodeWalRecord(const char* rec, NetworkUpdate* out);
+
+/// True when all 32 bytes of `rec` are zero (an unwritten slot).
+bool WalSlotIsEmpty(const char* rec);
+
+/// What MutationWal::Open reconstructed from an existing log.
+struct WalRecovery {
+  /// The valid record prefix, in append order.
+  std::vector<NetworkUpdate> records;
+  /// Torn (non-empty, invalid) tail slots scrubbed back to zero.
+  uint64_t records_dropped = 0;
+};
+
+/// \brief Append-only mutation log over a borrowed PagedFile.
+///
+/// Single-writer: exactly one thread (the server's updater) appends.
+/// Every Append is written through to the backing file before it
+/// returns OK — there is no in-memory buffering beyond the tail-page
+/// shadow, which always matches the last successful write.
+class MutationWal {
+ public:
+  static constexpr uint32_t kRecordSize = 32;
+  /// Transient (kUnavailable) page operations are retried this many
+  /// times before the error is surfaced.
+  static constexpr int kMaxIoRetries = 8;
+
+  /// Opens a log over `file` (borrowed; must outlive the WAL). Scans
+  /// any existing pages, truncates a torn tail (scrubbing it in the
+  /// file so the next writer starts from a clean slot), and exposes the
+  /// valid prefix via recovery(). Fails with kInvalidArgument when the
+  /// page size cannot frame 32-byte records, kCorruption when the log
+  /// has a valid record after an invalid one, or the underlying I/O
+  /// error when a page cannot be read/scrubbed — never a partial
+  /// recovery.
+  static Result<std::unique_ptr<MutationWal>> Open(PagedFile* file);
+
+  MutationWal(const MutationWal&) = delete;
+  MutationWal& operator=(const MutationWal&) = delete;
+
+  /// Durably appends one record. On failure the slot is scrubbed back
+  /// to zero (so a torn write cannot survive into recovery); if even
+  /// the scrub fails the log is marked broken() and every later Append
+  /// is refused with kUnavailable — the caller keeps serving but must
+  /// refuse further durable mutations.
+  Status Append(const NetworkUpdate& update);
+
+  /// What Open() reconstructed (empty for a fresh log).
+  const WalRecovery& recovery() const { return recovery_; }
+
+  /// Records currently in the log (recovered prefix + appends).
+  uint64_t num_records() const { return next_slot_; }
+
+  /// True once a failed append could not be scrubbed: the tail state on
+  /// disk is unknown and the log refuses further writes.
+  bool broken() const { return broken_; }
+
+ private:
+  MutationWal(PagedFile* file, uint32_t records_per_page)
+      : file_(file),
+        records_per_page_(records_per_page),
+        shadow_(file->page_size(), 0) {}
+
+  Status ReadPageRetry(PageId id, char* out);
+  Status WritePageRetry(PageId id, const char* data);
+
+  PagedFile* file_;  ///< borrowed
+  uint32_t records_per_page_;
+  uint64_t next_slot_ = 0;  ///< global index of the next record
+  /// In-memory image of the tail page (valid when shadow_page_ is not
+  /// kInvalidPageId); appends read-modify-write through it so one slot
+  /// change never needs a page read.
+  std::vector<char> shadow_;
+  PageId shadow_page_ = kInvalidPageId;
+  bool broken_ = false;
+  WalRecovery recovery_;
+};
+
+}  // namespace netclus
+
+#endif  // NETCLUS_SERVER_WAL_H_

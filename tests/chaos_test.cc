@@ -1,0 +1,439 @@
+// The chaos harness (DESIGN.md §13): seeded fault injection against the
+// whole serving loop. Publish failures, worker stalls, deadline churn,
+// and WAL faults run together in a soak that asserts the resilience
+// contract — every accepted request resolves, replay validation never
+// sees a torn epoch, drain accounting balances, and a server recovered
+// from the WAL answers bit-identically to an uninterrupted one.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "gen/network_gen.h"
+#include "gen/workload_gen.h"
+#include "graph/network.h"
+#include "server/query.h"
+#include "server/query_server.h"
+#include "server/update.h"
+#include "server/wal.h"
+#include "storage/fault_injection.h"
+#include "storage/paged_file.h"
+
+namespace netclus {
+namespace {
+
+// Same generated-world fixture as server_test.cc: the server copies the
+// network and points, so the test keeps its own for reference servers.
+struct World {
+  GeneratedNetwork gen;
+  PointSet points;
+
+  World(NodeId nodes, PointId n_points, uint64_t seed) {
+    gen = GenerateRoadNetwork({nodes, 1.3, 0.3, seed});
+    points =
+        std::move(GenerateUniformPoints(gen.net, n_points, seed + 1)).value();
+  }
+};
+
+std::unique_ptr<QueryServer> StartOrDie(const World& w,
+                                        const QueryServerOptions& opts) {
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.gen.net, w.points, opts);
+  EXPECT_TRUE(started.ok()) << started.status().ToString();
+  return started.ok() ? std::move(started).value() : nullptr;
+}
+
+// A deterministic mixed query workload over the base point population
+// (base ids stay valid across AddPoint renumbering — counts only grow).
+std::vector<QueryRequest> MixedQueries(uint64_t seed, int n, PointId points) {
+  Rng rng(seed);
+  std::vector<QueryRequest> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    PointId a = static_cast<PointId>(rng.NextBounded(points));
+    PointId b = static_cast<PointId>(rng.NextBounded(points));
+    switch (i % 3) {
+      case 0:
+        out.push_back(QueryRequest::PointDistance(a, b));
+        break;
+      case 1:
+        out.push_back(QueryRequest::Range(a, 2.5));
+        break;
+      default:
+        out.push_back(QueryRequest::NearestObject(a, 3));
+        break;
+    }
+  }
+  return out;
+}
+
+// The soak: chaos-injected publish failures and worker stalls, deadline
+// churn, and a live WAL — all at once, for several update rounds. The
+// assertions are the resilience contract, not the luck of the seed:
+// every future resolves (no hangs), shed work resolves as
+// kDeadlineExceeded (never a garbage payload), replay validation stays
+// clean, accounting balances, and the server still answers at the end.
+TEST(ChaosSoakTest, SoakSurvivesChaosWithCleanReplayAndAccounting) {
+  World w(150, 120, 11);
+  std::unique_ptr<PagedFile> wal_file = PagedFile::CreateInMemory(4096);
+
+  QueryServerOptions opts;
+  opts.num_workers = 4;
+  opts.max_queue_depth = 256;
+  opts.max_batch_size = 8;
+  opts.validate_replay = true;
+  opts.wal_file = wal_file.get();
+  opts.cancel_check_interval = 16;
+  opts.chaos.seed = 5;
+  opts.chaos.publish_failure_prob = 0.3;
+  opts.chaos.worker_stall_prob = 0.25;
+  opts.chaos.worker_stall_ms = 0.5;
+  ASSERT_TRUE(opts.chaos.enabled());
+
+  std::vector<NetworkUpdate> applied_updates;
+  {
+    std::unique_ptr<QueryServer> server = StartOrDie(w, opts);
+    ASSERT_NE(server, nullptr);
+
+    std::vector<Edge> edges = w.gen.net.Edges();
+    Rng rng(77);
+    std::vector<std::future<Result<QueryResponse>>> futures;
+    for (int round = 0; round < 6; ++round) {
+      for (const QueryRequest& q :
+           MixedQueries(1000 + round, 40, w.points.size())) {
+        // A slice of every round runs with a tight deadline so shedding
+        // and cancellation fire under the stalls.
+        if (rng.NextBernoulli(0.2)) {
+          futures.push_back(server->Submit(q.WithDeadline(1.0)));
+        } else {
+          futures.push_back(server->Submit(q));
+        }
+      }
+      // Mutations ride along: points on existing edges always apply;
+      // random edges sometimes collide with existing ones and are
+      // rejected — a rejection must not disturb anything else.
+      const Edge& e = edges[rng.NextBounded(edges.size())];
+      NetworkUpdate add_point =
+          NetworkUpdate::AddPoint(e.u, e.v, e.weight / 2, -1);
+      if (server->ApplyUpdate(add_point).ok()) {
+        applied_updates.push_back(add_point);
+      }
+      NetworkUpdate add_edge = NetworkUpdate::AddEdge(
+          static_cast<NodeId>(rng.NextBounded(w.gen.net.num_nodes())),
+          static_cast<NodeId>(rng.NextBounded(w.gen.net.num_nodes())),
+          1.0 + static_cast<double>(round));
+      if (server->ApplyUpdate(add_edge).ok()) {
+        applied_updates.push_back(add_edge);
+      }
+      Status flushed = server->Flush();
+      // A chaos-failed publish surfaces here; serving continues either
+      // way, from the last good epoch.
+      EXPECT_TRUE(flushed.ok() || flushed.IsInternal())
+          << flushed.ToString();
+    }
+
+    size_t ok_count = 0;
+    size_t deadline_count = 0;
+    for (std::future<Result<QueryResponse>>& f : futures) {
+      Result<QueryResponse> r = f.get();  // the no-hang assertion
+      if (r.ok()) {
+        ++ok_count;
+      } else if (r.status().IsDeadlineExceeded()) {
+        ++deadline_count;
+      } else {
+        ADD_FAILURE() << "unexpected terminal status: "
+                      << r.status().ToString();
+      }
+    }
+    EXPECT_EQ(ok_count + deadline_count, futures.size());
+    EXPECT_GT(ok_count, 0u);
+
+    // The server still answers after the storm, and a health probe
+    // resolves without touching the queue.
+    Result<QueryResponse> alive =
+        server->Execute(QueryRequest::PointDistance(0, 1));
+    EXPECT_TRUE(alive.ok()) << alive.status().ToString();
+    Result<QueryResponse> probe = server->Execute(QueryRequest::Healthz());
+    ASSERT_TRUE(probe.ok());
+    EXPECT_EQ(probe.value().kind, QueryKind::kHealthz);
+
+    ServerStats stats = server->stats();
+    EXPECT_EQ(stats.replay_mismatches, 0u);  // never a torn epoch
+    EXPECT_EQ(stats.completed, stats.accepted);
+    EXPECT_EQ(stats.queue_depth, 0u);
+    EXPECT_EQ(stats.wal_records, stats.wal_recoveries +
+                                     12u);  // 2 mutations x 6 rounds logged
+    server->Stop();
+    // Quiescent: every retired epoch was actually freed.
+    stats = server->stats();
+    EXPECT_EQ(stats.retired_epochs, 0u);
+    EXPECT_EQ(stats.epochs_drained, stats.epochs_published - 1);
+  }
+
+  // Recovered-world equivalence: a server booted from the soak's WAL
+  // answers exactly like a fresh chaos-free server that applied the
+  // same accepted mutations inline.
+  QueryServerOptions recover_opts;
+  recover_opts.num_workers = 2;
+  recover_opts.validate_replay = true;
+  recover_opts.wal_file = wal_file.get();
+  std::unique_ptr<QueryServer> recovered = StartOrDie(w, recover_opts);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->stats().wal_recoveries, 12u);
+
+  QueryServerOptions ref_opts;
+  ref_opts.num_workers = 2;
+  std::unique_ptr<QueryServer> reference = StartOrDie(w, ref_opts);
+  ASSERT_NE(reference, nullptr);
+  for (const NetworkUpdate& u : applied_updates) {
+    ASSERT_TRUE(reference->ApplyUpdate(u).ok());
+  }
+  ASSERT_TRUE(reference->Flush().ok());
+
+  for (const QueryRequest& q : MixedQueries(4242, 60, w.points.size())) {
+    Result<QueryResponse> got = recovered->Execute(q);
+    Result<QueryResponse> want = reference->Execute(q);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    EXPECT_TRUE(ResponsePayloadsEqual(got.value(), want.value()))
+        << QueryKindName(q.kind) << " query on point " << q.a;
+  }
+}
+
+// Kill-and-recover: stop a WAL-backed server mid-life, boot a successor
+// over the same log, and demand bit-identical answers against the
+// uninterrupted original.
+TEST(ChaosSoakTest, KillAndRecoverServesBitIdenticalResponses) {
+  World w(100, 80, 23);
+  std::unique_ptr<PagedFile> wal_file = PagedFile::CreateInMemory(4096);
+  QueryServerOptions opts;
+  opts.num_workers = 2;
+  opts.validate_replay = true;
+  opts.wal_file = wal_file.get();
+
+  const std::vector<QueryRequest> probes = MixedQueries(9, 45, w.points.size());
+  std::vector<Edge> edges = w.gen.net.Edges();
+  std::vector<QueryResponse> before;
+  {
+    std::unique_ptr<QueryServer> server = StartOrDie(w, opts);
+    ASSERT_NE(server, nullptr);
+    ASSERT_TRUE(server
+                    ->ApplyUpdate(NetworkUpdate::AddPoint(
+                        edges[0].u, edges[0].v, edges[0].weight / 4, 3))
+                    .ok());
+    ASSERT_TRUE(server
+                    ->ApplyUpdate(NetworkUpdate::AddPoint(
+                        edges[1].u, edges[1].v, edges[1].weight / 2, -1))
+                    .ok());
+    // A rejected mutation is logged before it is refused; replay must
+    // reject it identically rather than corrupt the recovered world.
+    EXPECT_FALSE(server
+                     ->ApplyUpdate(NetworkUpdate::AddEdge(
+                         edges[0].u, edges[0].v, 1.0))
+                     .ok());
+    ASSERT_TRUE(server->Flush().ok());
+    for (const QueryRequest& q : probes) {
+      Result<QueryResponse> r = server->Execute(q);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      before.push_back(std::move(r).value());
+    }
+  }  // server dies here; only the WAL file survives
+
+  std::unique_ptr<QueryServer> revived = StartOrDie(w, opts);
+  ASSERT_NE(revived, nullptr);
+  EXPECT_EQ(revived->stats().wal_recoveries, 3u);  // incl. the rejected one
+  for (size_t i = 0; i < probes.size(); ++i) {
+    Result<QueryResponse> r = revived->Execute(probes[i]);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(ResponsePayloadsEqual(r.value(), before[i]))
+        << "probe " << i << " (" << QueryKindName(probes[i].kind) << ")";
+  }
+}
+
+// A torn final record (the classic crash mid-append) silently truncates
+// to the prefix: the revived server equals a reference that never saw
+// the torn mutation.
+TEST(ChaosSoakTest, TornWalTailDropsOnlyTheTornMutation) {
+  World w(80, 60, 31);
+  std::unique_ptr<PagedFile> wal_file = PagedFile::CreateInMemory(4096);
+  QueryServerOptions opts;
+  opts.num_workers = 1;
+  opts.validate_replay = true;
+  opts.wal_file = wal_file.get();
+
+  std::vector<Edge> edges = w.gen.net.Edges();
+  std::vector<NetworkUpdate> updates = {
+      NetworkUpdate::AddPoint(edges[0].u, edges[0].v, edges[0].weight / 2, -1),
+      NetworkUpdate::AddPoint(edges[2].u, edges[2].v, edges[2].weight / 4, 1),
+      NetworkUpdate::AddPoint(edges[4].u, edges[4].v, edges[4].weight / 3, -1),
+  };
+  {
+    std::unique_ptr<QueryServer> server = StartOrDie(w, opts);
+    ASSERT_NE(server, nullptr);
+    for (const NetworkUpdate& u : updates) {
+      ASSERT_TRUE(server->ApplyUpdate(u).ok());
+    }
+    ASSERT_TRUE(server->Flush().ok());
+  }
+  // Tear the last record: only its first 16 bytes reached the medium.
+  std::vector<char> page(wal_file->page_size());
+  ASSERT_TRUE(wal_file->ReadPage(0, page.data()).ok());
+  std::memset(page.data() + 2 * MutationWal::kRecordSize + 16, 0,
+              MutationWal::kRecordSize - 16);
+  ASSERT_TRUE(wal_file->WritePage(0, page.data()).ok());
+
+  std::unique_ptr<QueryServer> revived = StartOrDie(w, opts);
+  ASSERT_NE(revived, nullptr);
+  EXPECT_EQ(revived->stats().wal_recoveries, 2u);
+
+  QueryServerOptions ref_opts;
+  ref_opts.num_workers = 1;
+  std::unique_ptr<QueryServer> reference = StartOrDie(w, ref_opts);
+  ASSERT_NE(reference, nullptr);
+  ASSERT_TRUE(reference->ApplyUpdate(updates[0]).ok());
+  ASSERT_TRUE(reference->ApplyUpdate(updates[1]).ok());
+  ASSERT_TRUE(reference->Flush().ok());
+
+  for (const QueryRequest& q : MixedQueries(55, 30, w.points.size())) {
+    Result<QueryResponse> got = revived->Execute(q);
+    Result<QueryResponse> want = reference->Execute(q);
+    ASSERT_TRUE(got.ok() && want.ok());
+    EXPECT_TRUE(ResponsePayloadsEqual(got.value(), want.value()));
+  }
+}
+
+// Damage in the log *middle* is not a crash tail; the server must
+// refuse to boot a guessed world.
+TEST(ChaosSoakTest, CorruptWalMiddleFailsStart) {
+  World w(60, 40, 37);
+  std::unique_ptr<PagedFile> wal_file = PagedFile::CreateInMemory(4096);
+  QueryServerOptions opts;
+  opts.num_workers = 1;
+  opts.wal_file = wal_file.get();
+
+  std::vector<Edge> edges = w.gen.net.Edges();
+  {
+    std::unique_ptr<QueryServer> server = StartOrDie(w, opts);
+    ASSERT_NE(server, nullptr);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(server
+                      ->ApplyUpdate(NetworkUpdate::AddPoint(
+                          edges[static_cast<size_t>(i)].u,
+                          edges[static_cast<size_t>(i)].v,
+                          edges[static_cast<size_t>(i)].weight / 2, -1))
+                      .ok());
+    }
+    ASSERT_TRUE(server->Flush().ok());
+  }
+  std::vector<char> page(wal_file->page_size());
+  ASSERT_TRUE(wal_file->ReadPage(0, page.data()).ok());
+  page[20] ^= 0x01;  // rot inside record 0, records 1..2 still valid
+  ASSERT_TRUE(wal_file->WritePage(0, page.data()).ok());
+
+  Result<std::unique_ptr<QueryServer>> refused =
+      QueryServer::Start(w.gen.net, w.points, opts);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsCorruption()) << refused.status().ToString();
+}
+
+// A WAL whose tail cannot even be scrubbed latches broken: mutations
+// are refused, health degrades, but queries keep serving the last good
+// epoch.
+TEST(ChaosSoakTest, BrokenWalDegradesButKeepsServing) {
+  World w(60, 40, 41);
+  std::unique_ptr<PagedFile> base = PagedFile::CreateInMemory(4096);
+  FaultInjectionFile faulty(base.get());
+  // First page write tears; every write after it (the scrub included)
+  // fails permanently.
+  FaultEvent torn;
+  torn.op = FaultOp::kWrite;
+  torn.kind = FaultKind::kTornWrite;
+  torn.op_index = 0;
+  faulty.AddFault(torn);
+  FaultEvent dead;
+  dead.op = FaultOp::kWrite;
+  dead.kind = FaultKind::kPermanentError;
+  dead.op_index = 1;
+  dead.count = UINT64_MAX;
+  faulty.AddFault(dead);
+
+  QueryServerOptions opts;
+  opts.num_workers = 1;
+  opts.wal_file = &faulty;
+  std::unique_ptr<QueryServer> server = StartOrDie(w, opts);
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->CurrentHealth(), ServerHealth::kServing);
+
+  std::vector<Edge> edges = w.gen.net.Edges();
+  Status first = server->ApplyUpdate(
+      NetworkUpdate::AddPoint(edges[0].u, edges[0].v, 0.0, -1));
+  EXPECT_TRUE(first.IsIOError()) << first.ToString();
+  Status second = server->ApplyUpdate(
+      NetworkUpdate::AddPoint(edges[1].u, edges[1].v, 0.0, -1));
+  EXPECT_TRUE(second.IsUnavailable()) << second.ToString();
+
+  // Not durable → not applied → not published.
+  ASSERT_TRUE(server->Flush().ok());
+  EXPECT_EQ(server->current_epoch(), 1u);
+  EXPECT_EQ(server->CurrentHealth(), ServerHealth::kDegraded);
+  HealthReport report = server->Healthz();
+  EXPECT_TRUE(report.wal_broken);
+  EXPECT_EQ(report.health, ServerHealth::kDegraded);
+
+  Result<QueryResponse> r = server->Execute(QueryRequest::PointDistance(0, 1));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().health, ServerHealth::kDegraded);
+  EXPECT_EQ(r.value().epoch, 1u);
+}
+
+// Repeated publish failures degrade health while queries keep serving
+// the last good epoch; the epoch never advances to a half-built world.
+TEST(ChaosSoakTest, RepeatedPublishFailuresDegradeButKeepServing) {
+  World w(80, 60, 43);
+  QueryServerOptions opts;
+  opts.num_workers = 2;
+  opts.validate_replay = true;
+  opts.degraded_publish_failures = 2;
+  opts.chaos.seed = 17;
+  opts.chaos.publish_failure_prob = 1.0;  // every publish round fails
+  std::unique_ptr<QueryServer> server = StartOrDie(w, opts);
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->CurrentHealth(), ServerHealth::kServing);
+
+  std::vector<Edge> edges = w.gen.net.Edges();
+  // Each blocking ApplyUpdate lands in its own updater round, so every
+  // one costs a failed publish.
+  ASSERT_TRUE(server
+                  ->ApplyUpdate(NetworkUpdate::AddPoint(
+                      edges[0].u, edges[0].v, edges[0].weight / 2, -1))
+                  .ok());
+  ASSERT_TRUE(server
+                  ->ApplyUpdate(NetworkUpdate::AddPoint(
+                      edges[1].u, edges[1].v, edges[1].weight / 2, -1))
+                  .ok());
+  Status flushed = server->Flush();
+  EXPECT_TRUE(flushed.IsInternal()) << flushed.ToString();
+
+  EXPECT_EQ(server->current_epoch(), 1u);  // last good epoch still serves
+  EXPECT_EQ(server->CurrentHealth(), ServerHealth::kDegraded);
+  HealthReport report = server->Healthz();
+  EXPECT_GE(report.consecutive_publish_failures, 2u);
+  EXPECT_FALSE(report.wal_broken);
+  EXPECT_GE(server->stats().publish_failures, 2u);
+
+  // The degraded verdict rides on both probe and payload responses.
+  Result<QueryResponse> probe = server->Execute(QueryRequest::Healthz());
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(probe.value().health, ServerHealth::kDegraded);
+  Result<QueryResponse> r = server->Execute(QueryRequest::PointDistance(0, 1));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().health, ServerHealth::kDegraded);
+  EXPECT_EQ(r.value().epoch, 1u);
+}
+
+}  // namespace
+}  // namespace netclus

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/random.h"
@@ -294,6 +295,101 @@ TEST(KnnTest, ZeroKIsEmpty) {
   std::vector<RangeResult> got;
   KNearestNeighbors(view, 0, 0, &scratch, &got);
   EXPECT_TRUE(got.empty());
+}
+
+// ---------------------------------------------------------------------
+// Cooperative cancellation (TraversalCancel).
+// ---------------------------------------------------------------------
+
+TEST(DijkstraCancelTest, PresetFlagAbandonsTheExpansion) {
+  Network net = MakePathNetwork(64, 1.0);
+  PointSet empty;
+  InMemoryNetworkView view(net, empty);
+  TraversalWorkspace ws(64);
+
+  std::atomic<bool> fired{true};  // already expired when the run starts
+  ws.cancel.flag = &fired;
+  ws.cancel.check_interval = 1;  // poll at every settle
+  DijkstraDistances(view, {{0, 0.0}}, &ws);
+
+  EXPECT_TRUE(ws.cancel.triggered);
+  // The first settled node is polled before its neighbors relax, so the
+  // abandoned expansion never reaches the far end of the path.
+  EXPECT_FALSE(ws.scratch.Has(63));
+}
+
+TEST(DijkstraCancelTest, FlagFlippedMidRunStopsWithinTheInterval) {
+  Network net = MakePathNetwork(100, 1.0);
+  PointSet empty;
+  InMemoryNetworkView view(net, empty);
+  TraversalWorkspace ws(100);
+
+  // The flag flips after the 10th settle; with check_interval=1 the
+  // kernel must notice at the very next poll, long before node 99.
+  std::atomic<bool> fired{false};
+  ws.cancel.flag = &fired;
+  ws.cancel.check_interval = 1;
+  int settles = 0;
+  DijkstraExpandBounded(view, {DijkstraSource{0, 0.0}}, kInfDist, &ws,
+                        [&](NodeId, double) {
+                          if (++settles == 10) {
+                            fired.store(true, std::memory_order_relaxed);
+                          }
+                          return true;
+                        });
+  EXPECT_TRUE(ws.cancel.triggered);
+  EXPECT_LE(settles, 11);
+  EXPECT_FALSE(ws.scratch.Has(99));
+}
+
+TEST(DijkstraCancelTest, InertTokenIsBitIdenticalToNoToken) {
+  GeneratedNetwork gen = GenerateRoadNetwork({120, 1.3, 0.3, 7});
+  PointSet empty;
+  InMemoryNetworkView view(gen.net, empty);
+  const NodeId n = gen.net.num_nodes();
+
+  // Reference: the scratch-based path, which never sees a cancel token.
+  NodeScratch scratch(n);
+  TraversalCounters before_ref = LocalTraversalCounters();
+  DijkstraExpandBounded(view, {DijkstraSource{0, 0.0}}, kInfDist, &scratch,
+                        [](NodeId, double) { return true; });
+  TraversalCounters ref = LocalTraversalCounters() - before_ref;
+
+  // Workspace path with the default (inert) token, and again with an
+  // armed-but-never-fired flag: distances and counters must not move.
+  for (bool arm : {false, true}) {
+    TraversalWorkspace ws(n);
+    std::atomic<bool> never{false};
+    if (arm) {
+      ws.cancel.flag = &never;
+      ws.cancel.check_interval = 1;
+    }
+    TraversalCounters before = LocalTraversalCounters();
+    DijkstraDistances(view, {{0, 0.0}}, &ws);
+    TraversalCounters got = LocalTraversalCounters() - before;
+
+    EXPECT_FALSE(ws.cancel.triggered);
+    EXPECT_EQ(got.settled_nodes, ref.settled_nodes) << "arm=" << arm;
+    EXPECT_EQ(got.heap_pushes, ref.heap_pushes) << "arm=" << arm;
+    EXPECT_EQ(got.heap_pops, ref.heap_pops) << "arm=" << arm;
+    for (NodeId i = 0; i < n; ++i) {
+      // Bitwise-exact: == on doubles, not a tolerance.
+      EXPECT_EQ(ws.scratch.Get(i), scratch.Get(i)) << "node " << i;
+    }
+  }
+}
+
+TEST(DijkstraCancelTest, ZeroCheckIntervalIsClampedNotInfinite) {
+  Network net = MakePathNetwork(32, 1.0);
+  PointSet empty;
+  InMemoryNetworkView view(net, empty);
+  TraversalWorkspace ws(32);
+  std::atomic<bool> fired{true};
+  ws.cancel.flag = &fired;
+  ws.cancel.check_interval = 0;  // must clamp to 1, not wrap to 2^32
+  DijkstraDistances(view, {{0, 0.0}}, &ws);
+  EXPECT_TRUE(ws.cancel.triggered);
+  EXPECT_FALSE(ws.scratch.Has(31));
 }
 
 TEST(RangeQueryTest, CenterAlwaysIncluded) {

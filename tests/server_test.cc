@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <future>
 #include <memory>
 #include <string>
@@ -129,6 +130,39 @@ TEST(QueryVocabularyTest, KindNamesAreStable) {
   EXPECT_STREQ(QueryKindName(QueryKind::kRange), "range");
   EXPECT_STREQ(QueryKindName(QueryKind::kNearestObject), "nearest");
   EXPECT_STREQ(QueryKindName(QueryKind::kClusterMembership), "membership");
+  EXPECT_STREQ(QueryKindName(QueryKind::kHealthz), "healthz");
+  EXPECT_STREQ(ServerHealthName(ServerHealth::kServing), "serving");
+  EXPECT_STREQ(ServerHealthName(ServerHealth::kDegraded), "degraded");
+  EXPECT_STREQ(ServerHealthName(ServerHealth::kStopping), "stopping");
+}
+
+TEST(QueryVocabularyTest, DeadlineValidationAndHealthzRejection) {
+  PathWorld w;
+  InMemoryNetworkView view(w.net, w.points);
+
+  // Deadlines must be finite and non-negative; 0 (no deadline) is fine.
+  QueryRequest ok = QueryRequest::PointDistance(0, 1);
+  EXPECT_TRUE(ValidateQueryRequest(view, ok, nullptr).ok());
+  EXPECT_TRUE(ValidateQueryRequest(view, ok.WithDeadline(5.0), nullptr).ok());
+  EXPECT_FALSE(
+      ValidateQueryRequest(view, ok.WithDeadline(-1.0), nullptr).ok());
+  EXPECT_FALSE(ValidateQueryRequest(
+                   view, ok.WithDeadline(std::nan("")), nullptr)
+                   .ok());
+
+  // kHealthz is an admission-path answer, never an executor query.
+  EXPECT_FALSE(ValidateQueryRequest(view, QueryRequest::Healthz(), nullptr)
+                   .ok());
+  EXPECT_FALSE(ExecuteQuery(view, nullptr, QueryRequest::Healthz()).ok());
+
+  // The inline path ignores a generous deadline entirely: payloads stay
+  // bit-identical to the undeadlined run.
+  Result<QueryResponse> plain =
+      ExecuteQuery(view, nullptr, QueryRequest::PointDistance(0, 1));
+  Result<QueryResponse> bounded = ExecuteQuery(
+      view, nullptr, QueryRequest::PointDistance(0, 1).WithDeadline(1e4));
+  ASSERT_TRUE(plain.ok() && bounded.ok());
+  EXPECT_TRUE(ResponsePayloadsEqual(plain.value(), bounded.value()));
 }
 
 // ---------------------------------------------------------------------
@@ -628,6 +662,252 @@ TEST(QueryServerTest, PublishStatsEmitsMonotonicDeltas) {
   EXPECT_EQ(collector.value("server.completed"), 10u);
 
   EXPECT_FALSE(server.QueueWaitSamplesMs().empty());
+}
+
+// ---------------------------------------------------------------------
+// QueryServer: deadlines, cancellation, and health.
+// ---------------------------------------------------------------------
+
+TEST(QueryServerDeadlineTest, ExpiredRequestsAreShedAtDequeue) {
+  World w(300, 400, 59);
+  QueryServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_batch_size = 1;
+  opts.validate_replay = true;
+  opts.cancel_check_interval = 1;  // a leaked-through request still cancels
+  opts.health_window = 0;  // miss-rate degradation off: tested separately
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.gen.net, w.points, opts);
+  ASSERT_TRUE(started.ok());
+  QueryServer& server = *started.value();
+
+  // One expensive deadline-free query occupies the single worker; the
+  // sub-microsecond deadlines behind it all expire in the queue and
+  // must be shed at dequeue — resolved with kDeadlineExceeded, never a
+  // payload, never a hang.
+  std::future<Result<QueryResponse>> blocker =
+      server.Submit(QueryRequest::Range(0, 1e18));
+  std::vector<std::future<Result<QueryResponse>>> doomed;
+  for (int i = 0; i < 20; ++i) {
+    doomed.push_back(server.Submit(
+        QueryRequest::PointDistance(0, 1).WithDeadline(0.0005)));
+  }
+
+  EXPECT_TRUE(blocker.get().ok());
+  for (std::future<Result<QueryResponse>>& f : doomed) {
+    Result<QueryResponse> r = f.get();
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsDeadlineExceeded()) << r.status().ToString();
+  }
+  ServerStats stats = server.stats();
+  // Every doomed request resolved as a deadline miss, whether it was
+  // shed before execution or cancelled moments into it.
+  EXPECT_EQ(stats.deadline_expired + stats.cancelled_traversals, 20u);
+  EXPECT_GE(stats.deadline_expired, 1u);
+  EXPECT_EQ(stats.completed, stats.accepted);
+  EXPECT_EQ(stats.replay_mismatches, 0u);
+
+  // health_window = 0 disables miss-rate degradation entirely: even a
+  // pure-miss run keeps the server kServing.
+  EXPECT_EQ(server.CurrentHealth(), ServerHealth::kServing);
+}
+
+TEST(QueryServerDeadlineTest, MidTraversalCancellationResolvesCleanly) {
+  World w(200, 300, 61);
+  QueryServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_batch_size = 1;
+  opts.validate_replay = true;
+  opts.cancel_check_interval = 1;  // poll every settle: cancel promptly
+  // Chaos stalls the batch long past the deadline, so the watchdog
+  // fires while the request sits inside ExecuteBatch — the traversal
+  // itself must notice and abandon.
+  opts.chaos.seed = 3;
+  opts.chaos.worker_stall_prob = 1.0;
+  opts.chaos.worker_stall_ms = 400.0;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.gen.net, w.points, opts);
+  ASSERT_TRUE(started.ok());
+  QueryServer& server = *started.value();
+
+  Result<QueryResponse> r =
+      server.Execute(QueryRequest::Range(0, 1e18).WithDeadline(100.0));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDeadlineExceeded()) << r.status().ToString();
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cancelled_traversals, 1u);
+  EXPECT_EQ(stats.deadline_expired, 0u);  // it reached execution
+  // A cancelled (non-OK) request is excluded from replay validation —
+  // its partial work can never read as a divergence.
+  EXPECT_EQ(stats.replay_mismatches, 0u);
+
+  // With no deadline the same query serves normally afterwards.
+  EXPECT_TRUE(server.Execute(QueryRequest::PointDistance(0, 1)).ok());
+}
+
+TEST(QueryServerDeadlineTest, GenerousDeadlinesDoNotPerturbPayloads) {
+  World w(120, 150, 71);
+  InMemoryNetworkView inline_view(w.gen.net, w.points);
+  QueryServerOptions opts;
+  opts.num_workers = 2;
+  opts.validate_replay = true;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.gen.net, w.points, opts);
+  ASSERT_TRUE(started.ok());
+  QueryServer& server = *started.value();
+
+  for (PointId p = 0; p < 20; ++p) {
+    QueryRequest req = QueryRequest::NearestObject(p, 3).WithDeadline(6e4);
+    Result<QueryResponse> served = server.Execute(req);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    Result<QueryResponse> inline_r = ExecuteQuery(inline_view, nullptr, req);
+    ASSERT_TRUE(inline_r.ok());
+    EXPECT_TRUE(ResponsePayloadsEqual(served.value(), inline_r.value()))
+        << "point " << p;
+  }
+  EXPECT_EQ(server.stats().cancelled_traversals, 0u);
+  EXPECT_EQ(server.stats().deadline_expired, 0u);
+}
+
+TEST(QueryServerHealthTest, BackpressureCarriesStructuredRetryAfter) {
+  World w(400, 600, 73);
+  QueryServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_queue_depth = 1;
+  opts.max_batch_size = 1;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.gen.net, w.points, opts);
+  ASSERT_TRUE(started.ok());
+  QueryServer& server = *started.value();
+
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  Rng rng(5);
+  for (int i = 0; i < 5000 && server.stats().rejected == 0; ++i) {
+    PointId a = static_cast<PointId>(rng.NextBounded(w.points.size()));
+    futures.push_back(server.Submit(QueryRequest::Range(a, 50.0)));
+  }
+
+  // While the queue is at depth, a health probe still answers
+  // immediately — probes bypass admission control.
+  Result<QueryResponse> probe = server.Execute(QueryRequest::Healthz());
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_EQ(probe.value().kind, QueryKind::kHealthz);
+  EXPECT_EQ(probe.value().epoch, 1u);
+
+  size_t rejected = 0;
+  for (std::future<Result<QueryResponse>>& f : futures) {
+    Result<QueryResponse> r = f.get();
+    if (r.ok()) continue;
+    ASSERT_TRUE(r.status().IsUnavailable()) << r.status().ToString();
+    // The machine-readable hint, not just prose: present and positive.
+    ASSERT_TRUE(r.status().retry_after_ms().has_value());
+    EXPECT_GT(*r.status().retry_after_ms(), 0.0);
+    ++rejected;
+  }
+  ASSERT_GT(rejected, 0u);
+  // A non-rejection status never carries the hint.
+  EXPECT_FALSE(Status::DeadlineExceeded("x").retry_after_ms().has_value());
+}
+
+TEST(QueryServerHealthTest, HealthzReportsSignalsAndStopping) {
+  World w(60, 80, 79);
+  QueryServerOptions opts;
+  opts.num_workers = 1;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.gen.net, w.points, opts);
+  ASSERT_TRUE(started.ok());
+  QueryServer& server = *started.value();
+
+  EXPECT_EQ(server.CurrentHealth(), ServerHealth::kServing);
+  HealthReport report = server.Healthz();
+  EXPECT_EQ(report.health, ServerHealth::kServing);
+  EXPECT_EQ(report.epoch, 1u);
+  EXPECT_EQ(report.consecutive_publish_failures, 0u);
+  EXPECT_FALSE(report.wal_broken);
+  EXPECT_DOUBLE_EQ(report.deadline_miss_rate, 0.0);
+
+  // Every served response carries the health verdict for free.
+  Result<QueryResponse> r = server.Execute(QueryRequest::PointDistance(0, 1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().health, ServerHealth::kServing);
+
+  server.Stop();
+  EXPECT_EQ(server.CurrentHealth(), ServerHealth::kStopping);
+  EXPECT_EQ(server.Healthz().health, ServerHealth::kStopping);
+}
+
+TEST(QueryServerHealthTest, SustainedDeadlineMissesDegradeHealth) {
+  World w(300, 400, 83);
+  QueryServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_batch_size = 1;
+  opts.cancel_check_interval = 1;
+  opts.health_window = 16;  // the minimum representative window
+  opts.degraded_miss_rate = 0.5;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.gen.net, w.points, opts);
+  ASSERT_TRUE(started.ok());
+  QueryServer& server = *started.value();
+
+  // Fill the whole outcome window with misses: an expensive blocker
+  // pins the worker while 24 sub-microsecond deadlines expire queued.
+  std::future<Result<QueryResponse>> blocker =
+      server.Submit(QueryRequest::Range(0, 1e18));
+  std::vector<std::future<Result<QueryResponse>>> doomed;
+  for (int i = 0; i < 24; ++i) {
+    doomed.push_back(server.Submit(
+        QueryRequest::PointDistance(0, 1).WithDeadline(0.0005)));
+  }
+  EXPECT_TRUE(blocker.get().ok());
+  for (std::future<Result<QueryResponse>>& f : doomed) {
+    EXPECT_TRUE(f.get().status().IsDeadlineExceeded());
+  }
+
+  EXPECT_EQ(server.CurrentHealth(), ServerHealth::kDegraded);
+  HealthReport report = server.Healthz();
+  EXPECT_EQ(report.health, ServerHealth::kDegraded);
+  EXPECT_GE(report.deadline_miss_rate, 0.5);
+
+  // Degraded is a verdict, not an outage: the server still serves, and
+  // the stamped health tells the client so.
+  Result<QueryResponse> r = server.Execute(QueryRequest::PointDistance(0, 1));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().health, ServerHealth::kDegraded);
+}
+
+TEST(QueryServerHealthTest, PublishStatsCoversResilienceCounters) {
+  World w(80, 100, 89);
+  QueryServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_batch_size = 1;
+  opts.cancel_check_interval = 1;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.gen.net, w.points, opts);
+  ASSERT_TRUE(started.ok());
+  QueryServer& server = *started.value();
+
+  std::future<Result<QueryResponse>> blocker =
+      server.Submit(QueryRequest::Range(0, 1e18));
+  std::vector<std::future<Result<QueryResponse>>> doomed;
+  for (int i = 0; i < 4; ++i) {
+    doomed.push_back(server.Submit(
+        QueryRequest::PointDistance(0, 1).WithDeadline(0.0005)));
+  }
+  EXPECT_TRUE(blocker.get().ok());
+  for (std::future<Result<QueryResponse>>& f : doomed) {
+    EXPECT_TRUE(f.get().status().IsDeadlineExceeded());
+  }
+
+  StatsCollector collector;
+  server.PublishStats(&collector);
+  EXPECT_EQ(collector.value("server.deadline_expired") +
+                collector.value("server.cancelled_traversals"),
+            4u);
+  EXPECT_EQ(collector.value("server.wal_records"), 0u);
+  EXPECT_EQ(collector.value("server.wal_recoveries"), 0u);
+  EXPECT_EQ(collector.value("server.publish_failures"), 0u);
+  EXPECT_EQ(collector.value("server.queue_depth"), 0u);  // gauge, drained
 }
 
 }  // namespace
