@@ -17,7 +17,16 @@
 #        - Status and Result<T> must stay [[nodiscard]] so ignored
 #          fallible calls are compile errors under -Werror;
 #        - header guards must spell NETCLUS_<PATH>_H_ so a moved header
-#          cannot silently shadow another.
+#          cannot silently shadow another;
+#        - no raw std::mutex / lock_guard / unique_lock /
+#          condition_variable / shared_mutex in src/ outside
+#          common/mutex.h. All locking goes through the annotated
+#          netclus::Mutex wrappers: a raw primitive is invisible to
+#          clang's thread-safety analysis AND to the runtime lock-rank
+#          deadlock detector, so it silently re-opens both the
+#          data-race and the lock-cycle holes this layer closes. New
+#          code must take a rank from common/mutex.h's lock_rank table
+#          (documented in DESIGN.md section 14).
 #
 # Exits non-zero if any layer reports a finding.
 set -u
@@ -32,7 +41,14 @@ fail() {
 # --- clang-tidy (optional layer) --------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   if [ ! -f build/compile_commands.json ]; then
-    cmake -B build -G Ninja >/dev/null
+    # Same generator logic as scripts/run_all.sh: an existing build tree
+    # keeps whatever generator configured it (forcing -G Ninja onto a
+    # Makefiles tree is a hard CMake error); a fresh tree prefers Ninja.
+    if [ -f build/CMakeCache.txt ]; then
+      cmake -B build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    else
+      cmake -B build -G Ninja -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    fi
   fi
   echo "lint: clang-tidy over src/ (WarningsAsErrors, see .clang-tidy)"
   # shellcheck disable=SC2046 — source paths contain no whitespace.
@@ -70,6 +86,29 @@ $hits"
     grep -vE '=[[:space:]]*delete' || true)
   if [ -n "$hits" ]; then
     fail "$f: naked delete; ownership must be automatic
+$hits"
+  fi
+done
+
+# Lock-discipline tripwire: raw standard-library synchronization
+# primitives bypass both the clang thread-safety annotations and the
+# runtime lock-rank deadlock detector; src/common/mutex.{h,cc} is the
+# one sanctioned wrapper over them.
+for f in $(find src -name '*.h' -o -name '*.cc' | sort); do
+  case "$f" in
+    src/common/mutex.h|src/common/mutex.cc) continue ;;
+  esac
+  stripped=$(sed 's@//.*@@' "$f")
+  hits=$(printf '%s\n' "$stripped" |
+    grep -nE 'std::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable|condition_variable_any)($|[^[:alnum:]_])' || true)
+  if [ -n "$hits" ]; then
+    fail "$f: raw std synchronization primitive; use netclus::Mutex/MutexLock/CondVar from common/mutex.h (annotated for clang TSA + ranked for the deadlock detector)
+$hits"
+  fi
+  hits=$(printf '%s\n' "$stripped" |
+    grep -nE '#include[[:space:]]*<(mutex|shared_mutex|condition_variable)>' || true)
+  if [ -n "$hits" ]; then
+    fail "$f: direct <mutex>/<shared_mutex>/<condition_variable> include; include \"common/mutex.h\" instead
 $hits"
   fi
 done

@@ -28,6 +28,12 @@
 # installed, plus the grep-based netclus-lint policy rules) and fails on
 # any finding.
 #
+# `scripts/run_all.sh tsa` runs scripts/check_tsa.sh: clang's
+# -Wthread-safety analysis over the negative-compile snippets in
+# tests/tsa/ (seeded lock-discipline violations must be rejected) and
+# then the whole tree, writing tsa_output.txt. Skips with a notice when
+# no clang is installed (gcc has no thread-safety analysis).
+#
 # `scripts/run_all.sh bench-smoke` builds the default configuration and
 # runs the minutes-scale bench_smoke harness (distance-index on/off
 # contrasts on a small generated network) plus the frozen_traversal
@@ -48,8 +54,9 @@
 # per-query deadline, restarted once on the same log to prove crash
 # recovery end to end.
 #
-# The default mode is the full verify flow: lint, then build + tests +
-# benches, then the ubsan configuration over the core algorithm suites.
+# The default mode is the full verify flow: lint, then the tsa check
+# (skips cleanly without clang), then build + tests + benches, then the
+# ubsan configuration over the core algorithm suites.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -66,6 +73,23 @@ configure_build() {
 
 if [ "${1:-}" = "lint" ]; then
   exec sh scripts/lint.sh
+fi
+
+# Note: no `| tee` here — under `set -e` a pipeline's status is tee's,
+# which would swallow a check_tsa.sh failure. Redirect, then replay.
+run_tsa() {
+  if sh scripts/check_tsa.sh > tsa_output.txt 2>&1; then
+    cat tsa_output.txt
+  else
+    cat tsa_output.txt
+    echo "run_all: tsa check failed (see tsa_output.txt)" >&2
+    exit 1
+  fi
+}
+
+if [ "${1:-}" = "tsa" ]; then
+  run_tsa
+  exit 0
 fi
 
 if [ "${1:-}" = "ubsan" ]; then
@@ -98,7 +122,7 @@ if [ "${1:-}" = "tsan" ]; then
   cmake -B build-tsan -G Ninja -DNETCLUS_SANITIZE=thread
   cmake --build build-tsan
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'ThreadPool|WorkspacePool|Parallel|Determin|Restart|DistanceCache|EpochManager|QueryServer|Wal|Chaos|Deadline|Cancel' \
+    -R 'ThreadPool|WorkspacePool|Parallel|Determin|Restart|DistanceCache|EpochManager|QueryServer|Wal|Chaos|Deadline|Cancel|Mutex|CondVar' \
     2>&1 | tee tsan_output.txt
   exit 0
 fi
@@ -163,6 +187,7 @@ if [ "${1:-}" = "bench-smoke" ]; then
 fi
 
 sh scripts/lint.sh
+run_tsa
 configure_build
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt

@@ -1,0 +1,70 @@
+#include "common/mutex.h"
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace netclus {
+namespace {
+
+struct HeldLock {
+  const void* mu;
+  int rank;
+  const char* name;
+};
+
+// Per-thread acquisition stack, newest last. Small (a thread holds at
+// most a handful of locks) so linear scans beat any indexed structure.
+thread_local std::vector<HeldLock> t_held;
+
+std::atomic<bool> g_rank_checking{NETCLUS_DCHECK_IS_ON() != 0};
+
+}  // namespace
+
+bool SetLockRankChecking(bool enabled) {
+  return g_rank_checking.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool LockRankCheckingEnabled() {
+  return g_rank_checking.load(std::memory_order_relaxed);
+}
+
+size_t HeldLockCountForTesting() { return t_held.size(); }
+
+namespace lock_rank_internal {
+
+void RankCheckAcquire(const void* mu, int rank, const char* name) {
+  if (!g_rank_checking.load(std::memory_order_relaxed)) return;
+  const HeldLock* highest = nullptr;
+  for (const HeldLock& held : t_held) {
+    if (highest == nullptr || held.rank >= highest->rank) highest = &held;
+  }
+  // The check runs before the underlying lock is taken, so a throwing
+  // check-failure handler (tests) leaves the mutex unowned and the
+  // stack untouched.
+  if (highest != nullptr) {
+    NETCLUS_CHECK(rank > highest->rank)
+        << "lock-rank violation: acquiring \"" << name << "\" (rank " << rank
+        << ") while holding \"" << highest->name << "\" (rank "
+        << highest->rank
+        << "); a thread may only acquire strictly increasing ranks — see the "
+           "lock hierarchy in DESIGN.md section 14";
+  }
+  t_held.push_back(HeldLock{mu, rank, name});
+}
+
+void RankCheckRelease(const void* mu) {
+  // Scan newest-first and always (even with checking disabled): an
+  // entry recorded while checking was on must not outlive its release.
+  for (size_t i = t_held.size(); i > 0; --i) {
+    if (t_held[i - 1].mu == mu) {
+      t_held.erase(t_held.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+}  // namespace lock_rank_internal
+}  // namespace netclus

@@ -37,17 +37,17 @@ double SlidingWindowMean::mean() const {
 }
 
 void StatsCollector::Add(const std::string& counter, uint64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   counters_[counter] += delta;
 }
 
 void StatsCollector::Set(const std::string& counter, uint64_t value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   counters_[counter] = value;
 }
 
 uint64_t StatsCollector::value(const std::string& counter) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = counters_.find(counter);
   return it == counters_.end() ? 0 : it->second;
 }
@@ -56,7 +56,7 @@ std::vector<std::pair<std::string, uint64_t>> StatsCollector::Snapshot()
     const {
   std::vector<std::pair<std::string, uint64_t>> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     out.assign(counters_.begin(), counters_.end());
   }
   std::sort(out.begin(), out.end());
@@ -64,7 +64,7 @@ std::vector<std::pair<std::string, uint64_t>> StatsCollector::Snapshot()
 }
 
 void StatsCollector::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   counters_.clear();
 }
 

@@ -8,11 +8,12 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace netclus {
 
@@ -70,28 +71,32 @@ class SlidingWindowMean {
 class StatsCollector {
  public:
   /// Adds `delta` to `counter`, creating it at zero first if needed.
-  void Add(const std::string& counter, uint64_t delta);
+  void Add(const std::string& counter, uint64_t delta) NETCLUS_EXCLUDES(mu_);
 
   /// Overwrites `counter` with `value` — gauge semantics for
   /// point-in-time readings (queue depth) that must not accumulate
   /// across flushes the way the monotonic counters above do.
-  void Set(const std::string& counter, uint64_t value);
+  void Set(const std::string& counter, uint64_t value) NETCLUS_EXCLUDES(mu_);
 
   /// Current value of `counter`; 0 when it was never added to.
-  uint64_t value(const std::string& counter) const;
+  uint64_t value(const std::string& counter) const NETCLUS_EXCLUDES(mu_);
 
   /// All counters as (name, value), sorted by name.
-  std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+  std::vector<std::pair<std::string, uint64_t>> Snapshot() const
+      NETCLUS_EXCLUDES(mu_);
 
   /// Drops every counter (tests only).
-  void Reset();
+  void Reset() NETCLUS_EXCLUDES(mu_);
 
   /// The process-wide collector RunClustering publishes into.
   static StatsCollector& Global();
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, uint64_t> counters_;
+  // Rank kStatsRegistry: the global leaf of the lock hierarchy — every
+  // subsystem may flush into the registry while holding its own
+  // publication lock, so nothing may be acquired beyond this one.
+  mutable Mutex mu_{lock_rank::kStatsRegistry, "StatsCollector::mu_"};
+  std::unordered_map<std::string, uint64_t> counters_ NETCLUS_GUARDED_BY(mu_);
 };
 
 }  // namespace netclus

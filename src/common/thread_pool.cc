@@ -22,10 +22,10 @@ ThreadPool::ThreadPool(uint32_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -33,9 +33,8 @@ void ThreadPool::WorkerLoop(uint32_t worker) {
   for (;;) {
     std::function<void(uint32_t)> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(&mu_);
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -60,7 +59,7 @@ struct ForLoopState {
       try {
         body(i, worker);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         if (!error) error = std::current_exception();
         // Stop handing out further items; in-flight ones finish.
         next.store(n, std::memory_order_relaxed);
@@ -70,16 +69,16 @@ struct ForLoopState {
   }
 
   void TaskDone() {
-    std::lock_guard<std::mutex> lock(mu);
-    if (--pending_tasks == 0) done.notify_one();
+    MutexLock lock(&mu);
+    if (--pending_tasks == 0) done.NotifyOne();
   }
 
   const size_t n;
   std::atomic<size_t> next{0};
-  std::mutex mu;
-  std::condition_variable done;
-  size_t pending_tasks = 0;
-  std::exception_ptr error;
+  Mutex mu{lock_rank::kParallelForState, "ForLoopState::mu"};
+  CondVar done;
+  size_t pending_tasks NETCLUS_GUARDED_BY(mu) = 0;
+  std::exception_ptr error NETCLUS_GUARDED_BY(mu);
 };
 
 }  // namespace
@@ -93,8 +92,15 @@ void ThreadPool::ParallelFor(
   // swap counts) still pack tightly.
   size_t tasks = std::min<size_t>(size(), n);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // pending_tasks is guarded by state.mu, not the pool's queue lock;
+    // it must be initialized under its own mutex before any drain task
+    // can observe it. (The thread-safety analysis caught the original
+    // version writing it under mu_.)
+    MutexLock lock(&state.mu);
     state.pending_tasks = tasks;
+  }
+  {
+    MutexLock lock(&mu_);
     for (size_t t = 0; t < tasks; ++t) {
       queue_.emplace_back([&state, &body](uint32_t worker) {
         state.Drain(worker, body);
@@ -102,10 +108,14 @@ void ThreadPool::ParallelFor(
       });
     }
   }
-  work_available_.notify_all();
-  std::unique_lock<std::mutex> lock(state.mu);
-  state.done.wait(lock, [&state] { return state.pending_tasks == 0; });
-  if (state.error) std::rethrow_exception(state.error);
+  work_available_.NotifyAll();
+  std::exception_ptr error;
+  {
+    MutexLock lock(&state.mu);
+    while (state.pending_tasks != 0) state.done.Wait(&state.mu);
+    error = state.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ParallelFor(ThreadPool* pool, size_t n,

@@ -15,14 +15,14 @@
 #ifndef NETCLUS_COMMON_THREAD_POOL_H_
 #define NETCLUS_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace netclus {
 
@@ -53,15 +53,16 @@ class ThreadPool {
   /// completed (or an exception aborted the loop). Rethrows the first
   /// exception thrown by a body.
   void ParallelFor(size_t n,
-                   const std::function<void(size_t, uint32_t)>& body);
+                   const std::function<void(size_t, uint32_t)>& body)
+      NETCLUS_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop(uint32_t worker);
+  void WorkerLoop(uint32_t worker) NETCLUS_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::deque<std::function<void(uint32_t)>> queue_;
-  bool shutting_down_ = false;
+  Mutex mu_{lock_rank::kThreadPoolQueue, "ThreadPool::mu_"};
+  CondVar work_available_;
+  std::deque<std::function<void(uint32_t)>> queue_ NETCLUS_GUARDED_BY(mu_);
+  bool shutting_down_ NETCLUS_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -474,17 +474,17 @@ Status NetworkStore::ScanGroups(
 }
 
 void DiskNetworkView::Record(const Status& s) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (first_error_.ok()) first_error_ = s;
 }
 
 Status DiskNetworkView::status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return first_error_;
 }
 
 void DiskNetworkView::ClearStatus() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   first_error_ = Status::OK();
 }
 

@@ -27,10 +27,10 @@
 #define NETCLUS_GRAPH_NETWORK_STORE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/bptree.h"
 #include "storage/buffer_manager.h"
@@ -131,18 +131,21 @@ class DiskNetworkView : public NetworkView {
       const override;
 
   /// First storage error any accessor swallowed, or OK.
-  Status status() const override;
+  Status status() const override NETCLUS_EXCLUDES(mu_);
 
   /// Forgets a recorded error (fault-injection tests reuse one view
   /// across injected and clean phases).
-  void ClearStatus();
+  void ClearStatus() NETCLUS_EXCLUDES(mu_);
 
  private:
-  void Record(const Status& s) const;
+  void Record(const Status& s) const NETCLUS_EXCLUDES(mu_);
 
   const NetworkStore* store_;
-  mutable std::mutex mu_;
-  mutable Status first_error_;
+  // Rank kDiskViewStatus: the leaf of the disk read path — Record runs
+  // from deep inside traversals, which must not be holding anything
+  // that ranks above it.
+  mutable Mutex mu_{lock_rank::kDiskViewStatus, "DiskNetworkView::mu_"};
+  mutable Status first_error_ NETCLUS_GUARDED_BY(mu_);
 };
 
 /// \brief Convenience bundle owning the files, pool, store and view.

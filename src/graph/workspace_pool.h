@@ -12,9 +12,9 @@
 #define NETCLUS_GRAPH_WORKSPACE_POOL_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "graph/dijkstra.h"
 #include "graph/types.h"
 
@@ -52,9 +52,9 @@ class WorkspacePool {
   };
 
   /// Leases a workspace, reusing a returned one when available.
-  Lease Acquire() {
+  Lease Acquire() NETCLUS_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!free_.empty()) {
         std::unique_ptr<TraversalWorkspace> ws = std::move(free_.back());
         free_.pop_back();
@@ -65,21 +65,22 @@ class WorkspacePool {
   }
 
   /// Number of idle workspaces currently held (for tests).
-  size_t idle_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t idle_count() const NETCLUS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return free_.size();
   }
 
  private:
-  void Release(std::unique_ptr<TraversalWorkspace> ws) {
+  void Release(std::unique_ptr<TraversalWorkspace> ws) NETCLUS_EXCLUDES(mu_) {
     if (ws == nullptr) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     free_.push_back(std::move(ws));
   }
 
   const NodeId num_nodes_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<TraversalWorkspace>> free_;
+  mutable Mutex mu_{lock_rank::kWorkspacePool, "WorkspacePool::mu_"};
+  std::vector<std::unique_ptr<TraversalWorkspace>> free_
+      NETCLUS_GUARDED_BY(mu_);
 };
 
 }  // namespace netclus

@@ -51,7 +51,7 @@ bool DistanceCache::Lookup(PointId a, PointId b, double* out) const {
   if (capacity_ == 0) return false;
   uint64_t key = KeyOf(a, b);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   RefreshEpochLocked(&shard);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
@@ -69,7 +69,7 @@ void DistanceCache::Store(PointId a, PointId b, double dist) const {
   if (capacity_ == 0) return;
   uint64_t key = KeyOf(a, b);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   RefreshEpochLocked(&shard);
   ++shard.counters.stores;
   auto it = shard.map.find(key);
@@ -94,7 +94,7 @@ void DistanceCache::Invalidate() const {
 DistanceCache::Counters DistanceCache::counters() const {
   Counters total;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     total.hits += shard.counters.hits;
     total.misses += shard.counters.misses;
     total.stores += shard.counters.stores;
@@ -106,7 +106,7 @@ DistanceCache::Counters DistanceCache::counters() const {
 size_t DistanceCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     // Entries from a stale epoch are logically absent.
     if (shard.epoch == epoch_.load(std::memory_order_acquire)) {
       total += shard.map.size();

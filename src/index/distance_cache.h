@@ -22,11 +22,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "graph/types.h"
 
 namespace netclus {
@@ -77,13 +77,17 @@ class DistanceCache {
     double dist = 0.0;
   };
   struct Shard {
-    mutable std::mutex mu;
+    // All shard mutexes share one rank: a thread only ever holds one
+    // shard at a time (Lookup/Store lock exactly the key's shard;
+    // counters()/size() visit shards strictly one after another).
+    mutable Mutex mu{lock_rank::kDistanceCacheShard, "DistanceCache::Shard::mu"};
     /// Epoch the resident entries belong to; on mismatch with the
     /// cache-wide epoch the shard clears itself before serving.
-    uint64_t epoch = 0;
-    std::list<Entry> lru;  ///< front = most recent
-    std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
-    Counters counters;
+    uint64_t epoch NETCLUS_GUARDED_BY(mu) = 0;
+    std::list<Entry> lru NETCLUS_GUARDED_BY(mu);  ///< front = most recent
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> map
+        NETCLUS_GUARDED_BY(mu);
+    Counters counters NETCLUS_GUARDED_BY(mu);
   };
 
   static uint64_t KeyOf(PointId a, PointId b) {
@@ -94,7 +98,7 @@ class DistanceCache {
 
   Shard& ShardFor(uint64_t key) const;
   /// Clears the shard if its resident epoch is stale. Caller holds mu.
-  void RefreshEpochLocked(Shard* shard) const;
+  void RefreshEpochLocked(Shard* shard) const NETCLUS_REQUIRES(shard->mu);
 
   size_t capacity_;
   size_t per_shard_capacity_ = 0;

@@ -64,7 +64,7 @@ IndexStats DistanceIndex::Stats() const {
 
 void DistanceIndex::PublishStats(StatsCollector* collector) const {
   DistanceCache::Counters now = cache_.counters();
-  std::lock_guard<std::mutex> lock(publish_mu_);
+  MutexLock lock(&publish_mu_);
   collector->Add("index.cache.hits", now.hits - published_.hits);
   collector->Add("index.cache.misses", now.misses - published_.misses);
   collector->Add("index.cache.stores", now.stores - published_.stores);

@@ -18,9 +18,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 
+#include "common/mutex.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -123,7 +123,8 @@ class DistanceIndex : public DistanceAccelerator {
 
   /// Adds the counter deltas since the previous PublishStats call to
   /// `collector` under "index.cache.*" names.
-  void PublishStats(StatsCollector* collector) const;
+  void PublishStats(StatsCollector* collector) const
+      NETCLUS_EXCLUDES(publish_mu_);
 
   const LandmarkOracle& landmarks() const { return landmarks_; }
   const VoronoiPrecompute* voronoi() const {
@@ -143,8 +144,13 @@ class DistanceIndex : public DistanceAccelerator {
   std::optional<VoronoiPrecompute> voronoi_;
   DistanceCache cache_;
 
-  mutable std::mutex publish_mu_;
-  mutable DistanceCache::Counters published_;
+  // Rank kStatsPublish: held across the StatsCollector flush, so it
+  // must rank below the registry lock and above everything the counter
+  // read could touch (the cache shard locks are released before the
+  // flush starts).
+  mutable Mutex publish_mu_{lock_rank::kStatsPublish,
+                            "DistanceIndex::publish_mu_"};
+  mutable DistanceCache::Counters published_ NETCLUS_GUARDED_BY(publish_mu_);
 };
 
 }  // namespace netclus

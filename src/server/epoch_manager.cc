@@ -12,7 +12,7 @@ EpochManager::~EpochManager() = default;
 
 EpochManager::Pin EpochManager::Acquire(uint32_t slot) {
   slot %= num_pin_slots_;  // any caller value maps onto a real slot
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (current_ == nullptr) return Pin();
   current_->AddPin(slot);
   return Pin(current_, slot);
@@ -22,7 +22,7 @@ uint64_t EpochManager::Publish(std::shared_ptr<const FrozenGraph> graph,
                                std::shared_ptr<const PointSet> points,
                                std::shared_ptr<const ClusterOutput> clusters,
                                std::shared_ptr<const DistanceCache> cache) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const uint64_t id = published_.fetch_add(1, std::memory_order_acq_rel) + 1;
   auto snap = std::make_shared<const EpochSnapshot>(
       id, std::move(graph), std::move(points), std::move(clusters),
@@ -34,7 +34,7 @@ uint64_t EpochManager::Publish(std::shared_ptr<const FrozenGraph> graph,
 }
 
 void EpochManager::SweepRetired() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SweepRetiredLocked();
 }
 
@@ -52,17 +52,17 @@ void EpochManager::SweepRetiredLocked() {
 }
 
 std::shared_ptr<const EpochSnapshot> EpochManager::CurrentShared() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return current_;
 }
 
 uint64_t EpochManager::current_epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return current_ == nullptr ? 0 : current_->epoch();
 }
 
 size_t EpochManager::retired_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return retired_.size();
 }
 

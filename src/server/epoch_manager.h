@@ -27,10 +27,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "server/snapshot.h"
 
 namespace netclus {
@@ -91,7 +91,7 @@ class EpochManager {
   /// Pins the current epoch into reader slot `slot % num_pin_slots()`
   /// (reduced so an arbitrary rotation counter is a valid argument).
   /// Returns an empty pin when nothing has been published yet.
-  Pin Acquire(uint32_t slot);
+  Pin Acquire(uint32_t slot) NETCLUS_EXCLUDES(mu_);
 
   /// Wraps the next world in a snapshot with the next monotone epoch id,
   /// makes it current, retires the predecessor, and sweeps. Returns the
@@ -101,20 +101,22 @@ class EpochManager {
   uint64_t Publish(std::shared_ptr<const FrozenGraph> graph,
                    std::shared_ptr<const PointSet> points,
                    std::shared_ptr<const ClusterOutput> clusters,
-                   std::shared_ptr<const DistanceCache> cache = nullptr);
+                   std::shared_ptr<const DistanceCache> cache = nullptr)
+      NETCLUS_EXCLUDES(mu_);
 
   /// Frees every retired snapshot whose pins read zero. Runs implicitly
   /// on each Publish; exposed so callers can reclaim promptly after the
   /// last reader of an old epoch finishes.
-  void SweepRetired();
+  void SweepRetired() NETCLUS_EXCLUDES(mu_);
 
   /// Shared handle to the current snapshot (null before first Publish).
   /// Unlike Acquire, holds no pin slot: suitable for inspection, not for
   /// gating the sweep.
-  std::shared_ptr<const EpochSnapshot> CurrentShared() const;
+  std::shared_ptr<const EpochSnapshot> CurrentShared() const
+      NETCLUS_EXCLUDES(mu_);
 
   /// Current epoch id; 0 before the first Publish.
-  uint64_t current_epoch() const;
+  uint64_t current_epoch() const NETCLUS_EXCLUDES(mu_);
   uint64_t epochs_published() const {
     return published_.load(std::memory_order_acquire);
   }
@@ -123,17 +125,22 @@ class EpochManager {
     return freed_->load(std::memory_order_acquire);
   }
   /// Retired snapshots still awaiting their last reader.
-  size_t retired_count() const;
+  size_t retired_count() const NETCLUS_EXCLUDES(mu_);
 
   uint32_t num_pin_slots() const { return num_pin_slots_; }
 
  private:
-  void SweepRetiredLocked();
+  void SweepRetiredLocked() NETCLUS_REQUIRES(mu_);
 
   const uint32_t num_pin_slots_;
-  mutable std::mutex mu_;
-  std::shared_ptr<const EpochSnapshot> current_;
-  std::vector<std::shared_ptr<const EpochSnapshot>> retired_;
+  // Rank kEpochManager: above the serving queues (the dispatcher has
+  // released queue_mu_ before it pins an epoch) and below the worker
+  // resource locks; the sweep destroys snapshots under this mutex, so
+  // snapshot teardown must stay lock-free. Rationale: DESIGN.md §14.
+  mutable Mutex mu_{lock_rank::kEpochManager, "EpochManager::mu_"};
+  std::shared_ptr<const EpochSnapshot> current_ NETCLUS_GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<const EpochSnapshot>> retired_
+      NETCLUS_GUARDED_BY(mu_);
   std::atomic<uint64_t> published_{0};
   /// Shared with every snapshot so destruction after the manager dies
   /// still has somewhere to record itself.

@@ -126,7 +126,13 @@ Status QueryServer::RecoverFromWal() {
     // other failure is a real recovery error.
     if (!applied.ok() && !applied.IsInvalidArgument()) return applied;
   }
-  wal_recovered_ = wal_->recovery().records.size();
+  {
+    // Start is single-threaded here, but wal_recovered_ lives with the
+    // serving statistics, so it is written under their lock like
+    // everything else the analysis guards.
+    MutexLock lock(&stats_mu_);
+    wal_recovered_ = wal_->recovery().records.size();
+  }
   return Status::OK();
 }
 
@@ -208,11 +214,11 @@ std::future<Result<QueryResponse>> QueryServer::Submit(
     arm_expiry = pq.deadline_seconds;
   }
 
-  std::unique_lock<std::mutex> lock(queue_mu_);
+  MutexLock lock(&queue_mu_);
   if (stopping_) {
-    lock.unlock();
+    lock.Unlock();
     pq.promise.set_value(Status::Unavailable("query server is stopping"));
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    MutexLock slock(&stats_mu_);
     ++rejected_;
     return fut;
   }
@@ -226,7 +232,9 @@ std::future<Result<QueryResponse>> QueryServer::Submit(
     const double depth = static_cast<double>(queue_.size());
     double retry_ms;
     {
-      std::lock_guard<std::mutex> slock(stats_mu_);
+      // queue_mu_ (rank 30) -> stats_mu_ (rank 90): the one sanctioned
+      // nesting between the serving locks.
+      MutexLock slock(&stats_mu_);
       ++rejected_;
       if (batch_ms_.count() > 0) {
         const double batches_queued = std::max(
@@ -239,7 +247,7 @@ std::future<Result<QueryResponse>> QueryServer::Submit(
                      static_cast<double>(pool_->size()));
       }
     }
-    lock.unlock();
+    lock.Unlock();
     pq.promise.set_value(Status::UnavailableWithRetry(
         "query queue full (" + std::to_string(options_.max_queue_depth) +
             " deep); retry after ~" + std::to_string(retry_ms) + " ms",
@@ -247,13 +255,13 @@ std::future<Result<QueryResponse>> QueryServer::Submit(
     return fut;
   }
   queue_.push_back(std::move(pq));
-  lock.unlock();
+  lock.Unlock();
   {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    MutexLock slock(&stats_mu_);
     ++accepted_;
   }
   if (arm_flag != nullptr) ArmDeadline(arm_expiry, std::move(arm_flag));
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
   return fut;
 }
 
@@ -266,7 +274,7 @@ std::future<Status> QueryServer::SubmitUpdate(const NetworkUpdate& update) {
   pu.update = update;
   std::future<Status> fut = pu.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(update_mu_);
+    MutexLock lock(&update_mu_);
     if (update_stopping_) {
       pu.promise.set_value(Status::Unavailable("query server is stopping"));
       return fut;
@@ -274,7 +282,7 @@ std::future<Status> QueryServer::SubmitUpdate(const NetworkUpdate& update) {
     pu.seq = ++update_seq_;
     update_queue_.push_back(std::move(pu));
   }
-  update_cv_.notify_one();
+  update_cv_.NotifyOne();
   return fut;
 }
 
@@ -283,29 +291,29 @@ Status QueryServer::ApplyUpdate(const NetworkUpdate& update) {
 }
 
 Status QueryServer::Flush() {
-  std::unique_lock<std::mutex> lock(update_mu_);
+  MutexLock lock(&update_mu_);
   const uint64_t target = update_seq_;
-  flush_cv_.wait(lock, [&] { return published_seq_ >= target; });
+  while (published_seq_ < target) flush_cv_.Wait(&update_mu_);
   return last_publish_error_;
 }
 
 void QueryServer::Stop() {
   stopping_flag_.store(true, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(&queue_mu_);
     stopping_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   {
-    std::lock_guard<std::mutex> lock(update_mu_);
+    MutexLock lock(&update_mu_);
     update_stopping_ = true;
   }
-  update_cv_.notify_all();
+  update_cv_.NotifyAll();
   {
-    std::lock_guard<std::mutex> lock(deadline_mu_);
+    MutexLock lock(&deadline_mu_);
     deadline_stopping_ = true;
   }
-  deadline_cv_.notify_all();
+  deadline_cv_.NotifyAll();
   if (dispatcher_.joinable()) dispatcher_.join();
   if (updater_.joinable()) updater_.join();
   if (watchdog_.joinable()) watchdog_.join();
@@ -324,7 +332,7 @@ ServerHealth QueryServer::CurrentHealth() const {
     return ServerHealth::kDegraded;
   }
   if (options_.health_window > 0 && options_.degraded_miss_rate > 0.0) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     const size_t samples =
         outcome_full_ ? outcome_ring_.size() : outcome_next_;
     if (samples >= kMinHealthSamples &&
@@ -343,11 +351,11 @@ HealthReport QueryServer::Healthz() const {
       consecutive_publish_failures_.load(std::memory_order_relaxed);
   report.wal_broken = wal_broken_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     report.deadline_miss_rate = DeadlineMissRateLocked();
   }
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(&queue_mu_);
     report.queue_depth = queue_.size();
   }
   return report;
@@ -375,8 +383,8 @@ void QueryServer::DispatcherLoop() {
     std::vector<PendingQuery> batch;
     std::vector<PendingQuery> shed;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&queue_mu_);
+      while (!stopping_ && queue_.empty()) queue_cv_.Wait(&queue_mu_);
       if (queue_.empty()) {
         if (stopping_) return;  // drained; accepted work always finishes
         continue;
@@ -397,7 +405,7 @@ void QueryServer::DispatcherLoop() {
     }
     if (!shed.empty()) {
       {
-        std::lock_guard<std::mutex> slock(stats_mu_);
+        MutexLock slock(&stats_mu_);
         // Shed requests complete (with an error) — every accepted
         // request still resolves exactly once.
         completed_ += shed.size();
@@ -422,22 +430,22 @@ void QueryServer::ArmDeadline(double expiry_seconds,
     return a.expiry_seconds > b.expiry_seconds;
   };
   {
-    std::lock_guard<std::mutex> lock(deadline_mu_);
+    MutexLock lock(&deadline_mu_);
     deadline_heap_.push_back(DeadlineEntry{expiry_seconds, std::move(flag)});
     std::push_heap(deadline_heap_.begin(), deadline_heap_.end(), later);
   }
-  deadline_cv_.notify_one();
+  deadline_cv_.NotifyOne();
 }
 
 void QueryServer::WatchdogLoop() {
   auto later = [](const DeadlineEntry& a, const DeadlineEntry& b) {
     return a.expiry_seconds > b.expiry_seconds;
   };
-  std::unique_lock<std::mutex> lock(deadline_mu_);
+  MutexLock lock(&deadline_mu_);
   for (;;) {
     if (deadline_stopping_) return;
     if (deadline_heap_.empty()) {
-      deadline_cv_.wait(lock);
+      deadline_cv_.Wait(&deadline_mu_);
       continue;
     }
     const double now = clock_.ElapsedSeconds();
@@ -449,9 +457,8 @@ void QueryServer::WatchdogLoop() {
       deadline_heap_.pop_back();
       continue;
     }
-    deadline_cv_.wait_for(
-        lock, std::chrono::duration<double>(
-                  deadline_heap_.front().expiry_seconds - now));
+    deadline_cv_.WaitFor(&deadline_mu_,
+                         deadline_heap_.front().expiry_seconds - now);
   }
 }
 
@@ -521,7 +528,7 @@ void QueryServer::ExecuteBatch(std::vector<PendingQuery>* batch) {
                                          ok_requests, ok_responses,
                                          snap.clusters());
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(&stats_mu_);
       ++replay_batches_;
       if (!verdict.ok()) ++replay_mismatches_;
     }
@@ -538,7 +545,7 @@ void QueryServer::ExecuteBatch(std::vector<PendingQuery>* batch) {
   // response must already be visible in stats().completed.
   const double end_seconds = clock_.ElapsedSeconds();
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     ++batches_;
     completed_ += n;
     batch_size_.Add(static_cast<double>(n));
@@ -578,9 +585,10 @@ void QueryServer::UpdaterLoop() {
   for (;;) {
     std::vector<PendingUpdate> batch;
     {
-      std::unique_lock<std::mutex> lock(update_mu_);
-      update_cv_.wait(lock,
-                      [&] { return update_stopping_ || !update_queue_.empty(); });
+      MutexLock lock(&update_mu_);
+      while (!update_stopping_ && update_queue_.empty()) {
+        update_cv_.Wait(&update_mu_);
+      }
       if (update_queue_.empty()) {
         if (update_stopping_) return;
         continue;
@@ -617,7 +625,7 @@ void QueryServer::UpdaterLoop() {
       pu.promise.set_value(std::move(applied));
     }
     if (logged > 0) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(&stats_mu_);
       wal_records_ += logged;
     }
     Status publish = Status::OK();
@@ -636,26 +644,26 @@ void QueryServer::UpdaterLoop() {
         // last good epoch, and the applied mutations ride along with
         // the next successful publish.
         consecutive_publish_failures_.fetch_add(1, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(&stats_mu_);
         ++publish_failures_;
       }
     }
     {
-      std::lock_guard<std::mutex> lock(update_mu_);
+      MutexLock lock(&update_mu_);
       published_seq_ = max_seq;
       // Record the outcome of every publish attempt — a success clears a
       // previous failure so Flush() stops reporting it once the world is
       // re-published. Rounds that publish nothing leave it untouched.
       if (mutated) last_publish_error_ = publish;
     }
-    flush_cv_.notify_all();
+    flush_cv_.NotifyAll();
   }
 }
 
 ServerStats QueryServer::stats() const {
   ServerStats s;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     s.accepted = accepted_;
     s.rejected = rejected_;
     s.completed = completed_;
@@ -677,7 +685,7 @@ ServerStats QueryServer::stats() const {
   s.epochs_drained = epochs_.epochs_drained();
   s.retired_epochs = epochs_.retired_count();
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(&queue_mu_);
     s.queue_depth = queue_.size();
   }
   return s;
@@ -685,7 +693,7 @@ ServerStats QueryServer::stats() const {
 
 void QueryServer::PublishStats(StatsCollector* collector) const {
   ServerStats now = stats();
-  std::lock_guard<std::mutex> lock(publish_stats_mu_);
+  MutexLock lock(&publish_stats_mu_);
   auto delta = [](uint64_t cur, uint64_t* prev) {
     uint64_t d = cur - *prev;
     *prev = cur;
@@ -724,7 +732,7 @@ void QueryServer::PublishStats(StatsCollector* collector) const {
 }
 
 std::vector<double> QueryServer::QueueWaitSamplesMs() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   return wait_ring_;
 }
 

@@ -47,17 +47,16 @@
 #define NETCLUS_SERVER_QUERY_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/stats.h"
@@ -297,10 +296,10 @@ class QueryServer {
   void ArmDeadline(double expiry_seconds,
                    std::shared_ptr<std::atomic<bool>> flag);
 
-  /// Records one request outcome in the health window. stats_mu_ held.
-  void RecordOutcomeLocked(bool deadline_missed);
-  /// Miss fraction over the current window. stats_mu_ held.
-  double DeadlineMissRateLocked() const;
+  /// Records one request outcome in the health window.
+  void RecordOutcomeLocked(bool deadline_missed) NETCLUS_REQUIRES(stats_mu_);
+  /// Miss fraction over the current window.
+  double DeadlineMissRateLocked() const NETCLUS_REQUIRES(stats_mu_);
 
   const QueryServerOptions options_;
   WallTimer clock_;  ///< server-lifetime clock for queue-wait stamps
@@ -318,21 +317,27 @@ class QueryServer {
   std::unique_ptr<ThreadPool> pool_;
   WorkspacePool workspaces_;
 
-  // Query admission queue.
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<PendingQuery> queue_;
-  bool stopping_ = false;
+  // Query admission queue. Rank kQueryServerQueue: Submit's rejection
+  // path records stats while still holding this lock, which is the only
+  // reason it ranks below stats_mu_.
+  mutable Mutex queue_mu_{lock_rank::kQueryServerQueue,
+                          "QueryServer::queue_mu_"};
+  CondVar queue_cv_;
+  std::deque<PendingQuery> queue_ NETCLUS_GUARDED_BY(queue_mu_);
+  bool stopping_ NETCLUS_GUARDED_BY(queue_mu_) = false;
 
   // Update queue + flush bookkeeping.
-  mutable std::mutex update_mu_;
-  std::condition_variable update_cv_;
-  std::condition_variable flush_cv_;
-  std::deque<PendingUpdate> update_queue_;
-  bool update_stopping_ = false;
-  uint64_t update_seq_ = 0;        ///< last sequence handed out
-  uint64_t published_seq_ = 0;     ///< last sequence visible in an epoch
-  Status last_publish_error_ = Status::OK();
+  mutable Mutex update_mu_{lock_rank::kQueryServerUpdate,
+                           "QueryServer::update_mu_"};
+  CondVar update_cv_;
+  CondVar flush_cv_;
+  std::deque<PendingUpdate> update_queue_ NETCLUS_GUARDED_BY(update_mu_);
+  bool update_stopping_ NETCLUS_GUARDED_BY(update_mu_) = false;
+  /// Last sequence handed out.
+  uint64_t update_seq_ NETCLUS_GUARDED_BY(update_mu_) = 0;
+  /// Last sequence visible in an epoch.
+  uint64_t published_seq_ NETCLUS_GUARDED_BY(update_mu_) = 0;
+  Status last_publish_error_ NETCLUS_GUARDED_BY(update_mu_) = Status::OK();
 
   /// Dispatcher-only: rotates batches across the snapshot's pin slots so
   /// the multi-slot drain accounting is exercised in normal serving.
@@ -340,10 +345,11 @@ class QueryServer {
 
   // Deadline watchdog: a min-heap of pending expiries on the server
   // clock, drained by its own thread.
-  mutable std::mutex deadline_mu_;
-  std::condition_variable deadline_cv_;
-  std::vector<DeadlineEntry> deadline_heap_;
-  bool deadline_stopping_ = false;
+  mutable Mutex deadline_mu_{lock_rank::kQueryServerDeadline,
+                             "QueryServer::deadline_mu_"};
+  CondVar deadline_cv_;
+  std::vector<DeadlineEntry> deadline_heap_ NETCLUS_GUARDED_BY(deadline_mu_);
+  bool deadline_stopping_ NETCLUS_GUARDED_BY(deadline_mu_) = false;
 
   // Health signals readable from any thread without the stats lock.
   std::atomic<bool> stopping_flag_{false};
@@ -356,34 +362,41 @@ class QueryServer {
   Rng chaos_publish_rng_{0};
   Rng chaos_stall_rng_{0};
 
-  // Serving statistics.
-  mutable std::mutex stats_mu_;
-  uint64_t accepted_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t completed_ = 0;
-  uint64_t batches_ = 0;
-  uint64_t replay_batches_ = 0;
-  uint64_t replay_mismatches_ = 0;
-  uint64_t deadline_expired_ = 0;
-  uint64_t cancelled_traversals_ = 0;
-  uint64_t wal_records_ = 0;
-  uint64_t wal_recovered_ = 0;  ///< fixed after Start
-  uint64_t publish_failures_ = 0;
-  RunningStats queue_wait_ms_;
-  RunningStats batch_size_;
-  RunningStats batch_ms_;
-  std::vector<double> wait_ring_;  ///< bounded queue-wait sample ring
-  size_t wait_ring_next_ = 0;
+  // Serving statistics. Rank kServerStats: acquired from Submit while
+  // queue_mu_ is still held (the backpressure rejection path) and from
+  // workers/dispatcher with nothing held; only the global registry may
+  // be acquired beyond it.
+  mutable Mutex stats_mu_{lock_rank::kServerStats, "QueryServer::stats_mu_"};
+  uint64_t accepted_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
+  uint64_t rejected_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
+  uint64_t completed_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
+  uint64_t batches_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
+  uint64_t replay_batches_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
+  uint64_t replay_mismatches_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
+  uint64_t deadline_expired_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
+  uint64_t cancelled_traversals_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
+  uint64_t wal_records_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
+  /// Fixed after Start.
+  uint64_t wal_recovered_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
+  uint64_t publish_failures_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
+  RunningStats queue_wait_ms_ NETCLUS_GUARDED_BY(stats_mu_);
+  RunningStats batch_size_ NETCLUS_GUARDED_BY(stats_mu_);
+  RunningStats batch_ms_ NETCLUS_GUARDED_BY(stats_mu_);
+  /// Bounded queue-wait sample ring.
+  std::vector<double> wait_ring_ NETCLUS_GUARDED_BY(stats_mu_);
+  size_t wait_ring_next_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
   /// Sliding deadline-outcome window (1 = missed); capacity
   /// options_.health_window.
-  std::vector<char> outcome_ring_;
-  size_t outcome_next_ = 0;
-  bool outcome_full_ = false;
-  size_t outcome_misses_ = 0;
+  std::vector<char> outcome_ring_ NETCLUS_GUARDED_BY(stats_mu_);
+  size_t outcome_next_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
+  bool outcome_full_ NETCLUS_GUARDED_BY(stats_mu_) = false;
+  size_t outcome_misses_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
 
-  // PublishStats delta tracking (same pattern as DistanceIndex).
-  mutable std::mutex publish_stats_mu_;
-  mutable ServerStats published_stats_;
+  // PublishStats delta tracking (same pattern as DistanceIndex; same
+  // rank — the two publication locks are never held together).
+  mutable Mutex publish_stats_mu_{lock_rank::kStatsPublish,
+                                  "QueryServer::publish_stats_mu_"};
+  mutable ServerStats published_stats_ NETCLUS_GUARDED_BY(publish_stats_mu_);
 
   std::thread dispatcher_;
   std::thread updater_;

@@ -1,0 +1,278 @@
+// Tests for the annotated Mutex/CondVar/MutexLock wrappers and the
+// runtime lock-rank deadlock detector (src/common/mutex.h).
+//
+// The compile-time half of the discipline (clang Thread Safety
+// Analysis) is exercised by scripts/check_tsa.sh's negative-compile
+// snippets; this suite covers what must hold on every toolchain: rank
+// inversions trip NETCLUS_CHECK with both lock names, same-rank
+// reacquisition is rejected, the detector can be disabled, and the
+// annotation macros are zero-cost where the analysis is unavailable.
+#include "common/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "common/check.h"
+
+namespace netclus {
+namespace {
+
+struct CheckAbort {
+  CheckFailure failure;
+};
+
+void ThrowingHandler(const CheckFailure& failure) { throw CheckAbort{failure}; }
+
+// Forces rank checking on (the default build is Release, where it is
+// off) and routes check failures into exceptions so a violation is
+// observable instead of fatal.
+class MutexRankTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prev_handler_ = SetCheckFailureHandler(&ThrowingHandler);
+    prev_checking_ = SetLockRankChecking(true);
+    base_held_ = HeldLockCountForTesting();
+  }
+  void TearDown() override {
+    SetLockRankChecking(prev_checking_);
+    SetCheckFailureHandler(prev_handler_);
+  }
+
+  CheckFailureHandler prev_handler_ = nullptr;
+  bool prev_checking_ = false;
+  size_t base_held_ = 0;
+};
+
+TEST_F(MutexRankTest, InOrderAcquisitionPasses) {
+  Mutex outer(10, "outer");
+  Mutex inner(20, "inner");
+  MutexLock lock_outer(&outer);
+  MutexLock lock_inner(&inner);
+  EXPECT_EQ(HeldLockCountForTesting(), base_held_ + 2);
+}
+
+TEST_F(MutexRankTest, InvertedAcquisitionTripsWithBothNames) {
+  Mutex outer(10, "rank10_lock");
+  Mutex inner(20, "rank20_lock");
+  MutexLock lock_inner(&inner);
+  try {
+    outer.Lock();
+    FAIL() << "acquiring rank 10 while holding rank 20 must trip the check";
+  } catch (const CheckAbort& abort) {
+    EXPECT_NE(abort.failure.message.find("rank10_lock"), std::string::npos)
+        << abort.failure.message;
+    EXPECT_NE(abort.failure.message.find("rank20_lock"), std::string::npos)
+        << abort.failure.message;
+    EXPECT_NE(abort.failure.message.find("lock-rank violation"),
+              std::string::npos)
+        << abort.failure.message;
+  }
+  // The check fires before the underlying mutex is taken: the failed
+  // acquisition must leave no phantom entry behind.
+  EXPECT_EQ(HeldLockCountForTesting(), base_held_ + 1);
+}
+
+TEST_F(MutexRankTest, SameRankReacquisitionTrips) {
+  Mutex first(10, "first_of_rank");
+  Mutex second(10, "second_of_rank");
+  MutexLock lock_first(&first);
+  EXPECT_THROW({ MutexLock lock_second(&second); }, CheckAbort);
+}
+
+TEST_F(MutexRankTest, TryLockRespectsRankOrder) {
+  Mutex outer(10, "outer");
+  Mutex inner(20, "inner");
+  MutexLock lock_inner(&inner);
+  // A try-lock only avoids deadlocking itself, not the cycle it
+  // completes for everyone else — the rank rule applies to it too.
+  EXPECT_THROW(static_cast<void>(outer.TryLock()), CheckAbort);
+}
+
+TEST_F(MutexRankTest, TryLockTracksHeldSet) {
+  Mutex a(10, "a");
+  Mutex b(20, "b");
+  ASSERT_TRUE(a.TryLock());
+  EXPECT_EQ(HeldLockCountForTesting(), base_held_ + 1);
+  ASSERT_TRUE(b.TryLock());
+  EXPECT_EQ(HeldLockCountForTesting(), base_held_ + 2);
+  b.Unlock();
+  a.Unlock();
+  EXPECT_EQ(HeldLockCountForTesting(), base_held_);
+}
+
+TEST_F(MutexRankTest, SequentialReacquisitionAtLowerRankIsFine) {
+  Mutex low(10, "low");
+  Mutex high(20, "high");
+  { MutexLock lock(&high); }
+  // Nothing held any more: dropping back down the hierarchy is legal.
+  MutexLock lock(&low);
+  EXPECT_EQ(HeldLockCountForTesting(), base_held_ + 1);
+}
+
+TEST_F(MutexRankTest, OutOfOrderReleaseIsSupported) {
+  // Hand-over-hand: acquire 10 then 30, release 10 first. The held set
+  // must keep tracking 30 correctly afterwards.
+  Mutex a(10, "a");
+  Mutex c(30, "c");
+  a.Lock();
+  c.Lock();
+  a.Unlock();
+  EXPECT_EQ(HeldLockCountForTesting(), base_held_ + 1);
+  // Still holding rank 30: a rank-20 acquisition is an inversion...
+  Mutex b(20, "b");
+  EXPECT_THROW(b.Lock(), CheckAbort);
+  // ...while a rank-40 one is fine.
+  Mutex d(40, "d");
+  d.Lock();
+  d.Unlock();
+  c.Unlock();
+  EXPECT_EQ(HeldLockCountForTesting(), base_held_);
+}
+
+TEST_F(MutexRankTest, MutexLockEarlyUnlockReleasesTheLock) {
+  Mutex mu(10, "mu");
+  MutexLock lock(&mu);
+  lock.Unlock();
+  EXPECT_EQ(HeldLockCountForTesting(), base_held_);
+  // Re-lockable immediately: the early Unlock really released it (a
+  // still-held std::mutex would deadlock here).
+  mu.Lock();
+  mu.Unlock();
+}
+
+TEST_F(MutexRankTest, DisabledDetectorIgnoresInversions) {
+  SetLockRankChecking(false);
+  Mutex outer(10, "outer");
+  Mutex inner(20, "inner");
+  MutexLock lock_inner(&inner);
+  MutexLock lock_outer(&outer);  // inverted, but the detector is off
+  EXPECT_EQ(HeldLockCountForTesting(), base_held_);  // nothing recorded
+  SetLockRankChecking(true);
+}
+
+TEST_F(MutexRankTest, DisableMidHoldStrandsNoEntries) {
+  Mutex mu(10, "mu");
+  mu.Lock();
+  EXPECT_EQ(HeldLockCountForTesting(), base_held_ + 1);
+  SetLockRankChecking(false);
+  // Release always scans, even with checking off — the entry recorded
+  // while checking was on must not outlive its release.
+  mu.Unlock();
+  SetLockRankChecking(true);
+  EXPECT_EQ(HeldLockCountForTesting(), base_held_);
+}
+
+TEST_F(MutexRankTest, HeldSetIsPerThread) {
+  Mutex high(90, "high");
+  MutexLock lock(&high);
+  // Another thread holds nothing: its rank-10 acquisition must pass
+  // even while this thread sits at rank 90.
+  std::atomic<bool> ok{false};
+  std::thread other([&] {
+    Mutex low(10, "low");
+    MutexLock l(&low);
+    ok.store(HeldLockCountForTesting() == 1, std::memory_order_relaxed);
+  });
+  other.join();
+  EXPECT_TRUE(ok.load(std::memory_order_relaxed));
+}
+
+TEST_F(MutexRankTest, SetLockRankCheckingReturnsPrevious) {
+  EXPECT_TRUE(SetLockRankChecking(false));   // fixture turned it on
+  EXPECT_FALSE(SetLockRankChecking(true));   // and we just turned it off
+  EXPECT_TRUE(LockRankCheckingEnabled());
+}
+
+// --- Plain wrapper behavior (detector state irrelevant) ---
+
+TEST(MutexTest, TryLockContention) {
+  Mutex mu(10, "mu");
+  mu.Lock();
+  std::atomic<bool> acquired{true};
+  std::thread other([&] { acquired.store(mu.TryLock()); });
+  other.join();
+  EXPECT_FALSE(acquired.load());
+  mu.Unlock();
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, RankAndNameAccessors) {
+  Mutex mu(lock_rank::kStatsRegistry, "registry");
+  EXPECT_EQ(mu.rank(), 100);
+  EXPECT_STREQ(mu.name(), "registry");
+}
+
+TEST(CondVarTest, WaitNotifyRoundTrip) {
+  Mutex mu(10, "mu");
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(CondVarTest, WaitForTimesOutWithoutNotify) {
+  Mutex mu(10, "mu");
+  CondVar cv;
+  MutexLock lock(&mu);
+  // No notifier exists: WaitFor must come back on its own (holding the
+  // lock again), not block forever.
+  cv.WaitFor(&mu, 0.01);
+  SUCCEED();
+}
+
+// --- Zero-cost guarantee where the analysis is unavailable ---
+
+#if !NETCLUS_TSA_ENABLED
+#define NETCLUS_TEST_STR_INNER(x) #x
+#define NETCLUS_TEST_STR(x) NETCLUS_TEST_STR_INNER(x)
+// On non-clang toolchains every annotation macro must vanish entirely:
+// stringizing the expansion yields the empty string.
+static_assert(NETCLUS_TEST_STR(NETCLUS_GUARDED_BY(x))[0] == '\0',
+              "NETCLUS_GUARDED_BY must expand to nothing without clang");
+static_assert(NETCLUS_TEST_STR(NETCLUS_REQUIRES(x, y))[0] == '\0',
+              "NETCLUS_REQUIRES must expand to nothing without clang");
+static_assert(NETCLUS_TEST_STR(NETCLUS_ACQUIRE())[0] == '\0',
+              "NETCLUS_ACQUIRE must expand to nothing without clang");
+static_assert(NETCLUS_TEST_STR(NETCLUS_RELEASE())[0] == '\0',
+              "NETCLUS_RELEASE must expand to nothing without clang");
+static_assert(NETCLUS_TEST_STR(NETCLUS_EXCLUDES(x))[0] == '\0',
+              "NETCLUS_EXCLUDES must expand to nothing without clang");
+#undef NETCLUS_TEST_STR
+#undef NETCLUS_TEST_STR_INNER
+#endif  // !NETCLUS_TSA_ENABLED
+
+TEST(MutexTest, AnnotationMacrosMatchToolchain) {
+#if defined(__clang__)
+  EXPECT_EQ(NETCLUS_TSA_ENABLED, 1);
+#else
+  EXPECT_EQ(NETCLUS_TSA_ENABLED, 0);
+#endif
+}
+
+TEST(MutexTest, RankCheckingDefaultMatchesBuildMode) {
+  // The detector defaults on exactly when NETCLUS_DCHECK is on (debug /
+  // NETCLUS_VALIDATE builds). Read-modify-restore so this test is safe
+  // in any order relative to the fixture tests.
+  const bool current = LockRankCheckingEnabled();
+  SetLockRankChecking(current);
+  SUCCEED();  // default value is asserted at process start by ctest runs
+              // of the validate configuration; here we only prove the
+              // getter/setter pair round-trips
+  EXPECT_EQ(LockRankCheckingEnabled(), current);
+}
+
+}  // namespace
+}  // namespace netclus
