@@ -1,0 +1,201 @@
+// Transport tax: the same mixed query workload served twice from one
+// QueryServer — first in-process (closed-loop Execute calls), then over
+// loopback TCP through the binary wire protocol (net/) with concurrent
+// blocking clients — so BENCH_net.json tracks per PR what the socket
+// front end costs: loopback qps next to in-process qps, the p99
+// round-trip latency a remote caller actually sees, and their ratio.
+// No perf gate (the tax depends on the host's loopback stack); the run
+// fails only on correctness problems — a failed query, a corrupt
+// frame, or a refused connection.
+// Wired into `run_all.sh net-smoke`.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "graph/network_distance.h"
+#include "net/client.h"
+#include "net/tcp_server.h"
+#include "server/query_server.h"
+
+using namespace netclus;
+using namespace netclus::bench;
+
+namespace {
+
+constexpr int kRequests = 1200;
+constexpr int kClients = 4;
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+std::vector<QueryRequest> MakeWorkload(PointId n_points, double eps,
+                                       uint64_t seed) {
+  std::vector<QueryRequest> reqs;
+  reqs.reserve(kRequests);
+  Rng rng(seed);
+  for (int i = 0; i < kRequests; ++i) {
+    PointId a = static_cast<PointId>(rng.NextBounded(n_points));
+    PointId b = static_cast<PointId>(rng.NextBounded(n_points));
+    switch (i % 3) {
+      case 0:
+        reqs.push_back(QueryRequest::PointDistance(a, b));
+        break;
+      case 1:
+        reqs.push_back(QueryRequest::Range(a, eps));
+        break;
+      default:
+        reqs.push_back(QueryRequest::NearestObject(a, 2));
+        break;
+    }
+  }
+  return reqs;
+}
+
+[[noreturn]] void Die(const char* what, const Status& s) {
+  std::fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main() {
+  GeneratedNetwork gen = GenerateRoadNetwork({1500, 1.3, 0.3, 177});
+  PointSet points =
+      std::move(GenerateUniformPoints(gen.net, 800, 178)).value();
+  InMemoryNetworkView view(gen.net, points);
+  std::printf("net-throughput: %u nodes, %zu edges, %u points, %d clients\n",
+              gen.net.num_nodes(), gen.net.num_edges(), points.size(),
+              kClients);
+
+  // eps from the network's own scale, as in server_throughput.
+  double eps;
+  {
+    NodeScratch scratch(gen.net.num_nodes());
+    std::vector<double> sample;
+    Rng rng(12);
+    for (int i = 0; i < 64; ++i) {
+      PointId p = static_cast<PointId>(rng.NextBounded(points.size()));
+      PointId q = static_cast<PointId>(rng.NextBounded(points.size()));
+      double d = PointNetworkDistance(view, p, q, &scratch);
+      if (d < kInfDist) sample.push_back(d);
+    }
+    std::sort(sample.begin(), sample.end());
+    eps = 0.25 * sample[sample.size() / 2];
+  }
+
+  QueryServerOptions opts;
+  opts.num_workers = 4;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(gen.net, points, opts);
+  if (!started.ok()) Die("server start", started.status());
+  QueryServer& server = *started.value();
+
+  // Per-client slices, same shape for both paths so the comparison is
+  // apples to apples.
+  std::vector<std::vector<QueryRequest>> slices;
+  slices.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    slices.push_back(MakeWorkload(points.size(), eps, 31 + c));
+  }
+
+  // --- in-process baseline: kClients threads of blocking Execute ------
+  double inproc_seconds;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    WallTimer timer;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        for (const QueryRequest& req : slices[c]) {
+          Result<QueryResponse> r = server.Execute(req);
+          if (!r.ok()) Die("in-process query", r.status());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    inproc_seconds = timer.ElapsedSeconds();
+  }
+  const double total_requests = static_cast<double>(kRequests) * kClients;
+  const double inproc_qps = total_requests / inproc_seconds;
+
+  // --- loopback: same threads, each through its own QueryClient -------
+  Result<std::unique_ptr<TcpServer>> front =
+      TcpServer::Start(&server, TcpServerOptions{});
+  if (!front.ok()) Die("tcp start", front.status());
+  TcpServer& tcp = *front.value();
+
+  std::vector<std::vector<double>> rtts(kClients);
+  double net_seconds;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    WallTimer timer;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        ClientOptions copts;
+        copts.port = tcp.port();
+        Result<std::unique_ptr<QueryClient>> connected =
+            QueryClient::Connect(copts);
+        if (!connected.ok()) Die("client connect", connected.status());
+        rtts[c].reserve(slices[c].size());
+        WallTimer rtt;
+        for (const QueryRequest& req : slices[c]) {
+          const double t0 = rtt.ElapsedSeconds();
+          Result<QueryResponse> r = connected.value()->Execute(req);
+          if (!r.ok()) Die("loopback query", r.status());
+          rtts[c].push_back((rtt.ElapsedSeconds() - t0) * 1e3);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    net_seconds = timer.ElapsedSeconds();
+  }
+  const double net_qps = total_requests / net_seconds;
+  std::vector<double> all_rtts;
+  all_rtts.reserve(static_cast<size_t>(total_requests));
+  for (const std::vector<double>& v : rtts) {
+    all_rtts.insert(all_rtts.end(), v.begin(), v.end());
+  }
+  const double p99_rtt_ms = Percentile(std::move(all_rtts), 0.99);
+  const double transport_tax = net_qps > 0.0 ? inproc_qps / net_qps : 0.0;
+
+  const TcpServerStats net_stats = tcp.stats();
+  if (net_stats.corrupt_frames != 0 || net_stats.connections_refused != 0) {
+    std::fprintf(stderr, "FAIL: %llu corrupt frames, %llu refused\n",
+                 static_cast<unsigned long long>(net_stats.corrupt_frames),
+                 static_cast<unsigned long long>(
+                     net_stats.connections_refused));
+    return 1;
+  }
+
+  PrintRow({"path", "qps", "p99_rtt_ms"}, 16);
+  PrintRow({"in-process", Fmt(inproc_qps, 0), "-"}, 16);
+  PrintRow({"loopback", Fmt(net_qps, 0), Fmt(p99_rtt_ms, 3)}, 16);
+  std::printf("transport tax: %.2fx (in-process / loopback)\n",
+              transport_tax);
+
+  BenchRecorder rec("net");
+  rec.Add("loopback_roundtrip",
+          {net_seconds}, TraversalCounters{},
+          {{"inproc_qps", inproc_qps},
+           {"net_qps", net_qps},
+           {"p99_rtt_ms", p99_rtt_ms},
+           {"transport_tax", transport_tax},
+           {"clients", static_cast<double>(kClients)},
+           {"requests", total_requests}});
+  std::string path = rec.Write();
+  std::printf("wrote %s\n", path.empty() ? "(json write FAILED)"
+                                         : path.c_str());
+  return path.empty() ? 1 : 0;
+}

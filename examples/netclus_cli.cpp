@@ -9,6 +9,7 @@
 //   netclus_cli cluster --in town.net --algo singlelink --cut 0.5
 //   netclus_cli serve --in town.net --workers 4 --clients 4
 //       --queries 2000 --mutations 16
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +25,8 @@
 #include "gen/network_gen.h"
 #include "gen/workload_gen.h"
 #include "graph/text_io.h"
+#include "net/client.h"
+#include "net/tcp_server.h"
 #include "netclus.h"
 #include "server/query_server.h"
 
@@ -60,7 +63,12 @@ int Usage() {
                "  serve    --in FILE [--workers W] [--clients C]\n"
                "           [--queries N] [--mutations M] [--eps E|auto]\n"
                "           [--validate on|off] [--seed S]\n"
-               "           [--wal FILE] [--deadline-ms D]\n");
+               "           [--wal FILE] [--deadline-ms D]\n"
+               "           [--port P] [--port-file F] [--serve-seconds S]\n"
+               "           [--stop-file F]\n"
+               "  query    --in FILE --connect HOST:PORT [--queries N]\n"
+               "           [--clients C] [--check on|off] [--eps E|auto]\n"
+               "           [--seed S] [--deadline-ms D]\n");
   return 2;
 }
 
@@ -251,6 +259,66 @@ int RunServe(int argc, char** argv, const Network& net,
     std::printf("deadline: %.1f ms per query\n", deadline_ms);
   }
 
+  // --port P switches serve to network mode: instead of driving an
+  // in-process workload, front the server with a TCP listener (net/)
+  // and let remote `netclus_cli query --connect` clients drive it.
+  // Runs until --stop-file appears or --serve-seconds elapse.
+  const char* port_flag = FlagValue(argc, argv, "--port", nullptr);
+  if (port_flag != nullptr) {
+    TcpServerOptions topts;
+    topts.port = static_cast<uint16_t>(std::atoi(port_flag));
+    Result<std::unique_ptr<TcpServer>> front =
+        TcpServer::Start(&server, topts);
+    if (!front.ok()) return Fail(front.status());
+    TcpServer& tcp = *front.value();
+    std::printf("listening on %s:%u\n", topts.host.c_str(), tcp.port());
+    std::fflush(stdout);
+    const char* port_file = FlagValue(argc, argv, "--port-file", nullptr);
+    if (port_file != nullptr) {
+      FILE* f = std::fopen(port_file, "w");
+      if (f == nullptr) {
+        return Fail(Status::IOError(std::string("cannot write port file ") +
+                                    port_file));
+      }
+      std::fprintf(f, "%u\n", tcp.port());
+      std::fclose(f);
+    }
+    const double serve_seconds =
+        std::atof(FlagValue(argc, argv, "--serve-seconds", "120"));
+    const char* stop_file = FlagValue(argc, argv, "--stop-file", nullptr);
+    WallTimer up;
+    for (;;) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (stop_file != nullptr) {
+        FILE* f = std::fopen(stop_file, "r");
+        if (f != nullptr) {
+          std::fclose(f);
+          break;
+        }
+      }
+      if (up.ElapsedSeconds() >= serve_seconds) break;
+    }
+    tcp.Stop();
+    const TcpServerStats net_stats = tcp.stats();
+    std::printf("net: %llu connections accepted (%llu refused), %llu frames "
+                "in, %llu frames out, %llu corrupt\n",
+                static_cast<unsigned long long>(net_stats.connections_accepted),
+                static_cast<unsigned long long>(net_stats.connections_refused),
+                static_cast<unsigned long long>(net_stats.frames_read),
+                static_cast<unsigned long long>(net_stats.frames_written),
+                static_cast<unsigned long long>(net_stats.corrupt_frames));
+    ServerStats sstats = server.stats();
+    if (opts.validate_replay) {
+      std::printf("replay: %llu batches validated, %llu mismatches\n",
+                  static_cast<unsigned long long>(sstats.replay_batches),
+                  static_cast<unsigned long long>(sstats.replay_mismatches));
+      if (sstats.replay_mismatches > 0) return 1;
+    }
+    HealthReport health = server.Healthz();
+    std::printf("health: %s\n", ServerHealthName(health.health));
+    return net_stats.corrupt_frames == 0 ? 0 : 1;
+  }
+
   // Point ids are epoch-relative; querying only the initial ids stays
   // valid across mutations because the point count never shrinks.
   const PointId n_points = points.size();
@@ -347,6 +415,154 @@ int RunServe(int argc, char** argv, const Network& net,
   return err == 0 ? 0 : 1;
 }
 
+// Remote counterpart of the serve workload: connects to a running
+// `serve --port` instance over the binary wire protocol and drives the
+// same mixed query mix through net/client.h. With --check on, every
+// remote answer is recomputed through the local inline path (same file,
+// same eps-link spec as serve's default) and compared bit-exactly —
+// client-side replay validation across the process boundary. The
+// comparison assumes the server is serving this file's epoch 1 (no
+// concurrent mutations).
+int RunQuery(int argc, char** argv, const PointSet& points,
+             const InMemoryNetworkView& view) {
+  const char* connect = FlagValue(argc, argv, "--connect", nullptr);
+  if (connect == nullptr) return Usage();
+  const std::string hostport = connect;
+  const size_t colon = hostport.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= hostport.size()) {
+    return Fail(Status::InvalidArgument("--connect expects HOST:PORT, got '" +
+                                        hostport + "'"));
+  }
+  const std::string host = hostport.substr(0, colon);
+  const uint16_t port =
+      static_cast<uint16_t>(std::atoi(hostport.c_str() + colon + 1));
+
+  uint32_t clients = static_cast<uint32_t>(
+      std::atol(FlagValue(argc, argv, "--clients", "4")));
+  if (clients == 0) clients = 1;
+  uint64_t queries = static_cast<uint64_t>(
+      std::atoll(FlagValue(argc, argv, "--queries", "2000")));
+  uint64_t seed =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "--seed", "42")));
+  const double deadline_ms =
+      std::atof(FlagValue(argc, argv, "--deadline-ms", "0"));
+  const bool check =
+      std::strcmp(FlagValue(argc, argv, "--check", "off"), "on") == 0;
+
+  double eps = 0.0;
+  std::string eps_flag = FlagValue(argc, argv, "--eps", "auto");
+  if (eps_flag == "auto") {
+    Result<double> suggested = SuggestEps(view, EpsSuggestionOptions{});
+    if (!suggested.ok()) return Fail(suggested.status());
+    eps = suggested.value();
+    std::printf("eps = %.6f (auto)\n", eps);
+  } else {
+    eps = std::atof(eps_flag.c_str());
+  }
+
+  // The membership reference: the same clustering serve runs at boot.
+  Clustering expect_clusters;
+  if (check) {
+    ClusterSpec spec;
+    spec.algorithm = Algorithm::kEpsLink;
+    spec.eps_link.eps = eps;
+    spec.eps_link.min_sup = 2;
+    Result<ClusterOutput> out = RunClustering(view, spec);
+    if (!out.ok()) return Fail(out.status());
+    expect_clusters = std::move(out.value().clustering);
+  }
+
+  const PointId n_points = points.size();
+  const uint64_t per_client = queries / clients;
+  std::vector<uint64_t> ok_counts(clients, 0);
+  std::vector<uint64_t> err_counts(clients, 0);
+  std::vector<uint64_t> miss_counts(clients, 0);
+  std::vector<uint64_t> checked_counts(clients, 0);
+  std::vector<uint64_t> mismatch_counts(clients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  WallTimer timer;
+  for (uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientOptions copts;
+      copts.host = host;
+      copts.port = port;
+      Result<std::unique_ptr<QueryClient>> connected =
+          QueryClient::Connect(copts);
+      if (!connected.ok()) {
+        err_counts[c] = per_client;
+        return;
+      }
+      QueryClient& client = *connected.value();
+      Rng rng(seed + 200 + c);
+      for (uint64_t i = 0; i < per_client; ++i) {
+        PointId a = static_cast<PointId>(rng.NextBounded(n_points));
+        PointId b = static_cast<PointId>(rng.NextBounded(n_points));
+        QueryRequest req;
+        switch (i % 4) {
+          case 0: req = QueryRequest::PointDistance(a, b); break;
+          case 1: req = QueryRequest::Range(a, eps); break;
+          case 2: req = QueryRequest::NearestObject(a, 2); break;
+          default: req = QueryRequest::ClusterMembership(a); break;
+        }
+        if (deadline_ms > 0.0) req.deadline_ms = deadline_ms;
+        Result<QueryResponse> r = client.Execute(req);
+        if (!r.ok()) {
+          if (r.status().IsDeadlineExceeded()) {
+            ++miss_counts[c];
+          } else {
+            ++err_counts[c];
+          }
+          continue;
+        }
+        ++ok_counts[c];
+        if (!check) continue;
+        ++checked_counts[c];
+        if (req.kind == QueryKind::kClusterMembership) {
+          if (r.value().cluster_id != expect_clusters.assignment[a]) {
+            ++mismatch_counts[c];
+          }
+          continue;
+        }
+        Result<QueryResponse> local = ExecuteQuery(view, nullptr, req);
+        if (!local.ok() ||
+            !ResponsePayloadsEqual(r.value(), local.value())) {
+          ++mismatch_counts[c];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = timer.ElapsedSeconds();
+
+  uint64_t ok = 0;
+  uint64_t err = 0;
+  uint64_t missed = 0;
+  uint64_t checked = 0;
+  uint64_t mismatches = 0;
+  for (uint32_t c = 0; c < clients; ++c) {
+    ok += ok_counts[c];
+    err += err_counts[c];
+    missed += miss_counts[c];
+    checked += checked_counts[c];
+    mismatches += mismatch_counts[c];
+  }
+  std::printf("remote: %llu queries ok (%llu failed, %llu past deadline) in "
+              "%.3f s = %.0f qps over %u connections\n",
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(err),
+              static_cast<unsigned long long>(missed), seconds,
+              seconds > 0.0 ? static_cast<double>(ok) / seconds : 0.0,
+              clients);
+  if (check) {
+    std::printf("client replay: %llu validated, %llu mismatches\n",
+                static_cast<unsigned long long>(checked),
+                static_cast<unsigned long long>(mismatches));
+    if (mismatches > 0) return 1;
+  }
+  return err == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -366,5 +582,6 @@ int main(int argc, char** argv) {
   if (cmd == "suggest") return RunSuggest(view);
   if (cmd == "cluster") return RunCluster(argc, argv, view, points);
   if (cmd == "serve") return RunServe(argc, argv, net, points, view);
+  if (cmd == "query") return RunQuery(argc, argv, points, view);
   return Usage();
 }

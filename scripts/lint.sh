@@ -26,7 +26,10 @@
 #          deadlock detector, so it silently re-opens both the
 #          data-race and the lock-cycle holes this layer closes. New
 #          code must take a rank from common/mutex.h's lock_rank table
-#          (documented in DESIGN.md section 14).
+#          (documented in DESIGN.md section 14);
+#        - raw POSIX socket syscalls/headers are confined to src/net/ —
+#          everything else uses the net/socket.h RAII wrappers so EINTR
+#          retries, timeout mapping, and fd lifetimes stay in one place.
 #
 # Exits non-zero if any layer reports a finding.
 set -u
@@ -149,6 +152,29 @@ $hits"
     grep -nE 'std::function<(SettleAction|bool)[[:space:]]*\(' || true)
   if [ -n "$hits" ]; then
     fail "$f: std::function settle callback outside src/graph/; pass the functor as a template parameter (see DijkstraExpandKernel)
+$hits"
+  fi
+done
+
+# Socket-confinement tripwire: raw POSIX socket syscalls and their
+# headers live in src/net/ only. Everywhere else talks to the network
+# through net/socket.h's RAII wrappers (which own EINTR retries,
+# MSG_NOSIGNAL, timeout-errno mapping, and fd lifetimes) or the
+# client/server layers above them — a stray socket() elsewhere would
+# re-open every one of those holes and dodge the net.* counters.
+for f in $(find src tests examples bench -name '*.h' -o -name '*.cc' -o -name '*.cpp' | sort); do
+  case "$f" in src/net/*) continue ;; esac
+  stripped=$(sed 's@//.*@@' "$f")
+  hits=$(printf '%s\n' "$stripped" |
+    grep -nE '#include[[:space:]]*<(sys/socket\.h|netinet/in\.h|netinet/tcp\.h|arpa/inet\.h|netdb\.h)>' || true)
+  if [ -n "$hits" ]; then
+    fail "$f: raw socket header outside src/net/; use net/socket.h (RAII fds, EINTR retries, timeout mapping)
+$hits"
+  fi
+  hits=$(printf '%s\n' "$stripped" |
+    grep -nE '(^|[^[:alnum:]_:.])(socket|bind|listen|accept|connect|setsockopt|getsockname|getaddrinfo|recvfrom|sendto)[[:space:]]*\(' || true)
+  if [ -n "$hits" ]; then
+    fail "$f: raw socket syscall outside src/net/; go through net/socket.h's Socket/ListenSocket wrappers
 $hits"
   fi
 done

@@ -48,6 +48,13 @@
 # QueryServer), an end-to-end netclus_cli serve pass with replay
 # validation on, and the server_throughput bench.
 #
+# `scripts/run_all.sh net-smoke` builds the default configuration, runs
+# the wire-codec and socket front-end suites, serves a generated town on
+# an ephemeral TCP port, drives it with the netclus_cli query client
+# (client-side replay against the inline path), and runs the
+# net_throughput bench (loopback qps + p99 RTT vs in-process,
+# BENCH_net.json). Both ends must report zero replay mismatches.
+#
 # `scripts/run_all.sh chaos-smoke` builds the default configuration and
 # runs the resilience suites (mutation WAL, chaos soak, deadline &
 # cancellation) plus a netclus_cli serve pass with a durable WAL and a
@@ -96,7 +103,7 @@ if [ "${1:-}" = "ubsan" ]; then
   cmake -B build-ubsan -G Ninja -DNETCLUS_SANITIZE=undefined
   cmake --build build-ubsan
   ctest --test-dir build-ubsan --output-on-failure \
-    -R 'KMedoids|EpsLink|Dbscan|SingleLink|Dendrogram|Dijkstra|RangeQuery|Knn|DirectDistance|PointDistance|InterestingLevels|Optics|Hierarchy|Validate|NetclusApi|Integration|Index|DistanceCache|LandmarkOracle|Voronoi|Frozen|Wal|Cancel|Deadline' \
+    -R 'KMedoids|EpsLink|Dbscan|SingleLink|Dendrogram|Dijkstra|RangeQuery|Knn|DirectDistance|PointDistance|InterestingLevels|Optics|Hierarchy|Validate|NetclusApi|Integration|Index|DistanceCache|LandmarkOracle|Voronoi|Frozen|Wal|Cancel|Deadline|WireCodec|WireFrame' \
     2>&1 | tee ubsan_output.txt
   exit 0
 fi
@@ -122,7 +129,7 @@ if [ "${1:-}" = "tsan" ]; then
   cmake -B build-tsan -G Ninja -DNETCLUS_SANITIZE=thread
   cmake --build build-tsan
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'ThreadPool|WorkspacePool|Parallel|Determin|Restart|DistanceCache|EpochManager|QueryServer|Wal|Chaos|Deadline|Cancel|Mutex|CondVar' \
+    -R 'ThreadPool|WorkspacePool|Parallel|Determin|Restart|DistanceCache|EpochManager|QueryServer|Wal|Chaos|Deadline|Cancel|Mutex|CondVar|TcpServerLoopback|NetClient|NetSoak|NetStats' \
     2>&1 | tee tsan_output.txt
   exit 0
 fi
@@ -144,6 +151,50 @@ if [ "${1:-}" = "server-smoke" ]; then
     2>&1 | tee -a server_smoke_output.txt
   ./build/bench/server_throughput 2>&1 | tee -a server_smoke_output.txt
   ls BENCH_server.json
+  exit 0
+fi
+
+if [ "${1:-}" = "net-smoke" ]; then
+  configure_build
+  cmake --build build
+  ctest --test-dir build --output-on-failure \
+    -R 'WireCodec|WireFrame|TcpServerLoopback|NetClient|NetSoak|NetStats' \
+    2>&1 | tee net_smoke_output.txt
+  # End-to-end over a real socket: serve a generated town on an
+  # ephemeral port with replay validation on, drive it with the CLI
+  # query client (which replays every response against the inline
+  # path), then stop the server via its stop-file. Both the client and
+  # the server must report zero replay mismatches.
+  rm -f /tmp/netclus_net_smoke.port /tmp/netclus_net_smoke.stop
+  ./build/examples/netclus_cli generate --nodes 1500 --points 3000 \
+    --clusters 6 --seed 7 --out /tmp/netclus_net_smoke.net \
+    2>&1 | tee -a net_smoke_output.txt
+  ./build/examples/netclus_cli serve --in /tmp/netclus_net_smoke.net \
+    --workers 4 --validate on --port 0 \
+    --port-file /tmp/netclus_net_smoke.port \
+    --stop-file /tmp/netclus_net_smoke.stop --serve-seconds 120 \
+    >> net_smoke_output.txt 2>&1 &
+  serve_pid=$!
+  tries=0
+  while [ ! -s /tmp/netclus_net_smoke.port ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+      echo "run_all: serve never published its port" >&2
+      kill "$serve_pid" 2>/dev/null || true
+      exit 1
+    fi
+    sleep 0.1
+  done
+  ./build/examples/netclus_cli query --in /tmp/netclus_net_smoke.net \
+    --connect "127.0.0.1:$(cat /tmp/netclus_net_smoke.port)" \
+    --clients 4 --queries 2000 --check on \
+    2>&1 | tee -a net_smoke_output.txt
+  touch /tmp/netclus_net_smoke.stop
+  wait "$serve_pid"
+  grep -q 'client replay: .* 0 mismatches' net_smoke_output.txt
+  grep -q '^replay: .* batches validated, 0 mismatches' net_smoke_output.txt
+  ./build/bench/net_throughput 2>&1 | tee -a net_smoke_output.txt
+  ls BENCH_net.json
   exit 0
 fi
 

@@ -107,6 +107,11 @@ namespace lock_rank {
 inline constexpr int kThreadPoolQueue = 10;
 /// Per-ParallelFor completion state (pending count + first error).
 inline constexpr int kParallelForState = 20;
+/// TcpServer connection table + transport counters. Below the query
+/// admission queue so the front end could legally hold it across a
+/// Submit (it doesn't today — the lock is never held across blocking
+/// socket or queue operations — but the rank keeps that door open).
+inline constexpr int kNetServer = 25;
 /// QueryServer query admission queue.
 inline constexpr int kQueryServerQueue = 30;
 /// QueryServer mutation queue + flush bookkeeping.

@@ -1,0 +1,147 @@
+#include "net/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace netclus {
+
+Result<std::unique_ptr<QueryClient>> QueryClient::Connect(
+    const ClientOptions& options) {
+  // make_unique needs a public constructor; bare new keeps it private.
+  auto client = std::unique_ptr<QueryClient>(new QueryClient(options));
+  NETCLUS_RETURN_IF_ERROR(client->EnsureConnected());
+  return client;
+}
+
+Status QueryClient::EnsureConnected() {
+  if (sock_.valid()) return Status::OK();
+  NETCLUS_ASSIGN_OR_RETURN(Socket sock,
+                           Socket::Dial(options_.host, options_.port));
+  if (options_.recv_timeout_seconds > 0.0) {
+    NETCLUS_RETURN_IF_ERROR(
+        sock.SetRecvTimeout(options_.recv_timeout_seconds));
+  }
+  sock_ = std::move(sock);
+  if (ever_connected_) ++stats_.reconnects;
+  ever_connected_ = true;
+  return Status::OK();
+}
+
+double QueryClient::BackoffDelayMs(const Status& status, uint32_t attempt,
+                                   const ClientOptions& options) {
+  double delay;
+  if (status.retry_after_ms().has_value()) {
+    delay = *status.retry_after_ms();
+  } else {
+    delay = options.backoff_floor_ms;
+    for (uint32_t i = 0; i < attempt; ++i) {
+      delay *= 2.0;
+      if (delay >= options.backoff_cap_ms) break;
+    }
+  }
+  return std::clamp(delay, 0.0, options.backoff_cap_ms);
+}
+
+Status QueryClient::RoundTrip(const std::string& encoded,
+                              QueryResponse* out) {
+  NETCLUS_RETURN_IF_ERROR(EnsureConnected());
+  {
+    const Status sent = sock_.SendAll(encoded.data(), encoded.size());
+    if (!sent.ok()) {
+      sock_.Close();  // the stream is in an unknown state
+      return sent;
+    }
+  }
+  FrameReader reader;
+  char buf[4096];
+  for (;;) {
+    Result<size_t> received = sock_.Recv(buf, sizeof(buf));
+    if (!received.ok()) {
+      sock_.Close();
+      return received.status();
+    }
+    const size_t n = received.value();
+    if (n == 0) {
+      sock_.Close();
+      return Status::IOError(
+          "client: server closed the connection mid-request");
+    }
+    reader.Append(buf, n);
+    WireFrame frame;
+    bool got = false;
+    const Status decoded = reader.Next(&frame, &got);
+    if (!decoded.ok()) {
+      sock_.Close();  // framing is lost; the connection is unusable
+      return decoded;
+    }
+    if (!got) continue;  // partial frame: keep reading
+    switch (frame.type) {
+      case FrameType::kResponse: {
+        QueryResponse resp;
+        const Status s = DecodeResponsePayload(frame.payload.data(),
+                                               frame.payload.size(), &resp);
+        if (!s.ok()) {
+          sock_.Close();
+          return s;
+        }
+        ++stats_.responses;
+        last_health_ = resp.health;
+        *out = resp;
+        return Status::OK();
+      }
+      case FrameType::kStatus: {
+        WireStatus ws;
+        const Status s = DecodeStatusPayload(frame.payload.data(),
+                                             frame.payload.size(), &ws);
+        if (!s.ok()) {
+          sock_.Close();
+          return s;
+        }
+        ++stats_.status_frames;
+        last_health_ = ws.health;
+        return ws.ToStatus();
+      }
+      case FrameType::kQuery:
+      case FrameType::kHealthz:
+        // Client-to-server frame types arriving at the client: drop the
+        // connection rather than trying to resynchronize.
+        sock_.Close();
+        return Status::IOError(
+            std::string("client: unexpected server frame type '") +
+            FrameTypeName(frame.type) + "'");
+    }
+  }
+}
+
+Result<QueryResponse> QueryClient::Execute(const QueryRequest& req) {
+  ++stats_.requests;
+  const std::string encoded = req.kind == QueryKind::kHealthz
+                                  ? EncodeHealthzFrame()
+                                  : EncodeQueryFrame(req);
+  Status last = Status::OK();
+  for (uint32_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    QueryResponse resp;
+    last = RoundTrip(encoded, &resp);
+    if (last.ok()) return resp;
+    const bool retryable =
+        last.code() == Status::Code::kUnavailable ||
+        (options_.reconnect && !sock_.valid() &&
+         last.code() == Status::Code::kIOError);
+    if (!retryable || attempt == options_.max_retries) return last;
+    const double delay_ms = BackoffDelayMs(last, attempt, options_);
+    if (delay_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+  }
+  return last;
+}
+
+Result<QueryResponse> QueryClient::Healthz() {
+  return Execute(QueryRequest::Healthz());
+}
+
+}  // namespace netclus

@@ -1,0 +1,106 @@
+// Blocking client for the query service's binary wire protocol
+// (net/wire.h): dial once, Execute() per request, with the same
+// structured-backpressure behavior a polite in-process caller would
+// implement — a kUnavailable answer carrying retry_after_ms is slept on
+// (hint first, capped exponential backoff otherwise) and retried, a
+// dropped connection is redialed, and every other error is returned to
+// the caller unchanged, code and message intact.
+//
+// One QueryClient is one connection and is NOT thread-safe; concurrent
+// callers each open their own (connections are cheap, and the protocol
+// is strictly one-request-at-a-time per connection).
+#ifndef NETCLUS_NET_CLIENT_H_
+#define NETCLUS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "server/query.h"
+
+namespace netclus {
+
+/// \brief Dial + retry knobs.
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Guards against a hung server: a response taking longer than this
+  /// fails the request with kDeadlineExceeded. 0 waits forever.
+  double recv_timeout_seconds = 30.0;
+  /// Retries after a retryable failure (kUnavailable backpressure, a
+  /// dropped connection); 0 = fail on first error.
+  uint32_t max_retries = 3;
+  /// Exponential backoff when the server sent no retry hint:
+  /// min(cap, floor * 2^attempt) milliseconds.
+  double backoff_floor_ms = 1.0;
+  double backoff_cap_ms = 2000.0;
+  /// Redial a broken connection instead of failing the request.
+  bool reconnect = true;
+};
+
+/// \brief Client-side counters (monotonic since Connect).
+struct ClientStats {
+  uint64_t requests = 0;    ///< Execute/Healthz calls
+  uint64_t responses = 0;   ///< kResponse frames received
+  uint64_t status_frames = 0;  ///< kStatus frames received
+  uint64_t retries = 0;     ///< attempts beyond each request's first
+  uint64_t reconnects = 0;  ///< successful redials after a drop
+};
+
+/// \brief One blocking connection to a TcpServer. Create with
+/// Connect(), then Execute()/Healthz(). Not thread-safe.
+class QueryClient {
+ public:
+  /// Dials `options.host:options.port`. Fails (kIOError) when the
+  /// server is not reachable — connecting is not retried here; callers
+  /// that want connect-retry loop around Connect themselves.
+  static Result<std::unique_ptr<QueryClient>> Connect(
+      const ClientOptions& options);
+
+  /// Sends `req` and blocks for the verdict. kUnavailable answers are
+  /// backed off (server hint first) and retried up to max_retries; a
+  /// dead connection is redialed when options.reconnect is set. All
+  /// other failures — including kCorruption from a garbled stream —
+  /// return immediately with the server's code and message.
+  Result<QueryResponse> Execute(const QueryRequest& req);
+
+  /// The queue-bypassing health probe (answerable under backpressure).
+  Result<QueryResponse> Healthz();
+
+  /// Health the server stamped on the most recent answer (kServing
+  /// before any exchange).
+  ServerHealth last_health() const { return last_health_; }
+
+  ClientStats stats() const { return stats_; }
+
+  /// The backoff schedule, exposed pure for unit tests: the server's
+  /// retry hint when `status` carries one, else floor * 2^attempt, both
+  /// clamped to [0, cap].
+  static double BackoffDelayMs(const Status& status, uint32_t attempt,
+                               const ClientOptions& options);
+
+ private:
+  explicit QueryClient(const ClientOptions& options)
+      : options_(options) {}
+
+  /// Sends one pre-encoded frame and reads frames until a kResponse
+  /// (decoded into *out) or kStatus (returned as its Status) arrives.
+  Status RoundTrip(const std::string& encoded, QueryResponse* out);
+
+  /// Dials if the socket is down. Counts a reconnect only after the
+  /// first successful dial.
+  Status EnsureConnected();
+
+  const ClientOptions options_;
+  Socket sock_;
+  bool ever_connected_ = false;
+  ServerHealth last_health_ = ServerHealth::kServing;
+  ClientStats stats_;
+};
+
+}  // namespace netclus
+
+#endif  // NETCLUS_NET_CLIENT_H_

@@ -1,0 +1,194 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+namespace netclus {
+namespace {
+
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::IOError("socket: " + what + ": " + std::strerror(err));
+}
+
+// Resolves host:port to an IPv4 address. getaddrinfo handles numeric
+// addresses without consulting DNS, so loopback serving works in
+// network-less sandboxes.
+Status ResolveV4(const std::string& host, uint16_t port, sockaddr_in* out) {
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    if (res != nullptr) ::freeaddrinfo(res);
+    return Status::IOError("socket: cannot resolve host '" + host +
+                           "': " + ::gai_strerror(rc));
+  }
+  std::memcpy(out, res->ai_addr, sizeof(sockaddr_in));
+  out->sin_port = htons(port);
+  ::freeaddrinfo(res);
+  return Status::OK();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::Dial(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  NETCLUS_RETURN_IF_ERROR(ResolveV4(host, port, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket()", errno);
+  Socket sock(fd);
+  // Request/response frames are small and latency-bound; Nagle only
+  // adds round-trip delay here. Best-effort — loopback works either way.
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return ErrnoStatus("connect to " + host + ":" + std::to_string(port),
+                       errno);
+  }
+  return sock;
+}
+
+Status Socket::SendAll(const char* data, size_t length) {
+  if (!valid()) return Status::IOError("socket: send on closed socket");
+  size_t sent = 0;
+  while (sent < length) {
+    const ssize_t n =
+        ::send(fd_, data + sent, length - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send", errno);
+    }
+    if (n == 0) return Status::IOError("socket: send made no progress");
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> Socket::Recv(char* buffer, size_t capacity) {
+  if (!valid()) return Status::IOError("socket: recv on closed socket");
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buffer, capacity, 0);
+    if (n >= 0) return static_cast<size_t>(n);  // 0 = orderly EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("socket: receive timed out");
+    }
+    return ErrnoStatus("recv", errno);
+  }
+}
+
+Status Socket::SetRecvTimeout(double seconds) {
+  if (!valid()) return Status::IOError("socket: closed socket");
+  if (seconds < 0.0 || !std::isfinite(seconds)) {
+    return Status::InvalidArgument("receive timeout must be finite and >= 0");
+  }
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoStatus("setsockopt(SO_RCVTIMEO)", errno);
+  }
+  return Status::OK();
+}
+
+void Socket::ShutdownBoth() {
+  if (valid()) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (valid()) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<ListenSocket> ListenSocket::Listen(const std::string& host,
+                                          uint16_t port, int backlog) {
+  sockaddr_in addr;
+  NETCLUS_RETURN_IF_ERROR(ResolveV4(host, port, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket()", errno);
+  ListenSocket sock;
+  sock.fd_ = fd;
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return ErrnoStatus("bind " + host + ":" + std::to_string(port), errno);
+  }
+  if (::listen(fd, backlog) != 0) return ErrnoStatus("listen", errno);
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  sock.port_ = ntohs(bound.sin_port);
+  return sock;
+}
+
+Result<Socket> ListenSocket::Accept() {
+  if (fd_ < 0) return Status::Unavailable("socket: listener is closed");
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      Socket sock(fd);
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    // A shut-down or closed listener reports "not accepting" rather
+    // than a hard I/O error: this is the acceptor's clean-stop path.
+    if (errno == EINVAL || errno == EBADF || errno == ECONNABORTED) {
+      return Status::Unavailable("socket: listener stopped accepting");
+    }
+    return ErrnoStatus("accept", errno);
+  }
+}
+
+void ListenSocket::Shutdown() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void ListenSocket::Close() {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace netclus

@@ -1,0 +1,109 @@
+// Thin RAII wrappers over POSIX TCP sockets: the ONLY place in the
+// tree that touches raw socket syscalls (a netclus-lint rule confines
+// <sys/socket.h> & friends to src/net/). Everything above — the frame
+// codec, the TCP front end, the client library, tests that feed the
+// server hostile bytes — speaks Socket/ListenSocket, so error mapping
+// (EINTR retries, EOF vs timeout vs hard error) lives in exactly one
+// translation unit.
+//
+// Error vocabulary: EOF is a successful Recv of 0 bytes; a receive
+// timeout (SO_RCVTIMEO armed) is kDeadlineExceeded; everything else is
+// kIOError with errno text. Send never raises SIGPIPE (MSG_NOSIGNAL) —
+// a peer hangup is a Status, not a process kill.
+#ifndef NETCLUS_NET_SOCKET_H_
+#define NETCLUS_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace netclus {
+
+/// \brief One connected TCP stream socket (move-only; closes on
+/// destruction). Not thread-safe, with one sanctioned exception:
+/// ShutdownBoth() may be called from another thread to unblock a
+/// Recv()/SendAll() in flight (the server's drain path).
+class Socket {
+ public:
+  Socket() = default;
+  /// Adopts an already-connected fd.
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Connects to `host`:`port` (numeric or resolvable name).
+  static Result<Socket> Dial(const std::string& host, uint16_t port);
+
+  /// Writes all `length` bytes, retrying short writes and EINTR.
+  Status SendAll(const char* data, size_t length);
+
+  /// Reads up to `capacity` bytes. Returns 0 on orderly EOF,
+  /// kDeadlineExceeded when an armed receive timeout fires, kIOError
+  /// otherwise. EINTR is retried.
+  Result<size_t> Recv(char* buffer, size_t capacity);
+
+  /// Arms SO_RCVTIMEO (0 disables): Recv returns kDeadlineExceeded
+  /// after ~`seconds` without data — the idle-timeout building block.
+  Status SetRecvTimeout(double seconds);
+
+  /// Half-closes both directions, unblocking any Recv in flight with
+  /// EOF. Safe to call from another thread; idempotent; the fd stays
+  /// owned until Close().
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief A bound, listening TCP socket (move-only; closes on
+/// destruction). Accept() blocks; Shutdown() from another thread makes
+/// it return kUnavailable — the acceptor's clean-stop signal.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket() { Close(); }
+
+  ListenSocket(ListenSocket&& other) noexcept : fd_(other.fd_),
+                                                port_(other.port_) {
+    other.fd_ = -1;
+  }
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  /// Binds `host`:`port` (port 0 = kernel-assigned ephemeral port, read
+  /// it back via port()) and listens with `backlog`.
+  static Result<ListenSocket> Listen(const std::string& host, uint16_t port,
+                                     int backlog);
+
+  /// The bound port (resolved when Listen was given port 0).
+  uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection. Returns kUnavailable once
+  /// Shutdown() was called (or the socket failed terminally).
+  Result<Socket> Accept();
+
+  /// Stops accepting and unblocks a blocked Accept(). Safe from another
+  /// thread; idempotent.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace netclus
+
+#endif  // NETCLUS_NET_SOCKET_H_

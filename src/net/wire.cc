@@ -1,0 +1,329 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace netclus {
+namespace {
+
+constexpr char kWireMagic[4] = {'N', 'C', 'L', 'W'};
+
+constexpr size_t kQueryPayloadBytes = 32;
+constexpr size_t kResponseHeadBytes = 28;
+constexpr size_t kResultBytes = 12;  // PointId + double per range result
+constexpr size_t kStatusHeadBytes = 16;
+
+constexpr uint8_t kMaxFrameType = static_cast<uint8_t>(FrameType::kHealthz);
+constexpr uint8_t kMaxQueryKind = static_cast<uint8_t>(QueryKind::kHealthz);
+constexpr uint8_t kMaxHealth = static_cast<uint8_t>(ServerHealth::kStopping);
+constexpr uint8_t kMaxStatusCode =
+    static_cast<uint8_t>(Status::Code::kDeadlineExceeded);
+
+void PutU32(char* out, uint32_t v) { std::memcpy(out, &v, 4); }
+void PutU64(char* out, uint64_t v) { std::memcpy(out, &v, 8); }
+void PutF64(char* out, double v) { std::memcpy(out, &v, 8); }
+uint32_t GetU32(const char* in) {
+  uint32_t v;
+  std::memcpy(&v, in, 4);
+  return v;
+}
+uint64_t GetU64(const char* in) {
+  uint64_t v;
+  std::memcpy(&v, in, 8);
+  return v;
+}
+double GetF64(const char* in) {
+  double v;
+  std::memcpy(&v, in, 8);
+  return v;
+}
+
+Status Corrupt(const std::string& what) {
+  return Status::Corruption("wire: " + what);
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType t) {
+  switch (t) {
+    case FrameType::kQuery:
+      return "query";
+    case FrameType::kResponse:
+      return "response";
+    case FrameType::kStatus:
+      return "status";
+    case FrameType::kHealthz:
+      return "healthz";
+  }
+  return "unknown";
+}
+
+Status WireStatus::ToStatus() const {
+  std::string msg = message;
+  switch (code) {
+    case Status::Code::kOk:
+      return Status::OK();
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    case Status::Code::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case Status::Code::kOutOfRange:
+      return Status::OutOfRange(std::move(msg));
+    case Status::Code::kIOError:
+      return Status::IOError(std::move(msg));
+    case Status::Code::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case Status::Code::kInternal:
+      return Status::Internal(std::move(msg));
+    case Status::Code::kUnavailable:
+      return has_retry_after
+                 ? Status::UnavailableWithRetry(std::move(msg), retry_after_ms)
+                 : Status::Unavailable(std::move(msg));
+    case Status::Code::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(msg));
+  }
+  return Status::Internal("wire: unknown status code " + std::move(msg));
+}
+
+WireStatus WireStatus::FromStatus(const Status& s, ServerHealth health_state) {
+  WireStatus w;
+  w.code = s.code();
+  w.message = s.message();
+  if (s.retry_after_ms().has_value()) {
+    w.has_retry_after = true;
+    w.retry_after_ms = *s.retry_after_ms();
+  }
+  w.health = health_state;
+  return w;
+}
+
+void AppendFrame(FrameType type, const char* payload, size_t length,
+                 std::string* out) {
+  NETCLUS_CHECK(length <= kMaxPayloadBytes)
+      << "frame payload " << length << " exceeds the wire limit";
+  const size_t start = out->size();
+  out->resize(start + kFrameHeaderBytes + length);
+  char* h = &(*out)[start];
+  std::memset(h, 0, kFrameHeaderBytes);
+  std::memcpy(h + 4, kWireMagic, 4);
+  h[8] = static_cast<char>(kWireVersion);
+  h[9] = static_cast<char>(type);
+  PutU32(h + 12, static_cast<uint32_t>(length));
+  if (length > 0) std::memcpy(h + kFrameHeaderBytes, payload, length);
+  const uint32_t crc = Crc32c(h + 4, kFrameHeaderBytes - 4 + length);
+  PutU32(h, crc);
+}
+
+std::string EncodeQueryFrame(const QueryRequest& req) {
+  char p[kQueryPayloadBytes];
+  std::memset(p, 0, sizeof(p));
+  p[0] = static_cast<char>(req.kind);
+  PutU32(p + 4, req.a);
+  PutU32(p + 8, req.b);
+  PutF64(p + 12, req.eps);
+  PutU32(p + 20, req.k);
+  PutF64(p + 24, req.deadline_ms);
+  std::string out;
+  AppendFrame(FrameType::kQuery, p, sizeof(p), &out);
+  return out;
+}
+
+std::string EncodeResponseFrame(const QueryResponse& resp) {
+  std::string payload(
+      kResponseHeadBytes + resp.results.size() * kResultBytes, '\0');
+  char* p = payload.data();
+  p[0] = static_cast<char>(resp.kind);
+  p[1] = static_cast<char>(resp.health);
+  PutF64(p + 4, resp.distance);
+  PutU32(p + 12, static_cast<uint32_t>(resp.cluster_id));
+  PutU64(p + 16, resp.epoch);
+  PutU32(p + 24, static_cast<uint32_t>(resp.results.size()));
+  char* r = p + kResponseHeadBytes;
+  for (const RangeResult& res : resp.results) {
+    PutU32(r, res.id);
+    PutF64(r + 4, res.dist);
+    r += kResultBytes;
+  }
+  std::string out;
+  AppendFrame(FrameType::kResponse, payload.data(), payload.size(), &out);
+  return out;
+}
+
+std::string EncodeStatusFrame(const WireStatus& status) {
+  std::string payload(kStatusHeadBytes + status.message.size(), '\0');
+  char* p = payload.data();
+  p[0] = static_cast<char>(status.code);
+  p[1] = static_cast<char>(status.health);
+  p[2] = status.has_retry_after ? 1 : 0;
+  PutF64(p + 4, status.has_retry_after ? status.retry_after_ms : 0.0);
+  PutU32(p + 12, static_cast<uint32_t>(status.message.size()));
+  std::memcpy(p + kStatusHeadBytes, status.message.data(),
+              status.message.size());
+  std::string out;
+  AppendFrame(FrameType::kStatus, payload.data(), payload.size(), &out);
+  return out;
+}
+
+std::string EncodeHealthzFrame() {
+  std::string out;
+  AppendFrame(FrameType::kHealthz, nullptr, 0, &out);
+  return out;
+}
+
+Status DecodeQueryPayload(const char* data, size_t length,
+                          QueryRequest* out) {
+  if (length != kQueryPayloadBytes) {
+    return Corrupt("query payload is " + std::to_string(length) +
+                   " bytes, expected " + std::to_string(kQueryPayloadBytes));
+  }
+  const uint8_t kind = static_cast<uint8_t>(data[0]);
+  if (kind > kMaxQueryKind) {
+    return Corrupt("unknown query kind " + std::to_string(kind));
+  }
+  if (data[1] != 0 || data[2] != 0 || data[3] != 0) {
+    return Corrupt("nonzero query padding");
+  }
+  out->kind = static_cast<QueryKind>(kind);
+  out->a = GetU32(data + 4);
+  out->b = GetU32(data + 8);
+  out->eps = GetF64(data + 12);
+  out->k = GetU32(data + 20);
+  out->deadline_ms = GetF64(data + 24);
+  return Status::OK();
+}
+
+Status DecodeResponsePayload(const char* data, size_t length,
+                             QueryResponse* out) {
+  if (length < kResponseHeadBytes) {
+    return Corrupt("response payload truncated at " + std::to_string(length) +
+                   " bytes");
+  }
+  const uint8_t kind = static_cast<uint8_t>(data[0]);
+  if (kind > kMaxQueryKind) {
+    return Corrupt("unknown response kind " + std::to_string(kind));
+  }
+  const uint8_t health = static_cast<uint8_t>(data[1]);
+  if (health > kMaxHealth) {
+    return Corrupt("unknown health state " + std::to_string(health));
+  }
+  if (data[2] != 0 || data[3] != 0) {
+    return Corrupt("nonzero response padding");
+  }
+  const uint32_t n = GetU32(data + 24);
+  if (length != kResponseHeadBytes + static_cast<size_t>(n) * kResultBytes) {
+    return Corrupt("response announces " + std::to_string(n) +
+                   " results but carries " + std::to_string(length) +
+                   " payload bytes");
+  }
+  out->kind = static_cast<QueryKind>(kind);
+  out->health = static_cast<ServerHealth>(health);
+  out->distance = GetF64(data + 4);
+  out->cluster_id = static_cast<int>(GetU32(data + 12));
+  out->epoch = GetU64(data + 16);
+  out->results.clear();
+  out->results.reserve(n);
+  const char* r = data + kResponseHeadBytes;
+  for (uint32_t i = 0; i < n; ++i) {
+    RangeResult res;
+    res.id = GetU32(r);
+    res.dist = GetF64(r + 4);
+    out->results.push_back(res);
+    r += kResultBytes;
+  }
+  return Status::OK();
+}
+
+Status DecodeStatusPayload(const char* data, size_t length, WireStatus* out) {
+  if (length < kStatusHeadBytes) {
+    return Corrupt("status payload truncated at " + std::to_string(length) +
+                   " bytes");
+  }
+  const uint8_t code = static_cast<uint8_t>(data[0]);
+  // An OK status never travels as a kStatus frame (success is a
+  // kResponse), so code 0 is as hostile as code 255.
+  if (code == 0 || code > kMaxStatusCode) {
+    return Corrupt("unknown status code " + std::to_string(code));
+  }
+  const uint8_t health = static_cast<uint8_t>(data[1]);
+  if (health > kMaxHealth) {
+    return Corrupt("unknown health state " + std::to_string(health));
+  }
+  const uint8_t has_retry = static_cast<uint8_t>(data[2]);
+  if (has_retry > 1 || data[3] != 0) {
+    return Corrupt("malformed status flags");
+  }
+  const uint32_t msg_len = GetU32(data + 12);
+  if (length != kStatusHeadBytes + static_cast<size_t>(msg_len)) {
+    return Corrupt("status announces a " + std::to_string(msg_len) +
+                   "-byte message but carries " + std::to_string(length) +
+                   " payload bytes");
+  }
+  out->code = static_cast<Status::Code>(code);
+  out->health = static_cast<ServerHealth>(health);
+  out->has_retry_after = has_retry == 1;
+  out->retry_after_ms = GetF64(data + 4);
+  if (!out->has_retry_after && out->retry_after_ms != 0.0) {
+    return Corrupt("retry hint bytes set without the retry flag");
+  }
+  out->message.assign(data + kStatusHeadBytes, msg_len);
+  return Status::OK();
+}
+
+void FrameReader::Append(const char* data, size_t length) {
+  buffer_.append(data, length);
+}
+
+Status FrameReader::Next(WireFrame* out, bool* got) {
+  *got = false;
+  if (!poisoned_.ok()) return poisoned_;
+  // Reclaim the consumed prefix once it is large enough to matter.
+  if (pos_ > (64u << 10)) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  const size_t avail = buffer_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return Status::OK();
+  const char* h = buffer_.data() + pos_;
+  // Header sanity runs before the CRC: a reader must reject an absurd
+  // length without waiting for (or allocating) that many bytes.
+  if (std::memcmp(h + 4, kWireMagic, 4) != 0) {
+    poisoned_ = Corrupt("bad frame magic");
+    return poisoned_;
+  }
+  if (static_cast<uint8_t>(h[8]) != kWireVersion) {
+    poisoned_ = Corrupt("unsupported protocol version " +
+                        std::to_string(static_cast<uint8_t>(h[8])));
+    return poisoned_;
+  }
+  if (static_cast<uint8_t>(h[9]) > kMaxFrameType) {
+    poisoned_ = Corrupt("unknown frame type " +
+                        std::to_string(static_cast<uint8_t>(h[9])));
+    return poisoned_;
+  }
+  if (h[10] != 0 || h[11] != 0) {
+    poisoned_ = Corrupt("nonzero header padding");
+    return poisoned_;
+  }
+  const uint32_t length = GetU32(h + 12);
+  if (length > kMaxPayloadBytes) {
+    poisoned_ = Corrupt("oversized frame (" + std::to_string(length) +
+                        " payload bytes, limit " +
+                        std::to_string(kMaxPayloadBytes) + ")");
+    return poisoned_;
+  }
+  if (avail < kFrameHeaderBytes + length) return Status::OK();  // incomplete
+  const uint32_t stored_crc = GetU32(h);
+  const uint32_t actual_crc = Crc32c(h + 4, kFrameHeaderBytes - 4 + length);
+  if (stored_crc != actual_crc) {
+    poisoned_ = Corrupt("frame checksum mismatch");
+    return poisoned_;
+  }
+  out->type = static_cast<FrameType>(h[9]);
+  out->payload.assign(h + kFrameHeaderBytes, length);
+  pos_ += kFrameHeaderBytes + length;
+  *got = true;
+  return Status::OK();
+}
+
+}  // namespace netclus

@@ -1,0 +1,153 @@
+// The binary wire protocol of the query service: versioned,
+// length-prefixed, CRC32C-protected frames carrying the unified query
+// vocabulary (server/query.h) between processes.
+//
+// Frame layout (all integers little-endian in-memory representation,
+// doubles as their IEEE-754 bit patterns — payloads survive the wire
+// bit-identically, which is what lets a remote response be replayed
+// against the inline path and compared down to the last double bit):
+//
+//   [0, 4)    CRC32C of bytes [4, 16 + length)
+//   [4, 8)    magic "NCLW"
+//   [8, 9)    protocol version (kWireVersion)
+//   [9, 10)   frame type (FrameType)
+//   [10, 12)  zero padding (checked on decode)
+//   [12, 16)  payload length in bytes (<= kMaxPayloadBytes)
+//   [16, 16+length)  payload
+//
+// The same defensive posture as the mutation WAL (server/wal.h, whose
+// record framing this header mirrors): every decode path assumes the
+// bytes are hostile. A bad magic, unknown version or type, nonzero
+// padding, oversized length, checksum mismatch, or malformed payload is
+// Status::kCorruption — never a crash, never a partially trusted frame.
+// A frame whose bytes simply have not all arrived yet is not an error;
+// FrameReader reports "need more input" and keeps the prefix buffered.
+//
+// Frame types and their payloads:
+//
+//   kQuery     one QueryRequest (fixed 32 bytes), client -> server
+//   kResponse  one QueryResponse (28-byte head + 12 bytes per range /
+//              nearest result), server -> client
+//   kStatus    a structured error: Status code, health state, optional
+//              retry-after hint, message — the wire form of the
+//              in-process Status vocabulary, so remote clients get the
+//              same machine-readable backpressure hints
+//              (Status::retry_after_ms()) local callers do
+//   kHealthz   empty payload, client -> server: the queue-bypassing
+//              health probe; answered with a kResponse of kind kHealthz
+#ifndef NETCLUS_NET_WIRE_H_
+#define NETCLUS_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "server/query.h"
+
+namespace netclus {
+
+/// Protocol version stamped in every frame header; a decoder refuses
+/// frames from any other version (kCorruption) rather than guessing.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Bytes before the payload.
+inline constexpr size_t kFrameHeaderBytes = 16;
+
+/// Largest payload a frame may carry (16 MiB — comfortably above the
+/// biggest range-query response the serving stack produces). A header
+/// announcing more is rejected as corrupt before any buffering happens,
+/// so a hostile peer cannot make the reader allocate unboundedly.
+inline constexpr size_t kMaxPayloadBytes = 16u << 20;
+
+/// What a frame carries.
+enum class FrameType : uint8_t {
+  kQuery = 0,
+  kResponse = 1,
+  kStatus = 2,
+  kHealthz = 3,
+};
+
+/// Stable lower-case name ("query", "response", "status", "healthz").
+const char* FrameTypeName(FrameType t);
+
+/// \brief The wire form of a Status + serving condition: what the
+/// server sends when a request fails, carrying the structured
+/// backpressure hint across the process boundary.
+struct WireStatus {
+  Status::Code code = Status::Code::kInternal;
+  std::string message;
+  bool has_retry_after = false;
+  double retry_after_ms = 0.0;
+  ServerHealth health = ServerHealth::kServing;
+
+  /// Rebuilds the in-process Status (UnavailableWithRetry when the
+  /// retry hint rode along, so client->status().retry_after_ms() works
+  /// exactly like the in-process API).
+  Status ToStatus() const;
+
+  /// Captures `s` (code, message, retry hint) plus the server's health.
+  static WireStatus FromStatus(const Status& s, ServerHealth health);
+};
+
+/// \brief One decoded frame: its type and raw payload bytes.
+struct WireFrame {
+  FrameType type = FrameType::kQuery;
+  std::string payload;
+};
+
+// --- encoding ---------------------------------------------------------
+
+/// Appends a complete frame (header + payload, CRC stamped) to `*out`.
+void AppendFrame(FrameType type, const char* payload, size_t length,
+                 std::string* out);
+
+/// One query request as a kQuery frame.
+std::string EncodeQueryFrame(const QueryRequest& req);
+/// One query response as a kResponse frame (doubles bit-exact).
+std::string EncodeResponseFrame(const QueryResponse& resp);
+/// One structured status as a kStatus frame.
+std::string EncodeStatusFrame(const WireStatus& status);
+/// The empty-payload health probe.
+std::string EncodeHealthzFrame();
+
+// --- payload decoding (all reject malformed bytes with kCorruption) ---
+
+Status DecodeQueryPayload(const char* data, size_t length, QueryRequest* out);
+Status DecodeResponsePayload(const char* data, size_t length,
+                             QueryResponse* out);
+Status DecodeStatusPayload(const char* data, size_t length, WireStatus* out);
+
+// --- stream decoding --------------------------------------------------
+
+/// \brief Incremental frame extractor over a byte stream.
+///
+/// Feed whatever the socket produced with Append(); Next() yields
+/// complete frames one at a time. A partial frame stays buffered until
+/// its remaining bytes arrive (`*got` = false, OK status); any header
+/// or checksum violation is kCorruption, after which the stream is
+/// unrecoverable (framing is lost) and every later Next() repeats the
+/// verdict — the caller's move is to drop the connection.
+class FrameReader {
+ public:
+  /// Buffers `length` more stream bytes.
+  void Append(const char* data, size_t length);
+
+  /// Extracts the next complete frame into `*out` and sets `*got`.
+  /// Returns OK with `*got` = false when the buffered bytes end
+  /// mid-frame (not an error — more input may arrive); kCorruption on
+  /// any malformed header or checksum mismatch.
+  Status Next(WireFrame* out, bool* got);
+
+  /// Bytes buffered but not yet consumed by a complete frame.
+  size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  std::string buffer_;
+  size_t pos_ = 0;  ///< consumed prefix of buffer_
+  Status poisoned_ = Status::OK();  ///< sticky corruption verdict
+};
+
+}  // namespace netclus
+
+#endif  // NETCLUS_NET_WIRE_H_
