@@ -9,6 +9,7 @@
 #ifndef NETCLUS_BENCH_BENCH_COMMON_H_
 #define NETCLUS_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
@@ -117,7 +118,16 @@ class BenchRecorder {
 
   /// Writes BENCH_<name>.json into $NETCLUS_BENCH_JSON_DIR (default the
   /// working directory) and returns the path, or "" on I/O failure.
+  /// The file is a snapshot: each run replaces the previous one.
   std::string Write() const;
+
+  /// As Write(), but the file accumulates a perf trajectory instead of
+  /// being replaced: each run appends one object
+  /// `{"sha": "<git short sha>", "date": "YYYY-MM-DD", "entries": [...]}`
+  /// to a top-level array, so per-PR rows line up for diffing. A file in
+  /// the old flat-entry format (no "sha" key) is replaced by a fresh
+  /// one-run history.
+  std::string WriteAppend() const;
 
  private:
   struct Entry {
@@ -127,6 +137,11 @@ class BenchRecorder {
     TraversalCounters traversal;
     std::vector<std::pair<std::string, double>> extra;
   };
+
+  std::string JsonPath() const;
+  /// Emits the entry array's objects, one per line, prefixed by `indent`.
+  void EmitEntries(std::FILE* f, const char* indent) const;
+
   std::string name_;
   std::vector<Entry> entries_;
 };

@@ -194,7 +194,9 @@ int main() {
            {"transport_tax", transport_tax},
            {"clients", static_cast<double>(kClients)},
            {"requests", total_requests}});
-  std::string path = rec.Write();
+  // Per-PR history: appends a {sha, date, entries} row instead of
+  // overwriting, so latency drift across revisions stays visible.
+  std::string path = rec.WriteAppend();
   std::printf("wrote %s\n", path.empty() ? "(json write FAILED)"
                                          : path.c_str());
   return path.empty() ? 1 : 0;

@@ -10,7 +10,11 @@
 // OPEN-LOOP pressure probe floods admission control — that probe alone
 // feeds rejection_rate, reported separately from accepted_qps in
 // BENCH_server.json, alongside deadline_miss_rate (shed + cancelled
-// over completed) per worker count.
+// over completed) per worker count. A final sparse-mutation probe
+// measures mean publish latency with incremental publish off vs on
+// and gates the incremental/full ratio below 0.9. BENCH_server.json
+// is a per-PR history (one {sha, date, entries} row per run), not a
+// snapshot.
 // Wired into `run_all.sh bench-smoke` and `run_all.sh server-smoke`.
 //
 // Gate: throughput must scale from 1 to 4 workers. The bar is
@@ -94,6 +98,77 @@ struct RunResult {
   /// kUnavailable rejections / submissions in the pressure probe.
   double rejection_rate = 0.0;
 };
+
+// Publish latency on a sparse-mutation workload: a large network with
+// few points, one AddEdge per publish, so almost every CSR row of the
+// next epoch is untouched. Full rebuilds re-materialize the whole graph
+// each time; the incremental path splices the two dirty rows and copies
+// the rest, which is what the mean publish latencies compare. Reported
+// as publish_full_ms / publish_incremental_ms / publish_ratio in
+// BENCH_server.json, and gated: the ratio must stay below 0.9.
+struct PublishLatency {
+  double full_ms = 0.0;
+  double incremental_ms = 0.0;
+  uint64_t publishes = 0;
+};
+
+PublishLatency MeasurePublishLatency() {
+  GeneratedNetwork gen = GenerateRoadNetwork({20000, 1.3, 0.3, 91});
+  PointSet points =
+      std::move(GenerateUniformPoints(gen.net, 64, 92)).value();
+  std::printf(
+      "publish-latency: %u nodes, %zu edges, %u points, one edge "
+      "mutation per publish\n",
+      gen.net.num_nodes(), gen.net.num_edges(), points.size());
+
+  constexpr int kPublishes = 9;
+  PublishLatency out;
+  for (bool incremental : {false, true}) {
+    QueryServerOptions opts;
+    opts.num_workers = 1;
+    opts.incremental_publish = incremental;
+    std::unique_ptr<QueryServer> server =
+        std::move(QueryServer::Start(gen.net, points, opts).value());
+    Rng rng(93);
+    for (int i = 0; i < kPublishes; ++i) {
+      // Random endpoints; a duplicate-edge rejection just redraws.
+      for (;;) {
+        NodeId u = static_cast<NodeId>(rng.NextBounded(gen.net.num_nodes()));
+        NodeId v = static_cast<NodeId>(rng.NextBounded(gen.net.num_nodes()));
+        if (u == v) continue;
+        if (server->ApplyUpdate(
+                       NetworkUpdate::AddEdge(u, v, 1.0 + 0.5 * i))
+                .ok()) {
+          break;
+        }
+      }
+      // One publish per mutation: without the flush, queued mutations
+      // would coalesce and the sample count would drift run to run.
+      Status flushed = server->Flush();
+      if (!flushed.ok()) {
+        std::fprintf(stderr, "publish flush failed: %s\n",
+                     flushed.ToString().c_str());
+        std::exit(1);
+      }
+    }
+    ServerStats stats = server->stats();
+    if (incremental) {
+      out.incremental_ms = stats.mean_publish_incremental_ms;
+      out.publishes = stats.publishes_incremental;
+      if (stats.publishes_incremental != kPublishes) {
+        std::fprintf(stderr,
+                     "expected %d incremental publishes, saw %llu\n",
+                     kPublishes,
+                     static_cast<unsigned long long>(
+                         stats.publishes_incremental));
+        std::exit(1);
+      }
+    } else {
+      out.full_ms = stats.mean_publish_full_ms;
+    }
+  }
+  return out;
+}
 
 RunResult RunAtWorkers(const Network& net, const PointSet& points,
                        uint32_t workers,
@@ -231,10 +306,37 @@ int main() {
              {"workers", static_cast<double>(workers)}});
   }
 
-  std::string path = rec.Write();
+  PublishLatency pub = MeasurePublishLatency();
+  const double pub_ratio =
+      pub.full_ms > 0.0 ? pub.incremental_ms / pub.full_ms : 1.0;
+  std::printf(
+      "publish latency: full %.3f ms, incremental %.3f ms over %llu "
+      "publishes (ratio %.2f, gate < 0.9)\n",
+      pub.full_ms, pub.incremental_ms,
+      static_cast<unsigned long long>(pub.publishes), pub_ratio);
+  rec.Add("publish_latency", {pub.incremental_ms * 1e-3},
+          TraversalCounters{},
+          {{"publish_full_ms", pub.full_ms},
+           {"publish_incremental_ms", pub.incremental_ms},
+           {"publish_ratio", pub_ratio}});
+
+  // Per-PR history: BENCH_server.json accumulates one {sha, date,
+  // entries} row per run instead of being overwritten, so the perf
+  // trajectory survives across revisions.
+  std::string path = rec.WriteAppend();
   std::printf("\nwrote %s\n",
               path.empty() ? "(json write FAILED)" : path.c_str());
   if (path.empty()) return 1;
+
+  // Incremental publish must beat the full rebuild decisively on this
+  // sparse-mutation workload — splicing two dirty CSR rows cannot cost
+  // 90% of re-materializing 20k of them.
+  if (pub_ratio >= 0.9) {
+    std::fprintf(stderr,
+                 "FAIL: incremental publish latency ratio %.2f >= 0.9\n",
+                 pub_ratio);
+    return 1;
+  }
 
   // Hardware-aware scaling gate on ACCEPTED work: 1 -> 4 workers.
   const double ratio =

@@ -29,6 +29,8 @@
 #include "net/tcp_server.h"
 #include "netclus.h"
 #include "server/query_server.h"
+#include "server/wal.h"
+#include "storage/paged_file.h"
 
 using namespace netclus;
 
@@ -63,13 +65,82 @@ int Usage() {
                "  serve    --in FILE [--workers W] [--clients C]\n"
                "           [--queries N] [--mutations M] [--eps E|auto]\n"
                "           [--validate on|off] [--seed S]\n"
-               "           [--wal FILE] [--deadline-ms D]\n"
+               "           [--wal FILE] [--wal-checkpoint-every N]\n"
+               "           [--deadline-ms D]\n"
                "           [--port P] [--port-file F] [--serve-seconds S]\n"
                "           [--stop-file F]\n"
+               "  wal      inspect --wal FILE\n"
                "  query    --in FILE --connect HOST:PORT [--queries N]\n"
                "           [--clients C] [--check on|off] [--eps E|auto]\n"
                "           [--seed S] [--deadline-ms D]\n");
   return 2;
+}
+
+// Offline diagnostics for a server's durability files: the mutation log
+// (sequence base, record count, torn-tail scrub results) plus both
+// checkpoint slots. Same page size and slot naming as the server, so it
+// reads exactly what `serve --wal FILE` would recover from. Opening the
+// log performs the same torn-tail scrub recovery would.
+int RunWalInspect(int argc, char** argv) {
+  constexpr uint32_t kWalPageSize = 4096;  // must match the server's
+  const char* path = FlagValue(argc, argv, "--wal", nullptr);
+  if (path == nullptr) return Usage();
+  FILE* probe = std::fopen(path, "rb");
+  if (probe == nullptr) {
+    std::fprintf(stderr, "error: no WAL at %s\n", path);
+    return 1;
+  }
+  std::fclose(probe);
+
+  bool log_ok = true;
+  Result<std::unique_ptr<PagedFile>> file =
+      PagedFile::Open(path, kWalPageSize, /*truncate=*/false);
+  if (!file.ok()) return Fail(file.status());
+  Result<std::unique_ptr<MutationWal>> wal =
+      MutationWal::Open(file.value().get());
+  if (!wal.ok()) {
+    log_ok = false;
+    std::printf("wal %s: UNREADABLE (%s)\n", path,
+                wal.status().ToString().c_str());
+  } else {
+    const MutationWal& log = *wal.value();
+    std::printf("wal %s: %llu records, sequence [%llu, %llu)\n", path,
+                static_cast<unsigned long long>(log.num_records()),
+                static_cast<unsigned long long>(log.start_seq()),
+                static_cast<unsigned long long>(log.next_seq()));
+    if (log.recovery().records_dropped > 0) {
+      std::printf("  torn tail: %llu record(s) scrubbed\n",
+                  static_cast<unsigned long long>(
+                      log.recovery().records_dropped));
+    }
+  }
+
+  Result<std::unique_ptr<CheckpointStore>> store =
+      CheckpointStore::Open(path, kWalPageSize);
+  if (!store.ok()) return Fail(store.status());
+  for (int slot = 0; slot < 2; ++slot) {
+    const char name = slot == 0 ? 'a' : 'b';
+    CheckpointSlotInfo info = store.value()->InspectSlot(slot);
+    if (!info.present) {
+      std::printf("checkpoint %s.ckpt.%c: empty\n", path, name);
+    } else if (info.valid) {
+      std::printf("checkpoint %s.ckpt.%c: generation %llu, covers seq %llu, "
+                  "%llu edges, %llu points, %llu bytes\n",
+                  path, name,
+                  static_cast<unsigned long long>(info.generation),
+                  static_cast<unsigned long long>(info.covers_seq),
+                  static_cast<unsigned long long>(info.num_edges),
+                  static_cast<unsigned long long>(info.num_points),
+                  static_cast<unsigned long long>(info.total_bytes));
+    } else {
+      std::printf("checkpoint %s.ckpt.%c: INVALID (%s) — header claims "
+                  "generation %llu, covers seq %llu\n",
+                  path, name, info.detail.c_str(),
+                  static_cast<unsigned long long>(info.generation),
+                  static_cast<unsigned long long>(info.covers_seq));
+    }
+  }
+  return log_ok ? 0 : 1;
 }
 
 int RunGenerate(int argc, char** argv) {
@@ -235,6 +306,11 @@ int RunServe(int argc, char** argv, const Network& net,
   // them before publishing epoch 1 (a torn tail is truncated; a corrupt
   // middle refuses to boot).
   opts.wal_path = FlagValue(argc, argv, "--wal", "");
+  // --wal-checkpoint-every N bounds replay: once the log holds N
+  // records, the whole world is checkpointed into <wal>.ckpt.{a,b} and
+  // the log is truncated behind it.
+  opts.wal_checkpoint_every = static_cast<uint64_t>(
+      std::atoll(FlagValue(argc, argv, "--wal-checkpoint-every", "0")));
   // --deadline-ms D stamps a soft deadline on every client query;
   // expired requests are shed or cancelled mid-traversal and resolve
   // with kDeadlineExceeded instead of blocking the queue.
@@ -251,9 +327,17 @@ int RunServe(int argc, char** argv, const Network& net,
               static_cast<unsigned long long>(server.current_epoch()));
   if (!opts.wal_path.empty()) {
     ServerStats boot = server.stats();
-    std::printf("wal: %s (%llu records replayed at boot)\n",
+    std::printf("wal: %s (%llu records replayed at boot%s)\n",
                 opts.wal_path.c_str(),
-                static_cast<unsigned long long>(boot.wal_recoveries));
+                static_cast<unsigned long long>(boot.wal_recoveries),
+                boot.wal_recovered_from_checkpoint != 0
+                    ? ", recovered from checkpoint"
+                    : "");
+    if (opts.wal_checkpoint_every > 0) {
+      std::printf("checkpoint: every %llu records into %s.ckpt.{a,b}\n",
+                  static_cast<unsigned long long>(opts.wal_checkpoint_every),
+                  opts.wal_path.c_str());
+    }
   }
   if (deadline_ms > 0.0) {
     std::printf("deadline: %.1f ms per query\n", deadline_ms);
@@ -406,10 +490,11 @@ int RunServe(int argc, char** argv, const Network& net,
   }
   HealthReport health = server.Healthz();
   std::printf("health: %s (miss rate %.3f, publish failures %llu, wal "
-              "records %llu%s)\n",
+              "records %llu, checkpoints %llu%s)\n",
               ServerHealthName(health.health), health.deadline_miss_rate,
               static_cast<unsigned long long>(stats.publish_failures),
               static_cast<unsigned long long>(stats.wal_records),
+              static_cast<unsigned long long>(stats.checkpoints_written),
               health.wal_broken ? ", WAL BROKEN" : "");
   if (health.wal_broken) return 1;
   return err == 0 ? 0 : 1;
@@ -569,6 +654,13 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
   if (cmd == "generate") return RunGenerate(argc, argv);
+  // `wal inspect` works on durability files alone — no --in network.
+  if (cmd == "wal") {
+    if (argc >= 3 && std::strcmp(argv[2], "inspect") == 0) {
+      return RunWalInspect(argc, argv);
+    }
+    return Usage();
+  }
 
   const char* in = FlagValue(argc, argv, "--in", nullptr);
   if (in == nullptr) return Usage();

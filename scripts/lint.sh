@@ -29,7 +29,10 @@
 #          (documented in DESIGN.md section 14);
 #        - raw POSIX socket syscalls/headers are confined to src/net/ —
 #          everything else uses the net/socket.h RAII wrappers so EINTR
-#          retries, timeout mapping, and fd lifetimes stay in one place.
+#          retries, timeout mapping, and fd lifetimes stay in one place;
+#        - the query vocabulary (src/server/query.h) and the wire layer
+#          (src/net/) speak stable ObjectIds only — a raw PointId there
+#          would leak epoch-local dense indices to clients.
 #
 # Exits non-zero if any layer reports a finding.
 set -u
@@ -175,6 +178,23 @@ $hits"
     grep -nE '(^|[^[:alnum:]_:.])(socket|bind|listen|accept|connect|setsockopt|getsockname|getaddrinfo|recvfrom|sendto)[[:space:]]*\(' || true)
   if [ -n "$hits" ]; then
     fail "$f: raw socket syscall outside src/net/; go through net/socket.h's Socket/ListenSocket wrappers
+$hits"
+  fi
+done
+
+# Identity-boundary tripwire: the public query vocabulary
+# (src/server/query.h) and the wire layer (src/net/) speak stable
+# ObjectIds only. A raw PointId there would leak dense epoch-local
+# indices to clients, where they go stale at the next publish —
+# exactly the bug the identity map exists to prevent (DESIGN.md
+# section 16). Translation happens inside the server, against the
+# epoch snapshot that resolved the query.
+for f in src/server/query.h $(find src/net -name '*.h' -o -name '*.cc' | sort); do
+  stripped=$(sed 's@//.*@@' "$f")
+  hits=$(printf '%s\n' "$stripped" |
+    grep -nE '(^|[^[:alnum:]_])(PointId|kInvalidPointId)($|[^[:alnum:]_])' || true)
+  if [ -n "$hits" ]; then
+    fail "$f: raw PointId at the identity boundary; query payloads and the wire speak stable ObjectIds (translate inside the server against the resolving epoch)
 $hits"
   fi
 done

@@ -103,7 +103,7 @@ if [ "${1:-}" = "ubsan" ]; then
   cmake -B build-ubsan -G Ninja -DNETCLUS_SANITIZE=undefined
   cmake --build build-ubsan
   ctest --test-dir build-ubsan --output-on-failure \
-    -R 'KMedoids|EpsLink|Dbscan|SingleLink|Dendrogram|Dijkstra|RangeQuery|Knn|DirectDistance|PointDistance|InterestingLevels|Optics|Hierarchy|Validate|NetclusApi|Integration|Index|DistanceCache|LandmarkOracle|Voronoi|Frozen|Wal|Cancel|Deadline|WireCodec|WireFrame' \
+    -R 'KMedoids|EpsLink|Dbscan|SingleLink|Dendrogram|Dijkstra|RangeQuery|Knn|DirectDistance|PointDistance|InterestingLevels|Optics|Hierarchy|Validate|NetclusApi|Integration|Index|DistanceCache|LandmarkOracle|Voronoi|Frozen|Wal|Checkpoint|Incremental|Cancel|Deadline|WireCodec|WireFrame' \
     2>&1 | tee ubsan_output.txt
   exit 0
 fi
@@ -129,7 +129,7 @@ if [ "${1:-}" = "tsan" ]; then
   cmake -B build-tsan -G Ninja -DNETCLUS_SANITIZE=thread
   cmake --build build-tsan
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'ThreadPool|WorkspacePool|Parallel|Determin|Restart|DistanceCache|EpochManager|QueryServer|Wal|Chaos|Deadline|Cancel|Mutex|CondVar|TcpServerLoopback|NetClient|NetSoak|NetStats' \
+    -R 'ThreadPool|WorkspacePool|Parallel|Determin|Restart|DistanceCache|EpochManager|QueryServer|Wal|Checkpoint|Incremental|Chaos|Deadline|Cancel|Mutex|CondVar|TcpServerLoopback|NetClient|NetSoak|NetStats' \
     2>&1 | tee tsan_output.txt
   exit 0
 fi
@@ -202,12 +202,13 @@ if [ "${1:-}" = "chaos-smoke" ]; then
   configure_build
   cmake --build build
   ctest --test-dir build --output-on-failure \
-    -R 'Wal|Chaos|Deadline|Cancel' \
+    -R 'Wal|Checkpoint|Incremental|Chaos|Deadline|Cancel' \
     2>&1 | tee chaos_smoke_output.txt
   # End-to-end crash recovery: serve with a durable WAL and per-query
   # deadlines, then restart on the same log — the second run must
   # replay every mutation the first one accepted.
-  rm -f /tmp/netclus_chaos_smoke.wal
+  rm -f /tmp/netclus_chaos_smoke.wal /tmp/netclus_chaos_smoke.wal.ckpt.a \
+    /tmp/netclus_chaos_smoke.wal.ckpt.b
   ./build/examples/netclus_cli generate --nodes 1500 --points 3000 \
     --clusters 6 --seed 7 --out /tmp/netclus_chaos_smoke.net \
     2>&1 | tee -a chaos_smoke_output.txt
@@ -220,6 +221,25 @@ if [ "${1:-}" = "chaos-smoke" ]; then
     --wal /tmp/netclus_chaos_smoke.wal --deadline-ms 250 \
     2>&1 | tee -a chaos_smoke_output.txt
   grep -q '12 records replayed at boot' chaos_smoke_output.txt
+  # Checkpoint + compaction round: the same world, now checkpointing
+  # every 4 records. The serve replays the 12 logged mutations, adds 12
+  # more, and compacts the log behind its checkpoints; `wal inspect`
+  # must show a valid checkpoint, and a final kill/restart must boot
+  # from it rather than from a full-log replay.
+  ./build/examples/netclus_cli serve --in /tmp/netclus_chaos_smoke.net \
+    --workers 4 --clients 4 --queries 1000 --mutations 12 --validate on \
+    --wal /tmp/netclus_chaos_smoke.wal --wal-checkpoint-every 4 \
+    2>&1 | tee -a chaos_smoke_output.txt
+  ./build/examples/netclus_cli wal inspect \
+    --wal /tmp/netclus_chaos_smoke.wal \
+    2>&1 | tee -a chaos_smoke_output.txt
+  grep -q 'checkpoint /tmp/netclus_chaos_smoke.wal.ckpt.[ab]: generation' \
+    chaos_smoke_output.txt
+  ./build/examples/netclus_cli serve --in /tmp/netclus_chaos_smoke.net \
+    --workers 4 --clients 4 --queries 500 --mutations 0 \
+    --wal /tmp/netclus_chaos_smoke.wal --wal-checkpoint-every 4 \
+    2>&1 | tee -a chaos_smoke_output.txt
+  grep -q 'recovered from checkpoint' chaos_smoke_output.txt
   exit 0
 fi
 
@@ -231,8 +251,17 @@ if [ "${1:-}" = "bench-smoke" ]; then
   # counters match exactly and the snapshot path is >= 1.3x faster.
   ./build/bench/frozen_traversal 2>&1 | tee -a bench_smoke_output.txt
   # Query-server throughput at 1/4/8 workers with the hardware-aware
-  # 1->4 scaling gate.
+  # 1->4 scaling gate, plus the publish-latency contrast (incremental
+  # splice vs full rebuild on a sparse-mutation workload).
   ./build/bench/server_throughput 2>&1 | tee -a bench_smoke_output.txt
+  # Plain sh has no pipefail, so the tee above swallows the harnesses'
+  # exit codes — re-assert their gates from the captured output: the
+  # publish-latency row must be present and no harness printed FAIL.
+  grep -q 'publish latency: full .* ratio' bench_smoke_output.txt
+  if grep -q 'FAIL' bench_smoke_output.txt; then
+    echo "run_all: a bench gate failed (see bench_smoke_output.txt)" >&2
+    exit 1
+  fi
   ls BENCH_*.json
   exit 0
 fi

@@ -1,5 +1,7 @@
 #include "graph/frozen_graph.h"
 
+#include <cstring>
+
 #include "common/check.h"
 #include "graph/network_view.h"
 
@@ -90,6 +92,101 @@ FrozenGraph FrozenGraph::Materialize(const NetworkView& view) {
     }
   });
   return g;
+}
+
+FrozenGraph FrozenGraph::MaterializeIncremental(
+    const NetworkView& view, const FrozenGraph& prev,
+    const std::vector<char>& dirty) {
+  const NodeId n = view.num_nodes();
+  if (prev.num_nodes() != n || dirty.size() != static_cast<size_t>(n)) {
+    // Nothing safe to splice from: the node space itself moved (or the
+    // dirty set does not describe it). Full rebuild.
+    return Materialize(view);
+  }
+  FrozenGraph g;
+  g.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+
+  // Pass 1: degrees. A clean row's degree is already known from prev;
+  // only dirty rows pay a view iteration.
+  for (NodeId i = 0; i < n; ++i) {
+    uint32_t deg;
+    if (dirty[i] != 0) {
+      deg = 0;
+      view.ForEachNeighbor(i, [&deg](NodeId, double) { ++deg; });
+    } else {
+      deg = prev.degree(i);
+    }
+    g.offsets_[i + 1] = deg;
+  }
+  for (NodeId i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
+
+  const size_t half_edges = g.offsets_[n];
+  g.neighbors_.resize(half_edges);
+  g.weights_.resize(half_edges);
+
+  // Pass 2: clean rows splice their (neighbor, weight) spans verbatim
+  // out of the retiring snapshot — unchanged rows keep their iteration
+  // order in the view, so the bytes are identical to what a full
+  // Materialize would produce. Dirty rows refill from the view.
+  for (NodeId i = 0; i < n; ++i) {
+    uint32_t slot = g.offsets_[i];
+    const uint32_t row_end = g.offsets_[i + 1];
+    if (dirty[i] == 0) {
+      const uint32_t prev_first = prev.offsets_[i];
+      const uint32_t count = row_end - slot;
+      if (count > 0) {
+        std::memcpy(g.neighbors_.data() + slot,
+                    prev.neighbors_.data() + prev_first,
+                    static_cast<size_t>(count) * sizeof(NodeId));
+        std::memcpy(g.weights_.data() + slot,
+                    prev.weights_.data() + prev_first,
+                    static_cast<size_t>(count) * sizeof(double));
+      }
+      continue;
+    }
+    view.ForEachNeighbor(i, [&](NodeId m, double w) {
+      if (slot < row_end) {
+        g.neighbors_[slot] = m;
+        g.weights_[slot] = w;
+      }
+      ++slot;
+    });
+    NETCLUS_DCHECK(slot == row_end || !view.status().ok())
+        << "adjacency changed between incremental passes at node " << i;
+  }
+
+  // Point ranges always rebuild: every publish renumbers dense point
+  // ids, so no prior epoch's ranges can be reused.
+  g.pt_first_.assign(half_edges, kInvalidPointId);
+  g.pt_count_.assign(half_edges, 0);
+  g.has_point_ranges_ = true;
+  view.ForEachPointGroup([&g](NodeId u, NodeId v, PointId first,
+                              uint32_t count) {
+    size_t su = g.SlotOf(u, v);
+    size_t sv = g.SlotOf(v, u);
+    if (su != SIZE_MAX) {
+      g.pt_first_[su] = first;
+      g.pt_count_[su] = count;
+    }
+    if (sv != SIZE_MAX) {
+      g.pt_first_[sv] = first;
+      g.pt_count_[sv] = count;
+    }
+  });
+  return g;
+}
+
+bool FrozenGraph::BitIdenticalTo(const FrozenGraph& other) const {
+  // Weights compare by bit pattern (memcmp), not operator== — the whole
+  // point is that the spliced arrays are byte-for-byte the full
+  // rebuild's arrays.
+  return offsets_ == other.offsets_ && neighbors_ == other.neighbors_ &&
+         weights_.size() == other.weights_.size() &&
+         (weights_.empty() ||
+          std::memcmp(weights_.data(), other.weights_.data(),
+                      weights_.size() * sizeof(double)) == 0) &&
+         pt_first_ == other.pt_first_ && pt_count_ == other.pt_count_ &&
+         has_point_ranges_ == other.has_point_ranges_;
 }
 
 FrozenGraph FrozenGraph::FromAdjacency(

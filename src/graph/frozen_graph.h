@@ -80,6 +80,25 @@ class FrozenGraph {
   /// (NetworkView::Freeze() does); Materialize itself cannot fail.
   static FrozenGraph Materialize(const NetworkView& view);
 
+  /// Incremental rebuild: produces the same snapshot Materialize(view)
+  /// would, but copies the CSR row of every node NOT flagged in `dirty`
+  /// straight out of `prev` (the retiring epoch's snapshot) instead of
+  /// re-iterating the view. Callers flag exactly the nodes whose
+  /// adjacency changed since `prev` was built; a clean row's neighbor
+  /// order must be unchanged in the view (Network::AddEdge appends, so
+  /// rows it does not touch keep their order). Point ranges are always
+  /// rebuilt — dense point ids shift on every publish. Falls back to a
+  /// full Materialize when the node count changed or `dirty` is
+  /// malformed.
+  static FrozenGraph MaterializeIncremental(const NetworkView& view,
+                                            const FrozenGraph& prev,
+                                            const std::vector<char>& dirty);
+
+  /// True when every array (offsets, neighbors, weight bit patterns,
+  /// point ranges) matches exactly — the NETCLUS_VALIDATE oracle that an
+  /// incremental rebuild spliced correctly.
+  bool BitIdenticalTo(const FrozenGraph& other) const;
+
   /// Builds a snapshot from raw adjacency lists (no point ranges).
   /// Used by Network to serve EdgeWeight lookups from the CSR arrays.
   static FrozenGraph FromAdjacency(

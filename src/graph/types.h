@@ -13,9 +13,20 @@ inline constexpr NodeId kInvalidNodeId = UINT32_MAX;
 
 /// Identifier of an object (point) lying on a network edge. Point ids are
 /// assigned so that points on the same edge are consecutive and ordered by
-/// ascending offset (paper Section 4.1).
+/// ascending offset (paper Section 4.1). A PointId is DENSE and
+/// EPOCH-RELATIVE: rebuilding a PointSet after mutations renumbers it.
+/// Anything that crosses an epoch boundary (client APIs, the wire, the
+/// distance cache) must use ObjectId instead.
 using PointId = uint32_t;
 inline constexpr PointId kInvalidPointId = UINT32_MAX;
+
+/// Durable identity of an object (point) or edge, allocated monotonically
+/// by the owner of the live world (the query server) and never reused.
+/// An ObjectId names the same physical object across every epoch and
+/// across restarts (it is persisted in WAL checkpoints); the per-epoch
+/// IdentityMap translates it to that epoch's dense PointId.
+using ObjectId = uint64_t;
+inline constexpr ObjectId kInvalidObjectId = UINT64_MAX;
 
 /// Canonical 64-bit key of the undirected edge {a, b} (smaller id first).
 inline uint64_t EdgeKeyOf(NodeId a, NodeId b) {

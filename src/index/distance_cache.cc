@@ -26,6 +26,12 @@ uint64_t MixKey(uint64_t key) {
 
 }  // namespace
 
+size_t DistanceCache::PairKeyHash::operator()(const PairKey& k) const {
+  // Mix each half independently, then combine: full avalanche on both
+  // words so neighboring ObjectIds (the common access pattern) spread.
+  return static_cast<size_t>(MixKey(k.lo) ^ (MixKey(k.hi) * 0x9e3779b97f4a7c15ULL));
+}
+
 DistanceCache::DistanceCache(size_t capacity, uint32_t num_shards)
     : capacity_(capacity),
       shard_mask_(RoundUpPow2(num_shards) - 1),
@@ -34,8 +40,8 @@ DistanceCache::DistanceCache(size_t capacity, uint32_t num_shards)
   if (capacity_ > 0 && per_shard_capacity_ == 0) per_shard_capacity_ = 1;
 }
 
-DistanceCache::Shard& DistanceCache::ShardFor(uint64_t key) const {
-  return shards_[MixKey(key) & shard_mask_];
+DistanceCache::Shard& DistanceCache::ShardFor(const PairKey& key) const {
+  return shards_[PairKeyHash{}(key) & shard_mask_];
 }
 
 void DistanceCache::RefreshEpochLocked(Shard* shard) const {
@@ -47,9 +53,9 @@ void DistanceCache::RefreshEpochLocked(Shard* shard) const {
   }
 }
 
-bool DistanceCache::Lookup(PointId a, PointId b, double* out) const {
+bool DistanceCache::Lookup(uint64_t a, uint64_t b, double* out) const {
   if (capacity_ == 0) return false;
-  uint64_t key = KeyOf(a, b);
+  PairKey key = KeyOf(a, b);
   Shard& shard = ShardFor(key);
   MutexLock lock(&shard.mu);
   RefreshEpochLocked(&shard);
@@ -65,9 +71,9 @@ bool DistanceCache::Lookup(PointId a, PointId b, double* out) const {
   return true;
 }
 
-void DistanceCache::Store(PointId a, PointId b, double dist) const {
+void DistanceCache::Store(uint64_t a, uint64_t b, double dist) const {
   if (capacity_ == 0) return;
-  uint64_t key = KeyOf(a, b);
+  PairKey key = KeyOf(a, b);
   Shard& shard = ShardFor(key);
   MutexLock lock(&shard.mu);
   RefreshEpochLocked(&shard);

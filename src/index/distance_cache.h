@@ -1,10 +1,13 @@
 // Sharded LRU cache of exact point-pair network distances.
 //
-// The key is the unordered pair {a, b} packed into 64 bits (distance is
-// symmetric). Entries are spread over a power-of-two number of shards by
-// a mixed hash of the key; each shard is an independent LRU list under
-// its own mutex, so concurrent readers on different shards never
-// contend (striped locking).
+// The key is the unordered pair {a, b} of 64-bit ids (distance is
+// symmetric). Callers may pass dense PointIds (the clustering-time
+// DistanceIndex does) or durable ObjectIds (the serving path does, so
+// warm entries survive metric-preserving republication — see
+// server/snapshot.h). Entries are spread over a power-of-two number of
+// shards by a mixed hash of the key; each shard is an independent LRU
+// list under its own mutex, so concurrent readers on different shards
+// never contend (striped locking).
 //
 // Invalidation is epoch-based and lazy: mutating the network bumps a
 // global atomic epoch; a shard discovers the stale epoch on its next
@@ -51,12 +54,13 @@ class DistanceCache {
   DistanceCache& operator=(const DistanceCache&) = delete;
 
   /// If d(a, b) is cached, writes it to `*out`, refreshes the entry's
-  /// LRU position, and returns true.
-  bool Lookup(PointId a, PointId b, double* out) const;
+  /// LRU position, and returns true. Ids are any 64-bit naming scheme
+  /// the caller keys on consistently (dense PointIds widen implicitly).
+  bool Lookup(uint64_t a, uint64_t b, double* out) const;
 
   /// Inserts (or refreshes) the exact distance d(a, b), evicting the
   /// shard's least-recently-used entry when over budget.
-  void Store(PointId a, PointId b, double dist) const;
+  void Store(uint64_t a, uint64_t b, double dist) const;
 
   /// Invalidates every entry (network mutation). O(1): bumps the global
   /// epoch; shards drop their entries lazily on next access.
@@ -72,8 +76,22 @@ class DistanceCache {
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
  private:
+  /// Canonicalized unordered pair of 64-bit ids (lo <= hi). A full
+  /// 128-bit key: packing two u64s into one word would collide once
+  /// ObjectIds pass 2^32, and a colliding distance cache returns wrong
+  /// distances silently.
+  struct PairKey {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    bool operator==(const PairKey& o) const {
+      return lo == o.lo && hi == o.hi;
+    }
+  };
+  struct PairKeyHash {
+    size_t operator()(const PairKey& k) const;
+  };
   struct Entry {
-    uint64_t key = 0;
+    PairKey key;
     double dist = 0.0;
   };
   struct Shard {
@@ -85,18 +103,16 @@ class DistanceCache {
     /// cache-wide epoch the shard clears itself before serving.
     uint64_t epoch NETCLUS_GUARDED_BY(mu) = 0;
     std::list<Entry> lru NETCLUS_GUARDED_BY(mu);  ///< front = most recent
-    std::unordered_map<uint64_t, std::list<Entry>::iterator> map
+    std::unordered_map<PairKey, std::list<Entry>::iterator, PairKeyHash> map
         NETCLUS_GUARDED_BY(mu);
     Counters counters NETCLUS_GUARDED_BY(mu);
   };
 
-  static uint64_t KeyOf(PointId a, PointId b) {
-    PointId lo = a < b ? a : b;
-    PointId hi = a < b ? b : a;
-    return (static_cast<uint64_t>(lo) << 32) | hi;
+  static PairKey KeyOf(uint64_t a, uint64_t b) {
+    return a < b ? PairKey{a, b} : PairKey{b, a};
   }
 
-  Shard& ShardFor(uint64_t key) const;
+  Shard& ShardFor(const PairKey& key) const;
   /// Clears the shard if its resident epoch is stale. Caller holds mu.
   void RefreshEpochLocked(Shard* shard) const NETCLUS_REQUIRES(shard->mu);
 

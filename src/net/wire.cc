@@ -9,9 +9,9 @@ namespace {
 
 constexpr char kWireMagic[4] = {'N', 'C', 'L', 'W'};
 
-constexpr size_t kQueryPayloadBytes = 32;
+constexpr size_t kQueryPayloadBytes = 40;
 constexpr size_t kResponseHeadBytes = 28;
-constexpr size_t kResultBytes = 12;  // PointId + double per range result
+constexpr size_t kResultBytes = 16;  // ObjectId + double per range result
 constexpr size_t kStatusHeadBytes = 16;
 
 constexpr uint8_t kMaxFrameType = static_cast<uint8_t>(FrameType::kHealthz);
@@ -119,11 +119,11 @@ std::string EncodeQueryFrame(const QueryRequest& req) {
   char p[kQueryPayloadBytes];
   std::memset(p, 0, sizeof(p));
   p[0] = static_cast<char>(req.kind);
-  PutU32(p + 4, req.a);
-  PutU32(p + 8, req.b);
-  PutF64(p + 12, req.eps);
-  PutU32(p + 20, req.k);
-  PutF64(p + 24, req.deadline_ms);
+  PutU64(p + 4, req.a);
+  PutU64(p + 12, req.b);
+  PutF64(p + 20, req.eps);
+  PutU32(p + 28, req.k);
+  PutF64(p + 32, req.deadline_ms);
   std::string out;
   AppendFrame(FrameType::kQuery, p, sizeof(p), &out);
   return out;
@@ -140,9 +140,9 @@ std::string EncodeResponseFrame(const QueryResponse& resp) {
   PutU64(p + 16, resp.epoch);
   PutU32(p + 24, static_cast<uint32_t>(resp.results.size()));
   char* r = p + kResponseHeadBytes;
-  for (const RangeResult& res : resp.results) {
-    PutU32(r, res.id);
-    PutF64(r + 4, res.dist);
+  for (const QueryResult& res : resp.results) {
+    PutU64(r, res.id);
+    PutF64(r + 8, res.dist);
     r += kResultBytes;
   }
   std::string out;
@@ -185,11 +185,11 @@ Status DecodeQueryPayload(const char* data, size_t length,
     return Corrupt("nonzero query padding");
   }
   out->kind = static_cast<QueryKind>(kind);
-  out->a = GetU32(data + 4);
-  out->b = GetU32(data + 8);
-  out->eps = GetF64(data + 12);
-  out->k = GetU32(data + 20);
-  out->deadline_ms = GetF64(data + 24);
+  out->a = GetU64(data + 4);
+  out->b = GetU64(data + 12);
+  out->eps = GetF64(data + 20);
+  out->k = GetU32(data + 28);
+  out->deadline_ms = GetF64(data + 32);
   return Status::OK();
 }
 
@@ -225,9 +225,9 @@ Status DecodeResponsePayload(const char* data, size_t length,
   out->results.reserve(n);
   const char* r = data + kResponseHeadBytes;
   for (uint32_t i = 0; i < n; ++i) {
-    RangeResult res;
-    res.id = GetU32(r);
-    res.dist = GetF64(r + 4);
+    QueryResult res;
+    res.id = GetU64(r);
+    res.dist = GetF64(r + 8);
     out->results.push_back(res);
     r += kResultBytes;
   }

@@ -21,12 +21,13 @@ EpochManager::Pin EpochManager::Acquire(uint32_t slot) {
 uint64_t EpochManager::Publish(std::shared_ptr<const FrozenGraph> graph,
                                std::shared_ptr<const PointSet> points,
                                std::shared_ptr<const ClusterOutput> clusters,
-                               std::shared_ptr<const DistanceCache> cache) {
+                               std::shared_ptr<const DistanceCache> cache,
+                               std::shared_ptr<const IdentityMap> ids) {
   MutexLock lock(&mu_);
   const uint64_t id = published_.fetch_add(1, std::memory_order_acq_rel) + 1;
   auto snap = std::make_shared<const EpochSnapshot>(
       id, std::move(graph), std::move(points), std::move(clusters),
-      std::move(cache), num_pin_slots_, freed_);
+      std::move(cache), num_pin_slots_, freed_, std::move(ids));
   if (current_ != nullptr) retired_.push_back(std::move(current_));
   current_ = std::move(snap);
   SweepRetiredLocked();

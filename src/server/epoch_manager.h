@@ -96,12 +96,16 @@ class EpochManager {
   /// Wraps the next world in a snapshot with the next monotone epoch id,
   /// makes it current, retires the predecessor, and sweeps. Returns the
   /// new epoch id (first publish returns 1). `cache` becomes the
-  /// snapshot's private distance cache (null = no memoization) — caches
-  /// are per-epoch by construction, never shared across publishes.
+  /// snapshot's distance cache (null = no memoization); since cache keys
+  /// are ObjectId pairs the publisher may pass the previous epoch's
+  /// cache when the metric is unchanged, and must pass a fresh one
+  /// otherwise. `ids` is the epoch's ObjectId <-> dense-PointId map
+  /// (null = identity).
   uint64_t Publish(std::shared_ptr<const FrozenGraph> graph,
                    std::shared_ptr<const PointSet> points,
                    std::shared_ptr<const ClusterOutput> clusters,
-                   std::shared_ptr<const DistanceCache> cache = nullptr)
+                   std::shared_ptr<const DistanceCache> cache = nullptr,
+                   std::shared_ptr<const IdentityMap> ids = nullptr)
       NETCLUS_EXCLUDES(mu_);
 
   /// Frees every retired snapshot whose pins read zero. Runs implicitly

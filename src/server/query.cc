@@ -5,6 +5,18 @@
 #include <string>
 
 namespace netclus {
+namespace {
+
+/// Graph-layer scratch for the raw dense-id results of range / nearest
+/// traversals, reused across calls on the same thread so the steady
+/// state stays allocation-free (the response's own vector holds the
+/// translated ObjectId results).
+std::vector<RangeResult>* RawResultScratch() {
+  static thread_local std::vector<RangeResult> scratch;
+  return &scratch;
+}
+
+}  // namespace
 
 const char* QueryKindName(QueryKind k) {
   switch (k) {
@@ -51,7 +63,8 @@ bool ResponsePayloadsEqual(const QueryResponse& a, const QueryResponse& b) {
 }
 
 Status ValidateQueryRequest(const NetworkView& view, const QueryRequest& req,
-                            const ClusterOutput* clusters) {
+                            const ClusterOutput* clusters,
+                            const IdentityMap* ids) {
   if (req.kind == QueryKind::kHealthz) {
     return Status::InvalidArgument(
         "healthz is answered by the query server's admission path, not the "
@@ -61,19 +74,23 @@ Status ValidateQueryRequest(const NetworkView& view, const QueryRequest& req,
     return Status::InvalidArgument("deadline_ms must be finite and >= 0");
   }
   const PointId n = view.num_points();
-  if (req.a >= n) {
-    return Status::InvalidArgument("query point a=" + std::to_string(req.a) +
-                                   " out of range [0, " + std::to_string(n) +
-                                   ")");
+  const PointId pa = ResolveObject(ids, req.a, n);
+  if (pa == kInvalidPointId || pa >= n) {
+    return Status::InvalidArgument("query object a=" + std::to_string(req.a) +
+                                   " does not name a point of this epoch (" +
+                                   std::to_string(n) + " points)");
   }
   switch (req.kind) {
-    case QueryKind::kPointDistance:
-      if (req.b >= n) {
+    case QueryKind::kPointDistance: {
+      const PointId pb = ResolveObject(ids, req.b, n);
+      if (pb == kInvalidPointId || pb >= n) {
         return Status::InvalidArgument(
-            "query point b=" + std::to_string(req.b) + " out of range [0, " +
-            std::to_string(n) + ")");
+            "query object b=" + std::to_string(req.b) +
+            " does not name a point of this epoch (" + std::to_string(n) +
+            " points)");
       }
       break;
+    }
     case QueryKind::kRange:
       if (!(req.eps >= 0.0) || !std::isfinite(req.eps)) {
         return Status::InvalidArgument("range eps must be finite and >= 0");
@@ -90,9 +107,9 @@ Status ValidateQueryRequest(const NetworkView& view, const QueryRequest& req,
             "no ClusterOutput available for membership queries (serve with a "
             "cluster_spec, or pass clusters inline)");
       }
-      if (req.a >= clusters->clustering.assignment.size()) {
+      if (pa >= clusters->clustering.assignment.size()) {
         return Status::OutOfRange(
-            "membership point " + std::to_string(req.a) +
+            "membership object " + std::to_string(req.a) +
             " not covered by the cached clustering (" +
             std::to_string(clusters->clustering.assignment.size()) +
             " points)");
@@ -107,8 +124,9 @@ Status ValidateQueryRequest(const NetworkView& view, const QueryRequest& req,
 Status ExecuteQueryInto(const NetworkView& view, const FrozenGraph* frozen,
                         const QueryRequest& req, TraversalWorkspace* ws,
                         const DistanceAccelerator* accel,
-                        const ClusterOutput* clusters, QueryResponse* out) {
-  NETCLUS_RETURN_IF_ERROR(ValidateQueryRequest(view, req, clusters));
+                        const ClusterOutput* clusters, QueryResponse* out,
+                        const IdentityMap* ids) {
+  NETCLUS_RETURN_IF_ERROR(ValidateQueryRequest(view, req, clusters, ids));
   out->kind = req.kind;
   out->distance = 0.0;
   out->cluster_id = 0;
@@ -117,40 +135,59 @@ Status ExecuteQueryInto(const NetworkView& view, const FrozenGraph* frozen,
   out->results.clear();
   ws->cancel.triggered = false;
 
+  // Validation proved both ids resolve; from here the traversal runs on
+  // this epoch's dense numbering and only the results translate back.
+  const PointId pa = ResolveObject(ids, req.a, view.num_points());
   switch (req.kind) {
-    case QueryKind::kPointDistance:
+    case QueryKind::kPointDistance: {
+      const PointId pb = ResolveObject(ids, req.b, view.num_points());
       // The accelerated overloads fall back to the exact path on a null
       // accel; with the default threshold (kInfDist) they always return
       // the exact distance, so accel on/off cannot change the payload.
-      out->distance = frozen ? PointNetworkDistance(view, *frozen, req.a,
-                                                    req.b, ws, accel)
-                             : PointNetworkDistance(view, req.a, req.b, ws,
-                                                    accel);
+      out->distance = frozen ? PointNetworkDistance(view, *frozen, pa, pb, ws,
+                                                    accel)
+                             : PointNetworkDistance(view, pa, pb, ws, accel);
       break;
+    }
     case QueryKind::kRange: {
+      std::vector<RangeResult>* raw = RawResultScratch();
+      raw->clear();
       if (frozen) {
-        RangeQuery(view, *frozen, req.a, req.eps, ws, accel, &out->results);
+        RangeQuery(view, *frozen, pa, req.eps, ws, accel, raw);
       } else {
-        RangeQuery(view, req.a, req.eps, ws, accel, &out->results);
+        RangeQuery(view, pa, req.eps, ws, accel, raw);
       }
-      // The plain overloads emit in settle order and the accelerated
-      // ones by id; canonicalize so every execution style agrees.
+      out->results.reserve(raw->size());
+      for (const RangeResult& r : *raw) {
+        out->results.push_back(QueryResult{ObjectOfPoint(ids, r.id), r.dist});
+      }
+      // The graph overloads emit in settle or dense-id order, neither of
+      // which survives renumbering; canonicalize on the durable ids so
+      // every execution style — and every epoch — agrees.
       std::sort(out->results.begin(), out->results.end(),
-                [](const RangeResult& a, const RangeResult& b) {
+                [](const QueryResult& a, const QueryResult& b) {
                   return a.id < b.id;
                 });
       break;
     }
-    case QueryKind::kNearestObject:
-      // Already ordered by (distance, id) — that order is the answer.
+    case QueryKind::kNearestObject: {
+      std::vector<RangeResult>* raw = RawResultScratch();
+      raw->clear();
+      // Already ordered by (distance, settle order) — that order is the
+      // answer; translation preserves it.
       if (frozen) {
-        KNearestNeighbors(view, *frozen, req.a, req.k, ws, &out->results);
+        KNearestNeighbors(view, *frozen, pa, req.k, ws, raw);
       } else {
-        KNearestNeighbors(view, req.a, req.k, ws, &out->results);
+        KNearestNeighbors(view, pa, req.k, ws, raw);
+      }
+      out->results.reserve(raw->size());
+      for (const RangeResult& r : *raw) {
+        out->results.push_back(QueryResult{ObjectOfPoint(ids, r.id), r.dist});
       }
       break;
+    }
     case QueryKind::kClusterMembership:
-      out->cluster_id = clusters->clustering.assignment[req.a];
+      out->cluster_id = clusters->clustering.assignment[pa];
       break;
     case QueryKind::kHealthz:
       break;  // unreachable — rejected by validation
@@ -162,7 +199,8 @@ Status ExecuteQueryInto(const NetworkView& view, const FrozenGraph* frozen,
     out->results.clear();
     return Status::DeadlineExceeded("query cancelled mid-traversal: " +
                                     std::string(QueryKindName(req.kind)) +
-                                    " query on point " + std::to_string(req.a));
+                                    " query on object " +
+                                    std::to_string(req.a));
   }
   return Status::OK();
 }
@@ -171,18 +209,20 @@ Result<QueryResponse> ExecuteQuery(const NetworkView& view,
                                    const FrozenGraph* frozen,
                                    const QueryRequest& req,
                                    const DistanceAccelerator* accel,
-                                   const ClusterOutput* clusters) {
+                                   const ClusterOutput* clusters,
+                                   const IdentityMap* ids) {
   TraversalWorkspace ws(view.num_nodes());
   QueryResponse out;
   NETCLUS_RETURN_IF_ERROR(
-      ExecuteQueryInto(view, frozen, req, &ws, accel, clusters, &out));
+      ExecuteQueryInto(view, frozen, req, &ws, accel, clusters, &out, ids));
   return out;
 }
 
 Status ValidateServedBatch(const NetworkView& view, const FrozenGraph* frozen,
                            const std::vector<QueryRequest>& requests,
                            const std::vector<QueryResponse>& responses,
-                           const ClusterOutput* clusters) {
+                           const ClusterOutput* clusters,
+                           const IdentityMap* ids) {
   if (requests.size() != responses.size()) {
     return Status::Internal("served batch size mismatch: " +
                             std::to_string(requests.size()) + " requests vs " +
@@ -193,12 +233,12 @@ Status ValidateServedBatch(const NetworkView& view, const FrozenGraph* frozen,
   for (size_t i = 0; i < requests.size(); ++i) {
     NETCLUS_RETURN_IF_ERROR(ExecuteQueryInto(view, frozen, requests[i], &ws,
                                              /*accel=*/nullptr, clusters,
-                                             &replay));
+                                             &replay, ids));
     if (!ResponsePayloadsEqual(replay, responses[i])) {
       return Status::Internal(
           "served response diverges from the direct path: batch index " +
           std::to_string(i) + ", kind " +
-          QueryKindName(requests[i].kind) + ", point " +
+          QueryKindName(requests[i].kind) + ", object " +
           std::to_string(requests[i].a));
     }
   }

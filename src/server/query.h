@@ -19,6 +19,15 @@
 // the last double bit. The query server runs that validator on every
 // batch when QueryServerOptions::validate_replay is set (and always
 // under -DNETCLUS_VALIDATE=ON builds).
+//
+// Identity: requests and responses speak durable ObjectIds, never the
+// epoch-relative dense point numbering (netclus-lint bans the dense id
+// type from this header and from src/net/). Translation in both
+// directions happens inside ExecuteQueryInto through the IdentityMap of
+// the epoch being served; a null map means the identity mapping, which
+// is exact for inline runs over a standalone view and for a server's
+// boot epoch. A held ObjectId keeps naming the same physical object
+// across every republication and across restarts.
 #ifndef NETCLUS_SERVER_QUERY_H_
 #define NETCLUS_SERVER_QUERY_H_
 
@@ -31,14 +40,15 @@
 #include "graph/network_view.h"
 #include "graph/types.h"
 #include "netclus.h"
+#include "server/identity_map.h"
 
 namespace netclus {
 
 /// The read operations the service answers.
 enum class QueryKind : uint8_t {
   kPointDistance,      ///< exact network distance d(a, b) (Definition 4)
-  kRange,              ///< all points within eps of `a` (incl. `a` itself)
-  kNearestObject,      ///< the k points nearest to `a` (excluding `a`)
+  kRange,              ///< all objects within eps of `a` (incl. `a` itself)
+  kNearestObject,      ///< the k objects nearest to `a` (excluding `a`)
   kClusterMembership,  ///< cluster id of `a` in the epoch's ClusterOutput
   kHealthz,            ///< server health probe (served path only)
 };
@@ -65,14 +75,15 @@ enum class ServerHealth : uint8_t {
 const char* ServerHealthName(ServerHealth h);
 
 /// \brief One read, declaratively: a kind tag plus that kind's
-/// parameters. Only the fields of the selected kind are read.
+/// parameters. Only the fields of the selected kind are read. Object
+/// references are durable ObjectIds (stable across epochs).
 struct QueryRequest {
   QueryKind kind = QueryKind::kPointDistance;
-  /// Primary point: the distance source, range/nearest center, or the
+  /// Primary object: the distance source, range/nearest center, or the
   /// membership subject.
-  PointId a = kInvalidPointId;
+  ObjectId a = kInvalidObjectId;
   /// kPointDistance only: the distance target.
-  PointId b = kInvalidPointId;
+  ObjectId b = kInvalidObjectId;
   /// kRange only: the query radius (>= 0, finite).
   double eps = 0.0;
   /// kNearestObject only: how many neighbors (>= 1).
@@ -92,28 +103,28 @@ struct QueryRequest {
     return r;
   }
 
-  static QueryRequest PointDistance(PointId a, PointId b) {
+  static QueryRequest PointDistance(ObjectId a, ObjectId b) {
     QueryRequest r;
     r.kind = QueryKind::kPointDistance;
     r.a = a;
     r.b = b;
     return r;
   }
-  static QueryRequest Range(PointId center, double eps) {
+  static QueryRequest Range(ObjectId center, double eps) {
     QueryRequest r;
     r.kind = QueryKind::kRange;
     r.a = center;
     r.eps = eps;
     return r;
   }
-  static QueryRequest NearestObject(PointId center, uint32_t k = 1) {
+  static QueryRequest NearestObject(ObjectId center, uint32_t k = 1) {
     QueryRequest r;
     r.kind = QueryKind::kNearestObject;
     r.a = center;
     r.k = k;
     return r;
   }
-  static QueryRequest ClusterMembership(PointId p) {
+  static QueryRequest ClusterMembership(ObjectId p) {
     QueryRequest r;
     r.kind = QueryKind::kClusterMembership;
     r.a = p;
@@ -127,6 +138,22 @@ struct QueryRequest {
   }
 };
 
+/// One object found by a range / nearest query: its durable ObjectId and
+/// its exact network distance from the query center.
+struct QueryResult {
+  ObjectId id = kInvalidObjectId;
+  double dist = 0.0;
+};
+
+/// Exact equality, distance compared bitwise — the comparison the served
+/// batch replay validator relies on.
+inline bool operator==(const QueryResult& a, const QueryResult& b) {
+  return a.id == b.id && a.dist == b.dist;
+}
+inline bool operator!=(const QueryResult& a, const QueryResult& b) {
+  return !(a == b);
+}
+
 /// \brief The unified result. Only the fields of the request's kind are
 /// populated; `epoch` is stamped by the query server (0 on the inline
 /// path, where there is no epoch to name).
@@ -134,9 +161,9 @@ struct QueryResponse {
   QueryKind kind = QueryKind::kPointDistance;
   /// kPointDistance: d(a, b); kInfDist when disconnected.
   double distance = 0.0;
-  /// kRange (sorted by ascending id) / kNearestObject (sorted by
-  /// ascending distance, ties by id): the matching points.
-  std::vector<RangeResult> results;
+  /// kRange (sorted by ascending ObjectId) / kNearestObject (sorted by
+  /// ascending distance, ties by traversal order): the matching objects.
+  std::vector<QueryResult> results;
   /// kClusterMembership: cluster id in [0, num_clusters) or kNoise.
   int cluster_id = 0;
   /// kHealthz: the server's condition at answer time. Also stamped on
@@ -151,13 +178,15 @@ struct QueryResponse {
 /// `epoch` is excluded — it names the serving snapshot, not the answer.
 bool ResponsePayloadsEqual(const QueryResponse& a, const QueryResponse& b);
 
-/// Rejects malformed requests up front: point ids must be < num_points,
-/// eps finite and >= 0, k >= 1, deadline_ms finite and >= 0, and
-/// kClusterMembership requires `clusters` (the epoch's cached
-/// ClusterOutput) to exist. kHealthz is rejected here — it is answered
-/// by the query server's admission path, never by the executor.
+/// Rejects malformed requests up front: object ids must resolve under
+/// `ids` (null = identity mapping over [0, num_points)), eps finite and
+/// >= 0, k >= 1, deadline_ms finite and >= 0, and kClusterMembership
+/// requires `clusters` (the epoch's cached ClusterOutput) to exist.
+/// kHealthz is rejected here — it is answered by the query server's
+/// admission path, never by the executor.
 Status ValidateQueryRequest(const NetworkView& view, const QueryRequest& req,
-                            const ClusterOutput* clusters);
+                            const ClusterOutput* clusters,
+                            const IdentityMap* ids = nullptr);
 
 /// \brief The single execution core both styles funnel into.
 ///
@@ -168,8 +197,10 @@ Status ValidateQueryRequest(const NetworkView& view, const QueryRequest& req,
 /// WorkspacePool under parallelism). `accel` may be null (= exact
 /// unaccelerated path); a non-null accelerator never changes the
 /// payload, only the work done. `clusters` is consulted only by
-/// kClusterMembership. `out` is overwritten, reusing its vector
-/// capacity — the zero-allocation steady state for serving loops.
+/// kClusterMembership. `ids` translates request ObjectIds into the
+/// epoch's dense numbering on the way in and result ids back on the way
+/// out (null = identity mapping). `out` is overwritten, reusing its
+/// vector capacity — the zero-allocation steady state for serving loops.
 ///
 /// Cancellation: the run honors `ws->cancel` (resetting its `triggered`
 /// latch first). When the armed flag fires mid-traversal the function
@@ -180,7 +211,8 @@ Status ValidateQueryRequest(const NetworkView& view, const QueryRequest& req,
 Status ExecuteQueryInto(const NetworkView& view, const FrozenGraph* frozen,
                         const QueryRequest& req, TraversalWorkspace* ws,
                         const DistanceAccelerator* accel,
-                        const ClusterOutput* clusters, QueryResponse* out);
+                        const ClusterOutput* clusters, QueryResponse* out,
+                        const IdentityMap* ids = nullptr);
 
 /// Convenience wrapper over ExecuteQueryInto: allocates the workspace
 /// and returns the response by value. The one-shot inline path; serving
@@ -189,19 +221,22 @@ Result<QueryResponse> ExecuteQuery(const NetworkView& view,
                                    const FrozenGraph* frozen,
                                    const QueryRequest& req,
                                    const DistanceAccelerator* accel = nullptr,
-                                   const ClusterOutput* clusters = nullptr);
+                                   const ClusterOutput* clusters = nullptr,
+                                   const IdentityMap* ids = nullptr);
 
 /// \brief The served-batch replay validator.
 ///
 /// Re-executes every request of a served batch through the inline path
-/// (ExecuteQueryInto, no accelerator) against the same `view`/`frozen`
-/// the batch was pinned to, and returns Internal on the first response
-/// whose payload is not bit-identical. This is the contract that makes
-/// "inline or served, same answer" enforceable rather than assumed.
+/// (ExecuteQueryInto, no accelerator) against the same `view`/`frozen`/
+/// `ids` the batch was pinned to, and returns Internal on the first
+/// response whose payload is not bit-identical. This is the contract
+/// that makes "inline or served, same answer" enforceable rather than
+/// assumed.
 Status ValidateServedBatch(const NetworkView& view, const FrozenGraph* frozen,
                            const std::vector<QueryRequest>& requests,
                            const std::vector<QueryResponse>& responses,
-                           const ClusterOutput* clusters);
+                           const ClusterOutput* clusters,
+                           const IdentityMap* ids = nullptr);
 
 }  // namespace netclus
 

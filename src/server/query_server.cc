@@ -8,6 +8,7 @@
 
 #include "graph/accelerator.h"
 #include "index/distance_cache.h"
+#include "server/identity_map.h"
 
 namespace netclus {
 namespace {
@@ -29,25 +30,40 @@ constexpr size_t kMinHealthSamples = 16;
 constexpr double kColdStartPerRequestMs = 0.05;
 
 // The server-side accelerator: vacuous bounds plus the pinned epoch's
-// private exact point-pair cache. A hit returns a value some earlier
-// exact expansion stored for the *same* snapshot (each publish hands
-// its snapshot a fresh cache, so entries can never name another
-// epoch's adjacency or renumbered point ids), which keeps serving
-// bit-identical to the pure unaccelerated replay — it only skips
-// repeated work. `cache` may be null (caching disabled).
+// exact point-pair cache, keyed on durable ObjectIds. The traversal
+// hands over the epoch's dense point ids, so the accelerator translates
+// through the epoch's IdentityMap before touching the cache — which is
+// exactly what lets warm entries survive republication: the keys name
+// physical objects, not epoch-relative slots. An entry is only reused
+// across epochs when the publisher shared the cache (metric-preserving,
+// point-only batches); any edge mutation publishes a fresh cache, so a
+// hit can never return a distance the serving adjacency does not
+// produce. Accelerated serving stays bit-identical to the pure
+// unaccelerated replay — the cache only skips repeated work. `cache`
+// may be null (caching disabled); `ids` null means identity.
 class CacheOnlyAccelerator final : public DistanceAccelerator {
  public:
-  explicit CacheOnlyAccelerator(const DistanceCache* cache) : cache_(cache) {}
+  CacheOnlyAccelerator(const DistanceCache* cache, const IdentityMap* ids)
+      : cache_(cache), ids_(ids) {}
 
   bool LookupDistance(PointId a, PointId b, double* out) const override {
-    return cache_ != nullptr && cache_->Lookup(a, b, out);
+    if (cache_ == nullptr) return false;
+    const ObjectId oa = ObjectOfPoint(ids_, a);
+    const ObjectId ob = ObjectOfPoint(ids_, b);
+    if (oa == kInvalidObjectId || ob == kInvalidObjectId) return false;
+    return cache_->Lookup(oa, ob, out);
   }
   void StoreDistance(PointId a, PointId b, double dist) const override {
-    if (cache_ != nullptr) cache_->Store(a, b, dist);
+    if (cache_ == nullptr) return;
+    const ObjectId oa = ObjectOfPoint(ids_, a);
+    const ObjectId ob = ObjectOfPoint(ids_, b);
+    if (oa == kInvalidObjectId || ob == kInvalidObjectId) return;
+    cache_->Store(oa, ob, dist);
   }
 
  private:
   const DistanceCache* cache_;
+  const IdentityMap* ids_;
 };
 
 }  // namespace
@@ -103,6 +119,19 @@ QueryServer::QueryServer(Network net, std::vector<NetworkUpdate> raw_points,
       workspaces_(net_.num_nodes()),
       chaos_publish_rng_(Rng::DeriveSeed(options.chaos.seed, 1)),
       chaos_stall_rng_(Rng::DeriveSeed(options.chaos.seed, 2)) {
+  // Boot identity: points take ObjectIds 0..n-1 in their dense boot
+  // order (the raws were extracted from the PointSet in group order, so
+  // the boot epoch's identity map is exactly the identity permutation),
+  // then edges take the next ids in canonical Edges() order. WAL replay
+  // re-allocates from here deterministically, so an ObjectId survives a
+  // crash even without a checkpoint.
+  point_object_ids_.reserve(raw_points_.size());
+  for (size_t i = 0; i < raw_points_.size(); ++i) {
+    point_object_ids_.push_back(next_object_id_++);
+  }
+  for (const Edge& e : net_.Edges()) {
+    edge_object_ids_[EdgeKeyOf(e.u, e.v)] = next_object_id_++;
+  }
   wait_ring_.reserve(kWaitRingCapacity);
   outcome_ring_.assign(options_.health_window, 0);
 }
@@ -118,8 +147,64 @@ Status QueryServer::RecoverFromWal() {
     file = owned_wal_file_.get();
   }
   NETCLUS_ASSIGN_OR_RETURN(wal_, MutationWal::Open(file));
-  for (const NetworkUpdate& rec : wal_->recovery().records) {
-    Status applied = ApplyToWorld(rec);
+
+  // The checkpoint store opens whenever one can exist: injected slot
+  // files, or a path-backed WAL (a previous run may have checkpointed
+  // even if this run's wal_checkpoint_every is 0 — a compacted log is
+  // unusable without its checkpoint).
+  if (options_.checkpoint_file_a != nullptr ||
+      options_.checkpoint_file_b != nullptr) {
+    if (options_.checkpoint_file_a == nullptr ||
+        options_.checkpoint_file_b == nullptr) {
+      return Status::InvalidArgument(
+          "checkpoint_file_a/b must be set together");
+    }
+    checkpoints_ = std::make_unique<CheckpointStore>(
+        options_.checkpoint_file_a, options_.checkpoint_file_b);
+  } else if (!options_.wal_path.empty()) {
+    NETCLUS_ASSIGN_OR_RETURN(
+        checkpoints_, CheckpointStore::Open(options_.wal_path, kWalPageSize));
+  }
+
+  // Recovery order: newest durable checkpoint first (it replaces the
+  // caller-provided base world), then the uncovered log suffix on top.
+  uint64_t skip = 0;
+  bool from_checkpoint = false;
+  if (checkpoints_ != nullptr) {
+    CheckpointState state;
+    bool found = false;
+    NETCLUS_RETURN_IF_ERROR(checkpoints_->ReadLatest(&state, &found));
+    if (found) {
+      if (state.covers_seq < wal_->start_seq()) {
+        // The log was compacted past what this checkpoint covers — a
+        // newer checkpoint must have existed and is gone. Refuse to
+        // guess the gap.
+        return Status::Corruption(
+            "wal: log starts at seq " + std::to_string(wal_->start_seq()) +
+            " but the newest checkpoint only covers seq " +
+            std::to_string(state.covers_seq));
+      }
+      NETCLUS_RETURN_IF_ERROR(RestoreFromCheckpoint(state));
+      ckpt_generation_ = state.generation;
+      skip = state.covers_seq - wal_->start_seq();
+      if (skip > wal_->recovery().records.size()) {
+        skip = wal_->recovery().records.size();
+      }
+      from_checkpoint = true;
+      MutexLock lock(&stats_mu_);
+      wal_checkpoint_covers_ = state.covers_seq;
+    }
+  }
+  if (!from_checkpoint && wal_->start_seq() > 0) {
+    return Status::Corruption(
+        "wal: log was compacted (starts at seq " +
+        std::to_string(wal_->start_seq()) +
+        ") but no valid covering checkpoint exists");
+  }
+
+  const std::vector<NetworkUpdate>& records = wal_->recovery().records;
+  for (size_t i = static_cast<size_t>(skip); i < records.size(); ++i) {
+    Status applied = ApplyToWorld(records[i]);
     // Records are logged before they are applied, so a mutation the
     // live server rejected (kInvalidArgument) is in the log too — and
     // replaying it fails identically, reproducing the same world. Any
@@ -131,46 +216,211 @@ Status QueryServer::RecoverFromWal() {
     // serving statistics, so it is written under their lock like
     // everything else the analysis guards.
     MutexLock lock(&stats_mu_);
-    wal_recovered_ = wal_->recovery().records.size();
+    wal_recovered_ = records.size() - static_cast<size_t>(skip);
+    wal_recovered_from_checkpoint_ = from_checkpoint;
   }
   return Status::OK();
 }
 
-Status QueryServer::PublishWorld() {
+Status QueryServer::RestoreFromCheckpoint(const CheckpointState& state) {
+  if (state.num_nodes != net_.num_nodes()) {
+    return Status::Corruption(
+        "checkpoint names " + std::to_string(state.num_nodes) +
+        " nodes but the boot network has " +
+        std::to_string(net_.num_nodes()) +
+        " (node count is fixed at Start)");
+  }
+  Network restored(state.num_nodes);
+  edge_object_ids_.clear();
+  edge_object_ids_.reserve(state.edges.size());
+  for (const CheckpointEdge& e : state.edges) {
+    NETCLUS_RETURN_IF_ERROR(restored.AddEdge(e.u, e.v, e.weight));
+    edge_object_ids_[EdgeKeyOf(e.u, e.v)] = e.oid;
+  }
+  net_ = std::move(restored);
+  raw_points_.clear();
+  raw_points_.reserve(state.points.size());
+  point_object_ids_.clear();
+  point_object_ids_.reserve(state.points.size());
+  for (const CheckpointPoint& p : state.points) {
+    raw_points_.push_back(NetworkUpdate::AddPoint(p.u, p.v, p.offset,
+                                                  p.label));
+    point_object_ids_.push_back(p.oid);
+  }
+  next_object_id_ = state.next_object_id;
+  return Status::OK();
+}
+
+CheckpointState QueryServer::BuildCheckpointState() const {
+  CheckpointState state;
+  state.covers_seq = wal_->next_seq();
+  state.next_object_id = next_object_id_;
+  state.num_nodes = net_.num_nodes();
+  std::vector<Edge> edges = net_.Edges();
+  state.edges.reserve(edges.size());
+  for (const Edge& e : edges) {
+    auto it = edge_object_ids_.find(EdgeKeyOf(e.u, e.v));
+    const ObjectId oid =
+        it != edge_object_ids_.end() ? it->second : kInvalidObjectId;
+    state.edges.push_back(CheckpointEdge{e.u, e.v, e.weight, oid});
+  }
+  state.points.reserve(raw_points_.size());
+  for (size_t i = 0; i < raw_points_.size(); ++i) {
+    const NetworkUpdate& p = raw_points_[i];
+    state.points.push_back(CheckpointPoint{p.u, p.v, p.value, p.label,
+                                           point_object_ids_[i]});
+  }
+  return state;
+}
+
+void QueryServer::MaybeCheckpoint() {
+  if (wal_ == nullptr || checkpoints_ == nullptr ||
+      options_.wal_checkpoint_every == 0 || wal_->broken()) {
+    return;
+  }
+  if (wal_->num_records() < options_.wal_checkpoint_every) return;
+  // Order is the crash-safety argument: the checkpoint is durable
+  // BEFORE the log shrinks. A crash after Write but before TruncateTo
+  // just replays records the checkpoint already covers (replay is
+  // idempotent: it skips the covered prefix).
+  CheckpointState state = BuildCheckpointState();
+  state.generation = ckpt_generation_ + 1;
+  Status written = checkpoints_->Write(state);
+  if (!written.ok()) {
+    MutexLock lock(&stats_mu_);
+    ++checkpoint_failures_;
+    return;
+  }
+  ckpt_generation_ = state.generation;
+  Status truncated = wal_->TruncateTo(state.covers_seq);
+  if (wal_->broken()) wal_broken_.store(true, std::memory_order_relaxed);
+  if (!truncated.ok()) {
+    // The checkpoint is durable; only the log is still long. The next
+    // cycle retries the truncate (via a fresh checkpoint generation).
+    MutexLock lock(&stats_mu_);
+    ++checkpoint_failures_;
+    return;
+  }
+  MutexLock lock(&stats_mu_);
+  ++checkpoints_written_;
+  wal_checkpoint_covers_ = state.covers_seq;
+}
+
+Status QueryServer::PublishWorld(const std::vector<NetworkUpdate>* batch) {
+  const double start_seconds = clock_.ElapsedSeconds();
   PointSetBuilder builder;
   for (const NetworkUpdate& p : raw_points_) {
     builder.Add(p.u, p.v, p.value, p.label);
   }
-  NETCLUS_ASSIGN_OR_RETURN(PointSet ps, std::move(builder).Build(net_));
+  std::vector<PointId> raw_to_final;
+  NETCLUS_ASSIGN_OR_RETURN(PointSet ps,
+                           std::move(builder).Build(net_, &raw_to_final));
   auto points = std::make_shared<const PointSet>(std::move(ps));
+
+  // The epoch's identity map: dense point p was raw point i, so it
+  // carries raw point i's stable ObjectId.
+  std::vector<ObjectId> object_of_point(point_object_ids_.size(),
+                                        kInvalidObjectId);
+  for (size_t i = 0; i < raw_to_final.size(); ++i) {
+    object_of_point[raw_to_final[i]] = point_object_ids_[i];
+  }
+  auto ids = std::make_shared<const IdentityMap>(std::move(object_of_point));
+
   InMemoryNetworkView live_view(net_, *points);
-  NETCLUS_ASSIGN_OR_RETURN(FrozenGraph fg, live_view.Freeze());
+
+  // Incremental splice: when this publish came from a known mutation
+  // batch and a predecessor snapshot exists, only the rows of nodes an
+  // AddEdge touched are re-materialized — every other CSR row is copied
+  // verbatim from the retiring snapshot.
+  std::shared_ptr<const EpochSnapshot> prev = epochs_.CurrentShared();
+  bool incremental = false;
+  bool metric_changed = batch == nullptr;
+  std::vector<char> dirty;
+  if (batch != nullptr) {
+    for (const NetworkUpdate& upd : *batch) {
+      if (upd.kind != NetworkUpdate::Kind::kAddEdge) continue;
+      metric_changed = true;
+      if (options_.incremental_publish && prev != nullptr) {
+        if (dirty.empty()) dirty.assign(net_.num_nodes(), 0);
+        if (upd.u < net_.num_nodes()) dirty[upd.u] = 1;
+        if (upd.v < net_.num_nodes()) dirty[upd.v] = 1;
+      }
+    }
+    incremental = options_.incremental_publish && prev != nullptr;
+  }
+  FrozenGraph fg;
+  if (incremental) {
+    if (dirty.empty()) dirty.assign(net_.num_nodes(), 0);
+    fg = FrozenGraph::MaterializeIncremental(live_view, prev->frozen(), dirty);
+    NETCLUS_RETURN_IF_ERROR(live_view.status());
+    bool validate = options_.validate_replay;
+#if defined(NETCLUS_VALIDATE)
+    validate = true;
+#endif
+    if (validate) {
+      // The oracle: a from-scratch rebuild must be byte-for-byte the
+      // spliced one. A divergence fails the publish — queries keep
+      // serving the last good epoch, never a mis-spliced one.
+      FrozenGraph full = FrozenGraph::Materialize(live_view);
+      NETCLUS_RETURN_IF_ERROR(live_view.status());
+      if (!fg.BitIdenticalTo(full)) {
+        return Status::Internal(
+            "incremental publish diverged from full rebuild");
+      }
+    }
+  } else {
+    NETCLUS_ASSIGN_OR_RETURN(fg, live_view.Freeze());
+  }
   auto graph = std::make_shared<const FrozenGraph>(std::move(fg));
+
   std::shared_ptr<const ClusterOutput> clusters;
   if (options_.cluster_spec.has_value()) {
     NETCLUS_ASSIGN_OR_RETURN(ClusterOutput out,
                              RunClustering(live_view, *options_.cluster_spec));
     clusters = std::make_shared<const ClusterOutput>(std::move(out));
   }
-  // Every epoch gets a private, empty distance cache: a batch pinned to
-  // an old epoch keeps memoizing into that epoch's cache while new
-  // batches start cold on the new one, so no publish ordering can pair
-  // an epoch with distances computed under a different adjacency (or
-  // under the pre-renumbering point ids).
-  std::shared_ptr<const DistanceCache> cache;
-  if (options_.cache_capacity > 0) {
-    cache = std::make_shared<const DistanceCache>(options_.cache_capacity,
-                                                  options_.cache_shards);
+
+  // Distance cache carry-over: the cache keys on ObjectId pairs, so its
+  // entries stay correct for as long as the metric (edge set + weights)
+  // is unchanged. A point-only batch therefore hands the SAME cache to
+  // the new epoch — warm entries survive republication of untouched
+  // regions — while any edge mutation (or a publish with no batch
+  // provenance) replaces it fresh, so no batch can ever read a distance
+  // the serving adjacency does not produce.
+  if (options_.cache_capacity > 0 &&
+      (metric_changed || live_cache_ == nullptr)) {
+    live_cache_ = std::make_shared<const DistanceCache>(
+        options_.cache_capacity, options_.cache_shards);
   }
+  prev.reset();
   epochs_.Publish(std::move(graph), std::move(points), std::move(clusters),
-                  std::move(cache));
+                  live_cache_, std::move(ids));
+
+  const double publish_ms =
+      (clock_.ElapsedSeconds() - start_seconds) * 1e3;
+  {
+    MutexLock lock(&stats_mu_);
+    if (incremental) {
+      ++publishes_incremental_;
+      publish_incremental_ms_.Add(publish_ms);
+    } else {
+      ++publishes_full_;
+      publish_full_ms_.Add(publish_ms);
+    }
+  }
   return Status::OK();
 }
 
 Status QueryServer::ApplyToWorld(const NetworkUpdate& update) {
+  // Every successful apply allocates the object's stable ObjectId from
+  // the monotone watermark. WAL replay runs the same single-threaded
+  // sequence, so a crash/recover re-derives identical ids.
   switch (update.kind) {
-    case NetworkUpdate::Kind::kAddEdge:
-      return net_.AddEdge(update.u, update.v, update.value);
+    case NetworkUpdate::Kind::kAddEdge: {
+      NETCLUS_RETURN_IF_ERROR(net_.AddEdge(update.u, update.v, update.value));
+      edge_object_ids_[EdgeKeyOf(update.u, update.v)] = next_object_id_++;
+      return Status::OK();
+    }
     case NetworkUpdate::Kind::kAddPoint: {
       double w = net_.EdgeWeight(update.u, update.v);
       if (w < 0.0) {
@@ -180,6 +430,7 @@ Status QueryServer::ApplyToWorld(const NetworkUpdate& update) {
         return Status::InvalidArgument("AddPoint: offset outside edge");
       }
       raw_points_.push_back(update);
+      point_object_ids_.push_back(next_object_id_++);
       return Status::OK();
     }
   }
@@ -473,7 +724,7 @@ void QueryServer::ExecuteBatch(std::vector<PendingQuery>* batch) {
     return;
   }
   const EpochSnapshot& snap = *pin.snapshot();
-  CacheOnlyAccelerator accel(snap.cache());
+  CacheOnlyAccelerator accel(snap.cache(), snap.ids());
 
   // Chaos: the dispatcher (the only caller) decides per batch whether
   // one worker stalls, from its own seeded stream — deterministic in
@@ -502,7 +753,8 @@ void QueryServer::ExecuteBatch(std::vector<PendingQuery>* batch) {
       ws->cancel.check_interval = options_.cancel_check_interval;
     }
     statuses[i] = ExecuteQueryInto(snap.view(), &snap.frozen(), pq.req, ws,
-                                   &accel, snap.clusters(), &responses[i]);
+                                   &accel, snap.clusters(), &responses[i],
+                                   snap.ids());
     // Disarm before the workspace returns to the pool: leases outlive
     // requests, and a stale flag pointer must never cancel a stranger.
     ws->cancel.flag = nullptr;
@@ -526,7 +778,7 @@ void QueryServer::ExecuteBatch(std::vector<PendingQuery>* batch) {
     }
     Status verdict = ValidateServedBatch(snap.view(), &snap.frozen(),
                                          ok_requests, ok_responses,
-                                         snap.clusters());
+                                         snap.clusters(), snap.ids());
     {
       MutexLock lock(&stats_mu_);
       ++replay_batches_;
@@ -606,6 +858,11 @@ void QueryServer::UpdaterLoop() {
     uint64_t max_seq = 0;
     bool mutated = false;
     uint64_t logged = 0;
+    // The mutations that actually landed this round: PublishWorld
+    // derives the incremental dirty-node set (and the cache carry-over
+    // decision) from exactly these.
+    std::vector<NetworkUpdate> applied_batch;
+    applied_batch.reserve(batch.size());
     for (PendingUpdate& pu : batch) {
       max_seq = pu.seq;
       if (wal_ != nullptr) {
@@ -621,7 +878,10 @@ void QueryServer::UpdaterLoop() {
         ++logged;
       }
       Status applied = ApplyToWorld(pu.update);
-      mutated = mutated || applied.ok();
+      if (applied.ok()) {
+        mutated = true;
+        applied_batch.push_back(pu.update);
+      }
       pu.promise.set_value(std::move(applied));
     }
     if (logged > 0) {
@@ -635,10 +895,11 @@ void QueryServer::UpdaterLoop() {
               options_.chaos.publish_failure_prob)) {
         publish = Status::Internal("chaos: injected publish failure");
       } else {
-        publish = PublishWorld();
+        publish = PublishWorld(&applied_batch);
       }
       if (publish.ok()) {
         consecutive_publish_failures_.store(0, std::memory_order_relaxed);
+        MaybeCheckpoint();
       } else {
         // The epoch manager was not touched: queries keep serving the
         // last good epoch, and the applied mutations ride along with
@@ -675,6 +936,14 @@ ServerStats QueryServer::stats() const {
     s.wal_records = wal_records_;
     s.wal_recoveries = wal_recovered_;
     s.publish_failures = publish_failures_;
+    s.publishes_full = publishes_full_;
+    s.publishes_incremental = publishes_incremental_;
+    s.checkpoints_written = checkpoints_written_;
+    s.checkpoint_failures = checkpoint_failures_;
+    s.wal_recovered_from_checkpoint = wal_recovered_from_checkpoint_ ? 1 : 0;
+    s.wal_checkpoint_covers = wal_checkpoint_covers_;
+    s.mean_publish_full_ms = publish_full_ms_.mean();
+    s.mean_publish_incremental_ms = publish_incremental_ms_.mean();
     s.mean_queue_wait_ms = queue_wait_ms_.mean();
     s.max_queue_wait_ms = queue_wait_ms_.max();
     s.mean_batch_size = batch_size_.mean();
@@ -727,8 +996,20 @@ void QueryServer::PublishStats(StatsCollector* collector) const {
   collector->Add(
       "server.publish_failures",
       delta(now.publish_failures, &published_stats_.publish_failures));
-  // Gauge, not a counter: overwritten with the point-in-time depth.
+  collector->Add("server.publishes_full",
+                 delta(now.publishes_full, &published_stats_.publishes_full));
+  collector->Add("server.publishes_incremental",
+                 delta(now.publishes_incremental,
+                       &published_stats_.publishes_incremental));
+  collector->Add(
+      "server.checkpoints_written",
+      delta(now.checkpoints_written, &published_stats_.checkpoints_written));
+  collector->Add(
+      "server.checkpoint_failures",
+      delta(now.checkpoint_failures, &published_stats_.checkpoint_failures));
+  // Gauges, not counters: overwritten with the point-in-time values.
   collector->Set("server.queue_depth", now.queue_depth);
+  collector->Set("server.wal_checkpoint_covers", now.wal_checkpoint_covers);
 }
 
 std::vector<double> QueryServer::QueueWaitSamplesMs() const {

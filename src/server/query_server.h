@@ -18,10 +18,14 @@
 //
 //   ApplyUpdate ──> updater thread: mutate live Network / point list,
 //                   rebuild PointSet + FrozenGraph (+ re-cluster when a
-//                   cluster_spec is configured), publish the new epoch
-//                   with its own fresh DistanceCache — caches are
-//                   per-epoch, so a batch draining an old epoch can
-//                   neither read nor write another epoch's distances.
+//                   cluster_spec is configured), publish the new epoch.
+//                   Untouched CSR rows are spliced from the retiring
+//                   snapshot (incremental publish); the ObjectId-keyed
+//                   DistanceCache is carried forward across publishes
+//                   that leave the metric unchanged (point-only
+//                   batches) and replaced fresh whenever edge weights
+//                   change, so no batch can ever read a distance the
+//                   current adjacency does not produce.
 //
 // Admission control: when the queue holds max_queue_depth requests, a
 // Submit is rejected immediately with kUnavailable carrying a
@@ -38,11 +42,15 @@
 // or a sustained deadline-miss rate, while serving continues from the
 // last good epoch.
 //
-// Responses are epoch-relative: point ids name points of the epoch
-// stamped on the response (adding points renumbers ids in later
-// epochs); node count is fixed at Start. Queries never touch the live
-// network, so a served batch is a pure function of its pinned snapshot
-// — which is what lets ValidateServedBatch replay it bit-identically.
+// Identity contract: requests and responses speak durable ObjectIds
+// (graph/types.h) — an id names the SAME object in every epoch that
+// contains it, across publishes, restarts, and checkpoint recovery.
+// The dense, epoch-relative PointIds the graph layer traverses on are
+// an implementation detail confined behind each snapshot's IdentityMap
+// (server/identity_map.h); node count is fixed at Start. Queries never
+// touch the live network, so a served batch is a pure function of its
+// pinned snapshot — which is what lets ValidateServedBatch replay it
+// bit-identically.
 #ifndef NETCLUS_SERVER_QUERY_SERVER_H_
 #define NETCLUS_SERVER_QUERY_SERVER_H_
 
@@ -54,6 +62,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/mutex.h"
@@ -102,11 +111,16 @@ struct QueryServerOptions {
   size_t max_queue_depth = 1024;
   /// Most requests the dispatcher drains into one batch.
   size_t max_batch_size = 64;
-  /// Per-epoch point-pair distance cache: every published snapshot owns
-  /// a fresh cache of this capacity, retired with the snapshot; 0
-  /// disables caching.
+  /// ObjectId-keyed point-pair distance cache: each snapshot carries a
+  /// cache of this capacity, SHARED with its predecessor across
+  /// metric-preserving publishes (warm entries survive) and replaced
+  /// fresh whenever edge weights change; 0 disables caching.
   size_t cache_capacity = 1 << 16;
   uint32_t cache_shards = 16;
+  /// Splice untouched CSR rows from the retiring snapshot instead of
+  /// re-materializing the whole graph on every publish. Off = every
+  /// publish is a full rebuild (the NETCLUS_VALIDATE oracle path).
+  bool incremental_publish = true;
   /// Replay every served batch through the direct inline path and fail
   /// the batch kInternal on any payload divergence. Forced on by
   /// -DNETCLUS_VALIDATE=ON builds.
@@ -123,6 +137,19 @@ struct QueryServerOptions {
   /// of opening `wal_path`; it must outlive the server.
   std::string wal_path;
   PagedFile* wal_file = nullptr;
+
+  /// Checkpoint/compaction cycle: once at least this many records sit
+  /// in the WAL after a publish, the updater serializes the whole world
+  /// into the alternating checkpoint slots (`<wal_path>.ckpt.a/.b`) and
+  /// truncates the log, capping replay-at-boot to one checkpoint plus a
+  /// short delta suffix. 0 disables checkpointing (the log grows
+  /// without bound, exactly as before). `checkpoint_file_a/b` are the
+  /// test hooks: borrowed slot files (e.g. FaultInjectionFiles) used
+  /// instead of opening the paths; both must be set together and
+  /// outlive the server.
+  uint64_t wal_checkpoint_every = 0;
+  PagedFile* checkpoint_file_a = nullptr;
+  PagedFile* checkpoint_file_b = nullptr;
 
   /// Settles between cancellation polls for served traversals.
   uint32_t cancel_check_interval = kDefaultCancelCheckInterval;
@@ -154,12 +181,23 @@ struct ServerStats {
   uint64_t wal_records = 0;     ///< mutation records appended since Start
   uint64_t wal_recoveries = 0;  ///< records replayed from the WAL at Start
   uint64_t publish_failures = 0;  ///< failed publish rounds since Start
+  uint64_t publishes_full = 0;  ///< epochs built by full materialization
+  uint64_t publishes_incremental = 0;  ///< epochs built by CSR row splice
+  uint64_t checkpoints_written = 0;  ///< completed checkpoint+truncate cycles
+  uint64_t checkpoint_failures = 0;  ///< cycles that failed (write or trunc)
+  /// 1 when Start rebuilt the boot world from a checkpoint (plus a log
+  /// suffix) rather than from the caller-provided base world.
+  uint64_t wal_recovered_from_checkpoint = 0;
+  /// Global WAL sequence the newest durable checkpoint covers.
+  uint64_t wal_checkpoint_covers = 0;
   size_t queue_depth = 0;  ///< requests waiting right now (gauge)
   double mean_queue_wait_ms = 0.0;
   double max_queue_wait_ms = 0.0;
   double mean_batch_size = 0.0;
   double max_batch_size = 0.0;
   double mean_batch_ms = 0.0;
+  double mean_publish_full_ms = 0.0;
+  double mean_publish_incremental_ms = 0.0;
 };
 
 /// \brief What a kHealthz probe (or Healthz()) reports: the health
@@ -274,15 +312,36 @@ class QueryServer {
   QueryServer(Network net, std::vector<NetworkUpdate> raw_points,
               const QueryServerOptions& options);
 
-  /// Opens the configured WAL and replays its recovered prefix into the
-  /// live world. Start only, before the first publish.
+  /// Opens the configured WAL (and checkpoint store), restores the
+  /// newest durable checkpoint when one exists — replacing the
+  /// caller-provided base world — and replays the uncovered log suffix.
+  /// Start only, before the first publish.
   Status RecoverFromWal();
 
+  /// Rebuilds the boot world (network, points, object ids, allocator
+  /// watermark) from a parsed checkpoint. Start only.
+  Status RestoreFromCheckpoint(const CheckpointState& state);
+
+  /// Serializes the live world for a checkpoint covering every WAL
+  /// record appended so far. Updater thread (and Start) only.
+  CheckpointState BuildCheckpointState() const;
+
+  /// Runs one checkpoint + log-truncate cycle when the WAL has
+  /// accumulated options_.wal_checkpoint_every records. Failures are
+  /// counted and skipped — the log simply keeps growing until a cycle
+  /// succeeds. Updater thread only.
+  void MaybeCheckpoint();
+
   /// Rebuilds the immutable world from the live one and publishes it as
-  /// the next epoch (carrying its own fresh DistanceCache). Updater
-  /// thread (and Start) only.
-  Status PublishWorld();
-  /// Applies one mutation to the live world. Updater thread (and Start)
+  /// the next epoch. `batch` is the coalesced mutation batch that
+  /// produced this publish: its kAddEdge endpoints form the dirty-node
+  /// set for the incremental CSR splice, and a batch with no kAddEdge
+  /// carries the predecessor's ObjectId-keyed distance cache forward.
+  /// nullptr (boot, or a caller without the batch) forces a full
+  /// rebuild with a fresh cache. Updater thread (and Start) only.
+  Status PublishWorld(const std::vector<NetworkUpdate>* batch = nullptr);
+  /// Applies one mutation to the live world, allocating the new
+  /// object's stable ObjectId on success. Updater thread (and Start)
   /// only.
   Status ApplyToWorld(const NetworkUpdate& update);
 
@@ -308,10 +367,28 @@ class QueryServer {
   Network net_;
   std::vector<NetworkUpdate> raw_points_;  ///< kAddPoint records, in order
 
-  // Durability: the mutation log (updater thread only after Start; the
-  // owned file backs it unless options_.wal_file was injected).
+  // Stable identity (updater thread only after Start): every object
+  // ever admitted gets the next watermark value, never reused.
+  // point_object_ids_[i] is raw_points_[i]'s id; edge ids are keyed by
+  // the canonical packed endpoint pair (min << 32 | max).
+  uint64_t next_object_id_ = 0;
+  std::vector<ObjectId> point_object_ids_;
+  std::unordered_map<uint64_t, ObjectId> edge_object_ids_;
+
+  /// The most recently published epoch's distance cache (updater thread
+  /// only): a metric-preserving publish hands the SAME cache to the next
+  /// epoch so warm ObjectId-keyed entries survive; any edge mutation
+  /// replaces it fresh.
+  std::shared_ptr<const DistanceCache> live_cache_;
+
+  // Durability: the mutation log and the alternating checkpoint slots
+  // (updater thread only after Start; the owned files back them unless
+  // the options_ test hooks were injected).
   std::unique_ptr<PagedFile> owned_wal_file_;
   std::unique_ptr<MutationWal> wal_;
+  std::unique_ptr<CheckpointStore> checkpoints_;
+  /// Generation of the newest durable checkpoint (0 = none yet).
+  uint64_t ckpt_generation_ = 0;
 
   EpochManager epochs_;
   std::unique_ptr<ThreadPool> pool_;
@@ -379,6 +456,15 @@ class QueryServer {
   /// Fixed after Start.
   uint64_t wal_recovered_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
   uint64_t publish_failures_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
+  uint64_t publishes_full_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
+  uint64_t publishes_incremental_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
+  uint64_t checkpoints_written_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
+  uint64_t checkpoint_failures_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
+  /// Fixed after Start.
+  bool wal_recovered_from_checkpoint_ NETCLUS_GUARDED_BY(stats_mu_) = false;
+  uint64_t wal_checkpoint_covers_ NETCLUS_GUARDED_BY(stats_mu_) = 0;
+  RunningStats publish_full_ms_ NETCLUS_GUARDED_BY(stats_mu_);
+  RunningStats publish_incremental_ms_ NETCLUS_GUARDED_BY(stats_mu_);
   RunningStats queue_wait_ms_ NETCLUS_GUARDED_BY(stats_mu_);
   RunningStats batch_size_ NETCLUS_GUARDED_BY(stats_mu_);
   RunningStats batch_ms_ NETCLUS_GUARDED_BY(stats_mu_);

@@ -24,10 +24,12 @@ EpochSnapshot::EpochSnapshot(
     std::shared_ptr<const PointSet> points,
     std::shared_ptr<const ClusterOutput> clusters,
     std::shared_ptr<const DistanceCache> cache, uint32_t num_pin_slots,
-    std::shared_ptr<std::atomic<uint64_t>> freed_counter)
+    std::shared_ptr<std::atomic<uint64_t>> freed_counter,
+    std::shared_ptr<const IdentityMap> ids)
     : epoch_(epoch),
       clusters_(std::move(clusters)),
       cache_(std::move(cache)),
+      ids_(std::move(ids)),
       view_(std::move(graph), std::move(points)),
       pin_slots_(num_pin_slots > 0 ? num_pin_slots : 1),
       freed_counter_(std::move(freed_counter)) {}

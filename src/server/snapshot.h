@@ -22,6 +22,7 @@
 #include "graph/network_view.h"
 #include "index/distance_cache.h"
 #include "netclus.h"
+#include "server/identity_map.h"
 
 namespace netclus {
 
@@ -76,10 +77,14 @@ class SnapshotView final : public NetworkView {
 class EpochSnapshot {
  public:
   /// `clusters` may be null (membership queries then fail NotFound).
-  /// `cache` may be null (no distance memoization for this epoch); it is
-  /// owned by the snapshot so cached distances can never cross an epoch
-  /// boundary — point ids renumber across epochs, and an old adjacency
-  /// must never answer for a new one.
+  /// `cache` may be null (no distance memoization for this epoch). The
+  /// cache keys on durable ObjectIds, so the publisher may hand the
+  /// SAME cache to consecutive epochs whenever the metric is unchanged
+  /// (point-only mutations) — warm entries survive republication. Any
+  /// mutation that changes edge weights must publish a fresh cache.
+  /// `ids` is this epoch's ObjectId <-> dense-PointId map; null means
+  /// the identity mapping (exact for a standalone snapshot or a boot
+  /// epoch, where point ObjectIds are assigned in dense order).
   /// `freed_counter` (shared so it may outlive the manager) is bumped by
   /// the destructor — the observable "drained epoch actually freed"
   /// signal the epoch-swap tests assert on.
@@ -88,7 +93,8 @@ class EpochSnapshot {
                 std::shared_ptr<const ClusterOutput> clusters,
                 std::shared_ptr<const DistanceCache> cache,
                 uint32_t num_pin_slots,
-                std::shared_ptr<std::atomic<uint64_t>> freed_counter);
+                std::shared_ptr<std::atomic<uint64_t>> freed_counter,
+                std::shared_ptr<const IdentityMap> ids = nullptr);
   ~EpochSnapshot();
 
   EpochSnapshot(const EpochSnapshot&) = delete;
@@ -100,10 +106,14 @@ class EpochSnapshot {
   const PointSet& points() const { return view_.points(); }
   /// Null when the server runs without a cluster_spec.
   const ClusterOutput* clusters() const { return clusters_.get(); }
-  /// This epoch's private distance cache; null when caching is disabled.
-  /// Entries only ever name points of this epoch, so batches still
-  /// draining an old epoch cannot poison (or be poisoned by) a newer one.
+  /// This epoch's distance cache; null when caching is disabled. Keys
+  /// are ObjectId pairs, so entries stay meaningful across epochs and a
+  /// metric-preserving republication may share the cache with its
+  /// predecessor — batches draining an old epoch then read and write
+  /// the same (still correct) distances as the new one.
   const DistanceCache* cache() const { return cache_.get(); }
+  /// This epoch's ObjectId <-> dense-PointId map; null means identity.
+  const IdentityMap* ids() const { return ids_.get(); }
 
   uint32_t num_pin_slots() const {
     return static_cast<uint32_t>(pin_slots_.size());
@@ -137,6 +147,7 @@ class EpochSnapshot {
   uint64_t epoch_;
   std::shared_ptr<const ClusterOutput> clusters_;
   std::shared_ptr<const DistanceCache> cache_;
+  std::shared_ptr<const IdentityMap> ids_;
   SnapshotView view_;  ///< co-owns the graph and the point set
   std::vector<PinSlot> pin_slots_;
   std::shared_ptr<std::atomic<uint64_t>> freed_counter_;

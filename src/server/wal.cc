@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
-#include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "common/check.h"
 #include "common/crc32c.h"
 
 namespace netclus {
@@ -13,6 +13,38 @@ namespace netclus {
 namespace {
 
 constexpr char kWalMagic[4] = {'N', 'W', 'A', 'L'};
+constexpr char kWalHeaderMagic[4] = {'N', 'W', 'H', 'D'};
+constexpr char kCheckpointMagic[4] = {'N', 'C', 'K', 'P'};
+
+constexpr uint32_t kWalHeaderBytes = 24;
+
+Status RetryRead(PagedFile* file, PageId id, char* out, int retries) {
+  Status s = Status::OK();
+  for (int attempt = 0; attempt < retries; ++attempt) {
+    s = file->ReadPage(id, out);
+    if (!s.IsUnavailable()) return s;
+  }
+  return s;
+}
+
+Status RetryWrite(PagedFile* file, PageId id, const char* data, int retries) {
+  Status s = Status::OK();
+  for (int attempt = 0; attempt < retries; ++attempt) {
+    s = file->WritePage(id, data);
+    if (!s.IsUnavailable()) return s;
+  }
+  return s;
+}
+
+Status RetryAllocate(PagedFile* file, int retries) {
+  Result<PageId> alloc = file->AllocatePage();
+  for (int attempt = 1;
+       !alloc.ok() && alloc.status().IsUnavailable() && attempt < retries;
+       ++attempt) {
+    alloc = file->AllocatePage();
+  }
+  return alloc.ok() ? Status::OK() : alloc.status();
+}
 
 }  // namespace
 
@@ -53,22 +85,36 @@ bool WalSlotIsEmpty(const char* rec) {
   return true;
 }
 
-Status MutationWal::ReadPageRetry(PageId id, char* out) {
-  Status s = Status::OK();
-  for (int attempt = 0; attempt < kMaxIoRetries; ++attempt) {
-    s = file_->ReadPage(id, out);
-    if (!s.IsUnavailable()) return s;
+void EncodeWalHeader(uint64_t start_seq, char* out) {
+  std::memset(out, 0, kWalHeaderBytes);
+  std::memcpy(out + 4, kWalHeaderMagic, 4);
+  std::memcpy(out + 8, &kWalVersion, 4);
+  std::memcpy(out + 12, &start_seq, 8);
+  uint32_t crc = Crc32c(out + 4, kWalHeaderBytes - 4);
+  std::memcpy(out, &crc, 4);
+}
+
+bool DecodeWalHeader(const char* page, uint64_t* start_seq) {
+  if (std::memcmp(page + 4, kWalHeaderMagic, 4) != 0) return false;
+  uint32_t version;
+  std::memcpy(&version, page + 8, 4);
+  if (version != kWalVersion) return false;
+  if (page[20] != 0 || page[21] != 0 || page[22] != 0 || page[23] != 0) {
+    return false;
   }
-  return s;
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, page, 4);
+  if (stored_crc != Crc32c(page + 4, kWalHeaderBytes - 4)) return false;
+  std::memcpy(start_seq, page + 12, 8);
+  return true;
+}
+
+Status MutationWal::ReadPageRetry(PageId id, char* out) {
+  return RetryRead(file_, id, out, kMaxIoRetries);
 }
 
 Status MutationWal::WritePageRetry(PageId id, const char* data) {
-  Status s = Status::OK();
-  for (int attempt = 0; attempt < kMaxIoRetries; ++attempt) {
-    s = file_->WritePage(id, data);
-    if (!s.IsUnavailable()) return s;
-  }
-  return s;
+  return RetryWrite(file_, id, data, kMaxIoRetries);
 }
 
 Result<std::unique_ptr<MutationWal>> MutationWal::Open(PagedFile* file) {
@@ -76,7 +122,8 @@ Result<std::unique_ptr<MutationWal>> MutationWal::Open(PagedFile* file) {
     return Status::InvalidArgument("wal: null file");
   }
   if (file->page_size() < kRecordSize ||
-      file->page_size() % kRecordSize != 0) {
+      file->page_size() % kRecordSize != 0 ||
+      file->page_size() < kWalHeaderBytes) {
     return Status::InvalidArgument(
         "wal: page size " + std::to_string(file->page_size()) +
         " cannot frame " + std::to_string(kRecordSize) + "-byte records");
@@ -84,34 +131,49 @@ Result<std::unique_ptr<MutationWal>> MutationWal::Open(PagedFile* file) {
   const uint32_t rpp = file->page_size() / kRecordSize;
   auto wal = std::unique_ptr<MutationWal>(new MutationWal(file, rpp));
 
-  // Scan every slot in order. The first non-valid slot ends the log; a
-  // valid record after it means the middle of the log is damaged (bit
-  // rot, misdirected write) — that is not recoverable by truncation.
-  // Scrub writes are deferred until the scan has proven the damage is a
-  // tail, so a Corruption verdict leaves the file untouched.
+  std::vector<char> buf(file->page_size());
+  if (file->num_pages() == 0) {
+    // Fresh log: stamp the header before the first record can exist.
+    NETCLUS_RETURN_IF_ERROR(RetryAllocate(file, kMaxIoRetries));
+    std::fill(buf.begin(), buf.end(), 0);
+    EncodeWalHeader(/*start_seq=*/0, buf.data());
+    NETCLUS_RETURN_IF_ERROR(wal->WritePageRetry(0, buf.data()));
+    return wal;
+  }
+  NETCLUS_RETURN_IF_ERROR(wal->ReadPageRetry(0, buf.data()));
+  if (!DecodeWalHeader(buf.data(), &wal->start_seq_)) {
+    return Status::Corruption(
+        "wal: bad header page (torn header rewrite, or a log from before "
+        "the header format) — refusing to guess the sequence base");
+  }
+
+  // Scan every record slot in order. The first non-valid slot ends the
+  // log; a valid record after it means the middle of the log is damaged
+  // (bit rot, misdirected write) — that is not recoverable by
+  // truncation. Scrub writes are deferred until the scan has proven the
+  // damage is a tail, so a Corruption verdict leaves the file untouched.
   constexpr uint64_t kNoInvalid = UINT64_MAX;
   uint64_t first_invalid = kNoInvalid;
   uint64_t dropped = 0;
   std::unordered_map<PageId, std::vector<char>> dirty;  // page -> scrubbed
-  std::vector<char> buf(file->page_size());
-  for (PageId pid = 0; pid < file->num_pages(); ++pid) {
+  for (PageId pid = 1; pid < file->num_pages(); ++pid) {
     NETCLUS_RETURN_IF_ERROR(wal->ReadPageRetry(pid, buf.data()));
     bool page_dirty = false;
     for (uint32_t s = 0; s < rpp; ++s) {
       char* rec = buf.data() + static_cast<size_t>(s) * kRecordSize;
-      const uint64_t global = static_cast<uint64_t>(pid) * rpp + s;
+      const uint64_t local = static_cast<uint64_t>(pid - 1) * rpp + s;
       NetworkUpdate u;
       if (DecodeWalRecord(rec, &u)) {
         if (first_invalid != kNoInvalid) {
           return Status::Corruption(
-              "wal: valid record at slot " + std::to_string(global) +
+              "wal: valid record at slot " + std::to_string(local) +
               " after invalid slot " + std::to_string(first_invalid) +
               " — damaged log middle, not a torn tail");
         }
         wal->recovery_.records.push_back(u);
         continue;
       }
-      if (first_invalid == kNoInvalid) first_invalid = global;
+      if (first_invalid == kNoInvalid) first_invalid = local;
       if (!WalSlotIsEmpty(rec)) {
         ++dropped;
         std::memset(rec, 0, kRecordSize);
@@ -122,7 +184,7 @@ Result<std::unique_ptr<MutationWal>> MutationWal::Open(PagedFile* file) {
     // The page holding the first invalid slot is the append tail; keep
     // its (scrubbed) image as the shadow so the next append is a pure
     // read-modify-write of memory.
-    if (first_invalid != kNoInvalid && first_invalid / rpp == pid) {
+    if (first_invalid != kNoInvalid && first_invalid / rpp == pid - 1) {
       wal->shadow_ = buf;
       wal->shadow_page_ = pid;
     }
@@ -131,9 +193,10 @@ Result<std::unique_ptr<MutationWal>> MutationWal::Open(PagedFile* file) {
     NETCLUS_RETURN_IF_ERROR(wal->WritePageRetry(pid, page.data()));
   }
   wal->recovery_.records_dropped = dropped;
-  wal->next_slot_ = first_invalid == kNoInvalid
-                        ? static_cast<uint64_t>(file->num_pages()) * rpp
-                        : first_invalid;
+  wal->next_slot_ =
+      first_invalid == kNoInvalid
+          ? static_cast<uint64_t>(file->num_pages() - 1) * rpp
+          : first_invalid;
   return wal;
 }
 
@@ -143,19 +206,13 @@ Status MutationWal::Append(const NetworkUpdate& update) {
         "wal: log is broken (a failed append could not be scrubbed); "
         "refusing further writes");
   }
-  const PageId page = static_cast<PageId>(next_slot_ / records_per_page_);
+  const PageId page =
+      static_cast<PageId>(1 + next_slot_ / records_per_page_);
   const uint32_t slot = static_cast<uint32_t>(next_slot_ % records_per_page_);
   if (page >= file_->num_pages()) {
     // Fresh tail page. AllocatePage appends a zeroed page; transient
     // allocation failures are retried like any other page op.
-    Result<PageId> alloc = file_->AllocatePage();
-    for (int attempt = 1;
-         !alloc.ok() && alloc.status().IsUnavailable() &&
-         attempt < kMaxIoRetries;
-         ++attempt) {
-      alloc = file_->AllocatePage();
-    }
-    if (!alloc.ok()) return alloc.status();
+    NETCLUS_RETURN_IF_ERROR(RetryAllocate(file_, kMaxIoRetries));
   }
   if (shadow_page_ != page) {
     std::fill(shadow_.begin(), shadow_.end(), 0);
@@ -182,6 +239,263 @@ Status MutationWal::Append(const NetworkUpdate& update) {
   Status scrub = WritePageRetry(page, shadow_.data());
   if (!scrub.ok()) broken_ = true;
   return s;
+}
+
+Status MutationWal::TruncateTo(uint64_t new_start_seq) {
+  if (broken_) {
+    return Status::Unavailable("wal: log is broken; refusing compaction");
+  }
+  if (new_start_seq != next_seq()) {
+    return Status::InvalidArgument(
+        "wal: compaction must cover the whole log (asked to truncate to " +
+        std::to_string(new_start_seq) + ", next sequence is " +
+        std::to_string(next_seq()) + ")");
+  }
+  // 1) Drop the record pages. A failure here leaves the log exactly as
+  //    it was (the backend either shrinks or does nothing) — the caller
+  //    skips this compaction cycle and retries later. A crash AFTER the
+  //    drop but before the header rewrite leaves the old start_seq over
+  //    zero records; recovery then replays an empty suffix of the
+  //    covering checkpoint, which is correct.
+  NETCLUS_RETURN_IF_ERROR(file_->Truncate(1));
+  // 2) Stamp the new sequence base.
+  std::fill(shadow_.begin(), shadow_.end(), 0);
+  EncodeWalHeader(new_start_seq, shadow_.data());
+  Status s = WritePageRetry(0, shadow_.data());
+  std::fill(shadow_.begin(), shadow_.end(), 0);
+  shadow_page_ = kInvalidPageId;
+  if (!s.ok()) {
+    // The header on disk is in an unknown (possibly torn) state; any
+    // further append could land under a base recovery cannot trust.
+    broken_ = true;
+    return s;
+  }
+  start_seq_ = new_start_seq;
+  next_slot_ = 0;
+  return Status::OK();
+}
+
+// --- CheckpointStore --------------------------------------------------
+
+CheckpointStore::CheckpointStore(PagedFile* slot_a, PagedFile* slot_b)
+    : slots_{slot_a, slot_b} {
+  NETCLUS_CHECK(slot_a != nullptr && slot_b != nullptr)
+      << "checkpoint store needs both slot files";
+}
+
+Result<std::unique_ptr<CheckpointStore>> CheckpointStore::Open(
+    const std::string& base_path, uint32_t page_size) {
+  if (page_size < kHeadBytes) {
+    return Status::InvalidArgument(
+        "checkpoint: page size cannot hold the stream head");
+  }
+  NETCLUS_ASSIGN_OR_RETURN(
+      std::unique_ptr<PagedFile> a,
+      PagedFile::Open(base_path + ".ckpt.a", page_size, /*truncate=*/false));
+  NETCLUS_ASSIGN_OR_RETURN(
+      std::unique_ptr<PagedFile> b,
+      PagedFile::Open(base_path + ".ckpt.b", page_size, /*truncate=*/false));
+  auto store = std::make_unique<CheckpointStore>(a.get(), b.get());
+  store->owned_a_ = std::move(a);
+  store->owned_b_ = std::move(b);
+  return store;
+}
+
+Status CheckpointStore::Write(const CheckpointState& state) {
+  PagedFile* file = slots_[state.generation % 2];
+  const uint32_t page_size = file->page_size();
+  const uint64_t total_bytes =
+      kHeadBytes + state.edges.size() * uint64_t{kEdgeBytes} +
+      state.points.size() * uint64_t{kPointBytes};
+
+  // Serialize the whole stream, then blit it page by page. The head's
+  // CRC covers everything after itself, so a torn multi-page write can
+  // never parse.
+  const uint64_t num_pages = (total_bytes + page_size - 1) / page_size;
+  std::vector<char> stream(num_pages * page_size, 0);
+  char* p = stream.data();
+  std::memcpy(p + 4, kCheckpointMagic, 4);
+  std::memcpy(p + 8, &kCheckpointVersion, 4);
+  std::memcpy(p + 12, &state.generation, 8);
+  std::memcpy(p + 20, &state.covers_seq, 8);
+  std::memcpy(p + 28, &state.next_object_id, 8);
+  std::memcpy(p + 36, &state.num_nodes, 4);
+  const uint64_t num_edges = state.edges.size();
+  const uint64_t num_points = state.points.size();
+  std::memcpy(p + 40, &num_edges, 8);
+  std::memcpy(p + 48, &num_points, 8);
+  std::memcpy(p + 56, &total_bytes, 8);
+  char* rec = p + kHeadBytes;
+  for (const CheckpointEdge& e : state.edges) {
+    std::memcpy(rec, &e.u, 4);
+    std::memcpy(rec + 4, &e.v, 4);
+    std::memcpy(rec + 8, &e.weight, 8);
+    std::memcpy(rec + 16, &e.oid, 8);
+    rec += kEdgeBytes;
+  }
+  for (const CheckpointPoint& pt : state.points) {
+    std::memcpy(rec, &pt.u, 4);
+    std::memcpy(rec + 4, &pt.v, 4);
+    std::memcpy(rec + 8, &pt.offset, 8);
+    std::memcpy(rec + 16, &pt.label, 4);
+    std::memcpy(rec + 20, &pt.oid, 8);
+    rec += kPointBytes;
+  }
+  const uint32_t crc = Crc32c(p + 4, total_bytes - 4);
+  std::memcpy(p, &crc, 4);
+
+  // Shape the slot file. A shrink failure is harmless — stale pages past
+  // total_bytes are never parsed — so only growth failures abort.
+  if (file->num_pages() > num_pages) {
+    Status shrink = file->Truncate(static_cast<PageId>(num_pages));
+    (void)shrink;  // stale tail pages beyond the stream are inert
+  }
+  while (file->num_pages() < num_pages) {
+    NETCLUS_RETURN_IF_ERROR(RetryAllocate(file, kMaxIoRetries));
+  }
+  // Body pages first, head page last: until the head (and its CRC)
+  // lands, the slot reads as its previous — now partially overwritten,
+  // therefore CRC-invalid — content, never as a half-new checkpoint.
+  for (uint64_t pid = num_pages; pid-- > 0;) {
+    NETCLUS_RETURN_IF_ERROR(
+        RetryWrite(file, static_cast<PageId>(pid),
+                   stream.data() + pid * page_size, kMaxIoRetries));
+  }
+  return Status::OK();
+}
+
+Status CheckpointStore::ParseSlot(PagedFile* file, CheckpointState* out) {
+  if (file->num_pages() == 0) {
+    return Status::NotFound("checkpoint slot is empty");
+  }
+  const uint32_t page_size = file->page_size();
+  std::vector<char> head(page_size);
+  NETCLUS_RETURN_IF_ERROR(RetryRead(file, 0, head.data(), kMaxIoRetries));
+  if (std::memcmp(head.data() + 4, kCheckpointMagic, 4) != 0) {
+    return Status::Corruption("checkpoint: bad magic");
+  }
+  uint32_t version;
+  std::memcpy(&version, head.data() + 8, 4);
+  if (version != kCheckpointVersion) {
+    return Status::Corruption("checkpoint: unsupported version " +
+                              std::to_string(version));
+  }
+  uint64_t num_edges, num_points, total_bytes;
+  std::memcpy(&out->generation, head.data() + 12, 8);
+  std::memcpy(&out->covers_seq, head.data() + 20, 8);
+  std::memcpy(&out->next_object_id, head.data() + 28, 8);
+  std::memcpy(&out->num_nodes, head.data() + 36, 4);
+  std::memcpy(&num_edges, head.data() + 40, 8);
+  std::memcpy(&num_points, head.data() + 48, 8);
+  std::memcpy(&total_bytes, head.data() + 56, 8);
+  const uint64_t expected_bytes = kHeadBytes + num_edges * kEdgeBytes +
+                                  num_points * kPointBytes;
+  if (total_bytes != expected_bytes) {
+    return Status::Corruption(
+        "checkpoint: head announces " + std::to_string(total_bytes) +
+        " bytes but its counts imply " + std::to_string(expected_bytes));
+  }
+  if (total_bytes >
+      static_cast<uint64_t>(file->num_pages()) * page_size) {
+    return Status::Corruption(
+        "checkpoint: stream (" + std::to_string(total_bytes) +
+        " bytes) exceeds the slot file — truncated write");
+  }
+  const uint64_t num_pages = (total_bytes + page_size - 1) / page_size;
+  std::vector<char> stream(num_pages * page_size, 0);
+  std::memcpy(stream.data(), head.data(), page_size);
+  for (uint64_t pid = 1; pid < num_pages; ++pid) {
+    NETCLUS_RETURN_IF_ERROR(RetryRead(file, static_cast<PageId>(pid),
+                                      stream.data() + pid * page_size,
+                                      kMaxIoRetries));
+  }
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, stream.data(), 4);
+  if (stored_crc != Crc32c(stream.data() + 4, total_bytes - 4)) {
+    return Status::Corruption("checkpoint: stream checksum mismatch");
+  }
+  out->edges.clear();
+  out->edges.reserve(num_edges);
+  const char* rec = stream.data() + kHeadBytes;
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    CheckpointEdge e;
+    std::memcpy(&e.u, rec, 4);
+    std::memcpy(&e.v, rec + 4, 4);
+    std::memcpy(&e.weight, rec + 8, 8);
+    std::memcpy(&e.oid, rec + 16, 8);
+    if (e.u >= out->num_nodes || e.v >= out->num_nodes) {
+      return Status::Corruption("checkpoint: edge names a node outside the "
+                                "recorded node count");
+    }
+    out->edges.push_back(e);
+    rec += kEdgeBytes;
+  }
+  out->points.clear();
+  out->points.reserve(num_points);
+  for (uint64_t i = 0; i < num_points; ++i) {
+    CheckpointPoint pt;
+    std::memcpy(&pt.u, rec, 4);
+    std::memcpy(&pt.v, rec + 4, 4);
+    std::memcpy(&pt.offset, rec + 8, 8);
+    std::memcpy(&pt.label, rec + 16, 4);
+    std::memcpy(&pt.oid, rec + 20, 8);
+    if (pt.u >= out->num_nodes || pt.v >= out->num_nodes) {
+      return Status::Corruption("checkpoint: point names a node outside the "
+                                "recorded node count");
+    }
+    out->points.push_back(pt);
+    rec += kPointBytes;
+  }
+  return Status::OK();
+}
+
+Status CheckpointStore::ReadLatest(CheckpointState* out, bool* found) {
+  *found = false;
+  for (int slot = 0; slot < 2; ++slot) {
+    CheckpointState state;
+    Status parsed = ParseSlot(slots_[slot], &state);
+    if (parsed.IsIOError()) return parsed;  // can't tell what the slot holds
+    if (!parsed.ok()) continue;  // empty or torn: the other slot decides
+    if (!*found || state.generation > out->generation) {
+      *out = std::move(state);
+      *found = true;
+    }
+  }
+  return Status::OK();
+}
+
+CheckpointSlotInfo CheckpointStore::InspectSlot(int slot) {
+  CheckpointSlotInfo info;
+  PagedFile* file = slots_[slot % 2];
+  info.present = file->num_pages() > 0;
+  if (!info.present) {
+    info.detail = "empty";
+    return info;
+  }
+  CheckpointState state;
+  Status parsed = ParseSlot(file, &state);
+  if (parsed.ok()) {
+    info.valid = true;
+    info.generation = state.generation;
+    info.covers_seq = state.covers_seq;
+    info.num_edges = state.edges.size();
+    info.num_points = state.points.size();
+    info.total_bytes = kHeadBytes + info.num_edges * kEdgeBytes +
+                       info.num_points * kPointBytes;
+    return info;
+  }
+  info.detail = parsed.message();
+  // Best-effort header fields for the diagnostic line, CRC-unverified.
+  std::vector<char> head(file->page_size());
+  if (file->ReadPage(0, head.data()).ok() &&
+      std::memcmp(head.data() + 4, kCheckpointMagic, 4) == 0) {
+    std::memcpy(&info.generation, head.data() + 12, 8);
+    std::memcpy(&info.covers_seq, head.data() + 20, 8);
+    std::memcpy(&info.num_edges, head.data() + 40, 8);
+    std::memcpy(&info.num_points, head.data() + 48, 8);
+    std::memcpy(&info.total_bytes, head.data() + 56, 8);
+  }
+  return info;
 }
 
 }  // namespace netclus

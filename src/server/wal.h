@@ -1,17 +1,31 @@
 // MutationWal: an append-only, CRC32C-framed log of NetworkUpdate
-// records layered on PagedFile.
+// records layered on PagedFile, plus CheckpointStore: the durable
+// world snapshots that bound how much of the log recovery must replay.
 //
-// Durability contract (DESIGN.md §13): the query server's updater
+// Durability contract (DESIGN.md §13, §16): the query server's updater
 // thread appends every mutation to the log *before* applying it to the
 // live world, so after a crash the world is reconstructed by replaying
-// the log over the boot-time network. Building on PagedFile (rather
-// than a raw fd) means FaultInjectionFile decorates the log for free:
-// the torn-write / bit-flip / short-read recovery behavior is exercised
-// by the same deterministic harness as the storage stack.
+// the log over the boot-time network — or, once a checkpoint exists,
+// over the checkpointed world, replaying only the log suffix the
+// checkpoint does not cover. Building on PagedFile (rather than a raw
+// fd) means FaultInjectionFile decorates both for free: the torn-write
+// / bit-flip / short-read recovery behavior is exercised by the same
+// deterministic harness as the storage stack.
 //
-// Record framing: fixed 32-byte records, page_size/32 per page, never
-// straddling a page boundary. Byte layout (all little-endian,
+// Log format, version 2. Page 0 is the header (all little-endian,
 // in-memory representation):
+//
+//   [0, 4)   CRC32C of bytes [4, 24)
+//   [4, 8)   magic "NWHD"
+//   [8, 12)  format version (kWalVersion)
+//   [12,20)  start_seq: global sequence number of the first record slot
+//   [20,24)  zero padding (checked); rest of the page ignored
+//
+// Records fill pages 1..N, fixed 32-byte records, page_size/32 per
+// page, never straddling a page boundary. The record at local slot i
+// has global sequence start_seq + i — compaction truncates the record
+// pages and advances start_seq, so a record's global sequence never
+// changes across compactions. Record byte layout:
 //
 //   [0, 4)   CRC32C of bytes [4, 32)
 //   [4, 8)   magic "NWAL"
@@ -33,13 +47,19 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "graph/types.h"
 #include "server/update.h"
 #include "storage/paged_file.h"
 
 namespace netclus {
+
+/// Log format version stamped in the header page (version 1 logs had
+/// no header; Open refuses them as corrupt rather than guessing).
+inline constexpr uint32_t kWalVersion = 2;
 
 /// Serializes `update` into a 32-byte WAL record at `out`.
 void EncodeWalRecord(const NetworkUpdate& update, char* out);
@@ -51,9 +71,18 @@ bool DecodeWalRecord(const char* rec, NetworkUpdate* out);
 /// True when all 32 bytes of `rec` are zero (an unwritten slot).
 bool WalSlotIsEmpty(const char* rec);
 
+/// Serializes a header page (the first 24 bytes; the caller provides a
+/// zeroed full page).
+void EncodeWalHeader(uint64_t start_seq, char* out);
+
+/// Validates the header at `page` (magic, version, padding, CRC); on
+/// success fills `*start_seq` and returns true.
+bool DecodeWalHeader(const char* page, uint64_t* start_seq);
+
 /// What MutationWal::Open reconstructed from an existing log.
 struct WalRecovery {
-  /// The valid record prefix, in append order.
+  /// The valid record prefix, in append order. records[i] has global
+  /// sequence start_seq + i.
   std::vector<NetworkUpdate> records;
   /// Torn (non-empty, invalid) tail slots scrubbed back to zero.
   uint64_t records_dropped = 0;
@@ -72,14 +101,16 @@ class MutationWal {
   /// times before the error is surfaced.
   static constexpr int kMaxIoRetries = 8;
 
-  /// Opens a log over `file` (borrowed; must outlive the WAL). Scans
-  /// any existing pages, truncates a torn tail (scrubbing it in the
-  /// file so the next writer starts from a clean slot), and exposes the
-  /// valid prefix via recovery(). Fails with kInvalidArgument when the
-  /// page size cannot frame 32-byte records, kCorruption when the log
-  /// has a valid record after an invalid one, or the underlying I/O
-  /// error when a page cannot be read/scrubbed — never a partial
-  /// recovery.
+  /// Opens a log over `file` (borrowed; must outlive the WAL). A fresh
+  /// (zero-page) file gets a header with start_seq 0. An existing file
+  /// must lead with a valid header page; then any record pages are
+  /// scanned, a torn tail is truncated (scrubbed in the file so the
+  /// next writer starts from a clean slot), and the valid prefix is
+  /// exposed via recovery(). Fails with kInvalidArgument when the page
+  /// size cannot frame 32-byte records, kCorruption on a bad header or
+  /// when the log has a valid record after an invalid one, or the
+  /// underlying I/O error when a page cannot be read/scrubbed — never a
+  /// partial recovery.
   static Result<std::unique_ptr<MutationWal>> Open(PagedFile* file);
 
   MutationWal(const MutationWal&) = delete;
@@ -92,14 +123,32 @@ class MutationWal {
   /// refuse further durable mutations.
   Status Append(const NetworkUpdate& update);
 
+  /// Compaction: drops every record page and advances start_seq to
+  /// `new_start_seq`, which must equal next_seq() — the caller proves
+  /// it holds a durable checkpoint covering the whole log before
+  /// calling (write the checkpoint FIRST; a crash between the page drop
+  /// and the header rewrite leaves an old start_seq over zero records,
+  /// which recovery resolves correctly against any checkpoint covering
+  /// at least start_seq). A failed record-page drop leaves the log
+  /// untouched (skip this cycle); a failed header rewrite marks the log
+  /// broken().
+  Status TruncateTo(uint64_t new_start_seq);
+
   /// What Open() reconstructed (empty for a fresh log).
   const WalRecovery& recovery() const { return recovery_; }
 
   /// Records currently in the log (recovered prefix + appends).
   uint64_t num_records() const { return next_slot_; }
 
-  /// True once a failed append could not be scrubbed: the tail state on
-  /// disk is unknown and the log refuses further writes.
+  /// Global sequence of the first record slot (advanced by TruncateTo).
+  uint64_t start_seq() const { return start_seq_; }
+
+  /// Global sequence the next Append will get.
+  uint64_t next_seq() const { return start_seq_ + next_slot_; }
+
+  /// True once a failed append could not be scrubbed (or a compaction
+  /// header rewrite failed): the tail state on disk is unknown and the
+  /// log refuses further writes.
   bool broken() const { return broken_; }
 
  private:
@@ -113,7 +162,8 @@ class MutationWal {
 
   PagedFile* file_;  ///< borrowed
   uint32_t records_per_page_;
-  uint64_t next_slot_ = 0;  ///< global index of the next record
+  uint64_t start_seq_ = 0;  ///< global sequence of local slot 0
+  uint64_t next_slot_ = 0;  ///< local index of the next record
   /// In-memory image of the tail page (valid when shadow_page_ is not
   /// kInvalidPageId); appends read-modify-write through it so one slot
   /// change never needs a page read.
@@ -121,6 +171,120 @@ class MutationWal {
   PageId shadow_page_ = kInvalidPageId;
   bool broken_ = false;
   WalRecovery recovery_;
+};
+
+// --- checkpoints ------------------------------------------------------
+//
+// A checkpoint is the server's whole durable world — every edge and
+// every point, each with its stable ObjectId, plus the object-id
+// allocator watermark — serialized as one CRC32C-framed byte stream
+// across the pages of a slot file:
+//
+//   [0, 4)   CRC32C of bytes [4, total_bytes)
+//   [4, 8)   magic "NCKP"
+//   [8, 12)  checkpoint format version (kCheckpointVersion)
+//   [12,20)  generation (monotone per server lineage; picks the newest)
+//   [20,28)  covers_seq: WAL records with seq < covers_seq are included
+//   [28,36)  next_object_id
+//   [36,40)  num_nodes
+//   [40,48)  num_edges
+//   [48,56)  num_points
+//   [56,64)  total_bytes (header + all records)
+//   then num_edges edge records of 24 bytes:
+//     u u32, v u32, weight f64, oid u64
+//   then num_points point records of 28 bytes:
+//     u u32, v u32, offset f64, label i32, oid u64
+//
+// Two slot files alternate by generation parity, so the slot being
+// overwritten is never the one holding the newest surviving checkpoint:
+// a torn write leaves the previous generation intact in the other slot.
+
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+struct CheckpointEdge {
+  NodeId u = 0;
+  NodeId v = 0;
+  double weight = 0.0;
+  ObjectId oid = kInvalidObjectId;
+};
+
+struct CheckpointPoint {
+  NodeId u = 0;
+  NodeId v = 0;
+  double offset = 0.0;
+  int32_t label = -1;
+  ObjectId oid = kInvalidObjectId;
+};
+
+/// \brief One serializable world: what a checkpoint stores and what
+/// recovery rebuilds the boot world from.
+struct CheckpointState {
+  uint64_t generation = 0;
+  uint64_t covers_seq = 0;
+  uint64_t next_object_id = 0;
+  uint32_t num_nodes = 0;
+  std::vector<CheckpointEdge> edges;    ///< canonical (Network::Edges) order
+  std::vector<CheckpointPoint> points;  ///< raw insertion order
+};
+
+/// Per-slot diagnostics for `netclus_cli wal inspect` (never fails —
+/// problems land in `detail`).
+struct CheckpointSlotInfo {
+  bool present = false;  ///< slot file has any pages
+  bool valid = false;    ///< full stream parsed and CRC-verified
+  uint64_t generation = 0;
+  uint64_t covers_seq = 0;
+  uint64_t num_edges = 0;
+  uint64_t num_points = 0;
+  uint64_t total_bytes = 0;
+  std::string detail;  ///< why the slot is invalid, when it is
+};
+
+/// \brief Two-slot alternating checkpoint writer/reader.
+///
+/// Single-writer (the server's updater thread), like the WAL. Reads
+/// happen only at boot, before any writer exists.
+class CheckpointStore {
+ public:
+  static constexpr uint32_t kHeadBytes = 64;
+  static constexpr uint32_t kEdgeBytes = 24;
+  static constexpr uint32_t kPointBytes = 28;
+  static constexpr int kMaxIoRetries = 8;
+
+  /// Borrowed slot files (the fault-injection test hook); both must
+  /// outlive the store.
+  CheckpointStore(PagedFile* slot_a, PagedFile* slot_b);
+
+  /// Opens (or creates) the owned slot files `<base>.ckpt.a` and
+  /// `<base>.ckpt.b`.
+  static Result<std::unique_ptr<CheckpointStore>> Open(
+      const std::string& base_path, uint32_t page_size);
+
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
+  /// Durably writes `state` into the slot chosen by generation parity
+  /// (never the slot of generation - 1). A failure may leave that slot
+  /// torn; the other slot — and therefore the previous checkpoint — is
+  /// untouched.
+  Status Write(const CheckpointState& state);
+
+  /// Parses both slots and returns the valid one with the highest
+  /// generation via `*out`; `*found` is false when neither slot holds a
+  /// valid checkpoint (fresh store, or both torn). Only I/O errors fail.
+  Status ReadLatest(CheckpointState* out, bool* found);
+
+  /// Diagnostics for slot 0 ("a") or 1 ("b").
+  CheckpointSlotInfo InspectSlot(int slot);
+
+ private:
+  /// Full parse of one slot; on any validation failure returns the
+  /// reason and leaves `*out` unspecified.
+  Status ParseSlot(PagedFile* file, CheckpointState* out);
+
+  PagedFile* slots_[2];
+  std::unique_ptr<PagedFile> owned_a_;
+  std::unique_ptr<PagedFile> owned_b_;
 };
 
 }  // namespace netclus

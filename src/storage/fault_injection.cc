@@ -57,6 +57,12 @@ Status FaultInjectionFile::DoAllocate(PageId id) {
   return Status::OK();
 }
 
+Status FaultInjectionFile::DoTruncate(PageId new_num_pages) {
+  // Truncation passes through un-faulted (it is a metadata op, not the
+  // data path the fault kinds model); mirror the backend's page count.
+  return base_->Truncate(new_num_pages);
+}
+
 Status FaultInjectionFile::DoRead(PageId id, char* out) {
   uint64_t index = read_ops_++;
   const FaultEvent* e = Match(FaultOp::kRead, index, id);

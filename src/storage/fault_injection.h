@@ -91,6 +91,7 @@ class FaultInjectionFile final : public PagedFile {
   Status DoAllocate(PageId id) override;
   Status DoRead(PageId id, char* out) override;
   Status DoWrite(PageId id, const char* data) override;
+  Status DoTruncate(PageId new_num_pages) override;
 
  private:
   // Returns the first scheduled event matching this op, or nullptr.

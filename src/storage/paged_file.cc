@@ -30,6 +30,10 @@ class InMemoryPagedFile final : public PagedFile {
     std::memcpy(pages_[id].get(), data, page_size_);
     return Status::OK();
   }
+  Status DoTruncate(PageId new_num_pages) override {
+    pages_.resize(new_num_pages);
+    return Status::OK();
+  }
 
  private:
   std::vector<std::unique_ptr<char[]>> pages_;
@@ -66,6 +70,14 @@ class PosixPagedFile final : public PagedFile {
                          static_cast<off_t>(id) * page_size_);
     if (n != static_cast<ssize_t>(page_size_)) {
       return Status::IOError("pwrite: " + std::string(std::strerror(errno)));
+    }
+    return Status::OK();
+  }
+  Status DoTruncate(PageId new_num_pages) override {
+    if (::ftruncate(fd_, static_cast<off_t>(new_num_pages) * page_size_) !=
+        0) {
+      return Status::IOError("ftruncate: " +
+                             std::string(std::strerror(errno)));
     }
     return Status::OK();
   }
@@ -133,6 +145,25 @@ Status PagedFile::WritePage(PageId id, const char* data) {
   Status s = DoWrite(id, data);
   if (!s.ok()) ++stats_.failed_writes;
   return s;
+}
+
+Status PagedFile::Truncate(PageId new_num_pages) {
+  if (new_num_pages > num_pages_) {
+    return Status::OutOfRange("Truncate: cannot grow a file");
+  }
+  if (new_num_pages == num_pages_) return Status::OK();
+  Status s = DoTruncate(new_num_pages);
+  if (!s.ok()) {
+    ++stats_.failed_writes;
+    return s;
+  }
+  num_pages_ = new_num_pages;
+  return s;
+}
+
+Status PagedFile::DoTruncate(PageId new_num_pages) {
+  (void)new_num_pages;
+  return Status::Internal("Truncate: not supported by this backend");
 }
 
 }  // namespace netclus

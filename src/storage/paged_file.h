@@ -69,6 +69,12 @@ class PagedFile {
   /// Overwrites page `id` with `data` (page_size() bytes).
   Status WritePage(PageId id, const char* data);
 
+  /// Shrinks the file to exactly `new_num_pages` pages, discarding the
+  /// tail. Growing is not a truncate — use AllocatePage. Backends that
+  /// cannot shrink return kInternal and leave the file untouched (the
+  /// WAL's compaction then simply skips this cycle).
+  Status Truncate(PageId new_num_pages);
+
   const FileIoStats& stats() const { return stats_; }
   void ResetStats() { stats_ = FileIoStats{}; }
 
@@ -80,6 +86,7 @@ class PagedFile {
   virtual Status DoAllocate(PageId id) = 0;
   virtual Status DoRead(PageId id, char* out) = 0;
   virtual Status DoWrite(PageId id, const char* data) = 0;
+  virtual Status DoTruncate(PageId new_num_pages);
 
   uint32_t page_size_;
   PageId num_pages_ = 0;

@@ -254,6 +254,233 @@ TEST(ChaosSoakTest, KillAndRecoverServesBitIdenticalResponses) {
   }
 }
 
+// Checkpoint + compaction: with `wal_checkpoint_every` set the server
+// periodically serializes its whole world into the alternating slot
+// files and truncates the log. A successor then boots from checkpoint
+// plus delta suffix — and must answer bit-identically to both the
+// original and a chaos-free reference, with every ObjectId preserved.
+TEST(ChaosSoakTest, CheckpointCompactsTheLogAndRecoveryUsesIt) {
+  World w(100, 80, 47);
+  std::unique_ptr<PagedFile> wal_file = PagedFile::CreateInMemory(4096);
+  std::unique_ptr<PagedFile> ckpt_a = PagedFile::CreateInMemory(4096);
+  std::unique_ptr<PagedFile> ckpt_b = PagedFile::CreateInMemory(4096);
+  QueryServerOptions opts;
+  opts.num_workers = 2;
+  opts.validate_replay = true;
+  opts.wal_file = wal_file.get();
+  opts.checkpoint_file_a = ckpt_a.get();
+  opts.checkpoint_file_b = ckpt_b.get();
+  opts.wal_checkpoint_every = 2;
+
+  std::vector<Edge> edges = w.gen.net.Edges();
+  std::vector<NetworkUpdate> applied;
+  const std::vector<QueryRequest> probes =
+      MixedQueries(21, 40, w.points.size());
+  std::vector<QueryResponse> before;
+  {
+    std::unique_ptr<QueryServer> server = StartOrDie(w, opts);
+    ASSERT_NE(server, nullptr);
+    // Each blocking ApplyUpdate lands in its own updater round, so the
+    // record count crosses the threshold on every second mutation:
+    // checkpoints after records 2, 4, and 6, each followed by a
+    // truncation back to an empty log.
+    for (size_t i = 0; i < 6; ++i) {
+      NetworkUpdate u = NetworkUpdate::AddPoint(
+          edges[i].u, edges[i].v,
+          edges[i].weight * static_cast<double>(i + 1) / 7.0,
+          i % 2 == 0 ? -1 : static_cast<int32_t>(i));
+      ASSERT_TRUE(server->ApplyUpdate(u).ok());
+      applied.push_back(u);
+    }
+    // One more mutation past the last checkpoint: the delta suffix.
+    NetworkUpdate tail =
+        NetworkUpdate::AddPoint(edges[6].u, edges[6].v, edges[6].weight / 2, 5);
+    ASSERT_TRUE(server->ApplyUpdate(tail).ok());
+    applied.push_back(tail);
+    ASSERT_TRUE(server->Flush().ok());
+
+    ServerStats stats = server->stats();
+    EXPECT_EQ(stats.wal_records, 7u);
+    EXPECT_EQ(stats.checkpoints_written, 3u);
+    EXPECT_EQ(stats.checkpoint_failures, 0u);
+    EXPECT_EQ(stats.wal_checkpoint_covers, 6u);
+
+    for (const QueryRequest& q : probes) {
+      Result<QueryResponse> r = server->Execute(q);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      before.push_back(std::move(r).value());
+    }
+  }  // kill: only the WAL and the two checkpoint slots survive
+
+  // The compaction actually happened on disk: the log holds just the
+  // suffix, based past the six checkpointed records.
+  {
+    auto wal = MutationWal::Open(wal_file.get());
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    EXPECT_EQ(wal.value()->start_seq(), 6u);
+    EXPECT_EQ(wal.value()->num_records(), 1u);
+  }
+
+  std::unique_ptr<QueryServer> revived = StartOrDie(w, opts);
+  ASSERT_NE(revived, nullptr);
+  {
+    ServerStats stats = revived->stats();
+    EXPECT_EQ(stats.wal_recovered_from_checkpoint, 1u);
+    EXPECT_EQ(stats.wal_recoveries, 1u);  // only the suffix replays
+    EXPECT_EQ(stats.wal_checkpoint_covers, 6u);
+  }
+  for (size_t i = 0; i < probes.size(); ++i) {
+    Result<QueryResponse> r = revived->Execute(probes[i]);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(ResponsePayloadsEqual(r.value(), before[i]))
+        << "probe " << i << " (" << QueryKindName(probes[i].kind) << ")";
+  }
+
+  // And against a chaos-free reference that applied the same mutations
+  // inline — the checkpointed world is the real world, not a replica
+  // that merely satisfies the original's probes.
+  QueryServerOptions ref_opts;
+  ref_opts.num_workers = 2;
+  std::unique_ptr<QueryServer> reference = StartOrDie(w, ref_opts);
+  ASSERT_NE(reference, nullptr);
+  for (const NetworkUpdate& u : applied) {
+    ASSERT_TRUE(reference->ApplyUpdate(u).ok());
+  }
+  ASSERT_TRUE(reference->Flush().ok());
+  for (const QueryRequest& q : MixedQueries(314, 40, w.points.size())) {
+    Result<QueryResponse> got = revived->Execute(q);
+    Result<QueryResponse> want = reference->Execute(q);
+    ASSERT_TRUE(got.ok() && want.ok());
+    EXPECT_TRUE(ResponsePayloadsEqual(got.value(), want.value()))
+        << QueryKindName(q.kind) << " query on point " << q.a;
+  }
+}
+
+// A crash DURING a checkpoint write leaves that slot torn while the
+// log — whose truncation only ever follows a durable checkpoint — still
+// starts where the previous generation covers. Recovery must fall back
+// to the surviving generation and replay the longer suffix.
+TEST(ChaosSoakTest, TornNewestCheckpointFallsBackAndReplaysTheSuffix) {
+  World w(80, 60, 53);
+  std::unique_ptr<PagedFile> wal_file = PagedFile::CreateInMemory(4096);
+  std::unique_ptr<PagedFile> ckpt_a = PagedFile::CreateInMemory(4096);
+  std::unique_ptr<PagedFile> ckpt_b = PagedFile::CreateInMemory(4096);
+  QueryServerOptions opts;
+  opts.num_workers = 1;
+  opts.validate_replay = true;
+  opts.wal_file = wal_file.get();
+  opts.checkpoint_file_a = ckpt_a.get();
+  opts.checkpoint_file_b = ckpt_b.get();
+  opts.wal_checkpoint_every = 1;  // checkpoint after every mutation
+
+  std::vector<Edge> edges = w.gen.net.Edges();
+  std::vector<NetworkUpdate> updates = {
+      NetworkUpdate::AddPoint(edges[0].u, edges[0].v, edges[0].weight / 2, -1),
+      NetworkUpdate::AddPoint(edges[1].u, edges[1].v, edges[1].weight / 3, 2),
+      NetworkUpdate::AddPoint(edges[2].u, edges[2].v, edges[2].weight / 4, -1),
+      NetworkUpdate::AddPoint(edges[3].u, edges[3].v, edges[3].weight / 5, 7),
+  };
+  {
+    std::unique_ptr<QueryServer> server = StartOrDie(w, opts);
+    ASSERT_NE(server, nullptr);
+    // Two rounds: generation 1 (slot "b") covers seq 1, generation 2
+    // (slot "a") covers seq 2, each truncating the log behind it.
+    ASSERT_TRUE(server->ApplyUpdate(updates[0]).ok());
+    ASSERT_TRUE(server->ApplyUpdate(updates[1]).ok());
+    ASSERT_TRUE(server->Flush().ok());
+    EXPECT_EQ(server->stats().checkpoints_written, 2u);
+  }
+
+  // Reconstruct the crash-mid-checkpoint state: generation 2's slot is
+  // torn, and its truncation never happened — the log still starts at
+  // seq 1 and holds updates[1..3] (the record generation 2 would have
+  // covered, plus two appended after the crash).
+  std::vector<char> page(ckpt_a->page_size());
+  ASSERT_TRUE(ckpt_a->ReadPage(0, page.data()).ok());
+  page[30] ^= 0x20;  // breaks the stream CRC
+  ASSERT_TRUE(ckpt_a->WritePage(0, page.data()).ok());
+  std::vector<char> header(wal_file->page_size(), 0);
+  EncodeWalHeader(1, header.data());
+  ASSERT_TRUE(wal_file->WritePage(0, header.data()).ok());
+  {
+    auto wal = MutationWal::Open(wal_file.get());
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    ASSERT_EQ(wal.value()->start_seq(), 1u);
+    for (size_t i = 1; i < updates.size(); ++i) {
+      ASSERT_TRUE(wal.value()->Append(updates[i]).ok());
+    }
+  }
+
+  std::unique_ptr<QueryServer> revived = StartOrDie(w, opts);
+  ASSERT_NE(revived, nullptr);
+  ServerStats stats = revived->stats();
+  EXPECT_EQ(stats.wal_recovered_from_checkpoint, 1u);
+  EXPECT_EQ(stats.wal_recoveries, 3u);  // the generation-1 suffix
+  EXPECT_EQ(stats.wal_checkpoint_covers, 1u);
+
+  QueryServerOptions ref_opts;
+  ref_opts.num_workers = 1;
+  std::unique_ptr<QueryServer> reference = StartOrDie(w, ref_opts);
+  ASSERT_NE(reference, nullptr);
+  for (const NetworkUpdate& u : updates) {
+    ASSERT_TRUE(reference->ApplyUpdate(u).ok());
+  }
+  ASSERT_TRUE(reference->Flush().ok());
+  for (const QueryRequest& q : MixedQueries(77, 30, w.points.size())) {
+    Result<QueryResponse> got = revived->Execute(q);
+    Result<QueryResponse> want = reference->Execute(q);
+    ASSERT_TRUE(got.ok() && want.ok());
+    EXPECT_TRUE(ResponsePayloadsEqual(got.value(), want.value()))
+        << QueryKindName(q.kind) << " query on point " << q.a;
+  }
+}
+
+// When the only surviving checkpoint covers LESS of the log than
+// compaction already dropped, part of history is simply gone — the
+// server must refuse to boot a guessed world, exactly like a corrupt
+// log middle.
+TEST(ChaosSoakTest, CheckpointOlderThanTheCompactedLogRefusesToBoot) {
+  World w(60, 40, 59);
+  std::unique_ptr<PagedFile> wal_file = PagedFile::CreateInMemory(4096);
+  std::unique_ptr<PagedFile> ckpt_a = PagedFile::CreateInMemory(4096);
+  std::unique_ptr<PagedFile> ckpt_b = PagedFile::CreateInMemory(4096);
+  QueryServerOptions opts;
+  opts.num_workers = 1;
+  opts.wal_file = wal_file.get();
+  opts.checkpoint_file_a = ckpt_a.get();
+  opts.checkpoint_file_b = ckpt_b.get();
+  opts.wal_checkpoint_every = 1;
+
+  std::vector<Edge> edges = w.gen.net.Edges();
+  {
+    std::unique_ptr<QueryServer> server = StartOrDie(w, opts);
+    ASSERT_NE(server, nullptr);
+    ASSERT_TRUE(server
+                    ->ApplyUpdate(NetworkUpdate::AddPoint(
+                        edges[0].u, edges[0].v, edges[0].weight / 2, -1))
+                    .ok());
+    ASSERT_TRUE(server
+                    ->ApplyUpdate(NetworkUpdate::AddPoint(
+                        edges[1].u, edges[1].v, edges[1].weight / 3, 1))
+                    .ok());
+    ASSERT_TRUE(server->Flush().ok());
+    EXPECT_EQ(server->stats().checkpoints_written, 2u);
+  }
+
+  // Tear generation 2 (slot "a"). The log was already truncated to
+  // start_seq 2 behind it, and generation 1 only covers seq 1: the
+  // record at seq 1 exists nowhere anymore.
+  std::vector<char> page(ckpt_a->page_size());
+  ASSERT_TRUE(ckpt_a->ReadPage(0, page.data()).ok());
+  page[30] ^= 0x20;
+  ASSERT_TRUE(ckpt_a->WritePage(0, page.data()).ok());
+
+  Result<std::unique_ptr<QueryServer>> refused =
+      QueryServer::Start(w.gen.net, w.points, opts);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsCorruption()) << refused.status().ToString();
+}
+
 // A torn final record (the classic crash mid-append) silently truncates
 // to the prefix: the revived server equals a reference that never saw
 // the torn mutation.
@@ -280,11 +507,12 @@ TEST(ChaosSoakTest, TornWalTailDropsOnlyTheTornMutation) {
     ASSERT_TRUE(server->Flush().ok());
   }
   // Tear the last record: only its first 16 bytes reached the medium.
+  // Records live on page 1 (page 0 is the log header).
   std::vector<char> page(wal_file->page_size());
-  ASSERT_TRUE(wal_file->ReadPage(0, page.data()).ok());
+  ASSERT_TRUE(wal_file->ReadPage(1, page.data()).ok());
   std::memset(page.data() + 2 * MutationWal::kRecordSize + 16, 0,
               MutationWal::kRecordSize - 16);
-  ASSERT_TRUE(wal_file->WritePage(0, page.data()).ok());
+  ASSERT_TRUE(wal_file->WritePage(1, page.data()).ok());
 
   std::unique_ptr<QueryServer> revived = StartOrDie(w, opts);
   ASSERT_NE(revived, nullptr);
@@ -330,9 +558,9 @@ TEST(ChaosSoakTest, CorruptWalMiddleFailsStart) {
     ASSERT_TRUE(server->Flush().ok());
   }
   std::vector<char> page(wal_file->page_size());
-  ASSERT_TRUE(wal_file->ReadPage(0, page.data()).ok());
+  ASSERT_TRUE(wal_file->ReadPage(1, page.data()).ok());
   page[20] ^= 0x01;  // rot inside record 0, records 1..2 still valid
-  ASSERT_TRUE(wal_file->WritePage(0, page.data()).ok());
+  ASSERT_TRUE(wal_file->WritePage(1, page.data()).ok());
 
   Result<std::unique_ptr<QueryServer>> refused =
       QueryServer::Start(w.gen.net, w.points, opts);
@@ -347,19 +575,6 @@ TEST(ChaosSoakTest, BrokenWalDegradesButKeepsServing) {
   World w(60, 40, 41);
   std::unique_ptr<PagedFile> base = PagedFile::CreateInMemory(4096);
   FaultInjectionFile faulty(base.get());
-  // First page write tears; every write after it (the scrub included)
-  // fails permanently.
-  FaultEvent torn;
-  torn.op = FaultOp::kWrite;
-  torn.kind = FaultKind::kTornWrite;
-  torn.op_index = 0;
-  faulty.AddFault(torn);
-  FaultEvent dead;
-  dead.op = FaultOp::kWrite;
-  dead.kind = FaultKind::kPermanentError;
-  dead.op_index = 1;
-  dead.count = UINT64_MAX;
-  faulty.AddFault(dead);
 
   QueryServerOptions opts;
   opts.num_workers = 1;
@@ -367,6 +582,21 @@ TEST(ChaosSoakTest, BrokenWalDegradesButKeepsServing) {
   std::unique_ptr<QueryServer> server = StartOrDie(w, opts);
   ASSERT_NE(server, nullptr);
   EXPECT_EQ(server->CurrentHealth(), ServerHealth::kServing);
+
+  // The first mutation's page write tears; every write after it (the
+  // scrub included) fails permanently. Armed after Start so the log
+  // header write at Open is unaffected.
+  FaultEvent torn;
+  torn.op = FaultOp::kWrite;
+  torn.kind = FaultKind::kTornWrite;
+  torn.op_index = faulty.write_ops();
+  faulty.AddFault(torn);
+  FaultEvent dead;
+  dead.op = FaultOp::kWrite;
+  dead.kind = FaultKind::kPermanentError;
+  dead.op_index = faulty.write_ops() + 1;
+  dead.count = UINT64_MAX;
+  faulty.AddFault(dead);
 
   std::vector<Edge> edges = w.gen.net.Edges();
   Status first = server->ApplyUpdate(

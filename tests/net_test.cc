@@ -480,6 +480,89 @@ TEST(NetSoak, ConcurrentClientsSurviveMutationsWithZeroMismatches) {
   EXPECT_EQ(net.corrupt_frames, 0u);
 }
 
+// A client-held ObjectId is a durable name: across repeated publishes
+// that renumber the dense point ids, the same id must keep resolving to
+// the same physical object — bitwise-identical distances and unchanged
+// co-membership — over the wire, on one connection.
+TEST(NetSoak, HeldObjectIdsResolveToTheSameObjectAcrossPublishes) {
+  // Path 0-1-2-3 (edge weight 4). A and B sit 0.5 apart on edge {0,1}
+  // and cluster together under eps 2; C is 11 away on edge {2,3} and
+  // cannot join them. Boot identity: A,B,C are objects 0,1,2; the three
+  // edges take 3..5; each mutation point below gets 6, 7, 8.
+  World w(4, 1, 1);  // fixture shell; the real world is built below
+  w.gen.net = Network(4);
+  ASSERT_TRUE(w.gen.net.AddEdge(0, 1, 4.0).ok());
+  ASSERT_TRUE(w.gen.net.AddEdge(1, 2, 4.0).ok());
+  ASSERT_TRUE(w.gen.net.AddEdge(2, 3, 4.0).ok());
+  PointSetBuilder builder;
+  builder.Add(0, 1, 0.5, -1);  // A
+  builder.Add(0, 1, 1.0, -1);  // B
+  builder.Add(2, 3, 3.5, -1);  // C
+  w.points = std::move(builder).Build(w.gen.net).value();
+
+  QueryServerOptions opts;
+  opts.num_workers = 2;
+  opts.cluster_spec = MakeSpec(EpsLinkOptions{2.0, 2});
+  Loopback loop(w, opts);
+  Result<std::unique_ptr<QueryClient>> connected =
+      QueryClient::Connect(loop.client_options());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  QueryClient& client = *connected.value();
+
+  Result<QueryResponse> ab = client.Execute(QueryRequest::PointDistance(0, 1));
+  Result<QueryResponse> ac = client.Execute(QueryRequest::PointDistance(0, 2));
+  ASSERT_TRUE(ab.ok() && ac.ok());
+  const double dist_ab = ab.value().distance;  // 0.5
+  const double dist_ac = ac.value().distance;  // 11.0
+  EXPECT_DOUBLE_EQ(dist_ab, 0.5);
+  EXPECT_DOUBLE_EQ(dist_ac, 11.0);
+
+  // Three publishes, each adding a point between A and B on edge {0,1}:
+  // every round shifts B's and C's dense ids up by one, while the
+  // metric (points are not nodes) is untouched.
+  for (int round = 1; round <= 3; ++round) {
+    double offset = 0.5 + 0.1 * static_cast<double>(4 - round);
+    ASSERT_TRUE(
+        loop.server->ApplyUpdate(NetworkUpdate::AddPoint(0, 1, offset, -1))
+            .ok());
+    ASSERT_TRUE(loop.server->Flush().ok());
+
+    // Held ids resolve to the same positions: bitwise-equal distances.
+    Result<QueryResponse> ab2 =
+        client.Execute(QueryRequest::PointDistance(0, 1));
+    Result<QueryResponse> ac2 =
+        client.Execute(QueryRequest::PointDistance(0, 2));
+    ASSERT_TRUE(ab2.ok() && ac2.ok());
+    EXPECT_EQ(ab2.value().distance, dist_ab) << "round " << round;
+    EXPECT_EQ(ac2.value().distance, dist_ac) << "round " << round;
+    EXPECT_EQ(ab2.value().epoch, static_cast<uint64_t>(1 + round));
+
+    // Co-membership holds: A and B still share a cluster, C is still
+    // outside it (the cluster's numeric id may legitimately change).
+    Result<QueryResponse> ma =
+        client.Execute(QueryRequest::ClusterMembership(0));
+    Result<QueryResponse> mb =
+        client.Execute(QueryRequest::ClusterMembership(1));
+    Result<QueryResponse> mc =
+        client.Execute(QueryRequest::ClusterMembership(2));
+    ASSERT_TRUE(ma.ok() && mb.ok() && mc.ok());
+    EXPECT_EQ(ma.value().cluster_id, mb.value().cluster_id)
+        << "round " << round;
+    EXPECT_NE(ma.value().cluster_id, mc.value().cluster_id)
+        << "round " << round;
+
+    // The newest point is the closest to A and answers under a fresh,
+    // monotonically allocated ObjectId — 6, then 7, then 8.
+    Result<QueryResponse> nearest =
+        client.Execute(QueryRequest::NearestObject(0, 1));
+    ASSERT_TRUE(nearest.ok());
+    ASSERT_EQ(nearest.value().results.size(), 1u);
+    EXPECT_EQ(nearest.value().results[0].id, static_cast<uint64_t>(5 + round));
+    EXPECT_DOUBLE_EQ(nearest.value().results[0].dist,
+                     0.1 * static_cast<double>(4 - round));
+  }
+}
+
 TEST(NetStats, CountersFlowIntoTheCollectorWithoutDoubleCounting) {
   World w(80, 100, 47);
   Loopback loop(w);

@@ -462,7 +462,7 @@ TEST(QueryServerTest, ShortcutEdgeBecomesVisibleInTheNextEpoch) {
   EXPECT_EQ(after.value().epoch, 2u);
 }
 
-TEST(QueryServerTest, AddPointRenumbersIdsInTheNewEpoch) {
+TEST(QueryServerTest, ObjectIdsStayStableWhenNewPointsRenumberTheEpoch) {
   PathWorld w;
   QueryServerOptions opts;
   opts.num_workers = 1;
@@ -472,10 +472,14 @@ TEST(QueryServerTest, AddPointRenumbersIdsInTheNewEpoch) {
   ASSERT_TRUE(started.ok());
   QueryServer& server = *started.value();
 
+  // Boot identity: points take ObjectIds 0..1, the three boot edges
+  // 2..4; the new edge below gets 5 and the new point 6.
   ASSERT_TRUE(server.ApplyUpdate(NetworkUpdate::AddEdge(0, 3, 1.0)).ok());
   // A point on the new shortcut edge, 0.5 from node 0 — network distance
-  // 1.0 from p0. Edge {0,3} sorts between {0,1} and {2,3}, so it takes
-  // id 1 and the old p1 becomes p2 in the new epoch.
+  // 1.0 from p0. Edge {0,3} sorts between {0,1} and {2,3}, so the new
+  // point takes DENSE id 1 and the old p1 shifts to dense id 2 in the
+  // new epoch — but responses speak ObjectIds, so the old point keeps
+  // answering as object 1 and the new one appears as object 6.
   ASSERT_TRUE(
       server.ApplyUpdate(NetworkUpdate::AddPoint(0, 3, 0.5, -1)).ok());
   ASSERT_TRUE(server.Flush().ok());
@@ -484,10 +488,154 @@ TEST(QueryServerTest, AddPointRenumbersIdsInTheNewEpoch) {
       server.Execute(QueryRequest::NearestObject(0, 2));
   ASSERT_TRUE(n.ok()) << n.status().ToString();
   ASSERT_EQ(n.value().results.size(), 2u);
-  EXPECT_EQ(n.value().results[0].id, 1u);  // the new point, renumbered in
+  EXPECT_EQ(n.value().results[0].id, 6u);  // the new point's durable id
   EXPECT_DOUBLE_EQ(n.value().results[0].dist, 1.0);
-  EXPECT_EQ(n.value().results[1].id, 2u);  // the old p1, renumbered up
+  EXPECT_EQ(n.value().results[1].id, 1u);  // old p1, same id as epoch 1
   EXPECT_DOUBLE_EQ(n.value().results[1].dist, 2.0);
+
+  // The held id keeps resolving to the same physical object: d(p0, p1)
+  // through the shortcut, addressed exactly as before the republication.
+  Result<QueryResponse> d =
+      server.Execute(QueryRequest::PointDistance(0, 1));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_DOUBLE_EQ(d.value().distance, 2.0);
+}
+
+// ---------------------------------------------------------------------
+// Incremental epoch builds: CSR row splice vs full rebuild.
+// ---------------------------------------------------------------------
+
+TEST(IncrementalEpochTest, SpliceMatchesFullRebuildBitExactly) {
+  World w(200, 150, 7);
+  Network& net = w.gen.net;
+  InMemoryNetworkView before(net, w.points);
+  FrozenGraph prev = FrozenGraph::Materialize(before);
+
+  // Grow the network by a handful of edges, tracking exactly the nodes
+  // whose adjacency changed.
+  std::vector<char> dirty(net.num_nodes(), 0);
+  Rng rng(1234);
+  int added = 0;
+  while (added < 6) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(net.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(net.num_nodes()));
+    if (u == v) continue;
+    if (!net.AddEdge(u, v, 1.0 + 0.25 * added).ok()) continue;  // duplicate
+    dirty[u] = 1;
+    dirty[v] = 1;
+    ++added;
+  }
+
+  InMemoryNetworkView after(net, w.points);
+  FrozenGraph full = FrozenGraph::Materialize(after);
+  FrozenGraph spliced = FrozenGraph::MaterializeIncremental(after, prev, dirty);
+  EXPECT_TRUE(spliced.BitIdenticalTo(full));
+
+  // A malformed dirty set (wrong length) falls back to a full rebuild
+  // rather than splicing rows whose provenance is unknown.
+  std::vector<char> malformed(net.num_nodes() + 3, 0);
+  FrozenGraph fallback =
+      FrozenGraph::MaterializeIncremental(after, prev, malformed);
+  EXPECT_TRUE(fallback.BitIdenticalTo(full));
+}
+
+TEST(IncrementalEpochTest, ServerPublishesIncrementallyUnderValidation) {
+  PathWorld w;
+  QueryServerOptions opts;
+  opts.num_workers = 1;
+  // validate_replay makes every incremental publish prove bit-identity
+  // against a from-scratch rebuild; a divergence fails the publish.
+  opts.validate_replay = true;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.net, w.points, opts);
+  ASSERT_TRUE(started.ok());
+  QueryServer& server = *started.value();
+
+  ASSERT_TRUE(server.ApplyUpdate(NetworkUpdate::AddEdge(0, 2, 3.0)).ok());
+  ASSERT_TRUE(server.Flush().ok());
+  ASSERT_TRUE(server.ApplyUpdate(NetworkUpdate::AddPoint(1, 2, 0.5, -1)).ok());
+  ASSERT_TRUE(server.Flush().ok());
+  ASSERT_TRUE(server.ApplyUpdate(NetworkUpdate::AddEdge(1, 3, 2.0)).ok());
+  ASSERT_TRUE(server.Flush().ok());
+  EXPECT_EQ(server.current_epoch(), 4u);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.publishes_full, 1u);  // the boot epoch
+  EXPECT_EQ(stats.publishes_incremental, 3u);
+  EXPECT_EQ(stats.publish_failures, 0u);
+  EXPECT_GE(stats.mean_publish_incremental_ms, 0.0);
+
+  // The spliced epochs serve correct metric answers: p0 -> n1 (3.5) ->
+  // n3 via the shortcut (2.0) -> p1 (0.5).
+  Result<QueryResponse> d = server.Execute(QueryRequest::PointDistance(0, 1));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_DOUBLE_EQ(d.value().distance, 6.0);
+}
+
+TEST(IncrementalEpochTest, IncrementalDisabledForcesFullPublishes) {
+  PathWorld w;
+  QueryServerOptions opts;
+  opts.num_workers = 1;
+  opts.incremental_publish = false;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(w.net, w.points, opts);
+  ASSERT_TRUE(started.ok());
+  QueryServer& server = *started.value();
+  ASSERT_TRUE(server.ApplyUpdate(NetworkUpdate::AddEdge(0, 3, 1.0)).ok());
+  ASSERT_TRUE(server.Flush().ok());
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.publishes_full, 2u);
+  EXPECT_EQ(stats.publishes_incremental, 0u);
+}
+
+// A point-only batch leaves the metric untouched, so the retiring
+// epoch's distance cache is carried into the new one. That is only
+// sound because entries are keyed by ObjectId: the new point renumbers
+// the dense ids, and a dense-keyed carried entry would resolve to the
+// WRONG pair of objects after the shift.
+TEST(IncrementalEpochTest, CarriedCacheStaysCorrectAcrossRenumbering) {
+  Network net(4);
+  ASSERT_TRUE(net.AddEdge(0, 1, 4.0).ok());
+  ASSERT_TRUE(net.AddEdge(1, 2, 4.0).ok());
+  ASSERT_TRUE(net.AddEdge(2, 3, 4.0).ok());
+  PointSetBuilder builder;
+  builder.Add(0, 1, 0.5, -1);  // p0, object 0
+  builder.Add(1, 2, 1.0, -1);  // p1, object 1: d(p0, p1) = 3.5 + 1.0
+  builder.Add(2, 3, 3.5, -1);  // p2, object 2: d(p0, p2) = 3.5 + 4 + 3.5
+  PointSet points = std::move(builder).Build(net).value();
+
+  QueryServerOptions opts;
+  opts.num_workers = 1;
+  Result<std::unique_ptr<QueryServer>> started =
+      QueryServer::Start(std::move(net), std::move(points), opts);
+  ASSERT_TRUE(started.ok());
+  QueryServer& server = *started.value();
+
+  // Warm the epoch cache with d(p0, p2) = 11. Under dense keying this
+  // entry would sit at pair (0, 2).
+  Result<QueryResponse> warm =
+      server.Execute(QueryRequest::PointDistance(0, 2));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_DOUBLE_EQ(warm.value().distance, 11.0);
+
+  // A new point on edge {0,1} shifts p1 to dense id 2 and p2 to dense
+  // id 3 in the next epoch; the batch is point-only, so the cache rides
+  // along.
+  ASSERT_TRUE(server.ApplyUpdate(NetworkUpdate::AddPoint(0, 1, 1.5, -1)).ok());
+  ASSERT_TRUE(server.Flush().ok());
+  EXPECT_EQ(server.stats().publishes_incremental, 1u);
+
+  // Objects (0, 1) now resolve to dense (0, 2) — the pair the stale
+  // dense-keyed entry would hit, answering 11. ObjectId keying must
+  // answer the true d(p0, p1) = 4.5.
+  Result<QueryResponse> d = server.Execute(QueryRequest::PointDistance(0, 1));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_DOUBLE_EQ(d.value().distance, 4.5);
+  // And the warmed pair still answers correctly under its durable ids.
+  Result<QueryResponse> again =
+      server.Execute(QueryRequest::PointDistance(0, 2));
+  ASSERT_TRUE(again.ok());
+  EXPECT_DOUBLE_EQ(again.value().distance, 11.0);
 }
 
 TEST(QueryServerTest, RejectedUpdatesPublishNothing) {

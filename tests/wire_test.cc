@@ -21,17 +21,21 @@ namespace netclus {
 namespace {
 
 // Requests whose every field carries entropy: non-representable
-// doubles, ids near the unsigned edge, all kinds.
+// doubles, ids near the unsigned edge, all kinds. Several ids exceed
+// 2^32 — the version-2 wire carries full 64-bit ObjectIds, and the
+// widened fields must round-trip without truncation.
 std::vector<QueryRequest> SampleRequests() {
   std::vector<QueryRequest> out;
   out.push_back(QueryRequest::PointDistance(3, 0x7fffffffu));
-  QueryRequest range = QueryRequest::Range(7, 0.1 + 0.2);
+  out.push_back(QueryRequest::PointDistance(0x100000001ull,
+                                            0xfedcba9876543210ull));
+  QueryRequest range = QueryRequest::Range(0xdeadbeef12345678ull, 0.1 + 0.2);
   range.deadline_ms = 12.75;
   out.push_back(range);
   QueryRequest nearest = QueryRequest::NearestObject(0, 5);
   nearest.deadline_ms = 1e-3;
   out.push_back(nearest);
-  out.push_back(QueryRequest::ClusterMembership(kInvalidPointId - 1));
+  out.push_back(QueryRequest::ClusterMembership(kInvalidObjectId - 1));
   out.push_back(QueryRequest::Healthz());
   return out;
 }
@@ -54,6 +58,9 @@ std::vector<QueryResponse> SampleResponses() {
   QueryResponse nearest;
   nearest.kind = QueryKind::kNearestObject;
   nearest.results.push_back({42, std::numeric_limits<double>::denorm_min()});
+  // Result ids are 64-bit on the wire too: an id past 2^32 must come
+  // back intact.
+  nearest.results.push_back({0x123456789abcdef0ull, 0.5});
   out.push_back(nearest);
   QueryResponse member;
   member.kind = QueryKind::kClusterMembership;
@@ -83,7 +90,7 @@ WireFrame MustDecode(const std::string& encoded) {
 TEST(WireCodec, QueryRoundTripIsBitExact) {
   for (const QueryRequest& req : SampleRequests()) {
     const std::string encoded = EncodeQueryFrame(req);
-    ASSERT_EQ(encoded.size(), kFrameHeaderBytes + 32);
+    ASSERT_EQ(encoded.size(), kFrameHeaderBytes + 40);
     const WireFrame frame = MustDecode(encoded);
     EXPECT_EQ(frame.type, FrameType::kQuery);
     QueryRequest got;
@@ -201,7 +208,7 @@ TEST(WireCodec, PayloadDecodersRejectMalformedBytes) {
             Status::Code::kCorruption);
   EXPECT_EQ(DecodeStatusPayload("", 0, &ws).code(), Status::Code::kCorruption);
   // Unknown query kind.
-  char q[32] = {};
+  char q[40] = {};
   q[0] = 17;
   EXPECT_EQ(DecodeQueryPayload(q, sizeof(q), &req).code(),
             Status::Code::kCorruption);
